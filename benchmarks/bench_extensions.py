@@ -1,0 +1,81 @@
+"""Benchmarks for the extension subsystems.
+
+Multi-shop evaluation, budgeted greedy, and the competitive placement
+game — each on the paper-scale Dublin bundle so throughput numbers are
+comparable with the core algorithm benches.
+"""
+
+import pytest
+
+from repro.algorithms import CompositeGreedy
+from repro.core import LinearUtility
+from repro.experiments import (
+    LocationClass,
+    classify_intersections,
+    locations_of_class,
+)
+from repro.extensions import (
+    BudgetedGreedy,
+    Competitor,
+    CompetitiveScenario,
+    MultiShopScenario,
+    alternating_play,
+    location_based_costs,
+)
+
+
+@pytest.fixture(scope="module")
+def dublin(provider):
+    return provider.get("dublin")
+
+
+@pytest.fixture(scope="module")
+def city_sites(dublin):
+    classes = classify_intersections(dublin.network, dublin.flows)
+    return locations_of_class(classes, LocationClass.CITY)
+
+
+class TestMultiShop:
+    def test_two_branch_placement(self, benchmark, dublin, city_sites):
+        scenario = MultiShopScenario(
+            dublin.network,
+            dublin.flows,
+            shops=city_sites[:2],
+            utility=LinearUtility(20_000.0),
+        )
+        _ = scenario.coverage
+        placement = benchmark(CompositeGreedy().place, scenario, 5)
+        assert placement.k <= 5
+        benchmark.extra_info["attracted"] = placement.attracted
+
+
+class TestBudgeted:
+    def test_location_priced_budget(self, benchmark, dublin, city_sites):
+        from repro.core import Scenario
+
+        scenario = Scenario(
+            dublin.network, dublin.flows, city_sites[0],
+            LinearUtility(20_000.0),
+        )
+        costs = location_based_costs(scenario)
+        solver = BudgetedGreedy(costs=costs, budget=10.0)
+        result = benchmark(solver.place, scenario)
+        assert result.spent <= 10.0
+        benchmark.extra_info["raps"] = len(result.placement.raps)
+
+
+class TestCompetition:
+    def test_duopoly_alternating_play(self, benchmark, dublin, city_sites):
+        scenario = CompetitiveScenario(
+            dublin.network,
+            dublin.flows,
+            [
+                Competitor("a", city_sites[0]),
+                Competitor("b", city_sites[1]),
+            ],
+            LinearUtility(20_000.0),
+        )
+        result = benchmark(alternating_play, scenario, 3, 6)
+        assert sum(result.payoffs.values()) > 0
+        benchmark.extra_info["rounds"] = result.rounds
+        benchmark.extra_info["converged"] = result.converged

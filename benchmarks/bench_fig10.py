@@ -1,0 +1,44 @@
+"""Regenerates paper Fig. 10 — Dublin, utility-function comparison.
+
+Shop in the city, D = 20,000 ft; panels (a) threshold, (b) decreasing
+utility i (linear), (c) decreasing utility ii (sqrt).  Each benchmark
+times one panel's full sweep (all algorithms, k = 1..10, averaged shop
+draws) and asserts the paper's shape claims:
+
+* the proposed greedy line weakly dominates every baseline at k = 10;
+* across panels, threshold >= linear >= sqrt for the proposed line.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, run_and_record
+from repro.experiments import fig10
+
+SPEC = fig10(repetitions=BENCH_REPETITIONS)
+PANELS = {panel.panel_id: panel for panel in SPEC.panels}
+
+
+@pytest.mark.parametrize("panel_id", sorted(PANELS))
+def test_fig10_panel(benchmark, provider, panel_id):
+    result = run_and_record(benchmark, PANELS[panel_id], provider)
+    proposed = result.series["composite-greedy"]
+    for name, series in result.series.items():
+        assert proposed.final >= series.final - 1e-9, (
+            f"{name} beats the proposed algorithm at k=10"
+        )
+
+
+def test_fig10_utility_ordering(benchmark, provider):
+    """Threshold attracts the most, sqrt the least (paper Section V-C).
+
+    Benchmarks the full three-panel figure end to end.
+    """
+    from repro.experiments import run_figure
+
+    result = benchmark(run_figure, SPEC, provider)
+    finals = {
+        panel.spec.utility: panel.series["composite-greedy"].final
+        for panel in result.panels.values()
+    }
+    assert finals["threshold"] >= finals["linear"] >= finals["sqrt"]
+    benchmark.extra_info["finals"] = finals

@@ -1,0 +1,43 @@
+"""Regenerates paper Fig. 11 — Dublin, shop location x threshold grid.
+
+Decreasing utility i; panels for shop in the city's center / city /
+suburb, each at D = 20,000 and D = 10,000 ft.  Shape claims asserted:
+
+* a larger D never attracts fewer customers (same location class);
+* the proposed algorithm weakly dominates every baseline per panel.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, run_and_record
+from repro.experiments import fig11
+
+SPEC = fig11(repetitions=BENCH_REPETITIONS)
+PANELS = {panel.panel_id: panel for panel in SPEC.panels}
+
+
+@pytest.mark.parametrize("panel_id", sorted(PANELS))
+def test_fig11_panel(benchmark, provider, panel_id):
+    result = run_and_record(benchmark, PANELS[panel_id], provider)
+    proposed = result.series["composite-greedy"]
+    for name, series in result.series.items():
+        assert proposed.final >= series.final - 1e-9, name
+
+
+def test_fig11_larger_threshold_helps(benchmark, provider):
+    """D = 20,000 attracts at least as many customers as D = 10,000 for
+    every shop location class (paper Section V-C)."""
+    from repro.experiments import run_figure
+
+    result = benchmark(run_figure, SPEC, provider)
+    by_location = {}
+    for panel in result.panels.values():
+        key = panel.spec.shop_location
+        by_location.setdefault(key, {})[panel.spec.threshold] = panel.series[
+            "composite-greedy"
+        ].final
+    for location, finals in by_location.items():
+        assert finals[20_000.0] >= finals[10_000.0] - 1e-9, location
+    benchmark.extra_info["finals"] = {
+        location.value: finals for location, finals in by_location.items()
+    }

@@ -1,0 +1,47 @@
+"""Regenerates paper Fig. 12 — Seattle, general scenario.
+
+Shop in the city; panels: {threshold, linear} x {D = 2,500, D = 1,000}
+ft.  Shape claims asserted per panel:
+
+* the proposed greedy weakly dominates every baseline at k = 10;
+* threshold utility attracts more than linear at equal D;
+* D = 2,500 attracts more than D = 1,000 at equal utility (the paper
+  reports ~30% more).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, run_and_record
+from repro.experiments import fig12
+
+SPEC = fig12(repetitions=BENCH_REPETITIONS)
+PANELS = {panel.panel_id: panel for panel in SPEC.panels}
+
+
+@pytest.mark.parametrize("panel_id", sorted(PANELS))
+def test_fig12_panel(benchmark, provider, panel_id):
+    result = run_and_record(benchmark, PANELS[panel_id], provider)
+    proposed = result.series["composite-greedy"]
+    for name, series in result.series.items():
+        assert proposed.final >= series.final - 1e-9, name
+
+
+def test_fig12_shapes(benchmark, provider):
+    from repro.experiments import run_figure
+
+    result = benchmark(run_figure, SPEC, provider)
+    finals = {
+        (panel.spec.utility, panel.spec.threshold): panel.series[
+            "composite-greedy"
+        ].final
+        for panel in result.panels.values()
+    }
+    # Threshold >= linear at the same D.
+    assert finals[("threshold", 2_500.0)] >= finals[("linear", 2_500.0)] - 1e-9
+    assert finals[("threshold", 1_000.0)] >= finals[("linear", 1_000.0)] - 1e-9
+    # Larger D >= smaller D under the same utility.
+    assert finals[("threshold", 2_500.0)] >= finals[("threshold", 1_000.0)] - 1e-9
+    assert finals[("linear", 2_500.0)] >= finals[("linear", 1_000.0)] - 1e-9
+    benchmark.extra_info["finals"] = {
+        f"{u}-d{int(d)}": value for (u, d), value in finals.items()
+    }

@@ -1,0 +1,66 @@
+"""Regenerates paper Fig. 13 — Seattle, Manhattan-grid scenario.
+
+Same settings as Fig. 12 but with RAP-aware routing (flows choose a
+shortest path carrying a RAP) and the two-stage Algorithms 3/4.  Shape
+claims asserted:
+
+* for the same configuration, Manhattan semantics attract at least as
+  many customers as the general scenario (Fig. 13 vs Fig. 12 — the
+  paper's headline observation for this section);
+* larger D helps, threshold >= linear.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_REPETITIONS, run_and_record
+from repro.experiments import fig12, fig13
+
+SPEC = fig13(repetitions=BENCH_REPETITIONS)
+PANELS = {panel.panel_id: panel for panel in SPEC.panels}
+
+
+@pytest.mark.parametrize("panel_id", sorted(PANELS))
+def test_fig13_panel(benchmark, provider, panel_id):
+    result = run_and_record(benchmark, PANELS[panel_id], provider)
+    # The stage algorithm and all baselines produced full series.
+    for series in result.series.values():
+        assert len(series.means) == len(result.spec.ks)
+
+
+def test_fig13_dominates_fig12(benchmark, provider):
+    """Manhattan semantics >= general semantics, config by config, for
+    the shared baseline algorithms (the placement-selection inputs are
+    identical; only routing freedom differs)."""
+    from repro.experiments import run_figure
+
+    def run_both():
+        general = run_figure(fig12(repetitions=BENCH_REPETITIONS), provider)
+        manhattan = run_figure(SPEC, provider)
+        return general, manhattan
+
+    general, manhattan = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    shared = {"max-cardinality", "max-vehicles", "max-customers"}
+    comparisons = {}
+    for m_panel in manhattan.panels.values():
+        match = [
+            g
+            for g in general.panels.values()
+            if g.spec.utility == m_panel.spec.utility
+            and g.spec.threshold == m_panel.spec.threshold
+        ]
+        assert len(match) == 1
+        g_panel = match[0]
+        for name in shared:
+            m_value = m_panel.series[name].final
+            g_value = g_panel.series[name].final
+            assert m_value >= g_value - 1e-9, (
+                f"{name} @ {m_panel.spec.panel_id}"
+            )
+            comparisons[f"{m_panel.spec.panel_id}/{name}"] = (
+                g_value,
+                m_value,
+            )
+    benchmark.extra_info["general_vs_manhattan"] = {
+        key: {"general": g, "manhattan": m}
+        for key, (g, m) in comparisons.items()
+    }

@@ -1,0 +1,72 @@
+"""Scaling benchmarks: how the pipeline grows with instance size.
+
+The complexity claims (docs/architecture.md) in measurable form:
+scenario warm-up and greedy selection across grid sizes and flow
+counts.  Each parameterized case is a separate benchmark so the scaling
+curve can be read straight off the report.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import CompositeGreedy
+from repro.core import LinearUtility, Scenario, flow_between
+from repro.graphs import manhattan_grid
+
+K = 8
+
+
+def build_instance(side: int, flow_count: int, seed: int = 0):
+    rng = random.Random(seed)
+    net = manhattan_grid(side, side, 100.0)
+    nodes = list(net.nodes())
+    flows = []
+    while len(flows) < flow_count:
+        origin, destination = rng.sample(nodes, 2)
+        if net.euclidean_distance(origin, destination) < side * 40.0:
+            continue
+        flows.append(
+            flow_between(net, origin, destination,
+                         volume=rng.randint(50, 500), attractiveness=0.001)
+        )
+    shop = nodes[len(nodes) // 2]
+    return Scenario(net, flows, shop, LinearUtility(side * 60.0))
+
+
+class TestNetworkScaling:
+    """Fixed 40 flows, growing network."""
+
+    @pytest.mark.parametrize("side", [10, 15, 20, 25])
+    def test_greedy_select(self, benchmark, side):
+        scenario = build_instance(side, flow_count=40, seed=side)
+        _ = scenario.coverage  # warm-up outside the timed region
+        sites = benchmark(CompositeGreedy().select, scenario, K)
+        assert sites
+        benchmark.extra_info["nodes"] = scenario.network.node_count
+
+    @pytest.mark.parametrize("side", [10, 15, 20, 25])
+    def test_warm_up(self, benchmark, side):
+        """Detour fields + coverage index construction."""
+        base = build_instance(side, flow_count=40, seed=side)
+
+        def build():
+            scenario = Scenario(
+                base.network, base.flows, base.shop, base.utility
+            )
+            return scenario.coverage.incidence_count()
+
+        incidences = benchmark(build)
+        benchmark.extra_info["incidences"] = incidences
+
+
+class TestFlowScaling:
+    """Fixed 15x15 network, growing demand."""
+
+    @pytest.mark.parametrize("flow_count", [20, 40, 80, 160])
+    def test_greedy_select(self, benchmark, flow_count):
+        scenario = build_instance(15, flow_count=flow_count, seed=flow_count)
+        _ = scenario.coverage
+        sites = benchmark(CompositeGreedy().select, scenario, K)
+        assert sites
+        benchmark.extra_info["flows"] = flow_count

@@ -1,0 +1,89 @@
+"""Benchmarks for the Monte-Carlo simulator and the sensitivity sweeps.
+
+The simulator bench doubles as a convergence check (simulated mean
+within tolerance of the analytic expectation); the sweep benches assert
+the monotonicity the model guarantees.
+"""
+
+import pytest
+
+from repro.algorithms import CompositeGreedy
+from repro.core import LinearUtility, Scenario
+from repro.experiments import (
+    LocationClass,
+    classify_intersections,
+    locations_of_class,
+    sweep_attractiveness,
+    sweep_budget,
+    sweep_threshold,
+)
+from repro.sim import AdvertisingDaySimulator
+
+
+@pytest.fixture(scope="module")
+def dublin(provider):
+    return provider.get("dublin")
+
+
+@pytest.fixture(scope="module")
+def dublin_scenario(dublin):
+    classes = classify_intersections(dublin.network, dublin.flows)
+    shop = locations_of_class(classes, LocationClass.CITY)[0]
+    return Scenario(dublin.network, dublin.flows, shop, LinearUtility(20_000.0))
+
+
+class TestSimulator:
+    def test_hundred_days(self, benchmark, dublin_scenario):
+        placement = CompositeGreedy().place(dublin_scenario, 5)
+        simulator = AdvertisingDaySimulator(dublin_scenario, placement.raps)
+        result = benchmark(simulator.run, 100, 42)
+        expected = simulator.expected_customers()
+        # 100 days of thousands of Bernoulli trials: the mean must be in
+        # the right neighbourhood (tolerance: 5 standard errors + eps).
+        tolerance = 5 * result.stdev / 10 + 1e-6
+        assert abs(result.mean_customers - expected) <= max(tolerance, 0.5)
+        benchmark.extra_info["expected"] = expected
+        benchmark.extra_info["simulated_mean"] = result.mean_customers
+
+
+class TestSweeps:
+    def test_threshold_sweep(self, benchmark, dublin):
+        classes = classify_intersections(dublin.network, dublin.flows)
+        shop = locations_of_class(classes, LocationClass.CITY)[0]
+        thresholds = (5_000.0, 10_000.0, 20_000.0, 40_000.0)
+        sweep = benchmark(
+            sweep_threshold,
+            dublin.network,
+            list(dublin.flows),
+            shop,
+            "linear",
+            thresholds,
+            5,
+        )
+        for earlier, later in zip(sweep.values, sweep.values[1:]):
+            assert later >= earlier - 1e-9
+        benchmark.extra_info["values"] = list(sweep.values)
+
+    def test_budget_sweep(self, benchmark, dublin_scenario):
+        sweep = benchmark(
+            sweep_budget, dublin_scenario, tuple(range(1, 11))
+        )
+        for earlier, later in zip(sweep.values, sweep.values[1:]):
+            assert later >= earlier - 1e-9
+        benchmark.extra_info["saturation_k"] = sweep.saturation_x()
+
+    def test_attractiveness_sweep(self, benchmark, dublin):
+        classes = classify_intersections(dublin.network, dublin.flows)
+        shop = locations_of_class(classes, LocationClass.CITY)[0]
+        sweep = benchmark(
+            sweep_attractiveness,
+            dublin.network,
+            list(dublin.flows),
+            shop,
+            "linear",
+            20_000.0,
+            (0.25, 0.5, 1.0),
+            5,
+        )
+        # Exact linearity in alpha.
+        assert sweep.values[2] == pytest.approx(4 * sweep.values[0])

@@ -1,0 +1,100 @@
+"""Benchmarks for the exact and polishing solvers and the scheduler.
+
+Measures (a) how far branch-and-bound's pruning stretches beyond brute
+force, (b) the cost of a local-search polishing pass, and (c) greedy
+multi-campaign scheduling throughput.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    BranchAndBoundOptimal,
+    ExhaustiveOptimal,
+    SwapLocalSearch,
+)
+from repro.core import LinearUtility, Scenario, flow_between
+from repro.extensions import Campaign, GreedyScheduler, SchedulingProblem
+from repro.graphs import manhattan_grid
+
+
+def mid_size_scenario(seed: int = 0, flows_count: int = 10) -> Scenario:
+    rng = random.Random(seed)
+    net = manhattan_grid(6, 6, 1.0)
+    nodes = list(net.nodes())
+    flows = [
+        flow_between(
+            net, *rng.sample(nodes, 2), volume=rng.randint(1, 30),
+            attractiveness=1.0,
+        )
+        for _ in range(flows_count)
+    ]
+    return Scenario(net, flows, nodes[14], LinearUtility(7.0))
+
+
+class TestExactSolvers:
+    def test_branch_and_bound_k3(self, benchmark):
+        scenario = mid_size_scenario()
+        _ = scenario.coverage
+        solver = BranchAndBoundOptimal()
+        sites = benchmark(solver.select, scenario, 3)
+        assert len(sites) <= 3
+        benchmark.extra_info["nodes_expanded"] = solver.nodes_expanded
+
+    def test_exhaustive_k3_same_instance(self, benchmark):
+        """Brute-force reference on the identical instance."""
+        scenario = mid_size_scenario()
+        _ = scenario.coverage
+        solver = ExhaustiveOptimal()
+        sites = benchmark(solver.select, scenario, 3)
+        assert len(sites) <= 3
+
+    def test_agreement(self, benchmark):
+        """Both solvers find the same optimum (timed as a pair)."""
+        scenario = mid_size_scenario(seed=5)
+        from repro.core import evaluate_placement
+
+        def both():
+            a = BranchAndBoundOptimal().select(scenario, 3)
+            b = ExhaustiveOptimal().select(scenario, 3)
+            return (
+                evaluate_placement(scenario, a).attracted,
+                evaluate_placement(scenario, b).attracted,
+            )
+
+        bnb_value, brute_value = benchmark.pedantic(both, rounds=1, iterations=1)
+        assert bnb_value == pytest.approx(brute_value)
+
+
+class TestLocalSearch:
+    def test_polishing_pass(self, benchmark):
+        scenario = mid_size_scenario(seed=2)
+        _ = scenario.coverage
+        solver = SwapLocalSearch()
+        sites = benchmark(solver.select, scenario, 4)
+        assert len(sites) == 4
+
+
+class TestScheduler:
+    def test_three_campaign_schedule(self, benchmark):
+        net = manhattan_grid(7, 7, 1.0)
+        rng = random.Random(1)
+        nodes = list(net.nodes())
+        flows = [
+            flow_between(
+                net, *rng.sample(nodes, 2), volume=rng.randint(5, 40),
+                attractiveness=1.0,
+            )
+            for _ in range(12)
+        ]
+        campaigns = [
+            Campaign("a", shop=(2, 2), utility=LinearUtility(6.0)),
+            Campaign("b", shop=(4, 4), utility=LinearUtility(6.0),
+                     value_per_customer=2.0),
+            Campaign("c", shop=(3, 3), utility=LinearUtility(4.0)),
+        ]
+        problem = SchedulingProblem(net, flows, campaigns, slots_per_rap=2)
+        result = benchmark(GreedyScheduler().solve, problem, 6)
+        assert result.total_value > 0
+        benchmark.extra_info["sites"] = len(result.sites)

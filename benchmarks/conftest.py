@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to the "small" trace scale so the whole suite runs in
+a couple of minutes; set ``RAPFLOW_BENCH_SCALE=paper`` for paper-sized
+instances (and correspondingly paper-shaped absolute numbers).  Figure
+benches time one panel each and attach the resulting series to the
+benchmark's ``extra_info`` so the regenerated numbers are archived with
+the timing data.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import TraceProvider
+
+BENCH_SCALE = os.environ.get("RAPFLOW_BENCH_SCALE", "small")
+BENCH_REPETITIONS = int(os.environ.get("RAPFLOW_BENCH_REPETITIONS", "3"))
+
+
+@pytest.fixture(scope="session")
+def provider():
+    """One trace provider (and hence one trace per city) for all benches."""
+    return TraceProvider(scale=BENCH_SCALE)
+
+
+def run_and_record(benchmark, panel, provider):
+    """Benchmark one panel and attach its series to extra_info."""
+    from repro.experiments import run_panel
+
+    result = benchmark(run_panel, panel, provider)
+    benchmark.extra_info["panel"] = panel.describe()
+    benchmark.extra_info["series"] = {
+        name: list(series.means) for name, series in result.series.items()
+    }
+    return result

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 4 worked example, reproduced line by line.
+
+Section III of the paper hand-computes one tiny instance to motivate
+Algorithm 2.  This script executes every step of that argument with the
+library, printing the same numbers the paper prints — the quickest way
+to convince yourself the implementation is faithful.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import (
+    CompositeGreedy,
+    ExhaustiveOptimal,
+    GreedyCoverage,
+    LinearUtility,
+    Scenario,
+    SwapLocalSearch,
+    ThresholdUtility,
+    TrafficFlow,
+    evaluate_placement,
+)
+from repro.core import DetourCalculator, IncrementalEvaluator
+from repro.graphs import Point, RoadNetwork
+
+
+def build_fig4():
+    """The 6-intersection network of Fig. 4; all streets have length 1."""
+    net = RoadNetwork()
+    for name, pos in {
+        "V1": Point(0, 1), "V2": Point(1, 1), "V4": Point(0, 0),
+        "V3": Point(1, 0), "V5": Point(2, 0), "V6": Point(3, 0),
+    }.items():
+        net.add_intersection(name, pos)
+    for a, b in [("V1", "V2"), ("V1", "V4"), ("V2", "V3"), ("V3", "V4"),
+                 ("V3", "V5"), ("V5", "V6")]:
+        net.add_street(a, b, 1.0)
+    flows = [
+        TrafficFlow(path=("V2", "V3", "V5"), volume=6, attractiveness=1.0,
+                    label="T[2,5]"),
+        TrafficFlow(path=("V3", "V5"), volume=3, attractiveness=1.0,
+                    label="T[3,5]"),
+        TrafficFlow(path=("V4", "V3"), volume=6, attractiveness=1.0,
+                    label="T[4,3]"),
+        TrafficFlow(path=("V5", "V6"), volume=6, attractiveness=1.0,
+                    label="T[5,6]"),
+    ]
+    return net, flows
+
+
+def main() -> None:
+    net, flows = build_fig4()
+    print("Fig. 4: shop at V1, k = 2, D = 6, all street lengths 1\n")
+
+    # --- detour distances the paper quotes -----------------------------
+    calc = DetourCalculator(net, "V1")
+    print("detour distances (paper Section III-C):")
+    for label, node, flow in [
+        ("T[2,5] at V3", "V3", flows[0]),
+        ("T[2,5] at V2", "V2", flows[0]),
+        ("T[4,3] at V4", "V4", flows[2]),
+        ("T[5,6] at V5", "V5", flows[3]),
+        ("T[5,6] at V6", "V6", flows[3]),
+    ]:
+        print(f"  {label}: {calc.detour(node, flow):.0f}")
+
+    # --- threshold utility: Algorithm 1 ---------------------------------
+    threshold_scenario = Scenario(net, flows, "V1", ThresholdUtility(6.0))
+    alg1 = GreedyCoverage().place(threshold_scenario, 2)
+    print(
+        f"\nthreshold utility -> Algorithm 1 places {list(alg1.raps)}"
+        f" attracting {alg1.attracted:.0f} drivers (paper: V3 then V5, 21)"
+    )
+
+    # --- decreasing utility: the overlap phenomenon ---------------------
+    linear_scenario = Scenario(net, flows, "V1", LinearUtility(6.0))
+    v3v5 = evaluate_placement(linear_scenario, ["V3", "V5"])
+    print(
+        f"\nlinear utility, the 'optimal threshold' placement {{V3, V5}} "
+        f"attracts only {v3v5.attracted:.0f} (paper: (6+6+3)x1/3 = 5)"
+    )
+
+    incremental = IncrementalEvaluator(linear_scenario)
+    gain_v3 = incremental.gain("V3")
+    incremental.place("V3")
+    gain_v2 = incremental.gain("V2")
+    print(
+        f"greedy walkthrough: V3 first (gain {gain_v3:.0f}), then V2 "
+        f"(gain {gain_v2:.0f}) -> total {gain_v3 + gain_v2:.0f} "
+        "(paper: 5 then 2 -> 7)"
+    )
+
+    alg2 = CompositeGreedy().place(linear_scenario, 2)
+    optimal = ExhaustiveOptimal().place(linear_scenario, 2)
+    polished = SwapLocalSearch().place(linear_scenario, 2)
+    print(
+        f"Algorithm 2: {list(alg2.raps)} -> {alg2.attracted:.0f}; "
+        f"optimum {sorted(optimal.raps)} -> {optimal.attracted:.0f} "
+        "(paper: {V2, V4} -> 8)"
+    )
+    print(
+        f"local search escapes the trap: {sorted(polished.raps)} -> "
+        f"{polished.attracted:.0f}"
+    )
+    ratio = alg2.attracted / optimal.attracted
+    import math
+
+    print(
+        f"\nAlgorithm 2 achieved {ratio:.3f} of optimal — its Theorem 2 "
+        f"floor is 1 - 1/sqrt(e) = {1 - 1 / math.sqrt(math.e):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Render a deployment as SVG and stress-test it with Monte Carlo.
+
+Produces three SVG files in the working directory:
+
+* ``dublin_map.svg``       — the street network with traffic flows;
+* ``dublin_placement.svg`` — the composite-greedy deployment (RAP size
+  proportional to attributed customers);
+* ``seattle_region.svg``   — the Seattle Manhattan-grid region with
+  Algorithm 3's RAPs.
+
+Then simulates 200 advertising days to report the day-to-day spread
+around the analytic expectation.
+
+Run:  python examples/visualize_deployment.py
+"""
+
+import random
+
+from repro import CompositeGreedy, Scenario, utility_by_name
+from repro.experiments import (
+    LocationClass,
+    TraceProvider,
+    classify_intersections,
+    locations_of_class,
+)
+from repro.manhattan import ManhattanScenario, TwoStagePlacement
+from repro.sim import AdvertisingDaySimulator
+from repro.viz import (
+    render_manhattan,
+    render_network,
+    render_placement,
+    save_svg,
+)
+
+
+def main() -> None:
+    provider = TraceProvider(scale="paper")
+
+    # --- Dublin: map + placement ---------------------------------------
+    dublin = provider.get("dublin")
+    classes = classify_intersections(dublin.network, dublin.flows)
+    shop = random.Random(4).choice(
+        locations_of_class(classes, LocationClass.CITY)
+    )
+    scenario = Scenario(
+        dublin.network, dublin.flows, shop, utility_by_name("linear", 20_000.0)
+    )
+    placement = CompositeGreedy().place(scenario, 6)
+
+    save_svg(
+        render_network(dublin.network, dublin.flows,
+                       caption="Dublin: streets + bus flows"),
+        "dublin_map.svg",
+    )
+    save_svg(render_placement(scenario, placement), "dublin_placement.svg")
+    print(f"wrote dublin_map.svg and dublin_placement.svg")
+    print(f"  {placement.summary()}")
+
+    # --- Seattle: Manhattan region -------------------------------------
+    seattle = provider.get("seattle")
+    sea_classes = classify_intersections(seattle.network, seattle.flows)
+    sea_shop = random.Random(4).choice(
+        locations_of_class(sea_classes, LocationClass.CITY)
+    )
+    manhattan = ManhattanScenario(
+        seattle.network, seattle.flows, sea_shop,
+        utility_by_name("threshold", 2_500.0),
+    )
+    k = min(8, len(manhattan.candidate_sites))
+    sites = TwoStagePlacement().select(manhattan, k)
+    save_svg(
+        render_manhattan(
+            manhattan, raps=sites,
+            caption=f"Seattle: D x D region, Algorithm 3, k={k}",
+        ),
+        "seattle_region.svg",
+    )
+    print(f"wrote seattle_region.svg ({len(sites)} RAPs)")
+
+    # --- Monte-Carlo stress test ----------------------------------------
+    simulator = AdvertisingDaySimulator(scenario, placement.raps)
+    result = simulator.run(days=200, seed=1)
+    expected = simulator.expected_customers()
+    print(
+        f"\nMonte-Carlo over {result.days} days: "
+        f"mean {result.mean_customers:.3f} customers/day "
+        f"(analytic expectation {expected:.3f}, "
+        f"day-to-day stdev {result.stdev:.3f})"
+    )
+    busiest = max(result.mean_deliveries.items(), key=lambda kv: kv[1])
+    print(
+        f"busiest RAP: {busiest[0]!r} delivers "
+        f"{busiest[1]:,.0f} advertisements/day"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Regenerate every paper figure at paper scale and archive the outputs."""
+import sys, time
+from repro.experiments import (
+    TraceProvider, build_figure, render_figure, run_figure, save_figure_json,
+)
+
+def main():
+    provider = TraceProvider(scale="paper")
+    for figure_id in ("fig10", "fig11", "fig12", "fig13"):
+        t0 = time.time()
+        spec = build_figure(figure_id, repetitions=30)
+        result = run_figure(spec, provider)
+        text = render_figure(result)
+        with open(f"results/{figure_id}.txt", "w") as fh:
+            fh.write(text + "\n")
+        save_figure_json(result, f"results/{figure_id}.json")
+        print(f"{figure_id} done in {time.time()-t0:.1f}s", flush=True)
+
+if __name__ == "__main__":
+    main()

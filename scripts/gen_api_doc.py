@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate docs/api.md from the package exports.
+
+Run from the repository root: ``python scripts/gen_api_doc.py``.
+"""
+
+import importlib
+import inspect
+import io
+
+SUBPACKAGES = [
+    "repro", "repro.graphs", "repro.core", "repro.algorithms",
+    "repro.manhattan", "repro.traces", "repro.experiments",
+    "repro.analysis", "repro.sim", "repro.viz", "repro.extensions",
+]
+
+
+def generate() -> str:
+    out = io.StringIO()
+    out.write("# API overview\n\n")
+    out.write(
+        "Auto-generated from the package exports "
+        "(`python scripts/gen_api_doc.py` regenerates it).\n"
+    )
+    for name in SUBPACKAGES:
+        module = importlib.import_module(name)
+        exports = [
+            e for e in getattr(module, "__all__", []) if not e.startswith("_")
+        ]
+        if not exports:
+            continue
+        first_line = (module.__doc__ or "").strip().splitlines()[0]
+        out.write(f"\n## `{name}`\n\n{first_line}\n\n")
+        out.write("| symbol | kind | summary |\n|---|---|---|\n")
+        for export in exports:
+            if export in ("errors", "__version__"):
+                continue
+            obj = getattr(module, export)
+            if inspect.isclass(obj):
+                kind = "class"
+            elif inspect.isfunction(obj):
+                kind = "function"
+            elif isinstance(obj, (int, float, str, tuple, dict)):
+                kind = "constant"
+            else:
+                kind = "object"
+            doc = (inspect.getdoc(obj) or "").strip().splitlines()
+            summary = (doc[0] if doc else "").replace("|", "\\|")
+            out.write(f"| `{export}` | {kind} | {summary} |\n")
+    return out.getvalue()
+
+
+if __name__ == "__main__":
+    with open("docs/api.md", "w") as handle:
+        handle.write(generate())
+    print("wrote docs/api.md")

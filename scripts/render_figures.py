@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Render archived figure results (results/*.json) as SVG plots.
+
+Run from the repository root after ``python results/generate_all.py``:
+``python scripts/render_figures.py`` writes one paper-style plot per
+panel to ``results/figures/``.
+"""
+
+import pathlib
+
+from repro.experiments import load_figure_json
+from repro.experiments.report import display_name
+from repro.viz import save_svg, svg_line_plot
+
+FIGURES = ("fig10", "fig11", "fig12", "fig13")
+
+
+def main() -> None:
+    out = pathlib.Path("results/figures")
+    out.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for figure_id in FIGURES:
+        archive = load_figure_json(f"results/{figure_id}.json")
+        for panel_id, panel in archive.panels.items():
+            series = {
+                display_name(name): list(s.means)
+                for name, s in panel.items()
+            }
+            ks = [float(k) for k in next(iter(panel.values())).ks]
+            save_svg(
+                svg_line_plot(series, ks, title=panel_id),
+                out / f"{panel_id}.svg",
+            )
+            count += 1
+    print(f"wrote {count} panel plots to {out}")
+
+
+if __name__ == "__main__":
+    main()

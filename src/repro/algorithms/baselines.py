@@ -1,0 +1,124 @@
+"""The paper's four comparison baselines (Section V-B).
+
+* :class:`MaxCardinality` — top-``k`` intersections by number of passing
+  traffic flows;
+* :class:`MaxVehicles` — top-``k`` intersections by passing traffic
+  volume (the paper counts buses; volumes are proportional);
+* :class:`MaxCustomers` — top-``k`` intersections by customers a *single*
+  RAP there would attract (equivalent to the optimal solution at k = 1,
+  as the paper notes — but it ignores interactions between RAPs);
+* :class:`RandomPlacement` — uniform-random intersections within the
+  ``D x D`` square centered on the shop.
+
+All ranking baselines break ties by candidate-site order; the random
+baseline takes an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core import Scenario
+from ..graphs import BoundingBox, NodeId
+from .base import PlacementAlgorithm, register
+
+
+def _top_k(scenario: Scenario, k: int, score) -> List[NodeId]:
+    """Top-k candidate sites by ``score`` (desc), site order on ties."""
+    ranked = sorted(
+        range(len(scenario.candidate_sites)),
+        key=lambda i: (-score(scenario.candidate_sites[i]), i),
+    )
+    return [scenario.candidate_sites[i] for i in ranked[:k]]
+
+
+@register("max-cardinality")
+class MaxCardinality(PlacementAlgorithm):
+    """Rank intersections by the number of passing traffic flows."""
+
+    name = "max-cardinality"
+
+    def select(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Top-k intersections by passing traffic-flow count."""
+        flows = scenario.flows
+
+        def passing_flows(site: NodeId) -> int:
+            return sum(1 for flow in flows if flow.passes(site))
+
+        return _top_k(scenario, k, passing_flows)
+
+
+@register("max-vehicles")
+class MaxVehicles(PlacementAlgorithm):
+    """Rank intersections by passing traffic volume (vehicles/buses)."""
+
+    name = "max-vehicles"
+
+    def select(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Top-k intersections by passing traffic volume."""
+        flows = scenario.flows
+
+        def passing_volume(site: NodeId) -> float:
+            return sum(flow.volume for flow in flows if flow.passes(site))
+
+        return _top_k(scenario, k, passing_volume)
+
+
+@register("max-customers")
+class MaxCustomers(PlacementAlgorithm):
+    """Rank intersections by single-RAP attracted customers.
+
+    The score of a site is the number of customers a lone RAP there would
+    attract; unlike the greedy algorithms the scores are *not* updated as
+    RAPs are placed, so overlapping sites waste budget.
+    """
+
+    name = "max-customers"
+
+    def select(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Top-k intersections by static single-RAP customer count."""
+        utility = scenario.utility
+        coverage = scenario.coverage
+        flows = scenario.flows
+
+        def single_rap_customers(site: NodeId) -> float:
+            total = 0.0
+            for entry in coverage.covering(site):
+                flow = flows[entry.flow_index]
+                total += (
+                    utility.probability(entry.detour, flow.attractiveness)
+                    * flow.volume
+                )
+            return total
+
+        return _top_k(scenario, k, single_rap_customers)
+
+
+@register("random")
+class RandomPlacement(PlacementAlgorithm):
+    """Uniform-random placement within the ``D x D`` square at the shop.
+
+    When the square contains fewer than ``k`` candidate sites the
+    remainder is drawn uniformly from the sites outside it, so the
+    baseline always spends its full budget (mirroring how the paper's
+    plots keep all algorithms at equal k).
+    """
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Uniform-random sites inside the D x D square (fallback outside)."""
+        shop_position = scenario.network.position(scenario.shop)
+        box = BoundingBox.square_around(shop_position, scenario.utility.threshold)
+        inside = scenario.sites_within(box)
+        if len(inside) >= k:
+            return self._rng.sample(inside, k)
+        outside = [
+            site for site in scenario.candidate_sites if site not in set(inside)
+        ]
+        extra = self._rng.sample(outside, k - len(inside))
+        return inside + extra

@@ -1,0 +1,80 @@
+"""Exhaustive optimal placement — the baseline for ratio tests.
+
+The RAP placement problem is NP-hard (the threshold case embeds weighted
+maximum coverage), so this solver only handles small instances; it
+enumerates ``C(n, k)`` candidate subsets with two safeguards:
+
+* candidates that cover no flow are discarded up front (placing there is
+  never strictly better);
+* an explicit work limit aborts instead of hanging on oversized inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import Scenario
+from ..errors import InfeasiblePlacementError
+from ..graphs import NodeId
+from .base import PlacementAlgorithm, register
+
+DEFAULT_WORK_LIMIT = 2_000_000
+
+
+@register("exhaustive")
+class ExhaustiveOptimal(PlacementAlgorithm):
+    """Brute-force optimal placement (for small instances and tests)."""
+
+    name = "exhaustive"
+
+    def __init__(self, work_limit: int = DEFAULT_WORK_LIMIT) -> None:
+        self._work_limit = work_limit
+
+    def select(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Evaluate every candidate subset of size k; return the best.
+
+        Uses the monotonicity identity ``f(min detour over sites) = max
+        over sites of f(detour)`` (the utility is non-increasing) to
+        score each subset as a per-flow maximum over a precomputed
+        site x flow contribution table — no per-subset evaluation
+        machinery, which makes the randomized ratio tests cheap.
+        """
+        useful = [
+            site
+            for site in scenario.candidate_sites
+            if scenario.coverage.covering(site)
+        ]
+        budget = min(k, len(useful))
+        if budget == 0:
+            return []
+        subsets = math.comb(len(useful), budget)
+        if subsets > self._work_limit:
+            raise InfeasiblePlacementError(
+                f"exhaustive search over C({len(useful)}, {budget}) = "
+                f"{subsets} subsets exceeds the work limit {self._work_limit}"
+            )
+        utility = scenario.utility
+        flows = scenario.flows
+        coverage = scenario.coverage
+        flow_count = len(flows)
+        contribution: List[List[float]] = []
+        for site in useful:
+            row = [0.0] * flow_count
+            for entry in coverage.covering(site):
+                flow = flows[entry.flow_index]
+                row[entry.flow_index] = (
+                    utility.probability(entry.detour, flow.attractiveness)
+                    * flow.volume
+                )
+            contribution.append(row)
+        flow_range = range(flow_count)
+        best: Tuple[float, Optional[Sequence[int]]] = (-1.0, None)
+        for subset in itertools.combinations(range(len(useful)), budget):
+            rows = [contribution[i] for i in subset]
+            attracted = sum(max(row[j] for row in rows) for j in flow_range)
+            if attracted > best[0]:
+                best = (attracted, subset)
+        assert best[1] is not None
+        return [useful[i] for i in best[1]]

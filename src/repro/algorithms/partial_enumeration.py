@@ -1,0 +1,90 @@
+"""Partial-enumeration greedy — a dial between greedy and exact.
+
+Classic result (Khuller-Moss-Naor / Nemhauser et al.): enumerate every
+subset of size ``enumerate_size`` as a seed, complete each greedily to
+``k`` sites, and return the best completion.  For monotone submodular
+objectives the guarantee strengthens with the seed size (seed 3 gives
+the clean `1 − 1/e` bound for the budgeted variant); in practice even
+seed 2 repairs most greedy pathologies — including the paper's Fig. 4
+example, where plain greedy locks onto V3 and never recovers.
+
+Cost: ``C(n, enumerate_size)`` greedy completions, so this sits between
+:class:`MarginalGainGreedy` (seed 0) and exact search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import IncrementalEvaluator, Scenario
+from ..errors import InfeasiblePlacementError
+from ..graphs import NodeId
+from .base import PlacementAlgorithm, register
+
+DEFAULT_WORK_LIMIT = 250_000
+
+
+@register("partial-enumeration")
+class PartialEnumerationGreedy(PlacementAlgorithm):
+    """Greedy completions over all small seed subsets."""
+
+    name = "partial-enumeration"
+
+    def __init__(
+        self, enumerate_size: int = 2, work_limit: int = DEFAULT_WORK_LIMIT
+    ) -> None:
+        if enumerate_size < 1:
+            raise InfeasiblePlacementError(
+                f"enumerate_size must be >= 1, got {enumerate_size}"
+            )
+        self._enumerate_size = enumerate_size
+        self._work_limit = work_limit
+
+    def select(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Greedy completions over all seed subsets; return the best."""
+        useful = [
+            site
+            for site in scenario.candidate_sites
+            if scenario.coverage.covering(site)
+        ]
+        if k == 0 or not useful:
+            return []
+        seed_size = min(self._enumerate_size, k, len(useful))
+        seeds = math.comb(len(useful), seed_size)
+        if seeds > self._work_limit:
+            raise InfeasiblePlacementError(
+                f"partial enumeration over C({len(useful)}, {seed_size}) = "
+                f"{seeds} seeds exceeds the work limit {self._work_limit}"
+            )
+        best_sites: Optional[List[NodeId]] = None
+        best_value = -1.0
+        for seed in itertools.combinations(useful, seed_size):
+            sites, value = self._complete(scenario, list(seed), k)
+            if value > best_value:
+                best_sites, best_value = sites, value
+        assert best_sites is not None
+        return best_sites
+
+    def _complete(
+        self, scenario: Scenario, seed: List[NodeId], k: int
+    ) -> Tuple[List[NodeId], float]:
+        evaluator = IncrementalEvaluator(scenario)
+        for site in seed:
+            evaluator.place(site)
+        chosen = list(seed)
+        while len(chosen) < k:
+            best_site: Optional[NodeId] = None
+            best_gain = 0.0
+            for site in scenario.candidate_sites:
+                if evaluator.is_placed(site):
+                    continue
+                gain = evaluator.gain(site)
+                if gain > best_gain:
+                    best_site, best_gain = site, gain
+            if best_site is None:
+                break
+            evaluator.place(best_site)
+            chosen.append(best_site)
+        return chosen, evaluator.attracted

@@ -1,0 +1,51 @@
+"""Analysis tooling: diagnostics, comparisons, terminal charts.
+
+Everything an operator (or a reviewer) needs to interrogate a placement
+beyond its headline number: per-RAP attribution, detour distributions,
+marginal-value curves, head-to-head algorithm sweeps with bootstrap
+confidence intervals, and dependency-free ASCII charts.
+"""
+
+from .charts import line_chart, panel_chart, sparkline
+from .comparison import (
+    Comparison,
+    ComparisonRow,
+    bootstrap_mean_ci,
+    compare_algorithms,
+    paired_win_rate,
+)
+from .diagnostics import (
+    DetourStats,
+    PlacementDiagnostics,
+    detour_histogram,
+    diagnose,
+    render_diagnostics,
+)
+from .robustness import (
+    FailureImpact,
+    VolumeRobustness,
+    failure_impacts,
+    volume_robustness,
+    worst_case_failure,
+)
+
+__all__ = [
+    "Comparison",
+    "ComparisonRow",
+    "DetourStats",
+    "FailureImpact",
+    "PlacementDiagnostics",
+    "VolumeRobustness",
+    "bootstrap_mean_ci",
+    "compare_algorithms",
+    "detour_histogram",
+    "diagnose",
+    "failure_impacts",
+    "line_chart",
+    "paired_win_rate",
+    "panel_chart",
+    "render_diagnostics",
+    "sparkline",
+    "volume_robustness",
+    "worst_case_failure",
+]

@@ -1,0 +1,116 @@
+"""ASCII charts for terminal-native result inspection.
+
+No plotting dependency is available offline, so the reports draw the
+paper's line plots as Unicode charts: one mark per algorithm, k on the
+x-axis, attracted customers on the y-axis.  Good enough to eyeball the
+orderings and crossovers the reproduction is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import ExperimentError
+
+#: Plot marks, assigned to series in insertion order.
+MARKS = "ox*+#@%&"
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline (monotone series read especially well)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return SPARK_LEVELS[0] * len(values)
+    span = high - low
+    return "".join(
+        SPARK_LEVELS[
+            min(
+                len(SPARK_LEVELS) - 1,
+                int((v - low) / span * len(SPARK_LEVELS)),
+            )
+        ]
+        for v in values
+    )
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    xs: Sequence[int],
+    height: int = 12,
+    width_per_point: int = 6,
+    y_label: str = "customers",
+) -> str:
+    """Render several aligned series as an ASCII line chart.
+
+    ``series`` maps name -> y-values (all the same length as ``xs``).
+    Later series overdraw earlier ones on collisions; the legend maps
+    marks back to names.
+    """
+    if not series:
+        raise ExperimentError("nothing to chart")
+    if height < 2:
+        raise ExperimentError(f"chart height must be >= 2, got {height}")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(xs)}:
+        raise ExperimentError(
+            f"series lengths {sorted(lengths)} do not match {len(xs)} xs"
+        )
+    if len(series) > len(MARKS):
+        raise ExperimentError(
+            f"at most {len(MARKS)} series supported, got {len(series)}"
+        )
+
+    all_values = [v for values in series.values() for v in values]
+    low = min(0.0, min(all_values))
+    high = max(all_values)
+    if high == low:
+        high = low + 1.0
+    span = high - low
+
+    columns = len(xs)
+    grid: List[List[str]] = [
+        [" "] * (columns * width_per_point) for _ in range(height)
+    ]
+    # Draw in reverse insertion order so that on cell collisions the
+    # EARLIER series wins — callers list the headline algorithm first.
+    for mark, (name, values) in reversed(
+        list(zip(MARKS, series.items()))
+    ):
+        for i, value in enumerate(values):
+            row = height - 1 - int((value - low) / span * (height - 1))
+            col = i * width_per_point + width_per_point // 2
+            grid[row][col] = mark
+
+    label_width = max(len(f"{high:.1f}"), len(f"{low:.1f}")) + 1
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:.1f}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{low:.1f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * (columns * width_per_point)
+    ticks = " " * (label_width + 2) + "".join(
+        str(x).center(width_per_point) for x in xs
+    )
+    legend = "  ".join(
+        f"{mark}={name}" for mark, name in zip(MARKS, series.keys())
+    )
+    return "\n".join(lines + [axis, ticks, f"  [{y_label}]  {legend}"])
+
+
+def panel_chart(panel, height: int = 12) -> str:
+    """Chart a :class:`~repro.experiments.results.PanelResult`."""
+    from ..experiments.report import display_name
+
+    series = {
+        display_name(name): s.means for name, s in panel.series.items()
+    }
+    return line_chart(series, list(panel.spec.ks), height=height)

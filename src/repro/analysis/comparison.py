@@ -1,0 +1,138 @@
+"""Algorithm comparison and uncertainty quantification.
+
+:func:`compare_algorithms` runs a head-to-head sweep on one scenario;
+:func:`bootstrap_mean_ci` puts confidence intervals on averaged series
+(the paper averages 1,000 shop draws — with fewer draws you want to know
+how settled the ordering is).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms import algorithm_by_name
+from ..core import Scenario, evaluate_placement
+from ..errors import ExperimentError
+from ..graphs import NodeId
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One algorithm's sweep on one scenario."""
+
+    algorithm: str
+    ks: Tuple[int, ...]
+    values: Tuple[float, ...]
+    sites_at_max_k: Tuple[NodeId, ...]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Head-to-head results for several algorithms on one scenario."""
+
+    rows: Tuple[ComparisonRow, ...]
+
+    def winner_at(self, k: int) -> str:
+        """Algorithm with the highest value at budget k."""
+        best_row = None
+        best_value = float("-inf")
+        for row in self.rows:
+            try:
+                value = row.values[row.ks.index(k)]
+            except ValueError:
+                continue
+            if value > best_value:
+                best_row, best_value = row, value
+        if best_row is None:
+            raise ExperimentError(f"no algorithm has k={k}")
+        return best_row.algorithm
+
+    def dominance_counts(self) -> Dict[str, int]:
+        """How many (k) points each algorithm wins (ties -> first)."""
+        counts = {row.algorithm: 0 for row in self.rows}
+        if not self.rows:
+            return counts
+        for k in self.rows[0].ks:
+            counts[self.winner_at(k)] += 1
+        return counts
+
+
+def compare_algorithms(
+    scenario: Scenario,
+    algorithms: Sequence[str],
+    ks: Sequence[int],
+    seed: int = 0,
+) -> Comparison:
+    """Run ``algorithms`` across ``ks`` on one fixed scenario.
+
+    Selections are made once at ``max(ks)`` and prefixed (all registered
+    algorithms used here are prefix-consistent; see
+    :data:`repro.experiments.runner.PREFIX_CONSISTENT`).
+    """
+    if not ks or not algorithms:
+        raise ExperimentError("need at least one algorithm and one k")
+    max_k = min(max(ks), len(scenario.candidate_sites))
+    rows: List[ComparisonRow] = []
+    for name in algorithms:
+        kwargs = {"seed": seed} if name == "random" else {}
+        algorithm = algorithm_by_name(name, **kwargs)
+        sites = algorithm.select(scenario, max_k)
+        values = tuple(
+            evaluate_placement(scenario, sites[: min(k, len(sites))]).attracted
+            for k in ks
+        )
+        rows.append(
+            ComparisonRow(
+                algorithm=name,
+                ks=tuple(ks),
+                values=values,
+                sites_at_max_k=tuple(sites),
+            )
+        )
+    return Comparison(rows=tuple(rows))
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    rng: Optional[random.Random] = None,
+) -> Tuple[float, float, float]:
+    """``(mean, low, high)`` percentile-bootstrap CI of the mean."""
+    if not values:
+        raise ExperimentError("cannot bootstrap zero values")
+    if not (0 < confidence < 1):
+        raise ExperimentError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    rng = rng or random.Random(0)
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, mean, mean
+    means = []
+    for _ in range(resamples):
+        sample = [values[rng.randrange(n)] for _ in range(n)]
+        means.append(sum(sample) / n)
+    means.sort()
+    alpha = (1 - confidence) / 2
+    low = means[int(alpha * resamples)]
+    high = means[min(resamples - 1, int((1 - alpha) * resamples))]
+    return mean, low, high
+
+
+def paired_win_rate(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Fraction of paired repetitions where ``first`` beats ``second``.
+
+    A cheap, assumption-free effect measure for "algorithm A vs B over
+    shop draws"; 0.5 means a coin flip.
+    """
+    if len(first) != len(second) or not first:
+        raise ExperimentError("need two equal-length non-empty sequences")
+    wins = sum(1 for a, b in zip(first, second) if a > b)
+    ties = sum(1 for a, b in zip(first, second) if a == b)
+    return (wins + 0.5 * ties) / len(first)

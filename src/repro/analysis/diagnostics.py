@@ -1,0 +1,170 @@
+"""Placement diagnostics: what a deployed placement actually does.
+
+The placement algorithms return an attracted-customer total;
+operators deciding where to *rent roof space* need more: which RAPs pull
+their weight, how far the attracted drivers detour, and how much value
+each additional RAP added.  :func:`diagnose` computes all of it from a
+scenario + placement pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import Placement, Scenario, evaluate_placement
+from ..graphs import INFINITY, NodeId
+
+
+@dataclass(frozen=True)
+class DetourStats:
+    """Distribution of detour distances over covered flows."""
+
+    count: int
+    mean: float
+    median: float
+    max: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "DetourStats":
+        """Build the distribution summary from raw detour values."""
+        if not values:
+            return cls(count=0, mean=0.0, median=0.0, max=0.0)
+        ordered = sorted(values)
+        n = len(ordered)
+        median = (
+            ordered[n // 2]
+            if n % 2
+            else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+        )
+        return cls(
+            count=n,
+            mean=sum(ordered) / n,
+            median=median,
+            max=ordered[-1],
+        )
+
+
+@dataclass(frozen=True)
+class PlacementDiagnostics:
+    """Everything :func:`diagnose` measures."""
+
+    placement: Placement
+    covered_flow_fraction: float
+    """Flows with at least one RAP on their path / all flows."""
+
+    covered_volume_fraction: float
+    """Traffic volume of covered flows / total volume."""
+
+    attracted_fraction: float
+    """Attracted customers / (alpha-weighted total volume ceiling)."""
+
+    detours: DetourStats
+    """Detour distribution over covered flows."""
+
+    rap_contributions: Dict[NodeId, float]
+    """Customers attributed to each RAP (serving-RAP attribution)."""
+
+    idle_raps: Tuple[NodeId, ...]
+    """RAPs that serve no flow at all."""
+
+    marginal_curve: Tuple[float, ...]
+    """Attracted customers after each prefix of the placement order —
+    the value-per-RAP curve an operator would use to trim the budget."""
+
+    def efficiency(self) -> float:
+        """Attracted customers per non-idle RAP (0 when none active)."""
+        active = self.placement.k - len(self.idle_raps)
+        if active == 0:
+            return 0.0
+        return self.placement.attracted / active
+
+
+def diagnose(scenario: Scenario, placement: Placement) -> PlacementDiagnostics:
+    """Compute full diagnostics for ``placement`` on ``scenario``."""
+    flows = scenario.flows
+    total_volume = sum(flow.volume for flow in flows)
+    ceiling = sum(flow.volume * flow.attractiveness for flow in flows)
+
+    covered_flows = 0
+    covered_volume = 0.0
+    detour_values: List[float] = []
+    for flow, outcome in zip(flows, placement.outcomes):
+        if outcome.covered:
+            covered_flows += 1
+            covered_volume += flow.volume
+            if outcome.detour != INFINITY:
+                detour_values.append(outcome.detour)
+
+    contributions = placement.customers_by_rap()
+    idle = tuple(
+        rap for rap in placement.raps if contributions.get(rap, 0.0) == 0.0
+    )
+    curve = tuple(
+        evaluate_placement(scenario, placement.raps[: i + 1]).attracted
+        for i in range(placement.k)
+    )
+    return PlacementDiagnostics(
+        placement=placement,
+        covered_flow_fraction=covered_flows / len(flows) if flows else 0.0,
+        covered_volume_fraction=(
+            covered_volume / total_volume if total_volume else 0.0
+        ),
+        attracted_fraction=(
+            placement.attracted / ceiling if ceiling else 0.0
+        ),
+        detours=DetourStats.from_values(detour_values),
+        rap_contributions=contributions,
+        idle_raps=idle,
+        marginal_curve=curve,
+    )
+
+
+def detour_histogram(
+    placement: Placement, bin_width: float, max_bins: int = 32
+) -> List[Tuple[float, int]]:
+    """Histogram of covered-flow detours: ``[(bin_start, count), ...]``.
+
+    Flows beyond ``max_bins * bin_width`` are clamped into the last bin.
+    """
+    if bin_width <= 0:
+        raise ValueError(f"bin width must be positive, got {bin_width}")
+    counts: Dict[int, int] = {}
+    for outcome in placement.outcomes:
+        if not outcome.covered or outcome.detour == INFINITY:
+            continue
+        index = min(int(outcome.detour / bin_width), max_bins - 1)
+        counts[index] = counts.get(index, 0) + 1
+    if not counts:
+        return []
+    top = max(counts)
+    return [(i * bin_width, counts.get(i, 0)) for i in range(top + 1)]
+
+
+def render_diagnostics(diagnostics: PlacementDiagnostics) -> str:
+    """Human-readable multi-line summary."""
+    p = diagnostics.placement
+    lines = [
+        p.summary(),
+        f"  covered flows  : {diagnostics.covered_flow_fraction:6.1%}"
+        f"  (volume {diagnostics.covered_volume_fraction:6.1%})",
+        f"  attracted      : {diagnostics.attracted_fraction:6.1%} of the "
+        "alpha-weighted ceiling",
+        f"  detours        : mean {diagnostics.detours.mean:,.0f} ft, "
+        f"median {diagnostics.detours.median:,.0f} ft, "
+        f"max {diagnostics.detours.max:,.0f} ft over "
+        f"{diagnostics.detours.count} covered flows",
+        f"  per-active-RAP : {diagnostics.efficiency():,.2f} customers/day",
+    ]
+    if diagnostics.idle_raps:
+        lines.append(f"  idle RAPs      : {list(diagnostics.idle_raps)!r}")
+    if diagnostics.marginal_curve:
+        deltas = [diagnostics.marginal_curve[0]] + [
+            b - a
+            for a, b in zip(
+                diagnostics.marginal_curve, diagnostics.marginal_curve[1:]
+            )
+        ]
+        formatted = ", ".join(f"{d:,.2f}" for d in deltas)
+        lines.append(f"  marginal gains : {formatted}")
+    return "\n".join(lines)

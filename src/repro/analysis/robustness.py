@@ -1,0 +1,158 @@
+"""Robustness analysis: demand uncertainty and RAP failures.
+
+The scenario's flow volumes come from *historical* traffic ("obtained
+from the historical record", paper Section I) — tomorrow's demand will
+differ.  And physical RAPs fail.  Two questions an operator asks before
+committing:
+
+* :func:`volume_robustness` — re-draw flow volumes with multiplicative
+  noise many times; how much does the placement's value move, and would
+  the chosen sites change?
+* :func:`failure_impacts` / :func:`worst_case_failure` — remove each
+  RAP in turn and re-evaluate.  Note this is *not* the per-RAP
+  attribution from the diagnostics: when a RAP dies, surviving RAPs
+  absorb some of its flows (they were second-best), so the true loss is
+  usually smaller than the attribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Placement, Scenario, TrafficFlow, evaluate_placement
+from ..errors import ExperimentError
+from ..graphs import NodeId
+
+
+@dataclass(frozen=True)
+class VolumeRobustness:
+    """Outcome of :func:`volume_robustness`."""
+
+    nominal_value: float
+    mean_value: float
+    worst_value: float
+    best_value: float
+    site_stability: float
+    """Mean Jaccard similarity between the nominal placement's sites and
+    the sites re-optimized under each perturbed demand (1.0 = the
+    placement is always re-chosen)."""
+
+    resamples: int
+
+
+def _perturbed_scenario(
+    scenario: Scenario, rng: random.Random, volume_noise: float
+) -> Scenario:
+    flows: List[TrafficFlow] = []
+    for flow in scenario.flows:
+        factor = max(0.05, rng.gauss(1.0, volume_noise))
+        flows.append(
+            TrafficFlow(
+                path=flow.path,
+                volume=flow.volume * factor,
+                attractiveness=flow.attractiveness,
+                label=flow.label,
+            )
+        )
+    return Scenario(
+        scenario.network,
+        flows,
+        scenario.shop,
+        scenario.utility,
+        candidate_sites=scenario.candidate_sites,
+    )
+
+
+def volume_robustness(
+    scenario: Scenario,
+    placement: Placement,
+    algorithm=None,
+    volume_noise: float = 0.25,
+    resamples: int = 20,
+    seed: int = 0,
+) -> VolumeRobustness:
+    """Stress a placement against multiplicative demand noise.
+
+    ``algorithm`` (optional, any object with ``select(scenario, k)``)
+    re-optimizes under each perturbed demand to measure *site
+    stability*; when omitted only the value spread is computed and
+    stability is reported as 1.0.
+    """
+    if resamples < 1:
+        raise ExperimentError(f"need at least one resample, got {resamples}")
+    if volume_noise < 0:
+        raise ExperimentError(f"noise must be >= 0, got {volume_noise}")
+    rng = random.Random(seed)
+    values: List[float] = []
+    stabilities: List[float] = []
+    nominal_sites = set(placement.raps)
+    for _ in range(resamples):
+        perturbed = _perturbed_scenario(scenario, rng, volume_noise)
+        values.append(
+            evaluate_placement(perturbed, placement.raps).attracted
+        )
+        if algorithm is not None and nominal_sites:
+            reoptimized = set(algorithm.select(perturbed, placement.k))
+            union = nominal_sites | reoptimized
+            stabilities.append(
+                len(nominal_sites & reoptimized) / len(union) if union else 1.0
+            )
+    return VolumeRobustness(
+        nominal_value=placement.attracted,
+        mean_value=sum(values) / len(values),
+        worst_value=min(values),
+        best_value=max(values),
+        site_stability=(
+            sum(stabilities) / len(stabilities) if stabilities else 1.0
+        ),
+        resamples=resamples,
+    )
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Effect of losing one RAP."""
+
+    rap: NodeId
+    remaining_value: float
+    loss: float
+    attributed: float
+    """The diagnostics-style attribution (serving-RAP customers); the
+    true ``loss`` is <= this whenever surviving RAPs absorb flows."""
+
+    @property
+    def absorbed(self) -> float:
+        """Customers rescued by the surviving RAPs."""
+        return self.attributed - self.loss
+
+
+def failure_impacts(
+    scenario: Scenario, placement: Placement
+) -> List[FailureImpact]:
+    """Re-evaluate the placement with each RAP removed in turn."""
+    attributed = placement.customers_by_rap()
+    impacts: List[FailureImpact] = []
+    for rap in placement.raps:
+        survivors = [site for site in placement.raps if site != rap]
+        remaining = evaluate_placement(scenario, survivors).attracted
+        impacts.append(
+            FailureImpact(
+                rap=rap,
+                remaining_value=remaining,
+                loss=placement.attracted - remaining,
+                attributed=attributed.get(rap, 0.0),
+            )
+        )
+    return impacts
+
+
+def worst_case_failure(
+    scenario: Scenario, placement: Placement
+) -> Optional[FailureImpact]:
+    """The single RAP whose loss hurts the most (None for empty)."""
+    impacts = failure_impacts(scenario, placement)
+    if not impacts:
+        return None
+    return max(impacts, key=lambda impact: impact.loss)

@@ -1,0 +1,446 @@
+"""Command-line interface: ``rapflow`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list-algorithms``
+    Print every registered placement algorithm.
+``generate-trace``
+    Generate a synthetic Dublin or Seattle bus trace and write it to CSV.
+``run-figure``
+    Run one of the paper's evaluation figures (fig10..fig13) and print
+    the result tables; optionally archive them as JSON.
+``place``
+    Solve one placement instance on a generated trace and print the
+    chosen intersections (``--diagnose`` adds full diagnostics).
+``render``
+    Draw a city map or a placement as SVG.
+``validate``
+    Lint a scenario (unreachable shop, dead thresholds, useless sites).
+``check-claims``
+    Run every figure and check the paper's shape claims (exit 0 iff all
+    hold).
+``sweep``
+    Sensitivity sweep over the threshold ``D``, the RAP budget, or the
+    attractiveness ``alpha``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .algorithms import algorithm_by_name, registered_algorithms
+from .core import Scenario, utility_by_name
+from .errors import ReproError
+from .experiments import (
+    TraceProvider,
+    available_figures,
+    build_figure,
+    classify_intersections,
+    locations_of_class,
+    LocationClass,
+    render_figure,
+    run_figure,
+    save_figure_json,
+)
+from .traces import (
+    DUBLIN_SCHEMA,
+    SEATTLE_SCHEMA,
+    write_trace_csv,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rapflow",
+        description=(
+            "Roadside advertisement dissemination in vehicular CPS "
+            "(reproduction of Zheng & Wu, ICDCS 2015)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"rapflow {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list-algorithms", help="print registered placement algorithms"
+    )
+
+    trace = commands.add_parser(
+        "generate-trace", help="generate a synthetic bus trace CSV"
+    )
+    trace.add_argument("--city", choices=("dublin", "seattle"), required=True)
+    trace.add_argument("--out", required=True, help="output CSV path")
+    trace.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+        help="instance size (default: paper)",
+    )
+    trace.add_argument("--seed", type=int, default=2015)
+
+    figure = commands.add_parser(
+        "run-figure", help="run one of the paper's evaluation figures"
+    )
+    figure.add_argument("figure", choices=available_figures())
+    figure.add_argument(
+        "--repetitions", type=int, default=20,
+        help="random shop draws per panel (paper: 1000; default: 20)",
+    )
+    figure.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+        help="trace size (default: paper)",
+    )
+    figure.add_argument("--json", help="also archive the results as JSON")
+    figure.add_argument(
+        "--chart", action="store_true",
+        help="also draw each panel as an ASCII line chart",
+    )
+    figure.add_argument(
+        "--svg-dir",
+        help="also write one paper-style SVG plot per panel to this dir",
+    )
+    figure.add_argument("--seed", type=int, default=42)
+
+    place = commands.add_parser(
+        "place", help="solve one placement instance on a generated trace"
+    )
+    place.add_argument("--city", choices=("dublin", "seattle"), default="dublin")
+    place.add_argument(
+        "--algorithm", choices=sorted(registered_algorithms()),
+        default="composite-greedy",
+    )
+    place.add_argument("--k", type=int, default=5, help="number of RAPs")
+    place.add_argument(
+        "--utility", default="linear",
+        help="threshold | linear | sqrt (default: linear)",
+    )
+    place.add_argument(
+        "--threshold", type=float, default=None,
+        help="detour threshold D in feet (default: city-appropriate)",
+    )
+    place.add_argument(
+        "--shop", choices=[c.value for c in LocationClass], default="city",
+        help="shop location class (default: city)",
+    )
+    place.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+    )
+    place.add_argument("--seed", type=int, default=42)
+    place.add_argument(
+        "--diagnose", action="store_true",
+        help="print full placement diagnostics and a sweep chart",
+    )
+
+    render = commands.add_parser(
+        "render", help="render a city (and optionally a placement) as SVG"
+    )
+    render.add_argument("--city", choices=("dublin", "seattle"), required=True)
+    render.add_argument("--out", required=True, help="output SVG path")
+    render.add_argument(
+        "--k", type=int, default=0,
+        help="also place k RAPs with composite greedy (0 = map only)",
+    )
+    render.add_argument("--threshold", type=float, default=None)
+    render.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+    )
+    render.add_argument("--seed", type=int, default=42)
+
+    validate = commands.add_parser(
+        "validate", help="lint a scenario (shop/threshold/site sanity)"
+    )
+    validate.add_argument("--city", choices=("dublin", "seattle"),
+                          default="dublin")
+    validate.add_argument("--utility", default="linear")
+    validate.add_argument("--threshold", type=float, default=None)
+    validate.add_argument(
+        "--shop", choices=[c.value for c in LocationClass], default="city",
+    )
+    validate.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+    )
+    validate.add_argument("--seed", type=int, default=42)
+
+    claims = commands.add_parser(
+        "check-claims",
+        help="run every figure and check the paper's shape claims",
+    )
+    claims.add_argument(
+        "--repetitions", type=int, default=10,
+        help="shop draws per panel (default: 10)",
+    )
+    claims.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+    )
+    claims.add_argument("--seed", type=int, default=42)
+
+    sweep = commands.add_parser(
+        "sweep", help="sensitivity sweep (threshold / budget / alpha)"
+    )
+    sweep.add_argument(
+        "parameter", choices=("threshold", "budget", "alpha"),
+    )
+    sweep.add_argument("--city", choices=("dublin", "seattle"),
+                       default="dublin")
+    sweep.add_argument("--utility", default="linear")
+    sweep.add_argument("--k", type=int, default=5)
+    sweep.add_argument(
+        "--values", default=None,
+        help="comma-separated sweep values (defaults per parameter)",
+    )
+    sweep.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+    )
+    sweep.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_list_algorithms() -> int:
+    for name in registered_algorithms():
+        print(name)
+    return 0
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    provider = TraceProvider(scale=args.scale, seed=args.seed)
+    bundle = provider.get(args.city)
+    schema = DUBLIN_SCHEMA if args.city == "dublin" else SEATTLE_SCHEMA
+    rows = write_trace_csv(bundle.trace.records, args.out, schema)
+    print(
+        f"wrote {rows} GPS records for {len(bundle.trace.patterns)} "
+        f"journey patterns to {args.out}"
+    )
+    return 0
+
+
+def _cmd_run_figure(args: argparse.Namespace) -> int:
+    spec = build_figure(
+        args.figure, repetitions=args.repetitions, seed=args.seed
+    )
+    provider = TraceProvider(scale=args.scale)
+    result = run_figure(spec, provider)
+    print(render_figure(result))
+    if args.chart:
+        from .analysis import panel_chart
+
+        for panel_id, panel in result.panels.items():
+            print(f"\n--- {panel_id} ---")
+            print(panel_chart(panel))
+    if args.svg_dir:
+        import pathlib
+
+        from .viz import panel_plot, save_svg
+
+        directory = pathlib.Path(args.svg_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for panel_id, panel in result.panels.items():
+            path = directory / f"{panel_id}.svg"
+            save_svg(panel_plot(panel), path)
+        print(f"\nwrote {len(result.panels)} SVG plots to {directory}")
+    if args.json:
+        save_figure_json(result, args.json)
+        print(f"\narchived results to {args.json}")
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    provider = TraceProvider(scale=args.scale)
+    bundle = provider.get(args.city)
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 20_000.0 if args.city == "dublin" else 2_500.0
+    utility = utility_by_name(args.utility, threshold)
+    classes = classify_intersections(bundle.network, bundle.flows)
+    location = LocationClass(args.shop)
+    pool = locations_of_class(classes, location)
+    import random
+
+    shop = random.Random(args.seed).choice(pool)
+    scenario = Scenario(bundle.network, bundle.flows, shop, utility)
+    kwargs = {"seed": args.seed} if args.algorithm == "random" else {}
+    algorithm = algorithm_by_name(args.algorithm, **kwargs)
+    placement = algorithm.place(scenario, args.k)
+    print(f"city      : {args.city} ({bundle.network})")
+    print(f"shop      : {shop!r} ({location.value})")
+    print(f"utility   : {utility!r}")
+    print(f"algorithm : {args.algorithm}")
+    print(f"placement : {list(placement.raps)}")
+    print(f"attracted : {placement.attracted:.4f} customers/day")
+    print(
+        f"coverage  : {placement.covered_flow_count}/"
+        f"{len(placement.outcomes)} flows"
+    )
+    if args.diagnose:
+        from .analysis import diagnose, render_diagnostics, sparkline
+
+        diagnostics = diagnose(scenario, placement)
+        print()
+        print(render_diagnostics(diagnostics))
+        print(
+            f"  value curve    : {sparkline(diagnostics.marginal_curve)} "
+            f"(k = 1..{placement.k})"
+        )
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .algorithms import CompositeGreedy
+    from .viz import render_network, render_placement, save_svg
+
+    provider = TraceProvider(scale=args.scale)
+    bundle = provider.get(args.city)
+    if args.k > 0:
+        threshold = args.threshold
+        if threshold is None:
+            threshold = 20_000.0 if args.city == "dublin" else 2_500.0
+        utility = utility_by_name("linear", threshold)
+        classes = classify_intersections(bundle.network, bundle.flows)
+        import random
+
+        shop = random.Random(args.seed).choice(
+            locations_of_class(classes, LocationClass.CITY)
+        )
+        scenario = Scenario(bundle.network, bundle.flows, shop, utility)
+        k = min(args.k, len(scenario.candidate_sites))
+        placement = CompositeGreedy().place(scenario, k)
+        svg = render_placement(scenario, placement)
+    else:
+        svg = render_network(
+            bundle.network,
+            bundle.flows,
+            caption=f"{args.city}: streets + bus flows",
+        )
+    save_svg(svg, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .core import has_errors, lint_scenario
+
+    provider = TraceProvider(scale=args.scale)
+    bundle = provider.get(args.city)
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 20_000.0 if args.city == "dublin" else 2_500.0
+    utility = utility_by_name(args.utility, threshold)
+    classes = classify_intersections(bundle.network, bundle.flows)
+    import random
+
+    shop = random.Random(args.seed).choice(
+        locations_of_class(classes, LocationClass(args.shop))
+    )
+    scenario = Scenario(bundle.network, bundle.flows, shop, utility)
+    issues = lint_scenario(scenario)
+    print(f"scenario: {scenario}")
+    if not issues:
+        print("no issues found")
+        return 0
+    for issue in issues:
+        print(f"  {issue}")
+    return 1 if has_errors(issues) else 0
+
+
+def _cmd_check_claims(args: argparse.Namespace) -> int:
+    from .experiments import check_all, render_claims
+
+    provider = TraceProvider(scale=args.scale)
+    results = {}
+    for figure_id in available_figures():
+        spec = build_figure(
+            figure_id, repetitions=args.repetitions, seed=args.seed
+        )
+        results[figure_id] = run_figure(spec, provider)
+        print(f"ran {figure_id}")
+    claims = check_all(results)
+    print()
+    print(render_claims(claims))
+    return 0 if all(claim.holds for claim in claims) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import random
+
+    from .analysis import sparkline
+    from .experiments import (
+        sweep_attractiveness,
+        sweep_budget,
+        sweep_threshold,
+    )
+
+    provider = TraceProvider(scale=args.scale)
+    bundle = provider.get(args.city)
+    classes = classify_intersections(bundle.network, bundle.flows)
+    shop = random.Random(args.seed).choice(
+        locations_of_class(classes, LocationClass.CITY)
+    )
+    base_threshold = 20_000.0 if args.city == "dublin" else 2_500.0
+    if args.values:
+        values = [float(v) for v in args.values.split(",")]
+    elif args.parameter == "threshold":
+        values = [base_threshold * f for f in (0.25, 0.5, 1.0, 2.0, 4.0)]
+    elif args.parameter == "budget":
+        values = list(range(1, 11))
+    else:
+        values = [0.1, 0.25, 0.5, 0.75, 1.0]
+
+    if args.parameter == "threshold":
+        sweep = sweep_threshold(
+            bundle.network, list(bundle.flows), shop, args.utility,
+            values, args.k,
+        )
+    elif args.parameter == "budget":
+        scenario = Scenario(
+            bundle.network, bundle.flows, shop,
+            utility_by_name(args.utility, base_threshold),
+        )
+        sweep = sweep_budget(scenario, [int(v) for v in values])
+    else:
+        sweep = sweep_attractiveness(
+            bundle.network, list(bundle.flows), shop, args.utility,
+            base_threshold, values, args.k,
+        )
+    print(f"shop at {shop!r} ({args.city}); sweeping {sweep.parameter} "
+          f"with {sweep.algorithm}")
+    width = max(len(f"{x:g}") for x in sweep.xs)
+    for x, value in zip(sweep.xs, sweep.values):
+        print(f"  {x:>{width}g}  ->  {value:10.4f} customers/day")
+    print(f"  trend: {sparkline(sweep.values)}")
+    peak_x, peak_v = sweep.peak
+    print(f"  peak at {peak_x:g} ({peak_v:.4f}); 95% saturation at "
+          f"{sweep.saturation_x():g}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list-algorithms":
+            return _cmd_list_algorithms()
+        if args.command == "generate-trace":
+            return _cmd_generate_trace(args)
+        if args.command == "run-figure":
+            return _cmd_run_figure(args)
+        if args.command == "place":
+            return _cmd_place(args)
+        if args.command == "render":
+            return _cmd_render(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "check-claims":
+            return _cmd_check_claims(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

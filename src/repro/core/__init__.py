@@ -1,0 +1,61 @@
+"""Core model: flows, utilities, detours, scenarios, evaluation.
+
+This subpackage implements the paper's problem formulation (Section III-A)
+— everything an algorithm needs to know about *one* instance of the RAP
+placement problem.  The algorithms themselves live in
+:mod:`repro.algorithms`; the Manhattan-grid special case in
+:mod:`repro.manhattan`.
+"""
+
+from .coverage import CoverageEntry, CoverageIndex
+from .detour import DETOUR_MODES, DetourCalculator
+from .evaluation import (
+    IncrementalEvaluator,
+    attracted_customers,
+    evaluate_placement,
+)
+from .flow import TrafficFlow, flow_between, total_volume
+from .placement import FlowOutcome, Placement
+from .scenario import Scenario
+from .validation import (
+    Severity,
+    ValidationIssue,
+    has_errors,
+    lint_scenario,
+)
+from .utility import (
+    PAPER_ALPHA,
+    CustomUtility,
+    LinearUtility,
+    SqrtUtility,
+    ThresholdUtility,
+    UtilityFunction,
+    utility_by_name,
+)
+
+__all__ = [
+    "CoverageEntry",
+    "CoverageIndex",
+    "CustomUtility",
+    "DETOUR_MODES",
+    "DetourCalculator",
+    "FlowOutcome",
+    "IncrementalEvaluator",
+    "LinearUtility",
+    "PAPER_ALPHA",
+    "Placement",
+    "Scenario",
+    "Severity",
+    "SqrtUtility",
+    "ThresholdUtility",
+    "TrafficFlow",
+    "UtilityFunction",
+    "ValidationIssue",
+    "attracted_customers",
+    "evaluate_placement",
+    "flow_between",
+    "has_errors",
+    "lint_scenario",
+    "total_volume",
+    "utility_by_name",
+]

@@ -1,0 +1,92 @@
+"""Coverage index: which intersection reaches which flow, at what detour.
+
+The placement algorithms never touch the graph directly — they operate on
+a :class:`CoverageIndex`, which materializes, for every intersection ``v``,
+the list of flows whose fixed path passes ``v`` together with the detour
+distance a RAP at ``v`` would impose on them.  Building the index costs
+one pass over all flow paths (plus the Dijkstra fields of the
+:class:`~repro.core.detour.DetourCalculator`), after which greedy steps
+are pure array work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..graphs import INFINITY, NodeId
+from .detour import DetourCalculator
+from .flow import TrafficFlow
+
+
+@dataclass(frozen=True)
+class CoverageEntry:
+    """One (intersection, flow) incidence."""
+
+    flow_index: int
+    detour: float
+
+
+class CoverageIndex:
+    """Incidence structure between candidate intersections and flows.
+
+    ``index.covering(v)`` lists the flows a RAP at ``v`` would reach (the
+    flow passes ``v``) with the corresponding detour distance; entries
+    with infinite detour (shop unreachable) are dropped at build time.
+    """
+
+    def __init__(
+        self, flows: Sequence[TrafficFlow], calculator: DetourCalculator
+    ) -> None:
+        self._flows: Tuple[TrafficFlow, ...] = tuple(flows)
+        self._calculator = calculator
+        self._by_node: Dict[NodeId, List[CoverageEntry]] = {}
+        self._by_flow: List[List[Tuple[NodeId, float]]] = []
+        for flow_index, flow in enumerate(self._flows):
+            per_flow: List[Tuple[NodeId, float]] = []
+            for node, detour in calculator.detours_along(flow):
+                if detour == INFINITY:
+                    continue
+                per_flow.append((node, detour))
+                self._by_node.setdefault(node, []).append(
+                    CoverageEntry(flow_index=flow_index, detour=detour)
+                )
+            self._by_flow.append(per_flow)
+
+    @property
+    def flows(self) -> Tuple[TrafficFlow, ...]:
+        """The indexed traffic flows, in input order."""
+        return self._flows
+
+    @property
+    def flow_count(self) -> int:
+        """Number of indexed flows."""
+        return len(self._flows)
+
+    @property
+    def calculator(self) -> DetourCalculator:
+        """The detour calculator the index was built from."""
+        return self._calculator
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Intersections that cover at least one flow."""
+        return iter(self._by_node)
+
+    def covering(self, node: NodeId) -> Sequence[CoverageEntry]:
+        """Flows reachable from a RAP at ``node`` (may be empty)."""
+        return self._by_node.get(node, ())
+
+    def options_for(self, flow_index: int) -> Sequence[Tuple[NodeId, float]]:
+        """``(node, detour)`` pairs along one flow's path (finite only)."""
+        return self._by_flow[flow_index]
+
+    def best_possible_detour(self, flow_index: int) -> float:
+        """Smallest detour any single RAP can give this flow."""
+        options = self._by_flow[flow_index]
+        if not options:
+            return INFINITY
+        return min(detour for _, detour in options)
+
+    def incidence_count(self) -> int:
+        """Total number of (node, flow) incidences — the index's size."""
+        return sum(len(entries) for entries in self._by_node.values())

@@ -1,0 +1,181 @@
+"""Detour-distance computation (paper Fig. 3).
+
+For a driver of flow ``i -> j`` who receives an advertisement at
+intersection ``v``, the detour distance is
+
+    ``d(v, flow) = dist(v, shop) + dist(shop, j) - dist(v, j)``
+
+where the three terms are the paper's ``d'``, ``d''`` and ``d'''``.
+
+:class:`DetourCalculator` computes this with three families of Dijkstra
+fields instead of the paper's ``O(|V|^3)`` all-pairs step:
+
+* one reverse field anchored at the shop  -> ``dist(v, shop)``;
+* one forward field anchored at the shop  -> ``dist(shop, j)``;
+* one reverse field per *distinct flow destination*  -> ``dist(v, j)``
+  (cached; real workloads share destinations heavily).
+
+Two modes are supported for ``d'''``:
+
+* ``"shortest"`` (default, the paper's model) — the true shortest
+  distance from ``v`` to ``j``;
+* ``"along-path"`` — the remaining length of the flow's fixed path, an
+  ablation for map-matched paths that are not perfectly shortest.  Detours
+  are clamped at zero in this mode (driving via the shop can only add
+  distance in the paper's model, but a non-shortest fixed path can make
+  the difference negative).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import InvalidScenarioError
+from ..graphs import (
+    INFINITY,
+    DistanceField,
+    NodeId,
+    RoadNetwork,
+    distances_from,
+    distances_to_target,
+)
+from .flow import TrafficFlow
+
+DETOUR_MODES = ("shortest", "along-path")
+
+
+class DetourCalculator:
+    """Per-shop detour-distance engine.
+
+    Thread-compatible for reads after warm-up; destination fields are
+    cached lazily on first use.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        shop: NodeId,
+        mode: str = "shortest",
+    ) -> None:
+        if shop not in network:
+            raise InvalidScenarioError(f"shop node {shop!r} is not on the network")
+        if mode not in DETOUR_MODES:
+            raise InvalidScenarioError(
+                f"unknown detour mode {mode!r}; expected one of {DETOUR_MODES}"
+            )
+        self._network = network
+        self._shop = shop
+        self._mode = mode
+        self._to_shop: DistanceField = distances_to_target(network, shop)
+        self._from_shop: DistanceField = distances_from(network, shop)
+        self._to_destination: Dict[NodeId, DistanceField] = {}
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The road network distances are computed on."""
+        return self._network
+
+    @property
+    def shop(self) -> NodeId:
+        """The shop intersection this calculator is anchored at."""
+        return self._shop
+
+    @property
+    def mode(self) -> str:
+        """Detour mode: 'shortest' (paper) or 'along-path'."""
+        return self._mode
+
+    def distance_to_shop(self, node: NodeId) -> float:
+        """``d' = dist(node, shop)`` (inf when the shop is unreachable)."""
+        return self._to_shop[node]
+
+    def distance_from_shop(self, node: NodeId) -> float:
+        """``d'' = dist(shop, node)``."""
+        return self._from_shop[node]
+
+    def _destination_field(self, destination: NodeId) -> DistanceField:
+        field = self._to_destination.get(destination)
+        if field is None:
+            field = distances_to_target(self._network, destination)
+            self._to_destination[destination] = field
+        return field
+
+    def warm_up(self, flows: List[TrafficFlow]) -> None:
+        """Precompute destination fields for ``flows`` eagerly.
+
+        Optional; useful to front-load cost before timing a placement
+        algorithm.
+        """
+        for flow in flows:
+            self._destination_field(flow.destination)
+
+    def detour(self, node: NodeId, flow: TrafficFlow) -> float:
+        """Detour distance if flow ``flow`` receives the ad at ``node``.
+
+        ``inf`` when the shop or the destination is unreachable from
+        ``node`` (one-way streets can cause either).  The caller is
+        responsible for only asking about nodes on the flow's path —
+        the value is geometrically meaningful only there.
+        """
+        d_to_shop = self._to_shop[node]
+        if d_to_shop == INFINITY:
+            return INFINITY
+        d_from_shop = self._from_shop[flow.destination]
+        if d_from_shop == INFINITY:
+            return INFINITY
+        if self._mode == "shortest":
+            d_direct = self._destination_field(flow.destination)[node]
+        else:
+            d_direct = self._remaining_path_length(node, flow)
+        if d_direct == INFINITY:
+            return INFINITY
+        return max(0.0, d_to_shop + d_from_shop - d_direct)
+
+    def _remaining_path_length(self, node: NodeId, flow: TrafficFlow) -> float:
+        try:
+            index = flow.path.index(node)
+        except ValueError:
+            return INFINITY
+        return self._network.path_length(flow.path[index:])
+
+    def detours_along(self, flow: TrafficFlow) -> Iterator[Tuple[NodeId, float]]:
+        """``(node, detour)`` for every intersection on the flow's path."""
+        if self._mode == "shortest":
+            d_from_shop = self._from_shop[flow.destination]
+            field = self._destination_field(flow.destination)
+            for node in flow.path:
+                d_to_shop = self._to_shop[node]
+                d_direct = field[node]
+                if INFINITY in (d_to_shop, d_from_shop, d_direct):
+                    yield node, INFINITY
+                else:
+                    yield node, max(0.0, d_to_shop + d_from_shop - d_direct)
+        else:
+            # Walk the path backwards accumulating the remaining length so
+            # the whole flow costs O(len(path)).
+            remaining = [0.0] * len(flow.path)
+            for i in range(len(flow.path) - 2, -1, -1):
+                remaining[i] = remaining[i + 1] + self._network.edge_length(
+                    flow.path[i], flow.path[i + 1]
+                )
+            d_from_shop = self._from_shop[flow.destination]
+            for node, d_direct in zip(flow.path, remaining):
+                d_to_shop = self._to_shop[node]
+                if INFINITY in (d_to_shop, d_from_shop):
+                    yield node, INFINITY
+                else:
+                    yield node, max(0.0, d_to_shop + d_from_shop - d_direct)
+
+    def best_detour(self, flow: TrafficFlow) -> Tuple[NodeId, float]:
+        """The on-path intersection with the smallest detour.
+
+        By the paper's Theorem 1 this is the *first* on-path intersection
+        (in travel order) among any fixed set of RAPs; over all path nodes
+        it is simply the minimum.
+        """
+        best_node = flow.origin
+        best = INFINITY
+        for node, detour in self.detours_along(flow):
+            if detour < best:
+                best_node, best = node, detour
+        return best_node, best

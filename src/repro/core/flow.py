@@ -1,0 +1,119 @@
+"""Traffic flows — the demand side of the placement problem.
+
+A :class:`TrafficFlow` is the paper's ``T[i,j]``: a daily volume of
+potential customers travelling a fixed path from intersection ``i`` to
+intersection ``j``.  The path is normally a shortest path (the paper's
+assumption) but the model accepts any simple path, e.g. one recovered by
+map matching; detour distances always use true shortest-path distances to
+and from the shop regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..errors import InvalidFlowError
+from ..graphs import NodeId, RoadNetwork, shortest_path
+from .utility import PAPER_ALPHA
+
+
+@dataclass(frozen=True)
+class TrafficFlow:
+    """A daily traffic flow from ``origin`` to ``destination``.
+
+    Parameters
+    ----------
+    path:
+        The node sequence driven every day; must start at ``origin``
+        and end at ``destination``.
+    volume:
+        Expected number of potential customers per day on this flow
+        (vehicles x occupants, for bus traces buses x passengers).
+    attractiveness:
+        The paper's ``alpha(T[i,j])`` — probability that a driver with zero
+        detour distance goes shopping.  Defaults to the paper's 0.001.
+    label:
+        Optional human-readable identifier (e.g. a bus route id).
+    """
+
+    path: Tuple[NodeId, ...]
+    volume: float
+    attractiveness: float = PAPER_ALPHA
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise InvalidFlowError(
+                f"flow path needs at least two intersections, got {self.path!r}"
+            )
+        if len(set(self.path)) != len(self.path):
+            raise InvalidFlowError(
+                f"flow path revisits an intersection: {self.path!r}"
+            )
+        if not (self.volume > 0):
+            raise InvalidFlowError(f"flow volume must be positive, got {self.volume}")
+        if not (0 <= self.attractiveness <= 1):
+            raise InvalidFlowError(
+                f"attractiveness must be in [0, 1], got {self.attractiveness}"
+            )
+        object.__setattr__(self, "path", tuple(self.path))
+
+    @property
+    def origin(self) -> NodeId:
+        """The flow's starting intersection (paper's ``i``)."""
+        return self.path[0]
+
+    @property
+    def destination(self) -> NodeId:
+        """The flow's final intersection (paper's ``j``)."""
+        return self.path[-1]
+
+    def passes(self, node: NodeId) -> bool:
+        """Whether the flow's fixed path visits ``node``."""
+        return node in self.path
+
+    def validate_on(self, network: RoadNetwork) -> None:
+        """Check every hop of the path exists in ``network``."""
+        if not network.is_path(self.path):
+            raise InvalidFlowError(
+                f"flow {self.describe()} path is not drivable on the network"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable identification for messages and reports."""
+        name = self.label or f"{self.origin!r}->{self.destination!r}"
+        return f"T[{name}] (volume={self.volume:g})"
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficFlow({self.origin!r}->{self.destination!r}, "
+            f"volume={self.volume:g}, hops={len(self.path)})"
+        )
+
+
+def flow_between(
+    network: RoadNetwork,
+    origin: NodeId,
+    destination: NodeId,
+    volume: float,
+    attractiveness: float = PAPER_ALPHA,
+    label: Optional[str] = None,
+) -> TrafficFlow:
+    """Build a flow along a shortest path (the paper's default).
+
+    Raises :class:`repro.errors.NoPathError` when ``destination`` is
+    unreachable.
+    """
+    path = shortest_path(network, origin, destination)
+    return TrafficFlow(
+        path=tuple(path),
+        volume=volume,
+        attractiveness=attractiveness,
+        label=label,
+    )
+
+
+def total_volume(flows: Sequence[TrafficFlow]) -> float:
+    """Sum of flow volumes — the ceiling on attracted customers / alpha."""
+    return sum(flow.volume for flow in flows)

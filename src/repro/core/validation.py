@@ -1,0 +1,179 @@
+"""Scenario linting: structured warnings before money is spent.
+
+A scenario can be formally valid yet practically broken — a shop no
+traffic can reach, a threshold so small no intersection qualifies, flow
+paths that wander far off the shortest route (map-matching artifacts).
+:func:`lint_scenario` checks for these and returns structured
+:class:`ValidationIssue`s (never raises), so callers can gate a
+deployment on ``severity == ERROR`` while logging the warnings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..graphs import INFINITY, shortest_path_length
+from .scenario import Scenario
+
+
+class Severity(enum.Enum):
+    """How bad a lint finding is: WARNING (suspicious) or ERROR (fatal)."""
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding from :func:`lint_scenario`."""
+
+    code: str
+    severity: Severity
+    message: str
+    subject: Optional[object] = None
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def lint_scenario(
+    scenario: Scenario,
+    path_stretch_tolerance: float = 1.25,
+) -> List[ValidationIssue]:
+    """Run every lint check; returns issues ordered errors-first.
+
+    Checks
+    ------
+    * ``shop-unreachable``   (ERROR) — no flow can ever detour: every
+      on-path intersection has infinite detour;
+    * ``flow-cannot-detour`` (WARNING) — one flow's every intersection
+      has an infinite detour (one-way pockets);
+    * ``flow-never-attracted`` (WARNING) — finite detours exist but all
+      exceed the utility threshold: the flow is dead weight for this D;
+    * ``non-shortest-path``  (WARNING) — a fixed path is more than
+      ``path_stretch_tolerance`` x the shortest distance (suspicious
+      map-matching, or intentional — hence a warning);
+    * ``candidate-covers-nothing`` (WARNING) — candidate sites that can
+      never attract anybody (wasted search space);
+    * ``threshold-excludes-all``  (ERROR) — no (site, flow) pair has a
+      positive detour probability: every placement scores zero.
+    """
+    issues: List[ValidationIssue] = []
+    coverage = scenario.coverage
+    utility = scenario.utility
+    flows = scenario.flows
+
+    # Per-flow checks.
+    detourable_flows = 0
+    attractable_flows = 0
+    for index, flow in enumerate(flows):
+        options = coverage.options_for(index)
+        if not options:
+            issues.append(
+                ValidationIssue(
+                    code="flow-cannot-detour",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"flow {flow.describe()} has no intersection with a "
+                        "finite detour (shop unreachable from its path)"
+                    ),
+                    subject=flow,
+                )
+            )
+            continue
+        detourable_flows += 1
+        best = min(detour for _, detour in options)
+        if utility.probability(best, flow.attractiveness) <= 0.0:
+            issues.append(
+                ValidationIssue(
+                    code="flow-never-attracted",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"flow {flow.describe()}: best possible detour "
+                        f"{best:,.0f} exceeds the threshold "
+                        f"D={utility.threshold:,.0f}"
+                    ),
+                    subject=flow,
+                )
+            )
+        else:
+            attractable_flows += 1
+
+        # Path stretch.
+        network = scenario.network
+        actual = network.path_length(flow.path)
+        shortest = shortest_path_length(network, flow.origin, flow.destination)
+        if shortest > 0 and actual > shortest * path_stretch_tolerance:
+            issues.append(
+                ValidationIssue(
+                    code="non-shortest-path",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"flow {flow.describe()} path is "
+                        f"{actual / shortest:.2f}x its shortest distance — "
+                        "check map matching or use detour_mode='along-path'"
+                    ),
+                    subject=flow,
+                )
+            )
+
+    if detourable_flows == 0:
+        issues.append(
+            ValidationIssue(
+                code="shop-unreachable",
+                severity=Severity.ERROR,
+                message=(
+                    f"shop {scenario.shop!r} is unreachable from every "
+                    "targeted flow; no placement can attract anybody"
+                ),
+                subject=scenario.shop,
+            )
+        )
+    elif attractable_flows == 0:
+        issues.append(
+            ValidationIssue(
+                code="threshold-excludes-all",
+                severity=Severity.ERROR,
+                message=(
+                    f"threshold D={utility.threshold:,.0f} excludes every "
+                    "flow; every placement scores zero — increase D or move "
+                    "the shop"
+                ),
+                subject=utility,
+            )
+        )
+
+    # Candidate-site usefulness.
+    useless = [
+        site
+        for site in scenario.candidate_sites
+        if not any(
+            utility.probability(
+                entry.detour, flows[entry.flow_index].attractiveness
+            )
+            > 0.0
+            for entry in coverage.covering(site)
+        )
+    ]
+    if useless:
+        issues.append(
+            ValidationIssue(
+                code="candidate-covers-nothing",
+                severity=Severity.WARNING,
+                message=(
+                    f"{len(useless)}/{len(scenario.candidate_sites)} "
+                    "candidate sites can never attract a customer "
+                    f"(e.g. {useless[0]!r})"
+                ),
+                subject=tuple(useless),
+            )
+        )
+
+    issues.sort(key=lambda issue: (issue.severity is not Severity.ERROR))
+    return issues
+
+
+def has_errors(issues: List[ValidationIssue]) -> bool:
+    """Whether any issue is an ERROR."""
+    return any(issue.severity is Severity.ERROR for issue in issues)

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while the library
+itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for road-network errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the network."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the network")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the network."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__(f"edge {tail!r} -> {head!r} is not in the network")
+        self.tail = tail
+        self.head = head
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node was added twice."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} already exists in the network")
+        self.node = node
+
+
+class NegativeWeightError(GraphError, ValueError):
+    """An edge with a negative length was supplied to a shortest-path query."""
+
+
+class DisconnectedGraphError(GraphError):
+    """The network is not (strongly) connected where the caller requires it."""
+
+
+class NoPathError(GraphError):
+    """There is no path between the requested endpoints."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"no path from {source!r} to {target!r}")
+        self.source = source
+        self.target = target
+
+
+class ModelError(ReproError):
+    """Base class for scenario/model construction errors."""
+
+
+class InvalidFlowError(ModelError, ValueError):
+    """A traffic flow is malformed (empty path, broken path, bad volume...)."""
+
+
+class InvalidUtilityError(ModelError, ValueError):
+    """A utility function was constructed with invalid parameters."""
+
+
+class InvalidScenarioError(ModelError, ValueError):
+    """A scenario is inconsistent (shop off-graph, flows off-graph...)."""
+
+
+class PlacementError(ReproError):
+    """Base class for placement-algorithm errors."""
+
+
+class InfeasiblePlacementError(PlacementError, ValueError):
+    """The requested placement cannot be produced (e.g. k > |V|)."""
+
+
+class TraceError(ReproError):
+    """Base class for trace generation / parsing / map-matching errors."""
+
+
+class TraceFormatError(TraceError, ValueError):
+    """A trace file or record is malformed."""
+
+
+class MapMatchError(TraceError):
+    """A GPS journey could not be matched onto the road network."""
+
+
+class ExperimentError(ReproError):
+    """Base class for experiment-harness errors."""
+
+
+class UnknownFigureError(ExperimentError, KeyError):
+    """An experiment/figure id is not registered."""
+
+    def __init__(self, figure_id: str) -> None:
+        super().__init__(f"unknown figure id {figure_id!r}")
+        self.figure_id = figure_id

@@ -1,0 +1,126 @@
+"""Experiment harness: specs, runner, figure definitions, reports.
+
+Reproduces the paper's evaluation protocol (Section V): trace-driven
+scenarios, intersection classification into city's center / city /
+suburb, multi-repetition shop draws, and the four figures' parameter
+grids.
+"""
+
+from .claims import (
+    ClaimResult,
+    check_all,
+    check_fig10,
+    check_fig11,
+    check_fig12,
+    check_fig13_vs_fig12,
+    render_claims,
+)
+from .figures import (
+    DEFAULT_KS,
+    DUBLIN_D_LARGE,
+    DUBLIN_D_SMALL,
+    FIGURES,
+    SEATTLE_D_LARGE,
+    SEATTLE_D_SMALL,
+    available_figures,
+    build_figure,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+from .locations import (
+    LocationClass,
+    classify_intersections,
+    locations_of_class,
+    passing_volume,
+)
+from .results import (
+    ArchivedFigure,
+    ArchivedSeries,
+    FigureResult,
+    PanelResult,
+    Series,
+    compare_to_archive,
+    figure_to_dict,
+    load_figure_json,
+    mean_and_stdev,
+    save_figure_json,
+)
+from .runner import (
+    PREFIX_CONSISTENT,
+    TraceBundle,
+    TraceProvider,
+    run_figure,
+    run_panel,
+)
+from .report import display_name, render_figure, render_panel, series_ratio
+from .sweeps import (
+    SweepResult,
+    sweep_attractiveness,
+    sweep_budget,
+    sweep_threshold,
+)
+from .spec import (
+    GENERAL,
+    GENERAL_ALGORITHMS,
+    MANHATTAN,
+    MANHATTAN_ALGORITHMS,
+    FigureSpec,
+    PanelSpec,
+)
+
+__all__ = [
+    "ArchivedFigure",
+    "ArchivedSeries",
+    "ClaimResult",
+    "DEFAULT_KS",
+    "DUBLIN_D_LARGE",
+    "DUBLIN_D_SMALL",
+    "FIGURES",
+    "FigureResult",
+    "FigureSpec",
+    "GENERAL",
+    "GENERAL_ALGORITHMS",
+    "LocationClass",
+    "MANHATTAN",
+    "MANHATTAN_ALGORITHMS",
+    "PREFIX_CONSISTENT",
+    "PanelResult",
+    "PanelSpec",
+    "SEATTLE_D_LARGE",
+    "SEATTLE_D_SMALL",
+    "Series",
+    "SweepResult",
+    "TraceBundle",
+    "TraceProvider",
+    "available_figures",
+    "build_figure",
+    "check_all",
+    "check_fig10",
+    "check_fig11",
+    "check_fig12",
+    "check_fig13_vs_fig12",
+    "classify_intersections",
+    "compare_to_archive",
+    "display_name",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "figure_to_dict",
+    "load_figure_json",
+    "locations_of_class",
+    "mean_and_stdev",
+    "passing_volume",
+    "render_claims",
+    "render_figure",
+    "render_panel",
+    "run_figure",
+    "run_panel",
+    "save_figure_json",
+    "series_ratio",
+    "sweep_attractiveness",
+    "sweep_budget",
+    "sweep_threshold",
+]

@@ -1,0 +1,97 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are line plots of attracted customers vs k; the
+report renders each panel as an aligned table (one row per k, one column
+per algorithm) plus a shape summary — which algorithm wins, and by how
+much over the best baseline — so the reproduction can be compared
+against the paper at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .results import FigureResult, PanelResult
+
+#: Pretty names matching the paper's legends.
+DISPLAY_NAMES = {
+    "greedy-coverage": "Algorithm 1",
+    "composite-greedy": "Algorithm 1/2",
+    "two-stage": "Algorithm 3",
+    "modified-two-stage": "Algorithm 4",
+    "marginal-greedy": "MarginalGreedy",
+    "lazy-greedy": "LazyGreedy",
+    "max-cardinality": "MaxCardinality",
+    "max-vehicles": "MaxVehicles",
+    "max-customers": "MaxCustomers",
+    "random": "Random",
+    "exhaustive": "Optimal",
+}
+
+PROPOSED = {
+    "greedy-coverage",
+    "composite-greedy",
+    "two-stage",
+    "modified-two-stage",
+}
+
+
+def display_name(algorithm: str) -> str:
+    """Paper-style legend label for an algorithm id."""
+    return DISPLAY_NAMES.get(algorithm, algorithm)
+
+
+def render_panel(panel: PanelResult, precision: int = 2) -> str:
+    """One aligned table for a panel."""
+    algorithms = list(panel.series)
+    header = ["k"] + [display_name(name) for name in algorithms]
+    rows: List[List[str]] = [header]
+    for i, k in enumerate(panel.spec.ks):
+        row = [str(k)]
+        for name in algorithms:
+            row.append(f"{panel.series[name].means[i]:.{precision}f}")
+        rows.append(row)
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [panel.spec.describe()]
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    lines.append(_shape_summary(panel))
+    return "\n".join(lines)
+
+
+def _shape_summary(panel: PanelResult) -> str:
+    """One-line verdict: the proposed algorithm's edge at the final k."""
+    final_k = panel.spec.ks[-1]
+    proposed = [name for name in panel.series if name in PROPOSED]
+    if not proposed:
+        return f"best at k={final_k}: {display_name(panel.best_algorithm(final_k))}"
+    name = proposed[0]
+    gain = panel.gain_over_best_baseline(name, final_k)
+    winner = panel.best_algorithm(final_k)
+    verdict = "WINS" if winner == name else f"trails {display_name(winner)}"
+    return (
+        f"shape: {display_name(name)} {verdict} at k={final_k} "
+        f"({gain:+.1%} vs best baseline)"
+    )
+
+
+def render_figure(result: FigureResult) -> str:
+    """Full figure report: title + every panel table."""
+    parts = [f"=== {result.spec.figure_id}: {result.spec.title} ==="]
+    for panel_id in result.panels:
+        parts.append(render_panel(result.panels[panel_id]))
+    return "\n\n".join(parts)
+
+
+def series_ratio(
+    panel: PanelResult, numerator: str, denominator: str, k: int
+) -> float:
+    """Convenience for shape assertions in tests and EXPERIMENTS.md."""
+    denominator_value = panel.series[denominator].value_at(k)
+    if denominator_value == 0:
+        return float("inf")
+    return panel.series[numerator].value_at(k) / denominator_value

@@ -1,0 +1,232 @@
+"""Result containers for experiment runs.
+
+A panel run produces one :class:`Series` per algorithm (mean attracted
+customers per ``k``, averaged over shop draws); panels aggregate into
+:class:`PanelResult` and figures into :class:`FigureResult`.  Everything
+is JSON-serializable for archiving.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import ExperimentError
+from .spec import FigureSpec, PanelSpec
+
+
+@dataclass
+class Series:
+    """Mean attracted customers per k for one algorithm."""
+
+    algorithm: str
+    ks: Tuple[int, ...]
+    means: Tuple[float, ...]
+    stdevs: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.ks) != len(self.means):
+            raise ExperimentError(
+                f"series {self.algorithm}: {len(self.ks)} ks vs "
+                f"{len(self.means)} means"
+            )
+
+    def value_at(self, k: int) -> float:
+        """Mean attracted customers at budget k."""
+        try:
+            return self.means[self.ks.index(k)]
+        except ValueError:
+            raise ExperimentError(
+                f"series {self.algorithm} has no k={k}"
+            ) from None
+
+    @property
+    def final(self) -> float:
+        """Mean at the largest k — the headline comparison point."""
+        return self.means[-1]
+
+
+@dataclass
+class PanelResult:
+    """All series of one panel."""
+
+    spec: PanelSpec
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def add(self, series: Series) -> None:
+        """Attach one algorithm's series (one series per algorithm)."""
+        if series.algorithm in self.series:
+            raise ExperimentError(
+                f"panel {self.spec.panel_id}: duplicate series "
+                f"{series.algorithm!r}"
+            )
+        self.series[series.algorithm] = series
+
+    def best_algorithm(self, k: int) -> str:
+        """Algorithm with the highest mean at ``k``."""
+        return max(self.series.values(), key=lambda s: s.value_at(k)).algorithm
+
+    def gain_over_best_baseline(self, algorithm: str, k: int) -> float:
+        """Relative advantage of ``algorithm`` over the best other series.
+
+        Returns e.g. 0.30 for "30% more customers than the runner-up";
+        negative when ``algorithm`` trails.
+        """
+        target = self.series[algorithm].value_at(k)
+        others = [
+            s.value_at(k) for name, s in self.series.items() if name != algorithm
+        ]
+        if not others:
+            raise ExperimentError("no baseline series to compare against")
+        best_other = max(others)
+        if best_other == 0:
+            return float("inf") if target > 0 else 0.0
+        return target / best_other - 1.0
+
+
+@dataclass
+class FigureResult:
+    """All panels of one figure."""
+
+    spec: FigureSpec
+    panels: Dict[str, PanelResult] = field(default_factory=dict)
+
+    def add(self, panel: PanelResult) -> None:
+        """Attach one panel's result."""
+        self.panels[panel.spec.panel_id] = panel
+
+    def panel(self, panel_id: str) -> PanelResult:
+        """Look up a panel by id."""
+        try:
+            return self.panels[panel_id]
+        except KeyError:
+            raise ExperimentError(
+                f"figure {self.spec.figure_id} has no panel {panel_id!r}"
+            ) from None
+
+
+def mean_and_stdev(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and sample stdev (0 for singletons)."""
+    if not values:
+        raise ExperimentError("cannot average zero values")
+    mean = sum(values) / len(values)
+    stdev = statistics.stdev(values) if len(values) > 1 else 0.0
+    return mean, stdev
+
+
+# ----------------------------------------------------------------------
+# JSON archiving
+# ----------------------------------------------------------------------
+def figure_to_dict(result: FigureResult) -> dict:
+    """JSON-compatible dict for a figure result (see save_figure_json)."""
+    return {
+        "figure_id": result.spec.figure_id,
+        "title": result.spec.title,
+        "panels": {
+            panel_id: {
+                "description": panel.spec.describe(),
+                "series": {
+                    name: {
+                        "ks": list(series.ks),
+                        "means": list(series.means),
+                        "stdevs": list(series.stdevs),
+                    }
+                    for name, series in panel.series.items()
+                },
+            }
+            for panel_id, panel in result.panels.items()
+        },
+    }
+
+
+def save_figure_json(result: FigureResult, path: Union[str, Path]) -> None:
+    """Archive a figure result as JSON."""
+    with open(path, "w") as handle:
+        json.dump(figure_to_dict(result), handle, indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class ArchivedSeries:
+    """One series loaded back from a JSON archive."""
+
+    algorithm: str
+    ks: Tuple[int, ...]
+    means: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ArchivedFigure:
+    """A figure archive loaded from disk (spec-free, data only)."""
+
+    figure_id: str
+    title: str
+    panels: Dict[str, Dict[str, ArchivedSeries]]
+
+    def series(self, panel_id: str, algorithm: str) -> ArchivedSeries:
+        """Look up one archived series by panel and algorithm."""
+        try:
+            return self.panels[panel_id][algorithm]
+        except KeyError:
+            raise ExperimentError(
+                f"archive {self.figure_id} has no "
+                f"{panel_id!r}/{algorithm!r} series"
+            ) from None
+
+
+def load_figure_json(path: Union[str, Path]) -> ArchivedFigure:
+    """Load a JSON archive written by :func:`save_figure_json`."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ExperimentError(f"{path}: invalid JSON ({error})") from None
+    try:
+        panels = {
+            panel_id: {
+                name: ArchivedSeries(
+                    algorithm=name,
+                    ks=tuple(int(k) for k in series["ks"]),
+                    means=tuple(float(m) for m in series["means"]),
+                )
+                for name, series in panel["series"].items()
+            }
+            for panel_id, panel in data["panels"].items()
+        }
+        return ArchivedFigure(
+            figure_id=data["figure_id"],
+            title=data.get("title", ""),
+            panels=panels,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ExperimentError(f"{path}: malformed archive ({error})") from None
+
+
+def compare_to_archive(
+    result: FigureResult,
+    archive: ArchivedFigure,
+    relative_tolerance: float = 0.0,
+) -> List[str]:
+    """Regression check: where does ``result`` diverge from ``archive``?
+
+    Returns human-readable divergence descriptions (empty = match within
+    tolerance).  Only panels/algorithms present in *both* are compared.
+    """
+    divergences: List[str] = []
+    for panel_id, panel in result.panels.items():
+        archived_panel = archive.panels.get(panel_id)
+        if archived_panel is None:
+            continue
+        for name, series in panel.series.items():
+            archived = archived_panel.get(name)
+            if archived is None or archived.ks != series.ks:
+                continue
+            for k, new, old in zip(series.ks, series.means, archived.means):
+                limit = relative_tolerance * max(abs(old), 1e-12)
+                if abs(new - old) > limit:
+                    divergences.append(
+                        f"{panel_id}/{name} @k={k}: {old:.6g} -> {new:.6g}"
+                    )
+    return divergences

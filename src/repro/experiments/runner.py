@@ -1,0 +1,247 @@
+"""Panel/figure runner.
+
+Reproduces the paper's experimental protocol:
+
+1. generate (or reuse) the city's bus trace, map-match it, and extract
+   traffic flows;
+2. classify intersections into city's center / city / suburb by passing
+   traffic;
+3. for each repetition, draw a shop of the requested class, build the
+   scenario, run every algorithm across the ``k`` sweep, and record the
+   attracted customers;
+4. average into per-algorithm :class:`~repro.experiments.results.Series`.
+
+Greedy and ranking algorithms are *prefix-consistent* — their k-RAP
+selection is a prefix of their (k+1)-RAP selection — so the runner
+selects once at ``max(ks)`` and evaluates prefixes, cutting the sweep
+cost by ~|ks|x.  The two-stage Manhattan algorithms are not (the
+``k <= 4`` branch differs structurally), so they select per ``k``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms import algorithm_by_name
+from ..core import Scenario, TrafficFlow, evaluate_placement, utility_by_name
+from ..errors import ExperimentError
+from ..graphs import NodeId, RoadNetwork
+from ..manhattan import (
+    ManhattanEvaluator,
+    ManhattanScenario,
+    ModifiedTwoStagePlacement,
+    TwoStagePlacement,
+)
+from ..traces import (
+    BusTrace,
+    DublinTraceConfig,
+    SeattleTraceConfig,
+    generate_dublin_trace,
+    generate_seattle_trace,
+)
+from .locations import (
+    LocationClass,
+    classify_intersections,
+    locations_of_class,
+)
+from .results import FigureResult, PanelResult, Series, mean_and_stdev
+from .spec import GENERAL, MANHATTAN, FigureSpec, PanelSpec
+
+#: Algorithms whose k-selection is a prefix of their (k+1)-selection.
+PREFIX_CONSISTENT = {
+    "greedy-coverage",
+    "composite-greedy",
+    "marginal-greedy",
+    "lazy-greedy",
+    "max-cardinality",
+    "max-vehicles",
+    "max-customers",
+    "random",
+}
+
+#: Manhattan-semantics algorithms handled specially by the runner.
+MANHATTAN_LOCAL = {
+    "two-stage": TwoStagePlacement,
+    "modified-two-stage": ModifiedTwoStagePlacement,
+}
+
+
+@dataclass
+class TraceBundle:
+    """A city's trace, network, and extracted flows (built once)."""
+
+    city: str
+    network: RoadNetwork
+    flows: Tuple[TrafficFlow, ...]
+    trace: BusTrace
+
+
+class TraceProvider:
+    """Builds and caches trace bundles.
+
+    ``scale`` picks the instance size: ``"paper"`` approximates the
+    paper's trace sizes; ``"small"`` is a fast variant for tests and CI
+    benchmarking.
+    """
+
+    def __init__(self, scale: str = "paper", seed: int = 2015) -> None:
+        if scale not in ("paper", "small"):
+            raise ExperimentError(f"unknown scale {scale!r}")
+        self._scale = scale
+        self._seed = seed
+        self._cache: Dict[str, TraceBundle] = {}
+
+    def _config(self, city: str):
+        if city == "dublin":
+            if self._scale == "paper":
+                return DublinTraceConfig(seed=self._seed)
+            return DublinTraceConfig(
+                seed=self._seed, rows=9, cols=9, pattern_count=15
+            )
+        if city == "seattle":
+            if self._scale == "paper":
+                return SeattleTraceConfig(seed=self._seed)
+            return SeattleTraceConfig(
+                seed=self._seed, rows=11, cols=11, pattern_count=15
+            )
+        raise ExperimentError(f"unknown city {city!r}")
+
+    def get(self, city: str) -> TraceBundle:
+        """Build (or return the cached) trace bundle for a city."""
+        bundle = self._cache.get(city)
+        if bundle is not None:
+            return bundle
+        config = self._config(city)
+        if city == "dublin":
+            trace = generate_dublin_trace(config)
+        else:
+            trace = generate_seattle_trace(config)
+        flows = tuple(trace.extract_flows())
+        bundle = TraceBundle(
+            city=city, network=trace.network, flows=flows, trace=trace
+        )
+        self._cache[city] = bundle
+        return bundle
+
+
+def _select_sweep(
+    algorithm_name: str,
+    scenario: Scenario,
+    ks: Sequence[int],
+    rep_seed: int,
+) -> Dict[int, List[NodeId]]:
+    """Sites per k for a general-scenario algorithm."""
+    kwargs = {"seed": rep_seed} if algorithm_name == "random" else {}
+    algorithm = algorithm_by_name(algorithm_name, **kwargs)
+    sweep: Dict[int, List[NodeId]] = {}
+    max_k = min(max(ks), len(scenario.candidate_sites))
+    if algorithm_name in PREFIX_CONSISTENT:
+        sites = algorithm.select(scenario, max_k)
+        for k in ks:
+            sweep[k] = sites[: min(k, len(sites))]
+    else:
+        for k in ks:
+            sweep[k] = algorithm.select(scenario, min(k, max_k))
+    return sweep
+
+
+def _run_general_panel(
+    panel: PanelSpec, bundle: TraceBundle, shops: List[NodeId]
+) -> PanelResult:
+    utility = utility_by_name(panel.utility, panel.threshold)
+    values: Dict[str, Dict[int, List[float]]] = {
+        name: {k: [] for k in panel.ks} for name in panel.algorithms
+    }
+    for rep, shop in enumerate(shops):
+        scenario = Scenario(bundle.network, bundle.flows, shop, utility)
+        for name in panel.algorithms:
+            sweep = _select_sweep(name, scenario, panel.ks, panel.seed * 1000 + rep)
+            for k in panel.ks:
+                placement = evaluate_placement(scenario, sweep[k])
+                values[name][k].append(placement.attracted)
+    return _aggregate(panel, values)
+
+
+def _run_manhattan_panel(
+    panel: PanelSpec, bundle: TraceBundle, shops: List[NodeId]
+) -> PanelResult:
+    utility = utility_by_name(panel.utility, panel.threshold)
+    values: Dict[str, Dict[int, List[float]]] = {
+        name: {k: [] for k in panel.ks} for name in panel.algorithms
+    }
+    for rep, shop in enumerate(shops):
+        manhattan = ManhattanScenario(
+            bundle.network, bundle.flows, shop, utility
+        )
+        evaluator = ManhattanEvaluator(manhattan)
+        general = Scenario(bundle.network, bundle.flows, shop, utility)
+        site_cap = len(manhattan.candidate_sites)
+        for name in panel.algorithms:
+            if name in MANHATTAN_LOCAL:
+                algorithm = MANHATTAN_LOCAL[name]()
+                for k in panel.ks:
+                    sites = algorithm.select(manhattan, min(k, site_cap))
+                    values[name][k].append(evaluator.evaluate(sites).attracted)
+            else:
+                sweep = _select_sweep(
+                    name, general, panel.ks, panel.seed * 1000 + rep
+                )
+                for k in panel.ks:
+                    values[name][k].append(
+                        evaluator.evaluate(sweep[k]).attracted
+                    )
+    return _aggregate(panel, values)
+
+
+def _aggregate(
+    panel: PanelSpec, values: Dict[str, Dict[int, List[float]]]
+) -> PanelResult:
+    result = PanelResult(spec=panel)
+    for name in panel.algorithms:
+        means: List[float] = []
+        stdevs: List[float] = []
+        for k in panel.ks:
+            mean, stdev = mean_and_stdev(values[name][k])
+            means.append(mean)
+            stdevs.append(stdev)
+        result.add(
+            Series(
+                algorithm=name,
+                ks=tuple(panel.ks),
+                means=tuple(means),
+                stdevs=tuple(stdevs),
+            )
+        )
+    return result
+
+
+def run_panel(
+    panel: PanelSpec, provider: Optional[TraceProvider] = None
+) -> PanelResult:
+    """Run one panel end to end."""
+    provider = provider or TraceProvider()
+    bundle = provider.get(panel.city)
+    classes = classify_intersections(bundle.network, bundle.flows)
+    pool = locations_of_class(classes, panel.shop_location)
+    if not pool:
+        raise ExperimentError(
+            f"no intersections classified as {panel.shop_location.value}"
+        )
+    rng = random.Random(panel.seed)
+    shops = [rng.choice(pool) for _ in range(panel.repetitions)]
+    if panel.semantics == MANHATTAN:
+        return _run_manhattan_panel(panel, bundle, shops)
+    return _run_general_panel(panel, bundle, shops)
+
+
+def run_figure(
+    figure: FigureSpec, provider: Optional[TraceProvider] = None
+) -> FigureResult:
+    """Run every panel of a figure (sharing the trace provider cache)."""
+    provider = provider or TraceProvider()
+    result = FigureResult(spec=figure)
+    for panel in figure.panels:
+        result.add(run_panel(panel, provider))
+    return result

@@ -1,0 +1,163 @@
+"""Sensitivity sweeps beyond the paper's figure grid.
+
+The paper varies the utility function, threshold ``D``, shop location,
+and ``k``.  Real deployments also need to know how results respond to
+the *other* knobs:
+
+* :func:`sweep_threshold` — attracted customers as a continuous function
+  of ``D`` for a fixed budget (where does enlarging the catchment stop
+  paying?);
+* :func:`sweep_budget` — the value-per-RAP curve out to saturation
+  (where does the k-th RAP stop earning?);
+* :func:`sweep_attractiveness` — linearity check in ``alpha`` (the
+  expectation is linear in attractiveness; simulated systems often
+  aren't — this sweep validates the model end to end).
+
+Every sweep returns a :class:`SweepResult` of aligned (x, value) points
+ready for :func:`repro.analysis.charts.line_chart`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+from ..algorithms import PlacementAlgorithm, algorithm_by_name
+from ..core import Scenario, TrafficFlow, evaluate_placement, utility_by_name
+from ..errors import ExperimentError
+from ..graphs import NodeId, RoadNetwork
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One parameter sweep: aligned xs and attracted-customer values."""
+
+    parameter: str
+    xs: Tuple[float, ...]
+    values: Tuple[float, ...]
+    algorithm: str
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.values):
+            raise ExperimentError(
+                f"sweep {self.parameter}: {len(self.xs)} xs vs "
+                f"{len(self.values)} values"
+            )
+
+    @property
+    def peak(self) -> Tuple[float, float]:
+        """``(x, value)`` at the maximum."""
+        index = max(range(len(self.values)), key=self.values.__getitem__)
+        return self.xs[index], self.values[index]
+
+    def saturation_x(self, fraction: float = 0.95) -> float:
+        """Smallest x reaching ``fraction`` of the final value."""
+        if not self.values:
+            raise ExperimentError("empty sweep")
+        target = fraction * self.values[-1]
+        for x, value in zip(self.xs, self.values):
+            if value >= target:
+                return x
+        return self.xs[-1]
+
+
+def _resolve(algorithm) -> PlacementAlgorithm:
+    if isinstance(algorithm, str):
+        return algorithm_by_name(algorithm)
+    return algorithm
+
+
+def sweep_threshold(
+    network: RoadNetwork,
+    flows: Sequence[TrafficFlow],
+    shop: NodeId,
+    utility_name: str,
+    thresholds: Sequence[float],
+    k: int,
+    algorithm="composite-greedy",
+) -> SweepResult:
+    """Attracted customers vs detour threshold ``D`` at fixed ``k``."""
+    if not thresholds:
+        raise ExperimentError("need at least one threshold")
+    solver = _resolve(algorithm)
+    values = []
+    for threshold in thresholds:
+        scenario = Scenario(
+            network, flows, shop, utility_by_name(utility_name, threshold)
+        )
+        budget = min(k, len(scenario.candidate_sites))
+        values.append(solver.place(scenario, budget).attracted)
+    return SweepResult(
+        parameter="threshold",
+        xs=tuple(float(t) for t in thresholds),
+        values=tuple(values),
+        algorithm=solver.name,
+    )
+
+
+def sweep_budget(
+    scenario: Scenario,
+    ks: Sequence[int],
+    algorithm="composite-greedy",
+) -> SweepResult:
+    """Attracted customers vs RAP budget on one fixed scenario."""
+    if not ks:
+        raise ExperimentError("need at least one budget")
+    solver = _resolve(algorithm)
+    max_k = min(max(ks), len(scenario.candidate_sites))
+    sites = solver.select(scenario, max_k)
+    values = tuple(
+        evaluate_placement(scenario, sites[: min(k, len(sites))]).attracted
+        for k in ks
+    )
+    return SweepResult(
+        parameter="budget",
+        xs=tuple(float(k) for k in ks),
+        values=values,
+        algorithm=solver.name,
+    )
+
+
+def sweep_attractiveness(
+    network: RoadNetwork,
+    flows: Sequence[TrafficFlow],
+    shop: NodeId,
+    utility_name: str,
+    threshold: float,
+    alphas: Sequence[float],
+    k: int,
+    algorithm="composite-greedy",
+) -> SweepResult:
+    """Attracted customers vs the global attractiveness ``alpha``.
+
+    Rescales every flow's attractiveness; the analytic model is exactly
+    linear in alpha (each flow contributes ``alpha * shape(d) * volume``),
+    so the sweep doubles as a model sanity check.
+    """
+    if not alphas:
+        raise ExperimentError("need at least one alpha")
+    if any(not (0 <= a <= 1) for a in alphas):
+        raise ExperimentError(f"alphas must lie in [0, 1]: {list(alphas)}")
+    solver = _resolve(algorithm)
+    values = []
+    for alpha in alphas:
+        rescaled = [
+            TrafficFlow(
+                path=flow.path,
+                volume=flow.volume,
+                attractiveness=alpha,
+                label=flow.label,
+            )
+            for flow in flows
+        ]
+        scenario = Scenario(
+            network, rescaled, shop, utility_by_name(utility_name, threshold)
+        )
+        budget = min(k, len(scenario.candidate_sites))
+        values.append(solver.place(scenario, budget).attracted)
+    return SweepResult(
+        parameter="attractiveness",
+        xs=tuple(float(a) for a in alphas),
+        values=tuple(values),
+        algorithm=solver.name,
+    )

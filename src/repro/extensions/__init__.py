@@ -1,0 +1,72 @@
+"""Extensions beyond the paper's core contribution.
+
+The paper's conclusion names multi-shop scheduling as future work; the
+budgeted variant generalizes the uniform RAP count to per-site costs
+(using the paper's own reference [18], Khuller-Moss-Naor).
+"""
+
+from .budgeted import (
+    BudgetedGreedy,
+    BudgetedResult,
+    location_based_costs,
+)
+from .competition import (
+    Competitor,
+    CompetitiveScenario,
+    PlayResult,
+    alternating_play,
+    best_response,
+    evaluate_competition,
+)
+from .duty_cycle import (
+    DutyCycleGreedy,
+    DutyCycleProblem,
+    DutySchedule,
+    HourlyProfile,
+    evaluate_schedule,
+)
+from .multi_shop import MultiShopDetourCalculator, MultiShopScenario
+from .scheduling import (
+    Campaign,
+    GreedyScheduler,
+    ScheduleResult,
+    SchedulingProblem,
+)
+
+__all__ = [
+    "BudgetedGreedy",
+    "BudgetedResult",
+    "Campaign",
+    "CompetitiveScenario",
+    "Competitor",
+    "DutyCycleGreedy",
+    "DutyCycleProblem",
+    "DutySchedule",
+    "GreedyScheduler",
+    "HourlyProfile",
+    "MultiShopDetourCalculator",
+    "MultiShopScenario",
+    "PlayResult",
+    "ScheduleResult",
+    "SchedulingProblem",
+    "alternating_play",
+    "best_response",
+    "evaluate_competition",
+    "evaluate_schedule",
+    "location_based_costs",
+]
+
+from .budgeted import FrontierPoint, cost_frontier  # noqa: E402
+
+__all__.extend(["FrontierPoint", "cost_frontier"])
+
+from .duty_cycle import (  # noqa: E402
+    journey_departure_times,
+    profile_from_timestamps,
+)
+
+__all__.extend(["journey_departure_times", "profile_from_timestamps"])
+
+from .competition import price_of_anarchy  # noqa: E402
+
+__all__.append("price_of_anarchy")

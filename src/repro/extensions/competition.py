@@ -1,0 +1,284 @@
+"""Competitive RAP placement between rival shops.
+
+The paper sidesteps competition: "For simplicity, we do not consider the
+commercial competition among different shops."  This extension models
+it.  Rival shops place their own RAP fleets; a driver who received
+advertisements from several shops patronizes the one offering the
+*smallest detour* (the same rationality principle as Theorem 1, applied
+across shops), detouring with probability ``f(that detour)``.
+
+Formally, for competitors ``c`` with RAP sets ``S_c``:
+
+    ``d_c(flow) = min over v in S_c on path(flow) of detour_c(v, flow)``
+    the flow's customers go to ``argmin_c d_c(flow)`` (ties: earlier
+    competitor in registration order), with probability ``f(d_min)``.
+
+Provided tooling:
+
+* :class:`CompetitiveScenario` — the shared market;
+* :func:`evaluate_competition` — payoff of every competitor for fixed
+  placements;
+* :func:`best_response` — one competitor's greedy best response holding
+  rivals fixed;
+* :func:`alternating_play` — iterated best responses until no
+  competitor moves (a pure-strategy equilibrium of the placement game)
+  or a round limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import IncrementalEvaluator, Scenario, TrafficFlow, UtilityFunction
+from ..errors import InvalidScenarioError
+from ..graphs import INFINITY, NodeId, RoadNetwork
+
+
+@dataclass(frozen=True)
+class Competitor:
+    """One shop in the market."""
+
+    name: str
+    shop: NodeId
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidScenarioError("competitor needs a name")
+
+
+class CompetitiveScenario:
+    """Shared network/flows/utility; one scenario per competitor."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        flows: Sequence[TrafficFlow],
+        competitors: Sequence[Competitor],
+        utility: UtilityFunction,
+        candidate_sites: Optional[Sequence[NodeId]] = None,
+    ) -> None:
+        if not competitors:
+            raise InvalidScenarioError("need at least one competitor")
+        names = [competitor.name for competitor in competitors]
+        if len(set(names)) != len(names):
+            raise InvalidScenarioError(f"duplicate competitor names: {names}")
+        self.network = network
+        self.flows = tuple(flows)
+        self.competitors = tuple(competitors)
+        self.utility = utility
+        self.scenarios: Dict[str, Scenario] = {
+            competitor.name: Scenario(
+                network,
+                flows,
+                competitor.shop,
+                utility,
+                candidate_sites=candidate_sites,
+            )
+            for competitor in competitors
+        }
+
+    def candidate_sites(self) -> Tuple[NodeId, ...]:
+        """Sites every competitor may rent (shared market)."""
+        return self.scenarios[self.competitors[0].name].candidate_sites
+
+
+def _flow_detours(
+    scenario: CompetitiveScenario,
+    placements: Dict[str, Sequence[NodeId]],
+) -> Dict[str, List[float]]:
+    """Per competitor, per flow: min detour among its on-path RAPs."""
+    detours: Dict[str, List[float]] = {}
+    for competitor in scenario.competitors:
+        calculator = scenario.scenarios[competitor.name].detour_calculator
+        sites = set(placements.get(competitor.name, ()))
+        per_flow: List[float] = []
+        for flow in scenario.flows:
+            best = INFINITY
+            for node, detour in calculator.detours_along(flow):
+                if node in sites and detour < best:
+                    best = detour
+            per_flow.append(best)
+        detours[competitor.name] = per_flow
+    return detours
+
+
+def evaluate_competition(
+    scenario: CompetitiveScenario,
+    placements: Dict[str, Sequence[NodeId]],
+) -> Dict[str, float]:
+    """Expected customers per competitor under competitive choice."""
+    detours = _flow_detours(scenario, placements)
+    payoffs = {competitor.name: 0.0 for competitor in scenario.competitors}
+    for index, flow in enumerate(scenario.flows):
+        winner: Optional[str] = None
+        best = INFINITY
+        for competitor in scenario.competitors:
+            detour = detours[competitor.name][index]
+            if detour < best:
+                best = detour
+                winner = competitor.name
+        if winner is None:
+            continue
+        probability = scenario.utility.probability(best, flow.attractiveness)
+        payoffs[winner] += probability * flow.volume
+    return payoffs
+
+
+def best_response(
+    scenario: CompetitiveScenario,
+    player: str,
+    placements: Dict[str, Sequence[NodeId]],
+    k: int,
+) -> List[NodeId]:
+    """Greedy best response of ``player`` holding every rival fixed.
+
+    Greedy on the *competitive* marginal gain: a flow only pays the
+    player if the player's detour beats every rival's current detour
+    (ties go to the earlier-registered competitor, matching
+    :func:`evaluate_competition`).
+    """
+    if player not in scenario.scenarios:
+        raise InvalidScenarioError(f"unknown competitor {player!r}")
+    rival_placements = {
+        name: sites for name, sites in placements.items() if name != player
+    }
+    rival_detours = _flow_detours(scenario, rival_placements)
+    player_order = [c.name for c in scenario.competitors].index(player)
+
+    # Per flow: the bar to beat, and whether a tie suffices.
+    bars: List[Tuple[float, bool]] = []
+    for index, flow in enumerate(scenario.flows):
+        best_rival = INFINITY
+        rival_index = -1
+        for order, competitor in enumerate(scenario.competitors):
+            if competitor.name == player:
+                continue
+            detour = rival_detours[competitor.name][index]
+            if detour < best_rival:
+                best_rival = detour
+                rival_index = order
+        tie_wins = player_order < rival_index if rival_index >= 0 else True
+        bars.append((best_rival, tie_wins))
+
+    own = scenario.scenarios[player]
+    calculator = own.detour_calculator
+    utility = scenario.utility
+    flows = scenario.flows
+
+    chosen: List[NodeId] = []
+    current: List[float] = [INFINITY] * len(flows)
+
+    def payoff(detour_list: List[float]) -> float:
+        total = 0.0
+        for index, flow in enumerate(flows):
+            detour = detour_list[index]
+            bar, tie_wins = bars[index]
+            if detour < bar or (detour == bar and detour < INFINITY and tie_wins):
+                total += utility.probability(detour, flow.attractiveness) * flow.volume
+        return total
+
+    base_value = 0.0
+    for _ in range(k):
+        best_site: Optional[NodeId] = None
+        best_value = base_value
+        for site in own.candidate_sites:
+            if site in chosen:
+                continue
+            trial = list(current)
+            for entry in own.coverage.covering(site):
+                if entry.detour < trial[entry.flow_index]:
+                    trial[entry.flow_index] = entry.detour
+            value = payoff(trial)
+            if value > best_value:
+                best_site, best_value = site, value
+        if best_site is None:
+            break
+        chosen.append(best_site)
+        for entry in own.coverage.covering(best_site):
+            if entry.detour < current[entry.flow_index]:
+                current[entry.flow_index] = entry.detour
+        base_value = best_value
+    return chosen
+
+
+@dataclass
+class PlayResult:
+    """Outcome of :func:`alternating_play`."""
+
+    placements: Dict[str, Tuple[NodeId, ...]]
+    payoffs: Dict[str, float]
+    rounds: int
+    converged: bool
+
+
+def alternating_play(
+    scenario: CompetitiveScenario,
+    k: int,
+    max_rounds: int = 10,
+) -> PlayResult:
+    """Iterated greedy best responses in registration order.
+
+    Stops when a full round changes nobody's placement (a pure-strategy
+    equilibrium of the greedy-best-response dynamic) or after
+    ``max_rounds`` rounds.
+    """
+    if max_rounds < 1:
+        raise InvalidScenarioError(f"max_rounds must be >= 1, got {max_rounds}")
+    placements: Dict[str, Sequence[NodeId]] = {
+        competitor.name: () for competitor in scenario.competitors
+    }
+    converged = False
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        changed = False
+        for competitor in scenario.competitors:
+            response = best_response(scenario, competitor.name, placements, k)
+            if tuple(response) != tuple(placements[competitor.name]):
+                placements[competitor.name] = tuple(response)
+                changed = True
+        if not changed:
+            converged = True
+            break
+    return PlayResult(
+        placements={name: tuple(sites) for name, sites in placements.items()},
+        payoffs=evaluate_competition(scenario, placements),
+        rounds=rounds,
+        converged=converged,
+    )
+
+
+def price_of_anarchy(
+    scenario: CompetitiveScenario,
+    k: int,
+    max_rounds: int = 10,
+) -> Tuple[float, PlayResult]:
+    """Cooperative-vs-competitive demand ratio (>= 1).
+
+    Plays the alternating-best-response game, then compares the total
+    competitive demand against a merged chain (one owner of every shop)
+    jointly optimizing the same total RAP budget.  A ratio of 1.05 reads
+    "competition burns ~5% of the attainable demand" — the placement
+    game's empirical price of anarchy.
+    """
+    from ..algorithms import MarginalGainGreedy
+    from .multi_shop import MultiShopScenario
+
+    play = alternating_play(scenario, k, max_rounds=max_rounds)
+    competitive_total = sum(play.payoffs.values())
+
+    merged = MultiShopScenario(
+        scenario.network,
+        scenario.flows,
+        shops=[competitor.shop for competitor in scenario.competitors],
+        utility=scenario.utility,
+    )
+    budget = min(
+        k * len(scenario.competitors), len(merged.candidate_sites)
+    )
+    cooperative = MarginalGainGreedy().place(merged, budget)
+    if competitive_total <= 0:
+        ratio = float("inf") if cooperative.attracted > 0 else 1.0
+    else:
+        ratio = max(1.0, cooperative.attracted / competitive_total)
+    return ratio, play

@@ -1,0 +1,158 @@
+"""Planar geometry helpers used across the road-network substrate.
+
+Road networks in this library are embedded in the plane: every intersection
+carries an ``(x, y)`` position in feet (matching the paper's use of
+square-feet city extents).  The helpers here are deliberately small and
+dependency-free; they exist so that the rest of the code never open-codes
+coordinate math.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the plane, coordinates in feet."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 (taxicab) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle, used for spatial filtering of RAP sites.
+
+    The box is closed: points on the boundary are contained.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "BoundingBox":
+        """Smallest box containing ``points`` (at least one required)."""
+        points = list(points)
+        if not points:
+            raise ValueError("cannot build a bounding box from zero points")
+        return cls(
+            min(p.x for p in points),
+            min(p.y for p in points),
+            max(p.x for p in points),
+            max(p.y for p in points),
+        )
+
+    @classmethod
+    def square_around(cls, center: Point, side: float) -> "BoundingBox":
+        """The axis-aligned square of side ``side`` centered at ``center``.
+
+        This is the paper's ``D x D`` region around the shop in the
+        Manhattan-grid formulation.
+        """
+        if side < 0:
+            raise ValueError(f"side must be non-negative, got {side}")
+        half = side / 2.0
+        return cls(center.x - half, center.y - half, center.x + half, center.y + half)
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Vertical extent."""
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        """The box's center point."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """Corners in (SW, SE, NE, NW) order."""
+        return (
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        )
+
+    def contains(self, point: Point, tolerance: float = 0.0) -> bool:
+        """Whether ``point`` lies inside the (closed) box.
+
+        ``tolerance`` expands the box on every side; useful when snapping
+        noisy GPS samples.
+        """
+        return (
+            self.min_x - tolerance <= point.x <= self.max_x + tolerance
+            and self.min_y - tolerance <= point.y <= self.max_y + tolerance
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """A copy grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The midpoint of segment ``a``–``b``.
+
+    Algorithm 4 places corner RAPs "in the middle of that corner and the
+    shop"; this is the primitive it uses.
+    """
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def interpolate(a: Point, b: Point, fraction: float) -> Point:
+    """The point ``fraction`` of the way from ``a`` to ``b``.
+
+    ``fraction`` is clamped to ``[0, 1]`` so callers iterating slightly past
+    a segment end (float accumulation) stay on the segment.
+    """
+    t = min(1.0, max(0.0, fraction))
+    return Point(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+
+
+def polyline_length(points: Iterable[Point]) -> float:
+    """Total Euclidean length of the polyline through ``points``."""
+    total = 0.0
+    previous = None
+    for point in points:
+        if previous is not None:
+            total += previous.distance_to(point)
+        previous = point
+    return total

@@ -1,0 +1,145 @@
+"""The Manhattan-grid scenario (paper Section IV).
+
+Differences from the general :class:`~repro.core.scenario.Scenario`:
+
+* a flow is **not** bound to one fixed path — it may travel along *any*
+  shortest path between its endpoints, and it *will* choose a shortest
+  path containing a RAP when one exists (RAP locations are published, and
+  the advertisement is free);
+* the shop sits at the center of a ``D x D`` square region, and RAP
+  candidate sites default to the intersections inside that region.
+
+Flow objects are shared with the general scenario (their fixed paths are
+simply ignored here), so the same trace-derived demand can be evaluated
+under both semantics — exactly the comparison the paper draws between
+Figs. 12 and 13.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core import TrafficFlow, UtilityFunction
+from ..errors import InvalidScenarioError
+from ..graphs import BoundingBox, NodeId, RoadNetwork
+from .classify import ClassifiedFlows, partition_flows
+
+
+class ManhattanScenario:
+    """One shop in a square region of a (roughly) grid-shaped city.
+
+    Parameters
+    ----------
+    network:
+        The road network.  A perfect grid gives the paper's idealized
+        setting; a partially-grid trace network (Seattle) degrades
+        gracefully, as the paper expects.
+    flows:
+        Traffic demand.  Only each flow's endpoints, volume, and
+        attractiveness are used; paths are chosen by the drivers.
+    shop:
+        The shop intersection — the center of the region.
+    utility:
+        Detour-probability function; its threshold ``D`` doubles as the
+        region side length unless ``region_side`` overrides it.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        flows: Sequence[TrafficFlow],
+        shop: NodeId,
+        utility: UtilityFunction,
+        region_side: Optional[float] = None,
+        candidate_sites: Optional[Sequence[NodeId]] = None,
+    ) -> None:
+        if shop not in network:
+            raise InvalidScenarioError(f"shop {shop!r} is not an intersection")
+        if not flows:
+            raise InvalidScenarioError("scenario needs at least one traffic flow")
+        for flow in flows:
+            if flow.origin not in network or flow.destination not in network:
+                raise InvalidScenarioError(
+                    f"flow {flow.describe()} endpoints are off the network"
+                )
+        side = utility.threshold if region_side is None else region_side
+        if side <= 0:
+            raise InvalidScenarioError(f"region side must be positive, got {side}")
+        self._network = network
+        self._flows: Tuple[TrafficFlow, ...] = tuple(flows)
+        self._shop = shop
+        self._utility = utility
+        self._region = BoundingBox.square_around(network.position(shop), side)
+        if candidate_sites is None:
+            inside = network.nodes_within(self._region)
+            self._candidates: Tuple[NodeId, ...] = tuple(
+                inside if inside else [shop]
+            )
+        else:
+            for site in candidate_sites:
+                if site not in network:
+                    raise InvalidScenarioError(
+                        f"candidate site {site!r} is not an intersection"
+                    )
+            self._candidates = tuple(dict.fromkeys(candidate_sites))
+            if not self._candidates:
+                raise InvalidScenarioError("candidate site list is empty")
+        self._partition: Optional[ClassifiedFlows] = None
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The road network."""
+        return self._network
+
+    @property
+    def flows(self) -> Tuple[TrafficFlow, ...]:
+        """The traffic flows (paths ignored; endpoints rule)."""
+        return self._flows
+
+    @property
+    def shop(self) -> NodeId:
+        """The shop intersection (center of the region)."""
+        return self._shop
+
+    @property
+    def utility(self) -> UtilityFunction:
+        """The detour-probability function ``f``."""
+        return self._utility
+
+    @property
+    def region(self) -> BoundingBox:
+        """The ``D x D`` square centered on the shop."""
+        return self._region
+
+    @property
+    def candidate_sites(self) -> Tuple[NodeId, ...]:
+        """RAP-eligible intersections (defaults to those inside the region)."""
+        return self._candidates
+
+    @property
+    def partition(self) -> ClassifiedFlows:
+        """Flows split into straight / turned / other (cached)."""
+        if self._partition is None:
+            self._partition = partition_flows(
+                self._flows, self._network, self._region
+            )
+        return self._partition
+
+    def nearest_site(self, x: float, y: float) -> NodeId:
+        """The candidate site closest to ``(x, y)`` — used to snap the
+        geometric corner / midpoint targets of Algorithms 3 and 4 onto
+        actual intersections."""
+        from ..graphs import Point
+
+        target = Point(x, y)
+        return min(
+            self._candidates,
+            key=lambda site: self._network.position(site).distance_to(target),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ManhattanScenario(shop={self._shop!r}, flows={len(self._flows)}, "
+            f"region={self._region.width:g}x{self._region.height:g}, "
+            f"sites={len(self._candidates)})"
+        )

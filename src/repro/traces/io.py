@@ -1,0 +1,153 @@
+"""CSV serialization for GPS traces.
+
+Two on-disk schemas mirror the real datasets:
+
+* :data:`DUBLIN_SCHEMA` — ``bus_id, longitude, latitude,
+  vehicle_journey_id, timestamp`` (geographic coordinates, converted
+  through :data:`~repro.traces.records.DUBLIN_FRAME`);
+* :data:`SEATTLE_SCHEMA` — ``bus_id, x, y, route_id, timestamp``
+  (Cartesian feet, like the CRAWDAD ad_hoc_city trace).
+
+Readers are strict: missing columns, non-numeric fields, or empty ids
+raise :class:`~repro.errors.TraceFormatError` with row context rather
+than silently producing bad flows.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+from ..errors import TraceFormatError
+from .records import DUBLIN_FRAME, CoordinateFrame, GpsRecord
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TraceSchema:
+    """How :class:`GpsRecord` fields map onto CSV columns."""
+
+    name: str
+    bus_column: str
+    journey_column: str
+    position_columns: Tuple[str, str]
+    timestamp_column: str
+    frame: Optional[CoordinateFrame] = None
+    """When set, positions are stored as (lon, lat) in this frame."""
+
+    @property
+    def columns(self) -> List[str]:
+        """CSV header, in on-disk order."""
+        return [
+            self.bus_column,
+            *self.position_columns,
+            self.journey_column,
+            self.timestamp_column,
+        ]
+
+    def encode(self, record: GpsRecord) -> List[str]:
+        """One CSV row for a record (converting coordinates if geographic)."""
+        if self.frame is not None:
+            first, second = self.frame.to_lonlat(record.x, record.y)
+        else:
+            first, second = record.x, record.y
+        return [
+            record.bus_id,
+            f"{first:.9f}",
+            f"{second:.9f}",
+            record.journey_id,
+            f"{record.timestamp:.3f}",
+        ]
+
+    def decode(self, row: dict, line: int) -> GpsRecord:
+        """Parse one CSV row into a record, with line-number context on error."""
+        def numeric(column: str) -> float:
+            raw = row.get(column)
+            if raw is None:
+                raise TraceFormatError(
+                    f"{self.name} line {line}: missing column {column!r}"
+                )
+            try:
+                return float(raw)
+            except ValueError:
+                raise TraceFormatError(
+                    f"{self.name} line {line}: column {column!r} has "
+                    f"non-numeric value {raw!r}"
+                ) from None
+
+        first = numeric(self.position_columns[0])
+        second = numeric(self.position_columns[1])
+        if self.frame is not None:
+            x, y = self.frame.to_xy(first, second)
+        else:
+            x, y = first, second
+        bus_id = (row.get(self.bus_column) or "").strip()
+        journey_id = (row.get(self.journey_column) or "").strip()
+        if not bus_id or not journey_id:
+            raise TraceFormatError(
+                f"{self.name} line {line}: empty bus or journey id"
+            )
+        try:
+            return GpsRecord(
+                bus_id=bus_id,
+                journey_id=journey_id,
+                timestamp=numeric(self.timestamp_column),
+                x=x,
+                y=y,
+            )
+        except TraceFormatError as error:
+            raise TraceFormatError(f"{self.name} line {line}: {error}") from None
+
+
+DUBLIN_SCHEMA = TraceSchema(
+    name="dublin",
+    bus_column="bus_id",
+    journey_column="vehicle_journey_id",
+    position_columns=("longitude", "latitude"),
+    timestamp_column="timestamp",
+    frame=DUBLIN_FRAME,
+)
+
+SEATTLE_SCHEMA = TraceSchema(
+    name="seattle",
+    bus_column="bus_id",
+    journey_column="route_id",
+    position_columns=("x", "y"),
+    timestamp_column="timestamp",
+    frame=None,
+)
+
+
+def write_trace_csv(
+    records: Iterable[GpsRecord], path: PathLike, schema: TraceSchema
+) -> int:
+    """Write ``records`` to ``path``; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.columns)
+        for record in records:
+            writer.writerow(schema.encode(record))
+            count += 1
+    return count
+
+
+def read_trace_csv(path: PathLike, schema: TraceSchema) -> List[GpsRecord]:
+    """Read a trace CSV written with (or compatible with) ``schema``."""
+    records: List[GpsRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise TraceFormatError(f"{path}: empty trace file")
+        missing = set(schema.columns) - set(reader.fieldnames)
+        if missing:
+            raise TraceFormatError(
+                f"{path}: missing columns {sorted(missing)} "
+                f"(found {reader.fieldnames})"
+            )
+        for line, row in enumerate(reader, start=2):
+            records.append(schema.decode(row, line))
+    return records

@@ -1,0 +1,241 @@
+"""Map matching: GPS journeys back onto the road network.
+
+Pipeline per journey (see :func:`match_journey`):
+
+1. **snap** every sample to the nearest intersection (via a uniform grid
+   spatial index); samples farther than ``max_snap_distance`` from any
+   intersection are dropped;
+2. **collapse** consecutive duplicates into a node sequence;
+3. **repair** gaps: consecutive snapped nodes that are not adjacent on
+   the network are joined by their shortest path (GPS sampling is usually
+   coarser than one block);
+4. **erase loops**: noise can make the sequence revisit a node; loop
+   erasure keeps the first visit and drops the excursion, yielding the
+   simple path that :class:`~repro.core.flow.TrafficFlow` requires.
+
+A journey that cannot be matched (all samples off-map, or endpoints
+mutually unreachable) raises :class:`~repro.errors.MapMatchError`;
+:func:`match_journeys` can either propagate or skip-and-count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MapMatchError, NoPathError
+from ..graphs import NodeId, Point, RoadNetwork, shortest_path
+from .records import Journey
+
+
+class GridIndex:
+    """Uniform-grid spatial index over intersections."""
+
+    def __init__(self, network: RoadNetwork, cell_size: Optional[float] = None):
+        if network.node_count == 0:
+            raise MapMatchError("cannot index an empty network")
+        self._network = network
+        box = network.bounding_box()
+        if cell_size is None:
+            # Aim for O(1) nodes per cell on a roughly uniform layout.
+            area = max(box.width * box.height, 1.0)
+            cell_size = math.sqrt(area / network.node_count) or 1.0
+        self._cell = max(cell_size, 1e-9)
+        self._origin = Point(box.min_x, box.min_y)
+        self._buckets: Dict[Tuple[int, int], List[NodeId]] = {}
+        for node in network.nodes():
+            self._buckets.setdefault(self._key(network.position(node)), []).append(
+                node
+            )
+
+    def _key(self, point: Point) -> Tuple[int, int]:
+        return (
+            int((point.x - self._origin.x) // self._cell),
+            int((point.y - self._origin.y) // self._cell),
+        )
+
+    def nearest(self, point: Point) -> Tuple[NodeId, float]:
+        """Nearest intersection and its distance, searched ring by ring.
+
+        Any node in ring ``r`` (Chebyshev cell distance) is at least
+        ``(r - 1) * cell`` feet away, so once the current best beats that
+        lower bound for the next ring the search can stop.
+        """
+        center = self._key(point)
+        keys = self._buckets.keys()
+        max_radius = max(
+            max(abs(kx - center[0]), abs(ky - center[1])) for kx, ky in keys
+        )
+        best: Optional[NodeId] = None
+        best_distance = math.inf
+        radius = 0
+        while radius <= max_radius or best is None:
+            for cx in range(center[0] - radius, center[0] + radius + 1):
+                for cy in range(center[1] - radius, center[1] + radius + 1):
+                    if max(abs(cx - center[0]), abs(cy - center[1])) != radius:
+                        continue  # scan the ring only, not the full square
+                    for node in self._buckets.get((cx, cy), ()):
+                        distance = self._network.position(node).distance_to(point)
+                        if distance < best_distance:
+                            best, best_distance = node, distance
+            if best is not None and best_distance <= radius * self._cell:
+                break
+            radius += 1
+            if radius > max_radius + 2 and best is not None:
+                break
+        assert best is not None
+        return best, best_distance
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one journey."""
+
+    journey: Journey
+    path: Tuple[NodeId, ...]
+    snapped_samples: int
+    dropped_samples: int
+    repaired_gaps: int
+    erased_loops: int
+
+
+@dataclass
+class MatchReport:
+    """Aggregate over a whole trace."""
+
+    results: List[MatchResult] = field(default_factory=list)
+    failures: List[Tuple[Journey, str]] = field(default_factory=list)
+
+    @property
+    def matched_count(self) -> int:
+        """Journeys matched successfully."""
+        return len(self.results)
+
+    @property
+    def failure_count(self) -> int:
+        """Journeys that could not be matched."""
+        return len(self.failures)
+
+
+def snap_samples(
+    journey: Journey,
+    index: GridIndex,
+    max_snap_distance: float,
+) -> Tuple[List[NodeId], int]:
+    """Snap each sample to its nearest intersection; drop outliers."""
+    snapped: List[NodeId] = []
+    dropped = 0
+    for record in journey.records:
+        node, distance = index.nearest(record.position)
+        if distance <= max_snap_distance:
+            snapped.append(node)
+        else:
+            dropped += 1
+    return snapped, dropped
+
+
+def collapse_duplicates(nodes: Sequence[NodeId]) -> List[NodeId]:
+    """Remove consecutive repeats (bus idling / dense sampling)."""
+    collapsed: List[NodeId] = []
+    for node in nodes:
+        if not collapsed or collapsed[-1] != node:
+            collapsed.append(node)
+    return collapsed
+
+
+def repair_gaps(
+    network: RoadNetwork, nodes: Sequence[NodeId]
+) -> Tuple[List[NodeId], int]:
+    """Connect non-adjacent consecutive nodes via shortest paths."""
+    if not nodes:
+        return [], 0
+    repaired: List[NodeId] = [nodes[0]]
+    gaps = 0
+    for node in nodes[1:]:
+        previous = repaired[-1]
+        if network.has_road(previous, node):
+            repaired.append(node)
+            continue
+        try:
+            bridge = shortest_path(network, previous, node)
+        except NoPathError:
+            raise MapMatchError(
+                f"no drivable route between snapped nodes {previous!r} and "
+                f"{node!r}"
+            ) from None
+        repaired.extend(bridge[1:])
+        gaps += 1
+    return repaired, gaps
+
+
+def erase_loops(nodes: Sequence[NodeId]) -> Tuple[List[NodeId], int]:
+    """Loop-erase the walk: keep the prefix up to each first revisit."""
+    path: List[NodeId] = []
+    seen: Dict[NodeId, int] = {}
+    erased = 0
+    for node in nodes:
+        if node in seen:
+            cut = seen[node]
+            for removed in path[cut + 1 :]:
+                del seen[removed]
+            path = path[: cut + 1]
+            erased += 1
+        else:
+            seen[node] = len(path)
+            path.append(node)
+    return path, erased
+
+
+def match_journey(
+    network: RoadNetwork,
+    journey: Journey,
+    index: Optional[GridIndex] = None,
+    max_snap_distance: float = math.inf,
+) -> MatchResult:
+    """Run the full pipeline on one journey."""
+    if index is None:
+        index = GridIndex(network)
+    snapped, dropped = snap_samples(journey, index, max_snap_distance)
+    if len(snapped) == 0:
+        raise MapMatchError(
+            f"journey {journey.journey_id!r}: every sample was farther than "
+            f"{max_snap_distance:g} ft from the network"
+        )
+    collapsed = collapse_duplicates(snapped)
+    repaired, gaps = repair_gaps(network, collapsed)
+    path, loops = erase_loops(repaired)
+    if len(path) < 2:
+        raise MapMatchError(
+            f"journey {journey.journey_id!r} collapses to fewer than two "
+            "distinct intersections"
+        )
+    return MatchResult(
+        journey=journey,
+        path=tuple(path),
+        snapped_samples=len(snapped),
+        dropped_samples=dropped,
+        repaired_gaps=gaps,
+        erased_loops=loops,
+    )
+
+
+def match_journeys(
+    network: RoadNetwork,
+    journeys: Sequence[Journey],
+    max_snap_distance: float = math.inf,
+    skip_failures: bool = True,
+) -> MatchReport:
+    """Match a whole trace; failures are collected (or re-raised)."""
+    index = GridIndex(network)
+    report = MatchReport()
+    for journey in journeys:
+        try:
+            report.results.append(
+                match_journey(network, journey, index, max_snap_distance)
+            )
+        except MapMatchError as error:
+            if not skip_failures:
+                raise
+            report.failures.append((journey, str(error)))
+    return report

@@ -1,0 +1,141 @@
+"""GPS trace records and journeys.
+
+The paper's two datasets share one logical shape — periodic GPS samples
+from buses, each tagged with a journey/route identifier:
+
+* Dublin: ``(bus id, longitude, latitude, vehicle journey id)``;
+* Seattle: ``(bus id, x, y, route id)``.
+
+Internally everything is carried in a city-local Cartesian frame in
+feet (matching the paper's 80,000 x 80,000 ft / 10^4 x 10^4 ft extents);
+:class:`CoordinateFrame` converts to and from geographic coordinates so
+the Dublin CSV schema can round-trip lon/lat like the real dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import TraceFormatError
+from ..graphs import Point
+
+#: Feet per degree of latitude (WGS-84 mean, good enough for a city).
+FEET_PER_DEGREE_LATITUDE = 364_000.0
+
+
+@dataclass(frozen=True)
+class CoordinateFrame:
+    """A local tangent-plane frame anchored at ``(anchor_lon, anchor_lat)``.
+
+    ``x`` grows east, ``y`` grows north, both in feet from the anchor.
+    """
+
+    anchor_lon: float
+    anchor_lat: float
+
+    @property
+    def feet_per_degree_longitude(self) -> float:
+        """Longitude scale at the anchor latitude."""
+        return FEET_PER_DEGREE_LATITUDE * math.cos(math.radians(self.anchor_lat))
+
+    def to_lonlat(self, x: float, y: float) -> Tuple[float, float]:
+        """Local (x, y) feet -> (longitude, latitude)."""
+        return (
+            self.anchor_lon + x / self.feet_per_degree_longitude,
+            self.anchor_lat + y / FEET_PER_DEGREE_LATITUDE,
+        )
+
+    def to_xy(self, lon: float, lat: float) -> Tuple[float, float]:
+        """(longitude, latitude) -> local (x, y) feet."""
+        return (
+            (lon - self.anchor_lon) * self.feet_per_degree_longitude,
+            (lat - self.anchor_lat) * FEET_PER_DEGREE_LATITUDE,
+        )
+
+
+#: Frame anchored in central Dublin (the paper's Fig. 8 area).
+DUBLIN_FRAME = CoordinateFrame(anchor_lon=-6.30, anchor_lat=53.33)
+
+
+@dataclass(frozen=True)
+class GpsRecord:
+    """One GPS sample from one bus."""
+
+    bus_id: str
+    journey_id: str
+    timestamp: float
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not self.bus_id:
+            raise TraceFormatError("GPS record needs a bus id")
+        if not self.journey_id:
+            raise TraceFormatError("GPS record needs a journey/route id")
+        if math.isnan(self.x) or math.isnan(self.y):
+            raise TraceFormatError(
+                f"GPS record for bus {self.bus_id!r} has NaN coordinates"
+            )
+        if math.isnan(self.timestamp) or self.timestamp < 0:
+            raise TraceFormatError(
+                f"GPS record for bus {self.bus_id!r} has invalid timestamp "
+                f"{self.timestamp}"
+            )
+
+    @property
+    def position(self) -> Point:
+        """The sample position as a Point."""
+        return Point(self.x, self.y)
+
+
+@dataclass
+class Journey:
+    """All samples of one bus run, in time order."""
+
+    bus_id: str
+    journey_id: str
+    records: List[GpsRecord] = field(default_factory=list)
+
+    def append(self, record: GpsRecord) -> None:
+        """Add a record (must belong to this bus/journey)."""
+        if record.bus_id != self.bus_id or record.journey_id != self.journey_id:
+            raise TraceFormatError(
+                f"record for ({record.bus_id}, {record.journey_id}) appended "
+                f"to journey ({self.bus_id}, {self.journey_id})"
+            )
+        self.records.append(record)
+
+    def sort(self) -> None:
+        """Sort samples by timestamp, in place."""
+        self.records.sort(key=lambda r: r.timestamp)
+
+    @property
+    def sample_count(self) -> int:
+        """Number of GPS samples."""
+        return len(self.records)
+
+    def positions(self) -> List[Point]:
+        """Sample positions, in time order."""
+        return [record.position for record in self.records]
+
+
+def group_into_journeys(records: Iterable[GpsRecord]) -> List[Journey]:
+    """Group records by ``(bus_id, journey_id)``, time-sorted.
+
+    Journeys are returned in first-appearance order, making downstream
+    processing deterministic for a deterministic record stream.
+    """
+    journeys: Dict[Tuple[str, str], Journey] = {}
+    for record in records:
+        key = (record.bus_id, record.journey_id)
+        journey = journeys.get(key)
+        if journey is None:
+            journey = Journey(bus_id=record.bus_id, journey_id=record.journey_id)
+            journeys[key] = journey
+        journey.append(record)
+    result = list(journeys.values())
+    for journey in result:
+        journey.sort()
+    return result

@@ -1,0 +1,109 @@
+"""Trace quality statistics.
+
+Two views:
+
+* :func:`trace_statistics` — properties of the raw GPS record stream
+  (sampling cadence, fleet size, spatial extent), useful when validating
+  an external trace before feeding it to map matching;
+* :func:`match_fidelity` — how well map matching recovered the
+  ground-truth journey patterns, available for synthetic traces where
+  the truth is known (the generator keeps it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import TraceError
+from ..graphs import BoundingBox
+from .journeys import JourneyPattern
+from .mapmatch import MatchReport
+from .records import GpsRecord, group_into_journeys
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate properties of a GPS record stream."""
+
+    record_count: int
+    bus_count: int
+    journey_count: int
+    duration_seconds: float
+    median_sample_period: float
+    extent: BoundingBox
+
+
+def trace_statistics(records: Sequence[GpsRecord]) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` (raises on an empty stream)."""
+    if not records:
+        raise TraceError("cannot summarize an empty trace")
+    journeys = group_into_journeys(records)
+    periods: List[float] = []
+    for journey in journeys:
+        times = [record.timestamp for record in journey.records]
+        periods.extend(b - a for a, b in zip(times, times[1:]))
+    periods.sort()
+    median_period = periods[len(periods) // 2] if periods else 0.0
+    timestamps = [record.timestamp for record in records]
+    return TraceStatistics(
+        record_count=len(records),
+        bus_count=len({record.bus_id for record in records}),
+        journey_count=len(journeys),
+        duration_seconds=max(timestamps) - min(timestamps),
+        median_sample_period=median_period,
+        extent=BoundingBox.from_points(
+            [record.position for record in records]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class MatchFidelity:
+    """How well map matching recovered the ground truth."""
+
+    journeys: int
+    exact_path_fraction: float
+    """Matched path identical to the pattern path."""
+
+    endpoint_fraction: float
+    """Matched origin and destination both correct."""
+
+    mean_node_jaccard: float
+    """Mean Jaccard similarity between matched and true node sets."""
+
+
+def match_fidelity(
+    report: MatchReport, patterns: Sequence[JourneyPattern]
+) -> MatchFidelity:
+    """Score ``report`` against the generating ``patterns``."""
+    truth: Dict[str, Tuple] = {
+        pattern.pattern_id: pattern.path for pattern in patterns
+    }
+    if not report.results:
+        raise TraceError("match report contains no matched journeys")
+    exact = 0
+    endpoints = 0
+    jaccards: List[float] = []
+    for result in report.results:
+        expected = truth.get(result.journey.journey_id)
+        if expected is None:
+            raise TraceError(
+                f"journey {result.journey.journey_id!r} has no ground-truth "
+                "pattern"
+            )
+        if result.path == expected:
+            exact += 1
+        if result.path[0] == expected[0] and result.path[-1] == expected[-1]:
+            endpoints += 1
+        matched_nodes = set(result.path)
+        true_nodes = set(expected)
+        union = matched_nodes | true_nodes
+        jaccards.append(len(matched_nodes & true_nodes) / len(union))
+    n = len(report.results)
+    return MatchFidelity(
+        journeys=n,
+        exact_path_fraction=exact / n,
+        endpoint_fraction=endpoints / n,
+        mean_node_jaccard=sum(jaccards) / n,
+    )

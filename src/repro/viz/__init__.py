@@ -1,0 +1,20 @@
+"""Dependency-free SVG visualization of networks and placements."""
+
+from .plots import panel_plot, svg_line_plot
+from .render import (
+    render_manhattan,
+    render_network,
+    render_placement,
+    save_svg,
+)
+from .svg import SvgCanvas
+
+__all__ = [
+    "SvgCanvas",
+    "panel_plot",
+    "render_manhattan",
+    "render_network",
+    "render_placement",
+    "save_svg",
+    "svg_line_plot",
+]

@@ -1,0 +1,193 @@
+"""SVG line plots — paper-style figure rendering.
+
+The paper's evaluation figures are k-vs-customers line plots; this
+module draws them as standalone SVG (no plotting dependency), so
+``rapflow run-figure figNN --svg-dir out/`` regenerates graphics that
+can sit next to the paper's for visual comparison.
+
+Marker/color assignments are stable per series position, the y-axis is
+zero-based (matching the paper's plots), and the legend is drawn inside
+the plot area's top-left, under the title.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+
+#: Line colors, assigned in series order (proposed algorithm first).
+COLORS = (
+    "#d62728",  # red — the proposed algorithm
+    "#1f77b4",  # blue
+    "#2ca02c",  # green
+    "#9467bd",  # purple
+    "#8c564b",  # brown
+    "#e377c2",  # pink
+    "#7f7f7f",  # gray
+    "#17becf",  # cyan
+)
+
+MARKERS = ("circle", "square", "triangle", "diamond", "circle", "square",
+           "triangle", "diamond")
+
+
+def _marker_svg(kind: str, x: float, y: float, size: float, color: str) -> str:
+    half = size / 2
+    if kind == "circle":
+        return (
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{half:.1f}" '
+            f'fill="{color}"/>'
+        )
+    if kind == "square":
+        return (
+            f'<rect x="{x - half:.1f}" y="{y - half:.1f}" '
+            f'width="{size:.1f}" height="{size:.1f}" fill="{color}"/>'
+        )
+    if kind == "triangle":
+        points = f"{x:.1f},{y - half:.1f} {x - half:.1f},{y + half:.1f} " \
+                 f"{x + half:.1f},{y + half:.1f}"
+        return f'<polygon points="{points}" fill="{color}"/>'
+    # diamond
+    points = (
+        f"{x:.1f},{y - half:.1f} {x + half:.1f},{y:.1f} "
+        f"{x:.1f},{y + half:.1f} {x - half:.1f},{y:.1f}"
+    )
+    return f'<polygon points="{points}" fill="{color}"/>'
+
+
+def svg_line_plot(
+    series: Dict[str, Sequence[float]],
+    xs: Sequence[float],
+    title: str = "",
+    x_label: str = "number of RAPs (k)",
+    y_label: str = "attracted customers/day",
+    width: int = 560,
+    height: int = 400,
+) -> str:
+    """Render aligned series as a paper-style SVG line plot."""
+    if not series:
+        raise ExperimentError("nothing to plot")
+    if len(series) > len(COLORS):
+        raise ExperimentError(
+            f"at most {len(COLORS)} series supported, got {len(series)}"
+        )
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ExperimentError(
+                f"series {name!r} has {len(values)} points for {len(xs)} xs"
+            )
+    margin_left, margin_right = 64, 16
+    margin_top, margin_bottom = 40, 52
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+    y_max = max(max(values) for values in series.values()) or 1.0
+    y_max *= 1.08  # headroom
+
+    def sx(x: float) -> float:
+        return margin_left + (x - x_min) / x_span * plot_w
+
+    def sy(y: float) -> float:
+        return margin_top + plot_h - y / y_max * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="sans-serif">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    # Axes.
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{margin_top + plot_h}" stroke="#333" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" '
+        'stroke="#333" stroke-width="1"/>'
+    )
+    # Y ticks + gridlines (5 divisions).
+    for i in range(6):
+        value = y_max * i / 5
+        y = sy(value)
+        parts.append(
+            f'<line x1="{margin_left - 4}" y1="{y:.1f}" x2="{margin_left}" '
+            f'y2="{y:.1f}" stroke="#333"/>'
+        )
+        if i > 0:
+            parts.append(
+                f'<line x1="{margin_left}" y1="{y:.1f}" '
+                f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+                'stroke="#eee" stroke-width="1"/>'
+            )
+        parts.append(
+            f'<text x="{margin_left - 8}" y="{y + 4:.1f}" font-size="11" '
+            f'text-anchor="end" fill="#333">{value:.2g}</text>'
+        )
+    # X ticks.
+    for x in xs:
+        px = sx(x)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{margin_top + plot_h}" '
+            f'x2="{px:.1f}" y2="{margin_top + plot_h + 4}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{margin_top + plot_h + 18}" '
+            f'font-size="11" text-anchor="middle" fill="#333">{x:g}</text>'
+        )
+    # Labels + title.
+    parts.append(
+        f'<text x="{margin_left + plot_w / 2:.1f}" y="{height - 12}" '
+        f'font-size="12" text-anchor="middle" fill="#222">{x_label}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{margin_top + plot_h / 2:.1f}" font-size="12" '
+        f'text-anchor="middle" fill="#222" '
+        f'transform="rotate(-90 16 {margin_top + plot_h / 2:.1f})">'
+        f"{y_label}</text>"
+    )
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="22" font-size="13" '
+            f'text-anchor="middle" fill="#111">{title}</text>'
+        )
+    # Series.
+    for index, (name, values) in enumerate(series.items()):
+        color = COLORS[index]
+        marker = MARKERS[index]
+        points = " ".join(
+            f"{sx(x):.1f},{sy(v):.1f}" for x, v in zip(xs, values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            'stroke-width="1.8"/>'
+        )
+        for x, v in zip(xs, values):
+            parts.append(_marker_svg(marker, sx(x), sy(v), 7.0, color))
+        # Legend entry.
+        ly = margin_top + 14 + index * 16
+        lx = margin_left + 10
+        parts.append(_marker_svg(marker, lx, ly - 4, 7.0, color))
+        parts.append(
+            f'<text x="{lx + 10}" y="{ly}" font-size="11" '
+            f'fill="#222">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def panel_plot(panel, title: Optional[str] = None) -> str:
+    """Plot a :class:`~repro.experiments.results.PanelResult` as SVG."""
+    from ..experiments.report import display_name
+
+    series = {
+        display_name(name): list(s.means) for name, s in panel.series.items()
+    }
+    return svg_line_plot(
+        series,
+        [float(k) for k in panel.spec.ks],
+        title=title if title is not None else panel.spec.panel_id,
+    )

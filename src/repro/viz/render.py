@@ -1,0 +1,145 @@
+"""Renderers: road networks, traffic, and placements as SVG.
+
+Visual conventions (matching the paper's Fig. 1/2 style):
+
+* streets — light gray lines (one-way streets dashed);
+* traffic flows — blue polylines, width proportional to volume;
+* the shop — a green square;
+* RAPs — red circles, radius scaled by attributed customers;
+* the Manhattan ``D x D`` region — a dashed rectangle.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..core import Placement, Scenario, TrafficFlow
+from ..graphs import NodeId, RoadNetwork
+from ..manhattan import ManhattanScenario
+from .svg import SvgCanvas
+
+PathLike = Union[str, Path]
+
+STREET_COLOR = "#bbbbbb"
+FLOW_COLOR = "#3366cc"
+RAP_COLOR = "#cc3333"
+SHOP_COLOR = "#117733"
+
+
+def _draw_streets(canvas: SvgCanvas, network: RoadNetwork) -> None:
+    drawn = set()
+    for tail, head, _ in network.edges():
+        if (head, tail) in drawn:
+            continue
+        drawn.add((tail, head))
+        two_way = network.has_road(head, tail)
+        canvas.line(
+            network.position(tail),
+            network.position(head),
+            stroke=STREET_COLOR,
+            stroke_width=1.2 if two_way else 1.0,
+            dash=None if two_way else "4,3",
+        )
+
+
+def _draw_flows(
+    canvas: SvgCanvas,
+    network: RoadNetwork,
+    flows: Sequence[TrafficFlow],
+    max_width: float = 6.0,
+) -> None:
+    if not flows:
+        return
+    top_volume = max(flow.volume for flow in flows)
+    for flow in flows:
+        width = 0.8 + (flow.volume / top_volume) * max_width
+        canvas.polyline(
+            [network.position(node) for node in flow.path],
+            stroke=FLOW_COLOR,
+            stroke_width=width,
+            opacity=0.35,
+        )
+
+
+def render_network(
+    network: RoadNetwork,
+    flows: Sequence[TrafficFlow] = (),
+    caption: Optional[str] = None,
+    width: int = 800,
+) -> str:
+    """The base map: streets plus (optionally) traffic flows."""
+    canvas = SvgCanvas(network.bounding_box(), width=width)
+    _draw_streets(canvas, network)
+    _draw_flows(canvas, network, flows)
+    if caption:
+        canvas.caption(caption)
+    return canvas.to_svg()
+
+
+def render_placement(
+    scenario: Scenario,
+    placement: Placement,
+    caption: Optional[str] = None,
+    width: int = 800,
+    label_raps: bool = True,
+) -> str:
+    """A placement on its scenario: flows, shop, and sized RAP markers."""
+    network = scenario.network
+    canvas = SvgCanvas(network.bounding_box(), width=width)
+    _draw_streets(canvas, network)
+    _draw_flows(canvas, network, scenario.flows)
+
+    contributions = placement.customers_by_rap()
+    top = max(contributions.values()) if contributions else 0.0
+    for rap in placement.raps:
+        share = contributions.get(rap, 0.0) / top if top > 0 else 0.0
+        canvas.circle(
+            network.position(rap),
+            radius=4.0 + 6.0 * share,
+            fill=RAP_COLOR,
+            stroke="white",
+        )
+        if label_raps:
+            canvas.text(
+                network.position(rap),
+                f"{contributions.get(rap, 0.0):.2g}",
+                size=10,
+                dy=-8,
+            )
+    canvas.square_marker(network.position(scenario.shop), fill=SHOP_COLOR)
+    canvas.caption(
+        caption
+        or (
+            f"{placement.algorithm or 'placement'}: k={placement.k}, "
+            f"{placement.attracted:.3g} customers/day"
+        )
+    )
+    return canvas.to_svg()
+
+
+def render_manhattan(
+    scenario: ManhattanScenario,
+    raps: Sequence[NodeId] = (),
+    caption: Optional[str] = None,
+    width: int = 800,
+) -> str:
+    """The Manhattan scenario: the D x D region plus any RAPs."""
+    network = scenario.network
+    canvas = SvgCanvas(network.bounding_box(), width=width)
+    _draw_streets(canvas, network)
+    _draw_flows(canvas, network, scenario.flows)
+    canvas.rect(scenario.region, stroke="#333333", dash="6,4", stroke_width=1.5)
+    for rap in raps:
+        canvas.circle(network.position(rap), radius=5.0, fill=RAP_COLOR,
+                      stroke="white")
+    canvas.square_marker(network.position(scenario.shop), fill=SHOP_COLOR)
+    if caption:
+        canvas.caption(caption)
+    return canvas.to_svg()
+
+
+def save_svg(svg: str, path: PathLike) -> None:
+    """Write an SVG document to disk."""
+    with open(path, "w") as handle:
+        handle.write(svg)

@@ -1,0 +1,172 @@
+"""A minimal SVG document builder (no dependencies).
+
+Just enough scalable-vector plumbing to draw road networks and
+placements: a fluent document that collects shapes in *world*
+coordinates (feet, y growing north) and emits an SVG with the proper
+flip and fit-to-view transform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape, quoteattr
+
+from ..graphs import BoundingBox, Point
+
+
+class SvgCanvas:
+    """Collects shapes in world coordinates; renders to an SVG string."""
+
+    def __init__(
+        self,
+        world: BoundingBox,
+        width: int = 800,
+        margin: float = 0.05,
+    ) -> None:
+        if width < 10:
+            raise ValueError(f"canvas width too small: {width}")
+        self._world = world.expanded(
+            margin * max(world.width, world.height, 1.0)
+        )
+        self._width = width
+        aspect = (self._world.height or 1.0) / (self._world.width or 1.0)
+        self._height = max(10, int(width * aspect))
+        self._elements: List[str] = []
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+    def _sx(self, x: float) -> float:
+        span = self._world.width or 1.0
+        return (x - self._world.min_x) / span * self._width
+
+    def _sy(self, y: float) -> float:
+        span = self._world.height or 1.0
+        # SVG y grows downward; world y grows north.
+        return self._height - (y - self._world.min_y) / span * self._height
+
+    # ------------------------------------------------------------------
+    # shapes (world coordinates)
+    # ------------------------------------------------------------------
+    def line(
+        self,
+        a: Point,
+        b: Point,
+        stroke: str = "#888",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+        dash: Optional[str] = None,
+    ) -> None:
+        """A straight segment between two world points."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{self._sx(a.x):.2f}" y1="{self._sy(a.y):.2f}" '
+            f'x2="{self._sx(b.x):.2f}" y2="{self._sy(b.y):.2f}" '
+            f'stroke={quoteattr(stroke)} stroke-width="{stroke_width:.2f}" '
+            f'opacity="{opacity:.3f}"{dash_attr} stroke-linecap="round"/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Point],
+        stroke: str = "#555",
+        stroke_width: float = 1.5,
+        opacity: float = 1.0,
+    ) -> None:
+        """An open polyline through world points (ignored if < 2 points)."""
+        if len(points) < 2:
+            return
+        coords = " ".join(
+            f"{self._sx(p.x):.2f},{self._sy(p.y):.2f}" for p in points
+        )
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke={quoteattr(stroke)} stroke-width="{stroke_width:.2f}" '
+            f'opacity="{opacity:.3f}" stroke-linejoin="round" '
+            'stroke-linecap="round"/>'
+        )
+
+    def circle(
+        self,
+        center: Point,
+        radius: float = 4.0,
+        fill: str = "#d33",
+        stroke: str = "none",
+        opacity: float = 1.0,
+    ) -> None:
+        """A filled circle (radius in screen pixels)."""
+        self._elements.append(
+            f'<circle cx="{self._sx(center.x):.2f}" '
+            f'cy="{self._sy(center.y):.2f}" r="{radius:.2f}" '
+            f'fill={quoteattr(fill)} stroke={quoteattr(stroke)} '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def rect(
+        self,
+        box: BoundingBox,
+        stroke: str = "#333",
+        fill: str = "none",
+        stroke_width: float = 1.0,
+        dash: Optional[str] = None,
+    ) -> None:
+        """An axis-aligned rectangle from a world bounding box."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        x = self._sx(box.min_x)
+        y = self._sy(box.max_y)
+        w = self._sx(box.max_x) - x
+        h = self._sy(box.min_y) - y
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" fill={quoteattr(fill)} '
+            f'stroke={quoteattr(stroke)} '
+            f'stroke-width="{stroke_width:.2f}"{dash_attr}/>'
+        )
+
+    def square_marker(
+        self, center: Point, size: float = 10.0, fill: str = "#171"
+    ) -> None:
+        """A screen-space square marker (used for the shop)."""
+        cx, cy = self._sx(center.x), self._sy(center.y)
+        half = size / 2
+        self._elements.append(
+            f'<rect x="{cx - half:.2f}" y="{cy - half:.2f}" '
+            f'width="{size:.2f}" height="{size:.2f}" '
+            f'fill={quoteattr(fill)} stroke="white" stroke-width="1"/>'
+        )
+
+    def text(
+        self,
+        anchor: Point,
+        content: str,
+        size: int = 12,
+        fill: str = "#222",
+        dy: float = 0.0,
+    ) -> None:
+        """A text label anchored at a world point."""
+        self._elements.append(
+            f'<text x="{self._sx(anchor.x):.2f}" '
+            f'y="{self._sy(anchor.y) + dy:.2f}" font-size="{size}" '
+            f'fill={quoteattr(fill)} '
+            'font-family="sans-serif">'
+            f"{escape(content)}</text>"
+        )
+
+    def caption(self, content: str, size: int = 13) -> None:
+        """A caption pinned to the top-left corner in screen space."""
+        self._elements.append(
+            f'<text x="8" y="{size + 6}" font-size="{size}" fill="#222" '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """Serialize the canvas to an SVG document string."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self._width}" height="{self._height}" '
+            f'viewBox="0 0 {self._width} {self._height}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )

@@ -1,0 +1,43 @@
+"""Tests for the PlacementAlgorithm base class contract."""
+
+import pytest
+
+from repro.algorithms import PlacementAlgorithm
+from repro.algorithms.base import register
+from repro.errors import PlacementError
+
+
+class OverSelector(PlacementAlgorithm):
+    """Misbehaving algorithm that ignores its budget."""
+
+    name = "over-selector"
+
+    def select(self, scenario, k):
+        """Return more sites than allowed (deliberately broken)."""
+        return list(scenario.candidate_sites)[: k + 2]
+
+
+class TestPlaceContract:
+    def test_budget_overflow_rejected(self, paper_linear_scenario):
+        with pytest.raises(PlacementError):
+            OverSelector().place(paper_linear_scenario, 1)
+
+    def test_repr(self):
+        assert "OverSelector" in repr(OverSelector())
+
+
+class TestRegistry:
+    def test_double_registration_rejected(self):
+        with pytest.raises(PlacementError):
+            register("composite-greedy")(OverSelector)
+
+    def test_new_registration_and_cleanup(self):
+        from repro.algorithms.base import _REGISTRY, algorithm_by_name
+
+        register("test-only-algo")(OverSelector)
+        try:
+            assert isinstance(
+                algorithm_by_name("test-only-algo"), OverSelector
+            )
+        finally:
+            del _REGISTRY["test-only-algo"]

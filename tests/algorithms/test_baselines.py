@@ -1,0 +1,153 @@
+"""Tests for the four baseline algorithms and the shared machinery."""
+
+import pytest
+
+from repro.algorithms import (
+    ExhaustiveOptimal,
+    MaxCardinality,
+    MaxCustomers,
+    MaxVehicles,
+    RandomPlacement,
+    algorithm_by_name,
+    registered_algorithms,
+    validate_budget,
+)
+from repro.core import LinearUtility, Scenario, ThresholdUtility, TrafficFlow
+from repro.errors import InfeasiblePlacementError, PlacementError
+
+
+class TestMaxCardinality:
+    def test_picks_busiest_by_flow_count(self, paper_threshold_scenario):
+        placement = MaxCardinality().place(paper_threshold_scenario, 1)
+        # V3 carries three flows (T25, T35, T43) — the most of any node.
+        assert placement.raps == ("V3",)
+
+    def test_ignores_volume(self, paper_network):
+        """Two low-volume flows through one node beat one huge flow."""
+        flows = [
+            TrafficFlow(path=("V2", "V3"), volume=1, attractiveness=1.0),
+            TrafficFlow(path=("V4", "V3"), volume=1, attractiveness=1.0),
+            TrafficFlow(path=("V5", "V6"), volume=100, attractiveness=1.0),
+        ]
+        scenario = Scenario(paper_network, flows, "V1", ThresholdUtility(6))
+        placement = MaxCardinality().place(scenario, 1)
+        assert placement.raps == ("V3",)
+
+
+class TestMaxVehicles:
+    def test_picks_busiest_by_volume(self, paper_network):
+        flows = [
+            TrafficFlow(path=("V2", "V3"), volume=1, attractiveness=1.0),
+            TrafficFlow(path=("V4", "V3"), volume=1, attractiveness=1.0),
+            TrafficFlow(path=("V5", "V6"), volume=100, attractiveness=1.0),
+        ]
+        scenario = Scenario(paper_network, flows, "V1", ThresholdUtility(6))
+        placement = MaxVehicles().place(scenario, 1)
+        assert placement.raps[0] in {"V5", "V6"}
+
+    def test_does_not_account_for_detour(self, paper_linear_scenario):
+        """MaxVehicles happily puts RAPs where nobody detours."""
+        placement = MaxVehicles().place(paper_linear_scenario, 1)
+        assert placement.raps == ("V3",)  # busiest, but detour 4 for all
+
+
+class TestMaxCustomers:
+    def test_equals_optimal_at_k1(self, paper_linear_scenario):
+        """The paper: MaxCustomers is the optimal algorithm when k = 1."""
+        best_single = MaxCustomers().place(paper_linear_scenario, 1)
+        optimal = ExhaustiveOptimal().place(paper_linear_scenario, 1)
+        assert best_single.attracted == pytest.approx(optimal.attracted)
+
+    def test_ignores_overlap_at_k2(self, paper_linear_scenario):
+        """Static ranking double-counts overlapping intersections.
+
+        Single-RAP scores: V3 -> 5, V2 -> 4, V4 -> 4; MaxCustomers picks
+        {V3, V2}, never reconsidering that V2 steals T25 from V3.
+        """
+        placement = MaxCustomers().place(paper_linear_scenario, 2)
+        assert set(placement.raps) == {"V3", "V2"}
+        assert placement.attracted == pytest.approx(7.0)
+
+
+class TestRandomPlacement:
+    def test_deterministic_with_seed(self, paper_linear_scenario):
+        a = RandomPlacement(seed=99).place(paper_linear_scenario, 3)
+        b = RandomPlacement(seed=99).place(paper_linear_scenario, 3)
+        assert a.raps == b.raps
+
+    def test_respects_budget_and_uniqueness(self, paper_linear_scenario):
+        placement = RandomPlacement(seed=5).place(paper_linear_scenario, 4)
+        assert len(placement.raps) == 4
+        assert len(set(placement.raps)) == 4
+
+    def test_prefers_sites_near_shop(self, paper_network, paper_flows):
+        """With D=2 the square around V1 holds exactly {V1, V2, V3, V4}
+        (V5 and V6 sit outside) — k=4 must pick exactly those."""
+        scenario = Scenario(paper_network, paper_flows, "V1", LinearUtility(2.0))
+        placement = RandomPlacement(seed=0).place(scenario, 4)
+        assert set(placement.raps) == {"V1", "V2", "V3", "V4"}
+
+    def test_falls_back_outside_square(self, paper_network, paper_flows):
+        scenario = Scenario(paper_network, paper_flows, "V1", LinearUtility(2.0))
+        placement = RandomPlacement(seed=0).place(scenario, 5)
+        assert len(placement.raps) == 5  # 4 inside + 1 outside
+
+
+class TestBudgetValidation:
+    def test_negative_k_rejected(self, paper_linear_scenario):
+        with pytest.raises(InfeasiblePlacementError):
+            MaxCardinality().place(paper_linear_scenario, -1)
+
+    def test_oversized_k_rejected(self, paper_linear_scenario):
+        with pytest.raises(InfeasiblePlacementError):
+            MaxCardinality().place(paper_linear_scenario, 7)
+
+    def test_zero_k_allowed(self, paper_linear_scenario):
+        placement = MaxCardinality().place(paper_linear_scenario, 0)
+        assert placement.raps == ()
+        assert placement.attracted == 0.0
+
+    def test_validate_budget_direct(self, paper_linear_scenario):
+        validate_budget(paper_linear_scenario, 6)
+        with pytest.raises(InfeasiblePlacementError):
+            validate_budget(paper_linear_scenario, 7)
+
+
+class TestExhaustiveGuards:
+    def test_work_limit(self, paper_linear_scenario):
+        with pytest.raises(InfeasiblePlacementError):
+            ExhaustiveOptimal(work_limit=2).place(paper_linear_scenario, 3)
+
+    def test_budget_larger_than_useful_sites(self, paper_threshold_scenario):
+        """V1 covers nothing, so only 5 useful sites exist; k=6 still works."""
+        placement = ExhaustiveOptimal().place(paper_threshold_scenario, 6)
+        assert len(placement.raps) == 5
+        assert placement.attracted == pytest.approx(21.0)
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        names = set(registered_algorithms())
+        assert {
+            "greedy-coverage",
+            "composite-greedy",
+            "marginal-greedy",
+            "lazy-greedy",
+            "exhaustive",
+            "max-cardinality",
+            "max-vehicles",
+            "max-customers",
+            "random",
+        } <= names
+
+    def test_factory_constructs(self):
+        algo = algorithm_by_name("composite-greedy")
+        assert algo.name == "composite-greedy"
+
+    def test_factory_passes_kwargs(self):
+        algo = algorithm_by_name("random", seed=7)
+        assert isinstance(algo, RandomPlacement)
+
+    def test_unknown_name(self):
+        with pytest.raises(PlacementError):
+            algorithm_by_name("oracle")

@@ -1,0 +1,189 @@
+"""Tests for SwapLocalSearch and BranchAndBoundOptimal."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    BranchAndBoundOptimal,
+    CompositeGreedy,
+    ExhaustiveOptimal,
+    MarginalGainGreedy,
+    SwapLocalSearch,
+    algorithm_by_name,
+)
+from repro.core import LinearUtility, Scenario, ThresholdUtility, flow_between
+from repro.errors import InfeasiblePlacementError
+from repro.graphs import manhattan_grid
+from tests.algorithms.test_approximation_ratios import random_scenario
+
+
+class TestSwapLocalSearch:
+    def test_escapes_paper_example_local_optimum(self, paper_linear_scenario):
+        """Greedy reaches {V3, V2} = 7; one swap reaches {V2, V4} = 8."""
+        placement = SwapLocalSearch().place(paper_linear_scenario, 2)
+        assert set(placement.raps) == {"V2", "V4"}
+        assert placement.attracted == pytest.approx(8.0)
+
+    def test_never_worse_than_base(self):
+        for seed in range(10):
+            scenario = random_scenario(seed, LinearUtility, threshold=5.0)
+            base = MarginalGainGreedy()
+            improved = SwapLocalSearch(base=base).place(scenario, 3)
+            baseline = base.place(scenario, 3)
+            assert improved.attracted >= baseline.attracted - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100_000), k=st.integers(1, 3))
+    def test_no_improving_swap_remains(self, seed, k):
+        """The returned placement is 1-swap optimal."""
+        from repro.core import evaluate_placement
+
+        scenario = random_scenario(seed, LinearUtility, threshold=5.0)
+        sites = SwapLocalSearch().select(scenario, k)
+        value = evaluate_placement(scenario, sites).attracted
+        for index in range(len(sites)):
+            for candidate in scenario.candidate_sites:
+                if candidate in sites:
+                    continue
+                trial = list(sites)
+                trial[index] = candidate
+                trial_value = evaluate_placement(scenario, trial).attracted
+                assert trial_value <= value * (1 + 1e-6) + 1e-9
+
+    def test_tops_up_saturated_base(self, paper_threshold_scenario):
+        """Greedy saturates at 2 RAPs; local search fills to k anyway."""
+        placement = SwapLocalSearch().place(paper_threshold_scenario, 4)
+        assert placement.k == 4
+
+    def test_custom_base(self, paper_linear_scenario):
+        placement = SwapLocalSearch(base=CompositeGreedy()).place(
+            paper_linear_scenario, 2
+        )
+        assert placement.attracted == pytest.approx(8.0)
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            SwapLocalSearch(max_rounds=0)
+
+    def test_registered(self):
+        assert algorithm_by_name("local-search").name == "local-search"
+
+
+class TestBranchAndBound:
+    def test_matches_exhaustive_on_paper_example(self, paper_linear_scenario):
+        bnb = BranchAndBoundOptimal().place(paper_linear_scenario, 2)
+        exhaustive = ExhaustiveOptimal().place(paper_linear_scenario, 2)
+        assert bnb.attracted == pytest.approx(exhaustive.attracted)
+        assert bnb.attracted == pytest.approx(8.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000), k=st.integers(1, 3))
+    def test_matches_exhaustive_randomized(self, seed, k):
+        scenario = random_scenario(seed, LinearUtility, threshold=5.0)
+        bnb = BranchAndBoundOptimal().place(scenario, k)
+        exhaustive = ExhaustiveOptimal().place(scenario, k)
+        assert bnb.attracted == pytest.approx(exhaustive.attracted)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_matches_exhaustive_threshold_utility(self, seed):
+        scenario = random_scenario(seed, ThresholdUtility, threshold=4.0)
+        bnb = BranchAndBoundOptimal().place(scenario, 2)
+        exhaustive = ExhaustiveOptimal().place(scenario, 2)
+        assert bnb.attracted == pytest.approx(exhaustive.attracted)
+
+    def test_prunes_against_brute_force(self):
+        """On a mid-size instance B&B must expand far fewer nodes than
+        the 2^n take/skip tree."""
+        rng = random.Random(0)
+        net = manhattan_grid(5, 5, 1.0)
+        nodes = list(net.nodes())
+        flows = [
+            flow_between(net, *rng.sample(nodes, 2), volume=rng.randint(1, 20),
+                         attractiveness=1.0)
+            for _ in range(8)
+        ]
+        scenario = Scenario(net, flows, nodes[12], LinearUtility(6.0))
+        solver = BranchAndBoundOptimal()
+        solver.place(scenario, 3)
+        useful = sum(
+            1 for s in scenario.candidate_sites if scenario.coverage.covering(s)
+        )
+        assert solver.nodes_expanded < 2 ** min(useful, 20)
+
+    def test_node_limit_enforced(self, paper_linear_scenario):
+        with pytest.raises(InfeasiblePlacementError):
+            BranchAndBoundOptimal(node_limit=2).place(paper_linear_scenario, 2)
+
+    def test_zero_budget(self, paper_linear_scenario):
+        placement = BranchAndBoundOptimal().place(paper_linear_scenario, 0)
+        assert placement.raps == ()
+
+    def test_never_below_greedy(self):
+        """The greedy incumbent is a floor by construction."""
+        for seed in range(8):
+            scenario = random_scenario(seed, LinearUtility, threshold=5.0)
+            bnb = BranchAndBoundOptimal().place(scenario, 3)
+            greedy = MarginalGainGreedy().place(scenario, 3)
+            assert bnb.attracted >= greedy.attracted - 1e-9
+
+    def test_registered(self):
+        assert algorithm_by_name("branch-and-bound").name == "branch-and-bound"
+
+
+class TestPartialEnumeration:
+    def test_escapes_paper_example(self, paper_linear_scenario):
+        """Seed-2 enumeration contains {V2, V4} directly -> optimum."""
+        from repro.algorithms import PartialEnumerationGreedy
+
+        placement = PartialEnumerationGreedy(enumerate_size=2).place(
+            paper_linear_scenario, 2
+        )
+        assert placement.attracted == pytest.approx(8.0)
+
+    def test_never_worse_than_plain_greedy(self):
+        from repro.algorithms import PartialEnumerationGreedy
+
+        for seed in range(8):
+            scenario = random_scenario(seed, LinearUtility, threshold=5.0)
+            enumerated = PartialEnumerationGreedy().place(scenario, 3)
+            greedy = MarginalGainGreedy().place(scenario, 3)
+            assert enumerated.attracted >= greedy.attracted - 1e-9
+
+    def test_seed_one_equals_best_single_start(self, paper_linear_scenario):
+        from repro.algorithms import PartialEnumerationGreedy
+
+        placement = PartialEnumerationGreedy(enumerate_size=1).place(
+            paper_linear_scenario, 2
+        )
+        # Seeding at V2 or V4 then greedy reaches the optimum 8.
+        assert placement.attracted == pytest.approx(8.0)
+
+    def test_work_limit(self, paper_linear_scenario):
+        from repro.algorithms import PartialEnumerationGreedy
+
+        with pytest.raises(InfeasiblePlacementError):
+            PartialEnumerationGreedy(
+                enumerate_size=2, work_limit=1
+            ).place(paper_linear_scenario, 2)
+
+    def test_bad_seed_size(self):
+        from repro.algorithms import PartialEnumerationGreedy
+
+        with pytest.raises(InfeasiblePlacementError):
+            PartialEnumerationGreedy(enumerate_size=0)
+
+    def test_zero_budget(self, paper_linear_scenario):
+        from repro.algorithms import PartialEnumerationGreedy
+
+        placement = PartialEnumerationGreedy().place(paper_linear_scenario, 0)
+        assert placement.raps == ()
+
+    def test_registered(self):
+        assert (
+            algorithm_by_name("partial-enumeration").name
+            == "partial-enumeration"
+        )

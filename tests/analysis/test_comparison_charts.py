@@ -1,0 +1,151 @@
+"""Tests for algorithm comparison utilities and ASCII charts."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    bootstrap_mean_ci,
+    compare_algorithms,
+    line_chart,
+    paired_win_rate,
+    sparkline,
+)
+from repro.errors import ExperimentError
+
+
+class TestCompareAlgorithms:
+    @pytest.fixture
+    def comparison(self, paper_linear_scenario):
+        return compare_algorithms(
+            paper_linear_scenario,
+            ["composite-greedy", "max-vehicles", "random"],
+            ks=(1, 2, 3),
+            seed=5,
+        )
+
+    def test_rows_cover_all_algorithms(self, comparison):
+        assert [row.algorithm for row in comparison.rows] == [
+            "composite-greedy",
+            "max-vehicles",
+            "random",
+        ]
+        for row in comparison.rows:
+            assert len(row.values) == 3
+
+    def test_values_monotone_in_k(self, comparison):
+        for row in comparison.rows:
+            assert list(row.values) == sorted(row.values)
+
+    def test_winner_at(self, comparison):
+        assert comparison.winner_at(2) == "composite-greedy"
+
+    def test_dominance_counts(self, comparison):
+        counts = comparison.dominance_counts()
+        assert sum(counts.values()) == 3
+        assert counts["composite-greedy"] == 3
+
+    def test_empty_inputs_rejected(self, paper_linear_scenario):
+        with pytest.raises(ExperimentError):
+            compare_algorithms(paper_linear_scenario, [], ks=(1,))
+        with pytest.raises(ExperimentError):
+            compare_algorithms(paper_linear_scenario, ["random"], ks=())
+
+
+class TestBootstrap:
+    def test_degenerate_single_value(self):
+        assert bootstrap_mean_ci([5.0]) == (5.0, 5.0, 5.0)
+
+    def test_interval_contains_mean(self):
+        rng = random.Random(1)
+        values = [rng.gauss(10, 2) for _ in range(50)]
+        mean, low, high = bootstrap_mean_ci(values, rng=random.Random(2))
+        assert low <= mean <= high
+
+    def test_interval_narrows_with_samples(self):
+        rng = random.Random(3)
+        small = [rng.gauss(0, 1) for _ in range(10)]
+        large = small * 20
+        _, lo_s, hi_s = bootstrap_mean_ci(small, rng=random.Random(4))
+        _, lo_l, hi_l = bootstrap_mean_ci(large, rng=random.Random(4))
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+
+class TestPairedWinRate:
+    def test_all_wins(self):
+        assert paired_win_rate([2, 3, 4], [1, 1, 1]) == 1.0
+
+    def test_ties_count_half(self):
+        assert paired_win_rate([1, 2], [1, 1]) == 0.75
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            paired_win_rate([1], [1, 2])
+        with pytest.raises(ExperimentError):
+            paired_win_rate([], [])
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([2, 2, 2]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart(
+            {"alg": [1.0, 2.0, 3.0], "base": [0.5, 1.0, 1.5]},
+            xs=[1, 2, 3],
+            height=6,
+        )
+        assert "o=alg" in chart
+        assert "x=base" in chart
+        assert "3.0" in chart  # y-axis max label
+
+    def test_marks_present(self):
+        chart = line_chart({"a": [0.0, 5.0]}, xs=[1, 2], height=5)
+        assert chart.count("o") >= 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExperimentError):
+            line_chart({"a": [1.0]}, xs=[1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            line_chart({}, xs=[1])
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ExperimentError):
+            line_chart(series, xs=[1])
+
+    def test_tiny_height_rejected(self):
+        with pytest.raises(ExperimentError):
+            line_chart({"a": [1.0]}, xs=[1], height=1)
+
+    def test_panel_chart(self, paper_linear_scenario):
+        from repro.analysis import panel_chart
+        from repro.experiments import PanelResult, PanelSpec, Series
+
+        spec = PanelSpec(
+            panel_id="x", city="dublin", utility="linear",
+            threshold=1000.0, ks=(1, 2), repetitions=1,
+        )
+        panel = PanelResult(spec=spec)
+        panel.add(Series("composite-greedy", (1, 2), (1.0, 2.0)))
+        chart = panel_chart(panel, height=5)
+        assert "Algorithm 1/2" in chart

@@ -1,0 +1,115 @@
+"""Tests for placement diagnostics."""
+
+import pytest
+
+from repro.algorithms import CompositeGreedy
+from repro.analysis import (
+    DetourStats,
+    detour_histogram,
+    diagnose,
+    render_diagnostics,
+)
+from repro.core import evaluate_placement
+
+
+@pytest.fixture
+def placement(paper_linear_scenario):
+    return CompositeGreedy().place(paper_linear_scenario, 2)
+
+
+class TestDetourStats:
+    def test_from_values(self):
+        stats = DetourStats.from_values([4.0, 2.0, 6.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.median == pytest.approx(4.0)
+        assert stats.max == 6.0
+
+    def test_even_count_median(self):
+        stats = DetourStats.from_values([1.0, 3.0, 5.0, 7.0])
+        assert stats.median == pytest.approx(4.0)
+
+    def test_empty(self):
+        stats = DetourStats.from_values([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+
+class TestDiagnose:
+    def test_coverage_fractions(self, paper_linear_scenario, placement):
+        diag = diagnose(paper_linear_scenario, placement)
+        # {V3, V2} covers T25, T35, T43 (3 of 4 flows; 15 of 21 volume).
+        assert diag.covered_flow_fraction == pytest.approx(3 / 4)
+        assert diag.covered_volume_fraction == pytest.approx(15 / 21)
+
+    def test_attracted_fraction(self, paper_linear_scenario, placement):
+        diag = diagnose(paper_linear_scenario, placement)
+        assert diag.attracted_fraction == pytest.approx(7 / 21)
+
+    def test_detour_stats(self, paper_linear_scenario, placement):
+        diag = diagnose(paper_linear_scenario, placement)
+        # Detours: T25 at V2 = 2, T35 at V3 = 4, T43 at V3 = 4.
+        assert diag.detours.count == 3
+        assert diag.detours.mean == pytest.approx(10 / 3)
+
+    def test_rap_contributions_sum_to_total(
+        self, paper_linear_scenario, placement
+    ):
+        diag = diagnose(paper_linear_scenario, placement)
+        assert sum(diag.rap_contributions.values()) == pytest.approx(
+            placement.attracted
+        )
+
+    def test_idle_raps(self, paper_linear_scenario):
+        # V1 serves no flow; V6 gives T56 detour 8 -> f = 0.
+        placement = evaluate_placement(paper_linear_scenario, ["V2", "V1"])
+        diag = diagnose(paper_linear_scenario, placement)
+        assert diag.idle_raps == ("V1",)
+
+    def test_marginal_curve_monotone(self, paper_linear_scenario, placement):
+        diag = diagnose(paper_linear_scenario, placement)
+        assert len(diag.marginal_curve) == placement.k
+        assert list(diag.marginal_curve) == sorted(diag.marginal_curve)
+        assert diag.marginal_curve[-1] == pytest.approx(placement.attracted)
+
+    def test_efficiency(self, paper_linear_scenario, placement):
+        diag = diagnose(paper_linear_scenario, placement)
+        assert diag.efficiency() == pytest.approx(placement.attracted / 2)
+
+    def test_efficiency_all_idle(self, paper_linear_scenario):
+        placement = evaluate_placement(paper_linear_scenario, ["V1"])
+        diag = diagnose(paper_linear_scenario, placement)
+        assert diag.efficiency() == 0.0
+
+
+class TestHistogram:
+    def test_bins(self, paper_linear_scenario, placement):
+        histogram = detour_histogram(placement, bin_width=2.0)
+        as_dict = dict(histogram)
+        # Detours 2, 4, 4 -> bin 2.0 has one, bin 4.0 has two.
+        assert as_dict[2.0] == 1
+        assert as_dict[4.0] == 2
+
+    def test_empty_placement(self, paper_linear_scenario):
+        placement = evaluate_placement(paper_linear_scenario, [])
+        assert detour_histogram(placement, 2.0) == []
+
+    def test_bad_bin_width(self, paper_linear_scenario, placement):
+        with pytest.raises(ValueError):
+            detour_histogram(placement, 0.0)
+
+    def test_clamping(self, paper_linear_scenario, placement):
+        histogram = detour_histogram(placement, bin_width=1.0, max_bins=2)
+        assert max(start for start, _ in histogram) <= 1.0
+
+
+class TestRender:
+    def test_render_contains_key_lines(self, paper_linear_scenario, placement):
+        text = render_diagnostics(diagnose(paper_linear_scenario, placement))
+        assert "covered flows" in text
+        assert "marginal gains" in text
+
+    def test_render_mentions_idle_raps(self, paper_linear_scenario):
+        placement = evaluate_placement(paper_linear_scenario, ["V2", "V1"])
+        text = render_diagnostics(diagnose(paper_linear_scenario, placement))
+        assert "idle RAPs" in text

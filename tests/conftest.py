@@ -1,0 +1,78 @@
+"""Shared fixtures — notably the paper's Fig. 4 worked example.
+
+The Fig. 4 network (all streets two-way, length 1):
+
+        V1 -- V2
+        |      |
+        V4 -- V3 -- V5 -- V6
+
+Flows (volume, fixed shortest path):
+    T[2,5] = 6   path V2 V3 V5
+    T[3,5] = 3   path V3 V5
+    T[4,3] = 6   path V4 V3
+    T[5,6] = 6   path V5 V6
+
+Shop at V1, alpha = 1, D = 6.  The paper hand-computes:
+
+* threshold utility: greedy picks V3 first (covers 15), then V5;
+* linear utility: pure greedy reaches 7 (V3 then V2) while the optimal
+  placement {V2, V4} attracts 8.
+"""
+
+import pytest
+
+from repro.core import LinearUtility, Scenario, ThresholdUtility, TrafficFlow
+from repro.graphs import Point, RoadNetwork
+
+
+def build_paper_network() -> RoadNetwork:
+    net = RoadNetwork()
+    positions = {
+        "V1": Point(0, 1),
+        "V2": Point(1, 1),
+        "V4": Point(0, 0),
+        "V3": Point(1, 0),
+        "V5": Point(2, 0),
+        "V6": Point(3, 0),
+    }
+    for name, pos in positions.items():
+        net.add_intersection(name, pos)
+    for a, b in [("V1", "V2"), ("V1", "V4"), ("V2", "V3"), ("V3", "V4"),
+                 ("V3", "V5"), ("V5", "V6")]:
+        net.add_street(a, b, 1.0)
+    return net
+
+
+def build_paper_flows():
+    return [
+        TrafficFlow(path=("V2", "V3", "V5"), volume=6, attractiveness=1.0,
+                    label="T25"),
+        TrafficFlow(path=("V3", "V5"), volume=3, attractiveness=1.0,
+                    label="T35"),
+        TrafficFlow(path=("V4", "V3"), volume=6, attractiveness=1.0,
+                    label="T43"),
+        TrafficFlow(path=("V5", "V6"), volume=6, attractiveness=1.0,
+                    label="T56"),
+    ]
+
+
+@pytest.fixture
+def paper_network() -> RoadNetwork:
+    return build_paper_network()
+
+
+@pytest.fixture
+def paper_flows():
+    return build_paper_flows()
+
+
+@pytest.fixture
+def paper_threshold_scenario(paper_network, paper_flows) -> Scenario:
+    return Scenario(paper_network, paper_flows, shop="V1",
+                    utility=ThresholdUtility(6.0))
+
+
+@pytest.fixture
+def paper_linear_scenario(paper_network, paper_flows) -> Scenario:
+    return Scenario(paper_network, paper_flows, shop="V1",
+                    utility=LinearUtility(6.0))

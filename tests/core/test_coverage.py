@@ -1,0 +1,65 @@
+"""Tests for the coverage index."""
+
+import pytest
+
+from repro.core import CoverageIndex, DetourCalculator
+from repro.graphs import INFINITY, Point, RoadNetwork
+from repro.core import TrafficFlow
+
+
+@pytest.fixture
+def index(paper_network, paper_flows):
+    calc = DetourCalculator(paper_network, shop="V1")
+    return CoverageIndex(paper_flows, calc)
+
+
+class TestStructure:
+    def test_flow_count(self, index):
+        assert index.flow_count == 4
+
+    def test_covering_lists_passing_flows(self, index, paper_flows):
+        entries = index.covering("V3")
+        covered = {e.flow_index for e in entries}
+        # V3 lies on the paths of T25, T35, T43 (indices 0, 1, 2).
+        assert covered == {0, 1, 2}
+
+    def test_covering_includes_detours(self, index):
+        by_flow = {e.flow_index: e.detour for e in index.covering("V3")}
+        assert by_flow[0] == pytest.approx(4.0)
+        assert by_flow[1] == pytest.approx(4.0)
+        assert by_flow[2] == pytest.approx(4.0)
+
+    def test_node_covering_nothing(self, index):
+        assert list(index.covering("V1")) == []
+        assert list(index.covering("not-a-node")) == []
+
+    def test_options_for_flow(self, index):
+        options = dict(index.options_for(3))  # T56: path V5 V6
+        assert options["V5"] == pytest.approx(6.0)
+        assert options["V6"] == pytest.approx(8.0)
+
+    def test_best_possible_detour(self, index):
+        assert index.best_possible_detour(0) == pytest.approx(2.0)  # T25 at V2
+        assert index.best_possible_detour(3) == pytest.approx(6.0)  # T56 at V5
+
+    def test_incidence_count(self, index):
+        # T25 has 3 path nodes, T35 2, T43 2, T56 2 -> 9 incidences.
+        assert index.incidence_count() == 9
+
+    def test_nodes_iterates_covering_intersections(self, index):
+        assert set(index.nodes()) == {"V2", "V3", "V4", "V5", "V6"}
+
+
+class TestInfiniteDetoursDropped:
+    def test_unreachable_shop_entries_excluded(self):
+        net = RoadNetwork()
+        net.add_intersection("shop", Point(0, 0))
+        net.add_intersection("a", Point(1, 0))
+        net.add_intersection("b", Point(2, 0))
+        net.add_road("shop", "a")
+        net.add_road("a", "b")  # nothing can reach the shop
+        calc = DetourCalculator(net, shop="shop")
+        flows = [TrafficFlow(path=("a", "b"), volume=1)]
+        index = CoverageIndex(flows, calc)
+        assert index.incidence_count() == 0
+        assert index.best_possible_detour(0) == INFINITY

@@ -1,0 +1,106 @@
+"""Tests for TrafficFlow construction and validation."""
+
+import pytest
+
+from repro.core import PAPER_ALPHA, TrafficFlow, flow_between, total_volume
+from repro.errors import InvalidFlowError, NoPathError
+from repro.graphs import Point, RoadNetwork, manhattan_grid
+
+
+class TestConstruction:
+    def test_basic_flow(self):
+        flow = TrafficFlow(path=("a", "b", "c"), volume=10)
+        assert flow.origin == "a"
+        assert flow.destination == "c"
+        assert flow.volume == 10
+        assert flow.attractiveness == PAPER_ALPHA
+
+    def test_path_is_normalized_to_tuple(self):
+        flow = TrafficFlow(path=tuple("abc"), volume=1)
+        assert isinstance(flow.path, tuple)
+
+    def test_passes(self):
+        flow = TrafficFlow(path=("a", "b", "c"), volume=1)
+        assert flow.passes("b")
+        assert not flow.passes("z")
+
+    @pytest.mark.parametrize("path", [(), ("a",)])
+    def test_short_path_rejected(self, path):
+        with pytest.raises(InvalidFlowError):
+            TrafficFlow(path=path, volume=1)
+
+    def test_revisiting_path_rejected(self):
+        with pytest.raises(InvalidFlowError):
+            TrafficFlow(path=("a", "b", "a"), volume=1)
+
+    @pytest.mark.parametrize("volume", [0, -2.5])
+    def test_bad_volume_rejected(self, volume):
+        with pytest.raises(InvalidFlowError):
+            TrafficFlow(path=("a", "b"), volume=volume)
+
+    @pytest.mark.parametrize("alpha", [-0.01, 1.01])
+    def test_bad_attractiveness_rejected(self, alpha):
+        with pytest.raises(InvalidFlowError):
+            TrafficFlow(path=("a", "b"), volume=1, attractiveness=alpha)
+
+    def test_describe_uses_label(self):
+        flow = TrafficFlow(path=("a", "b"), volume=3, label="route-66")
+        assert "route-66" in flow.describe()
+
+    def test_flows_are_hashable(self):
+        a = TrafficFlow(path=("a", "b"), volume=1)
+        b = TrafficFlow(path=("a", "b"), volume=1)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestNetworkValidation:
+    def test_valid_path_accepted(self):
+        net = manhattan_grid(3, 3, 10.0)
+        flow = TrafficFlow(path=((0, 0), (0, 1), (1, 1)), volume=1)
+        flow.validate_on(net)
+
+    def test_broken_path_rejected(self):
+        net = manhattan_grid(3, 3, 10.0)
+        flow = TrafficFlow(path=((0, 0), (2, 2)), volume=1)
+        with pytest.raises(InvalidFlowError):
+            flow.validate_on(net)
+
+    def test_one_way_direction_enforced(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(1, 0))
+        net.add_road("a", "b")
+        TrafficFlow(path=("a", "b"), volume=1).validate_on(net)
+        with pytest.raises(InvalidFlowError):
+            TrafficFlow(path=("b", "a"), volume=1).validate_on(net)
+
+
+class TestFlowBetween:
+    def test_uses_shortest_path(self):
+        net = manhattan_grid(4, 4, 10.0)
+        flow = flow_between(net, (0, 0), (3, 3), volume=5, label="diag")
+        assert flow.origin == (0, 0)
+        assert flow.destination == (3, 3)
+        assert net.path_length(flow.path) == pytest.approx(60.0)
+        assert flow.label == "diag"
+
+    def test_unreachable_raises(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(1, 0))
+        net.add_road("a", "b")
+        with pytest.raises(NoPathError):
+            flow_between(net, "b", "a", volume=1)
+
+
+class TestTotalVolume:
+    def test_sum(self):
+        flows = [
+            TrafficFlow(path=("a", "b"), volume=2),
+            TrafficFlow(path=("b", "c"), volume=3.5),
+        ]
+        assert total_volume(flows) == 5.5
+
+    def test_empty(self):
+        assert total_volume([]) == 0.0

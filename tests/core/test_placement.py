@@ -1,0 +1,67 @@
+"""Unit tests for the Placement/FlowOutcome containers."""
+
+import pytest
+
+from repro.core import FlowOutcome, Placement
+from repro.graphs import INFINITY
+
+
+def outcome(detour=2.0, probability=0.5, customers=5.0, rap="a"):
+    return FlowOutcome(
+        detour=detour, probability=probability, customers=customers,
+        serving_rap=rap,
+    )
+
+
+class TestFlowOutcome:
+    def test_covered(self):
+        assert outcome().covered
+        assert not FlowOutcome(
+            detour=INFINITY, probability=0.0, customers=0.0, serving_rap=None
+        ).covered
+
+
+class TestPlacement:
+    def test_duplicate_sites_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(raps=("a", "a"), attracted=0.0)
+
+    def test_k(self):
+        placement = Placement(raps=("a", "b", "c"), attracted=1.0)
+        assert placement.k == 3
+
+    def test_covered_flow_count(self):
+        placement = Placement(
+            raps=("a",),
+            attracted=5.0,
+            outcomes=(
+                outcome(),
+                FlowOutcome(detour=INFINITY, probability=0.0, customers=0.0,
+                            serving_rap=None),
+            ),
+        )
+        assert placement.covered_flow_count == 1
+
+    def test_customers_by_rap_includes_idle(self):
+        placement = Placement(
+            raps=("a", "b"),
+            attracted=5.0,
+            outcomes=(outcome(rap="a"),),
+        )
+        by_rap = placement.customers_by_rap()
+        assert by_rap["a"] == 5.0
+        assert by_rap["b"] == 0.0
+
+    def test_summary(self):
+        placement = Placement(
+            raps=("a",), attracted=5.0, outcomes=(outcome(),),
+            algorithm="test-algo",
+        )
+        summary = placement.summary()
+        assert "test-algo" in summary
+        assert "k=1" in summary
+        assert "1/1" in summary
+
+    def test_summary_defaults_name(self):
+        placement = Placement(raps=(), attracted=0.0)
+        assert "placement" in placement.summary()

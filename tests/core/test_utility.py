@@ -1,0 +1,171 @@
+"""Tests for the utility functions (paper Eqs. 1, 2, 11)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    CustomUtility,
+    LinearUtility,
+    SqrtUtility,
+    ThresholdUtility,
+    utility_by_name,
+)
+from repro.errors import InvalidUtilityError
+
+ALL_CLASSES = [ThresholdUtility, LinearUtility, SqrtUtility]
+
+
+class TestThresholdUtility:
+    def test_inside_threshold_is_constant(self):
+        f = ThresholdUtility(10.0)
+        assert f.probability(0.0) == 1.0
+        assert f.probability(5.0) == 1.0
+        assert f.probability(10.0) == 1.0
+
+    def test_beyond_threshold_is_zero(self):
+        f = ThresholdUtility(10.0)
+        assert f.probability(10.0001) == 0.0
+        assert f.probability(1e9) == 0.0
+
+    def test_attractiveness_scales(self):
+        f = ThresholdUtility(10.0)
+        assert f.probability(3.0, attractiveness=0.001) == 0.001
+
+
+class TestLinearUtility:
+    def test_linear_decay(self):
+        f = LinearUtility(6.0)
+        assert f.probability(0.0) == 1.0
+        assert f.probability(2.0) == pytest.approx(2 / 3)
+        assert f.probability(4.0) == pytest.approx(1 / 3)
+        assert f.probability(6.0) == 0.0
+
+    def test_paper_fig4_values(self):
+        """The hand-computed probabilities from the Fig. 4 discussion."""
+        f = LinearUtility(6.0)
+        assert f.probability(4.0, 1.0) == pytest.approx(1 / 3)
+        assert f.probability(2.0, 1.0) == pytest.approx(2 / 3)
+
+    def test_beyond_threshold_is_zero(self):
+        assert LinearUtility(6.0).probability(7.0) == 0.0
+
+
+class TestSqrtUtility:
+    def test_sqrt_decay(self):
+        f = SqrtUtility(4.0)
+        assert f.probability(0.0) == 1.0
+        assert f.probability(1.0) == pytest.approx(0.5)
+        assert f.probability(4.0) == 0.0
+
+    def test_decays_faster_than_linear(self):
+        """Paper: threshold >= decreasing-i >= decreasing-ii pointwise."""
+        D = 10.0
+        threshold, linear, sqrt_ = (
+            ThresholdUtility(D),
+            LinearUtility(D),
+            SqrtUtility(D),
+        )
+        for d in [0.5, 1, 3, 5, 7, 9.5]:
+            assert threshold.probability(d) >= linear.probability(d)
+            assert linear.probability(d) >= sqrt_.probability(d)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_infinite_distance_is_zero(self, cls):
+        assert cls(10.0).probability(math.inf) == 0.0
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_negative_distance_treated_as_zero(self, cls):
+        f = cls(10.0)
+        assert f.probability(-1.0) == f.probability(0.0)
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_nan_rejected(self, cls):
+        with pytest.raises(InvalidUtilityError):
+            cls(10.0).probability(math.nan)
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    @pytest.mark.parametrize("bad", [0.0, -5.0, math.inf, math.nan])
+    def test_bad_threshold_rejected(self, cls, bad):
+        with pytest.raises(InvalidUtilityError):
+            cls(bad)
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_bad_attractiveness_rejected(self, cls, bad):
+        with pytest.raises(InvalidUtilityError):
+            cls(10.0).probability(1.0, attractiveness=bad)
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_callable_sugar(self, cls):
+        f = cls(10.0)
+        assert f(3.0, 0.5) == f.probability(3.0, 0.5)
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_repr_mentions_threshold(self, cls):
+        assert "D=10" in repr(cls(10.0))
+
+
+class TestUtilityProperties:
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    @given(
+        d1=st.floats(min_value=0, max_value=100),
+        d2=st.floats(min_value=0, max_value=100),
+        alpha=st.floats(min_value=0, max_value=1),
+    )
+    def test_non_increasing(self, cls, d1, d2, alpha):
+        f = cls(37.5)
+        lo, hi = sorted([d1, d2])
+        assert f.probability(lo, alpha) >= f.probability(hi, alpha) - 1e-12
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    @given(
+        d=st.floats(min_value=0, max_value=1000),
+        alpha=st.floats(min_value=0, max_value=1),
+    )
+    def test_range_is_probability(self, cls, d, alpha):
+        value = cls(37.5).probability(d, alpha)
+        assert 0.0 <= value <= alpha + 1e-12
+
+
+class TestCustomUtility:
+    def test_valid_custom_shape(self):
+        f = CustomUtility(10.0, lambda x: (1 - x) ** 2, name="quadratic")
+        assert f.probability(0.0) == 1.0
+        assert f.probability(5.0) == pytest.approx(0.25)
+        assert f.probability(11.0) == 0.0
+        assert "quadratic" in repr(f)
+
+    def test_increasing_shape_rejected(self):
+        with pytest.raises(InvalidUtilityError):
+            CustomUtility(10.0, lambda x: x)
+
+    def test_out_of_range_shape_rejected(self):
+        with pytest.raises(InvalidUtilityError):
+            CustomUtility(10.0, lambda x: 2.0 - x)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("threshold", ThresholdUtility),
+            ("linear", LinearUtility),
+            ("decreasing-i", LinearUtility),
+            ("DECREASING_I", LinearUtility),
+            ("sqrt", SqrtUtility),
+            ("decreasing-ii", SqrtUtility),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        f = utility_by_name(name, 12.0)
+        assert isinstance(f, cls)
+        assert f.threshold == 12.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidUtilityError):
+            utility_by_name("cubic", 10.0)

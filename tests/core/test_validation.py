@@ -1,0 +1,155 @@
+"""Tests for scenario linting."""
+
+import pytest
+
+from repro.core import (
+    LinearUtility,
+    Scenario,
+    Severity,
+    ThresholdUtility,
+    TrafficFlow,
+    flow_between,
+    has_errors,
+    lint_scenario,
+)
+from repro.graphs import Point, RoadNetwork, manhattan_grid
+
+
+def issue_codes(issues):
+    return [issue.code for issue in issues]
+
+
+class TestHealthyScenario:
+    def test_no_issues(self, paper_threshold_scenario):
+        issues = lint_scenario(paper_threshold_scenario)
+        # V1/V6 cover nothing useful -> at most the candidate warning.
+        assert not has_errors(issues)
+        assert "shop-unreachable" not in issue_codes(issues)
+
+
+class TestShopReachability:
+    def test_shop_unreachable_is_error(self):
+        net = RoadNetwork()
+        net.add_intersection("shop", Point(0, 0))
+        net.add_intersection("a", Point(100, 0))
+        net.add_intersection("b", Point(200, 0))
+        net.add_road("shop", "a")  # nothing can reach the shop
+        net.add_road("a", "b")
+        scenario = Scenario(
+            net, [TrafficFlow(path=("a", "b"), volume=1)], "shop",
+            ThresholdUtility(1_000.0),
+        )
+        issues = lint_scenario(scenario)
+        assert has_errors(issues)
+        assert "shop-unreachable" in issue_codes(issues)
+        # Errors sort first.
+        assert issues[0].severity is Severity.ERROR
+
+    def test_partial_pocket_is_warning(self):
+        """One flow stuck in a one-way pocket, another fine."""
+        net = RoadNetwork()
+        net.add_intersection("shop", Point(0, 0))
+        net.add_intersection("a", Point(100, 0))
+        net.add_intersection("b", Point(200, 0))
+        net.add_intersection("c", Point(0, 100))
+        net.add_street("shop", "c")
+        net.add_road("shop", "a")
+        net.add_road("a", "b")  # a/b cannot come back
+        scenario = Scenario(
+            net,
+            [
+                TrafficFlow(path=("a", "b"), volume=1),
+                TrafficFlow(path=("c", "shop"), volume=1),
+            ],
+            "shop",
+            ThresholdUtility(1_000.0),
+        )
+        issues = lint_scenario(scenario)
+        assert "flow-cannot-detour" in issue_codes(issues)
+        assert not has_errors(issues)
+
+
+class TestThresholdIssues:
+    def test_tiny_threshold_excludes_all(self):
+        grid = manhattan_grid(5, 5, 100.0)
+        flows = [flow_between(grid, (0, 0), (0, 4), 10, 1.0)]
+        scenario = Scenario(grid, flows, (4, 4), ThresholdUtility(50.0))
+        issues = lint_scenario(scenario)
+        assert "threshold-excludes-all" in issue_codes(issues)
+        assert has_errors(issues)
+
+    def test_partial_exclusion_is_warning(self):
+        grid = manhattan_grid(5, 5, 100.0)
+        flows = [
+            flow_between(grid, (0, 0), (0, 4), 10, 1.0, "far"),
+            flow_between(grid, (4, 0), (4, 4), 10, 1.0, "near"),
+        ]
+        scenario = Scenario(grid, flows, (4, 2), ThresholdUtility(250.0))
+        issues = lint_scenario(scenario)
+        codes = issue_codes(issues)
+        assert "flow-never-attracted" in codes
+        assert "threshold-excludes-all" not in codes
+
+
+class TestPathStretch:
+    def test_wandering_path_flagged(self):
+        grid = manhattan_grid(3, 3, 100.0)
+        wandering = TrafficFlow(
+            path=((0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (1, 2), (0, 2)),
+            volume=1,
+        )
+        scenario = Scenario(grid, [wandering], (1, 1), LinearUtility(500.0))
+        issues = lint_scenario(scenario)
+        assert "non-shortest-path" in issue_codes(issues)
+
+    def test_shortest_path_not_flagged(self):
+        grid = manhattan_grid(3, 3, 100.0)
+        flows = [flow_between(grid, (0, 0), (0, 2), 1, 1.0)]
+        scenario = Scenario(grid, flows, (1, 1), LinearUtility(500.0))
+        assert "non-shortest-path" not in issue_codes(lint_scenario(scenario))
+
+    def test_tolerance_configurable(self):
+        grid = manhattan_grid(3, 3, 100.0)
+        slightly_long = TrafficFlow(
+            path=((0, 0), (1, 0), (1, 1), (0, 1), (0, 2)), volume=1
+        )  # 400 vs shortest 200 -> stretch 2.0
+        scenario = Scenario(grid, [slightly_long], (1, 1), LinearUtility(500.0))
+        strict = lint_scenario(scenario, path_stretch_tolerance=1.5)
+        lax = lint_scenario(scenario, path_stretch_tolerance=3.0)
+        assert "non-shortest-path" in issue_codes(strict)
+        assert "non-shortest-path" not in issue_codes(lax)
+
+
+class TestCandidateSites:
+    def test_useless_candidates_flagged(self, paper_threshold_scenario):
+        issues = lint_scenario(paper_threshold_scenario)
+        codes = issue_codes(issues)
+        # V1 covers nothing; V6's only detour (8) exceeds D=6.
+        assert "candidate-covers-nothing" in codes
+        issue = next(i for i in issues if i.code == "candidate-covers-nothing")
+        assert "2/6" in issue.message
+
+    def test_all_useful_sites_clean(self):
+        grid = manhattan_grid(3, 3, 100.0)
+        flows = [
+            flow_between(grid, (0, 0), (0, 2), 1, 1.0),
+            flow_between(grid, (2, 0), (2, 2), 1, 1.0),
+            flow_between(grid, (0, 0), (2, 0), 1, 1.0),
+            flow_between(grid, (0, 2), (2, 2), 1, 1.0),
+            flow_between(grid, (1, 0), (1, 2), 1, 1.0),
+            flow_between(grid, (0, 1), (2, 1), 1, 1.0),
+        ]
+        scenario = Scenario(grid, flows, (1, 1), ThresholdUtility(2_000.0))
+        assert "candidate-covers-nothing" not in issue_codes(
+            lint_scenario(scenario)
+        )
+
+
+class TestIssueRendering:
+    def test_str_format(self):
+        from repro.core import ValidationIssue
+
+        issue = ValidationIssue(
+            code="x", severity=Severity.WARNING, message="something"
+        )
+        assert str(issue) == "[warning] x: something"

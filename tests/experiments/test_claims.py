@@ -1,0 +1,147 @@
+"""Tests for the executable paper-claims scorecard."""
+
+import pytest
+
+from repro.experiments import (
+    ClaimResult,
+    FigureResult,
+    LocationClass,
+    PanelResult,
+    PanelSpec,
+    Series,
+    check_all,
+    check_fig10,
+    check_fig11,
+    render_claims,
+)
+from repro.experiments.figures import fig10, fig11
+from repro.experiments.spec import FigureSpec
+
+
+def panel(panel_id, utility, threshold, location, finals, ks=(1, 2)):
+    spec = PanelSpec(
+        panel_id=panel_id,
+        city="dublin",
+        utility=utility,
+        threshold=threshold,
+        shop_location=location,
+        ks=ks,
+        algorithms=tuple(finals),
+        repetitions=1,
+    )
+    result = PanelResult(spec=spec)
+    for name, final in finals.items():
+        result.add(Series(name, ks, (final / 2, final)))
+    return result
+
+
+def fig10_result(t=3.0, l=2.0, s=1.0, baseline=0.5):
+    spec = fig10(repetitions=1, ks=(1, 2))
+    result = FigureResult(spec=spec)
+    for panel_spec, final in zip(spec.panels, (t, l, s)):
+        p = PanelResult(spec=panel_spec)
+        p.add(Series("composite-greedy", (1, 2), (final / 2, final)))
+        for name in panel_spec.algorithms[1:]:
+            p.add(Series(name, (1, 2), (baseline / 2, baseline)))
+        result.add(p)
+    return result
+
+
+class TestFig10Checks:
+    def test_healthy_ordering_passes(self):
+        claims = check_fig10(fig10_result())
+        assert all(claim.holds for claim in claims)
+        ids = {claim.claim_id for claim in claims}
+        assert "fig10-utility-ordering" in ids
+
+    def test_inverted_ordering_fails(self):
+        claims = check_fig10(fig10_result(t=1.0, l=2.0, s=3.0))
+        ordering = next(
+            c for c in claims if c.claim_id == "fig10-utility-ordering"
+        )
+        assert not ordering.holds
+
+    def test_losing_proposed_fails(self):
+        claims = check_fig10(fig10_result(baseline=10.0))
+        win_claims = [c for c in claims if "proposed-wins" in c.claim_id]
+        assert win_claims
+        assert not any(c.holds for c in win_claims)
+
+
+class TestFig11Checks:
+    def build(self, values):
+        spec = fig11(repetitions=1, ks=(1, 2))
+        result = FigureResult(spec=spec)
+        for panel_spec in spec.panels:
+            key = (panel_spec.shop_location, panel_spec.threshold)
+            p = PanelResult(spec=panel_spec)
+            for name in panel_spec.algorithms:
+                p.add(Series(name, (1, 2), (values[key] / 2, values[key])))
+            result.add(p)
+        return result
+
+    def test_healthy_values_pass(self):
+        values = {
+            (LocationClass.CITY_CENTER, 20_000.0): 6.0,
+            (LocationClass.CITY_CENTER, 10_000.0): 4.0,
+            (LocationClass.CITY, 20_000.0): 3.0,
+            (LocationClass.CITY, 10_000.0): 2.0,
+            (LocationClass.SUBURB, 20_000.0): 1.0,
+            (LocationClass.SUBURB, 10_000.0): 0.5,
+        }
+        claims = check_fig11(self.build(values))
+        assert all(claim.holds for claim in claims)
+
+    def test_shrinking_d_benefit_fails(self):
+        values = {
+            (LocationClass.CITY_CENTER, 20_000.0): 3.0,
+            (LocationClass.CITY_CENTER, 10_000.0): 4.0,  # inverted!
+            (LocationClass.CITY, 20_000.0): 3.0,
+            (LocationClass.CITY, 10_000.0): 2.0,
+            (LocationClass.SUBURB, 20_000.0): 1.0,
+            (LocationClass.SUBURB, 10_000.0): 0.5,
+        }
+        claims = check_fig11(self.build(values))
+        failing = [c for c in claims if not c.holds]
+        assert any("center" in c.claim_id for c in failing)
+
+
+class TestCheckAllAndRender:
+    def test_check_all_skips_missing_figures(self):
+        claims = check_all({"fig10": fig10_result()})
+        assert claims
+        assert all(claim.claim_id.startswith("fig10") for claim in claims)
+
+    def test_render(self):
+        claims = [
+            ClaimResult("a", "desc a", True, "fine"),
+            ClaimResult("b", "desc b", False, "broken"),
+        ]
+        text = render_claims(claims)
+        assert "claims: 1/2 hold" in text
+        # Failures render first.
+        assert text.index("[FAIL]") < text.index("[PASS]")
+
+
+class TestEndToEndSmallScale:
+    def test_claims_hold_on_small_runs(self):
+        """The real pipeline at tiny scale satisfies every encoded claim
+        (the CLI equivalent of `rapflow check-claims --scale small`)."""
+        from repro.experiments import (
+            TraceProvider,
+            available_figures,
+            build_figure,
+            run_figure,
+        )
+
+        provider = TraceProvider(scale="small")
+        results = {
+            figure_id: run_figure(
+                build_figure(figure_id, repetitions=2, ks=(1, 3, 5)),
+                provider,
+            )
+            for figure_id in available_figures()
+        }
+        claims = check_all(results)
+        failing = [str(c) for c in claims if not c.holds]
+        assert not failing, "\n".join(failing)

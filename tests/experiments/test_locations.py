@@ -1,0 +1,91 @@
+"""Tests for intersection classification (center / city / suburb)."""
+
+import pytest
+
+from repro.core import TrafficFlow
+from repro.errors import ExperimentError
+from repro.experiments import (
+    LocationClass,
+    classify_intersections,
+    locations_of_class,
+    passing_volume,
+)
+from repro.graphs import manhattan_grid
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 100.0)
+
+
+@pytest.fixture
+def flows(grid):
+    """Heavy traffic through the middle row, light elsewhere."""
+    return [
+        TrafficFlow(path=tuple((2, c) for c in range(5)), volume=100),
+        TrafficFlow(path=tuple((r, 2) for r in range(5)), volume=50),
+        TrafficFlow(path=((0, 0), (0, 1)), volume=1),
+    ]
+
+
+class TestClassification:
+    def test_every_intersection_classified(self, grid, flows):
+        classes = classify_intersections(grid, flows)
+        assert set(classes) == set(grid.nodes())
+
+    def test_busiest_node_is_center(self, grid, flows):
+        classes = classify_intersections(grid, flows)
+        # (2, 2) carries both heavy flows -> the single busiest node.
+        assert classes[(2, 2)] is LocationClass.CITY_CENTER
+
+    def test_untouched_nodes_are_suburb(self, grid, flows):
+        classes = classify_intersections(grid, flows)
+        assert classes[(4, 4)] is LocationClass.SUBURB
+
+    def test_fractions_respected(self, grid, flows):
+        classes = classify_intersections(
+            grid, flows, center_fraction=0.2, city_fraction=0.6
+        )
+        counts = {tag: 0 for tag in LocationClass}
+        for tag in classes.values():
+            counts[tag] += 1
+        assert counts[LocationClass.CITY_CENTER] == 5  # 20% of 25
+        assert counts[LocationClass.CITY] == 10  # next 40%
+        assert counts[LocationClass.SUBURB] == 10
+
+    def test_center_busier_than_city_busier_than_suburb(self, grid, flows):
+        classes = classify_intersections(grid, flows)
+
+        def mean_volume(tag):
+            nodes = locations_of_class(classes, tag)
+            return sum(passing_volume(flows, n) for n in nodes) / len(nodes)
+
+        assert (
+            mean_volume(LocationClass.CITY_CENTER)
+            >= mean_volume(LocationClass.CITY)
+            >= mean_volume(LocationClass.SUBURB)
+        )
+
+    @pytest.mark.parametrize(
+        "center,city",
+        [(0.0, 0.4), (0.5, 0.4), (0.4, 0.4), (0.1, 1.5)],
+    )
+    def test_bad_fractions_rejected(self, grid, flows, center, city):
+        with pytest.raises(ExperimentError):
+            classify_intersections(
+                grid, flows, center_fraction=center, city_fraction=city
+            )
+
+    def test_deterministic(self, grid, flows):
+        a = classify_intersections(grid, flows)
+        b = classify_intersections(grid, flows)
+        assert a == b
+
+
+class TestLocationsOfClass:
+    def test_partition_covers_everything(self, grid, flows):
+        classes = classify_intersections(grid, flows)
+        total = sum(
+            len(locations_of_class(classes, tag)) for tag in LocationClass
+        )
+        assert total == grid.node_count

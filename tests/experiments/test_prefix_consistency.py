@@ -1,0 +1,51 @@
+"""Prefix-consistency guard for the runner's sweep optimization.
+
+The runner evaluates prefixes of one max-k selection for every
+algorithm in ``PREFIX_CONSISTENT``.  That optimization is only sound if
+``select(scenario, k)`` really is a prefix of ``select(scenario, k+1)``
+— this test verifies the property empirically for every listed
+algorithm on random scenarios, so adding a non-prefix algorithm to the
+set cannot slip through silently.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import algorithm_by_name
+from repro.core import LinearUtility, Scenario, flow_between
+from repro.experiments import PREFIX_CONSISTENT
+from repro.graphs import manhattan_grid
+
+
+def random_scenario(seed: int) -> Scenario:
+    rng = random.Random(seed)
+    net = manhattan_grid(5, 5, 1.0)
+    nodes = list(net.nodes())
+    flows = [
+        flow_between(net, *rng.sample(nodes, 2),
+                     volume=rng.randint(1, 30), attractiveness=1.0)
+        for _ in range(rng.randint(2, 6))
+    ]
+    return Scenario(net, flows, rng.choice(nodes), LinearUtility(5.0))
+
+
+@pytest.mark.parametrize("name", sorted(PREFIX_CONSISTENT))
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_selection_is_prefix_of_larger_budget(name, seed):
+    scenario = random_scenario(seed)
+    kwargs = {"seed": 0} if name == "random" else {}
+    small = algorithm_by_name(name, **kwargs).select(scenario, 3)
+    kwargs = {"seed": 0} if name == "random" else {}
+    large = algorithm_by_name(name, **kwargs).select(scenario, 5)
+    assert small == large[: len(small)]
+
+
+def test_two_stage_is_deliberately_not_listed():
+    """The two-stage algorithms switch structure at k=4->5, so they must
+    never be treated as prefix-consistent."""
+    assert "two-stage" not in PREFIX_CONSISTENT
+    assert "modified-two-stage" not in PREFIX_CONSISTENT

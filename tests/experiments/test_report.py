@@ -1,0 +1,77 @@
+"""Tests for figure report rendering."""
+
+import pytest
+
+from repro.experiments import (
+    FigureResult,
+    FigureSpec,
+    PanelResult,
+    PanelSpec,
+    Series,
+    render_figure,
+    render_panel,
+)
+
+
+def build_figure_result():
+    spec = FigureSpec(
+        "figR",
+        "render test",
+        (
+            PanelSpec(
+                panel_id="p1", city="dublin", utility="linear",
+                threshold=20_000.0, ks=(1, 2), repetitions=1,
+                algorithms=("composite-greedy", "random"),
+            ),
+            PanelSpec(
+                panel_id="p2", city="dublin", utility="threshold",
+                threshold=20_000.0, ks=(1, 2), repetitions=1,
+                algorithms=("max-customers",),
+            ),
+        ),
+    )
+    result = FigureResult(spec=spec)
+    p1 = PanelResult(spec=spec.panels[0])
+    p1.add(Series("composite-greedy", (1, 2), (2.0, 3.0)))
+    p1.add(Series("random", (1, 2), (1.0, 1.5)))
+    result.add(p1)
+    p2 = PanelResult(spec=spec.panels[1])
+    p2.add(Series("max-customers", (1, 2), (4.0, 5.0)))
+    result.add(p2)
+    return result
+
+
+class TestRenderPanel:
+    def test_table_alignment(self):
+        result = build_figure_result()
+        text = render_panel(result.panels["p1"])
+        lines = text.splitlines()
+        header = next(l for l in lines if "Algorithm 1/2" in l)
+        separator = lines[lines.index(header) + 1]
+        assert len(separator) == len(header)
+
+    def test_shape_line_wins(self):
+        result = build_figure_result()
+        text = render_panel(result.panels["p1"])
+        assert "Algorithm 1/2 WINS" in text
+        assert "+100.0%" in text
+
+    def test_shape_line_without_proposed_algorithm(self):
+        result = build_figure_result()
+        text = render_panel(result.panels["p2"])
+        assert "best at k=2" in text
+
+    def test_precision(self):
+        result = build_figure_result()
+        text = render_panel(result.panels["p1"], precision=3)
+        assert "3.000" in text
+
+
+class TestRenderFigure:
+    def test_contains_all_panels(self):
+        result = build_figure_result()
+        text = render_figure(result)
+        assert "figR" in text
+        assert "p1:" in text
+        assert "p2:" in text
+        assert text.count("shape") + text.count("best at") == 2

@@ -1,0 +1,208 @@
+"""Tests for experiment specs, result containers, and report rendering."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError, UnknownFigureError
+from repro.experiments import (
+    FigureResult,
+    FigureSpec,
+    LocationClass,
+    PanelResult,
+    PanelSpec,
+    Series,
+    available_figures,
+    build_figure,
+    display_name,
+    figure_to_dict,
+    mean_and_stdev,
+    render_panel,
+    save_figure_json,
+    series_ratio,
+)
+
+
+def make_panel_spec(**overrides):
+    defaults = dict(
+        panel_id="test-panel",
+        city="dublin",
+        utility="linear",
+        threshold=20_000.0,
+        ks=(1, 2, 3),
+        repetitions=2,
+    )
+    defaults.update(overrides)
+    return PanelSpec(**defaults)
+
+
+class TestPanelSpec:
+    def test_valid(self):
+        spec = make_panel_spec()
+        assert spec.shop_location is LocationClass.CITY
+        assert "dublin" in spec.describe()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"city": "boston"},
+            {"semantics": "quantum"},
+            {"threshold": 0.0},
+            {"ks": ()},
+            {"ks": (-1, 2)},
+            {"repetitions": 0},
+            {"algorithms": ()},
+        ],
+    )
+    def test_invalid_rejected(self, overrides):
+        with pytest.raises(ExperimentError):
+            make_panel_spec(**overrides)
+
+
+class TestFigureSpec:
+    def test_duplicate_panels_rejected(self):
+        panel = make_panel_spec()
+        with pytest.raises(ExperimentError):
+            FigureSpec("f", "t", (panel, panel))
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ExperimentError):
+            FigureSpec("f", "t", ())
+
+
+class TestSeries:
+    def test_value_at(self):
+        s = Series("alg", (1, 2, 3), (1.0, 2.0, 3.0))
+        assert s.value_at(2) == 2.0
+        assert s.final == 3.0
+
+    def test_missing_k(self):
+        s = Series("alg", (1, 2), (1.0, 2.0))
+        with pytest.raises(ExperimentError):
+            s.value_at(9)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExperimentError):
+            Series("alg", (1, 2), (1.0,))
+
+
+class TestPanelResult:
+    @pytest.fixture
+    def panel(self):
+        result = PanelResult(spec=make_panel_spec(algorithms=("a", "b")))
+        result.add(Series("a", (1, 2, 3), (1.0, 2.0, 4.0)))
+        result.add(Series("b", (1, 2, 3), (1.5, 1.8, 2.0)))
+        return result
+
+    def test_best_algorithm(self, panel):
+        assert panel.best_algorithm(1) == "b"
+        assert panel.best_algorithm(3) == "a"
+
+    def test_gain_over_best_baseline(self, panel):
+        assert panel.gain_over_best_baseline("a", 3) == pytest.approx(1.0)
+        assert panel.gain_over_best_baseline("a", 1) == pytest.approx(-1 / 3)
+
+    def test_duplicate_series_rejected(self, panel):
+        with pytest.raises(ExperimentError):
+            panel.add(Series("a", (1, 2, 3), (0, 0, 0)))
+
+    def test_series_ratio(self, panel):
+        assert series_ratio(panel, "a", "b", 3) == pytest.approx(2.0)
+
+    def test_render_panel_contains_table(self, panel):
+        text = render_panel(panel)
+        assert "k" in text and "4.00" in text
+        assert "shape" in text or "best" in text
+
+
+class TestAggregation:
+    def test_mean_and_stdev(self):
+        mean, stdev = mean_and_stdev([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert stdev == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert mean_and_stdev([5.0]) == (5.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            mean_and_stdev([])
+
+
+class TestFigureRegistry:
+    def test_available(self):
+        assert available_figures() == ("fig10", "fig11", "fig12", "fig13")
+
+    def test_build(self):
+        spec = build_figure("fig10", repetitions=3)
+        assert spec.figure_id == "fig10"
+        assert len(spec.panels) == 3
+        assert all(p.repetitions == 3 for p in spec.panels)
+
+    def test_unknown(self):
+        with pytest.raises(UnknownFigureError):
+            build_figure("fig99")
+
+    def test_fig11_grid(self):
+        spec = build_figure("fig11")
+        assert len(spec.panels) == 6
+        locations = {p.shop_location for p in spec.panels}
+        assert locations == set(LocationClass)
+        thresholds = {p.threshold for p in spec.panels}
+        assert thresholds == {10_000.0, 20_000.0}
+
+    def test_fig13_uses_stage_algorithms(self):
+        spec = build_figure("fig13")
+        threshold_panels = [p for p in spec.panels if p.utility == "threshold"]
+        linear_panels = [p for p in spec.panels if p.utility == "linear"]
+        assert all("two-stage" in p.algorithms for p in threshold_panels)
+        assert all(
+            "modified-two-stage" in p.algorithms for p in linear_panels
+        )
+        assert all(p.semantics == "manhattan" for p in spec.panels)
+
+
+class TestSerialization:
+    def test_round_trip_to_json(self, tmp_path):
+        spec = FigureSpec("figX", "test", (make_panel_spec(),))
+        result = FigureResult(spec=spec)
+        panel = PanelResult(spec=spec.panels[0])
+        panel.add(Series("a", (1, 2, 3), (1.0, 2.0, 3.0), (0.1, 0.1, 0.1)))
+        result.add(panel)
+        path = tmp_path / "fig.json"
+        save_figure_json(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["figure_id"] == "figX"
+        assert loaded["panels"]["test-panel"]["series"]["a"]["means"] == [
+            1.0,
+            2.0,
+            3.0,
+        ]
+        assert figure_to_dict(result) == loaded
+
+
+class TestDisplayNames:
+    def test_paper_names(self):
+        assert display_name("two-stage") == "Algorithm 3"
+        assert display_name("random") == "Random"
+        assert display_name("unknown-algo") == "unknown-algo"
+
+
+class TestGainEdgeCases:
+    def test_zero_baseline_gives_infinite_gain(self):
+        result = PanelResult(spec=make_panel_spec(algorithms=("a", "b")))
+        result.add(Series("a", (1,), (2.0,)))
+        result.add(Series("b", (1,), (0.0,)))
+        assert result.gain_over_best_baseline("a", 1) == float("inf")
+
+    def test_zero_everything_gives_zero_gain(self):
+        result = PanelResult(spec=make_panel_spec(algorithms=("a", "b")))
+        result.add(Series("a", (1,), (0.0,)))
+        result.add(Series("b", (1,), (0.0,)))
+        assert result.gain_over_best_baseline("a", 1) == 0.0
+
+    def test_no_baselines_rejected(self):
+        result = PanelResult(spec=make_panel_spec(algorithms=("a",)))
+        result.add(Series("a", (1,), (1.0,)))
+        with pytest.raises(ExperimentError):
+            result.gain_over_best_baseline("a", 1)

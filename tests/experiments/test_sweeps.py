@@ -1,0 +1,122 @@
+"""Tests for sensitivity sweeps."""
+
+import pytest
+
+from repro.core import LinearUtility, Scenario, flow_between
+from repro.errors import ExperimentError
+from repro.experiments import (
+    SweepResult,
+    sweep_attractiveness,
+    sweep_budget,
+    sweep_threshold,
+)
+from repro.graphs import manhattan_grid
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 100.0)
+
+
+@pytest.fixture
+def flows(grid):
+    return [
+        flow_between(grid, (0, 0), (0, 4), 100, 1.0, "north"),
+        flow_between(grid, (4, 0), (4, 4), 60, 1.0, "south"),
+        flow_between(grid, (0, 2), (4, 2), 40, 1.0, "crosstown"),
+    ]
+
+
+SHOP = (2, 2)
+
+
+class TestSweepResult:
+    def test_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepResult("p", (1.0, 2.0), (1.0,), "alg")
+
+    def test_peak(self):
+        sweep = SweepResult("p", (1.0, 2.0, 3.0), (5.0, 9.0, 7.0), "alg")
+        assert sweep.peak == (2.0, 9.0)
+
+    def test_saturation_x(self):
+        sweep = SweepResult("p", (1.0, 2.0, 3.0), (5.0, 9.5, 10.0), "alg")
+        assert sweep.saturation_x(0.95) == 2.0
+        assert sweep.saturation_x(0.999) == 3.0
+
+
+class TestThresholdSweep:
+    def test_monotone_in_threshold(self, grid, flows):
+        sweep = sweep_threshold(
+            grid, flows, SHOP, "linear",
+            thresholds=(100.0, 200.0, 400.0, 800.0), k=3,
+        )
+        assert sweep.parameter == "threshold"
+        for earlier, later in zip(sweep.values, sweep.values[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_empty_rejected(self, grid, flows):
+        with pytest.raises(ExperimentError):
+            sweep_threshold(grid, flows, SHOP, "linear", (), k=2)
+
+    def test_accepts_algorithm_instance(self, grid, flows):
+        from repro.algorithms import MaxCustomers
+
+        sweep = sweep_threshold(
+            grid, flows, SHOP, "threshold", (200.0, 400.0), k=2,
+            algorithm=MaxCustomers(),
+        )
+        assert sweep.algorithm == "max-customers"
+
+
+class TestBudgetSweep:
+    def test_monotone_in_budget(self, grid, flows):
+        scenario = Scenario(grid, flows, SHOP, LinearUtility(400.0))
+        sweep = sweep_budget(scenario, ks=(1, 2, 3, 4, 5))
+        for earlier, later in zip(sweep.values, sweep.values[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_budget_clamped_to_sites(self, grid, flows):
+        scenario = Scenario(
+            grid, flows, SHOP, LinearUtility(400.0),
+            candidate_sites=[(0, 1), (0, 2)],
+        )
+        sweep = sweep_budget(scenario, ks=(1, 5))
+        assert len(sweep.values) == 2
+
+    def test_empty_rejected(self, grid, flows):
+        scenario = Scenario(grid, flows, SHOP, LinearUtility(400.0))
+        with pytest.raises(ExperimentError):
+            sweep_budget(scenario, ks=())
+
+
+class TestAttractivenessSweep:
+    def test_linearity_in_alpha(self, grid, flows):
+        """Doubling alpha doubles the attracted total exactly."""
+        sweep = sweep_attractiveness(
+            grid, flows, SHOP, "linear", threshold=400.0,
+            alphas=(0.25, 0.5, 1.0), k=3,
+        )
+        assert sweep.values[1] == pytest.approx(2 * sweep.values[0])
+        assert sweep.values[2] == pytest.approx(4 * sweep.values[0])
+
+    def test_zero_alpha_attracts_nobody(self, grid, flows):
+        sweep = sweep_attractiveness(
+            grid, flows, SHOP, "linear", threshold=400.0,
+            alphas=(0.0,), k=2,
+        )
+        assert sweep.values == (0.0,)
+
+    def test_invalid_alpha_rejected(self, grid, flows):
+        with pytest.raises(ExperimentError):
+            sweep_attractiveness(
+                grid, flows, SHOP, "linear", threshold=400.0,
+                alphas=(1.5,), k=2,
+            )
+
+    def test_empty_rejected(self, grid, flows):
+        with pytest.raises(ExperimentError):
+            sweep_attractiveness(
+                grid, flows, SHOP, "linear", threshold=400.0,
+                alphas=(), k=2,
+            )

@@ -1,0 +1,135 @@
+"""Tests for budgeted (cost-aware) placement."""
+
+import pytest
+
+from repro.core import LinearUtility, Scenario, ThresholdUtility, flow_between
+from repro.errors import InfeasiblePlacementError
+from repro.extensions import BudgetedGreedy, location_based_costs
+from repro.graphs import manhattan_grid
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 1.0)
+
+
+@pytest.fixture
+def scenario(grid):
+    flows = [
+        flow_between(grid, (0, 0), (0, 4), 10, 1.0),
+        flow_between(grid, (2, 0), (2, 4), 8, 1.0),
+        flow_between(grid, (4, 0), (4, 4), 6, 1.0),
+    ]
+    return Scenario(grid, flows, (2, 2), ThresholdUtility(4.0))
+
+
+class TestBudgetedGreedy:
+    def test_uniform_costs_match_cardinality_budget(self, scenario):
+        """Uniform cost 1 and budget k behaves like k-RAP greedy."""
+        result = BudgetedGreedy(costs=1.0, budget=2).place(scenario)
+        assert len(result.placement.raps) <= 2
+        assert result.spent <= 2
+        assert result.placement.attracted > 0
+
+    def test_budget_respected_with_dict_costs(self, scenario):
+        costs = {site: 5.0 for site in scenario.candidate_sites}
+        costs[(2, 2)] = 1.0
+        result = BudgetedGreedy(costs=costs, budget=6.0).place(scenario)
+        assert result.spent <= 6.0
+
+    def test_callable_costs(self, scenario):
+        result = BudgetedGreedy(
+            costs=lambda site: 2.0, budget=4.0
+        ).place(scenario)
+        assert len(result.placement.raps) <= 2
+
+    def test_zero_budget_places_nothing(self, scenario):
+        result = BudgetedGreedy(costs=1.0, budget=0.0).place(scenario)
+        assert result.placement.raps == ()
+        assert result.spent == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InfeasiblePlacementError):
+            BudgetedGreedy(costs=1.0, budget=-1.0)
+
+    def test_non_positive_cost_rejected(self, scenario):
+        with pytest.raises(InfeasiblePlacementError):
+            BudgetedGreedy(costs=0.0, budget=2.0).place(scenario)
+
+    def test_missing_dict_cost_rejected(self, scenario):
+        with pytest.raises(InfeasiblePlacementError):
+            BudgetedGreedy(costs={}, budget=2.0).place(scenario)
+
+    def test_best_single_beats_ratio_trap(self, grid):
+        """Classic KMN trap: a cheap site with tiny gain has the best
+        ratio, but a single expensive site is far better.  The modified
+        greedy must pick the expensive one."""
+        flows = [
+            flow_between(grid, (0, 0), (0, 2), 1, 1.0),     # cheap corner
+            flow_between(grid, (4, 0), (4, 4), 1000, 1.0),  # jackpot row
+        ]
+        scenario = Scenario(grid, flows, (2, 2), ThresholdUtility(10.0))
+        costs = {site: 10.0 for site in scenario.candidate_sites}
+        for c in range(5):
+            costs[(0, c)] = 1.0  # cheap sites only reach the tiny flow
+        result = BudgetedGreedy(costs=costs, budget=10.0).place(scenario)
+        # Ratio greedy would buy a cheap (0, c) site first (ratio 1.0 vs
+        # 100) and then be unable to afford the jackpot row.
+        attracted = result.placement.attracted
+        assert attracted >= 1000.0
+
+    def test_remaining_property(self, scenario):
+        result = BudgetedGreedy(costs=1.0, budget=3.0).place(scenario)
+        assert result.remaining == pytest.approx(result.budget - result.spent)
+
+    def test_more_budget_never_hurts(self, scenario):
+        small = BudgetedGreedy(costs=1.0, budget=1.0).place(scenario)
+        large = BudgetedGreedy(costs=1.0, budget=4.0).place(scenario)
+        assert large.placement.attracted >= small.placement.attracted - 1e-9
+
+
+class TestLocationBasedCosts:
+    def test_busier_sites_cost_more(self, scenario):
+        costs = location_based_costs(
+            scenario, center_cost=3.0, city_cost=2.0, suburb_cost=1.0
+        )
+        assert set(costs) == set(scenario.candidate_sites)
+        # The busiest intersections (on the volume-10 top row) price at 3.
+        assert costs[(0, 0)] == 3.0
+        assert max(costs.values()) == 3.0
+        assert min(costs.values()) == 1.0
+
+    def test_composable_with_budgeted_greedy(self, scenario):
+        costs = location_based_costs(scenario)
+        result = BudgetedGreedy(costs=costs, budget=5.0).place(scenario)
+        assert result.spent <= 5.0
+
+
+class TestCostFrontier:
+    def test_monotone_in_budget(self, scenario):
+        from repro.extensions import cost_frontier
+
+        points = cost_frontier(scenario, costs=1.0, budgets=[1, 2, 3, 5])
+        values = [p.attracted for p in points]
+        assert values == sorted(values)
+        assert all(p.spent <= p.budget for p in points)
+
+    def test_sorted_by_budget(self, scenario):
+        from repro.extensions import cost_frontier
+
+        points = cost_frontier(scenario, costs=1.0, budgets=[5, 1, 3])
+        assert [p.budget for p in points] == [1, 3, 5]
+
+    def test_location_cost_frontier(self, scenario):
+        from repro.extensions import cost_frontier, location_based_costs
+
+        costs = location_based_costs(scenario)
+        points = cost_frontier(scenario, costs=costs, budgets=[2.0, 6.0])
+        assert points[-1].attracted >= points[0].attracted - 1e-9
+
+    def test_empty_budgets_rejected(self, scenario):
+        from repro.errors import InfeasiblePlacementError
+        from repro.extensions import cost_frontier
+
+        with pytest.raises(InfeasiblePlacementError):
+            cost_frontier(scenario, costs=1.0, budgets=[])

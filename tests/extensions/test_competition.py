@@ -1,0 +1,221 @@
+"""Tests for competitive placement between rival shops."""
+
+import pytest
+
+from repro.algorithms import MarginalGainGreedy
+from repro.core import LinearUtility, Scenario, ThresholdUtility, flow_between
+from repro.errors import InvalidScenarioError
+from repro.extensions import (
+    Competitor,
+    CompetitiveScenario,
+    alternating_play,
+    best_response,
+    evaluate_competition,
+)
+from repro.graphs import manhattan_grid
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 1.0)
+
+
+@pytest.fixture
+def flows(grid):
+    return [
+        flow_between(grid, (0, 0), (0, 4), 100, 1.0, "north"),
+        flow_between(grid, (4, 0), (4, 4), 100, 1.0, "south"),
+    ]
+
+
+def duopoly(grid, flows, utility=None):
+    return CompetitiveScenario(
+        grid,
+        flows,
+        [Competitor("north-shop", (1, 2)), Competitor("south-shop", (3, 2))],
+        utility or LinearUtility(4.0),
+    )
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self, grid, flows):
+        with pytest.raises(InvalidScenarioError):
+            CompetitiveScenario(
+                grid, flows,
+                [Competitor("a", (1, 2)), Competitor("a", (3, 2))],
+                LinearUtility(4.0),
+            )
+
+    def test_empty_competitors_rejected(self, grid, flows):
+        with pytest.raises(InvalidScenarioError):
+            CompetitiveScenario(grid, flows, [], LinearUtility(4.0))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidScenarioError):
+            Competitor("", (0, 0))
+
+
+class TestEvaluateCompetition:
+    def test_monopoly_matches_plain_evaluation(self, grid, flows):
+        """One competitor: payoffs equal ordinary placement evaluation."""
+        from repro.core import evaluate_placement
+
+        scenario = CompetitiveScenario(
+            grid, flows, [Competitor("solo", (1, 2))], LinearUtility(4.0)
+        )
+        raps = [(0, 2), (4, 2)]
+        payoffs = evaluate_competition(scenario, {"solo": raps})
+        plain = Scenario(grid, flows, (1, 2), LinearUtility(4.0))
+        assert payoffs["solo"] == pytest.approx(
+            evaluate_placement(plain, raps).attracted
+        )
+
+    def test_closer_shop_wins_the_flow(self, grid, flows):
+        scenario = duopoly(grid, flows)
+        payoffs = evaluate_competition(
+            scenario,
+            {"north-shop": [(0, 2)], "south-shop": [(4, 2)]},
+        )
+        # Each shop sits one block from "its" flow; each wins one flow.
+        assert payoffs["north-shop"] > 0
+        assert payoffs["south-shop"] > 0
+
+    def test_winner_takes_the_flow_entirely(self, grid, flows):
+        """The losing shop gets nothing from a contested flow."""
+        scenario = duopoly(grid, flows)
+        payoffs = evaluate_competition(
+            scenario,
+            # Both advertise on the north flow; north-shop is closer.
+            {"north-shop": [(0, 2)], "south-shop": [(0, 1)]},
+        )
+        assert payoffs["south-shop"] == 0.0
+
+    def test_tie_goes_to_earlier_competitor(self, grid):
+        flow = flow_between(grid, (2, 0), (2, 4), 50, 1.0)
+        scenario = CompetitiveScenario(
+            grid,
+            [flow],
+            [Competitor("first", (1, 2)), Competitor("second", (3, 2))],
+            LinearUtility(4.0),
+        )
+        # Symmetric RAPs: equal detours from (2, 2) to either shop.
+        payoffs = evaluate_competition(
+            scenario, {"first": [(2, 2)], "second": [(2, 2)]}
+        )
+        assert payoffs["first"] > 0
+        assert payoffs["second"] == 0.0
+
+
+class TestBestResponse:
+    def test_monopoly_best_response_is_plain_greedy(self, grid, flows):
+        scenario = CompetitiveScenario(
+            grid, flows, [Competitor("solo", (1, 2))], LinearUtility(4.0)
+        )
+        response = best_response(scenario, "solo", {}, k=2)
+        plain = Scenario(grid, flows, (1, 2), LinearUtility(4.0))
+        greedy = MarginalGainGreedy().select(plain, 2)
+        from repro.core import evaluate_placement
+
+        assert evaluate_placement(plain, response).attracted == pytest.approx(
+            evaluate_placement(plain, greedy).attracted
+        )
+
+    def test_avoids_lost_battles(self, grid, flows):
+        """If the rival owns the north flow at detour 0, the responder
+        should spend its budget on the south flow."""
+        scenario = duopoly(grid, flows)
+        # north-shop (at (1,2)) advertises on the north flow at (0, 2):
+        # detour for the north flow is 2 (down and back).
+        placements = {"north-shop": [(0, 2)]}
+        response = best_response(scenario, "south-shop", placements, k=1)
+        payoffs = evaluate_competition(
+            scenario, {**placements, "south-shop": response}
+        )
+        assert payoffs["south-shop"] > 0
+        # The response targets the uncontested south flow.
+        assert all(site[0] >= 2 for site in response)
+
+    def test_unknown_player_rejected(self, grid, flows):
+        scenario = duopoly(grid, flows)
+        with pytest.raises(InvalidScenarioError):
+            best_response(scenario, "ghost", {}, k=1)
+
+
+class TestAlternatingPlay:
+    def test_converges_on_separable_market(self, grid, flows):
+        """Two shops, two disjoint natural markets: play must converge
+        with both earning customers."""
+        scenario = duopoly(grid, flows)
+        result = alternating_play(scenario, k=2, max_rounds=8)
+        assert result.converged
+        assert result.payoffs["north-shop"] > 0
+        assert result.payoffs["south-shop"] > 0
+
+    def test_payoffs_match_final_placements(self, grid, flows):
+        scenario = duopoly(grid, flows)
+        result = alternating_play(scenario, k=2)
+        recomputed = evaluate_competition(scenario, dict(result.placements))
+        for name, payoff in result.payoffs.items():
+            assert payoff == pytest.approx(recomputed[name])
+
+    def test_round_limit_respected(self, grid, flows):
+        scenario = duopoly(grid, flows)
+        result = alternating_play(scenario, k=2, max_rounds=1)
+        assert result.rounds == 1
+
+    def test_bad_round_limit(self, grid, flows):
+        scenario = duopoly(grid, flows)
+        with pytest.raises(InvalidScenarioError):
+            alternating_play(scenario, k=1, max_rounds=0)
+
+    def test_competition_cannibalizes_total_demand(self, grid, flows):
+        """Total attracted under competition never exceeds what a single
+        merged chain (multi-shop) could attract with the same sites."""
+        from repro.extensions import MultiShopScenario
+        from repro.core import evaluate_placement
+
+        scenario = duopoly(grid, flows, ThresholdUtility(4.0))
+        result = alternating_play(scenario, k=2)
+        all_sites = []
+        for sites in result.placements.values():
+            for site in sites:
+                if site not in all_sites:
+                    all_sites.append(site)
+        merged = MultiShopScenario(
+            grid, flows, shops=[(1, 2), (3, 2)], utility=ThresholdUtility(4.0)
+        )
+        merged_value = evaluate_placement(merged, all_sites).attracted
+        assert sum(result.payoffs.values()) <= merged_value + 1e-9
+
+
+class TestPriceOfAnarchy:
+    def test_ratio_at_least_one(self, grid, flows):
+        from repro.extensions import price_of_anarchy
+
+        scenario = duopoly(grid, flows, ThresholdUtility(4.0))
+        ratio, play = price_of_anarchy(scenario, k=2)
+        assert ratio >= 1.0
+        assert play.payoffs
+
+    def test_separable_market_has_low_anarchy(self, grid, flows):
+        """Disjoint natural markets: competition costs (almost) nothing."""
+        from repro.extensions import price_of_anarchy
+
+        scenario = duopoly(grid, flows, ThresholdUtility(4.0))
+        ratio, _ = price_of_anarchy(scenario, k=2)
+        assert ratio <= 1.5
+
+    def test_zero_demand_edge_case(self, grid):
+        """Threshold too tight for anyone: ratio defined as 1.0."""
+        from repro.core import flow_between
+        from repro.extensions import price_of_anarchy
+
+        far_flows = [flow_between(grid, (0, 0), (0, 4), 10, 1.0)]
+        scenario = CompetitiveScenario(
+            grid, far_flows,
+            [Competitor("a", (4, 0)), Competitor("b", (4, 4))],
+            ThresholdUtility(0.5),
+        )
+        ratio, play = price_of_anarchy(scenario, k=1)
+        assert ratio == 1.0
+        assert sum(play.payoffs.values()) == 0.0

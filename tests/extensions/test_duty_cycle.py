@@ -1,0 +1,220 @@
+"""Tests for duty-cycled RAP placement."""
+
+import pytest
+
+from repro.core import LinearUtility, Scenario, ThresholdUtility, flow_between
+from repro.errors import InfeasiblePlacementError, InvalidScenarioError
+from repro.extensions import (
+    DutyCycleGreedy,
+    DutyCycleProblem,
+    HourlyProfile,
+    evaluate_schedule,
+)
+from repro.graphs import manhattan_grid
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 1.0)
+
+
+@pytest.fixture
+def scenario(grid):
+    flows = [
+        flow_between(grid, (0, 0), (0, 4), 100, 1.0, "north"),
+        flow_between(grid, (4, 0), (4, 4), 60, 1.0, "south"),
+    ]
+    return Scenario(grid, flows, (2, 2), ThresholdUtility(4.0))
+
+
+class TestHourlyProfile:
+    def test_uniform_normalized(self):
+        profile = HourlyProfile.uniform()
+        assert sum(profile.weights) == pytest.approx(1.0)
+        assert profile.weights[0] == pytest.approx(1 / 24)
+
+    def test_commute_peaks_at_requested_hour(self):
+        profile = HourlyProfile.evening_commute(peak=18)
+        assert max(range(24), key=lambda h: profile.weights[h]) == 18
+        assert profile.weights[6] == 0.0
+
+    def test_wraps_midnight(self):
+        profile = HourlyProfile.evening_commute(peak=23, spread=2)
+        assert profile.weights[0] > 0  # 1 hour past peak, wrapped
+
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            tuple([1.0] * 23),                 # wrong length
+            tuple([-1.0] + [1.0] * 23),        # negative
+            tuple([0.0] * 24),                 # zero mass
+        ],
+    )
+    def test_bad_profiles_rejected(self, weights):
+        with pytest.raises(InvalidScenarioError):
+            HourlyProfile(weights=weights)
+
+
+class TestProblem:
+    def test_defaults_to_commute_profiles(self, scenario):
+        problem = DutyCycleProblem(scenario)
+        assert len(problem.profiles) == 2
+
+    def test_profile_count_checked(self, scenario):
+        with pytest.raises(InvalidScenarioError):
+            DutyCycleProblem(scenario, profiles=[HourlyProfile.uniform()])
+
+    @pytest.mark.parametrize("hours", [0, 25])
+    def test_hour_budget_checked(self, scenario, hours):
+        with pytest.raises(InvalidScenarioError):
+            DutyCycleProblem(scenario, active_hours_per_rap=hours)
+
+
+class TestEvaluateSchedule:
+    def test_always_on_matches_static_model(self, scenario):
+        """24h duty with uniform profiles == the paper's static value."""
+        from repro.core import evaluate_placement
+
+        problem = DutyCycleProblem(
+            scenario,
+            profiles=[HourlyProfile.uniform()] * 2,
+            active_hours_per_rap=24,
+        )
+        sites = [(0, 2), (4, 2)]
+        schedule = {site: range(24) for site in sites}
+        static = evaluate_placement(scenario, sites).attracted
+        assert evaluate_schedule(problem, schedule) == pytest.approx(static)
+
+    def test_off_peak_hours_earn_nothing(self, scenario):
+        problem = DutyCycleProblem(scenario)  # evening-commute profiles
+        # Broadcasting only at 6am catches zero commuters.
+        assert evaluate_schedule(problem, {(0, 2): [6]}) == 0.0
+        # Broadcasting at the peak catches the peak share.
+        assert evaluate_schedule(problem, {(0, 2): [18]}) > 0.0
+
+    def test_bad_hour_rejected(self, scenario):
+        problem = DutyCycleProblem(scenario)
+        with pytest.raises(InvalidScenarioError):
+            evaluate_schedule(problem, {(0, 2): [24]})
+
+
+class TestDutyCycleGreedy:
+    def test_respects_budgets(self, scenario):
+        problem = DutyCycleProblem(scenario, active_hours_per_rap=3)
+        schedule = DutyCycleGreedy().solve(problem, k=2)
+        assert len(schedule.sites) <= 2
+        for hours in schedule.hours_by_site.values():
+            assert len(hours) <= 3
+
+    def test_concentrates_on_peak_hours(self, scenario):
+        problem = DutyCycleProblem(scenario, active_hours_per_rap=2)
+        schedule = DutyCycleGreedy().solve(problem, k=2)
+        peak_band = {16, 17, 18, 19, 20}
+        for hours in schedule.hours_by_site.values():
+            assert set(hours) <= peak_band
+
+    def test_value_matches_evaluation(self, scenario):
+        problem = DutyCycleProblem(scenario, active_hours_per_rap=4)
+        schedule = DutyCycleGreedy().solve(problem, k=2)
+        assert schedule.expected_customers == pytest.approx(
+            evaluate_schedule(problem, dict(schedule.hours_by_site))
+        )
+
+    def test_more_hours_never_hurt(self, scenario):
+        short = DutyCycleGreedy().solve(
+            DutyCycleProblem(scenario, active_hours_per_rap=1), k=2
+        )
+        long = DutyCycleGreedy().solve(
+            DutyCycleProblem(scenario, active_hours_per_rap=6), k=2
+        )
+        assert long.expected_customers >= short.expected_customers - 1e-9
+
+    def test_full_duty_approaches_static_optimum(self, scenario):
+        """With 24h duty, greedy recovers the static placement's value."""
+        from repro.algorithms import MarginalGainGreedy
+
+        problem = DutyCycleProblem(
+            scenario,
+            profiles=[HourlyProfile.uniform()] * 2,
+            active_hours_per_rap=24,
+        )
+        schedule = DutyCycleGreedy().solve(problem, k=2)
+        static = MarginalGainGreedy().place(scenario, 2)
+        assert schedule.expected_customers == pytest.approx(
+            static.attracted, rel=1e-6
+        )
+
+    def test_budget_validation(self, scenario):
+        problem = DutyCycleProblem(scenario)
+        with pytest.raises(InfeasiblePlacementError):
+            DutyCycleGreedy().solve(problem, k=-1)
+        with pytest.raises(InfeasiblePlacementError):
+            DutyCycleGreedy().solve(problem, k=10_000)
+
+    def test_zero_budget(self, scenario):
+        problem = DutyCycleProblem(scenario)
+        schedule = DutyCycleGreedy().solve(problem, k=0)
+        assert schedule.sites == ()
+        assert schedule.expected_customers == 0.0
+
+
+class TestProfileFromTimestamps:
+    def test_concentrated_departures(self):
+        from repro.extensions import profile_from_timestamps
+
+        # Everybody leaves between 17:00 and 18:00.
+        times = [17 * 3600 + i * 60 for i in range(50)]
+        profile = profile_from_timestamps(times, smoothing=0.0)
+        assert profile.weights[17] == pytest.approx(1.0)
+
+    def test_smoothing_keeps_all_hours_positive(self):
+        from repro.extensions import profile_from_timestamps
+
+        profile = profile_from_timestamps([12 * 3600], smoothing=1.0)
+        assert all(w > 0 for w in profile.weights)
+        assert max(range(24), key=lambda h: profile.weights[h]) == 12
+
+    def test_wraps_multi_day_offsets(self):
+        from repro.extensions import profile_from_timestamps
+
+        day = 24 * 3600
+        profile = profile_from_timestamps(
+            [6 * 3600, day + 6 * 3600, 2 * day + 6 * 3600], smoothing=0.0
+        )
+        assert profile.weights[6] == pytest.approx(1.0)
+
+    def test_validation(self):
+        from repro.extensions import profile_from_timestamps
+
+        with pytest.raises(InvalidScenarioError):
+            profile_from_timestamps([])
+        with pytest.raises(InvalidScenarioError):
+            profile_from_timestamps([0.0], smoothing=-1)
+
+    def test_from_generated_trace(self):
+        """End to end: departure times of a generated trace produce a
+        usable profile (generator departures are uniform in the first
+        hour, so hour 0 dominates)."""
+        from repro.extensions import (
+            journey_departure_times,
+            profile_from_timestamps,
+        )
+        from repro.traces import (
+            SeattleTraceConfig,
+            generate_seattle_trace,
+            group_into_journeys,
+        )
+
+        trace = generate_seattle_trace(
+            SeattleTraceConfig(seed=2, rows=9, cols=9, pattern_count=8)
+        )
+        journeys = group_into_journeys(trace.records)
+        departures = journey_departure_times(journeys)
+        profile = profile_from_timestamps(departures, smoothing=0.0)
+        assert profile.weights[0] == pytest.approx(1.0)
+
+    def test_no_journeys_rejected(self):
+        from repro.extensions import journey_departure_times
+
+        with pytest.raises(InvalidScenarioError):
+            journey_departure_times([])

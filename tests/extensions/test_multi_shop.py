@@ -1,0 +1,131 @@
+"""Tests for the multi-shop extension."""
+
+import pytest
+
+from repro.algorithms import CompositeGreedy, ExhaustiveOptimal
+from repro.core import LinearUtility, ThresholdUtility, evaluate_placement
+from repro.errors import InvalidScenarioError
+from repro.extensions import MultiShopDetourCalculator, MultiShopScenario
+from repro.graphs import INFINITY, manhattan_grid
+from repro.core import flow_between
+from tests.conftest import build_paper_flows, build_paper_network
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 1.0)
+
+
+class TestMultiShopDetour:
+    def test_min_over_shops(self, grid):
+        flow = flow_between(grid, (0, 0), (0, 4), 1, 1.0)
+        single_near = MultiShopDetourCalculator(grid, [(1, 2)])
+        single_far = MultiShopDetourCalculator(grid, [(4, 2)])
+        both = MultiShopDetourCalculator(grid, [(4, 2), (1, 2)])
+        for node in flow.path:
+            expected = min(
+                single_near.detour(node, flow), single_far.detour(node, flow)
+            )
+            assert both.detour(node, flow) == pytest.approx(expected)
+
+    def test_single_shop_degenerates_to_plain(self, grid):
+        from repro.core import DetourCalculator
+
+        flow = flow_between(grid, (0, 0), (4, 4), 1, 1.0)
+        multi = MultiShopDetourCalculator(grid, [(2, 2)])
+        plain = DetourCalculator(grid, (2, 2))
+        for node, detour in multi.detours_along(flow):
+            assert detour == pytest.approx(plain.detour(node, flow))
+
+    def test_serving_shop(self, grid):
+        flow = flow_between(grid, (0, 0), (0, 4), 1, 1.0)
+        calc = MultiShopDetourCalculator(grid, [(4, 4), (1, 1)])
+        assert calc.serving_shop((0, 1), flow) == (1, 1)
+
+    def test_empty_shops_rejected(self, grid):
+        with pytest.raises(InvalidScenarioError):
+            MultiShopDetourCalculator(grid, [])
+
+    def test_duplicate_shops_rejected(self, grid):
+        with pytest.raises(InvalidScenarioError):
+            MultiShopDetourCalculator(grid, [(1, 1), (1, 1)])
+
+    def test_best_detour(self, grid):
+        flow = flow_between(grid, (0, 0), (0, 4), 1, 1.0)
+        calc = MultiShopDetourCalculator(grid, [(1, 2)])
+        node, detour = calc.best_detour(flow)
+        # Detour is 2.0 at (0,0), (0,1), and (0,2); the first wins the tie.
+        assert node == (0, 0)
+        assert detour == pytest.approx(2.0)
+
+
+class TestMultiShopScenario:
+    def test_algorithms_run_unchanged(self, grid):
+        flows = [
+            flow_between(grid, (0, 0), (0, 4), 10, 1.0),
+            flow_between(grid, (4, 0), (4, 4), 10, 1.0),
+        ]
+        scenario = MultiShopScenario(
+            grid, flows, shops=[(1, 2), (3, 2)], utility=LinearUtility(4.0)
+        )
+        placement = CompositeGreedy().place(scenario, 2)
+        assert placement.attracted > 0
+
+    def test_more_shops_attract_at_least_as_much(self, grid):
+        flows = [
+            flow_between(grid, (0, 0), (0, 4), 10, 1.0),
+            flow_between(grid, (4, 0), (4, 4), 10, 1.0),
+        ]
+        one = MultiShopScenario(
+            grid, flows, shops=[(1, 2)], utility=LinearUtility(4.0)
+        )
+        two = MultiShopScenario(
+            grid, flows, shops=[(1, 2), (3, 2)], utility=LinearUtility(4.0)
+        )
+        raps = [(0, 2), (4, 2)]
+        assert (
+            evaluate_placement(two, raps).attracted
+            >= evaluate_placement(one, raps).attracted - 1e-9
+        )
+
+    def test_paper_example_with_second_shop(self):
+        """Adding a branch at V5 turns T[5,6]'s detour from 6 to 0."""
+        network = build_paper_network()
+        flows = build_paper_flows()
+        scenario = MultiShopScenario(
+            network, flows, shops=["V1", "V5"], utility=ThresholdUtility(6.0)
+        )
+        placement = evaluate_placement(scenario, ["V5"])
+        t56 = placement.outcomes[3]
+        assert t56.detour == pytest.approx(0.0)
+
+    def test_invalid_shop_rejected(self, grid):
+        with pytest.raises(InvalidScenarioError):
+            MultiShopScenario(
+                grid,
+                [flow_between(grid, (0, 0), (0, 4), 1, 1.0)],
+                shops=["nope"],
+                utility=LinearUtility(4.0),
+            )
+
+    def test_shops_property(self, grid):
+        scenario = MultiShopScenario(
+            grid,
+            [flow_between(grid, (0, 0), (0, 4), 1, 1.0)],
+            shops=[(1, 1), (3, 3)],
+            utility=LinearUtility(4.0),
+        )
+        assert scenario.shops == ((1, 1), (3, 3))
+        assert scenario.shop == (1, 1)
+
+    def test_exhaustive_respects_multi_shop_objective(self, grid):
+        """Optimal placement accounts for branch proximity."""
+        flows = [flow_between(grid, (0, 0), (0, 4), 10, 1.0)]
+        scenario = MultiShopScenario(
+            grid, flows, shops=[(0, 1)], utility=LinearUtility(4.0)
+        )
+        placement = ExhaustiveOptimal().place(scenario, 1)
+        # The branch sits on the flow's row, so a zero-detour site exists
+        # and the optimum attracts the full volume.
+        assert placement.attracted == pytest.approx(10.0)
+        assert placement.outcomes[0].detour == pytest.approx(0.0)

@@ -1,0 +1,148 @@
+"""Tests for multi-advertisement scheduling."""
+
+import pytest
+
+from repro.core import LinearUtility, ThresholdUtility, flow_between
+from repro.errors import InfeasiblePlacementError, InvalidScenarioError
+from repro.extensions import (
+    Campaign,
+    GreedyScheduler,
+    SchedulingProblem,
+)
+from repro.graphs import manhattan_grid
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 1.0)
+
+
+@pytest.fixture
+def flows(grid):
+    return [
+        flow_between(grid, (0, 0), (0, 4), 10, 1.0, "north"),
+        flow_between(grid, (4, 0), (4, 4), 10, 1.0, "south"),
+        flow_between(grid, (0, 2), (4, 2), 6, 1.0, "crosstown"),
+    ]
+
+
+def campaigns_for(grid):
+    return [
+        Campaign("coffee", shop=(1, 2), utility=LinearUtility(4.0)),
+        Campaign("books", shop=(3, 2), utility=LinearUtility(4.0)),
+    ]
+
+
+class TestCampaign:
+    def test_valid(self):
+        c = Campaign("x", shop=(0, 0), utility=ThresholdUtility(5.0))
+        assert c.value_per_customer == 1.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidScenarioError):
+            Campaign("", shop=(0, 0), utility=ThresholdUtility(5.0))
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(InvalidScenarioError):
+            Campaign("x", shop=(0, 0), utility=ThresholdUtility(5.0),
+                     value_per_customer=0.0)
+
+
+class TestSchedulingProblem:
+    def test_builds_scenarios_per_campaign(self, grid, flows):
+        problem = SchedulingProblem(grid, flows, campaigns_for(grid))
+        assert set(problem.scenarios) == {"coffee", "books"}
+
+    def test_duplicate_names_rejected(self, grid, flows):
+        campaigns = [
+            Campaign("a", shop=(1, 2), utility=LinearUtility(4.0)),
+            Campaign("a", shop=(3, 2), utility=LinearUtility(4.0)),
+        ]
+        with pytest.raises(InvalidScenarioError):
+            SchedulingProblem(grid, flows, campaigns)
+
+    def test_no_campaigns_rejected(self, grid, flows):
+        with pytest.raises(InvalidScenarioError):
+            SchedulingProblem(grid, flows, [])
+
+    def test_bad_slots_rejected(self, grid, flows):
+        with pytest.raises(InvalidScenarioError):
+            SchedulingProblem(grid, flows, campaigns_for(grid), slots_per_rap=0)
+
+
+class TestGreedyScheduler:
+    def test_respects_site_budget(self, grid, flows):
+        problem = SchedulingProblem(grid, flows, campaigns_for(grid))
+        result = GreedyScheduler().solve(problem, k=2)
+        assert len(result.sites) <= 2
+        assert result.total_value > 0
+
+    def test_respects_slot_capacity(self, grid, flows):
+        problem = SchedulingProblem(
+            grid, flows, campaigns_for(grid), slots_per_rap=1
+        )
+        result = GreedyScheduler().solve(problem, k=3)
+        for site, names in result.assignment.items():
+            assert len(names) <= 1
+
+    def test_campaign_appears_once_per_site(self, grid, flows):
+        problem = SchedulingProblem(grid, flows, campaigns_for(grid))
+        result = GreedyScheduler().solve(problem, k=3)
+        for names in result.assignment.values():
+            assert len(set(names)) == len(names)
+
+    def test_single_campaign_matches_marginal_greedy(self, grid, flows):
+        """With one campaign and ample slots, scheduling IS the k-RAP
+        marginal greedy placement."""
+        from repro.algorithms import MarginalGainGreedy
+        from repro.core import Scenario
+
+        campaign = Campaign("solo", shop=(2, 2), utility=LinearUtility(4.0))
+        problem = SchedulingProblem(grid, flows, [campaign])
+        result = GreedyScheduler().solve(problem, k=3)
+        scenario = Scenario(grid, flows, (2, 2), LinearUtility(4.0))
+        greedy = MarginalGainGreedy().place(scenario, 3)
+        assert result.total_value == pytest.approx(greedy.attracted)
+
+    def test_value_weight_steers_allocation(self, grid, flows):
+        """A campaign worth 10x per customer should claim the contested
+        slots."""
+        rich = Campaign("rich", shop=(1, 2), utility=LinearUtility(4.0),
+                        value_per_customer=10.0)
+        poor = Campaign("poor", shop=(1, 2), utility=LinearUtility(4.0))
+        problem = SchedulingProblem(grid, flows, [rich, poor],
+                                    slots_per_rap=1)
+        result = GreedyScheduler().solve(problem, k=2)
+        rich_sites = result.campaign_sites["rich"]
+        poor_sites = result.campaign_sites["poor"]
+        assert len(rich_sites) >= len(poor_sites)
+        assert result.campaign_values["rich"] >= result.campaign_values["poor"]
+
+    def test_more_slots_never_hurt(self, grid, flows):
+        tight = SchedulingProblem(grid, flows, campaigns_for(grid),
+                                  slots_per_rap=1)
+        loose = SchedulingProblem(grid, flows, campaigns_for(grid),
+                                  slots_per_rap=2)
+        v_tight = GreedyScheduler().solve(tight, k=2).total_value
+        v_loose = GreedyScheduler().solve(loose, k=2).total_value
+        assert v_loose >= v_tight - 1e-9
+
+    def test_budget_validation(self, grid, flows):
+        problem = SchedulingProblem(grid, flows, campaigns_for(grid))
+        with pytest.raises(InfeasiblePlacementError):
+            GreedyScheduler().solve(problem, k=-1)
+        with pytest.raises(InfeasiblePlacementError):
+            GreedyScheduler().solve(problem, k=999)
+
+    def test_zero_budget(self, grid, flows):
+        problem = SchedulingProblem(grid, flows, campaigns_for(grid))
+        result = GreedyScheduler().solve(problem, k=0)
+        assert result.sites == ()
+        assert result.total_value == 0.0
+
+    def test_assignment_consistent_with_campaign_sites(self, grid, flows):
+        problem = SchedulingProblem(grid, flows, campaigns_for(grid))
+        result = GreedyScheduler().solve(problem, k=3)
+        for name, sites in result.campaign_sites.items():
+            for site in sites:
+                assert name in result.assignment[site]

@@ -1,0 +1,126 @@
+"""Tests for A* and bidirectional Dijkstra (exactness vs Dijkstra)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NodeNotFoundError, NoPathError
+from repro.graphs import (
+    Point,
+    RoadNetwork,
+    astar,
+    bidirectional_dijkstra,
+    dijkstra,
+    dublin_like_city,
+    manhattan_grid,
+)
+
+
+def random_geometric_network(seed: int, n: int = 20) -> RoadNetwork:
+    """Random network with Euclidean-consistent edge lengths (>= chord)."""
+    rng = random.Random(seed)
+    net = RoadNetwork()
+    for i in range(n):
+        net.add_intersection(
+            i, Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+        )
+    for i in range(n):
+        net.add_road(i, (i + 1) % n)  # euclidean default
+    for _ in range(2 * n):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not net.has_road(a, b):
+            # Length >= straight-line distance keeps A* admissible.
+            stretch = 1.0 + rng.random()
+            net.add_road(a, b, net.euclidean_distance(a, b) * stretch + 1e-9)
+    return net
+
+
+class TestAstar:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_matches_dijkstra(self, seed):
+        net = random_geometric_network(seed)
+        rng = random.Random(seed + 1)
+        source, target = rng.sample(range(20), 2)
+        reference, _ = dijkstra(net, source)
+        path, length, _ = astar(net, source, target)
+        assert length == pytest.approx(reference[target])
+        assert net.is_path(path)
+        assert net.path_length(path) == pytest.approx(length)
+
+    def test_settles_fewer_nodes_than_dijkstra_on_grid(self):
+        grid = manhattan_grid(20, 20, 100.0)
+        _, _, settled = astar(grid, (0, 0), (0, 19))
+        # Dijkstra would settle ~all 400 nodes for a corner-to-corner
+        # query; A* heading straight east must do far better.
+        assert settled < 200
+
+    def test_trivial_query(self):
+        grid = manhattan_grid(3, 3, 1.0)
+        path, length, settled = astar(grid, (1, 1), (1, 1))
+        assert path == [(1, 1)]
+        assert length == 0.0
+
+    def test_unreachable(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(1, 0))
+        net.add_road("a", "b")
+        with pytest.raises(NoPathError):
+            astar(net, "b", "a")
+
+    def test_missing_nodes(self):
+        grid = manhattan_grid(2, 2, 1.0)
+        with pytest.raises(NodeNotFoundError):
+            astar(grid, (0, 0), "nope")
+        with pytest.raises(NodeNotFoundError):
+            astar(grid, "nope", (0, 0))
+
+
+class TestBidirectional:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_matches_dijkstra(self, seed):
+        net = random_geometric_network(seed)
+        rng = random.Random(seed + 2)
+        source, target = rng.sample(range(20), 2)
+        reference, _ = dijkstra(net, source)
+        path, length, _ = bidirectional_dijkstra(net, source, target)
+        assert length == pytest.approx(reference[target])
+        assert net.is_path(path)
+        assert path[0] == source and path[-1] == target
+        assert net.path_length(path) == pytest.approx(length)
+
+    def test_works_on_irregular_city(self):
+        net = dublin_like_city(rows=9, cols=9, seed=5)
+        nodes = list(net.nodes())
+        reference, _ = dijkstra(net, nodes[0])
+        path, length, _ = bidirectional_dijkstra(net, nodes[0], nodes[-1])
+        assert length == pytest.approx(reference[nodes[-1]])
+
+    def test_same_endpoints(self):
+        grid = manhattan_grid(3, 3, 1.0)
+        path, length, settled = bidirectional_dijkstra(grid, (0, 0), (0, 0))
+        assert path == [(0, 0)]
+        assert length == 0.0
+        assert settled == 1
+
+    def test_unreachable(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(1, 0))
+        net.add_road("a", "b")
+        with pytest.raises(NoPathError):
+            bidirectional_dijkstra(net, "b", "a")
+
+    def test_one_way_asymmetry_respected(self):
+        net = RoadNetwork()
+        for i, pos in enumerate([(0, 0), (1, 0), (1, 1), (0, 1)]):
+            net.add_intersection(i, Point(*pos))
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            net.add_road(a, b, 1.0)
+        path, length, _ = bidirectional_dijkstra(net, 0, 3)
+        assert path == [0, 1, 2, 3]
+        assert length == pytest.approx(3.0)

@@ -1,0 +1,185 @@
+"""Unit tests for the RoadNetwork directed graph."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NegativeWeightError,
+    NodeNotFoundError,
+)
+from repro.graphs import BoundingBox, Point, RoadNetwork
+
+
+@pytest.fixture
+def triangle():
+    """Three intersections with a mix of one- and two-way streets."""
+    net = RoadNetwork()
+    net.add_intersection("a", Point(0, 0))
+    net.add_intersection("b", Point(100, 0))
+    net.add_intersection("c", Point(0, 100))
+    net.add_street("a", "b")
+    net.add_road("b", "c", 250.0)
+    net.add_road("c", "a")
+    return net
+
+
+class TestConstruction:
+    def test_empty_network(self):
+        net = RoadNetwork()
+        assert len(net) == 0
+        assert net.node_count == 0
+        assert net.edge_count == 0
+
+    def test_add_intersection(self, triangle):
+        assert "a" in triangle
+        assert triangle.position("a") == Point(0, 0)
+
+    def test_duplicate_intersection_rejected(self, triangle):
+        with pytest.raises(DuplicateNodeError):
+            triangle.add_intersection("a", Point(5, 5))
+
+    def test_default_length_is_euclidean(self, triangle):
+        assert triangle.edge_length("a", "b") == 100.0
+        assert triangle.edge_length("c", "a") == 100.0
+
+    def test_explicit_length_wins(self, triangle):
+        assert triangle.edge_length("b", "c") == 250.0
+
+    def test_two_way_street_creates_both_directions(self, triangle):
+        assert triangle.has_road("a", "b")
+        assert triangle.has_road("b", "a")
+
+    def test_one_way_road_is_directed(self, triangle):
+        assert triangle.has_road("b", "c")
+        assert not triangle.has_road("c", "b")
+
+    def test_missing_endpoint_rejected(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.add_road("a", "zzz")
+        with pytest.raises(NodeNotFoundError):
+            triangle.add_road("zzz", "a")
+
+    def test_self_loop_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_road("a", "a")
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_lengths_rejected(self, triangle, bad):
+        with pytest.raises(NegativeWeightError):
+            triangle.add_road("a", "c", bad)
+
+    def test_readding_edge_overwrites_length(self, triangle):
+        triangle.add_road("b", "c", 300.0)
+        assert triangle.edge_length("b", "c") == 300.0
+        assert triangle.edge_count == 4  # unchanged
+
+
+class TestRemoval:
+    def test_remove_road(self, triangle):
+        triangle.remove_road("a", "b")
+        assert not triangle.has_road("a", "b")
+        assert triangle.has_road("b", "a")
+
+    def test_remove_missing_road(self, triangle):
+        with pytest.raises(EdgeNotFoundError):
+            triangle.remove_road("c", "b")
+
+    def test_remove_intersection_drops_incident_edges(self, triangle):
+        triangle.remove_intersection("b")
+        assert "b" not in triangle
+        assert triangle.edge_count == 1  # only c -> a remains
+        assert triangle.has_road("c", "a")
+
+    def test_remove_missing_intersection(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.remove_intersection("zzz")
+
+
+class TestInspection:
+    def test_counts(self, triangle):
+        assert triangle.node_count == 3
+        assert triangle.edge_count == 4
+
+    def test_edges_iteration(self, triangle):
+        edges = set((t, h) for t, h, _ in triangle.edges())
+        assert edges == {("a", "b"), ("b", "a"), ("b", "c"), ("c", "a")}
+
+    def test_successors_predecessors(self, triangle):
+        assert dict(triangle.successors("b")) == {"a": 100.0, "c": 250.0}
+        assert dict(triangle.predecessors("a")) == {"b": 100.0, "c": 100.0}
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree("b") == 2
+        assert triangle.in_degree("c") == 1
+
+    def test_degree_of_missing_node(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.out_degree("zzz")
+        with pytest.raises(NodeNotFoundError):
+            triangle.in_degree("zzz")
+
+    def test_edge_length_errors(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.edge_length("zzz", "a")
+        with pytest.raises(EdgeNotFoundError):
+            triangle.edge_length("a", "c")
+
+    def test_path_length(self, triangle):
+        assert triangle.path_length(["a", "b", "c"]) == 350.0
+        assert triangle.path_length(["a"]) == 0.0
+        assert triangle.path_length([]) == 0.0
+
+    def test_path_length_missing_hop(self, triangle):
+        with pytest.raises(EdgeNotFoundError):
+            triangle.path_length(["a", "c"])
+
+    def test_is_path(self, triangle):
+        assert triangle.is_path(["a", "b", "c", "a"])
+        assert not triangle.is_path(["a", "c"])
+        assert not triangle.is_path(["a", "zzz"])
+        assert triangle.is_path([])
+        assert triangle.is_path(["a"])
+
+    def test_repr(self, triangle):
+        assert "nodes=3" in repr(triangle)
+
+
+class TestSpatial:
+    def test_bounding_box(self, triangle):
+        box = triangle.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 100, 100)
+
+    def test_nearest_intersection(self, triangle):
+        assert triangle.nearest_intersection(Point(90, 10)) == "b"
+        assert triangle.nearest_intersection(Point(1, 99)) == "c"
+
+    def test_nearest_on_empty_network(self):
+        with pytest.raises(NodeNotFoundError):
+            RoadNetwork().nearest_intersection(Point(0, 0))
+
+    def test_nodes_within(self, triangle):
+        box = BoundingBox(-10, -10, 50, 150)
+        assert set(triangle.nodes_within(box)) == {"a", "c"}
+
+    def test_euclidean_distance(self, triangle):
+        assert triangle.euclidean_distance("a", "b") == 100.0
+
+
+class TestDerivedGraphs:
+    def test_reversed_flips_every_edge(self, triangle):
+        rev = triangle.reversed()
+        assert rev.edge_count == triangle.edge_count
+        for tail, head, length in triangle.edges():
+            assert rev.edge_length(head, tail) == length
+
+    def test_reversed_keeps_positions(self, triangle):
+        rev = triangle.reversed()
+        for node in triangle.nodes():
+            assert rev.position(node) == triangle.position(node)
+
+    def test_copy_is_independent(self, triangle):
+        dup = triangle.copy()
+        dup.remove_road("a", "b")
+        assert triangle.has_road("a", "b")
+        assert not dup.has_road("a", "b")

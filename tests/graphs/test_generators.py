@@ -1,0 +1,155 @@
+"""Tests for synthetic city generators."""
+
+import pytest
+
+from repro.graphs import (
+    Point,
+    dublin_like_city,
+    grid_center_node,
+    is_strongly_connected,
+    manhattan_grid,
+    ring_city,
+    seattle_like_city,
+    shortest_path_length,
+)
+
+
+class TestManhattanGrid:
+    def test_node_and_edge_counts(self):
+        net = manhattan_grid(4, 5, 100.0)
+        assert net.node_count == 20
+        # horizontal: 4 rows * 4 gaps, vertical: 3 gaps * 5 cols; two-way.
+        assert net.edge_count == 2 * (4 * 4 + 3 * 5)
+
+    def test_positions(self):
+        net = manhattan_grid(3, 3, 250.0, origin=Point(100.0, 200.0))
+        assert net.position((0, 0)) == Point(100.0, 200.0)
+        assert net.position((2, 1)) == Point(350.0, 700.0)
+
+    def test_all_segments_have_block_length(self):
+        net = manhattan_grid(3, 4, 123.0)
+        assert all(length == 123.0 for _, _, length in net.edges())
+
+    def test_strongly_connected(self):
+        assert is_strongly_connected(manhattan_grid(6, 6))
+
+    def test_grid_distance_is_l1(self):
+        net = manhattan_grid(5, 5, 100.0)
+        assert shortest_path_length(net, (0, 0), (3, 4)) == pytest.approx(700.0)
+
+    def test_single_node_grid(self):
+        net = manhattan_grid(1, 1)
+        assert net.node_count == 1
+        assert net.edge_count == 0
+
+    @pytest.mark.parametrize("rows,cols", [(0, 5), (5, 0), (-1, 2)])
+    def test_bad_dimensions_rejected(self, rows, cols):
+        with pytest.raises(ValueError):
+            manhattan_grid(rows, cols)
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ValueError):
+            manhattan_grid(3, 3, 0.0)
+
+    def test_center_node(self):
+        assert grid_center_node(5, 5) == (2, 2)
+        assert grid_center_node(4, 6) == (2, 3)
+
+
+class TestSeattleLikeCity:
+    def test_strongly_connected(self):
+        assert is_strongly_connected(seattle_like_city(seed=1))
+
+    def test_deterministic_per_seed(self):
+        a = seattle_like_city(seed=42)
+        b = seattle_like_city(seed=42)
+        assert set(a.nodes()) == set(b.nodes())
+        assert {(t, h) for t, h, _ in a.edges()} == {
+            (t, h) for t, h, _ in b.edges()
+        }
+
+    def test_different_seeds_differ(self):
+        a = seattle_like_city(seed=1)
+        b = seattle_like_city(seed=2)
+        assert {(t, h) for t, h, _ in a.edges()} != {
+            (t, h) for t, h, _ in b.edges()
+        }
+
+    def test_partially_grid_based(self):
+        """Some grid edges must be gone and some diagonals present."""
+        rows = cols = 15
+        net = seattle_like_city(rows=rows, cols=cols, seed=3)
+        full = manhattan_grid(rows, cols, 10_000.0 / (rows - 1))
+        full_edges = {(t, h) for t, h, _ in full.edges()}
+        actual_edges = {(t, h) for t, h, _ in net.edges()}
+        assert full_edges - actual_edges, "expected some deleted grid edges"
+        assert actual_edges - full_edges, "expected some diagonal shortcuts"
+
+    def test_extent_respected(self):
+        net = seattle_like_city(extent=10_000.0, jitter=0.0, seed=5)
+        box = net.bounding_box()
+        assert box.width <= 10_000.0 + 1e-6
+        assert box.height <= 10_000.0 + 1e-6
+
+    def test_one_way_streets_exist(self):
+        net = seattle_like_city(seed=9)
+        one_way = [
+            (t, h)
+            for t, h, _ in net.edges()
+            if not net.has_road(h, t)
+        ]
+        assert one_way
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            seattle_like_city(rows=1, cols=5)
+
+
+class TestDublinLikeCity:
+    def test_strongly_connected(self):
+        assert is_strongly_connected(dublin_like_city(seed=1))
+
+    def test_deterministic_per_seed(self):
+        a = dublin_like_city(seed=13)
+        b = dublin_like_city(seed=13)
+        assert {(t, h) for t, h, _ in a.edges()} == {
+            (t, h) for t, h, _ in b.edges()
+        }
+
+    def test_not_grid_aligned(self):
+        """Jitter must break the perfect lattice geometry."""
+        net = dublin_like_city(seed=2)
+        xs = {net.position(n).x for n in net.nodes()}
+        # a perfect 17-col grid would have exactly 17 distinct x values
+        assert len(xs) > 30
+
+    def test_edge_lengths_match_geometry(self):
+        net = dublin_like_city(seed=4)
+        count = 0
+        for tail, head, length in net.edges():
+            expected = net.position(tail).distance_to(net.position(head))
+            assert length == pytest.approx(expected)
+            count += 1
+        assert count > 0
+
+    def test_extent_scale(self):
+        net = dublin_like_city(extent=80_000.0, seed=6)
+        box = net.bounding_box()
+        assert box.width > 40_000.0  # same order as the paper's 80k ft area
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            dublin_like_city(rows=1, cols=1)
+
+
+class TestRingCity:
+    def test_structure(self):
+        net = ring_city(spokes=6, rings=2)
+        assert net.node_count == 1 + 6 * 2
+        assert is_strongly_connected(net)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ring_city(spokes=2)
+        with pytest.raises(ValueError):
+            ring_city(rings=0)

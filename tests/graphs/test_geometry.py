@@ -1,0 +1,125 @@
+"""Unit tests for planar geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.graphs.geometry import (
+    BoundingBox,
+    Point,
+    interpolate,
+    midpoint,
+    polyline_length,
+)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-4.0, 7.25)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, 4)) == 7.0
+
+    def test_manhattan_dominates_euclidean(self):
+        a, b = Point(2, 9), Point(-3, 1)
+        assert a.manhattan_distance_to(b) >= a.distance_to(b)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_unpacking(self):
+        x, y = Point(5, 7)
+        assert (x, y) == (5, 7)
+
+    def test_points_are_hashable_and_comparable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+        assert Point(0, 1) < Point(1, 0)
+
+
+class TestBoundingBox:
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(1, 5), Point(-2, 3), Point(0, 9)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 3, 1, 9)
+
+    def test_from_zero_points_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_zero_area_box_allowed(self):
+        box = BoundingBox(1, 1, 1, 1)
+        assert box.contains(Point(1, 1))
+
+    def test_square_around(self):
+        box = BoundingBox.square_around(Point(10, 10), 4)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (8, 8, 12, 12)
+        assert box.center == Point(10, 10)
+
+    def test_square_around_negative_side_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.square_around(Point(0, 0), -1)
+
+    def test_contains_boundary_is_closed(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(10, 10))
+        assert not box.contains(Point(10.0001, 10))
+
+    def test_contains_with_tolerance(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(Point(10.5, 5), tolerance=1.0)
+        assert not box.contains(Point(12, 5), tolerance=1.0)
+
+    def test_corners_order(self):
+        sw, se, ne, nw = BoundingBox(0, 0, 2, 4).corners
+        assert sw == Point(0, 0)
+        assert se == Point(2, 0)
+        assert ne == Point(2, 4)
+        assert nw == Point(0, 4)
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 2, 2).expanded(1)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, -1, 3, 3)
+
+    def test_width_height(self):
+        box = BoundingBox(-1, 0, 3, 10)
+        assert box.width == 4
+        assert box.height == 10
+
+
+class TestHelpers:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(4, 8)) == Point(2, 4)
+
+    def test_interpolate_endpoints(self):
+        a, b = Point(0, 0), Point(10, 0)
+        assert interpolate(a, b, 0.0) == a
+        assert interpolate(a, b, 1.0) == b
+
+    def test_interpolate_clamps(self):
+        a, b = Point(0, 0), Point(10, 0)
+        assert interpolate(a, b, -0.5) == a
+        assert interpolate(a, b, 1.5) == b
+
+    def test_interpolate_midway(self):
+        assert interpolate(Point(0, 0), Point(10, 20), 0.5) == Point(5, 10)
+
+    def test_polyline_length(self):
+        pts = [Point(0, 0), Point(3, 4), Point(3, 10)]
+        assert polyline_length(pts) == pytest.approx(11.0)
+
+    def test_polyline_length_trivial(self):
+        assert polyline_length([]) == 0.0
+        assert polyline_length([Point(1, 1)]) == 0.0
+
+    def test_polyline_length_matches_manual_sum(self):
+        pts = [Point(i, math.sin(i)) for i in range(10)]
+        manual = sum(pts[i].distance_to(pts[i + 1]) for i in range(9))
+        assert polyline_length(pts) == pytest.approx(manual)

@@ -1,0 +1,110 @@
+"""Tests for road-network JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Point,
+    RoadNetwork,
+    dublin_like_city,
+    load_network,
+    manhattan_grid,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+class TestRoundTrip:
+    def test_grid_round_trip(self, tmp_path):
+        original = manhattan_grid(4, 4, 250.0)
+        path = tmp_path / "grid.json"
+        save_network(original, path)
+        loaded = load_network(path)
+        assert set(loaded.nodes()) == set(original.nodes())
+        assert loaded.edge_count == original.edge_count
+        for tail, head, length in original.edges():
+            assert loaded.edge_length(tail, head) == length
+        for node in original.nodes():
+            assert loaded.position(node) == original.position(node)
+
+    def test_irregular_city_round_trip(self, tmp_path):
+        original = dublin_like_city(rows=7, cols=7, seed=3)
+        path = tmp_path / "city.json"
+        save_network(original, path)
+        loaded = load_network(path)
+        assert loaded.node_count == original.node_count
+        assert loaded.edge_count == original.edge_count
+
+    def test_string_node_ids(self, tmp_path):
+        net = RoadNetwork()
+        net.add_intersection("plaza", Point(0, 0))
+        net.add_intersection("docks", Point(100, 0))
+        net.add_street("plaza", "docks")
+        path = tmp_path / "named.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert loaded.has_road("plaza", "docks")
+
+    def test_tuple_ids_restore_as_tuples(self):
+        net = manhattan_grid(2, 2, 10.0)
+        restored = network_from_dict(network_to_dict(net))
+        assert all(isinstance(node, tuple) for node in restored.nodes())
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError):
+            network_from_dict({"format": "shapefile", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(GraphError):
+            network_from_dict({"format": "rapflow-network", "version": 99})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(GraphError):
+            network_from_dict([1, 2, 3])
+
+    def test_bad_node_entry_rejected(self):
+        data = {
+            "format": "rapflow-network",
+            "version": 1,
+            "nodes": [{"id": "a"}],  # missing coordinates
+            "edges": [],
+        }
+        with pytest.raises(GraphError):
+            network_from_dict(data)
+
+    def test_bad_edge_entry_rejected(self):
+        data = {
+            "format": "rapflow-network",
+            "version": 1,
+            "nodes": [
+                {"id": "a", "x": 0, "y": 0},
+                {"id": "b", "x": 1, "y": 0},
+            ],
+            "edges": [{"tail": "a", "head": "b"}],  # missing length
+        }
+        with pytest.raises(GraphError):
+            network_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            load_network(path)
+
+    def test_hand_written_list_ids_accepted(self):
+        data = {
+            "format": "rapflow-network",
+            "version": 1,
+            "nodes": [
+                {"id": [0, 0], "x": 0, "y": 0},
+                {"id": [0, 1], "x": 1, "y": 0},
+            ],
+            "edges": [{"tail": [0, 0], "head": [0, 1], "length": 1.0}],
+        }
+        net = network_from_dict(data)
+        assert net.has_road((0, 0), (0, 1))

@@ -1,0 +1,99 @@
+"""Tests for network shape metrics — including the substitution claim:
+synthetic Dublin must measure as irregular, synthetic Seattle as
+grid-like."""
+
+import math
+import random
+
+import pytest
+
+from repro.graphs import (
+    Point,
+    RoadNetwork,
+    circuity,
+    dublin_like_city,
+    manhattan_grid,
+    network_metrics,
+    orientation_entropy,
+    ring_city,
+    seattle_like_city,
+)
+
+
+class TestOrientationEntropy:
+    def test_perfect_grid_has_one_bit(self):
+        """Two axes, equal shares -> exactly 1 bit."""
+        grid = manhattan_grid(6, 6, 100.0)
+        assert orientation_entropy(grid) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_single_street_has_zero_entropy(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(100, 0))
+        net.add_street("a", "b")
+        assert orientation_entropy(net) == 0.0
+
+    def test_ring_city_spreads_orientations(self):
+        assert orientation_entropy(ring_city(spokes=8, rings=3)) > 2.0
+
+    def test_empty_network(self):
+        assert orientation_entropy(RoadNetwork()) == 0.0
+
+
+class TestCircuity:
+    def test_grid_circuity_near_l1_over_l2(self):
+        """Uniform grid circuity approaches E[L1/L2] ~ 1.27."""
+        grid = manhattan_grid(10, 10, 100.0)
+        value = circuity(grid, samples=80, rng=random.Random(1))
+        assert 1.15 <= value <= 1.4
+
+    def test_line_graph_circuity_is_one(self):
+        net = RoadNetwork()
+        for i in range(5):
+            net.add_intersection(i, Point(i * 100.0, 0.0))
+        for i in range(4):
+            net.add_street(i, i + 1)
+        assert circuity(net, samples=20) == pytest.approx(1.0)
+
+    def test_tiny_network(self):
+        assert math.isnan(circuity(RoadNetwork()))
+
+
+class TestNetworkMetrics:
+    def test_grid_profile(self):
+        metrics = network_metrics(manhattan_grid(8, 8, 100.0))
+        assert metrics.node_count == 64
+        assert metrics.four_way_share == pytest.approx(36 / 64)
+        assert metrics.one_way_share == 0.0
+
+    def test_substitution_claim_dublin_vs_seattle(self):
+        """The synthetic Dublin must be measurably less grid-like than
+        the synthetic Seattle — the property DESIGN.md's substitution
+        argument rests on."""
+        dublin = network_metrics(
+            dublin_like_city(rows=11, cols=11, seed=3),
+            circuity_samples=40,
+            rng=random.Random(0),
+        )
+        seattle = network_metrics(
+            seattle_like_city(rows=11, cols=11, seed=3),
+            circuity_samples=40,
+            rng=random.Random(0),
+        )
+        # Irregular plan: bearings spread far beyond two axes.
+        assert dublin.orientation_entropy > seattle.orientation_entropy + 0.5
+        # Heavier deletions + jitter make trips less direct.
+        assert dublin.circuity > seattle.circuity
+        # The partial grid keeps many four-way crossings.
+        assert seattle.four_way_share > dublin.four_way_share
+
+    def test_one_way_share_counts(self):
+        net = RoadNetwork()
+        for i in range(3):
+            net.add_intersection(i, Point(float(i), 0.0))
+        net.add_street(0, 1)   # two directed edges
+        net.add_road(1, 2)     # one directed edge
+        metrics = network_metrics(net)
+        assert metrics.one_way_share == pytest.approx(1 / 3)

@@ -1,0 +1,170 @@
+"""Tests for shortest-path DAG membership, counting, and routing."""
+
+import math
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.graphs import (
+    Point,
+    RoadNetwork,
+    ShortestPathDag,
+    manhattan_grid,
+    shortest_path_length,
+)
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 100.0)
+
+
+class TestMembership:
+    def test_rectangle_nodes_are_members(self, grid):
+        """In a uniform grid every node of the source-target rectangle lies
+        on some shortest path (paper Section IV relies on this)."""
+        dag = ShortestPathDag.between(grid, (1, 1), (3, 4))
+        for r in range(1, 4):
+            for c in range(1, 5):
+                assert dag.contains((r, c)), (r, c)
+
+    def test_outside_rectangle_not_members(self, grid):
+        dag = ShortestPathDag.between(grid, (1, 1), (3, 4))
+        assert not dag.contains((0, 0))
+        assert not dag.contains((4, 4))
+        assert not dag.contains((1, 0))
+
+    def test_endpoints_are_members(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (2, 2))
+        assert dag.contains((0, 0))
+        assert dag.contains((2, 2))
+
+    def test_unknown_node_is_not_member(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (2, 2))
+        assert not dag.contains("nope")
+
+    def test_unreachable_pair_raises(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(1, 0))
+        net.add_road("a", "b")
+        with pytest.raises(NoPathError):
+            ShortestPathDag.between(net, "b", "a")
+
+    def test_total_length(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (2, 3))
+        assert dag.total_length == pytest.approx(500.0)
+
+
+class TestCounting:
+    @pytest.mark.parametrize(
+        "src,dst,expected",
+        [
+            ((0, 0), (0, 4), 1),  # straight: unique path
+            ((0, 0), (4, 0), 1),
+            ((0, 0), (1, 1), 2),
+            ((0, 0), (2, 2), 6),  # C(4, 2)
+            ((0, 0), (4, 4), 70),  # C(8, 4)
+            ((2, 2), (2, 2), 1),
+        ],
+    )
+    def test_grid_path_counts_are_binomial(self, grid, src, dst, expected):
+        dag = ShortestPathDag.between(grid, src, dst)
+        assert dag.count_paths(grid) == expected
+
+    def test_count_matches_enumeration(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (2, 2))
+        paths = dag.enumerate_paths(grid)
+        assert len(paths) == dag.count_paths(grid)
+        # All enumerated paths are distinct, valid, and tight.
+        seen = {tuple(p) for p in paths}
+        assert len(seen) == len(paths)
+        for path in paths:
+            assert grid.is_path(path)
+            assert grid.path_length(path) == pytest.approx(dag.total_length)
+
+    def test_enumeration_limit(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (4, 4))
+        assert len(dag.enumerate_paths(grid, limit=5)) == 5
+
+
+class TestNodesOrdering:
+    def test_nodes_sorted_by_source_distance(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (2, 2))
+        members = dag.nodes()
+        dists = [dag.distance_from_source(n) for n in members]
+        assert dists == sorted(dists)
+        assert members[0] == (0, 0)
+        assert members[-1] == (2, 2)
+
+    def test_member_count_is_rectangle_size(self, grid):
+        dag = ShortestPathDag.between(grid, (1, 0), (3, 3))
+        assert len(dag.nodes()) == 3 * 4
+
+
+class TestPathThrough:
+    def test_path_through_member_is_shortest(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (4, 4))
+        for waypoint in [(0, 4), (4, 0), (2, 2), (1, 3)]:
+            path = dag.path_through(grid, waypoint)
+            assert waypoint in path
+            assert path[0] == (0, 0) and path[-1] == (4, 4)
+            assert grid.path_length(path) == pytest.approx(dag.total_length)
+
+    def test_path_through_non_member_raises(self, grid):
+        dag = ShortestPathDag.between(grid, (1, 1), (3, 3))
+        with pytest.raises(NoPathError):
+            dag.path_through(grid, (0, 0))
+
+    def test_path_through_endpoint(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (2, 2))
+        path = dag.path_through(grid, (0, 0))
+        assert path[0] == (0, 0)
+        assert grid.path_length(path) == pytest.approx(dag.total_length)
+
+
+class TestTightSuccessors:
+    def test_tight_successors_move_toward_target(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (2, 2))
+        succ = set(dag.tight_successors(grid, (1, 1)))
+        assert succ == {(1, 2), (2, 1)}
+
+    def test_no_tight_successors_at_target(self, grid):
+        dag = ShortestPathDag.between(grid, (0, 0), (2, 2))
+        assert set(dag.tight_successors(grid, (2, 2))) == set()
+
+
+class TestIrregularNetwork:
+    def test_asymmetric_weights(self):
+        """DAG membership respects direction: v on i->j path need not be on
+        j->i path when streets are one-way."""
+        net = RoadNetwork()
+        for i, pos in enumerate([(0, 0), (1, 0), (1, 1), (0, 1)]):
+            net.add_intersection(i, Point(*pos))
+        # one-way square 0 -> 1 -> 2 -> 3 -> 0
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            net.add_road(a, b, 1.0)
+        dag = ShortestPathDag.between(net, 0, 2)
+        assert dag.contains(1)
+        assert not dag.contains(3)
+        back = ShortestPathDag.between(net, 2, 0)
+        assert back.contains(3)
+        assert not back.contains(1)
+
+    def test_tied_paths_both_counted(self):
+        """Two parallel routes with identical length both register."""
+        net = RoadNetwork()
+        net.add_intersection("s", Point(0, 0))
+        net.add_intersection("u", Point(1, 1))
+        net.add_intersection("v", Point(1, -1))
+        net.add_intersection("t", Point(2, 0))
+        net.add_road("s", "u", math.sqrt(2))
+        net.add_road("u", "t", math.sqrt(2))
+        net.add_road("s", "v", math.sqrt(2))
+        net.add_road("v", "t", math.sqrt(2))
+        dag = ShortestPathDag.between(net, "s", "t")
+        assert dag.count_paths(net) == 2
+        assert dag.contains("u") and dag.contains("v")
+        assert dag.total_length == pytest.approx(
+            shortest_path_length(net, "s", "t")
+        )

@@ -1,0 +1,165 @@
+"""Tests for connectivity validation and repair."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import (
+    Point,
+    RoadNetwork,
+    is_strongly_connected,
+    manhattan_grid,
+    require_strongly_connected,
+    restrict_to_largest_scc,
+    ring_city,
+    strongly_connected_components,
+)
+from repro.graphs.validation import (
+    can_reach,
+    isolated_nodes,
+    reachable_from,
+    removable_without_disconnecting,
+)
+
+
+def two_islands() -> RoadNetwork:
+    net = RoadNetwork()
+    for i in range(6):
+        net.add_intersection(i, Point(i * 10.0, 0.0))
+    net.add_street(0, 1)
+    net.add_street(1, 2)
+    net.add_street(3, 4)
+    # node 5 is isolated; 0-1-2 and 3-4 are separate islands
+    return net
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        net = two_islands()
+        assert reachable_from(net, 0) == {0, 1, 2}
+        assert reachable_from(net, 4) == {3, 4}
+        assert reachable_from(net, 5) == {5}
+
+    def test_can_reach(self):
+        net = two_islands()
+        assert can_reach(net, 2) == {0, 1, 2}
+        assert can_reach(net, 5) == {5}
+
+    def test_one_way_asymmetry(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(1, 0))
+        net.add_road("a", "b")
+        assert reachable_from(net, "a") == {"a", "b"}
+        assert can_reach(net, "a") == {"a"}
+
+
+class TestStrongConnectivity:
+    def test_grid_is_strongly_connected(self):
+        assert is_strongly_connected(manhattan_grid(4, 4))
+
+    def test_ring_city_is_strongly_connected(self):
+        assert is_strongly_connected(ring_city())
+
+    def test_islands_are_not(self):
+        assert not is_strongly_connected(two_islands())
+
+    def test_empty_network_is_trivially_connected(self):
+        assert is_strongly_connected(RoadNetwork())
+
+    def test_one_way_cycle_is_strongly_connected(self):
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_intersection(i, Point(float(i), 0.0))
+        for i in range(4):
+            net.add_road(i, (i + 1) % 4, 1.0)
+        assert is_strongly_connected(net)
+
+    def test_require_raises_with_diagnostics(self):
+        with pytest.raises(DisconnectedGraphError) as info:
+            require_strongly_connected(two_islands())
+        assert "components" in str(info.value)
+
+    def test_require_passes_silently(self):
+        require_strongly_connected(manhattan_grid(3, 3))
+
+
+class TestSCC:
+    def test_components_match_networkx(self):
+        net = two_islands()
+        net.add_road(2, 3)  # bridge one way only
+        ours = {frozenset(c) for c in strongly_connected_components(net)}
+        oracle = nx.DiGraph()
+        for node in net.nodes():
+            oracle.add_node(node)
+        for t, h, _ in net.edges():
+            oracle.add_edge(t, h)
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(oracle)}
+        assert ours == theirs
+
+    def test_components_sorted_largest_first(self):
+        sizes = [len(c) for c in strongly_connected_components(two_islands())]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_singleton_components(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(1, 0))
+        net.add_road("a", "b")
+        comps = strongly_connected_components(net)
+        assert {frozenset(c) for c in comps} == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_deep_chain_no_recursion_error(self):
+        """Iterative Tarjan must survive graphs deeper than the recursion
+        limit."""
+        net = RoadNetwork()
+        n = 3000
+        for i in range(n):
+            net.add_intersection(i, Point(float(i), 0.0))
+        for i in range(n - 1):
+            net.add_street(i, i + 1)
+        comps = strongly_connected_components(net)
+        assert len(comps) == 1
+        assert len(comps[0]) == n
+
+
+class TestRepair:
+    def test_restrict_to_largest_scc(self):
+        net = two_islands()
+        core = restrict_to_largest_scc(net)
+        assert set(core.nodes()) == {0, 1, 2}
+        assert is_strongly_connected(core)
+
+    def test_restrict_keeps_edge_lengths(self):
+        net = two_islands()
+        core = restrict_to_largest_scc(net)
+        assert core.edge_length(0, 1) == net.edge_length(0, 1)
+
+    def test_restrict_on_connected_network_is_identity(self):
+        net = manhattan_grid(3, 3)
+        core = restrict_to_largest_scc(net)
+        assert core.node_count == net.node_count
+        assert core.edge_count == net.edge_count
+
+    def test_restrict_empty(self):
+        assert restrict_to_largest_scc(RoadNetwork()).node_count == 0
+
+    def test_isolated_nodes(self):
+        assert isolated_nodes(two_islands()) == [5]
+
+
+class TestRemovableEdge:
+    def test_redundant_edge_is_removable(self):
+        net = manhattan_grid(3, 3)
+        assert removable_without_disconnecting(net, (0, 0), (0, 1))
+        # probing must not mutate
+        assert net.has_road((0, 0), (0, 1))
+
+    def test_bridge_edge_is_not_removable(self):
+        net = RoadNetwork()
+        for i in range(3):
+            net.add_intersection(i, Point(float(i), 0.0))
+        net.add_street(0, 1)
+        net.add_street(1, 2)
+        assert not removable_without_disconnecting(net, 0, 1)
+        assert net.has_road(0, 1)

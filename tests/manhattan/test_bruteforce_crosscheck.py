@@ -1,0 +1,83 @@
+"""Brute-force cross-check of the Manhattan evaluator.
+
+The evaluator claims: a flow is served by the minimum-detour RAP among
+all RAPs lying on *some* shortest path (DAG membership).  The brute
+force enumerates every shortest path explicitly and takes the best
+RAP over paths — the two must agree exactly on small grids.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearUtility, ThresholdUtility, flow_between
+from repro.graphs import INFINITY, ShortestPathDag, manhattan_grid
+from repro.manhattan import ManhattanEvaluator, ManhattanScenario
+
+
+def brute_force_flow_value(network, evaluator, flow_index, flow, raps):
+    """Best probability over explicit shortest-path enumeration."""
+    dag = ShortestPathDag.between(network, flow.origin, flow.destination)
+    best_detour = INFINITY
+    for path in dag.enumerate_paths(network):
+        for node in path:
+            if node in raps:
+                detour = evaluator.detour(flow_index, node)
+                best_detour = min(best_detour, detour)
+    return best_detour
+
+
+class TestBruteForceAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_min_detour_matches_path_enumeration(self, seed):
+        rng = random.Random(seed)
+        grid = manhattan_grid(4, 4, 1.0)
+        nodes = list(grid.nodes())
+        shop = rng.choice(nodes)
+        flows = [
+            flow_between(grid, *rng.sample(nodes, 2),
+                         volume=rng.randint(1, 10), attractiveness=1.0)
+            for _ in range(rng.randint(1, 4))
+        ]
+        utility = rng.choice([ThresholdUtility, LinearUtility])(4.0)
+        scenario = ManhattanScenario(
+            grid, flows, shop, utility, region_side=6.0,
+            candidate_sites=nodes,
+        )
+        evaluator = ManhattanEvaluator(scenario)
+        raps = set(rng.sample(nodes, rng.randint(1, 5)))
+        placement = evaluator.evaluate(sorted(raps, key=repr))
+        for index, (flow, outcome) in enumerate(
+            zip(scenario.flows, placement.outcomes)
+        ):
+            expected = brute_force_flow_value(
+                grid, evaluator, index, flow, raps
+            )
+            if expected == INFINITY:
+                assert not outcome.covered
+            else:
+                assert outcome.detour == pytest.approx(expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_reachability_matches_enumeration(self, seed):
+        """DAG membership == appears on some enumerated path."""
+        rng = random.Random(seed)
+        grid = manhattan_grid(4, 4, 1.0)
+        nodes = list(grid.nodes())
+        origin, destination = rng.sample(nodes, 2)
+        flow = flow_between(grid, origin, destination, 1, 1.0)
+        scenario = ManhattanScenario(
+            grid, [flow], rng.choice(nodes), ThresholdUtility(4.0),
+            region_side=6.0, candidate_sites=nodes,
+        )
+        evaluator = ManhattanEvaluator(scenario)
+        dag = ShortestPathDag.between(grid, origin, destination)
+        on_some_path = set()
+        for path in dag.enumerate_paths(grid):
+            on_some_path.update(path)
+        for node in nodes:
+            assert evaluator.reachable(0, node) == (node in on_some_path)

@@ -1,0 +1,175 @@
+"""Tests for straight/turned/other flow classification (paper Def. 3).
+
+The fixture mirrors the paper's Fig. 7: a 3x3 grid whose whole extent is
+the region, shop at the center.  With the paper's column-major naming
+(V1 = SW corner, V2 = west-middle, V3 = NW, V4 = south-middle, V5 =
+center, ..., V9 = NE):
+
+* T[3,1] (NW -> SW) and T[3,9] (NW -> NE) are straight;
+* T[2,4] (west-middle -> south-middle) is turned;
+* T[3,8] (NW -> east-middle) is neither.
+"""
+
+import pytest
+
+from repro.core import ThresholdUtility, TrafficFlow, flow_between
+from repro.graphs import BoundingBox, Point, manhattan_grid
+from repro.manhattan import (
+    FlowClass,
+    ManhattanScenario,
+    Side,
+    classify_flow,
+    corner_for_turned_flow,
+    crosses_region,
+    partition_flows,
+    side_of,
+)
+
+# Node naming: (row, col); position x = col, y = row.
+NW = (2, 0)
+N_MID = (2, 1)
+NE = (2, 2)
+W_MID = (1, 0)
+CENTER = (1, 1)
+E_MID = (1, 2)
+SW = (0, 0)
+S_MID = (0, 1)
+SE = (0, 2)
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(3, 3, 1.0)
+
+
+@pytest.fixture
+def region():
+    return BoundingBox(0.0, 0.0, 2.0, 2.0)
+
+
+def make_flow(grid, origin, destination):
+    return flow_between(grid, origin, destination, volume=1, attractiveness=1.0)
+
+
+class TestSideOf:
+    def test_strict_interior(self, region):
+        assert side_of(Point(1.0, 1.0), region) is Side.INSIDE
+
+    def test_boundary_belongs_to_side(self, region):
+        assert side_of(Point(0.0, 1.0), region) is Side.WEST
+        assert side_of(Point(2.0, 1.0), region) is Side.EAST
+        assert side_of(Point(1.0, 0.0), region) is Side.SOUTH
+        assert side_of(Point(1.0, 2.0), region) is Side.NORTH
+
+    def test_outside_points(self, region):
+        assert side_of(Point(-3.0, 1.0), region) is Side.WEST
+        assert side_of(Point(5.0, 1.5), region) is Side.EAST
+
+    def test_corners_are_cornerward(self, region):
+        assert side_of(Point(0.0, 0.0), region) is Side.CORNERWARD
+        assert side_of(Point(2.0, 2.0), region) is Side.CORNERWARD
+        assert side_of(Point(-1.0, 3.0), region) is Side.CORNERWARD
+
+
+class TestCrossesRegion:
+    def test_through_flows_cross(self, region):
+        assert crosses_region(Point(-1, 1), Point(3, 1), region)
+
+    def test_rectangle_overlap_counts(self, region):
+        # Endpoints outside, but the L1 rectangle clips the region corner.
+        assert crosses_region(Point(-1, 1), Point(1, 3), region)
+
+    def test_disjoint_rectangle_does_not(self, region):
+        assert not crosses_region(Point(-2, 3), Point(-1, 5), region)
+
+
+class TestPaperFig7Classification:
+    def test_t31_is_straight(self, grid, region):
+        flow = make_flow(grid, NW, SW)
+        assert classify_flow(flow, grid, region) is FlowClass.STRAIGHT
+
+    def test_t39_is_straight(self, grid, region):
+        flow = make_flow(grid, NW, NE)
+        assert classify_flow(flow, grid, region) is FlowClass.STRAIGHT
+
+    def test_t24_is_turned(self, grid, region):
+        flow = make_flow(grid, W_MID, S_MID)
+        assert classify_flow(flow, grid, region) is FlowClass.TURNED
+
+    def test_t38_is_other(self, grid, region):
+        """Enters and exits through the same (horizontal) orientation."""
+        flow = make_flow(grid, NW, E_MID)
+        assert classify_flow(flow, grid, region) is FlowClass.OTHER
+
+    def test_all_turned_orientations(self, grid, region):
+        for origin, destination in [
+            (W_MID, S_MID),
+            (W_MID, N_MID),
+            (E_MID, S_MID),
+            (E_MID, N_MID),
+            (S_MID, W_MID),
+            (N_MID, E_MID),
+        ]:
+            flow = make_flow(grid, origin, destination)
+            assert classify_flow(flow, grid, region) is FlowClass.TURNED
+
+    def test_interior_endpoint_is_other(self, grid, region):
+        flow = make_flow(grid, CENTER, W_MID)
+        assert classify_flow(flow, grid, region) is FlowClass.OTHER
+
+    def test_flow_missing_region_is_other(self, grid):
+        tiny_region = BoundingBox(10.0, 10.0, 12.0, 12.0)
+        flow = make_flow(grid, W_MID, S_MID)
+        assert classify_flow(flow, grid, tiny_region) is FlowClass.OTHER
+
+
+class TestPartition:
+    def test_partition_counts(self, grid, region):
+        flows = [
+            make_flow(grid, NW, SW),
+            make_flow(grid, NW, NE),
+            make_flow(grid, W_MID, S_MID),
+            make_flow(grid, NW, E_MID),
+        ]
+        split = partition_flows(flows, grid, region)
+        assert len(split.straight) == 2
+        assert len(split.turned) == 1
+        assert len(split.other) == 1
+        assert split.total == 4
+
+    def test_partition_is_cached_on_scenario(self, grid):
+        flows = [make_flow(grid, NW, SW)]
+        scenario = ManhattanScenario(grid, flows, CENTER, ThresholdUtility(2.0))
+        assert scenario.partition is scenario.partition
+
+
+class TestCornerForTurnedFlow:
+    @pytest.mark.parametrize(
+        "origin,destination,corner_xy",
+        [
+            (W_MID, S_MID, (0.0, 0.0)),  # west-in, south-out -> SW
+            (E_MID, S_MID, (2.0, 0.0)),  # east/south -> SE
+            (E_MID, N_MID, (2.0, 2.0)),  # east/north -> NE
+            (W_MID, N_MID, (0.0, 2.0)),  # west/north -> NW
+        ],
+    )
+    def test_corner_mapping(self, grid, region, origin, destination, corner_xy):
+        flow = make_flow(grid, origin, destination)
+        corner = corner_for_turned_flow(flow, grid, region)
+        assert (corner.x, corner.y) == corner_xy
+
+    def test_non_turned_flow_rejected(self, grid, region):
+        flow = make_flow(grid, NW, SW)
+        with pytest.raises(ValueError):
+            corner_for_turned_flow(flow, grid, region)
+
+    def test_corner_is_on_a_shortest_path(self, grid, region):
+        """Theorem 3's first part: the matched corner lies on a shortest
+        path of the turned flow."""
+        from repro.graphs import ShortestPathDag
+
+        flow = make_flow(grid, W_MID, S_MID)
+        corner = corner_for_turned_flow(flow, grid, region)
+        corner_node = grid.nearest_intersection(corner)
+        dag = ShortestPathDag.between(grid, flow.origin, flow.destination)
+        assert dag.contains(corner_node)

@@ -1,0 +1,191 @@
+"""Tests for Manhattan-semantics placement evaluation."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LinearUtility,
+    Scenario,
+    ThresholdUtility,
+    evaluate_placement,
+    flow_between,
+)
+from repro.errors import InvalidScenarioError
+from repro.graphs import INFINITY, manhattan_grid
+from repro.manhattan import (
+    ManhattanEvaluator,
+    ManhattanScenario,
+    evaluate_manhattan,
+)
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(5, 5, 1.0)
+
+
+def scenario_with(grid, flows, utility=None, shop=(2, 2)):
+    return ManhattanScenario(
+        grid, flows, shop, utility or ThresholdUtility(4.0)
+    )
+
+
+class TestReachability:
+    def test_rectangle_nodes_reachable(self, grid):
+        flow = flow_between(grid, (0, 0), (4, 4), 1, 1.0)
+        scenario = scenario_with(grid, [flow])
+        evaluator = ManhattanEvaluator(scenario)
+        # Any node of the 5x5 rectangle lies on some monotone path.
+        assert evaluator.reachable(0, (0, 4))
+        assert evaluator.reachable(0, (3, 1))
+        assert evaluator.reachable(0, (4, 0))
+
+    def test_off_rectangle_unreachable(self, grid):
+        flow = flow_between(grid, (1, 1), (3, 3), 1, 1.0)
+        scenario = scenario_with(grid, [flow])
+        evaluator = ManhattanEvaluator(scenario)
+        assert not evaluator.reachable(0, (0, 0))
+        assert not evaluator.reachable(0, (4, 4))
+        assert not evaluator.reachable(0, (1, 4))
+
+    def test_endpoints_reachable(self, grid):
+        flow = flow_between(grid, (1, 1), (3, 3), 1, 1.0)
+        scenario = scenario_with(grid, [flow])
+        evaluator = ManhattanEvaluator(scenario)
+        assert evaluator.reachable(0, (1, 1))
+        assert evaluator.reachable(0, (3, 3))
+
+
+class TestDetour:
+    def test_detour_formula(self, grid):
+        """detour = d(v, shop) + d(shop, j) - d(v, j) with L1 distances."""
+        flow = flow_between(grid, (0, 0), (0, 4), 1, 1.0)  # straight east
+        scenario = scenario_with(grid, [flow])
+        evaluator = ManhattanEvaluator(scenario)
+        # At (0, 2): d to shop (2,2) = 2, shop to (0,4) = 4, direct = 2.
+        assert evaluator.detour(0, (0, 2)) == pytest.approx(4.0)
+
+    def test_detour_zero_through_shop(self, grid):
+        """A flow whose rectangle contains the shop gets detour 0 there."""
+        flow = flow_between(grid, (0, 0), (4, 4), 1, 1.0)
+        scenario = scenario_with(grid, [flow])
+        evaluator = ManhattanEvaluator(scenario)
+        assert evaluator.detour(0, (2, 2)) == 0.0
+
+
+class TestBestOption:
+    def test_picks_minimum_detour(self, grid):
+        flow = flow_between(grid, (0, 0), (4, 4), 1, 1.0)
+        scenario = scenario_with(grid, [flow])
+        evaluator = ManhattanEvaluator(scenario)
+        serving, detour = evaluator.best_option(0, [(0, 4), (2, 2)])
+        assert serving == (2, 2)
+        assert detour == 0.0
+
+    def test_unreachable_raps_ignored(self, grid):
+        flow = flow_between(grid, (1, 1), (1, 3), 1, 1.0)
+        scenario = scenario_with(grid, [flow])
+        evaluator = ManhattanEvaluator(scenario)
+        serving, detour = evaluator.best_option(0, [(4, 4)])
+        assert serving is None
+        assert detour == INFINITY
+
+
+class TestEvaluate:
+    def test_empty_placement(self, grid):
+        flow = flow_between(grid, (0, 0), (4, 4), 10, 1.0)
+        scenario = scenario_with(grid, [flow])
+        placement = evaluate_manhattan(scenario, [])
+        assert placement.attracted == 0.0
+
+    def test_duplicate_raps_rejected(self, grid):
+        flow = flow_between(grid, (0, 0), (4, 4), 10, 1.0)
+        scenario = scenario_with(grid, [flow])
+        with pytest.raises(InvalidScenarioError):
+            evaluate_manhattan(scenario, [(2, 2), (2, 2)])
+
+    def test_off_network_rap_rejected(self, grid):
+        flow = flow_between(grid, (0, 0), (4, 4), 10, 1.0)
+        scenario = scenario_with(grid, [flow])
+        with pytest.raises(InvalidScenarioError):
+            evaluate_manhattan(scenario, ["nope"])
+
+    def test_attracted_value(self, grid):
+        flow = flow_between(grid, (0, 0), (4, 4), 10, 1.0)
+        scenario = scenario_with(grid, [flow], LinearUtility(4.0))
+        placement = evaluate_manhattan(scenario, [(2, 2)])
+        # detour 0 -> probability 1 -> all 10 drivers.
+        assert placement.attracted == pytest.approx(10.0)
+
+    def test_outcomes_record_serving_rap(self, grid):
+        flow = flow_between(grid, (0, 0), (4, 4), 10, 1.0)
+        scenario = scenario_with(grid, [flow])
+        placement = evaluate_manhattan(scenario, [(0, 4), (2, 2)])
+        assert placement.outcomes[0].serving_rap == (2, 2)
+
+
+class TestManhattanDominatesGeneral:
+    """The paper's Fig. 13-vs-12 claim: relaxing fixed paths can only help,
+    because the fixed path is one of the shortest paths."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_same_sites_attract_at_least_as_much(self, seed):
+        rng = random.Random(seed)
+        grid = manhattan_grid(5, 5, 1.0)
+        nodes = list(grid.nodes())
+        shop = rng.choice(nodes)
+        flows = []
+        for _ in range(rng.randint(1, 5)):
+            origin, destination = rng.sample(nodes, 2)
+            flows.append(
+                flow_between(grid, origin, destination, rng.randint(1, 10), 1.0)
+            )
+        utility = LinearUtility(6.0)
+        general = Scenario(grid, flows, shop, utility)
+        manhattan = ManhattanScenario(
+            grid, flows, shop, utility, region_side=8.0,
+            candidate_sites=list(grid.nodes()),
+        )
+        raps = rng.sample(nodes, 3)
+        general_value = evaluate_placement(general, raps).attracted
+        manhattan_value = evaluate_manhattan(manhattan, raps).attracted
+        assert manhattan_value >= general_value - 1e-9
+
+
+class TestIncrementalHelpers:
+    def test_marginal_gain_matches_evaluation_delta(self, grid):
+        flows = [
+            flow_between(grid, (0, 0), (4, 4), 10, 1.0),
+            flow_between(grid, (4, 0), (0, 4), 5, 1.0),
+        ]
+        scenario = scenario_with(grid, flows, LinearUtility(4.0))
+        evaluator = ManhattanEvaluator(scenario)
+        contributions = [0.0] * len(flows)
+        first = evaluator.marginal_gain(contributions, (2, 2))
+        base = evaluator.evaluate([(2, 2)]).attracted
+        assert first == pytest.approx(base)
+        evaluator.commit(contributions, (2, 2))
+        second_gain = evaluator.marginal_gain(contributions, (0, 2))
+        combined = evaluator.evaluate([(2, 2), (0, 2)]).attracted
+        assert second_gain == pytest.approx(combined - base)
+
+    def test_exhaustive_consistency_small(self, grid):
+        """Greedy commit bookkeeping equals fresh evaluation for any order."""
+        flows = [
+            flow_between(grid, (0, 0), (0, 4), 10, 1.0),
+            flow_between(grid, (0, 0), (4, 4), 5, 1.0),
+        ]
+        scenario = scenario_with(grid, flows, LinearUtility(4.0))
+        evaluator = ManhattanEvaluator(scenario)
+        sites = [(0, 2), (2, 2), (0, 4)]
+        for order in itertools.permutations(sites):
+            contributions = [0.0] * len(flows)
+            total = 0.0
+            for site in order:
+                total += evaluator.commit(contributions, site)
+            assert total == pytest.approx(evaluator.evaluate(sites).attracted)

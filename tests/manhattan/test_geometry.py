@@ -1,0 +1,131 @@
+"""Tests for the closed-form L1 geometry, cross-checked on real grids."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ThresholdUtility, flow_between
+from repro.graphs import Point, manhattan_grid
+from repro.manhattan import (
+    ManhattanEvaluator,
+    ManhattanScenario,
+    best_rectangle_detour,
+    in_rectangle,
+    l1,
+    l1_detour,
+)
+
+coords = st.floats(min_value=-100, max_value=100)
+points = st.builds(Point, coords, coords)
+
+
+class TestL1:
+    def test_basic(self):
+        assert l1(Point(0, 0), Point(3, 4)) == 7.0
+
+    @settings(max_examples=50)
+    @given(a=points, b=points)
+    def test_symmetric_nonnegative(self, a, b):
+        assert l1(a, b) == l1(b, a) >= 0
+
+    @settings(max_examples=50)
+    @given(a=points, b=points, c=points)
+    def test_triangle_inequality(self, a, b, c):
+        assert l1(a, c) <= l1(a, b) + l1(b, c) + 1e-9
+
+
+class TestInRectangle:
+    def test_inside_and_boundary(self):
+        o, d = Point(0, 0), Point(4, 2)
+        assert in_rectangle(o, d, Point(2, 1))
+        assert in_rectangle(o, d, o)
+        assert in_rectangle(o, d, Point(4, 0))
+        assert not in_rectangle(o, d, Point(5, 1))
+        assert not in_rectangle(o, d, Point(2, 3))
+
+    @settings(max_examples=50)
+    @given(o=points, d=points, v=points)
+    def test_equivalent_to_l1_tightness(self, o, d, v):
+        """Rectangle membership <=> L1(o,v) + L1(v,d) == L1(o,d)."""
+        tight = abs(l1(o, v) + l1(v, d) - l1(o, d)) <= 1e-6
+        assert in_rectangle(o, d, v, tolerance=1e-6) == tight
+
+
+class TestL1Detour:
+    def test_zero_when_shop_on_the_way(self):
+        assert l1_detour(Point(0, 0), Point(2, 0), Point(5, 0)) == 0.0
+
+    def test_positive_off_route(self):
+        assert l1_detour(Point(0, 0), Point(0, 3), Point(5, 0)) == 6.0
+
+    @settings(max_examples=50)
+    @given(v=points, s=points, d=points)
+    def test_non_negative(self, v, s, d):
+        assert l1_detour(v, s, d) >= 0.0
+
+
+class TestBestRectangleDetour:
+    def test_shop_inside_rectangle_is_zero(self):
+        assert best_rectangle_detour(
+            Point(0, 0), Point(10, 10), Point(4, 7)
+        ) == 0.0
+
+    def test_shop_outside_uses_projection(self):
+        # Rectangle [0,10]x[0,0]; shop at (5, 3): projection (5, 0),
+        # detour = 3 + 3 = 6 going up and back.
+        assert best_rectangle_detour(
+            Point(0, 0), Point(10, 0), Point(5, 3)
+        ) == 6.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        o=points, d=points, s=points,
+        candidates=st.lists(points, min_size=1, max_size=10),
+    )
+    def test_projection_is_true_minimum(self, o, d, s, candidates):
+        """No rectangle point beats the closed-form minimum."""
+        best = best_rectangle_detour(o, d, s)
+        lo_x, hi_x = sorted((o.x, d.x))
+        lo_y, hi_y = sorted((o.y, d.y))
+        for c in candidates:
+            clamped = Point(
+                min(max(c.x, lo_x), hi_x), min(max(c.y, lo_y), hi_y)
+            )
+            assert l1_detour(clamped, s, d) >= best - 1e-9
+
+
+class TestGridCrossCheck:
+    """On a perfect grid the graph evaluator must equal the closed forms."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_detour_matches_evaluator(self, seed):
+        rng = random.Random(seed)
+        grid = manhattan_grid(6, 6, 1.0)
+        nodes = list(grid.nodes())
+        shop = rng.choice(nodes)
+        origin, destination = rng.sample(nodes, 2)
+        flow = flow_between(grid, origin, destination, 1, 1.0)
+        scenario = ManhattanScenario(
+            grid, [flow], shop, ThresholdUtility(10.0),
+            region_side=10.0, candidate_sites=nodes,
+        )
+        evaluator = ManhattanEvaluator(scenario)
+        for node in nodes:
+            expected_member = in_rectangle(
+                grid.position(origin),
+                grid.position(destination),
+                grid.position(node),
+            )
+            assert evaluator.reachable(0, node) == expected_member
+            if expected_member:
+                expected_detour = l1_detour(
+                    grid.position(node),
+                    grid.position(shop),
+                    grid.position(destination),
+                )
+                assert evaluator.detour(0, node) == pytest.approx(
+                    expected_detour
+                )

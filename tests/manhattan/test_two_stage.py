@@ -1,0 +1,247 @@
+"""Tests for Algorithms 3 and 4 (two-stage Manhattan placement)."""
+
+import itertools
+
+import pytest
+
+from repro.core import LinearUtility, ThresholdUtility, flow_between
+from repro.errors import InfeasiblePlacementError
+from repro.graphs import manhattan_grid
+from repro.manhattan import (
+    FlowClass,
+    ManhattanEvaluator,
+    ManhattanMarginalGreedy,
+    ManhattanScenario,
+    ModifiedTwoStagePlacement,
+    TwoStagePlacement,
+    classify_flow,
+    evaluate_manhattan,
+)
+
+
+def build_grid_scenario(utility, rows=7, volumes=None):
+    """A rows x rows grid, region = whole grid, shop at the center.
+
+    Flows: every boundary-middle-to-boundary-middle straight crossing
+    (one per row/column except the shop's), plus four turned flows.
+    """
+    grid = manhattan_grid(rows, rows, 1.0)
+    last = rows - 1
+    flows = []
+    volumes = volumes or {}
+    for r in range(1, last):
+        flows.append(
+            flow_between(grid, (r, 0), (r, last),
+                         volumes.get(("row", r), 10), 1.0, f"row{r}")
+        )
+    for c in range(1, last):
+        flows.append(
+            flow_between(grid, (0, c), (last, c),
+                         volumes.get(("col", c), 10), 1.0, f"col{c}")
+        )
+    mid = rows // 2
+    turned = [
+        ((mid, 0), (0, mid)),   # west -> south
+        ((mid, 0), (last, mid)),  # west -> north
+        ((mid, last), (0, mid + 1) if mid + 1 < last else (0, mid)),  # east -> south
+        ((mid, last), (last, mid)),  # east -> north
+    ]
+    for index, (origin, destination) in enumerate(turned):
+        flows.append(
+            flow_between(grid, origin, destination,
+                         volumes.get(("turn", index), 5), 1.0, f"turn{index}")
+        )
+    scenario = ManhattanScenario(
+        grid, flows, (mid, mid), utility, region_side=float(last)
+    )
+    return grid, scenario
+
+
+class TestAlgorithm3:
+    def test_anchors_snap_to_corners(self):
+        grid, scenario = build_grid_scenario(ThresholdUtility(6.0))
+        sites = TwoStagePlacement().select(scenario, 8)
+        corners = {(0, 0), (0, 6), (6, 0), (6, 6)}
+        assert corners <= set(sites)
+        assert len(sites) == 8
+
+    def test_corners_cover_all_turned_flows(self):
+        """Theorem 3 part 1: the four corner RAPs attract every turned
+        flow (detour <= region diagonal, inside a generous threshold)."""
+        grid, scenario = build_grid_scenario(ThresholdUtility(20.0))
+        placement = TwoStagePlacement().place(scenario, 8)
+        turned = set(scenario.partition.turned)
+        for flow, outcome in zip(scenario.flows, placement.outcomes):
+            if flow in turned:
+                assert outcome.covered, flow.label
+                assert outcome.probability > 0, flow.label
+
+    def test_remaining_raps_cover_straight_flows_greedily(self):
+        """With k = 4 + 2, the two extra RAPs go to the heaviest straight
+        rows/columns."""
+        volumes = {("row", 3): 100, ("col", 2): 90}
+        grid, scenario = build_grid_scenario(ThresholdUtility(20.0), volumes=volumes)
+        placement = TwoStagePlacement().place(scenario, 6)
+        extra = [site for site in placement.raps
+                 if site not in {(0, 0), (0, 6), (6, 0), (6, 6)}]
+        assert len(extra) == 2
+        outcome_by_label = {
+            flow.label: outcome
+            for flow, outcome in zip(scenario.flows, placement.outcomes)
+        }
+        assert outcome_by_label["row3"].probability > 0
+        assert outcome_by_label["col2"].probability > 0
+
+    def test_small_k_is_exhaustive_optimal(self):
+        grid = manhattan_grid(3, 3, 1.0)
+        flows = [
+            flow_between(grid, (1, 0), (1, 2), 10, 1.0),
+            flow_between(grid, (0, 1), (2, 1), 6, 1.0),
+        ]
+        scenario = ManhattanScenario(grid, flows, (1, 1), ThresholdUtility(2.0))
+        placement = TwoStagePlacement().place(scenario, 1)
+        best = max(
+            evaluate_manhattan(scenario, [site]).attracted
+            for site in scenario.candidate_sites
+        )
+        assert placement.attracted == pytest.approx(best)
+
+    def test_small_k2_matches_brute_force(self):
+        grid = manhattan_grid(3, 3, 1.0)
+        flows = [
+            flow_between(grid, (1, 0), (1, 2), 10, 1.0),
+            flow_between(grid, (0, 1), (2, 1), 6, 1.0),
+            flow_between(grid, (0, 0), (2, 2), 4, 1.0),
+        ]
+        scenario = ManhattanScenario(grid, flows, (1, 1), LinearUtility(2.0))
+        placement = TwoStagePlacement().place(scenario, 2)
+        best = max(
+            evaluate_manhattan(scenario, list(pair)).attracted
+            for pair in itertools.combinations(scenario.candidate_sites, 2)
+        )
+        assert placement.attracted == pytest.approx(best)
+
+    def test_theorem3_bound_on_straight_and_turned(self):
+        """Algorithm 3 >= (1 - 4/k) x OPT restricted to straight+turned
+        flows, checked against Manhattan marginal greedy as an OPT upper
+        proxy's lower bound... here simply against the best achievable
+        total (all straight + turned volume) with a saturating threshold."""
+        grid, scenario = build_grid_scenario(ThresholdUtility(20.0))
+        k = 4 + 10  # enough extras for all 10 straight flows
+        placement = TwoStagePlacement().place(scenario, k)
+        part = scenario.partition
+        target = sum(f.volume for f in part.straight) + sum(
+            f.volume for f in part.turned
+        )
+        straight_turned = set(part.straight) | set(part.turned)
+        attained = sum(
+            outcome.customers
+            for flow, outcome in zip(scenario.flows, placement.outcomes)
+            if flow in straight_turned
+        )
+        assert attained >= (1 - 4 / k) * target - 1e-9
+
+    def test_budget_validation(self):
+        grid, scenario = build_grid_scenario(ThresholdUtility(6.0))
+        with pytest.raises(InfeasiblePlacementError):
+            TwoStagePlacement().select(scenario, -1)
+        with pytest.raises(InfeasiblePlacementError):
+            TwoStagePlacement().select(scenario, 10_000)
+        assert TwoStagePlacement().select(scenario, 0) == []
+
+
+class TestAlgorithm4:
+    def test_anchors_snap_to_midpoints(self):
+        grid, scenario = build_grid_scenario(LinearUtility(6.0))
+        sites = ModifiedTwoStagePlacement().select(scenario, 8)
+        # Midpoints of corner-to-shop segments for a 7x7 grid with shop
+        # (3,3): ~(1.5, 1.5) etc.; snapping must stay strictly inside.
+        corners = {(0, 0), (0, 6), (6, 0), (6, 6)}
+        anchor_sites = set(sites[:4])
+        assert anchor_sites.isdisjoint(corners)
+        for r, c in anchor_sites:
+            assert 0 < r < 6 and 0 < c < 6
+
+    def test_midpoint_anchor_halves_turned_detour(self):
+        """Turned flows served by a midpoint anchor see detour ~ D/2
+        where the corner anchor gives ~ D (paper's Theorem 4 intuition)."""
+        grid, scenario = build_grid_scenario(LinearUtility(12.0))
+        alg3 = TwoStagePlacement().place(scenario, 8)
+        alg4 = ModifiedTwoStagePlacement().place(scenario, 8)
+        turned = set(scenario.partition.turned)
+        detours3 = [
+            o.detour
+            for f, o in zip(scenario.flows, alg3.outcomes)
+            if f in turned and o.covered
+        ]
+        detours4 = [
+            o.detour
+            for f, o in zip(scenario.flows, alg4.outcomes)
+            if f in turned and o.covered
+        ]
+        assert detours3 and detours4
+        assert max(detours4) < max(detours3)
+
+    def test_anchors_beat_corners_under_decreasing_utility(self):
+        """With a tight linear threshold (D = region side), corner RAPs sit
+        at detour D and attract nobody from turned flows, while midpoint
+        RAPs attract a positive share.  Compare anchor RAPs only — the
+        straight-stage RAPs serve turned flows identically in both."""
+        grid, scenario = build_grid_scenario(LinearUtility(6.0))
+        anchors3 = TwoStagePlacement().select(scenario, 8)[:4]
+        anchors4 = ModifiedTwoStagePlacement().select(scenario, 8)[:4]
+        turned = set(scenario.partition.turned)
+
+        def turned_customers(sites):
+            placement = evaluate_manhattan(scenario, sites)
+            return sum(
+                o.customers
+                for f, o in zip(scenario.flows, placement.outcomes)
+                if f in turned
+            )
+
+        assert turned_customers(anchors3) == pytest.approx(0.0)
+        assert turned_customers(anchors4) > 0.0
+
+    def test_theorem4_bound_against_greedy(self):
+        """Algorithm 4 >= (1/2 - 2/k) x OPT on straight+turned flows;
+        Manhattan marginal greedy's total is an upper bound proxy for the
+        restricted optimum only if it dominates — so compare against the
+        best of greedy and Algorithm 4 itself as a conservative check."""
+        grid, scenario = build_grid_scenario(LinearUtility(12.0))
+        k = 10
+        alg4 = ModifiedTwoStagePlacement().place(scenario, k)
+        greedy = ManhattanMarginalGreedy().place(scenario, k)
+        part = scenario.partition
+        straight_turned = set(part.straight) | set(part.turned)
+
+        def restricted(placement):
+            return sum(
+                o.customers
+                for f, o in zip(scenario.flows, placement.outcomes)
+                if f in straight_turned
+            )
+
+        opt_proxy = max(restricted(greedy), restricted(alg4))
+        assert restricted(alg4) >= (0.5 - 2 / k) * opt_proxy - 1e-9
+
+
+class TestManhattanMarginalGreedy:
+    def test_matches_exhaustive_on_tiny_instance(self):
+        grid = manhattan_grid(3, 3, 1.0)
+        flows = [
+            flow_between(grid, (1, 0), (1, 2), 10, 1.0),
+            flow_between(grid, (0, 1), (2, 1), 6, 1.0),
+        ]
+        scenario = ManhattanScenario(grid, flows, (1, 1), LinearUtility(2.0))
+        greedy = ManhattanMarginalGreedy().place(scenario, 1)
+        best = max(
+            evaluate_manhattan(scenario, [site]).attracted
+            for site in scenario.candidate_sites
+        )
+        assert greedy.attracted == pytest.approx(best)
+
+    def test_budget_checks(self):
+        grid, scenario = build_grid_scenario(LinearUtility(6.0))
+        with pytest.raises(InfeasiblePlacementError):
+            ManhattanMarginalGreedy().select(scenario, -2)

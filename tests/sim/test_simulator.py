@@ -1,0 +1,138 @@
+"""Tests for the Monte-Carlo day simulator.
+
+The central claim: simulated customer frequencies converge to the
+analytic evaluator's expectations — i.e. the simulator and the evaluator
+are two independent implementations of the same model.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LinearUtility,
+    Scenario,
+    ThresholdUtility,
+    evaluate_placement,
+    flow_between,
+)
+from repro.errors import InvalidScenarioError
+from repro.graphs import manhattan_grid
+from repro.sim import AdvertisingDaySimulator, simulate_placement
+
+
+@pytest.fixture
+def scenario():
+    grid = manhattan_grid(5, 5, 1.0)
+    flows = [
+        flow_between(grid, (0, 0), (0, 4), 200, 1.0, "east"),
+        flow_between(grid, (4, 0), (4, 4), 100, 0.5, "west"),
+        flow_between(grid, (0, 2), (4, 2), 50, 1.0, "down"),
+    ]
+    return Scenario(grid, flows, (2, 2), LinearUtility(4.0))
+
+
+class TestConstruction:
+    def test_duplicate_raps_rejected(self, scenario):
+        with pytest.raises(InvalidScenarioError):
+            AdvertisingDaySimulator(scenario, [(0, 2), (0, 2)])
+
+    def test_off_network_rap_rejected(self, scenario):
+        with pytest.raises(InvalidScenarioError):
+            AdvertisingDaySimulator(scenario, ["nope"])
+
+    def test_zero_days_rejected(self, scenario):
+        with pytest.raises(InvalidScenarioError):
+            AdvertisingDaySimulator(scenario, [(0, 2)]).run(0)
+
+
+class TestExpectationAgreement:
+    def test_expected_customers_matches_evaluator(self, scenario):
+        """The first-RAP expectation equals the min-detour evaluation
+        (Theorem 1 — the first RAP attains the minimum detour)."""
+        raps = [(0, 2), (2, 2), (4, 1)]
+        simulator = AdvertisingDaySimulator(scenario, raps)
+        analytic = evaluate_placement(scenario, raps).attracted
+        assert simulator.expected_customers() == pytest.approx(analytic)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_agreement_on_random_instances(self, seed):
+        rng = random.Random(seed)
+        grid = manhattan_grid(5, 5, 1.0)
+        nodes = list(grid.nodes())
+        flows = [
+            flow_between(grid, *rng.sample(nodes, 2),
+                         volume=rng.randint(1, 40), attractiveness=1.0)
+            for _ in range(rng.randint(1, 5))
+        ]
+        utility = rng.choice([ThresholdUtility, LinearUtility])(4.0)
+        scenario = Scenario(grid, flows, rng.choice(nodes), utility)
+        raps = rng.sample(nodes, rng.randint(1, 5))
+        simulator = AdvertisingDaySimulator(scenario, raps)
+        analytic = evaluate_placement(scenario, raps).attracted
+        assert simulator.expected_customers() == pytest.approx(analytic)
+
+    def test_monte_carlo_converges(self, scenario):
+        """300 simulated days land within 4 sigma of the expectation."""
+        raps = [(0, 2), (2, 2)]
+        simulator = AdvertisingDaySimulator(scenario, raps)
+        result = simulator.run(days=300, seed=7)
+        expected = simulator.expected_customers()
+        standard_error = result.stdev / (result.days ** 0.5)
+        assert abs(result.mean_customers - expected) <= max(
+            4 * standard_error, 1e-6
+        )
+
+
+class TestDayMechanics:
+    def test_day_counts_are_integers_within_volume(self, scenario):
+        simulator = AdvertisingDaySimulator(scenario, [(0, 2)])
+        day = simulator.simulate_day(random.Random(1))
+        assert day.customers >= 0
+        # Only the east flow (volume 200) passes (0, 2).
+        assert day.customers <= 201
+
+    def test_deliveries_attributed_to_first_rap(self, scenario):
+        """A flow passing two RAPs delivers only at the first."""
+        raps = [(0, 1), (0, 3)]  # both on the east flow's path
+        simulator = AdvertisingDaySimulator(scenario, raps)
+        day = simulator.simulate_day(random.Random(2))
+        assert day.deliveries[(0, 1)] >= 200
+        assert day.deliveries[(0, 3)] == 0
+
+    def test_uncovered_flows_contribute_nothing(self, scenario):
+        simulator = AdvertisingDaySimulator(scenario, [(3, 0)])
+        result = simulator.run(days=20, seed=3)
+        assert result.mean_customers == 0.0
+
+    def test_fractional_volume_handled(self):
+        grid = manhattan_grid(3, 3, 1.0)
+        flows = [flow_between(grid, (0, 0), (0, 2), 10.5, 1.0)]
+        scenario = Scenario(grid, flows, (1, 1), ThresholdUtility(4.0))
+        simulator = AdvertisingDaySimulator(scenario, [(0, 1)])
+        result = simulator.run(days=400, seed=5)
+        # Mean drivers ~10.5, all of whom detour (threshold, alpha=1).
+        assert result.mean_customers == pytest.approx(10.5, abs=0.2)
+
+    def test_determinism_per_seed(self, scenario):
+        a = simulate_placement(scenario, [(0, 2)], days=10, seed=9)
+        b = simulate_placement(scenario, [(0, 2)], days=10, seed=9)
+        assert a.per_day == b.per_day
+
+    def test_variance_zero_for_sure_things(self):
+        """alpha = 1, threshold utility, integer volume: deterministic."""
+        grid = manhattan_grid(3, 3, 1.0)
+        flows = [flow_between(grid, (0, 0), (0, 2), 10, 1.0)]
+        scenario = Scenario(grid, flows, (0, 1), ThresholdUtility(10.0))
+        result = simulate_placement(scenario, [(0, 1)], days=30)
+        assert result.variance == 0.0
+        assert result.mean_customers == 10.0
+
+    def test_mean_by_flow_sums_to_mean(self, scenario):
+        result = simulate_placement(scenario, [(0, 2), (2, 2)], days=50)
+        assert sum(result.mean_customers_by_flow) == pytest.approx(
+            result.mean_customers
+        )

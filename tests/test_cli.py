@@ -1,0 +1,226 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListAlgorithms:
+    def test_lists_everything(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "composite-greedy" in out
+        assert "random" in out
+
+
+class TestGenerateTrace:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "dublin.csv"
+        code = main(
+            [
+                "generate-trace",
+                "--city",
+                "dublin",
+                "--out",
+                str(out),
+                "--scale",
+                "small",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        header = out.read_text().splitlines()[0]
+        assert "longitude" in header
+        assert "wrote" in capsys.readouterr().out
+
+    def test_seattle_schema(self, tmp_path):
+        out = tmp_path / "seattle.csv"
+        main(
+            [
+                "generate-trace",
+                "--city",
+                "seattle",
+                "--out",
+                str(out),
+                "--scale",
+                "small",
+            ]
+        )
+        header = out.read_text().splitlines()[0]
+        assert "route_id" in header
+
+
+class TestRunFigure:
+    def test_fig10_small(self, tmp_path, capsys):
+        archive = tmp_path / "fig10.json"
+        code = main(
+            [
+                "run-figure",
+                "fig10",
+                "--scale",
+                "small",
+                "--repetitions",
+                "2",
+                "--json",
+                str(archive),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "Algorithm 1/2" in out
+        data = json.loads(archive.read_text())
+        assert data["figure_id"] == "fig10"
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run-figure", "fig99"])
+
+
+class TestPlace:
+    def test_places_raps(self, capsys):
+        code = main(
+            [
+                "place",
+                "--city",
+                "dublin",
+                "--scale",
+                "small",
+                "--k",
+                "3",
+                "--algorithm",
+                "max-customers",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placement" in out
+        assert "attracted" in out
+
+    def test_random_algorithm_with_seed(self, capsys):
+        code = main(
+            [
+                "place",
+                "--city",
+                "seattle",
+                "--scale",
+                "small",
+                "--k",
+                "2",
+                "--algorithm",
+                "random",
+                "--utility",
+                "threshold",
+                "--threshold",
+                "2500",
+            ]
+        )
+        assert code == 0
+
+    def test_error_is_reported_not_raised(self, capsys):
+        code = main(
+            [
+                "place",
+                "--city",
+                "dublin",
+                "--scale",
+                "small",
+                "--k",
+                "99999",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDiagnoseFlag:
+    def test_diagnose_prints_details(self, capsys):
+        code = main(
+            [
+                "place",
+                "--city",
+                "dublin",
+                "--scale",
+                "small",
+                "--k",
+                "3",
+                "--algorithm",
+                "composite-greedy",
+                "--diagnose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "covered flows" in out
+        assert "value curve" in out
+
+
+class TestRender:
+    def test_map_only(self, tmp_path, capsys):
+        out = tmp_path / "map.svg"
+        code = main(
+            ["render", "--city", "seattle", "--scale", "small",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_with_placement(self, tmp_path):
+        out = tmp_path / "placement.svg"
+        code = main(
+            ["render", "--city", "dublin", "--scale", "small",
+             "--out", str(out), "--k", "3"]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "<circle" in text  # RAP markers present
+
+
+class TestValidate:
+    def test_healthy_scenario_reports(self, capsys):
+        code = main(
+            ["validate", "--city", "dublin", "--scale", "small"]
+        )
+        out = capsys.readouterr().out
+        assert "scenario:" in out
+        assert code in (0, 1)
+
+    def test_tiny_threshold_fails(self, capsys):
+        code = main(
+            ["validate", "--city", "dublin", "--scale", "small",
+             "--threshold", "1", "--shop", "suburb"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "threshold-excludes-all" in out
+
+
+class TestCheckClaims:
+    def test_small_scale_claims_pass(self, capsys):
+        code = main(
+            ["check-claims", "--scale", "small", "--repetitions", "2"]
+        )
+        out = capsys.readouterr().out
+        assert "claims:" in out
+        assert code == 0, out
+
+
+class TestSweepCommand:
+    @pytest.mark.parametrize("parameter", ["threshold", "budget", "alpha"])
+    def test_runs(self, capsys, parameter):
+        code = main(["sweep", parameter, "--scale", "small", "--k", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "customers/day" in out
+        assert "peak at" in out
+
+    def test_custom_values(self, capsys):
+        code = main(
+            ["sweep", "alpha", "--scale", "small",
+             "--values", "0.5,1.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("customers/day") == 2

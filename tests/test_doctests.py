@@ -1,0 +1,26 @@
+"""Run doctests embedded in module/class docstrings.
+
+Keeps the usage examples in docstrings honest — if an API changes, the
+inline example fails here.
+"""
+
+import doctest
+
+import pytest
+
+import repro.graphs.digraph
+import repro.core.utility
+import repro.core.flow
+
+MODULES_WITH_EXAMPLES = [
+    repro.graphs.digraph,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one doctest"

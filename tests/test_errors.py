@@ -1,0 +1,88 @@
+"""Tests for the exception hierarchy contract.
+
+API stability: every library error derives from ReproError, the
+dual-inheritance classes keep their stdlib bases (so callers can catch
+KeyError/ValueError where idiomatic), and constructors carry context.
+"""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.GraphError,
+    errors.NodeNotFoundError,
+    errors.EdgeNotFoundError,
+    errors.DuplicateNodeError,
+    errors.NegativeWeightError,
+    errors.DisconnectedGraphError,
+    errors.NoPathError,
+    errors.ModelError,
+    errors.InvalidFlowError,
+    errors.InvalidUtilityError,
+    errors.InvalidScenarioError,
+    errors.PlacementError,
+    errors.InfeasiblePlacementError,
+    errors.TraceError,
+    errors.TraceFormatError,
+    errors.MapMatchError,
+    errors.ExperimentError,
+    errors.UnknownFigureError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_everything_is_a_repro_error(self, cls):
+        assert issubclass(cls, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "cls,base",
+        [
+            (errors.NodeNotFoundError, KeyError),
+            (errors.EdgeNotFoundError, KeyError),
+            (errors.DuplicateNodeError, ValueError),
+            (errors.NegativeWeightError, ValueError),
+            (errors.InvalidFlowError, ValueError),
+            (errors.InvalidUtilityError, ValueError),
+            (errors.InvalidScenarioError, ValueError),
+            (errors.InfeasiblePlacementError, ValueError),
+            (errors.TraceFormatError, ValueError),
+            (errors.UnknownFigureError, KeyError),
+        ],
+    )
+    def test_stdlib_bases_preserved(self, cls, base):
+        assert issubclass(cls, base)
+
+    def test_subsystem_grouping(self):
+        assert issubclass(errors.NoPathError, errors.GraphError)
+        assert issubclass(errors.MapMatchError, errors.TraceError)
+        assert issubclass(errors.UnknownFigureError, errors.ExperimentError)
+        assert issubclass(
+            errors.InfeasiblePlacementError, errors.PlacementError
+        )
+
+
+class TestContext:
+    def test_node_not_found_carries_node(self):
+        error = errors.NodeNotFoundError("x17")
+        assert error.node == "x17"
+        assert "x17" in str(error)
+
+    def test_edge_not_found_carries_endpoints(self):
+        error = errors.EdgeNotFoundError("a", "b")
+        assert (error.tail, error.head) == ("a", "b")
+
+    def test_no_path_carries_endpoints(self):
+        error = errors.NoPathError("s", "t")
+        assert (error.source, error.target) == ("s", "t")
+
+    def test_unknown_figure_carries_id(self):
+        error = errors.UnknownFigureError("fig99")
+        assert error.figure_id == "fig99"
+
+    def test_catching_the_base_class_works(self):
+        """One except clause at an API boundary catches everything."""
+        with pytest.raises(errors.ReproError):
+            raise errors.MapMatchError("boom")

@@ -1,0 +1,113 @@
+"""End-to-end integration: the full product pipeline in one test.
+
+trace generation -> CSV round trip -> map matching -> flow extraction ->
+scenario lint -> placement -> diagnostics -> Monte-Carlo validation ->
+SVG rendering.  Each stage consumes the previous stage's real output; a
+regression anywhere in the chain fails here even if every unit test
+still passes.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import CompositeGreedy
+from repro.analysis import diagnose, failure_impacts
+from repro.core import Scenario, has_errors, lint_scenario, utility_by_name
+from repro.experiments import (
+    LocationClass,
+    classify_intersections,
+    locations_of_class,
+)
+from repro.sim import AdvertisingDaySimulator
+from repro.traces import (
+    SEATTLE_SCHEMA,
+    FlowExtractionConfig,
+    SeattleTraceConfig,
+    flows_from_report,
+    generate_seattle_trace,
+    group_into_journeys,
+    match_journeys,
+    read_trace_csv,
+    write_trace_csv,
+)
+from repro.viz import render_placement
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Run the whole chain once; stages assert as they go."""
+    # 1. Generate + persist + reload the trace.
+    trace = generate_seattle_trace(
+        SeattleTraceConfig(seed=31, rows=11, cols=11, pattern_count=15)
+    )
+    csv_path = tmp_path_factory.mktemp("pipeline") / "seattle.csv"
+    written = write_trace_csv(trace.records, csv_path, SEATTLE_SCHEMA)
+    records = read_trace_csv(csv_path, SEATTLE_SCHEMA)
+    assert len(records) == written
+
+    # 2. Map-match and extract flows.
+    journeys = group_into_journeys(records)
+    report = match_journeys(trace.network, journeys, max_snap_distance=400.0)
+    assert report.failure_count == 0
+    flows = flows_from_report(
+        report, FlowExtractionConfig(passengers_per_bus=200.0)
+    )
+    assert len(flows) == 15
+
+    # 3. Build and lint the scenario.
+    classes = classify_intersections(trace.network, flows)
+    shop = random.Random(8).choice(
+        locations_of_class(classes, LocationClass.CITY)
+    )
+    scenario = Scenario(
+        trace.network, flows, shop, utility_by_name("linear", 2_500.0)
+    )
+    issues = lint_scenario(scenario)
+    assert not has_errors(issues)
+
+    # 4. Place RAPs.
+    placement = CompositeGreedy().place(scenario, 5)
+    assert placement.attracted > 0
+    return scenario, placement
+
+
+class TestPipeline:
+    def test_diagnostics_consistent(self, pipeline):
+        scenario, placement = pipeline
+        diagnostics = diagnose(scenario, placement)
+        assert diagnostics.marginal_curve[-1] == pytest.approx(
+            placement.attracted
+        )
+        assert sum(diagnostics.rap_contributions.values()) == pytest.approx(
+            placement.attracted
+        )
+        assert 0 < diagnostics.covered_flow_fraction <= 1
+
+    def test_simulation_converges_to_analytic(self, pipeline):
+        scenario, placement = pipeline
+        simulator = AdvertisingDaySimulator(scenario, placement.raps)
+        assert simulator.expected_customers() == pytest.approx(
+            placement.attracted
+        )
+        result = simulator.run(days=200, seed=2)
+        standard_error = result.stdev / (result.days ** 0.5)
+        assert abs(result.mean_customers - placement.attracted) <= max(
+            5 * standard_error, 0.25
+        )
+
+    def test_failure_analysis_consistent(self, pipeline):
+        scenario, placement = pipeline
+        impacts = failure_impacts(scenario, placement)
+        assert len(impacts) == placement.k
+        total_loss = sum(impact.loss for impact in impacts)
+        # Submodularity: sum of marginal losses <= total value.
+        assert total_loss <= placement.attracted + 1e-9
+
+    def test_rendering_works_on_real_output(self, pipeline):
+        import xml.etree.ElementTree as ElementTree
+
+        scenario, placement = pipeline
+        svg = render_placement(scenario, placement)
+        root = ElementTree.fromstring(svg)
+        assert root.tag.endswith("svg")

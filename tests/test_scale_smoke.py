@@ -1,0 +1,69 @@
+"""Large-instance smoke test (gated; set RAPFLOW_RUN_SLOW=1 to enable).
+
+Verifies the full pipeline holds up at ~10x the default instance size:
+a 35x35 grid (1,225 intersections), 250 flows, greedy k = 15, Manhattan
+evaluation included.  Disabled by default to keep the suite fast; the
+gated run doubles as a memory/runtime sanity check before releases.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+slow = pytest.mark.skipif(
+    os.environ.get("RAPFLOW_RUN_SLOW") != "1",
+    reason="set RAPFLOW_RUN_SLOW=1 to run large-scale smoke tests",
+)
+
+
+@slow
+class TestLargeInstance:
+    def test_large_greedy_pipeline(self):
+        from repro.algorithms import CompositeGreedy, LazyGreedy
+        from repro.core import LinearUtility, Scenario, flow_between
+        from repro.graphs import manhattan_grid
+
+        rng = random.Random(0)
+        net = manhattan_grid(35, 35, 100.0)
+        nodes = list(net.nodes())
+        flows = [
+            flow_between(net, *rng.sample(nodes, 2),
+                         volume=rng.randint(50, 500), attractiveness=0.001)
+            for _ in range(250)
+        ]
+        scenario = Scenario(net, flows, nodes[len(nodes) // 2],
+                            LinearUtility(2_000.0))
+        start = time.time()
+        placement = CompositeGreedy().place(scenario, 15)
+        elapsed = time.time() - start
+        assert placement.k <= 15
+        assert elapsed < 120, f"greedy too slow: {elapsed:.1f}s"
+
+        lazy = LazyGreedy().place(scenario, 15)
+        assert lazy.attracted >= placement.attracted * 0.99
+
+    def test_large_manhattan_evaluation(self):
+        from repro.core import ThresholdUtility, flow_between
+        from repro.graphs import manhattan_grid
+        from repro.manhattan import ManhattanEvaluator, ManhattanScenario
+
+        rng = random.Random(1)
+        net = manhattan_grid(30, 30, 100.0)
+        nodes = list(net.nodes())
+        flows = [
+            flow_between(net, *rng.sample(nodes, 2),
+                         volume=100, attractiveness=0.001)
+            for _ in range(150)
+        ]
+        scenario = ManhattanScenario(
+            net, flows, nodes[len(nodes) // 2], ThresholdUtility(1_500.0)
+        )
+        evaluator = ManhattanEvaluator(scenario)
+        raps = rng.sample(nodes, 12)
+        start = time.time()
+        placement = evaluator.evaluate(raps)
+        elapsed = time.time() - start
+        assert placement.k == 12
+        assert elapsed < 120

@@ -1,0 +1,124 @@
+"""Tests for OD demand estimation — including the generator round trip."""
+
+import random
+
+import pytest
+
+from repro.core import flow_between
+from repro.errors import TraceError
+from repro.graphs import manhattan_grid
+from repro.traces import (
+    OdMatrix,
+    demand_summary,
+    estimate_center_bias,
+    od_matrix,
+)
+from repro.traces.journeys import generate_patterns
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(9, 9, 1000.0)
+
+
+def flows_between(grid, pairs, volume=10):
+    return [
+        flow_between(grid, a, b, volume, 1.0) for a, b in pairs
+    ]
+
+
+class TestOdMatrix:
+    def test_basic_aggregation(self, grid):
+        flows = flows_between(
+            grid, [((0, 0), (8, 8)), ((0, 0), (8, 8)), ((8, 0), (0, 8))]
+        )
+        matrix = od_matrix(grid, flows, zones_per_side=2)
+        assert matrix.total_volume == 30
+        # Two flows share the SW->NE pair.
+        (top_pair, top_volume) = matrix.top_pairs(1)[0]
+        assert top_volume == 20
+
+    def test_zone_indexing_covers_extent(self, grid):
+        flows = flows_between(grid, [((0, 0), (8, 8))])
+        matrix = od_matrix(grid, flows, zones_per_side=3)
+        (pair, _), = matrix.volumes.items()
+        # SW corner is zone 0; NE corner is the last zone (index 8).
+        assert pair == (0, 8)
+
+    def test_single_zone_collapses_everything(self, grid):
+        flows = flows_between(grid, [((0, 0), (8, 8)), ((8, 0), (0, 8))])
+        matrix = od_matrix(grid, flows, zones_per_side=1)
+        assert matrix.volumes == {(0, 0): 20.0}
+
+    def test_validation(self, grid):
+        with pytest.raises(TraceError):
+            od_matrix(grid, [], zones_per_side=2)
+        with pytest.raises(TraceError):
+            od_matrix(grid, flows_between(grid, [((0, 0), (1, 1))]),
+                      zones_per_side=0)
+
+
+class TestEstimateCenterBias:
+    def generated_flows(self, grid, bias, seed=0, count=60):
+        rng = random.Random(seed)
+        patterns = generate_patterns(
+            grid, count, rng, center_bias=bias, min_trip_fraction=0.05
+        )
+        from repro.core import TrafficFlow
+
+        return [
+            TrafficFlow(path=p.path, volume=10, attractiveness=1.0)
+            for p in patterns
+        ]
+
+    def test_round_trip_recovers_bias_ordering(self, grid):
+        """Traces generated with higher bias must estimate higher bias."""
+        low = estimate_center_bias(grid, self.generated_flows(grid, 0.0))
+        high = estimate_center_bias(grid, self.generated_flows(grid, 4.0))
+        assert high > low
+
+    def test_strong_bias_estimates_high(self, grid):
+        flows = self.generated_flows(grid, 3.0, seed=5)
+        estimate = estimate_center_bias(grid, flows)
+        assert estimate >= 1.5
+
+    def test_uniform_demand_estimates_low(self, grid):
+        flows = self.generated_flows(grid, 0.0, seed=5)
+        estimate = estimate_center_bias(grid, flows)
+        assert estimate <= 1.0
+
+    def test_custom_grid(self, grid):
+        flows = self.generated_flows(grid, 2.0)
+        estimate = estimate_center_bias(grid, flows, bias_grid=[0.0, 9.9])
+        assert estimate in (0.0, 9.9)
+
+    def test_empty_rejected(self, grid):
+        with pytest.raises(TraceError):
+            estimate_center_bias(grid, [])
+
+    def test_synthetic_dublin_is_center_biased(self):
+        """The shipped Dublin generator must produce estimably
+        center-biased demand (the substitution's demand claim)."""
+        from repro.traces import DublinTraceConfig, generate_dublin_trace
+
+        trace = generate_dublin_trace(
+            DublinTraceConfig(seed=9, rows=9, cols=9, pattern_count=25)
+        )
+        flows = trace.extract_flows()
+        assert estimate_center_bias(trace.network, flows) >= 1.0
+
+
+class TestDemandSummary:
+    def test_center_heavy_flows(self, grid):
+        center_pairs = [((4, 3), (4, 5)), ((3, 4), (5, 4))]
+        summary = demand_summary(grid, flows_between(grid, center_pairs))
+        assert summary["central_endpoint_share"] == 1.0
+
+    def test_edge_flows(self, grid):
+        edge_pairs = [((0, 0), (0, 8)), ((8, 0), (8, 8))]
+        summary = demand_summary(grid, flows_between(grid, edge_pairs))
+        assert summary["central_endpoint_share"] == 0.0
+
+    def test_empty_rejected(self, grid):
+        with pytest.raises(TraceError):
+            demand_summary(grid, [])

@@ -1,0 +1,163 @@
+"""Tests for flow extraction and the Dublin/Seattle trace generators."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import (
+    DublinTraceConfig,
+    FlowExtractionConfig,
+    SeattleTraceConfig,
+    flows_from_report,
+    generate_dublin_trace,
+    generate_seattle_trace,
+    node_traffic,
+    traffic_summary,
+)
+
+# Small, fast configs for CI-grade runs.
+SMALL_DUBLIN = DublinTraceConfig(seed=7, rows=9, cols=9, pattern_count=12)
+SMALL_SEATTLE = SeattleTraceConfig(seed=7, rows=9, cols=9, pattern_count=12)
+
+
+@pytest.fixture(scope="module")
+def dublin_trace():
+    return generate_dublin_trace(SMALL_DUBLIN)
+
+
+@pytest.fixture(scope="module")
+def seattle_trace():
+    return generate_seattle_trace(SMALL_SEATTLE)
+
+
+class TestFlowExtractionConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"passengers_per_bus": 0},
+            {"passengers_per_bus": -10},
+            {"attractiveness": 1.5},
+            {"min_buses": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(TraceError):
+            FlowExtractionConfig(**kwargs)
+
+
+class TestDublinGenerator:
+    def test_deterministic(self):
+        a = generate_dublin_trace(SMALL_DUBLIN)
+        b = generate_dublin_trace(SMALL_DUBLIN)
+        assert len(a.records) == len(b.records)
+        assert a.records[0] == b.records[0]
+        assert a.records[-1] == b.records[-1]
+
+    def test_metadata(self, dublin_trace):
+        assert dublin_trace.city == "dublin"
+        assert dublin_trace.passengers_per_bus == 100.0
+        assert len(dublin_trace.patterns) == 12
+
+    def test_extent_matches_paper(self):
+        trace = generate_dublin_trace(SMALL_DUBLIN)
+        box = trace.network.bounding_box()
+        assert box.width > 40_000  # 80,000 ft central area order
+
+    def test_every_journey_matches(self, dublin_trace):
+        report = dublin_trace.match()
+        assert report.failure_count == 0
+        # one matched journey per daily bus
+        expected = sum(p.daily_buses for p in dublin_trace.patterns)
+        assert report.matched_count == expected
+
+    def test_flow_volumes_follow_bus_counts(self, dublin_trace):
+        flows = dublin_trace.extract_flows()
+        by_label = {flow.label: flow for flow in flows}
+        for pattern in dublin_trace.patterns:
+            flow = by_label[pattern.pattern_id]
+            assert flow.volume == pattern.daily_buses * 100.0
+
+    def test_matched_endpoints_recover_ground_truth(self, dublin_trace):
+        report = dublin_trace.match()
+        truth = {p.pattern_id: p.path for p in dublin_trace.patterns}
+        for result in report.results:
+            expected = truth[result.journey.journey_id]
+            assert result.path[0] == expected[0]
+            assert result.path[-1] == expected[-1]
+
+    def test_flow_paths_are_drivable(self, dublin_trace):
+        for flow in dublin_trace.extract_flows():
+            flow.validate_on(dublin_trace.network)
+
+
+class TestSeattleGenerator:
+    def test_metadata(self, seattle_trace):
+        assert seattle_trace.city == "seattle"
+        assert seattle_trace.passengers_per_bus == 200.0
+
+    def test_extent_matches_paper(self, seattle_trace):
+        box = seattle_trace.network.bounding_box()
+        assert box.width <= 10_000.0 + 1e-6
+
+    def test_flows_extracted(self, seattle_trace):
+        flows = seattle_trace.extract_flows()
+        assert len(flows) == 12
+        assert all(flow.volume % 200.0 == 0 for flow in flows)
+
+    def test_deterministic(self):
+        a = generate_seattle_trace(SMALL_SEATTLE)
+        b = generate_seattle_trace(SMALL_SEATTLE)
+        assert a.records[:5] == b.records[:5]
+
+
+class TestAggregation:
+    def test_min_buses_filter(self, dublin_trace):
+        report = dublin_trace.match()
+        generous = flows_from_report(
+            report, FlowExtractionConfig(passengers_per_bus=100, min_buses=1)
+        )
+        strict = flows_from_report(
+            report, FlowExtractionConfig(passengers_per_bus=100, min_buses=3)
+        )
+        assert len(strict) <= len(generous)
+        assert all(flow.volume >= 300.0 for flow in strict)
+
+    def test_traffic_summary(self, dublin_trace):
+        flows = dublin_trace.extract_flows()
+        summary = traffic_summary(flows)
+        assert summary["flow_count"] == len(flows)
+        assert summary["total_volume"] == sum(f.volume for f in flows)
+        assert summary["mean_path_hops"] > 2
+
+    def test_traffic_summary_empty(self):
+        assert traffic_summary([])["flow_count"] == 0
+
+    def test_node_traffic(self, dublin_trace):
+        flows = dublin_trace.extract_flows()
+        stats = node_traffic(flows)
+        # Every path node appears; totals are consistent.
+        total_incidences = sum(count for count, _ in stats.values())
+        assert total_incidences == sum(len(f.path) for f in flows)
+        for node, (count, volume) in stats.items():
+            assert count >= 1
+            assert volume > 0
+
+    def test_center_carries_more_traffic_than_edge(self, dublin_trace):
+        """The gravity model must concentrate traffic centrally — the
+        property the paper's center/city/suburb split relies on."""
+        flows = dublin_trace.extract_flows()
+        stats = node_traffic(flows)
+        network = dublin_trace.network
+        center = network.bounding_box().center
+        scale = network.bounding_box().width
+        central_volume = []
+        edge_volume = []
+        for node in network.nodes():
+            distance = network.position(node).distance_to(center)
+            _, volume = stats.get(node, (0, 0.0))
+            if distance < scale * 0.2:
+                central_volume.append(volume)
+            elif distance > scale * 0.5:
+                edge_volume.append(volume)
+        assert central_volume and edge_volume
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(central_volume) > mean(edge_volume)

@@ -1,0 +1,191 @@
+"""Failure injection and fuzzing for the trace pipeline.
+
+The CSV reader and map matcher face the messiest inputs in the library
+(user-supplied GPS data), so they get adversarial tests: corrupted
+files must raise :class:`TraceFormatError`/:class:`MapMatchError` — and
+never crash with anything else or silently return garbage.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MapMatchError, TraceError, TraceFormatError
+from repro.graphs import manhattan_grid
+from repro.traces import (
+    SEATTLE_SCHEMA,
+    GpsRecord,
+    Journey,
+    collapse_duplicates,
+    erase_loops,
+    match_journey,
+    read_trace_csv,
+    write_trace_csv,
+)
+
+VALID_HEADER = "bus_id,x,y,route_id,timestamp"
+
+
+class TestCsvCorruption:
+    @pytest.mark.parametrize(
+        "row",
+        [
+            "b1,1.0,2.0,r1",              # missing column
+            "b1,1.0,2.0,r1,abc",          # bad timestamp
+            "b1,xx,2.0,r1,5",             # bad x
+            "b1,1.0,yy,r1,5",             # bad y
+            ",1.0,2.0,r1,5",              # empty bus id
+            "b1,1.0,2.0,,5",              # empty route id
+            "b1,nan,2.0,r1,5",            # NaN coordinate
+            "b1,1.0,2.0,r1,-3",           # negative timestamp
+        ],
+    )
+    def test_bad_rows_raise_trace_format_error(self, tmp_path, row):
+        path = tmp_path / "bad.csv"
+        path.write_text(f"{VALID_HEADER}\n{row}\n")
+        with pytest.raises(TraceFormatError):
+            read_trace_csv(path, SEATTLE_SCHEMA)
+
+    def test_error_messages_carry_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(f"{VALID_HEADER}\nb1,1,1,r1,0\nb1,broken,1,r1,5\n")
+        with pytest.raises(TraceFormatError) as info:
+            read_trace_csv(path, SEATTLE_SCHEMA)
+        assert "line 3" in str(info.value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(garbage=st.text(max_size=200))
+    def test_arbitrary_text_never_crashes_unexpectedly(self, tmp_path_factory, garbage):
+        """Any text file either parses or raises a TraceError subclass."""
+        path = tmp_path_factory.mktemp("fuzz") / "fuzz.csv"
+        path.write_text(f"{VALID_HEADER}\n{garbage}\n", errors="replace")
+        try:
+            records = read_trace_csv(path, SEATTLE_SCHEMA)
+        except TraceError:
+            return
+        for record in records:
+            assert record.bus_id
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_characters=",\n\r\"",
+                        blacklist_categories=("Cs",),
+                    ),
+                    min_size=1,
+                    max_size=8,
+                ),
+                st.floats(-1e6, 1e6, allow_nan=False),
+                st.floats(-1e6, 1e6, allow_nan=False),
+                st.floats(0, 1e6, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_round_trip_of_valid_records(self, tmp_path_factory, rows):
+        records = [
+            GpsRecord(
+                bus_id=bus.strip() or "b",
+                journey_id="r1",
+                timestamp=t,
+                x=x,
+                y=y,
+            )
+            for bus, x, y, t in rows
+        ]
+        path = tmp_path_factory.mktemp("rt") / "trace.csv"
+        write_trace_csv(records, path, SEATTLE_SCHEMA)
+        loaded = read_trace_csv(path, SEATTLE_SCHEMA)
+        assert len(loaded) == len(records)
+        for original, parsed in zip(records, loaded):
+            assert parsed.x == pytest.approx(original.x, abs=1e-3)
+            assert parsed.timestamp == pytest.approx(original.timestamp, abs=1e-2)
+
+
+class TestLoopErasureProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(walk=st.lists(st.integers(0, 8), max_size=40))
+    def test_output_is_simple(self, walk):
+        path, _ = erase_loops(walk)
+        assert len(set(path)) == len(path)
+
+    @settings(max_examples=100, deadline=None)
+    @given(walk=st.lists(st.integers(0, 8), max_size=40))
+    def test_endpoints_preserved(self, walk):
+        path, _ = erase_loops(walk)
+        if walk:
+            assert path[0] == walk[0]
+            assert path[-1] == walk[-1]
+        else:
+            assert path == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(walk=st.lists(st.integers(0, 8), max_size=40))
+    def test_idempotent(self, walk):
+        once, _ = erase_loops(walk)
+        twice, erased = erase_loops(once)
+        assert twice == once
+        assert erased == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(walk=st.lists(st.integers(0, 8), max_size=40))
+    def test_composes_with_collapse(self, walk):
+        collapsed = collapse_duplicates(walk)
+        path, _ = erase_loops(collapsed)
+        assert len(set(path)) == len(path)
+
+
+class TestMapMatchRobustness:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_shuffled_timestamps_still_match(self, seed):
+        """Records arriving out of order are re-sorted by grouping and
+        the pipeline still produces a drivable path."""
+        grid = manhattan_grid(5, 5, 100.0)
+        rng = random.Random(seed)
+        points = [(0.0, 0.0), (100.0, 0.0), (200.0, 0.0), (200.0, 100.0)]
+        records = [
+            GpsRecord(bus_id="b", journey_id="r", timestamp=float(i * 10),
+                      x=x, y=y)
+            for i, (x, y) in enumerate(points)
+        ]
+        rng.shuffle(records)
+        journey = Journey(bus_id="b", journey_id="r")
+        for record in records:
+            journey.append(record)
+        journey.sort()
+        result = match_journey(grid, journey)
+        assert grid.is_path(result.path)
+        assert result.path[0] == (0, 0)
+        assert result.path[-1] == (1, 2)
+
+    def test_teleporting_bus_detected_or_repaired(self):
+        """A bus jumping across the map either repairs via a shortest
+        path or (on a disconnected target) raises MapMatchError."""
+        grid = manhattan_grid(4, 4, 100.0)
+        journey = Journey(bus_id="b", journey_id="r")
+        for i, (x, y) in enumerate([(0, 0), (300, 300)]):
+            journey.append(
+                GpsRecord(bus_id="b", journey_id="r",
+                          timestamp=float(i), x=x, y=y)
+            )
+        result = match_journey(grid, journey)
+        assert result.repaired_gaps == 1
+        assert grid.is_path(result.path)
+
+    def test_stationary_bus_rejected(self):
+        grid = manhattan_grid(4, 4, 100.0)
+        journey = Journey(bus_id="b", journey_id="r")
+        for i in range(5):
+            journey.append(
+                GpsRecord(bus_id="b", journey_id="r",
+                          timestamp=float(i), x=1.0, y=2.0)
+            )
+        with pytest.raises(MapMatchError):
+            match_journey(grid, journey)

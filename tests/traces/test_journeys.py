@@ -1,0 +1,166 @@
+"""Tests for journey-pattern generation and GPS emission."""
+
+import random
+
+import pytest
+
+from repro.graphs import manhattan_grid, polyline_length
+from repro.traces import (
+    EmissionConfig,
+    JourneyPattern,
+    emit_journey,
+    emit_trace,
+    generate_patterns,
+)
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(9, 9, 1000.0)
+
+
+class TestJourneyPattern:
+    def test_valid(self):
+        p = JourneyPattern("p1", ((0, 0), (0, 1)), 3)
+        assert p.daily_buses == 3
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError):
+            JourneyPattern("p1", ((0, 0),), 1)
+
+    def test_zero_buses_rejected(self):
+        with pytest.raises(ValueError):
+            JourneyPattern("p1", ((0, 0), (0, 1)), 0)
+
+
+class TestEmissionConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"speed": 0.0},
+            {"speed": -1.0},
+            {"sample_period": 0.0},
+            {"noise_std": -1.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EmissionConfig(**kwargs)
+
+
+class TestGeneratePatterns:
+    def test_deterministic(self, grid):
+        a = generate_patterns(grid, 10, random.Random(7))
+        b = generate_patterns(grid, 10, random.Random(7))
+        assert [(p.pattern_id, p.path, p.daily_buses) for p in a] == [
+            (p.pattern_id, p.path, p.daily_buses) for p in b
+        ]
+
+    def test_paths_are_shortest(self, grid):
+        from repro.graphs import shortest_path_length
+
+        for pattern in generate_patterns(grid, 10, random.Random(1)):
+            assert grid.path_length(pattern.path) == pytest.approx(
+                shortest_path_length(grid, pattern.path[0], pattern.path[-1])
+            )
+
+    def test_min_trip_enforced(self, grid):
+        box = grid.bounding_box()
+        min_trip = 0.4 * max(box.width, box.height) / 2.0
+        for pattern in generate_patterns(
+            grid, 10, random.Random(2), min_trip_fraction=0.4
+        ):
+            assert grid.euclidean_distance(
+                pattern.path[0], pattern.path[-1]
+            ) >= min_trip
+
+    def test_center_bias_concentrates_endpoints(self, grid):
+        """High bias draws endpoints closer to the center on average."""
+        center = grid.bounding_box().center
+
+        def mean_endpoint_distance(bias):
+            patterns = generate_patterns(
+                grid, 40, random.Random(3), center_bias=bias,
+                min_trip_fraction=0.05,
+            )
+            distances = []
+            for p in patterns:
+                for node in (p.path[0], p.path[-1]):
+                    distances.append(grid.position(node).distance_to(center))
+            return sum(distances) / len(distances)
+
+        assert mean_endpoint_distance(5.0) < mean_endpoint_distance(0.0)
+
+    def test_daily_buses_in_range(self, grid):
+        for pattern in generate_patterns(
+            grid, 10, random.Random(4), daily_buses_range=(2, 3)
+        ):
+            assert 2 <= pattern.daily_buses <= 3
+
+    def test_impossible_request_raises(self, grid):
+        with pytest.raises(ValueError):
+            generate_patterns(grid, 5, random.Random(5), min_trip_fraction=10.0)
+
+    def test_zero_count_rejected(self, grid):
+        with pytest.raises(ValueError):
+            generate_patterns(grid, 0, random.Random(6))
+
+
+class TestEmitJourney:
+    def test_noiseless_samples_lie_on_path(self, grid):
+        pattern = JourneyPattern(
+            "p1", ((0, 0), (0, 1), (0, 2), (1, 2)), 1
+        )
+        config = EmissionConfig(speed=100.0, sample_period=2.0, noise_std=0.0)
+        records = emit_journey(grid, pattern, "bus1", random.Random(0), config)
+        assert len(records) >= 2
+        # First sample at origin, last at destination.
+        assert (records[0].x, records[0].y) == (0.0, 0.0)
+        end = grid.position((1, 2))
+        assert (records[-1].x, records[-1].y) == (end.x, end.y)
+        # Samples advance monotonically in time.
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+
+    def test_sample_count_scales_with_length(self, grid):
+        config = EmissionConfig(speed=100.0, sample_period=1.0, noise_std=0.0)
+        short = JourneyPattern("s", ((0, 0), (0, 1)), 1)
+        long = JourneyPattern("l", ((0, 0), (0, 1), (0, 2), (0, 3), (0, 4)), 1)
+        n_short = len(emit_journey(grid, short, "b", random.Random(0), config))
+        n_long = len(emit_journey(grid, long, "b", random.Random(0), config))
+        assert n_long > n_short
+
+    def test_noise_perturbs_positions(self, grid):
+        pattern = JourneyPattern("p1", ((0, 0), (0, 1), (0, 2)), 1)
+        clean = emit_journey(
+            grid, pattern, "b", random.Random(1),
+            EmissionConfig(noise_std=0.0),
+        )
+        noisy = emit_journey(
+            grid, pattern, "b", random.Random(1),
+            EmissionConfig(noise_std=50.0),
+        )
+        assert any(
+            (a.x, a.y) != (b.x, b.y) for a, b in zip(clean, noisy)
+        )
+
+    def test_records_tagged_with_pattern_and_bus(self, grid):
+        pattern = JourneyPattern("route-9", ((0, 0), (0, 1)), 1)
+        records = emit_journey(
+            grid, pattern, "bus-7", random.Random(0), EmissionConfig()
+        )
+        assert all(r.journey_id == "route-9" for r in records)
+        assert all(r.bus_id == "bus-7" for r in records)
+
+
+class TestEmitTrace:
+    def test_one_bus_stream_per_daily_run(self, grid):
+        patterns = [
+            JourneyPattern("p1", ((0, 0), (0, 1)), 3),
+            JourneyPattern("p2", ((1, 0), (1, 1)), 2),
+        ]
+        records = emit_trace(grid, patterns, random.Random(0), EmissionConfig())
+        buses = {r.bus_id for r in records}
+        assert len(buses) == 5
+        by_pattern = {r.journey_id for r in records}
+        assert by_pattern == {"p1", "p2"}

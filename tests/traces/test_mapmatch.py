@@ -1,0 +1,196 @@
+"""Tests for the map-matching pipeline."""
+
+import random
+
+import pytest
+
+from repro.errors import MapMatchError
+from repro.graphs import Point, RoadNetwork, manhattan_grid
+from repro.traces import (
+    EmissionConfig,
+    GpsRecord,
+    GridIndex,
+    Journey,
+    JourneyPattern,
+    collapse_duplicates,
+    emit_journey,
+    erase_loops,
+    match_journey,
+    match_journeys,
+    repair_gaps,
+    snap_samples,
+)
+
+
+@pytest.fixture
+def grid():
+    return manhattan_grid(6, 6, 100.0)
+
+
+def journey_from_points(points, bus="b1", route="r1"):
+    j = Journey(bus_id=bus, journey_id=route)
+    for i, (x, y) in enumerate(points):
+        j.append(GpsRecord(bus_id=bus, journey_id=route, timestamp=float(i), x=x, y=y))
+    return j
+
+
+class TestGridIndex:
+    def test_nearest_exact(self, grid):
+        index = GridIndex(grid)
+        node, distance = index.nearest(Point(200.0, 300.0))
+        assert node == (3, 2)
+        assert distance == 0.0
+
+    def test_nearest_offset(self, grid):
+        index = GridIndex(grid)
+        node, distance = index.nearest(Point(210.0, 310.0))
+        assert node == (3, 2)
+        assert distance == pytest.approx((10.0**2 + 10.0**2) ** 0.5, abs=1e-6)
+
+    def test_matches_linear_scan(self, grid):
+        index = GridIndex(grid)
+        rng = random.Random(0)
+        for _ in range(50):
+            point = Point(rng.uniform(-100, 600), rng.uniform(-100, 600))
+            node, distance = index.nearest(point)
+            brute = grid.nearest_intersection(point)
+            assert distance == pytest.approx(
+                grid.position(brute).distance_to(point)
+            )
+
+    def test_far_outside_point(self, grid):
+        index = GridIndex(grid)
+        node, distance = index.nearest(Point(10_000.0, 10_000.0))
+        assert node == (5, 5)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(MapMatchError):
+            GridIndex(RoadNetwork())
+
+
+class TestSnapAndCollapse:
+    def test_snap_drops_outliers(self, grid):
+        journey = journey_from_points([(0, 0), (5000, 5000), (100, 0)])
+        index = GridIndex(grid)
+        snapped, dropped = snap_samples(journey, index, max_snap_distance=200.0)
+        assert snapped == [(0, 0), (0, 1)]
+        assert dropped == 1
+
+    def test_collapse(self):
+        assert collapse_duplicates([1, 1, 2, 2, 2, 3, 1]) == [1, 2, 3, 1]
+        assert collapse_duplicates([]) == []
+
+
+class TestRepairGaps:
+    def test_adjacent_nodes_unchanged(self, grid):
+        path, gaps = repair_gaps(grid, [(0, 0), (0, 1), (0, 2)])
+        assert path == [(0, 0), (0, 1), (0, 2)]
+        assert gaps == 0
+
+    def test_gap_filled_with_shortest_path(self, grid):
+        path, gaps = repair_gaps(grid, [(0, 0), (0, 3)])
+        assert path[0] == (0, 0) and path[-1] == (0, 3)
+        assert grid.is_path(path)
+        assert gaps == 1
+
+    def test_unreachable_gap_raises(self):
+        net = RoadNetwork()
+        net.add_intersection("a", Point(0, 0))
+        net.add_intersection("b", Point(100, 0))
+        net.add_road("a", "b")
+        with pytest.raises(MapMatchError):
+            repair_gaps(net, ["b", "a"])
+
+    def test_empty_input(self, grid):
+        assert repair_gaps(grid, []) == ([], 0)
+
+
+class TestEraseLoops:
+    def test_no_loops_untouched(self):
+        path, erased = erase_loops([1, 2, 3, 4])
+        assert path == [1, 2, 3, 4]
+        assert erased == 0
+
+    def test_simple_loop_cut(self):
+        path, erased = erase_loops([1, 2, 3, 2, 4])
+        assert path == [1, 2, 4]
+        assert erased == 1
+
+    def test_nested_loops(self):
+        path, erased = erase_loops([1, 2, 3, 4, 3, 2, 5])
+        assert path == [1, 2, 5]
+        assert erased == 2
+
+    def test_loop_to_start(self):
+        path, erased = erase_loops([1, 2, 3, 1, 4])
+        assert path == [1, 4]
+        assert erased == 1
+
+
+class TestMatchJourney:
+    def test_recovers_noiseless_journey(self, grid):
+        pattern = JourneyPattern(
+            "r1", ((0, 0), (0, 1), (0, 2), (1, 2), (2, 2)), 1
+        )
+        config = EmissionConfig(speed=50.0, sample_period=1.0, noise_std=0.0)
+        records = emit_journey(grid, pattern, "b1", random.Random(0), config)
+        journey = Journey(bus_id="b1", journey_id="r1", records=records)
+        result = match_journey(grid, journey)
+        assert result.path == pattern.path
+        assert result.dropped_samples == 0
+
+    def test_recovers_noisy_journey_endpoints(self, grid):
+        pattern = JourneyPattern(
+            "r1", ((0, 0), (0, 1), (0, 2), (1, 2), (2, 2)), 1
+        )
+        config = EmissionConfig(speed=50.0, sample_period=1.0, noise_std=15.0)
+        records = emit_journey(grid, pattern, "b1", random.Random(3), config)
+        journey = Journey(bus_id="b1", journey_id="r1", records=records)
+        result = match_journey(grid, journey, max_snap_distance=100.0)
+        assert result.path[0] == pattern.path[0]
+        assert result.path[-1] == pattern.path[-1]
+        assert grid.is_path(result.path)
+
+    def test_sparse_sampling_repaired(self, grid):
+        """Samples every 3 blocks still yield a connected path."""
+        journey = journey_from_points([(0, 0), (300, 0), (500, 200)])
+        result = match_journey(grid, journey)
+        assert result.repaired_gaps >= 1
+        assert grid.is_path(result.path)
+
+    def test_all_samples_offmap_raises(self, grid):
+        journey = journey_from_points([(9000, 9000), (9100, 9100)])
+        with pytest.raises(MapMatchError):
+            match_journey(grid, journey, max_snap_distance=100.0)
+
+    def test_single_intersection_journey_raises(self, grid):
+        journey = journey_from_points([(0, 0), (1, 1), (2, 0)])
+        with pytest.raises(MapMatchError):
+            match_journey(grid, journey)
+
+    def test_path_is_simple(self, grid):
+        """Even a weaving GPS stream yields a simple (loop-free) path."""
+        journey = journey_from_points(
+            [(0, 0), (100, 0), (0, 0), (100, 0), (200, 0)]
+        )
+        result = match_journey(grid, journey)
+        assert len(set(result.path)) == len(result.path)
+
+
+class TestMatchJourneys:
+    def test_skips_and_counts_failures(self, grid):
+        good = journey_from_points([(0, 0), (100, 0), (200, 0)], route="good")
+        bad = journey_from_points([(9000, 9000)], route="bad")
+        report = match_journeys(
+            grid, [good, bad], max_snap_distance=100.0, skip_failures=True
+        )
+        assert report.matched_count == 1
+        assert report.failure_count == 1
+        assert report.failures[0][0].journey_id == "bad"
+
+    def test_propagates_when_asked(self, grid):
+        bad = journey_from_points([(9000, 9000)], route="bad")
+        with pytest.raises(MapMatchError):
+            match_journeys(
+                grid, [bad], max_snap_distance=100.0, skip_failures=False
+            )

@@ -1,0 +1,166 @@
+"""Tests for GPS records, journeys, coordinate frames, and CSV IO."""
+
+import math
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import (
+    DUBLIN_FRAME,
+    DUBLIN_SCHEMA,
+    SEATTLE_SCHEMA,
+    CoordinateFrame,
+    GpsRecord,
+    Journey,
+    group_into_journeys,
+    read_trace_csv,
+    write_trace_csv,
+)
+
+
+def record(bus="b1", journey="r1", t=0.0, x=0.0, y=0.0):
+    return GpsRecord(bus_id=bus, journey_id=journey, timestamp=t, x=x, y=y)
+
+
+class TestCoordinateFrame:
+    def test_round_trip(self):
+        frame = CoordinateFrame(anchor_lon=-6.3, anchor_lat=53.33)
+        lon, lat = frame.to_lonlat(12_345.0, -6_789.0)
+        x, y = frame.to_xy(lon, lat)
+        assert x == pytest.approx(12_345.0, abs=1e-6)
+        assert y == pytest.approx(-6_789.0, abs=1e-6)
+
+    def test_anchor_maps_to_origin(self):
+        frame = CoordinateFrame(anchor_lon=-6.3, anchor_lat=53.33)
+        assert frame.to_xy(-6.3, 53.33) == (0.0, 0.0)
+
+    def test_longitude_feet_shrink_with_latitude(self):
+        equator = CoordinateFrame(0.0, 0.0)
+        dublin = CoordinateFrame(0.0, 53.33)
+        assert dublin.feet_per_degree_longitude < equator.feet_per_degree_longitude
+
+
+class TestGpsRecord:
+    def test_valid(self):
+        r = record(t=12.5, x=3.0, y=4.0)
+        assert r.position.x == 3.0
+
+    @pytest.mark.parametrize("bus,journey", [("", "r"), ("b", "")])
+    def test_empty_ids_rejected(self, bus, journey):
+        with pytest.raises(TraceFormatError):
+            record(bus=bus, journey=journey)
+
+    def test_nan_coordinates_rejected(self):
+        with pytest.raises(TraceFormatError):
+            record(x=math.nan)
+
+    @pytest.mark.parametrize("t", [-1.0, math.nan])
+    def test_bad_timestamp_rejected(self, t):
+        with pytest.raises(TraceFormatError):
+            record(t=t)
+
+
+class TestJourney:
+    def test_append_and_sort(self):
+        j = Journey(bus_id="b1", journey_id="r1")
+        j.append(record(t=5.0, x=1.0))
+        j.append(record(t=1.0, x=0.0))
+        j.sort()
+        assert [r.timestamp for r in j.records] == [1.0, 5.0]
+        assert j.sample_count == 2
+        assert len(j.positions()) == 2
+
+    def test_mismatched_record_rejected(self):
+        j = Journey(bus_id="b1", journey_id="r1")
+        with pytest.raises(TraceFormatError):
+            j.append(record(bus="b2"))
+
+
+class TestGrouping:
+    def test_groups_by_bus_and_journey(self):
+        records = [
+            record(bus="b1", journey="r1", t=0),
+            record(bus="b2", journey="r1", t=0),
+            record(bus="b1", journey="r1", t=10),
+            record(bus="b1", journey="r2", t=0),
+        ]
+        journeys = group_into_journeys(records)
+        assert len(journeys) == 3
+        keys = [(j.bus_id, j.journey_id) for j in journeys]
+        assert keys == [("b1", "r1"), ("b2", "r1"), ("b1", "r2")]
+        assert journeys[0].sample_count == 2
+
+    def test_records_time_sorted_within_journey(self):
+        records = [
+            record(t=30.0, x=3.0),
+            record(t=10.0, x=1.0),
+            record(t=20.0, x=2.0),
+        ]
+        (journey,) = group_into_journeys(records)
+        assert [r.x for r in journey.records] == [1.0, 2.0, 3.0]
+
+    def test_empty_input(self):
+        assert group_into_journeys([]) == []
+
+
+class TestCsvRoundTrip:
+    @pytest.mark.parametrize("schema", [DUBLIN_SCHEMA, SEATTLE_SCHEMA])
+    def test_round_trip(self, tmp_path, schema):
+        records = [
+            record(bus="b1", journey="r1", t=0.0, x=100.0, y=200.0),
+            record(bus="b1", journey="r1", t=30.0, x=150.0, y=250.0),
+            record(bus="b2", journey="r2", t=0.0, x=-50.0, y=999.5),
+        ]
+        path = tmp_path / "trace.csv"
+        assert write_trace_csv(records, path, schema) == 3
+        loaded = read_trace_csv(path, schema)
+        assert len(loaded) == 3
+        for original, parsed in zip(records, loaded):
+            assert parsed.bus_id == original.bus_id
+            assert parsed.journey_id == original.journey_id
+            assert parsed.timestamp == pytest.approx(original.timestamp)
+            assert parsed.x == pytest.approx(original.x, abs=1e-3)
+            assert parsed.y == pytest.approx(original.y, abs=1e-3)
+
+    def test_dublin_stores_geographic_coordinates(self, tmp_path):
+        path = tmp_path / "dublin.csv"
+        write_trace_csv([record(x=0.0, y=0.0)], path, DUBLIN_SCHEMA)
+        text = path.read_text()
+        assert "longitude" in text
+        # The anchor longitude appears in the data row.
+        assert f"{DUBLIN_FRAME.anchor_lon:.6f}"[:5] in text
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("bus_id,x,y\nb1,0,0\n")
+        with pytest.raises(TraceFormatError) as info:
+            read_trace_csv(path, SEATTLE_SCHEMA)
+        assert "missing columns" in str(info.value)
+
+    def test_non_numeric_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "bus_id,x,y,route_id,timestamp\nb1,zero,0,r1,0\n"
+        )
+        with pytest.raises(TraceFormatError) as info:
+            read_trace_csv(path, SEATTLE_SCHEMA)
+        assert "line 2" in str(info.value)
+
+    def test_empty_id_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("bus_id,x,y,route_id,timestamp\n,0,0,r1,0\n")
+        with pytest.raises(TraceFormatError):
+            read_trace_csv(path, SEATTLE_SCHEMA)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            read_trace_csv(path, SEATTLE_SCHEMA)
+
+    def test_negative_timestamp_rejected_with_context(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("bus_id,x,y,route_id,timestamp\nb1,0,0,r1,-5\n")
+        with pytest.raises(TraceFormatError) as info:
+            read_trace_csv(path, SEATTLE_SCHEMA)
+        assert "line 2" in str(info.value)

@@ -1,0 +1,108 @@
+"""Tests for trace statistics and match fidelity."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import (
+    GpsRecord,
+    JourneyPattern,
+    MatchReport,
+    MatchResult,
+    Journey,
+    match_fidelity,
+    trace_statistics,
+)
+
+
+def record(bus, journey, t, x=0.0, y=0.0):
+    return GpsRecord(bus_id=bus, journey_id=journey, timestamp=t, x=x, y=y)
+
+
+class TestTraceStatistics:
+    def test_basic(self):
+        records = [
+            record("b1", "r1", 0.0, 0.0, 0.0),
+            record("b1", "r1", 30.0, 100.0, 0.0),
+            record("b1", "r1", 60.0, 200.0, 50.0),
+            record("b2", "r2", 10.0, -10.0, 5.0),
+            record("b2", "r2", 40.0, 0.0, 5.0),
+        ]
+        stats = trace_statistics(records)
+        assert stats.record_count == 5
+        assert stats.bus_count == 2
+        assert stats.journey_count == 2
+        assert stats.duration_seconds == 60.0
+        assert stats.median_sample_period == 30.0
+        assert stats.extent.min_x == -10.0
+        assert stats.extent.max_x == 200.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            trace_statistics([])
+
+    def test_generated_trace(self):
+        from repro.traces import SeattleTraceConfig, generate_seattle_trace
+
+        trace = generate_seattle_trace(
+            SeattleTraceConfig(seed=1, rows=9, cols=9, pattern_count=5)
+        )
+        stats = trace_statistics(trace.records)
+        assert stats.journey_count == sum(p.daily_buses for p in trace.patterns)
+        assert stats.median_sample_period == pytest.approx(10.0, abs=1.0)
+
+
+class TestMatchFidelity:
+    def make_report(self, matched_paths):
+        results = []
+        for journey_id, path in matched_paths:
+            journey = Journey(bus_id="b", journey_id=journey_id)
+            results.append(
+                MatchResult(
+                    journey=journey,
+                    path=tuple(path),
+                    snapped_samples=len(path),
+                    dropped_samples=0,
+                    repaired_gaps=0,
+                    erased_loops=0,
+                )
+            )
+        return MatchReport(results=results)
+
+    def test_perfect_match(self):
+        patterns = [JourneyPattern("p1", ("a", "b", "c"), 1)]
+        report = self.make_report([("p1", ("a", "b", "c"))])
+        fidelity = match_fidelity(report, patterns)
+        assert fidelity.exact_path_fraction == 1.0
+        assert fidelity.endpoint_fraction == 1.0
+        assert fidelity.mean_node_jaccard == 1.0
+
+    def test_partial_match(self):
+        patterns = [JourneyPattern("p1", ("a", "b", "c", "d"), 1)]
+        report = self.make_report([("p1", ("a", "x", "c", "d"))])
+        fidelity = match_fidelity(report, patterns)
+        assert fidelity.exact_path_fraction == 0.0
+        assert fidelity.endpoint_fraction == 1.0
+        # intersection {a, c, d} = 3, union {a, b, c, d, x} = 5.
+        assert fidelity.mean_node_jaccard == pytest.approx(0.6)
+
+    def test_unknown_journey_rejected(self):
+        patterns = [JourneyPattern("p1", ("a", "b"), 1)]
+        report = self.make_report([("mystery", ("a", "b"))])
+        with pytest.raises(TraceError):
+            match_fidelity(report, patterns)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(TraceError):
+            match_fidelity(MatchReport(), [])
+
+    def test_synthetic_trace_fidelity_is_high(self):
+        """End to end: the Dublin generator + pipeline recover endpoints
+        perfectly and most paths exactly."""
+        from repro.traces import DublinTraceConfig, generate_dublin_trace
+
+        trace = generate_dublin_trace(
+            DublinTraceConfig(seed=5, rows=9, cols=9, pattern_count=10)
+        )
+        fidelity = match_fidelity(trace.match(), trace.patterns)
+        assert fidelity.endpoint_fraction == 1.0
+        assert fidelity.mean_node_jaccard > 0.8

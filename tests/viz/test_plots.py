@@ -1,0 +1,93 @@
+"""Tests for SVG line plots (paper-style figure rendering)."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import PanelResult, PanelSpec, Series
+from repro.viz import panel_plot, svg_line_plot
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str):
+    return ElementTree.fromstring(svg)
+
+
+class TestSvgLinePlot:
+    def test_valid_xml_with_all_elements(self):
+        svg = svg_line_plot(
+            {"alg": [1.0, 2.0, 3.0], "base": [0.5, 1.0, 1.5]},
+            xs=[1, 2, 3],
+            title="test plot",
+        )
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2  # one per series
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "test plot" in texts
+        assert "alg" in texts and "base" in texts
+        assert "number of RAPs (k)" in texts
+
+    def test_markers_per_point(self):
+        svg = svg_line_plot({"a": [1.0, 2.0]}, xs=[1, 2])
+        root = parse(svg)
+        # First series uses circle markers: 2 data + 1 legend.
+        assert len(root.findall(f"{SVG_NS}circle")) == 3
+
+    def test_zero_based_y_axis(self):
+        """The baseline tick must read 0 (paper-style axes)."""
+        svg = svg_line_plot({"a": [5.0, 6.0]}, xs=[1, 2])
+        root = parse(svg)
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "0" in texts
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExperimentError):
+            svg_line_plot({"a": [1.0]}, xs=[1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            svg_line_plot({}, xs=[1])
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ExperimentError):
+            svg_line_plot(series, xs=[1])
+
+    def test_flat_zero_series_renders(self):
+        svg = svg_line_plot({"a": [0.0, 0.0]}, xs=[1, 2])
+        parse(svg)
+
+    def test_single_x_renders(self):
+        svg = svg_line_plot({"a": [3.0]}, xs=[5])
+        parse(svg)
+
+
+class TestPanelPlot:
+    def test_from_panel_result(self):
+        spec = PanelSpec(
+            panel_id="pp", city="dublin", utility="linear",
+            threshold=20_000.0, ks=(1, 2, 3), repetitions=1,
+            algorithms=("composite-greedy", "random"),
+        )
+        panel = PanelResult(spec=spec)
+        panel.add(Series("composite-greedy", (1, 2, 3), (1.0, 2.0, 3.0)))
+        panel.add(Series("random", (1, 2, 3), (0.2, 0.4, 0.5)))
+        svg = panel_plot(panel)
+        root = parse(svg)
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "Algorithm 1/2" in texts  # display names in the legend
+        assert "pp" in texts  # default title = panel id
+
+    def test_custom_title(self):
+        spec = PanelSpec(
+            panel_id="pp", city="dublin", utility="linear",
+            threshold=20_000.0, ks=(1,), repetitions=1,
+            algorithms=("random",),
+        )
+        panel = PanelResult(spec=spec)
+        panel.add(Series("random", (1,), (0.5,)))
+        svg = panel_plot(panel, title="Fig. 10(b)")
+        assert "Fig. 10(b)" in svg

@@ -1,0 +1,140 @@
+"""Tests for the SVG canvas and the network/placement renderers."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.algorithms import CompositeGreedy
+from repro.core import LinearUtility, ThresholdUtility, flow_between
+from repro.graphs import BoundingBox, Point, manhattan_grid
+from repro.manhattan import ManhattanScenario
+from repro.viz import (
+    SvgCanvas,
+    render_manhattan,
+    render_network,
+    render_placement,
+    save_svg,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ElementTree.Element:
+    return ElementTree.fromstring(svg)
+
+
+class TestSvgCanvas:
+    @pytest.fixture
+    def canvas(self):
+        return SvgCanvas(BoundingBox(0, 0, 100, 100), width=200)
+
+    def test_empty_document_is_valid_xml(self, canvas):
+        root = parse(canvas.to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_line(self, canvas):
+        canvas.line(Point(0, 0), Point(100, 100))
+        root = parse(canvas.to_svg())
+        assert root.findall(f"{SVG_NS}line")
+
+    def test_y_axis_flipped(self, canvas):
+        """World north (large y) must map to small SVG y."""
+        canvas.circle(Point(50, 100))  # top of the world box
+        root = parse(canvas.to_svg())
+        circle = root.find(f"{SVG_NS}circle")
+        assert float(circle.get("cy")) < 100  # near the top of the image
+
+    def test_polyline_and_rect(self, canvas):
+        canvas.polyline([Point(0, 0), Point(50, 50), Point(100, 0)])
+        canvas.rect(BoundingBox(10, 10, 90, 90), dash="4,4")
+        root = parse(canvas.to_svg())
+        assert root.findall(f"{SVG_NS}polyline")
+        rects = root.findall(f"{SVG_NS}rect")
+        assert any(r.get("stroke-dasharray") == "4,4" for r in rects)
+
+    def test_single_point_polyline_ignored(self, canvas):
+        canvas.polyline([Point(0, 0)])
+        assert "polyline" not in canvas.to_svg()
+
+    def test_text_escaped(self, canvas):
+        canvas.text(Point(1, 1), "<shop & co>")
+        svg = canvas.to_svg()
+        assert "&lt;shop &amp; co&gt;" in svg
+        parse(svg)  # still valid XML
+
+    def test_aspect_ratio_respected(self):
+        wide = SvgCanvas(BoundingBox(0, 0, 200, 100), width=400, margin=0.0)
+        root = parse(wide.to_svg())
+        assert int(root.get("width")) == 400
+        assert int(root.get("height")) == 200
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(BoundingBox(0, 0, 1, 1), width=5)
+
+    def test_degenerate_world_box(self):
+        canvas = SvgCanvas(BoundingBox(5, 5, 5, 5), width=100)
+        canvas.circle(Point(5, 5))
+        parse(canvas.to_svg())
+
+
+class TestRenderers:
+    @pytest.fixture
+    def scenario(self):
+        grid = manhattan_grid(5, 5, 100.0)
+        flows = [
+            flow_between(grid, (0, 0), (0, 4), 100, 1.0),
+            flow_between(grid, (4, 0), (4, 4), 50, 1.0),
+        ]
+        from repro.core import Scenario
+
+        return Scenario(grid, flows, (2, 2), LinearUtility(400.0))
+
+    def test_render_network(self, scenario):
+        svg = render_network(scenario.network, scenario.flows, caption="map")
+        root = parse(svg)
+        assert root.findall(f"{SVG_NS}line")  # streets
+        assert root.findall(f"{SVG_NS}polyline")  # flows
+        assert "map" in svg
+
+    def test_render_placement(self, scenario):
+        placement = CompositeGreedy().place(scenario, 2)
+        svg = render_placement(scenario, placement)
+        root = parse(svg)
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == placement.k
+        assert "customers/day" in svg
+
+    def test_render_placement_without_labels(self, scenario):
+        placement = CompositeGreedy().place(scenario, 2)
+        svg = render_placement(scenario, placement, label_raps=False)
+        root = parse(svg)
+        texts = [t for t in root.findall(f"{SVG_NS}text")]
+        assert len(texts) == 1  # caption only
+
+    def test_render_manhattan(self, scenario):
+        manhattan = ManhattanScenario(
+            scenario.network, scenario.flows, (2, 2), ThresholdUtility(400.0)
+        )
+        svg = render_manhattan(manhattan, raps=[(2, 2)], caption="region")
+        root = parse(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert any(r.get("stroke-dasharray") for r in rects)  # the region
+
+    def test_save_svg(self, scenario, tmp_path):
+        svg = render_network(scenario.network)
+        path = tmp_path / "map.svg"
+        save_svg(svg, path)
+        assert path.read_text().startswith("<svg")
+
+    def test_one_way_streets_dashed(self):
+        from repro.graphs import Point as P, RoadNetwork
+
+        net = RoadNetwork()
+        net.add_intersection("a", P(0, 0))
+        net.add_intersection("b", P(100, 0))
+        net.add_road("a", "b")  # one-way
+        svg = render_network(net)
+        root = parse(svg)
+        lines = root.findall(f"{SVG_NS}line")
+        assert any(l.get("stroke-dasharray") for l in lines)
