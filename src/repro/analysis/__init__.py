@@ -23,8 +23,11 @@ from .diagnostics import (
 )
 from .robustness import (
     FailureImpact,
+    FailureSimulation,
     VolumeRobustness,
+    expected_value_under_failures,
     failure_impacts,
+    simulate_failures,
     volume_robustness,
     worst_case_failure,
 )
@@ -34,13 +37,16 @@ __all__ = [
     "ComparisonRow",
     "DetourStats",
     "FailureImpact",
+    "FailureSimulation",
     "PlacementDiagnostics",
     "VolumeRobustness",
     "bootstrap_mean_ci",
     "compare_algorithms",
     "detour_histogram",
     "diagnose",
+    "expected_value_under_failures",
     "failure_impacts",
+    "simulate_failures",
     "line_chart",
     "paired_win_rate",
     "panel_chart",

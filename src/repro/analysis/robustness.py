@@ -13,6 +13,12 @@ committing:
   attribution from the diagnostics: when a RAP dies, surviving RAPs
   absorb some of its flows (they were second-best), so the true loss is
   usually smaller than the attribution.
+* :func:`expected_value_under_failures` / :func:`simulate_failures` —
+  the *planning* view: given independent per-RAP failure probabilities
+  (a :class:`~repro.extensions.FailureModel`), what does a placement
+  attract in expectation?  The closed form comes from
+  :mod:`repro.extensions.failure_aware`; the Monte-Carlo simulator here
+  validates it by sampling failure patterns.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import Placement, Scenario, TrafficFlow, evaluate_placement
 from ..errors import ExperimentError
+from ..extensions.failure_aware import FailureModel, expected_attracted
 from ..graphs import NodeId
 
 
@@ -156,3 +163,62 @@ def worst_case_failure(
     if not impacts:
         return None
     return max(impacts, key=lambda impact: impact.loss)
+
+
+def expected_value_under_failures(
+    scenario: Scenario, placement: Placement, model: FailureModel
+) -> float:
+    """Exact expected attracted customers of ``placement`` under ``model``.
+
+    Closed form (no enumeration of failure patterns); equals
+    ``placement.attracted`` when the model is failure-free.
+    """
+    return expected_attracted(scenario, placement.raps, model)
+
+
+@dataclass(frozen=True)
+class FailureSimulation:
+    """Outcome of :func:`simulate_failures`."""
+
+    exact_expected: float
+    simulated_mean: float
+    worst_sample: float
+    best_sample: float
+    trials: int
+
+    @property
+    def absolute_gap(self) -> float:
+        """``|simulated - exact|`` — should shrink as trials grow."""
+        return abs(self.simulated_mean - self.exact_expected)
+
+
+def simulate_failures(
+    scenario: Scenario,
+    placement: Placement,
+    model: FailureModel,
+    trials: int = 200,
+    seed: int = 0,
+) -> FailureSimulation:
+    """Monte-Carlo validation of the expected-value closed form.
+
+    Samples independent failure patterns, re-evaluates the surviving
+    sites each time, and reports the sample mean next to the exact
+    expectation so tests (and skeptical operators) can compare them.
+    """
+    if trials < 1:
+        raise ExperimentError(f"need at least one trial, got {trials}")
+    rng = random.Random(seed)
+    values: List[float] = []
+    for _ in range(trials):
+        survivors = [
+            rap for rap in placement.raps
+            if rng.random() >= model.probability(rap)
+        ]
+        values.append(evaluate_placement(scenario, survivors).attracted)
+    return FailureSimulation(
+        exact_expected=expected_attracted(scenario, placement.raps, model),
+        simulated_mean=sum(values) / len(values),
+        worst_sample=min(values),
+        best_sample=max(values),
+        trials=trials,
+    )

@@ -22,6 +22,19 @@ Subcommands
 ``sweep``
     Sensitivity sweep over the threshold ``D``, the RAP budget, or the
     attractiveness ``alpha``.
+``ingest``
+    Run a trace CSV through the full ingest pipeline (strict or lenient)
+    and print the pipeline-health report.
+``inject-faults``
+    Corrupt a trace CSV with seeded, reproducible faults.
+
+Exit codes
+----------
+Error families map to distinct nonzero exit codes so scripts can react
+without parsing stderr: ``1`` generic :class:`~repro.errors.ReproError`,
+``2`` usage errors (argparse), ``3`` trace/format errors (including
+blown error budgets), ``4`` graph errors, ``5`` experiment errors,
+``6`` reliability errors (e.g. corrupt checkpoints).
 """
 
 from __future__ import annotations
@@ -31,9 +44,16 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from . import extensions as _extensions  # noqa: F401 — registers algorithms
 from .algorithms import algorithm_by_name, registered_algorithms
 from .core import Scenario, utility_by_name
-from .errors import ReproError
+from .errors import (
+    ExperimentError,
+    GraphError,
+    ReliabilityError,
+    ReproError,
+    TraceError,
+)
 from .experiments import (
     TraceProvider,
     available_figures,
@@ -50,6 +70,30 @@ from .traces import (
     SEATTLE_SCHEMA,
     write_trace_csv,
 )
+
+EXIT_GENERIC = 1
+EXIT_TRACE = 3
+EXIT_GRAPH = 4
+EXIT_EXPERIMENT = 5
+EXIT_RELIABILITY = 6
+
+#: Most-specific-first mapping from error family to exit code.  Note
+#: ``ErrorBudgetExceeded`` is both a TraceError and a ReliabilityError;
+#: it lands in the trace family, where its handlers already live.
+_ERROR_EXIT_CODES = (
+    (TraceError, EXIT_TRACE),
+    (GraphError, EXIT_GRAPH),
+    (ExperimentError, EXIT_EXPERIMENT),
+    (ReliabilityError, EXIT_RELIABILITY),
+)
+
+
+def exit_code_for(error: ReproError) -> int:
+    """The CLI exit code for one error (family-specific, else 1)."""
+    for family, code in _ERROR_EXIT_CODES:
+        if isinstance(error, family):
+            return code
+    return EXIT_GENERIC
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -102,6 +146,56 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write one paper-style SVG plot per panel to this dir",
     )
     figure.add_argument("--seed", type=int, default=42)
+    figure.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint each repetition here and resume from prior runs",
+    )
+    figure.add_argument(
+        "--timeout-per-rep", type=float, default=None,
+        help="salvage a panel once one repetition exceeds this many "
+        "seconds (requires --checkpoint-dir)",
+    )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="run a trace CSV through the pipeline and report its health",
+    )
+    ingest.add_argument("--csv", required=True, help="trace CSV path")
+    ingest.add_argument("--city", choices=("dublin", "seattle"), required=True)
+    ingest.add_argument(
+        "--mode", choices=("strict", "lenient"), default="strict",
+        help="strict fails on the first bad row; lenient quarantines "
+        "under an error budget (default: strict)",
+    )
+    ingest.add_argument(
+        "--max-row-errors", type=float, default=0.25,
+        help="lenient mode: abort past this fraction of quarantined rows",
+    )
+    ingest.add_argument(
+        "--max-journey-failures", type=float, default=0.5,
+        help="lenient mode: abort past this fraction of unmatched journeys",
+    )
+    ingest.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+        help="network size to match against (default: paper)",
+    )
+    ingest.add_argument("--seed", type=int, default=2015)
+
+    inject = commands.add_parser(
+        "inject-faults",
+        help="corrupt a trace CSV with seeded, reproducible faults",
+    )
+    inject.add_argument("--in", dest="in_path", required=True,
+                        help="clean trace CSV")
+    inject.add_argument("--out", required=True, help="corrupted CSV path")
+    inject.add_argument("--city", choices=("dublin", "seattle"),
+                        required=True)
+    inject.add_argument(
+        "--preset", choices=("light", "moderate", "heavy"),
+        default="moderate",
+        help="fault severity preset (default: moderate)",
+    )
+    inject.add_argument("--seed", type=int, default=0)
 
     place = commands.add_parser(
         "place", help="solve one placement instance on a generated trace"
@@ -220,7 +314,27 @@ def _cmd_run_figure(args: argparse.Namespace) -> int:
         args.figure, repetitions=args.repetitions, seed=args.seed
     )
     provider = TraceProvider(scale=args.scale)
-    result = run_figure(spec, provider)
+    if args.checkpoint_dir:
+        from .reliability import (
+            CheckpointStore,
+            RunLedger,
+            run_figure_checkpointed,
+        )
+
+        store = CheckpointStore(args.checkpoint_dir)
+        ledger = RunLedger()
+        result = run_figure_checkpointed(
+            spec, store, provider=provider,
+            timeout=args.timeout_per_rep, ledger=ledger,
+        )
+        print(f"checkpoints: {ledger.describe()}\n")
+    else:
+        if args.timeout_per_rep is not None:
+            raise ExperimentError(
+                "--timeout-per-rep requires --checkpoint-dir (a salvaged "
+                "panel only makes sense when its repetitions are persisted)"
+            )
+        result = run_figure(spec, provider)
     print(render_figure(result))
     if args.chart:
         from .analysis import panel_chart
@@ -242,6 +356,45 @@ def _cmd_run_figure(args: argparse.Namespace) -> int:
     if args.json:
         save_figure_json(result, args.json)
         print(f"\narchived results to {args.json}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .reliability import ErrorBudget, ingest_trace_csv
+
+    provider = TraceProvider(scale=args.scale, seed=args.seed)
+    bundle = provider.get(args.city)
+    schema = DUBLIN_SCHEMA if args.city == "dublin" else SEATTLE_SCHEMA
+    budget = ErrorBudget(
+        max_row_error_rate=args.max_row_errors,
+        max_journey_failure_rate=args.max_journey_failures,
+    )
+    result = ingest_trace_csv(
+        args.csv,
+        schema,
+        bundle.network,
+        mode=args.mode,
+        budget=budget,
+    )
+    print(result.health.render())
+    summary = (
+        f"ingested {len(result.records)} records -> "
+        f"{result.report.matched_count} matched journeys -> "
+        f"{len(result.flows)} flows ({args.mode} mode)"
+    )
+    print(summary)
+    return 0
+
+
+def _cmd_inject_faults(args: argparse.Namespace) -> int:
+    from .reliability import PRESETS, FaultInjector, corrupt_trace_csv
+
+    schema = DUBLIN_SCHEMA if args.city == "dublin" else SEATTLE_SCHEMA
+    injector = FaultInjector(PRESETS[args.preset], seed=args.seed)
+    report = corrupt_trace_csv(args.in_path, args.out, schema, injector)
+    print(f"injected {report.total} faults ({args.preset} preset, "
+          f"seed {args.seed}) into {args.out}")
+    print(report.render())
     return 0
 
 
@@ -425,6 +578,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_generate_trace(args)
         if args.command == "run-figure":
             return _cmd_run_figure(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
+        if args.command == "inject-faults":
+            return _cmd_inject_faults(args)
         if args.command == "place":
             return _cmd_place(args)
         if args.command == "render":
@@ -438,7 +595,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return exit_code_for(error)
     return 0
 
 

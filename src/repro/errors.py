@@ -87,11 +87,64 @@ class TraceError(ReproError):
 
 
 class TraceFormatError(TraceError, ValueError):
-    """A trace file or record is malformed."""
+    """A trace file or record is malformed.
+
+    ``fault_class`` tags the failure mode (``"non-numeric"``,
+    ``"empty-id"``, ``"short-row"``, ``"missing-column"``,
+    ``"invalid-record"``) so lenient ingestion can quarantine and count
+    per class; plain ``TraceFormatError(msg)`` construction keeps working.
+
+    >>> TraceFormatError("bad row").fault_class
+    'invalid-record'
+    """
+
+    def __init__(
+        self, message: object = "", fault_class: str = "invalid-record"
+    ) -> None:
+        super().__init__(message)
+        self.fault_class = fault_class
 
 
 class MapMatchError(TraceError):
     """A GPS journey could not be matched onto the road network."""
+
+
+class ReliabilityError(ReproError):
+    """Base class for reliability-layer errors (fault injection,
+    lenient ingestion, checkpointed runs).
+
+    >>> issubclass(ReliabilityError, ReproError)
+    True
+    """
+
+
+class ErrorBudgetExceeded(ReliabilityError, TraceError):
+    """Lenient ingestion gave up: bad records outnumbered the budget.
+
+    Raised by the lenient trace pipeline once the fraction (or count) of
+    quarantined records/journeys passes the configured
+    :class:`~repro.reliability.ErrorBudget`.  It derives from both
+    :class:`ReliabilityError` and :class:`TraceError`, so existing
+    trace-level handlers keep working:
+
+    >>> issubclass(ErrorBudgetExceeded, TraceError)
+    True
+    >>> issubclass(ErrorBudgetExceeded, ReproError)
+    True
+    >>> try:
+    ...     raise ErrorBudgetExceeded("3 of 10 rows malformed (budget 0.1)")
+    ... except TraceError as error:
+    ...     print(error)
+    3 of 10 rows malformed (budget 0.1)
+    """
+
+
+class CheckpointError(ReliabilityError):
+    """A checkpoint store is unreadable, corrupt, or inconsistent.
+
+    >>> issubclass(CheckpointError, ReliabilityError)
+    True
+    """
 
 
 class ExperimentError(ReproError):

@@ -51,6 +51,9 @@ from .runner import (
     PREFIX_CONSISTENT,
     TraceBundle,
     TraceProvider,
+    aggregate_panel,
+    panel_repetition,
+    panel_shops,
     run_figure,
     run_panel,
 )
@@ -94,6 +97,7 @@ __all__ = [
     "SweepResult",
     "TraceBundle",
     "TraceProvider",
+    "aggregate_panel",
     "available_figures",
     "build_figure",
     "check_all",
@@ -112,6 +116,8 @@ __all__ = [
     "load_figure_json",
     "locations_of_class",
     "mean_and_stdev",
+    "panel_repetition",
+    "panel_shops",
     "passing_volume",
     "render_claims",
     "render_figure",

@@ -147,55 +147,76 @@ def _select_sweep(
     return sweep
 
 
-def _run_general_panel(
-    panel: PanelSpec, bundle: TraceBundle, shops: List[NodeId]
-) -> PanelResult:
+def _general_repetition(
+    panel: PanelSpec, bundle: TraceBundle, shop: NodeId, rep: int
+) -> Dict[str, Dict[int, float]]:
     utility = utility_by_name(panel.utility, panel.threshold)
-    values: Dict[str, Dict[int, List[float]]] = {
-        name: {k: [] for k in panel.ks} for name in panel.algorithms
-    }
-    for rep, shop in enumerate(shops):
-        scenario = Scenario(bundle.network, bundle.flows, shop, utility)
-        for name in panel.algorithms:
-            sweep = _select_sweep(name, scenario, panel.ks, panel.seed * 1000 + rep)
-            for k in panel.ks:
-                placement = evaluate_placement(scenario, sweep[k])
-                values[name][k].append(placement.attracted)
-    return _aggregate(panel, values)
+    scenario = Scenario(bundle.network, bundle.flows, shop, utility)
+    values: Dict[str, Dict[int, float]] = {}
+    for name in panel.algorithms:
+        sweep = _select_sweep(name, scenario, panel.ks, panel.seed * 1000 + rep)
+        values[name] = {
+            k: evaluate_placement(scenario, sweep[k]).attracted
+            for k in panel.ks
+        }
+    return values
 
 
-def _run_manhattan_panel(
-    panel: PanelSpec, bundle: TraceBundle, shops: List[NodeId]
-) -> PanelResult:
+def _manhattan_repetition(
+    panel: PanelSpec, bundle: TraceBundle, shop: NodeId, rep: int
+) -> Dict[str, Dict[int, float]]:
     utility = utility_by_name(panel.utility, panel.threshold)
-    values: Dict[str, Dict[int, List[float]]] = {
-        name: {k: [] for k in panel.ks} for name in panel.algorithms
-    }
-    for rep, shop in enumerate(shops):
-        manhattan = ManhattanScenario(
-            bundle.network, bundle.flows, shop, utility
+    manhattan = ManhattanScenario(bundle.network, bundle.flows, shop, utility)
+    evaluator = ManhattanEvaluator(manhattan)
+    general = Scenario(bundle.network, bundle.flows, shop, utility)
+    site_cap = len(manhattan.candidate_sites)
+    values: Dict[str, Dict[int, float]] = {}
+    for name in panel.algorithms:
+        if name in MANHATTAN_LOCAL:
+            algorithm = MANHATTAN_LOCAL[name]()
+            values[name] = {
+                k: evaluator.evaluate(
+                    algorithm.select(manhattan, min(k, site_cap))
+                ).attracted
+                for k in panel.ks
+            }
+        else:
+            sweep = _select_sweep(
+                name, general, panel.ks, panel.seed * 1000 + rep
+            )
+            values[name] = {
+                k: evaluator.evaluate(sweep[k]).attracted for k in panel.ks
+            }
+    return values
+
+
+def panel_repetition(
+    panel: PanelSpec, bundle: TraceBundle, shop: NodeId, rep: int
+) -> Dict[str, Dict[int, float]]:
+    """Run one shop draw of a panel: ``values[algorithm][k]``.
+
+    This is the checkpointable unit of work — the checkpointed runner in
+    :mod:`repro.reliability.checkpoint` persists exactly one of these
+    per repetition, and :func:`run_panel` is a loop over them.
+    """
+    if panel.semantics == MANHATTAN:
+        return _manhattan_repetition(panel, bundle, shop, rep)
+    return _general_repetition(panel, bundle, shop, rep)
+
+
+def panel_shops(panel: PanelSpec, bundle: TraceBundle) -> List[NodeId]:
+    """The panel's deterministic shop draws (one per repetition)."""
+    classes = classify_intersections(bundle.network, bundle.flows)
+    pool = locations_of_class(classes, panel.shop_location)
+    if not pool:
+        raise ExperimentError(
+            f"no intersections classified as {panel.shop_location.value}"
         )
-        evaluator = ManhattanEvaluator(manhattan)
-        general = Scenario(bundle.network, bundle.flows, shop, utility)
-        site_cap = len(manhattan.candidate_sites)
-        for name in panel.algorithms:
-            if name in MANHATTAN_LOCAL:
-                algorithm = MANHATTAN_LOCAL[name]()
-                for k in panel.ks:
-                    sites = algorithm.select(manhattan, min(k, site_cap))
-                    values[name][k].append(evaluator.evaluate(sites).attracted)
-            else:
-                sweep = _select_sweep(
-                    name, general, panel.ks, panel.seed * 1000 + rep
-                )
-                for k in panel.ks:
-                    values[name][k].append(
-                        evaluator.evaluate(sweep[k]).attracted
-                    )
-    return _aggregate(panel, values)
+    rng = random.Random(panel.seed)
+    return [rng.choice(pool) for _ in range(panel.repetitions)]
 
 
-def _aggregate(
+def aggregate_panel(
     panel: PanelSpec, values: Dict[str, Dict[int, List[float]]]
 ) -> PanelResult:
     result = PanelResult(spec=panel)
@@ -223,17 +244,16 @@ def run_panel(
     """Run one panel end to end."""
     provider = provider or TraceProvider()
     bundle = provider.get(panel.city)
-    classes = classify_intersections(bundle.network, bundle.flows)
-    pool = locations_of_class(classes, panel.shop_location)
-    if not pool:
-        raise ExperimentError(
-            f"no intersections classified as {panel.shop_location.value}"
-        )
-    rng = random.Random(panel.seed)
-    shops = [rng.choice(pool) for _ in range(panel.repetitions)]
-    if panel.semantics == MANHATTAN:
-        return _run_manhattan_panel(panel, bundle, shops)
-    return _run_general_panel(panel, bundle, shops)
+    shops = panel_shops(panel, bundle)
+    values: Dict[str, Dict[int, List[float]]] = {
+        name: {k: [] for k in panel.ks} for name in panel.algorithms
+    }
+    for rep, shop in enumerate(shops):
+        rep_values = panel_repetition(panel, bundle, shop, rep)
+        for name in panel.algorithms:
+            for k in panel.ks:
+                values[name][k].append(rep_values[name][k])
+    return aggregate_panel(panel, values)
 
 
 def run_figure(

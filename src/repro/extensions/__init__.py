@@ -25,6 +25,12 @@ from .duty_cycle import (
     HourlyProfile,
     evaluate_schedule,
 )
+from .failure_aware import (
+    FailureAwareGreedy,
+    FailureModel,
+    exhaustive_expected_optimum,
+    expected_attracted,
+)
 from .multi_shop import MultiShopDetourCalculator, MultiShopScenario
 from .scheduling import (
     Campaign,
@@ -42,6 +48,8 @@ __all__ = [
     "DutyCycleGreedy",
     "DutyCycleProblem",
     "DutySchedule",
+    "FailureAwareGreedy",
+    "FailureModel",
     "GreedyScheduler",
     "HourlyProfile",
     "MultiShopDetourCalculator",
@@ -53,6 +61,8 @@ __all__ = [
     "best_response",
     "evaluate_competition",
     "evaluate_schedule",
+    "exhaustive_expected_optimum",
+    "expected_attracted",
     "location_based_costs",
 ]
 

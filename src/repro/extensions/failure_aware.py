@@ -1,0 +1,228 @@
+"""Failure-aware RAP placement: optimize *expected* attracted customers.
+
+Physical RAPs fail — hardware dies, power is cut, a duty cycle turns the
+unit off (the paper's reference [20]; see also Hu et al.'s
+probabilistic-coverage formulation in PAPERS.md).  The standard
+objective assumes every placed RAP survives; here each site ``v`` fails
+independently with probability ``p_v`` and we optimize the expectation.
+
+Closed form.  Fix a flow and sort the placed RAPs on its path by the
+paper's serving preference — ascending detour, ties to the RAP reached
+first in travel order (Theorem 1).  The flow is served by its ``i``-th
+preference exactly when that RAP survives and every better-preferred RAP
+failed, so
+
+.. math::
+
+   E[\\text{customers}] = \\text{vol} \\cdot \\sum_i
+       \\Big(\\prod_{j<i} p_j\\Big) (1 - p_i) \\, f(d_i)
+
+which is computable in one pass per flow — no enumeration over the
+``2^k`` failure patterns.  With all ``p_v = 0`` the sum collapses to
+``f(d_1)``: the standard (failure-free) objective.
+
+The objective remains monotone submodular in the site set (it is a
+nonnegative mixture over failure patterns of the standard coverage
+objective, itself monotone submodular), so :class:`FailureAwareGreedy`
+keeps the ``1 - 1/e`` guarantee.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..algorithms.base import PlacementAlgorithm, register
+from ..core import Scenario
+from ..errors import InvalidScenarioError, ReliabilityError
+from ..graphs import NodeId
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Independent per-RAP failure probabilities ``p_v``.
+
+    Sites absent from ``probabilities`` use ``default``.
+    """
+
+    probabilities: Mapping[NodeId, float] = field(default_factory=dict)
+    default: float = 0.0
+
+    def __post_init__(self) -> None:
+        for node, p in self.probabilities.items():
+            if not (0.0 <= p <= 1.0):
+                raise ReliabilityError(
+                    f"failure probability for {node!r} must be in [0, 1], "
+                    f"got {p}"
+                )
+        if not (0.0 <= self.default <= 1.0):
+            raise ReliabilityError(
+                f"default failure probability must be in [0, 1], got "
+                f"{self.default}"
+            )
+
+    @classmethod
+    def uniform(cls, p: float) -> "FailureModel":
+        """Every site fails with the same probability ``p``."""
+        return cls(probabilities={}, default=p)
+
+    @classmethod
+    def reliable(cls) -> "FailureModel":
+        """No failures (the standard objective)."""
+        return cls.uniform(0.0)
+
+    def probability(self, node: NodeId) -> float:
+        """``p_v`` for one site."""
+        return self.probabilities.get(node, self.default)
+
+
+def _flow_expected(
+    preferences: Sequence[Tuple[float, int, NodeId]],
+    model: FailureModel,
+    utility,
+    attractiveness: float,
+) -> float:
+    """Expected attraction probability for one flow.
+
+    ``preferences`` is sorted by ``(detour, travel rank)`` — the serving
+    order among survivors.
+    """
+    survival_of_better_failing = 1.0
+    expected = 0.0
+    for detour, _, node in preferences:
+        p = model.probability(node)
+        expected += (
+            survival_of_better_failing
+            * (1.0 - p)
+            * utility.probability(detour, attractiveness)
+        )
+        survival_of_better_failing *= p
+        if survival_of_better_failing == 0.0:
+            break
+    return expected
+
+
+def expected_attracted(
+    scenario: Scenario,
+    raps: Sequence[NodeId],
+    model: FailureModel,
+) -> float:
+    """Expected attracted customers of ``raps`` under ``model``.
+
+    Exact (closed form, polynomial); with ``model.reliable()`` it equals
+    ``evaluate_placement(scenario, raps).attracted``.
+    """
+    rap_list = list(raps)
+    if len(set(rap_list)) != len(rap_list):
+        raise InvalidScenarioError(f"duplicate RAP sites in {rap_list!r}")
+    for rap in rap_list:
+        if rap not in scenario.network:
+            raise InvalidScenarioError(
+                f"RAP site {rap!r} is not an intersection"
+            )
+    rap_set = set(rap_list)
+    coverage = scenario.coverage
+    total = 0.0
+    for flow_index, flow in enumerate(scenario.flows):
+        preferences = [
+            (detour, rank, node)
+            for rank, (node, detour) in enumerate(
+                coverage.options_for(flow_index)
+            )
+            if node in rap_set
+        ]
+        preferences.sort()
+        total += flow.volume * _flow_expected(
+            preferences, model, scenario.utility, flow.attractiveness
+        )
+    return total
+
+
+@register("failure-aware-greedy")
+class FailureAwareGreedy(PlacementAlgorithm):
+    """Greedy on marginal *expected* gain under a :class:`FailureModel`.
+
+    With the default (reliable) model this optimizes the standard
+    objective; with failures it prefers redundancy where it pays — e.g.
+    backing up a high-volume corridor's RAP once the expected loss there
+    exceeds the marginal value of a new low-volume site.
+    """
+
+    name = "failure-aware-greedy"
+
+    def __init__(self, model: Optional[FailureModel] = None) -> None:
+        self.model = model if model is not None else FailureModel.reliable()
+
+    def select(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Pick up to ``k`` sites greedily on expected marginal gain."""
+        coverage = scenario.coverage
+        utility = scenario.utility
+        model = self.model
+        flows = scenario.flows
+        # Travel rank of each node on each flow (for Theorem 1 ties).
+        ranks: List[Dict[NodeId, int]] = [
+            {node: rank for rank, (node, _) in enumerate(
+                coverage.options_for(i))}
+            for i in range(len(flows))
+        ]
+        # Per-flow preference lists of chosen sites and cached expectation.
+        chosen_prefs: List[List[Tuple[float, int, NodeId]]] = [
+            [] for _ in flows
+        ]
+        flow_expected = [0.0] * len(flows)
+
+        selected: List[NodeId] = []
+        selected_set = set()
+        for _ in range(min(k, len(scenario.candidate_sites))):
+            best_site: Optional[NodeId] = None
+            best_gain = 0.0
+            for site in scenario.candidate_sites:
+                if site in selected_set:
+                    continue
+                gain = 0.0
+                for entry in coverage.covering(site):
+                    i = entry.flow_index
+                    trial = list(chosen_prefs[i])
+                    insort(trial, (entry.detour, ranks[i][site], site))
+                    new = _flow_expected(
+                        trial, model, utility, flows[i].attractiveness
+                    )
+                    gain += (new - flow_expected[i]) * flows[i].volume
+                if gain > best_gain:
+                    best_gain = gain
+                    best_site = site
+            if best_site is None:
+                break  # no site adds expected value
+            selected.append(best_site)
+            selected_set.add(best_site)
+            for entry in coverage.covering(best_site):
+                i = entry.flow_index
+                insort(
+                    chosen_prefs[i],
+                    (entry.detour, ranks[i][best_site], best_site),
+                )
+                flow_expected[i] = _flow_expected(
+                    chosen_prefs[i], model, utility, flows[i].attractiveness
+                )
+        return selected
+
+
+def exhaustive_expected_optimum(
+    scenario: Scenario,
+    k: int,
+    model: FailureModel,
+) -> Tuple[Tuple[NodeId, ...], float]:
+    """Brute-force optimum of the expected-value objective (tests only).
+
+    Enumerates all size-``k`` candidate subsets — exponential; keep
+    instances tiny.
+    """
+    best_sites: Tuple[NodeId, ...] = ()
+    best_value = 0.0
+    for sites in combinations(scenario.candidate_sites, k):
+        value = expected_attracted(scenario, list(sites), model)
+        if value > best_value:
+            best_sites, best_value = sites, value
+    return best_sites, best_value

@@ -1,0 +1,257 @@
+"""Seeded, composable fault injection for bus-trace record streams.
+
+Real GPS feeds are messy: receivers drop samples, log lines get written
+twice, clocks jump backwards, urban canyons smear positions, journeys cut
+off mid-route, and CSV exports truncate or mangle cells.  The
+:class:`FaultInjector` reproduces all of those failure modes *on purpose*
+so the lenient ingest pipeline's degradation behavior is testable and
+reproducible.
+
+Determinism contract: the same :class:`FaultConfig` and seed produce the
+same corrupted output for the same input, independent of how many times
+or in what order the injector's methods are called (each method derives
+its own RNG stream from the seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ReliabilityError
+from ..traces.records import GpsRecord
+
+#: Per-method RNG stream salts (ints, so seeding is hash-stable).
+_RECORD_SALT = 1
+_CELL_SALT = 2
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-fault-class injection rates (all independent Bernoulli draws).
+
+    Record-level faults (applied by :meth:`FaultInjector.corrupt_records`):
+
+    * ``drop_rate`` — discard a sample;
+    * ``duplicate_rate`` — emit a sample twice;
+    * ``reorder_rate`` — swap a sample with its predecessor, producing
+      out-of-order timestamps;
+    * ``noise_rate`` — start a GPS noise burst: up to ``noise_burst``
+      consecutive samples get Gaussian positional error ``noise_std``;
+    * ``truncate_rate`` — per *journey*: drop the trailing
+      ``truncate_fraction`` of its samples (the bus "disappears").
+
+    Cell-level faults (applied by :meth:`FaultInjector.corrupt_rows` to
+    encoded CSV rows):
+
+    * ``malform_rate`` — corrupt one cell of a row (blank it, replace it
+      with garbage text or ``NaN``, or truncate the row).
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    noise_rate: float = 0.0
+    noise_std: float = 5_000.0
+    noise_burst: int = 5
+    truncate_rate: float = 0.0
+    truncate_fraction: float = 0.5
+    malform_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_rate", "duplicate_rate", "reorder_rate", "noise_rate",
+            "truncate_rate", "malform_rate",
+        ):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ReliabilityError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.noise_std < 0:
+            raise ReliabilityError(
+                f"noise_std must be >= 0, got {self.noise_std}"
+            )
+        if self.noise_burst < 1:
+            raise ReliabilityError(
+                f"noise_burst must be >= 1, got {self.noise_burst}"
+            )
+        if not (0.0 < self.truncate_fraction <= 1.0):
+            raise ReliabilityError(
+                f"truncate_fraction must be in (0, 1], got "
+                f"{self.truncate_fraction}"
+            )
+
+    def scaled(self, factor: float) -> "FaultConfig":
+        """A config with every rate multiplied by ``factor`` (capped at 1)."""
+        return replace(
+            self,
+            drop_rate=min(1.0, self.drop_rate * factor),
+            duplicate_rate=min(1.0, self.duplicate_rate * factor),
+            reorder_rate=min(1.0, self.reorder_rate * factor),
+            noise_rate=min(1.0, self.noise_rate * factor),
+            truncate_rate=min(1.0, self.truncate_rate * factor),
+            malform_rate=min(1.0, self.malform_rate * factor),
+        )
+
+
+#: Ready-made severity presets for demos, smoke jobs, and tests.
+PRESETS: Dict[str, FaultConfig] = {
+    "light": FaultConfig(
+        drop_rate=0.01, duplicate_rate=0.005, reorder_rate=0.005,
+        noise_rate=0.002, truncate_rate=0.01, malform_rate=0.005,
+    ),
+    "moderate": FaultConfig(
+        drop_rate=0.05, duplicate_rate=0.02, reorder_rate=0.02,
+        noise_rate=0.01, truncate_rate=0.05, malform_rate=0.03,
+    ),
+    "heavy": FaultConfig(
+        drop_rate=0.10, duplicate_rate=0.05, reorder_rate=0.05,
+        noise_rate=0.03, truncate_rate=0.10, malform_rate=0.08,
+    ),
+}
+
+
+@dataclass
+class FaultReport:
+    """What the injector actually did (counts per fault class)."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, fault_class: str, by: int = 1) -> None:
+        """Count ``by`` injected faults of one class."""
+        self.counts[fault_class] = self.counts.get(fault_class, 0) + by
+
+    @property
+    def total(self) -> int:
+        """Total number of injected faults."""
+        return sum(self.counts.values())
+
+    def merge(self, other: "FaultReport") -> "FaultReport":
+        """Fold another report's counts into this one (returns self)."""
+        for fault_class, count in other.counts.items():
+            self.bump(fault_class, count)
+        return self
+
+    def render(self) -> str:
+        """One line per fault class, sorted."""
+        if not self.counts:
+            return "no faults injected"
+        return "\n".join(
+            f"{fault_class:<20}: {count}"
+            for fault_class, count in sorted(self.counts.items())
+        )
+
+
+class FaultInjector:
+    """Applies a :class:`FaultConfig` to record streams and CSV rows."""
+
+    def __init__(self, config: FaultConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+
+    def _rng(self, salt: int) -> random.Random:
+        # Integer-only seed arithmetic keeps streams stable across runs
+        # (string seeds would go through randomized hashing).
+        return random.Random(self.seed * 1_000_003 + salt)
+
+    # ------------------------------------------------------------------
+    # record-level faults
+    # ------------------------------------------------------------------
+    def corrupt_records(
+        self, records: Sequence[GpsRecord]
+    ) -> Tuple[List[GpsRecord], FaultReport]:
+        """Apply drop/duplicate/reorder/noise/truncate faults.
+
+        Journey truncation is decided per ``(bus_id, journey_id)`` key;
+        the other faults are decided per record, in stream order.
+        """
+        rng = self._rng(_RECORD_SALT)
+        config = self.config
+        report = FaultReport()
+
+        # Pass 1: which journeys get truncated, and where.  Sizes are
+        # counted first so the cut point is known before streaming.
+        sizes: Dict[Tuple[str, str], int] = {}
+        for record in records:
+            key = (record.bus_id, record.journey_id)
+            sizes[key] = sizes.get(key, 0) + 1
+        keep_limit: Dict[Tuple[str, str], int] = {}
+        for key in sizes:  # insertion order: first appearance in stream
+            if config.truncate_rate and rng.random() < config.truncate_rate:
+                kept = max(1, int(sizes[key] * (1 - config.truncate_fraction)))
+                keep_limit[key] = kept
+                report.bump("truncated-journeys")
+                report.bump("truncated-records", sizes[key] - kept)
+
+        # Pass 2: per-record faults.
+        out: List[GpsRecord] = []
+        emitted: Dict[Tuple[str, str], int] = {}
+        burst_left: Dict[Tuple[str, str], int] = {}
+        for record in records:
+            key = (record.bus_id, record.journey_id)
+            seen = emitted.get(key, 0)
+            emitted[key] = seen + 1
+            if key in keep_limit and seen >= keep_limit[key]:
+                continue  # truncated tail
+            if config.drop_rate and rng.random() < config.drop_rate:
+                report.bump("dropped")
+                continue
+            if config.noise_rate and burst_left.get(key, 0) == 0:
+                if rng.random() < config.noise_rate:
+                    burst_left[key] = config.noise_burst
+                    report.bump("noise-bursts")
+            if burst_left.get(key, 0) > 0:
+                burst_left[key] -= 1
+                record = replace(
+                    record,
+                    x=record.x + rng.gauss(0.0, config.noise_std),
+                    y=record.y + rng.gauss(0.0, config.noise_std),
+                )
+                report.bump("noised")
+            if (
+                config.reorder_rate
+                and out
+                and rng.random() < config.reorder_rate
+            ):
+                out.append(out[-1])
+                out[-2] = record
+                report.bump("reordered")
+            else:
+                out.append(record)
+            if config.duplicate_rate and rng.random() < config.duplicate_rate:
+                out.append(record)
+                report.bump("duplicated")
+        return out, report
+
+    # ------------------------------------------------------------------
+    # cell-level faults
+    # ------------------------------------------------------------------
+    def corrupt_rows(
+        self, rows: Sequence[Sequence[str]]
+    ) -> Tuple[List[List[str]], FaultReport]:
+        """Malform CSV body rows (header excluded by the caller)."""
+        rng = self._rng(_CELL_SALT)
+        report = FaultReport()
+        out: List[List[str]] = []
+        for row in rows:
+            cells = list(row)
+            if (
+                self.config.malform_rate
+                and cells
+                and rng.random() < self.config.malform_rate
+            ):
+                kind = rng.randrange(4)
+                column = rng.randrange(len(cells))
+                if kind == 0:
+                    cells[column] = ""
+                elif kind == 1:
+                    cells[column] = "not-a-number"
+                elif kind == 2:
+                    cells[column] = "NaN"
+                else:
+                    cells = cells[: max(1, column)]
+                report.bump("malformed-cells")
+            out.append(cells)
+        return out, report

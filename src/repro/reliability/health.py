@@ -1,0 +1,211 @@
+"""Pipeline health accounting for lenient trace ingestion.
+
+Strict ingestion raises on the first malformed row; lenient ingestion
+quarantines bad rows and journeys instead, but it must not degrade
+silently.  Two pieces keep it honest:
+
+* :class:`ErrorBudget` — how much quarantining is acceptable before the
+  pipeline aborts anyway (a trace that is 40% garbage should not produce
+  flows that *look* trustworthy);
+* :class:`PipelineHealth` — a structured report of everything that was
+  dropped, per fault class and per stage, so operators and tests can
+  assert on degradation rather than eyeball it.
+
+This module is deliberately a leaf (no imports from :mod:`repro.traces`)
+so the ingest code in ``traces/io.py`` / ``traces/mapmatch.py`` can use
+it without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ErrorBudgetExceeded, ReliabilityError
+
+#: Row-level fault classes recognized by the lenient CSV reader.
+ROW_FAULT_CLASSES = (
+    "missing-column",
+    "non-numeric",
+    "empty-id",
+    "invalid-record",
+    "short-row",
+)
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Acceptable degradation before lenient ingestion aborts.
+
+    ``max_row_error_rate`` / ``max_journey_failure_rate`` are fractions
+    in ``[0, 1]`` of the rows read / journeys matched so far;
+    ``min_rows_before_enforcement`` prevents a single bad row at the top
+    of a file from tripping a rate-based budget.
+    """
+
+    max_row_error_rate: float = 0.25
+    max_journey_failure_rate: float = 0.5
+    min_rows_before_enforcement: int = 20
+    min_journeys_before_enforcement: int = 5
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.max_row_error_rate <= 1.0):
+            raise ReliabilityError(
+                f"max_row_error_rate must be in [0, 1], got "
+                f"{self.max_row_error_rate}"
+            )
+        if not (0.0 <= self.max_journey_failure_rate <= 1.0):
+            raise ReliabilityError(
+                f"max_journey_failure_rate must be in [0, 1], got "
+                f"{self.max_journey_failure_rate}"
+            )
+        if self.min_rows_before_enforcement < 1:
+            raise ReliabilityError(
+                f"min_rows_before_enforcement must be >= 1, got "
+                f"{self.min_rows_before_enforcement}"
+            )
+        if self.min_journeys_before_enforcement < 1:
+            raise ReliabilityError(
+                f"min_journeys_before_enforcement must be >= 1, got "
+                f"{self.min_journeys_before_enforcement}"
+            )
+
+    def check_rows(self, quarantined: int, total: int, source: str) -> None:
+        """Raise :class:`ErrorBudgetExceeded` when rows blow the budget."""
+        if total < self.min_rows_before_enforcement:
+            return
+        if quarantined > self.max_row_error_rate * total:
+            raise ErrorBudgetExceeded(
+                f"{source}: {quarantined} of {total} rows quarantined, "
+                f"past the error budget of {self.max_row_error_rate:.0%}"
+            )
+
+    def check_journeys(self, failed: int, total: int, source: str) -> None:
+        """Raise :class:`ErrorBudgetExceeded` when journeys blow the budget."""
+        if total < self.min_journeys_before_enforcement:
+            return
+        if failed > self.max_journey_failure_rate * total:
+            raise ErrorBudgetExceeded(
+                f"{source}: {failed} of {total} journeys unmatchable, "
+                f"past the error budget of "
+                f"{self.max_journey_failure_rate:.0%}"
+            )
+
+
+@dataclass
+class PipelineHealth:
+    """Structured degradation report for one lenient pipeline run."""
+
+    source: str = ""
+    rows_read: int = 0
+    rows_accepted: int = 0
+    row_faults: Dict[str, int] = field(default_factory=dict)
+    quarantined_rows: List[Tuple[int, str]] = field(default_factory=list)
+    """``(line number, message)`` per quarantined row (bounded sample)."""
+
+    journeys_total: int = 0
+    journeys_matched: int = 0
+    quarantined_journeys: List[Tuple[str, str]] = field(default_factory=list)
+    """``(journey id, reason)`` per journey map matching gave up on."""
+
+    flows_extracted: int = 0
+    match_fidelity_delta: Optional[float] = None
+    """Mean node-Jaccard drop vs. a clean reference run (when known)."""
+
+    #: Cap on stored per-row samples; counts keep accumulating past it.
+    max_samples: int = 50
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def record_row(self) -> None:
+        """Count one accepted row."""
+        self.rows_read += 1
+        self.rows_accepted += 1
+
+    def quarantine_row(self, line: int, fault_class: str, message: str) -> None:
+        """Count one quarantined row under ``fault_class``."""
+        self.rows_read += 1
+        self.row_faults[fault_class] = self.row_faults.get(fault_class, 0) + 1
+        if len(self.quarantined_rows) < self.max_samples:
+            self.quarantined_rows.append((line, message))
+
+    def quarantine_journey(self, journey_id: str, reason: str) -> None:
+        """Count one journey that map matching quarantined."""
+        if len(self.quarantined_journeys) < self.max_samples:
+            self.quarantined_journeys.append((journey_id, reason))
+
+    def merge_matching(self, matched: int, failed: int) -> None:
+        """Fold map-matching totals into the report."""
+        self.journeys_total += matched + failed
+        self.journeys_matched += matched
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def rows_quarantined(self) -> int:
+        """Rows rejected at the CSV layer."""
+        return self.rows_read - self.rows_accepted
+
+    @property
+    def row_error_rate(self) -> float:
+        """Fraction of rows quarantined (0.0 for an empty read)."""
+        return self.rows_quarantined / self.rows_read if self.rows_read else 0.0
+
+    @property
+    def journey_failure_rate(self) -> float:
+        """Fraction of journeys quarantined by map matching."""
+        if self.journeys_total == 0:
+            return 0.0
+        return 1.0 - self.journeys_matched / self.journeys_total
+
+    @property
+    def is_clean(self) -> bool:
+        """True when nothing was quarantined anywhere."""
+        return (
+            self.rows_quarantined == 0 and not self.quarantined_journeys
+            and self.journeys_matched == self.journeys_total
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary (for archiving alongside results)."""
+        return {
+            "source": self.source,
+            "rows_read": self.rows_read,
+            "rows_accepted": self.rows_accepted,
+            "row_faults": dict(sorted(self.row_faults.items())),
+            "journeys_total": self.journeys_total,
+            "journeys_matched": self.journeys_matched,
+            "flows_extracted": self.flows_extracted,
+            "row_error_rate": self.row_error_rate,
+            "journey_failure_rate": self.journey_failure_rate,
+            "match_fidelity_delta": self.match_fidelity_delta,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        lines = [f"pipeline health: {self.source or '<in-memory>'}"]
+        lines.append(
+            f"  rows      : {self.rows_accepted}/{self.rows_read} accepted "
+            f"({self.row_error_rate:.1%} quarantined)"
+        )
+        for fault_class, count in sorted(self.row_faults.items()):
+            lines.append(f"    {fault_class:<15}: {count}")
+        if self.journeys_total:
+            lines.append(
+                f"  journeys  : {self.journeys_matched}/{self.journeys_total} "
+                f"matched ({self.journey_failure_rate:.1%} quarantined)"
+            )
+        if self.flows_extracted:
+            lines.append(f"  flows     : {self.flows_extracted} extracted")
+        if self.match_fidelity_delta is not None:
+            lines.append(
+                f"  fidelity  : {self.match_fidelity_delta:+.4f} "
+                "mean node-Jaccard vs clean"
+            )
+        lines.append(
+            "  verdict   : clean" if self.is_clean
+            else "  verdict   : degraded (see quarantine counts above)"
+        )
+        return "\n".join(lines)

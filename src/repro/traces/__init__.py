@@ -32,6 +32,7 @@ from .io import (
     SEATTLE_SCHEMA,
     TraceSchema,
     read_trace_csv,
+    read_trace_csv_lenient,
     write_trace_csv,
 )
 from .journeys import (
@@ -50,6 +51,7 @@ from .mapmatch import (
     erase_loops,
     match_journey,
     match_journeys,
+    match_journeys_lenient,
     repair_gaps,
     snap_samples,
 )
@@ -113,10 +115,12 @@ __all__ = [
     "match_fidelity",
     "match_journey",
     "match_journeys",
+    "match_journeys_lenient",
     "trace_statistics",
     "node_traffic",
     "od_matrix",
     "read_trace_csv",
+    "read_trace_csv_lenient",
     "repair_gaps",
     "snap_samples",
     "traffic_summary",

@@ -8,9 +8,18 @@ Two on-disk schemas mirror the real datasets:
 * :data:`SEATTLE_SCHEMA` — ``bus_id, x, y, route_id, timestamp``
   (Cartesian feet, like the CRAWDAD ad_hoc_city trace).
 
-Readers are strict: missing columns, non-numeric fields, or empty ids
-raise :class:`~repro.errors.TraceFormatError` with row context rather
-than silently producing bad flows.
+Two reading modes:
+
+* **strict** (:func:`read_trace_csv`, the default everywhere) — missing
+  columns, non-numeric fields, or empty ids raise
+  :class:`~repro.errors.TraceFormatError` with file and row context
+  rather than silently producing bad flows;
+* **lenient** (:func:`read_trace_csv_lenient`) — malformed rows are
+  quarantined and counted per fault class in a
+  :class:`~repro.reliability.PipelineHealth` report instead of raising;
+  an :class:`~repro.reliability.ErrorBudget` bounds how much quarantining
+  is tolerated before the read aborts with
+  :class:`~repro.errors.ErrorBudgetExceeded`.
 """
 
 from __future__ import annotations
@@ -18,10 +27,13 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 from ..errors import TraceFormatError
 from .records import DUBLIN_FRAME, CoordinateFrame, GpsRecord
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep traces a leaf
+    from ..reliability.health import ErrorBudget, PipelineHealth
 
 PathLike = Union[str, Path]
 
@@ -62,20 +74,30 @@ class TraceSchema:
             f"{record.timestamp:.3f}",
         ]
 
-    def decode(self, row: dict, line: int) -> GpsRecord:
-        """Parse one CSV row into a record, with line-number context on error."""
+    def decode(self, row: dict, line: int, source: str = "") -> GpsRecord:
+        """Parse one CSV row into a record.
+
+        Errors carry the source file path (when known), the schema name,
+        and the line number, so a failure deep inside a multi-file
+        pipeline still names the offending file and row.
+        """
+        where = f"{source}: {self.name}" if source else self.name
+
         def numeric(column: str) -> float:
             raw = row.get(column)
             if raw is None:
                 raise TraceFormatError(
-                    f"{self.name} line {line}: missing column {column!r}"
+                    f"{where} line {line}: row too short, no value for "
+                    f"column {column!r}",
+                    fault_class="short-row",
                 )
             try:
                 return float(raw)
             except ValueError:
                 raise TraceFormatError(
-                    f"{self.name} line {line}: column {column!r} has "
-                    f"non-numeric value {raw!r}"
+                    f"{where} line {line}: column {column!r} has "
+                    f"non-numeric value {raw!r}",
+                    fault_class="non-numeric",
                 ) from None
 
         first = numeric(self.position_columns[0])
@@ -84,11 +106,20 @@ class TraceSchema:
             x, y = self.frame.to_xy(first, second)
         else:
             x, y = first, second
-        bus_id = (row.get(self.bus_column) or "").strip()
-        journey_id = (row.get(self.journey_column) or "").strip()
+        bus_raw = row.get(self.bus_column)
+        journey_raw = row.get(self.journey_column)
+        if bus_raw is None or journey_raw is None:
+            raise TraceFormatError(
+                f"{where} line {line}: row too short, missing bus or "
+                "journey id",
+                fault_class="short-row",
+            )
+        bus_id = bus_raw.strip()
+        journey_id = journey_raw.strip()
         if not bus_id or not journey_id:
             raise TraceFormatError(
-                f"{self.name} line {line}: empty bus or journey id"
+                f"{where} line {line}: empty bus or journey id",
+                fault_class="empty-id",
             )
         try:
             return GpsRecord(
@@ -99,7 +130,10 @@ class TraceSchema:
                 y=y,
             )
         except TraceFormatError as error:
-            raise TraceFormatError(f"{self.name} line {line}: {error}") from None
+            raise TraceFormatError(
+                f"{where} line {line}: {error}",
+                fault_class=error.fault_class,
+            ) from None
 
 
 DUBLIN_SCHEMA = TraceSchema(
@@ -135,19 +169,87 @@ def write_trace_csv(
     return count
 
 
+def _open_trace(path: PathLike):
+    """Open a trace file for reading; unreadable paths are TraceErrors."""
+    try:
+        return open(path, newline="")
+    except OSError as error:
+        raise TraceFormatError(
+            f"{path}: cannot read trace file ({error.strerror or error})",
+            fault_class="missing-column",
+        ) from None
+
+
+def _open_reader(path: PathLike, schema: TraceSchema, handle) -> csv.DictReader:
+    """DictReader with the header validated (shared by both modes)."""
+    reader = csv.DictReader(handle)
+    if reader.fieldnames is None:
+        raise TraceFormatError(
+            f"{path}: empty trace file", fault_class="missing-column"
+        )
+    missing = set(schema.columns) - set(reader.fieldnames)
+    if missing:
+        raise TraceFormatError(
+            f"{path}: missing columns {sorted(missing)} "
+            f"(found {reader.fieldnames})",
+            fault_class="missing-column",
+        )
+    return reader
+
+
 def read_trace_csv(path: PathLike, schema: TraceSchema) -> List[GpsRecord]:
-    """Read a trace CSV written with (or compatible with) ``schema``."""
+    """Read a trace CSV written with (or compatible with) ``schema``.
+
+    Strict: the first malformed row raises
+    :class:`~repro.errors.TraceFormatError` naming the file, schema, and
+    line.  Use :func:`read_trace_csv_lenient` to quarantine instead.
+    """
     records: List[GpsRecord] = []
-    with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
-        if reader.fieldnames is None:
-            raise TraceFormatError(f"{path}: empty trace file")
-        missing = set(schema.columns) - set(reader.fieldnames)
-        if missing:
-            raise TraceFormatError(
-                f"{path}: missing columns {sorted(missing)} "
-                f"(found {reader.fieldnames})"
-            )
+    source = str(path)
+    with _open_trace(path) as handle:
+        reader = _open_reader(path, schema, handle)
         for line, row in enumerate(reader, start=2):
-            records.append(schema.decode(row, line))
+            records.append(schema.decode(row, line, source=source))
     return records
+
+
+def read_trace_csv_lenient(
+    path: PathLike,
+    schema: TraceSchema,
+    budget: Optional["ErrorBudget"] = None,
+    health: Optional["PipelineHealth"] = None,
+) -> Tuple[List[GpsRecord], "PipelineHealth"]:
+    """Read a trace CSV, quarantining malformed rows instead of raising.
+
+    A header that does not match the schema still raises — a file with
+    the wrong columns is unusable, not degraded.  Row-level failures are
+    counted per fault class in ``health`` (a fresh
+    :class:`~repro.reliability.PipelineHealth` unless one is passed in to
+    accumulate across files); ``budget`` (default
+    :class:`~repro.reliability.ErrorBudget`) aborts the read with
+    :class:`~repro.errors.ErrorBudgetExceeded` once quarantining passes
+    the configured rate.
+    """
+    from ..reliability.health import ErrorBudget, PipelineHealth
+
+    if budget is None:
+        budget = ErrorBudget()
+    if health is None:
+        health = PipelineHealth(source=str(path))
+    source = str(path)
+    records: List[GpsRecord] = []
+    with _open_trace(path) as handle:
+        reader = _open_reader(path, schema, handle)
+        for line, row in enumerate(reader, start=2):
+            try:
+                record = schema.decode(row, line, source=source)
+            except TraceFormatError as error:
+                health.quarantine_row(line, error.fault_class, str(error))
+                budget.check_rows(
+                    health.rows_quarantined, health.rows_read, source
+                )
+                continue
+            health.record_row()
+            records.append(record)
+    budget.check_rows(health.rows_quarantined, health.rows_read, source)
+    return records, health

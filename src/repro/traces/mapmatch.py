@@ -15,18 +15,24 @@ Pipeline per journey (see :func:`match_journey`):
 
 A journey that cannot be matched (all samples off-map, or endpoints
 mutually unreachable) raises :class:`~repro.errors.MapMatchError`;
-:func:`match_journeys` can either propagate or skip-and-count.
+:func:`match_journeys` can either propagate or skip-and-count, and
+:func:`match_journeys_lenient` additionally quarantines failures into a
+:class:`~repro.reliability.PipelineHealth` report under an
+:class:`~repro.reliability.ErrorBudget` (abort only past the budget).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import MapMatchError, NoPathError
 from ..graphs import NodeId, Point, RoadNetwork, shortest_path
 from .records import Journey
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep traces a leaf
+    from ..reliability.health import ErrorBudget, PipelineHealth
 
 
 class GridIndex:
@@ -239,3 +245,49 @@ def match_journeys(
                 raise
             report.failures.append((journey, str(error)))
     return report
+
+
+def match_journeys_lenient(
+    network: RoadNetwork,
+    journeys: Sequence[Journey],
+    max_snap_distance: float = math.inf,
+    budget: Optional["ErrorBudget"] = None,
+    health: Optional["PipelineHealth"] = None,
+) -> Tuple[MatchReport, "PipelineHealth"]:
+    """Match a trace, quarantining unmatchable journeys under a budget.
+
+    Like ``match_journeys(..., skip_failures=True)``, but every failure
+    is also recorded in ``health`` (a fresh
+    :class:`~repro.reliability.PipelineHealth` unless one is passed in,
+    e.g. the one produced by lenient CSV reading), and ``budget`` aborts
+    with :class:`~repro.errors.ErrorBudgetExceeded` once the failure
+    fraction passes ``max_journey_failure_rate``.  The budget is checked
+    incrementally, so a hopeless trace aborts early instead of grinding
+    through every journey.
+    """
+    from ..reliability.health import ErrorBudget, PipelineHealth
+
+    if budget is None:
+        budget = ErrorBudget()
+    if health is None:
+        health = PipelineHealth()
+    index = GridIndex(network)
+    report = MatchReport()
+    processed = 0
+    for journey in journeys:
+        processed += 1
+        try:
+            report.results.append(
+                match_journey(network, journey, index, max_snap_distance)
+            )
+        except MapMatchError as error:
+            report.failures.append((journey, str(error)))
+            health.quarantine_journey(journey.journey_id, str(error))
+            budget.check_journeys(
+                report.failure_count, processed, health.source or "<trace>"
+            )
+    health.merge_matching(report.matched_count, report.failure_count)
+    budget.check_journeys(
+        report.failure_count, len(journeys), health.source or "<trace>"
+    )
+    return report, health

@@ -1,0 +1,183 @@
+"""Failure-aware placement: expected objective, greedy, and simulation."""
+
+import pytest
+
+from repro.algorithms import algorithm_by_name
+from repro.analysis import (
+    expected_value_under_failures,
+    simulate_failures,
+)
+from repro.core import evaluate_placement
+from repro.errors import (
+    ExperimentError,
+    InvalidScenarioError,
+    ReliabilityError,
+)
+from repro.extensions import (
+    FailureAwareGreedy,
+    FailureModel,
+    exhaustive_expected_optimum,
+    expected_attracted,
+)
+
+
+class TestFailureModel:
+    def test_validation(self):
+        with pytest.raises(ReliabilityError):
+            FailureModel(probabilities={"V1": 1.5})
+        with pytest.raises(ReliabilityError):
+            FailureModel.uniform(-0.1)
+
+    def test_lookup_with_default(self):
+        model = FailureModel(probabilities={"V3": 0.4}, default=0.1)
+        assert model.probability("V3") == 0.4
+        assert model.probability("V5") == 0.1
+
+    def test_reliable_is_all_zero(self):
+        model = FailureModel.reliable()
+        assert model.probability("anything") == 0.0
+
+
+class TestExpectedAttracted:
+    def test_reliable_model_equals_standard_objective(
+        self, paper_threshold_scenario
+    ):
+        """With p_v = 0 the expectation IS the paper's objective."""
+        scenario = paper_threshold_scenario
+        for raps in (["V3"], ["V5"], ["V3", "V5"], ["V2", "V4"]):
+            expected = expected_attracted(
+                scenario, raps, FailureModel.reliable()
+            )
+            standard = evaluate_placement(scenario, raps).attracted
+            assert expected == pytest.approx(standard, abs=1e-12)
+
+    def test_certain_failure_attracts_nothing(self, paper_threshold_scenario):
+        value = expected_attracted(
+            paper_threshold_scenario, ["V3", "V5"], FailureModel.uniform(1.0)
+        )
+        assert value == 0.0
+
+    def test_matches_hand_computation(self, paper_threshold_scenario):
+        """{V3, V5}, p = 0.3: survivors serve in Theorem-1 preference order.
+
+        Every flow through V3/V5 has zero detour under D = 6, so f = 1:
+        T25 (vol 6, prefers V3 then V5): 0.7 + 0.3*0.7
+        T35 (vol 3, prefers V3 then V5): same
+        T43 (vol 6, V3 only):            0.7
+        T56 (vol 6, V5 only):            0.7
+        """
+        per_survivor = 0.7 + 0.3 * 0.7
+        expected = (6 + 3) * per_survivor + (6 + 6) * 0.7
+        value = expected_attracted(
+            paper_threshold_scenario, ["V3", "V5"], FailureModel.uniform(0.3)
+        )
+        assert value == pytest.approx(expected)
+
+    def test_failures_reward_redundancy(self, paper_threshold_scenario):
+        """Under failures a second RAP on the same corridor has value."""
+        scenario = paper_threshold_scenario
+        model = FailureModel.uniform(0.5)
+        single = expected_attracted(scenario, ["V3"], model)
+        doubled = expected_attracted(scenario, ["V3", "V2"], model)
+        assert doubled > single
+
+    def test_duplicate_sites_rejected(self, paper_threshold_scenario):
+        with pytest.raises(InvalidScenarioError):
+            expected_attracted(
+                paper_threshold_scenario, ["V3", "V3"], FailureModel.reliable()
+            )
+
+    def test_unknown_site_rejected(self, paper_threshold_scenario):
+        with pytest.raises(InvalidScenarioError):
+            expected_attracted(
+                paper_threshold_scenario, ["V99"], FailureModel.reliable()
+            )
+
+
+class TestFailureAwareGreedy:
+    def test_registered_with_algorithm_registry(self):
+        algorithm = algorithm_by_name("failure-aware-greedy")
+        assert isinstance(algorithm, FailureAwareGreedy)
+
+    def test_reliable_model_degrades_to_standard_greedy(
+        self, paper_threshold_scenario
+    ):
+        """With p_v = 0 the selection optimizes the standard objective;
+        on the paper's worked example that is V3 first, then V5."""
+        selected = FailureAwareGreedy().select(paper_threshold_scenario, 2)
+        assert selected == ["V3", "V5"]
+        expected = expected_attracted(
+            paper_threshold_scenario, selected, FailureModel.reliable()
+        )
+        standard = evaluate_placement(
+            paper_threshold_scenario, selected
+        ).attracted
+        assert expected == pytest.approx(standard, abs=1e-12)
+
+    @pytest.mark.parametrize("p", [0.0, 0.1, 0.3, 0.5, 0.9])
+    def test_greedy_matches_exhaustive_optimum(
+        self, paper_threshold_scenario, p
+    ):
+        """Acceptance: greedy == brute-force optimum on the small instance."""
+        scenario = paper_threshold_scenario
+        model = FailureModel.uniform(p)
+        selected = FailureAwareGreedy(model).select(scenario, 2)
+        greedy_value = expected_attracted(scenario, selected, model)
+        _, optimum = exhaustive_expected_optimum(scenario, 2, model)
+        assert greedy_value == pytest.approx(optimum)
+
+    def test_works_through_place_entry_point(self, paper_threshold_scenario):
+        placement = FailureAwareGreedy().place(paper_threshold_scenario, 2)
+        assert len(placement.raps) == 2
+        assert placement.algorithm == "failure-aware-greedy"
+
+    def test_high_failure_shifts_the_placement(self, paper_threshold_scenario):
+        """At p = 0.9 redundancy on the heavy corridor beats spreading out."""
+        scenario = paper_threshold_scenario
+        reliable = FailureAwareGreedy().select(scenario, 2)
+        fragile = FailureAwareGreedy(FailureModel.uniform(0.9)).select(
+            scenario, 2
+        )
+        model = FailureModel.uniform(0.9)
+        assert expected_attracted(scenario, fragile, model) >= (
+            expected_attracted(scenario, reliable, model) - 1e-12
+        )
+
+    def test_respects_k(self, paper_threshold_scenario):
+        assert len(FailureAwareGreedy().select(paper_threshold_scenario, 1)) == 1
+        assert (
+            len(FailureAwareGreedy().select(paper_threshold_scenario, 100))
+            <= len(paper_threshold_scenario.candidate_sites)
+        )
+
+
+class TestSimulation:
+    def test_exact_matches_closed_form(self, paper_threshold_scenario):
+        scenario = paper_threshold_scenario
+        placement = FailureAwareGreedy().place(scenario, 2)
+        model = FailureModel.uniform(0.3)
+        assert expected_value_under_failures(
+            scenario, placement, model
+        ) == pytest.approx(
+            expected_attracted(scenario, list(placement.raps), model)
+        )
+
+    def test_monte_carlo_validates_closed_form(self, paper_threshold_scenario):
+        scenario = paper_threshold_scenario
+        placement = FailureAwareGreedy().place(scenario, 2)
+        model = FailureModel.uniform(0.3)
+        sim = simulate_failures(
+            scenario, placement, model, trials=2000, seed=3
+        )
+        assert sim.trials == 2000
+        assert sim.worst_sample <= sim.simulated_mean <= sim.best_sample
+        # The sample mean should sit close to the exact expectation.
+        assert sim.absolute_gap < 0.05 * max(sim.exact_expected, 1.0)
+
+    def test_simulation_validates_trials(self, paper_threshold_scenario):
+        scenario = paper_threshold_scenario
+        placement = FailureAwareGreedy().place(scenario, 2)
+        with pytest.raises(ExperimentError):
+            simulate_failures(
+                scenario, placement, FailureModel.reliable(), trials=0
+            )

@@ -1,0 +1,254 @@
+"""Checkpointed experiment runs: persistence, resume, timeout salvage."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError, ReliabilityError
+from repro.experiments import (
+    FigureSpec,
+    PanelSpec,
+    TraceProvider,
+    run_figure,
+    run_panel,
+)
+from repro.reliability import (
+    CheckpointStore,
+    RunLedger,
+    run_figure_checkpointed,
+    run_panel_checkpointed,
+)
+
+KS = (1, 3)
+ALGORITHMS = ("composite-greedy", "random")
+
+
+@pytest.fixture(scope="module")
+def provider():
+    return TraceProvider(scale="small")
+
+
+def small_panel(**overrides):
+    defaults = dict(
+        panel_id="ckpt-panel",
+        city="dublin",
+        utility="linear",
+        threshold=20_000.0,
+        ks=KS,
+        algorithms=ALGORITHMS,
+        repetitions=3,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return PanelSpec(**defaults)
+
+
+class KillAfter(Exception):
+    """Stand-in for SIGKILL: aborts the run between repetitions."""
+
+
+def kill_after(n):
+    calls = {"done": 0}
+
+    def hook(panel_id, rep, cached, elapsed):
+        calls["done"] += 1
+        if calls["done"] >= n:
+            raise KillAfter(f"killed after {n} repetitions")
+
+    return hook
+
+
+class TestCheckpointStore:
+    def test_round_trips_values_exactly(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        values = {"greedy": {1: 0.1 + 0.2, 3: 1234.56789012345678}}
+        store.save_repetition("p", 0, values)
+        assert store.load_repetition("p", 0) == values
+
+    def test_missing_repetition_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load_repetition("p", 0) is None
+
+    def test_corrupt_repetition_is_none(self, tmp_path):
+        """A half-written file reruns the repetition instead of crashing."""
+        store = CheckpointStore(tmp_path)
+        store.save_repetition("p", 0, {"greedy": {1: 1.0}})
+        path = tmp_path / "p" / "rep00000.json"
+        path.write_text(path.read_text()[:-5])
+        assert store.load_repetition("p", 0) is None
+
+    def test_completed_repetitions_sorted(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for rep in (2, 0, 1):
+            store.save_repetition("p", rep, {"greedy": {1: float(rep)}})
+        assert store.completed_repetitions("p") == [0, 1, 2]
+        assert store.completed_repetitions("other") == []
+
+    def test_bind_panel_accepts_same_spec(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.bind_panel(small_panel())
+        store.bind_panel(small_panel())  # idempotent
+
+    def test_bind_panel_rejects_different_spec(self, tmp_path):
+        """A checkpoint must never be resumed under a different spec."""
+        store = CheckpointStore(tmp_path)
+        store.bind_panel(small_panel())
+        with pytest.raises(CheckpointError) as excinfo:
+            store.bind_panel(small_panel(seed=8))
+        assert "different" in str(excinfo.value)
+
+    def test_bind_panel_rejects_corrupt_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.bind_panel(small_panel())
+        (tmp_path / "ckpt-panel" / "manifest.json").write_text("{nope")
+        with pytest.raises(CheckpointError):
+            store.bind_panel(small_panel())
+
+    def test_checkpoint_error_is_a_reliability_error(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.bind_panel(small_panel())
+        with pytest.raises(ReliabilityError):
+            store.bind_panel(small_panel(seed=8))
+
+
+class TestRunPanelCheckpointed:
+    def test_matches_plain_runner(self, provider, tmp_path):
+        """Checkpointing must not change results at all."""
+        panel = small_panel()
+        plain = run_panel(panel, provider)
+        checkpointed = run_panel_checkpointed(
+            panel, CheckpointStore(tmp_path), provider=provider
+        )
+        for name in ALGORITHMS:
+            assert (
+                checkpointed.series[name].means == plain.series[name].means
+            )
+            assert (
+                checkpointed.series[name].stdevs == plain.series[name].stdevs
+            )
+
+    def test_ledger_counts_fresh_run(self, provider, tmp_path):
+        panel = small_panel()
+        ledger = RunLedger()
+        run_panel_checkpointed(
+            panel, CheckpointStore(tmp_path), provider=provider, ledger=ledger
+        )
+        assert ledger.computed == panel.repetitions
+        assert ledger.resumed == 0
+        assert "3 computed" in ledger.describe()
+
+    def test_second_run_resumes_everything(self, provider, tmp_path):
+        panel = small_panel()
+        store = CheckpointStore(tmp_path)
+        first = run_panel_checkpointed(panel, store, provider=provider)
+        ledger = RunLedger()
+        second = run_panel_checkpointed(
+            panel, store, provider=provider, ledger=ledger
+        )
+        assert ledger.resumed == panel.repetitions
+        assert ledger.computed == 0
+        for name in ALGORITHMS:
+            assert second.series[name].means == first.series[name].means
+
+    def test_rejects_bad_timeout(self, provider, tmp_path):
+        with pytest.raises(CheckpointError):
+            run_panel_checkpointed(
+                small_panel(),
+                CheckpointStore(tmp_path),
+                provider=provider,
+                timeout=0,
+            )
+
+    def test_timeout_salvages_partial_panel(self, provider, tmp_path):
+        """An absurdly small timeout keeps the first repetition only."""
+        panel = small_panel()
+        ledger = RunLedger()
+        result = run_panel_checkpointed(
+            panel,
+            CheckpointStore(tmp_path),
+            provider=provider,
+            timeout=1e-9,
+            ledger=ledger,
+        )
+        assert ledger.computed == 1
+        assert ledger.salvaged_panels == ["ckpt-panel (1/3 reps)"]
+        assert "salvaged" in ledger.describe()
+        # The salvaged panel still aggregates (from the single repetition).
+        for name in ALGORITHMS:
+            assert len(result.series[name].means) == len(KS)
+
+    def test_timeout_does_not_stop_cached_replay(self, provider, tmp_path):
+        """Resuming under a timeout replays every cached repetition."""
+        panel = small_panel()
+        store = CheckpointStore(tmp_path)
+        run_panel_checkpointed(panel, store, provider=provider)
+        ledger = RunLedger()
+        run_panel_checkpointed(
+            panel, store, provider=provider, timeout=1e-9, ledger=ledger
+        )
+        assert ledger.resumed == panel.repetitions
+        assert ledger.salvaged_panels == []
+
+
+@pytest.mark.slow
+class TestKillAndResume:
+    """The acceptance slow test: kill mid-sweep, resume bit-identically."""
+
+    def test_killed_run_resumes_bit_identically(self, provider, tmp_path):
+        figure = FigureSpec(
+            figure_id="ckpt-fig",
+            title="checkpoint test figure",
+            panels=(
+                small_panel(panel_id="ckpt-a", repetitions=4),
+                small_panel(panel_id="ckpt-b", repetitions=4, seed=9),
+            ),
+        )
+        reference = run_figure(figure, provider)
+
+        store = CheckpointStore(tmp_path)
+        # "Kill" the run partway through the second panel...
+        with pytest.raises(KillAfter):
+            run_figure_checkpointed(
+                figure, store, provider=provider, on_repetition=kill_after(6)
+            )
+        assert store.completed_repetitions("ckpt-a") == [0, 1, 2, 3]
+        assert store.completed_repetitions("ckpt-b") == [0, 1]
+
+        # ...then resume: only the missing repetitions are computed, and
+        # the aggregate is bit-identical to the uninterrupted run.
+        ledger = RunLedger()
+        resumed = run_figure_checkpointed(
+            figure, store, provider=provider, ledger=ledger
+        )
+        assert ledger.resumed == 6
+        assert ledger.computed == 2
+        for panel_id in reference.panels:
+            ref_panel = reference.panel(panel_id)
+            res_panel = resumed.panel(panel_id)
+            for name in ALGORITHMS:
+                assert (
+                    res_panel.series[name].means
+                    == ref_panel.series[name].means
+                )
+                assert (
+                    res_panel.series[name].stdevs
+                    == ref_panel.series[name].stdevs
+                )
+
+    def test_checkpoints_survive_process_boundary(self, provider, tmp_path):
+        """Checkpoints are plain JSON on disk — a fresh store (as a new
+        process would build) resumes from them."""
+        panel = small_panel(panel_id="ckpt-proc")
+        first_store = CheckpointStore(tmp_path)
+        first = run_panel_checkpointed(panel, first_store, provider=provider)
+        # Sanity: files really are on disk and parseable.
+        rep0 = tmp_path / "ckpt-proc" / "rep00000.json"
+        assert set(json.loads(rep0.read_text())) == set(ALGORITHMS)
+
+        ledger = RunLedger()
+        second = run_panel_checkpointed(
+            panel, CheckpointStore(tmp_path), provider=provider, ledger=ledger
+        )
+        assert ledger.resumed == panel.repetitions
+        for name in ALGORITHMS:
+            assert second.series[name].means == first.series[name].means

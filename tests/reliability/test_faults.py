@@ -1,0 +1,175 @@
+"""Fault injector: per-class behavior and the determinism contract."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReliabilityError
+from repro.reliability import PRESETS, FaultConfig, FaultInjector
+from repro.traces import DUBLIN_SCHEMA, SEATTLE_SCHEMA
+from repro.traces.records import GpsRecord
+
+
+def make_records(n=50, journeys=5):
+    return [
+        GpsRecord(
+            bus_id=f"b{i % journeys}",
+            journey_id=f"j{i % journeys}",
+            timestamp=60.0 * (i // journeys),
+            x=100.0 * i,
+            y=50.0 * i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestFaultConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ReliabilityError):
+            FaultConfig(drop_rate=1.5)
+        with pytest.raises(ReliabilityError):
+            FaultConfig(malform_rate=-0.1)
+        with pytest.raises(ReliabilityError):
+            FaultConfig(truncate_fraction=0.0)
+        with pytest.raises(ReliabilityError):
+            FaultConfig(noise_burst=0)
+
+    def test_scaled_caps_at_one(self):
+        config = PRESETS["heavy"].scaled(100.0)
+        assert config.drop_rate == 1.0
+        assert config.malform_rate == 1.0
+
+    def test_presets_are_ordered_by_severity(self):
+        assert PRESETS["light"].drop_rate < PRESETS["moderate"].drop_rate
+        assert PRESETS["moderate"].drop_rate < PRESETS["heavy"].drop_rate
+
+
+class TestRecordFaults:
+    def test_zero_config_is_identity(self):
+        records = make_records()
+        out, report = FaultInjector(FaultConfig(), seed=3).corrupt_records(
+            records
+        )
+        assert out == records
+        assert report.total == 0
+
+    def test_drop_removes_records(self):
+        records = make_records()
+        out, report = FaultInjector(
+            FaultConfig(drop_rate=0.5), seed=1
+        ).corrupt_records(records)
+        assert len(out) == len(records) - report.counts["dropped"]
+        assert report.counts["dropped"] > 0
+
+    def test_duplicate_adds_adjacent_copies(self):
+        records = make_records()
+        out, report = FaultInjector(
+            FaultConfig(duplicate_rate=0.5), seed=1
+        ).corrupt_records(records)
+        assert len(out) == len(records) + report.counts["duplicated"]
+        assert any(a == b for a, b in zip(out, out[1:]))
+
+    def test_reorder_breaks_timestamp_order(self):
+        records = make_records(n=40, journeys=1)
+        out, report = FaultInjector(
+            FaultConfig(reorder_rate=0.5), seed=1
+        ).corrupt_records(records)
+        assert report.counts["reordered"] > 0
+        times = [r.timestamp for r in out]
+        assert times != sorted(times)
+        assert sorted(r.timestamp for r in out) == sorted(
+            r.timestamp for r in records
+        )
+
+    def test_noise_moves_positions(self):
+        records = make_records()
+        out, report = FaultInjector(
+            FaultConfig(noise_rate=0.3, noise_std=1000.0), seed=1
+        ).corrupt_records(records)
+        assert report.counts["noised"] > 0
+        moved = sum(
+            1 for a, b in zip(records, out)
+            if (a.x, a.y) != (b.x, b.y)
+        )
+        assert moved > 0
+
+    def test_truncate_drops_journey_tails(self):
+        records = make_records(n=100, journeys=2)
+        out, report = FaultInjector(
+            FaultConfig(truncate_rate=1.0, truncate_fraction=0.5), seed=1
+        ).corrupt_records(records)
+        assert report.counts["truncated-journeys"] == 2
+        assert len(out) == len(records) - report.counts["truncated-records"]
+        # Every journey keeps at least one sample.
+        kept = {(r.bus_id, r.journey_id) for r in out}
+        assert kept == {(r.bus_id, r.journey_id) for r in records}
+
+
+class TestCellFaults:
+    def test_malform_changes_rows(self):
+        rows = [SEATTLE_SCHEMA.encode(r) for r in make_records()]
+        out, report = FaultInjector(
+            FaultConfig(malform_rate=0.5), seed=2
+        ).corrupt_rows(rows)
+        assert report.counts["malformed-cells"] > 0
+        changed = sum(1 for a, b in zip(rows, out) if a != b)
+        assert changed == report.counts["malformed-cells"]
+
+    def test_rows_never_empty(self):
+        rows = [SEATTLE_SCHEMA.encode(r) for r in make_records()]
+        out, _ = FaultInjector(
+            FaultConfig(malform_rate=1.0), seed=2
+        ).corrupt_rows(rows)
+        assert all(len(row) >= 1 for row in out)
+
+
+fault_configs = st.builds(
+    FaultConfig,
+    drop_rate=st.floats(0, 0.5),
+    duplicate_rate=st.floats(0, 0.5),
+    reorder_rate=st.floats(0, 0.5),
+    noise_rate=st.floats(0, 0.5),
+    noise_std=st.floats(0, 10_000),
+    truncate_rate=st.floats(0, 1),
+    truncate_fraction=st.floats(0.1, 1),
+    malform_rate=st.floats(0, 1),
+)
+
+
+class TestDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(config=fault_configs, seed=st.integers(0, 2**31))
+    def test_same_seed_same_records(self, config, seed):
+        records = make_records()
+        out1, rep1 = FaultInjector(config, seed).corrupt_records(records)
+        out2, rep2 = FaultInjector(config, seed).corrupt_records(records)
+        assert out1 == out2
+        assert rep1.counts == rep2.counts
+
+    @settings(max_examples=30, deadline=None)
+    @given(config=fault_configs, seed=st.integers(0, 2**31))
+    def test_same_seed_byte_identical_csv(self, config, seed, tmp_path_factory):
+        """Same seed + config -> byte-identical corrupted CSV files."""
+        from repro.reliability import corrupt_trace_csv
+        from repro.traces import write_trace_csv
+
+        tmp_path = tmp_path_factory.mktemp("det")
+        clean = tmp_path / "clean.csv"
+        write_trace_csv(make_records(), clean, DUBLIN_SCHEMA)
+        outs = []
+        for name in ("a.csv", "b.csv"):
+            out = tmp_path / name
+            corrupt_trace_csv(
+                clean, out, DUBLIN_SCHEMA, FaultInjector(config, seed)
+            )
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_method_streams_independent(self):
+        """corrupt_rows output does not depend on prior corrupt_records calls."""
+        config = PRESETS["moderate"]
+        rows = [SEATTLE_SCHEMA.encode(r) for r in make_records()]
+        injector = FaultInjector(config, seed=9)
+        fresh = FaultInjector(config, seed=9)
+        injector.corrupt_records(make_records())  # consume a stream
+        assert injector.corrupt_rows(rows)[0] == fresh.corrupt_rows(rows)[0]

@@ -1,0 +1,119 @@
+"""ErrorBudget enforcement and PipelineHealth accounting."""
+
+import pytest
+
+from repro.errors import (
+    ErrorBudgetExceeded,
+    ReliabilityError,
+    TraceError,
+)
+from repro.reliability import ErrorBudget, PipelineHealth
+
+
+class TestErrorBudget:
+    def test_validation(self):
+        with pytest.raises(ReliabilityError):
+            ErrorBudget(max_row_error_rate=1.5)
+        with pytest.raises(ReliabilityError):
+            ErrorBudget(max_journey_failure_rate=-0.1)
+        with pytest.raises(ReliabilityError):
+            ErrorBudget(min_rows_before_enforcement=0)
+        with pytest.raises(ReliabilityError):
+            ErrorBudget(min_journeys_before_enforcement=0)
+
+    def test_rows_within_budget_pass(self):
+        ErrorBudget(max_row_error_rate=0.25).check_rows(25, 100, "t.csv")
+
+    def test_rows_past_budget_raise(self):
+        budget = ErrorBudget(max_row_error_rate=0.25)
+        with pytest.raises(ErrorBudgetExceeded) as excinfo:
+            budget.check_rows(26, 100, "t.csv")
+        assert "t.csv" in str(excinfo.value)
+
+    def test_budget_error_is_a_trace_error(self):
+        """CLI and callers catching TraceError also catch budget blowouts."""
+        budget = ErrorBudget(max_row_error_rate=0.0)
+        with pytest.raises(TraceError):
+            budget.check_rows(30, 100, "t.csv")
+
+    def test_enforcement_floor_protects_small_prefixes(self):
+        """One bad row at the top of a file must not abort the read."""
+        budget = ErrorBudget(
+            max_row_error_rate=0.1, min_rows_before_enforcement=20
+        )
+        budget.check_rows(2, 2, "t.csv")  # 100% errors, but only 2 rows
+        with pytest.raises(ErrorBudgetExceeded):
+            budget.check_rows(20, 20, "t.csv")
+
+    def test_journeys_budget(self):
+        budget = ErrorBudget(max_journey_failure_rate=0.5)
+        budget.check_journeys(5, 10, "t.csv")
+        with pytest.raises(ErrorBudgetExceeded):
+            budget.check_journeys(6, 10, "t.csv")
+
+
+class TestPipelineHealth:
+    def test_fresh_health_is_clean(self):
+        health = PipelineHealth(source="t.csv")
+        assert health.is_clean
+        assert health.row_error_rate == 0.0
+        assert health.journey_failure_rate == 0.0
+
+    def test_row_accounting(self):
+        health = PipelineHealth()
+        health.record_row()
+        health.record_row()
+        health.quarantine_row(4, "non-numeric", "bad cell")
+        assert health.rows_read == 3
+        assert health.rows_accepted == 2
+        assert health.rows_quarantined == 1
+        assert health.row_faults == {"non-numeric": 1}
+        assert health.row_error_rate == pytest.approx(1 / 3)
+        assert not health.is_clean
+
+    def test_journey_accounting(self):
+        health = PipelineHealth()
+        health.quarantine_journey("j1", "no snap")
+        health.merge_matching(matched=3, failed=1)
+        assert health.journeys_total == 4
+        assert health.journeys_matched == 3
+        assert health.journey_failure_rate == pytest.approx(0.25)
+        assert not health.is_clean
+
+    def test_samples_are_bounded_but_counts_are_not(self):
+        health = PipelineHealth(max_samples=5)
+        for line in range(100):
+            health.quarantine_row(line, "short-row", "row too short")
+        assert len(health.quarantined_rows) == 5
+        assert health.row_faults["short-row"] == 100
+        assert health.rows_quarantined == 100
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        health = PipelineHealth(source="t.csv")
+        health.record_row()
+        health.quarantine_row(3, "empty-id", "empty bus id")
+        health.merge_matching(matched=2, failed=0)
+        health.flows_extracted = 2
+        payload = json.loads(json.dumps(health.to_dict()))
+        assert payload["source"] == "t.csv"
+        assert payload["rows_read"] == 2
+        assert payload["row_faults"] == {"empty-id": 1}
+        assert payload["journeys_matched"] == 2
+
+    def test_render_mentions_everything(self):
+        health = PipelineHealth(source="t.csv")
+        health.record_row()
+        health.quarantine_row(2, "non-numeric", "bad")
+        health.merge_matching(matched=1, failed=1)
+        health.flows_extracted = 1
+        text = health.render()
+        assert "t.csv" in text
+        assert "non-numeric" in text
+        assert "degraded" in text
+
+    def test_render_clean_verdict(self):
+        health = PipelineHealth(source="t.csv")
+        health.record_row()
+        assert "clean" in health.render()

@@ -4,7 +4,24 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import (
+    EXIT_EXPERIMENT,
+    EXIT_GENERIC,
+    EXIT_GRAPH,
+    EXIT_RELIABILITY,
+    EXIT_TRACE,
+    exit_code_for,
+    main,
+)
+from repro.errors import (
+    CheckpointError,
+    ErrorBudgetExceeded,
+    ExperimentError,
+    GraphError,
+    InfeasiblePlacementError,
+    ReproError,
+    TraceFormatError,
+)
 
 
 class TestListAlgorithms:
@@ -224,3 +241,155 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert out.count("customers/day") == 2
+
+
+class TestExitCodeMapping:
+    """Satellite: distinct nonzero exit codes per error family."""
+
+    @pytest.mark.parametrize(
+        "error, code",
+        [
+            (TraceFormatError("bad row"), EXIT_TRACE),
+            (GraphError("no such node"), EXIT_GRAPH),
+            (ExperimentError("bad spec"), EXIT_EXPERIMENT),
+            (CheckpointError("corrupt manifest"), EXIT_RELIABILITY),
+            # Both a TraceError and a ReliabilityError; trace family wins.
+            (ErrorBudgetExceeded("too dirty"), EXIT_TRACE),
+            # Families without a dedicated code fall back to 1.
+            (InfeasiblePlacementError("k too large"), EXIT_GENERIC),
+            (ReproError("anything else"), EXIT_GENERIC),
+        ],
+    )
+    def test_family_codes(self, error, code):
+        assert exit_code_for(error) == code
+
+    def test_codes_are_distinct_and_avoid_argparse(self):
+        codes = {EXIT_TRACE, EXIT_GRAPH, EXIT_EXPERIMENT, EXIT_RELIABILITY}
+        assert len(codes) == 4
+        assert 2 not in codes  # argparse owns exit code 2
+        assert EXIT_GENERIC not in codes
+
+
+@pytest.fixture(scope="module")
+def clean_trace_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-traces") / "clean.csv"
+    assert main(
+        ["generate-trace", "--city", "dublin", "--scale", "small",
+         "--out", str(path)]
+    ) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def dirty_trace_csv(clean_trace_csv, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-traces") / "dirty.csv"
+    assert main(
+        ["inject-faults", "--in", str(clean_trace_csv), "--out", str(path),
+         "--city", "dublin", "--preset", "heavy", "--seed", "7"]
+    ) == 0
+    return path
+
+
+class TestInjectFaultsCommand:
+    def test_reports_fault_counts(self, clean_trace_csv, tmp_path, capsys):
+        out_path = tmp_path / "dirty.csv"
+        code = main(
+            ["inject-faults", "--in", str(clean_trace_csv),
+             "--out", str(out_path), "--city", "dublin",
+             "--preset", "moderate", "--seed", "3"]
+        )
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "injected" in out
+        assert "moderate preset" in out
+
+    def test_same_seed_same_bytes(self, clean_trace_csv, tmp_path):
+        paths = [tmp_path / "a.csv", tmp_path / "b.csv"]
+        for path in paths:
+            main(
+                ["inject-faults", "--in", str(clean_trace_csv),
+                 "--out", str(path), "--city", "dublin", "--seed", "3"]
+            )
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestIngestCommand:
+    def test_clean_strict_is_clean(self, clean_trace_csv, capsys):
+        code = main(
+            ["ingest", "--csv", str(clean_trace_csv), "--city", "dublin",
+             "--scale", "small"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline health" in out
+        assert "verdict   : clean" in out
+        assert "strict mode" in out
+
+    def test_dirty_strict_exits_with_trace_code(self, dirty_trace_csv, capsys):
+        code = main(
+            ["ingest", "--csv", str(dirty_trace_csv), "--city", "dublin",
+             "--scale", "small", "--mode", "strict"]
+        )
+        assert code == EXIT_TRACE
+        err = capsys.readouterr().err
+        # Satellite: the failing file is named in the error.
+        assert str(dirty_trace_csv) in err
+
+    def test_dirty_lenient_degrades_and_reports(self, dirty_trace_csv, capsys):
+        code = main(
+            ["ingest", "--csv", str(dirty_trace_csv), "--city", "dublin",
+             "--scale", "small", "--mode", "lenient"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline health" in out
+        assert "degraded" in out
+        assert "lenient mode" in out
+
+    def test_missing_csv_exits_with_trace_code(self, tmp_path, capsys):
+        code = main(
+            ["ingest", "--csv", str(tmp_path / "nope.csv"),
+             "--city", "dublin", "--scale", "small"]
+        )
+        assert code == EXIT_TRACE
+        assert "nope.csv" in capsys.readouterr().err
+
+    def test_exhausted_budget_exits_with_trace_code(
+        self, dirty_trace_csv, capsys
+    ):
+        code = main(
+            ["ingest", "--csv", str(dirty_trace_csv), "--city", "dublin",
+             "--scale", "small", "--mode", "lenient",
+             "--max-row-errors", "0.0"]
+        )
+        assert code == EXIT_TRACE
+        assert "error budget" in capsys.readouterr().err
+
+
+class TestRunFigureCheckpointed:
+    def test_timeout_requires_checkpoint_dir(self, capsys):
+        code = main(
+            ["run-figure", "fig10", "--scale", "small",
+             "--repetitions", "2", "--timeout-per-rep", "30"]
+        )
+        assert code == EXIT_EXPERIMENT
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoints_then_resumes(self, tmp_path, capsys):
+        argv = [
+            "run-figure", "fig10", "--scale", "small",
+            "--repetitions", "2",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "checkpoints:" in first
+        assert "0 repetition(s) resumed" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 computed" in second
+        # Checkpointing must not change the rendered result tables.
+        strip = lambda text: text.split("\n", 2)[2]
+        assert strip(first) == strip(second)

@@ -8,12 +8,14 @@ import doctest
 
 import pytest
 
+import repro.errors
 import repro.graphs.digraph
 import repro.core.utility
 import repro.core.flow
 
 MODULES_WITH_EXAMPLES = [
     repro.graphs.digraph,
+    repro.errors,
 ]
 
 
