@@ -23,7 +23,7 @@ trips.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..core import IncrementalEvaluator, Scenario
 from ..errors import InfeasiblePlacementError

@@ -16,7 +16,7 @@ import math
 from typing import List, Optional, Sequence, Tuple
 
 from ..core import Scenario
-from ..errors import InfeasiblePlacementError
+from ..errors import InfeasiblePlacementError, PlacementError
 from ..graphs import NodeId
 from .base import PlacementAlgorithm, register
 
@@ -76,5 +76,6 @@ class ExhaustiveOptimal(PlacementAlgorithm):
             attracted = sum(max(row[j] for row in rows) for j in flow_range)
             if attracted > best[0]:
                 best = (attracted, subset)
-        assert best[1] is not None
+        if best[1] is None:  # unreachable: at least one subset is evaluated
+            raise PlacementError("exhaustive search evaluated no subset")
         return [useful[i] for i in best[1]]

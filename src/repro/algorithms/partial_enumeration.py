@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..core import IncrementalEvaluator, Scenario
-from ..errors import InfeasiblePlacementError
+from ..errors import InfeasiblePlacementError, PlacementError
 from ..graphs import NodeId
 from .base import PlacementAlgorithm, register
 
@@ -64,7 +64,10 @@ class PartialEnumerationGreedy(PlacementAlgorithm):
             sites, value = self._complete(scenario, list(seed), k)
             if value > best_value:
                 best_sites, best_value = sites, value
-        assert best_sites is not None
+        if best_sites is None:  # unreachable: seeds is >= 1 combination
+            raise PlacementError(
+                "partial enumeration evaluated no seed subset"
+            )
         return best_sites
 
     def _complete(

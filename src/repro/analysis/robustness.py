@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from ..core import Placement, Scenario, TrafficFlow, evaluate_placement
 from ..errors import ExperimentError

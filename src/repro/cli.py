@@ -27,6 +27,9 @@ Subcommands
     and print the pipeline-health report.
 ``inject-faults``
     Corrupt a trace CSV with seeded, reproducible faults.
+``lint``
+    Run the domain-aware static checks (RAP001..RAP005) over source
+    trees; exit 7 when findings exist.
 
 Exit codes
 ----------
@@ -34,7 +37,8 @@ Error families map to distinct nonzero exit codes so scripts can react
 without parsing stderr: ``1`` generic :class:`~repro.errors.ReproError`,
 ``2`` usage errors (argparse), ``3`` trace/format errors (including
 blown error budgets), ``4`` graph errors, ``5`` experiment errors,
-``6`` reliability errors (e.g. corrupt checkpoints).
+``6`` reliability errors (e.g. corrupt checkpoints), ``7`` lint
+findings and devtools errors.
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ from . import extensions as _extensions  # noqa: F401 — registers algorithms
 from .algorithms import algorithm_by_name, registered_algorithms
 from .core import Scenario, utility_by_name
 from .errors import (
+    DevtoolsError,
     ExperimentError,
     GraphError,
     ReliabilityError,
@@ -76,6 +81,7 @@ EXIT_TRACE = 3
 EXIT_GRAPH = 4
 EXIT_EXPERIMENT = 5
 EXIT_RELIABILITY = 6
+EXIT_LINT = 7
 
 #: Most-specific-first mapping from error family to exit code.  Note
 #: ``ErrorBudgetExceeded`` is both a TraceError and a ReliabilityError;
@@ -85,6 +91,7 @@ _ERROR_EXIT_CODES = (
     (GraphError, EXIT_GRAPH),
     (ExperimentError, EXIT_EXPERIMENT),
     (ReliabilityError, EXIT_RELIABILITY),
+    (DevtoolsError, EXIT_LINT),
 )
 
 
@@ -196,6 +203,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault severity preset (default: moderate)",
     )
     inject.add_argument("--seed", type=int, default=0)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the domain-aware static checks (RAP001..RAP005)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: the installed repro "
+        "package sources)",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--pyproject", default=None,
+        help="pyproject.toml to read [tool.rapflow-lint] from "
+        "(default: nearest in cwd ancestry)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the available rules and exit",
+    )
 
     place = commands.add_parser(
         "place", help="solve one placement instance on a generated trace"
@@ -398,6 +428,35 @@ def _cmd_inject_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .devtools.lint import (
+        ALL_RULES,
+        lint_paths,
+        load_config,
+        render_diagnostics,
+    )
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+    else:
+        # Default to the sources of the installed package itself.
+        paths = [pathlib.Path(__file__).resolve().parent]
+    pyproject = pathlib.Path(args.pyproject) if args.pyproject else None
+    config = load_config(pyproject)
+    if args.select:
+        codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        config = config.with_select(codes)
+    diagnostics = lint_paths(paths, config=config)
+    print(render_diagnostics(diagnostics))
+    return EXIT_LINT if diagnostics else 0
+
+
 def _cmd_place(args: argparse.Namespace) -> int:
     provider = TraceProvider(scale=args.scale)
     bundle = provider.get(args.city)
@@ -571,6 +630,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    from .devtools import sanitize
+
+    sanitize.install_if_enabled()
     try:
         if args.command == "list-algorithms":
             return _cmd_list_algorithms()
@@ -582,6 +644,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_ingest(args)
         if args.command == "inject-faults":
             return _cmd_inject_faults(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "place":
             return _cmd_place(args)
         if args.command == "render":

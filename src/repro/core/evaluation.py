@@ -16,7 +16,7 @@ Two entry points:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import InvalidScenarioError
 from ..graphs import INFINITY, NodeId
@@ -34,6 +34,16 @@ def evaluate_placement(
     Duplicate sites are rejected; sites may be any intersection, not just
     ``scenario.candidate_sites`` (so optimality baselines can roam).
     """
+    # Indirection so repro.devtools.sanitize can observe every call,
+    # however the caller imported this function.
+    return _evaluate_placement_impl(scenario, raps, algorithm)
+
+
+def _evaluate_placement(
+    scenario: Scenario,
+    raps: Sequence[NodeId],
+    algorithm: str = "",
+) -> Placement:
     rap_list = list(raps)
     if len(set(rap_list)) != len(rap_list):
         raise InvalidScenarioError(f"duplicate RAP sites in {rap_list!r}")
@@ -76,6 +86,10 @@ def evaluate_placement(
         outcomes=tuple(outcomes),
         algorithm=algorithm,
     )
+
+
+#: Hook point: the sanitizer replaces this to wrap every evaluation.
+_evaluate_placement_impl = _evaluate_placement
 
 
 class IncrementalEvaluator:

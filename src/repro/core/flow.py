@@ -10,7 +10,7 @@ and from the shop regardless.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..errors import InvalidFlowError

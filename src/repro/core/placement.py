@@ -11,7 +11,7 @@ breakdown.  Placements are produced by algorithms
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..graphs import INFINITY, NodeId
 

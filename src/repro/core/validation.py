@@ -14,7 +14,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..graphs import INFINITY, shortest_path_length
+from ..graphs import shortest_path_length
 from .scenario import Scenario
 
 

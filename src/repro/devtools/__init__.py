@@ -1,0 +1,25 @@
+"""Correctness tooling for the rapflow codebase.
+
+Two subsystems keep the repository's load-bearing invariants
+machine-checked as the code scales:
+
+* :mod:`repro.devtools.lint` — an AST-based static checker with
+  domain-aware rules (``RAP001``..``RAP005``): seeded randomness only,
+  no wall-clock reads in deterministic packages, error-taxonomy
+  discipline, paper-anchor validation, and ``__all__`` consistency.
+  Run it with ``rapflow lint`` (exit code 7 on findings).
+* :mod:`repro.devtools.sanitize` — opt-in runtime instrumentation (env
+  ``RAPFLOW_SANITIZE=1`` or pytest ``--sanitize``) that spot-checks, on
+  sampled placements, the monotone-submodularity of the objective that
+  underwrites the composite-greedy approximation bound, the Theorem 1
+  first-RAP tie-breaking semantics, and basic graph invariants.
+
+Neither subsystem is imported by the library's hot paths; importing
+:mod:`repro` alone never pays for them.
+"""
+
+from __future__ import annotations
+
+from . import lint, sanitize
+
+__all__ = ["lint", "sanitize"]

@@ -1,0 +1,48 @@
+"""``rapflow lint`` — domain-aware static checks for this repository.
+
+Five rules guard the invariants that generic linters cannot see:
+
+========  ==============================================================
+RAP001    no unseeded randomness (global ``random.*`` / legacy
+          ``numpy.random.*``); inject ``random.Random(seed)`` or
+          ``default_rng(seed)``
+RAP002    no wall-clock reads in the deterministic packages
+          (``core/``, ``algorithms/``, ``graphs/``, ``manhattan/``)
+RAP003    raises use the ``repro.errors`` taxonomy (or ``ValueError`` /
+          ``TypeError`` / ``NotImplementedError``); no bare/broad except
+RAP004    docstring paper citations (``Eq. 11``, ``Theorem 1``, ...)
+          resolve against the checked-in anchor registry
+RAP005    ``__all__`` agrees with what each module defines/imports
+========  ==============================================================
+
+Suppress a finding with ``# rapflow: noqa[RAP001] <why>`` on the line,
+configure via ``[tool.rapflow-lint]`` in ``pyproject.toml``, and run via
+``rapflow lint [paths...]`` — exit code 7 when findings exist.
+"""
+
+from __future__ import annotations
+
+from .anchors import PAPER_ANCHORS, extract_anchors, is_known_anchor
+from .base import FileContext, Rule, parse_pragmas
+from .config import LintConfig, load_config
+from .diagnostics import Diagnostic, render_diagnostics
+from .engine import discover_files, lint_paths, lint_source
+from .rules import ALL_RULES, RULES_BY_CODE
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "FileContext",
+    "LintConfig",
+    "PAPER_ANCHORS",
+    "RULES_BY_CODE",
+    "Rule",
+    "discover_files",
+    "extract_anchors",
+    "is_known_anchor",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "parse_pragmas",
+    "render_diagnostics",
+]

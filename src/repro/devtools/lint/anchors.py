@@ -1,0 +1,108 @@
+"""Registry of citable paper anchors (equations, theorems, figures...).
+
+Docstrings throughout :mod:`repro` cite the source paper — *Optimizing
+Roadside Advertisement Dissemination in Vehicular Cyber-Physical
+Systems* (Zheng & Wu, ICDCS 2015) — with anchors like ``Eq. 11``,
+``Theorem 1``, or ``Fig. 7``.  Those citations are load-bearing
+documentation: a typo'd equation or theorem number silently points the
+reader at nothing.  RAP004 validates every citation against this
+checked-in registry.
+
+The registry is the union of the anchors named in ``PAPER.md`` and the
+numbering ranges of the paper itself (11 display equations, 4
+algorithms, 13 figures, 3 definitions, 5 theorems, 7 sections).
+:func:`extract_anchors` is the same scanner RAP004 uses, so a test can
+assert the registry stays a superset of whatever ``PAPER.md`` cites.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+#: Canonical anchor kinds and the spellings that map onto them.
+KIND_ALIASES: Dict[str, str] = {
+    "eq": "eq",
+    "eqs": "eq",
+    "equation": "eq",
+    "equations": "eq",
+    "thm": "theorem",
+    "theorem": "theorem",
+    "theorems": "theorem",
+    "lemma": "lemma",
+    "lemmas": "lemma",
+    "fig": "fig",
+    "figs": "fig",
+    "figure": "fig",
+    "figures": "fig",
+    "alg": "algorithm",
+    "algorithm": "algorithm",
+    "algorithms": "algorithm",
+    "def": "def",
+    "definition": "def",
+    "definitions": "def",
+    "sec": "section",
+    "section": "section",
+    "sections": "section",
+}
+
+#: Valid anchor numbers per canonical kind.
+PAPER_ANCHORS: Dict[str, FrozenSet[int]] = {
+    "eq": frozenset(range(1, 12)),  # Eq. 1 .. Eq. 11
+    "theorem": frozenset(range(1, 6)),  # Theorem 1 .. Theorem 5
+    "lemma": frozenset(range(1, 4)),  # Lemma 1 .. Lemma 3
+    "fig": frozenset(range(1, 14)),  # Fig. 1 .. Fig. 13
+    "algorithm": frozenset(range(1, 5)),  # Algorithm 1 .. Algorithm 4
+    "def": frozenset(range(1, 4)),  # Definition 1 .. Definition 3
+    "section": frozenset(range(1, 8)),  # Section 1 (I) .. Section 7 (VII)
+}
+
+_SPELLINGS = "|".join(sorted(KIND_ALIASES, key=len, reverse=True))
+
+#: One citation: a kind spelling, optional period, then a number.  Roman
+#: section numerals ("Section III-B") intentionally do not match.
+CITATION = re.compile(
+    rf"\b(?P<kind>{_SPELLINGS})\.?\s+(?P<number>\d+)\b", re.IGNORECASE
+)
+
+
+def extract_anchors(text: str) -> Iterator[Tuple[str, int, int]]:
+    """Yield ``(kind, number, offset)`` for every citation in ``text``.
+
+    ``kind`` is canonical (``"eq"``, ``"theorem"``, ...); ``offset`` is
+    the character position of the match, so callers can recover line
+    numbers.
+
+    >>> [(k, n) for k, n, _ in extract_anchors("see Eq. 11 and Figure 7")]
+    [('eq', 11), ('fig', 7)]
+    """
+    for match in CITATION.finditer(text):
+        kind = KIND_ALIASES[match.group("kind").lower()]
+        yield kind, int(match.group("number")), match.start()
+
+
+def is_known_anchor(kind: str, number: int) -> bool:
+    """Whether the registry contains ``(kind, number)``.
+
+    >>> is_known_anchor("theorem", 1), is_known_anchor("theorem", 9)
+    (True, False)
+    """
+    return number in PAPER_ANCHORS.get(kind, frozenset())
+
+
+def describe(kind: str, number: int) -> str:
+    """Human form of one anchor, e.g. ``Theorem 2``."""
+    label = {"eq": "Eq.", "fig": "Fig.", "def": "Definition"}.get(
+        kind, kind.capitalize()
+    )
+    return f"{label} {number}"
+
+
+__all__ = [
+    "CITATION",
+    "KIND_ALIASES",
+    "PAPER_ANCHORS",
+    "describe",
+    "extract_anchors",
+    "is_known_anchor",
+]

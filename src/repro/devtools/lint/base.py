@@ -1,0 +1,162 @@
+"""Checker framework: per-file context, pragmas, and the rule base class.
+
+A rule is an :class:`ast.NodeVisitor` subclass with a class-level
+``code`` and ``summary``.  The engine instantiates one rule object per
+(file, rule) pair, calls :meth:`Rule.check`, and collects the emitted
+:class:`~repro.devtools.lint.diagnostics.Diagnostic` objects.  Findings
+on lines carrying a matching ``# rapflow: noqa[CODE]`` pragma (or a
+blanket ``# rapflow: noqa``) are suppressed by the engine, not the rule,
+so rules stay oblivious to suppression policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Dict, FrozenSet, List, Optional, Set
+
+from .config import LintConfig
+from .diagnostics import Diagnostic
+
+#: ``# rapflow: noqa`` or ``# rapflow: noqa[RAP001]`` /
+#: ``# rapflow: noqa[RAP001,RAP003]`` — trailing justification text is
+#: encouraged and ignored.
+_PRAGMA = re.compile(
+    r"#\s*rapflow:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel meaning "every code is suppressed on this line".
+ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+
+def parse_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the set of codes suppressed there.
+
+    >>> pragmas = parse_pragmas("x = 1  # rapflow: noqa[RAP001] seeded upstream")
+    >>> sorted(pragmas[1])
+    ['RAP001']
+    >>> parse_pragmas("y = 2  # rapflow: noqa")[1] == ALL_CODES
+    True
+    """
+    pragmas: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            pragmas[lineno] = ALL_CODES
+        else:
+            pragmas[lineno] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return pragmas
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    pragmas: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @staticmethod
+    def from_source(
+        source: str, path: Path, display_path: Optional[str] = None
+    ) -> "FileContext":
+        """Parse ``source`` into a context (raises ``SyntaxError``)."""
+        return FileContext(
+            path=path,
+            display_path=display_path or path.as_posix(),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            pragmas=parse_pragmas(source),
+        )
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is pragma-suppressed on ``line``."""
+        codes = self.pragmas.get(line)
+        if codes is None:
+            return False
+        return codes is ALL_CODES or "*" in codes or code in codes
+
+    def module_aliases(self, module: str) -> Set[str]:
+        """Local names bound to ``module`` (``import x``/``import x as y``).
+
+        Dotted imports bind their root (``import numpy.random`` binds
+        ``numpy``), matching Python's own binding rules.
+        """
+        names: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == module:
+                        names.add(alias.asname or alias.name.split(".")[0])
+                    elif alias.name.startswith(module + ".") and alias.asname is None:
+                        names.add(module.split(".")[0])
+        return names
+
+    def from_imports(self, module: str) -> Dict[str, str]:
+        """``{local name: original name}`` for ``from module import ...``."""
+        names: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == module:
+                for alias in node.names:
+                    names[alias.asname or alias.name] = alias.name
+        return names
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all lint rules.
+
+    Subclasses set ``code`` (``"RAP00x"``) and ``summary`` (one line,
+    shown by ``rapflow lint --list-rules``), then override visitor
+    methods and call :meth:`emit`.  :meth:`check` drives the visit; a
+    subclass that needs non-AST analysis may override it entirely.
+    """
+
+    code: ClassVar[str] = "RAP000"
+    summary: ClassVar[str] = ""
+
+    def __init__(self, context: FileContext, config: LintConfig) -> None:
+        self.context = context
+        self.config = config
+        self.diagnostics: List[Diagnostic] = []
+
+    def check(self) -> List[Diagnostic]:
+        """Run the rule over the file; returns its diagnostics."""
+        self.visit(self.context.tree)
+        return self.diagnostics
+
+    def emit(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        self.emit_at(
+            getattr(node, "lineno", 1), getattr(node, "col_offset", 0), message
+        )
+
+    def emit_at(self, line: int, column: int, message: str) -> None:
+        """Record a finding at an explicit location."""
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.context.display_path,
+                line=line,
+                column=column,
+                code=self.code,
+                message=message,
+            )
+        )
+
+
+__all__ = [
+    "ALL_CODES",
+    "FileContext",
+    "Rule",
+    "parse_pragmas",
+]

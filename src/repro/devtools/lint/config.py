@@ -1,0 +1,171 @@
+"""Lint configuration — defaults plus ``[tool.rapflow-lint]`` overrides.
+
+The checker is zero-config by design: :func:`LintConfig.default` encodes
+the repository's policy, and a ``[tool.rapflow-lint]`` table in
+``pyproject.toml`` can narrow or widen it.  Recognized keys::
+
+    [tool.rapflow-lint]
+    select = ["RAP001", "RAP002"]          # run only these rules
+    exclude = ["devtools/lint/fixtures"]   # path fragments to skip
+    wall-clock-banned = ["repro/core"]     # RAP002 scope (path fragments)
+    extra-allowed-raises = ["OSError"]     # RAP003 additions
+    extra-anchors = ["Theorem 9"]  # RAP004 additions  # rapflow: noqa[RAP004] doc example
+
+Unknown keys raise :class:`~repro.errors.LintConfigError` so typos do
+not silently disable a rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from ...errors import LintConfigError
+
+#: Default RAP002 scope: packages whose results must be a pure function
+#: of their inputs plus the injected seed.  Reliability (checkpoint
+#: timeouts), devtools, and the experiment runner are deliberately
+#: absent.  Matched as path fragments, so any ``core/`` directory in a
+#: linted tree is covered.
+DEFAULT_WALL_CLOCK_BANNED: Tuple[str, ...] = (
+    "core/",
+    "algorithms/",
+    "graphs/",
+    "manhattan/",
+)
+
+#: Path fragments never linted.  Empty by default: fixture trees full of
+#: deliberate violations are linted *explicitly* by the test suite, and
+#: CI lints ``src/repro`` only.
+DEFAULT_EXCLUDE: Tuple[str, ...] = ()
+
+_KNOWN_KEYS = frozenset(
+    {
+        "select",
+        "exclude",
+        "wall-clock-banned",
+        "extra-allowed-raises",
+        "extra-anchors",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective checker configuration."""
+
+    select: Optional[Tuple[str, ...]] = None
+    exclude: Tuple[str, ...] = DEFAULT_EXCLUDE
+    wall_clock_banned: Tuple[str, ...] = DEFAULT_WALL_CLOCK_BANNED
+    extra_allowed_raises: Tuple[str, ...] = ()
+    extra_anchors: Tuple[str, ...] = ()
+
+    @staticmethod
+    def default() -> "LintConfig":
+        """The repository policy with no overrides."""
+        return LintConfig()
+
+    def with_select(self, codes: Sequence[str]) -> "LintConfig":
+        """A copy restricted to ``codes`` (e.g. from ``--select``)."""
+        return replace(self, select=tuple(codes))
+
+    def is_selected(self, code: str) -> bool:
+        """Whether a rule code should run under this config."""
+        return self.select is None or code in self.select
+
+    def is_excluded(self, path: Path) -> bool:
+        """Whether ``path`` is skipped entirely."""
+        text = path.as_posix()
+        return any(fragment in text for fragment in self.exclude)
+
+    def wall_clock_applies(self, path: Path) -> bool:
+        """Whether RAP002 (no wall clock) is in force for ``path``."""
+        text = path.as_posix()
+        return any(fragment in text for fragment in self.wall_clock_banned)
+
+
+def _string_list(value: object, key: str) -> Tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintConfigError(
+            f"[tool.rapflow-lint] {key} must be a list of strings, "
+            f"got {value!r}"
+        )
+    return tuple(value)
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Read ``[tool.rapflow-lint]`` from ``pyproject``, else defaults.
+
+    ``pyproject=None`` searches the current directory and its parents for
+    a ``pyproject.toml``; a missing file or missing table yields
+    :meth:`LintConfig.default`.
+    """
+    path = pyproject if pyproject is not None else _find_pyproject()
+    if path is None or not path.is_file():
+        return LintConfig.default()
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: ship defaults rather than parse TOML
+        return LintConfig.default()
+    with open(path, "rb") as handle:
+        try:
+            data = tomllib.load(handle)
+        except tomllib.TOMLDecodeError as error:
+            raise LintConfigError(f"{path} is not valid TOML: {error}") from error
+    table = data.get("tool", {}).get("rapflow-lint")
+    if table is None:
+        return LintConfig.default()
+    unknown = sorted(set(table) - _KNOWN_KEYS)
+    if unknown:
+        raise LintConfigError(
+            f"[tool.rapflow-lint] has unknown key(s) {unknown}; "
+            f"known keys: {sorted(_KNOWN_KEYS)}"
+        )
+    config = LintConfig.default()
+    if "select" in table:
+        config = replace(config, select=_string_list(table["select"], "select"))
+    if "exclude" in table:
+        config = replace(
+            config,
+            exclude=DEFAULT_EXCLUDE + _string_list(table["exclude"], "exclude"),
+        )
+    if "wall-clock-banned" in table:
+        config = replace(
+            config,
+            wall_clock_banned=_string_list(
+                table["wall-clock-banned"], "wall-clock-banned"
+            ),
+        )
+    if "extra-allowed-raises" in table:
+        config = replace(
+            config,
+            extra_allowed_raises=_string_list(
+                table["extra-allowed-raises"], "extra-allowed-raises"
+            ),
+        )
+    if "extra-anchors" in table:
+        config = replace(
+            config,
+            extra_anchors=_string_list(table["extra-anchors"], "extra-anchors"),
+        )
+    return config
+
+
+def _find_pyproject() -> Optional[Path]:
+    current = Path.cwd()
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+__all__ = [
+    "DEFAULT_EXCLUDE",
+    "DEFAULT_WALL_CLOCK_BANNED",
+    "LintConfig",
+    "load_config",
+]

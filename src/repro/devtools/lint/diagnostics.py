@@ -1,0 +1,49 @@
+"""Lint diagnostics: the unit of output of every rule.
+
+A :class:`Diagnostic` pins one finding to a file, line, and rule code;
+rendering follows the conventional ``path:line: CODE message`` shape so
+editors and CI log scrapers pick the locations up for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding.
+
+    Ordering is (path, line, column, code) so sorted output groups by
+    file and reads top to bottom.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """``path:line: CODE message`` — the canonical one-line form."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def render_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    """All findings, sorted, one per line, plus a summary footer."""
+    ordered: List[Diagnostic] = sorted(diagnostics)
+    lines = [diagnostic.render() for diagnostic in ordered]
+    by_code: List[Tuple[str, int]] = []
+    for diagnostic in ordered:
+        if by_code and by_code[-1][0] == diagnostic.code:
+            by_code[-1] = (diagnostic.code, by_code[-1][1] + 1)
+        else:
+            by_code.append((diagnostic.code, 1))
+    counts = {}
+    for code, count in by_code:
+        counts[code] = counts.get(code, 0) + count
+    summary = ", ".join(f"{code}: {count}" for code, count in sorted(counts.items()))
+    lines.append(f"found {len(ordered)} issue(s) ({summary})" if ordered
+                 else "no issues found")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Lint engine: discover files, run selected rules, apply pragmas.
+
+:func:`lint_paths` is the single entry point used by the CLI and the
+tests.  Unparseable files produce a synthetic ``RAP000`` diagnostic at
+the syntax-error line instead of aborting the run, so one broken file
+cannot hide findings in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Type
+
+from ...errors import LintConfigError
+from .base import FileContext, Rule
+from .config import LintConfig, load_config
+from .diagnostics import Diagnostic
+from .rules import ALL_RULES, RULES_BY_CODE
+
+
+def discover_files(paths: Sequence[Path], config: LintConfig) -> List[Path]:
+    """Expand files/directories into the sorted list of lintable files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not config.is_excluded(candidate)
+            )
+        elif path.suffix == ".py" and not config.is_excluded(path):
+            files.append(path)
+    return files
+
+
+def _selected_rules(config: LintConfig) -> List[Type[Rule]]:
+    if config.select is not None:
+        unknown = sorted(set(config.select) - set(RULES_BY_CODE))
+        if unknown:
+            raise LintConfigError(
+                f"unknown rule code(s) {unknown}; available: "
+                f"{sorted(RULES_BY_CODE)}"
+            )
+    return [rule for rule in ALL_RULES if config.is_selected(rule.code)]
+
+
+def lint_source(
+    source: str,
+    path: Path,
+    config: Optional[LintConfig] = None,
+    display_path: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Lint one in-memory source blob (the testing seam)."""
+    effective = config if config is not None else LintConfig.default()
+    try:
+        context = FileContext.from_source(source, path, display_path)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=display_path or path.as_posix(),
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                code="RAP000",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    diagnostics: List[Diagnostic] = []
+    for rule_class in _selected_rules(effective):
+        for diagnostic in rule_class(context, effective).check():
+            if not context.is_suppressed(diagnostic.line, diagnostic.code):
+                diagnostics.append(diagnostic)
+    return sorted(diagnostics)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    config: Optional[LintConfig] = None,
+    pyproject: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """Lint files and directory trees; returns sorted diagnostics.
+
+    ``config`` wins over ``pyproject``; with neither, the nearest
+    ``pyproject.toml``'s ``[tool.rapflow-lint]`` table (or the built-in
+    defaults) applies.
+    """
+    effective = config if config is not None else load_config(pyproject)
+    diagnostics: List[Diagnostic] = []
+    for path in discover_files([Path(p) for p in paths], effective):
+        source = path.read_text(encoding="utf-8")
+        diagnostics.extend(lint_source(source, path, effective))
+    return sorted(diagnostics)
+
+
+__all__ = ["discover_files", "lint_paths", "lint_source"]

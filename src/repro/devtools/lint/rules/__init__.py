@@ -1,0 +1,38 @@
+"""Rule registry: every built-in lint rule, keyed by code.
+
+Adding a rule is three steps: write a :class:`~repro.devtools.lint.base.Rule`
+subclass in a ``rapNNN_*.py`` module, import it here, and append it to
+``ALL_RULES``.  The engine, CLI (``--select``, ``--list-rules``), config
+``select`` key, and pragma suppression all pick it up from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..base import Rule
+from .rap001_seeded_randomness import SeededRandomnessRule
+from .rap002_wall_clock import WallClockRule
+from .rap003_error_taxonomy import ErrorTaxonomyRule
+from .rap004_paper_anchors import PaperAnchorRule
+from .rap005_dunder_all import DunderAllRule
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    SeededRandomnessRule,
+    WallClockRule,
+    ErrorTaxonomyRule,
+    PaperAnchorRule,
+    DunderAllRule,
+)
+
+RULES_BY_CODE: Dict[str, Type[Rule]] = {rule.code: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "DunderAllRule",
+    "ErrorTaxonomyRule",
+    "PaperAnchorRule",
+    "SeededRandomnessRule",
+    "WallClockRule",
+]

@@ -1,0 +1,129 @@
+"""RAP001 — no unseeded randomness.
+
+Reproducibility is a contract in this repository: every stochastic
+component takes an explicit seed and draws from an injected
+``random.Random`` (or ``numpy.random.default_rng``) instance.  Calling
+the module-level ``random.*`` functions — or seeding the global RNG —
+reads hidden global state and silently breaks run-to-run determinism.
+
+Flags:
+
+* ``random.random()``, ``random.choice(...)``, ... — any call through
+  the stdlib ``random`` module other than constructing a ``Random`` /
+  ``SystemRandom`` instance;
+* ``random.seed(...)`` anywhere (mutates interpreter-global state);
+* ``from random import choice`` followed by ``choice(...)``;
+* ``np.random.<fn>(...)`` for the legacy numpy global RNG — only
+  ``default_rng`` / ``Generator`` / ``SeedSequence`` pass.
+
+Allowed: ``rng = random.Random(seed)`` then ``rng.choice(...)`` — calls
+through a local instance are untracked by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from ..base import FileContext, Rule
+from ..config import LintConfig
+
+#: random-module attributes that are constructors, not global-RNG draws.
+_RANDOM_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
+
+#: numpy.random attributes that produce seedable generators.
+_NUMPY_SEEDED = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+#: Names importable from ``random`` that draw from the global RNG.
+_RANDOM_GLOBAL_FNS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+
+class SeededRandomnessRule(Rule):
+    """Forbid draws from (or seeding of) interpreter-global RNGs."""
+
+    code = "RAP001"
+    summary = (
+        "randomness must flow through an injected random.Random / "
+        "default_rng, never the global RNG"
+    )
+
+    def __init__(self, context: FileContext, config: LintConfig) -> None:
+        super().__init__(context, config)
+        self._random_aliases: Set[str] = context.module_aliases("random")
+        self._numpy_aliases: Set[str] = context.module_aliases("numpy")
+        self._numpy_random_aliases: Set[str] = context.module_aliases(
+            "numpy.random"
+        )
+        self._from_random: Set[str] = {
+            local
+            for local, original in context.from_imports("random").items()
+            if original in _RANDOM_GLOBAL_FNS
+        }
+        self._from_numpy_random: Set[str] = {
+            local
+            for local, original in context.from_imports("numpy.random").items()
+            if original not in _NUMPY_SEEDED
+        }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self._check_attribute_call(node, func)
+        elif isinstance(func, ast.Name):
+            if func.id in self._from_random:
+                self.emit(
+                    node,
+                    f"call to random.{self._original_random_name(func.id)}() "
+                    "draws from the global RNG; inject a random.Random(seed)",
+                )
+            elif func.id in self._from_numpy_random:
+                self.emit(
+                    node,
+                    f"call to numpy.random.{func.id}() uses numpy's legacy "
+                    "global RNG; use numpy.random.default_rng(seed)",
+                )
+        self.generic_visit(node)
+
+    def _original_random_name(self, local: str) -> str:
+        return self.context.from_imports("random").get(local, local)
+
+    def _check_attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        base = func.value
+        # random.<fn>(...)
+        if isinstance(base, ast.Name) and base.id in self._random_aliases:
+            if func.attr == "seed":
+                self.emit(
+                    node,
+                    "random.seed() mutates the interpreter-global RNG; "
+                    "construct random.Random(seed) instead",
+                )
+            elif func.attr not in _RANDOM_CONSTRUCTORS:
+                self.emit(
+                    node,
+                    f"random.{func.attr}() draws from the global RNG; "
+                    "inject a random.Random(seed)",
+                )
+            return
+        # <numpy alias>.random.<fn>(...) or <numpy.random alias>.<fn>(...)
+        numpy_random_base = (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self._numpy_aliases
+        ) or (isinstance(base, ast.Name) and base.id in self._numpy_random_aliases)
+        if numpy_random_base and func.attr not in _NUMPY_SEEDED:
+            self.emit(
+                node,
+                f"numpy.random.{func.attr}() uses numpy's legacy global "
+                "RNG; use numpy.random.default_rng(seed)",
+            )
+
+
+__all__ = ["SeededRandomnessRule"]

@@ -1,0 +1,123 @@
+"""RAP002 — no wall-clock reads in deterministic packages.
+
+The model/algorithm layers (``core/``, ``algorithms/``, ``graphs/``,
+``manhattan/`` by default — see ``wall-clock-banned`` in the config)
+must be pure functions of their inputs: the same scenario and seed must
+produce bit-identical placements on every run, which is what makes
+checkpoint resume and the claims harness trustworthy.  Reading the wall
+clock smuggles an un-replayable input into that computation.
+
+Flags calls to ``time.time`` / ``monotonic`` / ``perf_counter`` /
+``process_time`` / ``time_ns`` and friends, ``datetime.now`` /
+``utcnow`` / ``today`` (via the module or an imported class), both as
+``time.time()`` and as ``from time import time; time()``.
+
+Modules outside the banned prefixes (reliability's checkpoint timeouts,
+the CLI, the experiment runner's progress reporting) are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..base import FileContext, Rule
+from ..config import LintConfig
+from ..diagnostics import Diagnostic
+
+#: Wall-clock functions in the stdlib ``time`` module.  ``sleep`` is
+#: included: a deterministic layer has no business pacing itself.
+_TIME_FNS = frozenset(
+    {
+        "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+        "perf_counter_ns", "process_time", "process_time_ns", "localtime",
+        "gmtime", "ctime", "sleep",
+    }
+)
+
+#: Clock-reading constructors on ``datetime.datetime`` / ``datetime.date``.
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(Rule):
+    """Forbid wall-clock reads inside the deterministic packages."""
+
+    code = "RAP002"
+    summary = (
+        "core/algorithms/graphs/manhattan must not read the wall clock "
+        "(time.time, datetime.now, ...)"
+    )
+
+    def __init__(self, context: FileContext, config: LintConfig) -> None:
+        super().__init__(context, config)
+        self._time_aliases: Set[str] = context.module_aliases("time")
+        self._datetime_module_aliases: Set[str] = context.module_aliases(
+            "datetime"
+        )
+        from_datetime = context.from_imports("datetime")
+        self._datetime_class_aliases: Set[str] = {
+            local
+            for local, original in from_datetime.items()
+            if original in {"datetime", "date"}
+        }
+        self._from_time: Set[str] = {
+            local
+            for local, original in context.from_imports("time").items()
+            if original in _TIME_FNS
+        }
+
+    def check(self) -> List[Diagnostic]:
+        if not self.config.wall_clock_applies(self.context.path):
+            return []
+        return super().check()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._from_time:
+            self.emit(
+                node,
+                f"wall-clock call {func.id}() in a deterministic package; "
+                "pass timing in from the caller",
+            )
+        elif isinstance(func, ast.Attribute):
+            self._check_attribute_call(node, func)
+        self.generic_visit(node)
+
+    def _check_attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        base = func.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in self._time_aliases
+            and func.attr in _TIME_FNS
+        ):
+            self.emit(
+                node,
+                f"wall-clock call time.{func.attr}() in a deterministic "
+                "package; pass timing in from the caller",
+            )
+            return
+        # datetime.now() via an imported class, datetime.datetime.now()
+        # via the module, or datetime.date.today().
+        clockish = func.attr in _DATETIME_FNS
+        if not clockish:
+            return
+        if isinstance(base, ast.Name) and base.id in self._datetime_class_aliases:
+            self.emit(
+                node,
+                f"wall-clock call {base.id}.{func.attr}() in a deterministic "
+                "package; pass timestamps in from the caller",
+            )
+        elif (
+            isinstance(base, ast.Attribute)
+            and base.attr in {"datetime", "date"}
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self._datetime_module_aliases
+        ):
+            self.emit(
+                node,
+                f"wall-clock call datetime.{base.attr}.{func.attr}() in a "
+                "deterministic package; pass timestamps in from the caller",
+            )
+
+
+__all__ = ["WallClockRule"]

@@ -1,0 +1,124 @@
+"""RAP003 — raises go through the ``repro.errors`` taxonomy.
+
+The CLI maps error *families* to exit codes and callers catch
+``ReproError`` at API boundaries; both contracts dissolve if library
+code starts raising ad-hoc ``RuntimeError``/``Exception``.  Every
+``raise`` of a class must name either a member of the
+:mod:`repro.errors` taxonomy or one of the blessed builtins
+(``ValueError``, ``TypeError``, ``NotImplementedError`` — argument
+validation that predates scenario construction).  Bare ``raise``
+(re-raise) and raising a lowercase-named variable (``raise error``) are
+always allowed: the original class is preserved.
+
+The rule also forbids handler black holes: bare ``except:`` and broad
+``except Exception`` / ``except BaseException`` clauses, which swallow
+taxonomy errors that were supposed to reach the CLI's exit-code mapping.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet
+
+from ..base import FileContext, Rule
+from ..config import LintConfig
+
+#: Builtins legitimate for pre-model argument validation.
+ALLOWED_BUILTINS: FrozenSet[str] = frozenset(
+    {"ValueError", "TypeError", "NotImplementedError"}
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _taxonomy_names() -> FrozenSet[str]:
+    """Public exception classes exported by :mod:`repro.errors`."""
+    from .... import errors
+
+    return frozenset(
+        name
+        for name in dir(errors)
+        if not name.startswith("_")
+        and isinstance(getattr(errors, name), type)
+        and issubclass(getattr(errors, name), BaseException)
+    )
+
+
+class ErrorTaxonomyRule(Rule):
+    """Require taxonomy (or blessed builtin) raises; forbid broad excepts."""
+
+    code = "RAP003"
+    summary = (
+        "raise repro.errors taxonomy classes (or ValueError/TypeError/"
+        "NotImplementedError); no bare or broad except"
+    )
+
+    def __init__(self, context: FileContext, config: LintConfig) -> None:
+        super().__init__(context, config)
+        self._allowed = (
+            _taxonomy_names()
+            | ALLOWED_BUILTINS
+            | frozenset(config.extra_allowed_raises)
+        )
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name = None
+        if exc is None:
+            pass  # bare re-raise keeps the original class
+        elif isinstance(exc, ast.Call):
+            name = self._class_name(exc.func)
+        else:
+            name = self._class_name(exc)
+        if name is not None and name not in self._allowed:
+            self.emit(
+                node,
+                f"raise of {name!r} bypasses the repro.errors taxonomy; "
+                "raise a ReproError subclass (or add it to "
+                "extra-allowed-raises with a justification)",
+            )
+        self.generic_visit(node)
+
+    def _class_name(self, expr: ast.expr) -> "str | None":
+        """The raised class name, or None when it cannot be a class.
+
+        ``raise error`` / ``raise err from exc`` re-raise a variable; by
+        PEP 8 convention classes are CapWords, so lowercase names are
+        treated as variables and skipped.
+        """
+        if isinstance(expr, ast.Attribute):
+            name = expr.attr
+        elif isinstance(expr, ast.Name):
+            name = expr.id
+        else:
+            return None
+        return name if name[:1].isupper() else None
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.emit(node, "bare 'except:' swallows every error; name the "
+                            "exception classes you can actually handle")
+        else:
+            for clause in self._flatten(node.type):
+                name = None
+                if isinstance(clause, ast.Name):
+                    name = clause.id
+                elif isinstance(clause, ast.Attribute):
+                    name = clause.attr
+                if name in _BROAD:
+                    self.emit(
+                        node,
+                        f"broad 'except {name}' hides taxonomy errors from "
+                        "the CLI exit-code mapping; catch ReproError or a "
+                        "specific family",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _flatten(expr: ast.expr) -> "list[ast.expr]":
+        if isinstance(expr, ast.Tuple):
+            return list(expr.elts)
+        return [expr]
+
+
+__all__ = ["ALLOWED_BUILTINS", "ErrorTaxonomyRule"]

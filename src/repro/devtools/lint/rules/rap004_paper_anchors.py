@@ -1,0 +1,77 @@
+"""RAP004 — docstring paper citations must resolve.
+
+Docstrings cite the source paper (``Eq. 11``, ``Theorem 1``,
+``Fig. 7``, ...).  Each citation is checked against the registry in
+:mod:`repro.devtools.lint.anchors`; a citation of an anchor the paper
+does not define is flagged at the docstring line that contains it.
+
+Project-specific anchors (for example a companion tech report) can be
+whitelisted via ``extra-anchors`` in ``[tool.rapflow-lint]``, using the
+human spelling (kind, then number).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple, Union
+
+from ..anchors import describe, extract_anchors, is_known_anchor
+from ..base import FileContext, Rule
+from ..config import LintConfig
+from ..diagnostics import Diagnostic
+
+_DocNode = Union[ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _parse_extra(anchors: "tuple[str, ...]") -> Set[Tuple[str, int]]:
+    extra: Set[Tuple[str, int]] = set()
+    for text in anchors:
+        for kind, number, _ in extract_anchors(text):
+            extra.add((kind, number))
+    return extra
+
+
+class PaperAnchorRule(Rule):
+    """Validate every docstring citation against the anchor registry."""
+
+    code = "RAP004"
+    summary = (
+        "docstring citations (Eq./Theorem/Fig./...) must exist in the "
+        "paper-anchor registry"
+    )
+
+    def __init__(self, context: FileContext, config: LintConfig) -> None:
+        super().__init__(context, config)
+        self._extra = _parse_extra(config.extra_anchors)
+
+    def check(self) -> List[Diagnostic]:
+        self._check_docstring(self.context.tree)
+        for node in ast.walk(self.context.tree):
+            if isinstance(
+                node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self._check_docstring(node)
+        return self.diagnostics
+
+    def _check_docstring(self, node: _DocNode) -> None:
+        docstring = ast.get_docstring(node, clean=False)
+        if not docstring:
+            return
+        body = node.body[0]
+        start_line = body.lineno if isinstance(body, ast.Expr) else 1
+        for kind, number, offset in extract_anchors(docstring):
+            if is_known_anchor(kind, number):
+                continue
+            if (kind, number) in self._extra:
+                continue
+            line = start_line + docstring.count("\n", 0, offset)
+            self.emit_at(
+                line,
+                0,
+                f"citation {describe(kind, number)!r} does not resolve "
+                "against the paper-anchor registry "
+                "(repro/devtools/lint/anchors.py)",
+            )
+
+
+__all__ = ["PaperAnchorRule"]

@@ -1,0 +1,99 @@
+"""RAP005 — ``__all__`` must agree with what the module defines.
+
+A stale ``__all__`` entry turns ``from repro.x import *`` — and, more
+importantly, the documentation generated from the export list — into a
+lie that only surfaces as an ``AttributeError`` at a caller.  For every
+module that assigns ``__all__``, each listed name must be defined in or
+imported into the module, entries must be string literals, and the list
+must be duplicate-free.
+
+Modules using ``from x import *`` are skipped (their namespace cannot be
+resolved statically), as are ``__all__`` built dynamically (augmented
+assignment, comprehension, concatenation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..base import Rule
+from ..diagnostics import Diagnostic
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Every name statically bound anywhere in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names
+
+
+def _has_star_import(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.ImportFrom)
+        and any(alias.name == "*" for alias in node.names)
+        for node in ast.walk(tree)
+    )
+
+
+class DunderAllRule(Rule):
+    """Cross-check ``__all__`` against the module's bound names."""
+
+    code = "RAP005"
+    summary = "__all__ entries must be defined/imported, literal, and unique"
+
+    def check(self) -> List[Diagnostic]:
+        tree = self.context.tree
+        assignment = self._find_all_assignment(tree)
+        if assignment is None or _has_star_import(tree):
+            return []
+        node, value = assignment
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return []  # dynamically built; out of static reach
+        bound = _bound_names(tree)
+        seen: Set[str] = set()
+        for element in value.elts:
+            if not isinstance(element, ast.Constant) or not isinstance(
+                element.value, str
+            ):
+                self.emit(
+                    element,
+                    "__all__ entries must be string literals so exports "
+                    "stay statically checkable",
+                )
+                continue
+            name = element.value
+            if name in seen:
+                self.emit(element, f"duplicate __all__ entry {name!r}")
+            seen.add(name)
+            if name not in bound:
+                self.emit(
+                    element,
+                    f"__all__ exports {name!r} but the module never defines "
+                    "or imports it",
+                )
+        return self.diagnostics
+
+    @staticmethod
+    def _find_all_assignment(
+        tree: ast.Module,
+    ) -> "Optional[tuple[ast.Assign, ast.expr]]":
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        return node, node.value
+        return None
+
+
+__all__ = ["DunderAllRule"]

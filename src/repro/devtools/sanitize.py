@@ -1,0 +1,317 @@
+"""Runtime sanitizer: sampled contract checks on live evaluations.
+
+The static rules in :mod:`repro.devtools.lint` catch what the AST can
+see; this module is the ASAN-style counterpart for what it cannot.  When
+enabled (env ``RAPFLOW_SANITIZE=1`` or pytest ``--sanitize``), every
+N-th call to :func:`repro.core.evaluation.evaluate_placement` triggers
+an audit of the scenario it ran on:
+
+* **edge weights** — every street length is finite and positive (the
+  Dijkstra layer assumes it; a negative weight voids every distance);
+* **monotonicity / submodularity** — on sampled nested site subsets
+  ``A ⊆ B`` and a site ``v ∉ B``, the objective satisfies
+  ``f(A ∪ {v}) ≥ f(A)`` and
+  ``f(A ∪ {v}) − f(A) ≥ f(B ∪ {v}) − f(B)``.  These two properties are
+  exactly what the composite-greedy ``1 − 1/√e`` approximation bound
+  consumes, so a refactor that silently breaks them invalidates the
+  guarantee even while every unit test still passes;
+* **first-RAP semantics** — the RAP recorded as serving each flow is
+  the first one in travel order attaining the minimum detour
+  (Theorem 1's tie-breaking).
+
+All sampling is driven by a private ``random.Random(seed)``, so a
+sanitized run is as reproducible as a plain one.  Violations raise
+:class:`~repro.errors.SanitizerViolation` (an ``AssertionError``
+subclass, so test runners report it as a failed assertion).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import SanitizerViolation
+from ..graphs import INFINITY, NodeId
+
+#: Environment switch; any value other than ``"" / 0 / false / no`` enables.
+SANITIZE_ENV = "RAPFLOW_SANITIZE"
+
+#: Slack for float accumulation in objective comparisons.
+TOLERANCE = 1e-7
+
+
+def is_enabled(environ: Optional[dict] = None) -> bool:
+    """Whether the environment opts into sanitized runs."""
+    env = os.environ if environ is None else environ
+    return env.get(SANITIZE_ENV, "").strip().lower() not in {
+        "", "0", "false", "no", "off",
+    }
+
+
+@dataclass
+class SanitizerReport:
+    """Tally of contract checks performed by one audit (or one session)."""
+
+    edge_checks: int = 0
+    monotonicity_checks: int = 0
+    submodularity_checks: int = 0
+    first_rap_checks: int = 0
+    audits: int = 0
+
+    def merge(self, other: "SanitizerReport") -> None:
+        """Fold another report's counters into this one."""
+        self.edge_checks += other.edge_checks
+        self.monotonicity_checks += other.monotonicity_checks
+        self.submodularity_checks += other.submodularity_checks
+        self.first_rap_checks += other.first_rap_checks
+        self.audits += other.audits
+
+    def total_checks(self) -> int:
+        """All individual contract checks across every audit."""
+        return (
+            self.edge_checks
+            + self.monotonicity_checks
+            + self.submodularity_checks
+            + self.first_rap_checks
+        )
+
+
+# ----------------------------------------------------------------------
+# individual contract checks
+# ----------------------------------------------------------------------
+def check_nonnegative_weights(network, report: Optional[SanitizerReport] = None) -> None:
+    """Every street length must be finite and strictly positive."""
+    tally = report if report is not None else SanitizerReport()
+    for tail, head, length in network.edges():
+        tally.edge_checks += 1
+        if not (length > 0) or math.isnan(length) or math.isinf(length):
+            raise SanitizerViolation(
+                f"street {tail!r} -> {head!r} has invalid length {length!r}; "
+                "shortest-path distances are meaningless",
+                check="edge-weights",
+            )
+
+
+def check_monotone_submodular(
+    scenario,
+    pool: Optional[Sequence[NodeId]] = None,
+    rng: Optional[random.Random] = None,
+    trials: int = 6,
+    max_subset: int = 4,
+    tolerance: float = TOLERANCE,
+    report: Optional[SanitizerReport] = None,
+) -> None:
+    """Spot-check that the placement objective is monotone submodular.
+
+    Samples ``trials`` configurations of nested subsets ``A ⊆ B`` drawn
+    from ``pool`` (default: the scenario's candidate sites) plus one
+    site ``v ∉ B``, and verifies both defining inequalities on the
+    exact objective :func:`~repro.core.evaluation.evaluate_placement`.
+    """
+    from ..core import evaluation
+
+    tally = report if report is not None else SanitizerReport()
+    generator = rng if rng is not None else random.Random(0)
+    sites: List[NodeId] = list(
+        pool if pool is not None else scenario.candidate_sites
+    )
+    if len(sites) < 2:
+        return
+    def value(subset: Sequence[NodeId]) -> float:
+        return evaluation.evaluate_placement(scenario, list(subset)).attracted
+    for _ in range(max(0, trials)):
+        b_size = generator.randint(1, min(max_subset, len(sites) - 1))
+        b_set = generator.sample(sites, b_size)
+        a_set = b_set[: generator.randint(0, len(b_set) - 1)]
+        extra = generator.choice([s for s in sites if s not in b_set])
+        f_a = value(a_set)
+        f_av = value([*a_set, extra])
+        f_b = value(b_set)
+        f_bv = value([*b_set, extra])
+        tally.monotonicity_checks += 1
+        if f_av < f_a - tolerance or f_bv < f_b - tolerance:
+            raise SanitizerViolation(
+                "objective is not monotone: adding RAP "
+                f"{extra!r} decreased the attracted volume "
+                f"({f_a:.9g} -> {f_av:.9g}, {f_b:.9g} -> {f_bv:.9g}); "
+                "the greedy approximation bound no longer holds",
+                check="monotonicity",
+            )
+        tally.submodularity_checks += 1
+        if (f_av - f_a) + tolerance < (f_bv - f_b):
+            raise SanitizerViolation(
+                "objective is not submodular: marginal gain of "
+                f"{extra!r} grew from {f_av - f_a:.9g} on A (|A|="
+                f"{len(a_set)}) to {f_bv - f_b:.9g} on B ⊇ A (|B|="
+                f"{len(b_set)}); the composite-greedy 1 - 1/sqrt(e) "
+                "bound no longer holds",
+                check="submodularity",
+            )
+
+
+def check_first_rap_semantics(
+    scenario, placement, report: Optional[SanitizerReport] = None
+) -> None:
+    """Re-derive Theorem 1's serving-RAP choice and compare.
+
+    For every evaluated flow, the serving RAP must be the *first* placed
+    RAP in travel order that attains the minimum detour among all placed
+    RAPs on the flow's path, and the recorded detour must equal that
+    minimum.
+    """
+    tally = report if report is not None else SanitizerReport()
+    rap_set = set(placement.raps)
+    calculator = scenario.detour_calculator
+    for flow, outcome in zip(scenario.flows, placement.outcomes):
+        best = INFINITY
+        first: Optional[NodeId] = None
+        for node, detour in calculator.detours_along(flow):
+            if node in rap_set and detour < best:
+                best, first = detour, node
+        tally.first_rap_checks += 1
+        if outcome.serving_rap != first:
+            raise SanitizerViolation(
+                f"flow {flow.label or flow.path!r}: serving RAP "
+                f"{outcome.serving_rap!r} is not the first minimum-detour "
+                f"RAP {first!r} (Theorem 1 tie-breaking)",
+                check="first-rap",
+            )
+        if first is not None and not math.isclose(
+            outcome.detour, best, rel_tol=1e-9, abs_tol=1e-9
+        ):
+            raise SanitizerViolation(
+                f"flow {flow.label or flow.path!r}: recorded detour "
+                f"{outcome.detour!r} differs from the true minimum "
+                f"{best!r} over the placed RAPs",
+                check="first-rap",
+            )
+
+
+def audit_scenario(
+    scenario,
+    placement=None,
+    rng: Optional[random.Random] = None,
+    trials: int = 6,
+    max_pool: int = 16,
+    report: Optional[SanitizerReport] = None,
+) -> SanitizerReport:
+    """Run every contract check against one scenario (and placement).
+
+    ``max_pool`` caps the candidate pool sampled for the submodularity
+    check, keeping an audit cheap even on city-scale scenarios.
+    """
+    tally = report if report is not None else SanitizerReport()
+    generator = rng if rng is not None else random.Random(0)
+    tally.audits += 1
+    check_nonnegative_weights(scenario.network, report=tally)
+    pool: List[NodeId] = list(scenario.candidate_sites)
+    if len(pool) > max_pool:
+        pool = generator.sample(pool, max_pool)
+    check_monotone_submodular(
+        scenario, pool=pool, rng=generator, trials=trials, report=tally
+    )
+    if placement is not None:
+        check_first_rap_semantics(scenario, placement, report=tally)
+    return tally
+
+
+# ----------------------------------------------------------------------
+# instrumentation: wrap the evaluation entry point
+# ----------------------------------------------------------------------
+@dataclass
+class _Installation:
+    original: Callable
+    rng: random.Random
+    sample_every: int
+    trials: int
+    calls: int = 0
+    in_audit: bool = False
+    report: SanitizerReport = field(default_factory=SanitizerReport)
+
+
+_active: Optional[_Installation] = None
+
+
+def install(
+    sample_every: int = 16, trials: int = 4, seed: int = 0
+) -> SanitizerReport:
+    """Wrap ``evaluate_placement`` with sampled audits; idempotent.
+
+    Every ``sample_every``-th evaluation (the first call always
+    qualifies) re-audits its scenario and placement.  Returns the live
+    :class:`SanitizerReport` that accumulates across calls; read it
+    after a run to see how many contracts were exercised.
+    """
+    global _active
+    if _active is not None:
+        return _active.report
+    from ..core import evaluation
+
+    installation = _Installation(
+        original=evaluation._evaluate_placement_impl,
+        rng=random.Random(seed),
+        sample_every=max(1, sample_every),
+        trials=trials,
+    )
+
+    def sanitized_evaluate_placement(scenario, raps, algorithm: str = ""):
+        placement = installation.original(scenario, raps, algorithm)
+        if installation.in_audit:
+            return placement
+        installation.calls += 1
+        if (installation.calls - 1) % installation.sample_every != 0:
+            return placement
+        installation.in_audit = True
+        try:
+            audit_scenario(
+                scenario,
+                placement,
+                rng=installation.rng,
+                trials=installation.trials,
+                report=installation.report,
+            )
+        finally:
+            installation.in_audit = False
+        return placement
+
+    evaluation._evaluate_placement_impl = sanitized_evaluate_placement
+    _active = installation
+    return installation.report
+
+
+def uninstall() -> Optional[SanitizerReport]:
+    """Remove the wrapper; returns the accumulated report, if any."""
+    global _active
+    if _active is None:
+        return None
+    from ..core import evaluation
+
+    evaluation._evaluate_placement_impl = _active.original
+    report = _active.report
+    _active = None
+    return report
+
+
+def install_if_enabled() -> Optional[SanitizerReport]:
+    """Install iff ``RAPFLOW_SANITIZE`` opts in (the conftest hook)."""
+    if is_enabled():
+        return install()
+    return None
+
+
+__all__ = [
+    "SANITIZE_ENV",
+    "TOLERANCE",
+    "SanitizerReport",
+    "audit_scenario",
+    "check_first_rap_semantics",
+    "check_monotone_submodular",
+    "check_nonnegative_weights",
+    "install",
+    "install_if_enabled",
+    "is_enabled",
+    "uninstall",
+]

@@ -147,6 +147,40 @@ class CheckpointError(ReliabilityError):
     """
 
 
+class DevtoolsError(ReproError):
+    """Base class for correctness-tooling errors (lint, sanitizer).
+
+    >>> issubclass(DevtoolsError, ReproError)
+    True
+    """
+
+
+class LintConfigError(DevtoolsError, ValueError):
+    """A ``[tool.rapflow-lint]`` table (or ``--select``) is invalid.
+
+    >>> issubclass(LintConfigError, DevtoolsError)
+    True
+    """
+
+
+class SanitizerViolation(DevtoolsError, AssertionError):
+    """A runtime contract check failed under ``RAPFLOW_SANITIZE=1``.
+
+    ``check`` names the violated contract (``"monotonicity"``,
+    ``"submodularity"``, ``"edge-weights"``, ``"first-rap"``) so test
+    harnesses can assert on the failure class:
+
+    >>> SanitizerViolation("gain decreased", check="monotonicity").check
+    'monotonicity'
+    >>> issubclass(SanitizerViolation, AssertionError)
+    True
+    """
+
+    def __init__(self, message: object = "", check: str = "invariant") -> None:
+        super().__init__(message)
+        self.check = check
+
+
 class ExperimentError(ReproError):
     """Base class for experiment-harness errors."""
 

@@ -9,7 +9,7 @@ against the paper at a glance.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from .results import FigureResult, PanelResult
 

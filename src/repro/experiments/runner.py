@@ -21,7 +21,7 @@ cost by ~|ks|x.  The two-stage Manhattan algorithms are not (the
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms import algorithm_by_name
@@ -42,12 +42,11 @@ from ..traces import (
     generate_seattle_trace,
 )
 from .locations import (
-    LocationClass,
     classify_intersections,
     locations_of_class,
 )
 from .results import FigureResult, PanelResult, Series, mean_and_stdev
-from .spec import GENERAL, MANHATTAN, FigureSpec, PanelSpec
+from .spec import MANHATTAN, FigureSpec, PanelSpec
 
 #: Algorithms whose k-selection is a prefix of their (k+1)-selection.
 PREFIX_CONSISTENT = {

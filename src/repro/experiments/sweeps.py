@@ -20,7 +20,7 @@ ready for :func:`repro.analysis.charts.line_chart`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..algorithms import PlacementAlgorithm, algorithm_by_name
 from ..core import Scenario, TrafficFlow, evaluate_placement, utility_by_name

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import IncrementalEvaluator, Scenario, TrafficFlow, UtilityFunction
+from ..core import Scenario, TrafficFlow, UtilityFunction
 from ..errors import InvalidScenarioError
 from ..graphs import INFINITY, NodeId, RoadNetwork
 

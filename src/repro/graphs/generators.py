@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .digraph import NodeId, RoadNetwork
 from .geometry import Point

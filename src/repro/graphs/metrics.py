@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from .digraph import NodeId, RoadNetwork
 from .shortest_paths import dijkstra

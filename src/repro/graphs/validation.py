@@ -9,7 +9,7 @@ restore strong connectivity.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, List, Set
 
 from ..errors import DisconnectedGraphError
 from .digraph import NodeId, RoadNetwork

@@ -13,7 +13,7 @@ shop fields, so evaluating a placement costs ``O(|T| * k)`` after warm-up.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import FlowOutcome, Placement
 from ..errors import InvalidScenarioError

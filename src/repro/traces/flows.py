@@ -19,7 +19,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..core import PAPER_ALPHA, TrafficFlow
 from ..errors import TraceError
-from ..graphs import NodeId, RoadNetwork
+from ..graphs import NodeId
 from .mapmatch import MatchReport, MatchResult
 
 

@@ -90,7 +90,10 @@ class GridIndex:
             radius += 1
             if radius > max_radius + 2 and best is not None:
                 break
-        assert best is not None
+        if best is None:  # unreachable: the index refuses empty networks
+            raise MapMatchError(
+                f"spatial index found no intersection near {point!r}"
+            )
         return best, best_distance
 
 

@@ -8,7 +8,7 @@ flip and fit-to-view transform.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 from xml.sax.saxutils import escape, quoteattr
 
 from ..graphs import BoundingBox, Point

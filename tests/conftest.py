@@ -25,6 +25,37 @@ from repro.core import LinearUtility, Scenario, ThresholdUtility, TrafficFlow
 from repro.graphs import Point, RoadNetwork
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="enable the runtime sanitizer (same as RAPFLOW_SANITIZE=1): "
+        "sampled monotonicity/submodularity, Theorem 1, and graph "
+        "invariant checks on every evaluated placement",
+    )
+
+
+def pytest_configure(config):
+    from repro.devtools import sanitize
+
+    if config.getoption("--sanitize") or sanitize.is_enabled():
+        sanitize.install()
+        config._rapflow_sanitize_installed = True
+
+
+def pytest_unconfigure(config):
+    if getattr(config, "_rapflow_sanitize_installed", False):
+        from repro.devtools import sanitize
+
+        report = sanitize.uninstall()
+        if report is not None and report.audits:
+            print(
+                f"\n[rapflow sanitizer] {report.audits} audit(s), "
+                f"{report.total_checks()} contract check(s), 0 violations"
+            )
+
+
 def build_paper_network() -> RoadNetwork:
     net = RoadNetwork()
     positions = {

@@ -1,0 +1,20 @@
+"""Fixture: a file that satisfies every RAP rule.
+
+Cites Theorem 1 (which exists), seeds its RNG, raises through the
+taxonomy, reads no clocks, and keeps ``__all__`` honest.
+"""
+
+import random
+
+from repro.errors import InvalidScenarioError
+
+
+def pick(items, seed=0):
+    """Seeded choice; tie-breaking follows Theorem 1 semantics."""
+    rng = random.Random(seed)
+    if not items:
+        raise InvalidScenarioError("nothing to pick from")
+    return rng.choice(items)
+
+
+__all__ = ["pick"]

@@ -1,0 +1,11 @@
+"""Fixture: RAP002 violation — wall clock in a deterministic package.
+
+Lives under a ``core/`` directory so the default ``wall-clock-banned``
+fragment (``core/``) puts it in scope, exactly like ``repro/core``.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: RAP001 violation — draws from the global RNG."""
+
+import random
+
+
+def pick(items):
+    return random.choice(items)

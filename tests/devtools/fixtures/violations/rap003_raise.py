@@ -1,0 +1,12 @@
+"""Fixture: RAP003 violations — ad-hoc raise and a broad except."""
+
+
+def explode():
+    raise RuntimeError("not part of the repro.errors taxonomy")
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

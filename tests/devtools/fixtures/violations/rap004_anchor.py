@@ -1,0 +1,6 @@
+"""Fixture: RAP004 violation — cites Theorem 9, which the paper lacks."""
+
+
+def bound():
+    """Implements the bound of Theorem 9 of the paper."""
+    return 1.0

@@ -1,0 +1,8 @@
+"""Fixture: RAP005 violation — __all__ exports a ghost name."""
+
+
+def present():
+    return True
+
+
+__all__ = ["present", "absent"]

@@ -1,0 +1,59 @@
+"""`rapflow lint` CLI: exit codes, output shape, rule listing."""
+
+import re
+from pathlib import Path
+
+from repro.cli import EXIT_LINT, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_lint_violation_tree_exits_7(capsys):
+    code = main(["lint", str(FIXTURES / "violations")])
+    out = capsys.readouterr().out
+    assert code == EXIT_LINT == 7
+    # Every rule appears, in canonical path:line: CODE form.
+    for rule in ("RAP001", "RAP002", "RAP003", "RAP004", "RAP005"):
+        assert re.search(rf"^\S+\.py:\d+: {rule} ", out, re.MULTILINE), (
+            f"{rule} missing from output:\n{out}"
+        )
+
+
+def test_lint_clean_tree_exits_0(capsys):
+    code = main(["lint", str(FIXTURES / "clean")])
+    assert code == 0
+    assert "no issues found" in capsys.readouterr().out
+
+
+def test_lint_shipped_package_exits_0(capsys):
+    import repro
+
+    code = main(["lint", str(Path(repro.__file__).parent)])
+    assert code == 0
+
+
+def test_lint_default_paths_cover_installed_package(capsys):
+    # No positional paths: lint the installed repro package itself.
+    code = main(["lint"])
+    assert code == 0
+    assert "no issues found" in capsys.readouterr().out
+
+
+def test_lint_select_restricts_rules(capsys):
+    code = main(["lint", str(FIXTURES / "violations"), "--select", "RAP005"])
+    out = capsys.readouterr().out
+    assert code == EXIT_LINT
+    assert "RAP005" in out and "RAP001" not in out
+
+
+def test_lint_unknown_select_is_devtools_error(capsys):
+    code = main(["lint", str(FIXTURES / "clean"), "--select", "RAP999"])
+    assert code == EXIT_LINT  # LintConfigError maps to the devtools family
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_lint_list_rules(capsys):
+    code = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("RAP00") == 5

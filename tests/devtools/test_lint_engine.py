@@ -1,0 +1,142 @@
+"""Checker framework behavior: pragmas, config, discovery, output format."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    LintConfig,
+    lint_paths,
+    lint_source,
+    render_diagnostics,
+)
+from repro.devtools.lint.config import load_config
+from repro.errors import LintConfigError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+VIOLATION = "import random\nx = random.random()\n"
+
+
+class TestPragmas:
+    def test_specific_code_suppresses(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # rapflow: noqa[RAP001] seeded upstream\n"
+        )
+        assert lint_source(source, Path("f.py")) == []
+
+    def test_blanket_pragma_suppresses(self):
+        source = "import random\nx = random.random()  # rapflow: noqa\n"
+        assert lint_source(source, Path("f.py")) == []
+
+    def test_other_code_does_not_suppress(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # rapflow: noqa[RAP002] wrong code\n"
+        )
+        diags = lint_source(source, Path("f.py"))
+        assert [d.code for d in diags] == ["RAP001"]
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        source = (
+            "import random  # rapflow: noqa[RAP001]\n"
+            "x = random.random()\n"
+        )
+        diags = lint_source(source, Path("f.py"))
+        assert [d.code for d in diags] == ["RAP001"]
+
+    def test_multi_code_pragma(self):
+        source = (
+            "import time, random\n"
+            "x = random.seed(time.time())  # rapflow: noqa[RAP001, RAP002]\n"
+        )
+        assert lint_source(source, Path("core/x.py")) == []
+
+
+class TestConfig:
+    def test_select_restricts_rules(self):
+        config = LintConfig.default().with_select(["RAP002"])
+        assert lint_source(VIOLATION, Path("f.py"), config) == []
+
+    def test_unknown_select_code_raises(self):
+        config = LintConfig.default().with_select(["RAP999"])
+        with pytest.raises(LintConfigError):
+            lint_source(VIOLATION, Path("f.py"), config)
+
+    def test_exclude_fragment_skips_files(self, tmp_path):
+        bad = tmp_path / "generated" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(VIOLATION)
+        config_all = LintConfig.default()
+        assert len(lint_paths([tmp_path], config=config_all)) == 1
+        config_excluded = LintConfig(exclude=("generated",))
+        assert lint_paths([tmp_path], config=config_excluded) == []
+
+    def test_pyproject_table_is_loaded(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.rapflow-lint]\nselect = [\"RAP003\"]\n"
+        )
+        config = load_config(pyproject)
+        assert config.select == ("RAP003",)
+
+    def test_pyproject_unknown_key_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.rapflow-lint]\nselct = [\"RAP001\"]\n")
+        with pytest.raises(LintConfigError):
+            load_config(pyproject)
+
+    def test_pyproject_bad_type_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.rapflow-lint]\nselect = \"RAP001\"\n")
+        with pytest.raises(LintConfigError):
+            load_config(pyproject)
+
+    def test_missing_pyproject_yields_defaults(self, tmp_path):
+        config = load_config(tmp_path / "nope.toml")
+        assert config == LintConfig.default()
+
+
+class TestEngine:
+    def test_syntax_error_becomes_rap000(self):
+        diags = lint_source("def broken(:\n", Path("f.py"))
+        assert [d.code for d in diags] == ["RAP000"]
+        assert "does not parse" in diags[0].message
+
+    def test_diagnostic_render_format(self):
+        diags = lint_source(VIOLATION, Path("pkg/mod.py"))
+        assert len(diags) == 1
+        assert re.match(r"^pkg/mod\.py:2: RAP001 ", diags[0].render())
+
+    def test_render_diagnostics_summary(self):
+        diags = lint_source(VIOLATION, Path("f.py"))
+        text = render_diagnostics(diags)
+        assert "found 1 issue(s) (RAP001: 1)" in text
+        assert render_diagnostics([]) == "no issues found"
+
+    def test_diagnostics_sorted_by_location(self):
+        source = (
+            "import random\n"
+            "b = random.random()\n"
+            "a = random.random()\n"
+        )
+        diags = lint_source(source, Path("f.py"))
+        assert [d.line for d in diags] == [2, 3]
+
+
+class TestFixtureTrees:
+    def test_violation_tree_flags_every_rule(self):
+        diags = lint_paths([FIXTURES / "violations"])
+        found = {d.code for d in diags}
+        assert found == {"RAP001", "RAP002", "RAP003", "RAP004", "RAP005"}
+
+    def test_clean_tree_is_clean(self):
+        assert lint_paths([FIXTURES / "clean"]) == []
+
+    def test_shipped_tree_is_clean(self):
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        assert lint_paths([package_root]) == []

@@ -1,0 +1,226 @@
+"""Per-rule fixtures: one passing and one failing snippet for each rule."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import LintConfig, lint_source
+
+
+def run(source: str, filename: str = "snippet.py", config: LintConfig = None):
+    effective = config if config is not None else LintConfig.default()
+    return lint_source(source, Path(filename), effective)
+
+
+def codes(diagnostics):
+    return [diagnostic.code for diagnostic in diagnostics]
+
+
+# ----------------------------------------------------------------------
+# RAP001 — unseeded randomness
+# ----------------------------------------------------------------------
+class TestRap001:
+    def test_global_draw_flagged(self):
+        diags = run("import random\nx = random.random()\n")
+        assert codes(diags) == ["RAP001"]
+        assert "global RNG" in diags[0].message
+
+    def test_global_seed_flagged(self):
+        diags = run("import random\nrandom.seed(4)\n")
+        assert codes(diags) == ["RAP001"]
+
+    def test_from_import_draw_flagged(self):
+        diags = run("from random import choice\nx = choice([1, 2])\n")
+        assert codes(diags) == ["RAP001"]
+
+    def test_numpy_legacy_global_flagged(self):
+        diags = run("import numpy as np\nx = np.random.rand(3)\n")
+        assert codes(diags) == ["RAP001"]
+
+    def test_injected_instance_passes(self):
+        clean = (
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "x = rng.random()\n"
+            "y = rng.choice([1, 2])\n"
+        )
+        assert run(clean) == []
+
+    def test_numpy_default_rng_passes(self):
+        clean = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert run(clean) == []
+
+    def test_unrelated_module_named_random_attribute_passes(self):
+        # rng.random() through a local instance is exempt by design.
+        assert run("def f(rng):\n    return rng.random()\n") == []
+
+
+# ----------------------------------------------------------------------
+# RAP002 — wall clock in deterministic packages
+# ----------------------------------------------------------------------
+class TestRap002:
+    def test_time_call_flagged_in_core(self):
+        diags = run("import time\nt = time.monotonic()\n", "core/detour.py")
+        assert codes(diags) == ["RAP002"]
+
+    def test_datetime_now_flagged_in_core(self):
+        diags = run(
+            "from datetime import datetime\nt = datetime.now()\n",
+            "algorithms/greedy.py",
+        )
+        assert codes(diags) == ["RAP002"]
+
+    def test_datetime_module_form_flagged(self):
+        diags = run(
+            "import datetime\nt = datetime.datetime.now()\n",
+            "graphs/astar.py",
+        )
+        assert codes(diags) == ["RAP002"]
+
+    def test_from_import_time_flagged(self):
+        diags = run(
+            "from time import perf_counter\nt = perf_counter()\n",
+            "manhattan/grid.py",
+        )
+        assert codes(diags) == ["RAP002"]
+
+    def test_outside_banned_packages_passes(self):
+        assert run("import time\nt = time.time()\n", "reliability/x.py") == []
+
+    def test_clockless_core_passes(self):
+        assert run("import math\nx = math.sqrt(2.0)\n", "core/detour.py") == []
+
+
+# ----------------------------------------------------------------------
+# RAP003 — error taxonomy discipline
+# ----------------------------------------------------------------------
+class TestRap003:
+    def test_adhoc_raise_flagged(self):
+        diags = run("def f():\n    raise RuntimeError('boom')\n")
+        assert codes(diags) == ["RAP003"]
+
+    def test_bare_except_flagged(self):
+        diags = run("try:\n    pass\nexcept:\n    pass\n")
+        assert codes(diags) == ["RAP003"]
+
+    def test_broad_except_flagged(self):
+        diags = run("try:\n    pass\nexcept Exception:\n    pass\n")
+        assert codes(diags) == ["RAP003"]
+
+    def test_broad_except_in_tuple_flagged(self):
+        diags = run("try:\n    pass\nexcept (ValueError, Exception):\n    pass\n")
+        assert codes(diags) == ["RAP003"]
+
+    def test_taxonomy_and_builtin_raises_pass(self):
+        clean = (
+            "from repro.errors import InvalidScenarioError\n"
+            "def f(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('negative')\n"
+            "    raise InvalidScenarioError('bad scenario')\n"
+        )
+        assert run(clean) == []
+
+    def test_reraise_and_variable_raise_pass(self):
+        clean = (
+            "from repro.errors import ReproError\n"
+            "def f(fn):\n"
+            "    try:\n"
+            "        fn()\n"
+            "    except ReproError as error:\n"
+            "        raise\n"
+            "    except ValueError as error:\n"
+            "        raise error\n"
+        )
+        assert run(clean) == []
+
+    def test_extra_allowed_raises_config(self):
+        config = LintConfig(extra_allowed_raises=("KeyboardInterrupt",))
+        assert run("raise KeyboardInterrupt()\n", config=config) == []
+        assert codes(run("raise KeyboardInterrupt()\n")) == ["RAP003"]
+
+
+# ----------------------------------------------------------------------
+# RAP004 — paper anchors
+# ----------------------------------------------------------------------
+class TestRap004:
+    def test_unknown_theorem_flagged(self):
+        diags = run('def f():\n    """Proof of Theorem 9."""\n')
+        assert codes(diags) == ["RAP004"]
+        assert "Theorem 9" in diags[0].message
+        assert diags[0].line == 2
+
+    def test_unknown_equation_flagged(self):
+        diags = run('"""Module on Eq. 99."""\n')
+        assert codes(diags) == ["RAP004"]
+        assert diags[0].line == 1
+
+    def test_known_anchors_pass(self):
+        clean = (
+            '"""Implements Eq. 11 and Algorithm 2.\n'
+            "\n"
+            "See Theorem 1 tie-breaking and Fig. 7.\n"
+            '"""\n'
+        )
+        assert run(clean) == []
+
+    def test_roman_sections_ignored(self):
+        assert run('"""See Section III-B of the paper."""\n') == []
+
+    def test_extra_anchor_config(self):
+        config = LintConfig(extra_anchors=("Theorem 9",))
+        assert run('"""Uses Theorem 9."""\n', config=config) == []
+
+    def test_non_citation_numbers_pass(self):
+        assert run('"""Uses 4 algorithms over 13 figures."""\n') == []
+
+
+# ----------------------------------------------------------------------
+# RAP005 — __all__ consistency
+# ----------------------------------------------------------------------
+class TestRap005:
+    def test_ghost_export_flagged(self):
+        diags = run("def f():\n    pass\n__all__ = ['f', 'g']\n")
+        assert codes(diags) == ["RAP005"]
+        assert "'g'" in diags[0].message
+
+    def test_duplicate_export_flagged(self):
+        diags = run("def f():\n    pass\n__all__ = ['f', 'f']\n")
+        assert codes(diags) == ["RAP005"]
+        assert "duplicate" in diags[0].message
+
+    def test_non_literal_entry_flagged(self):
+        diags = run("name = 'f'\ndef f():\n    pass\n__all__ = [name]\n")
+        assert codes(diags) == ["RAP005"]
+
+    def test_consistent_all_passes(self):
+        clean = (
+            "import math\n"
+            "from pathlib import Path\n"
+            "X = 1\n"
+            "def f():\n"
+            "    pass\n"
+            "class C:\n"
+            "    pass\n"
+            "__all__ = ['C', 'Path', 'X', 'f', 'math']\n"
+        )
+        assert run(clean) == []
+
+    def test_star_import_module_skipped(self):
+        assert run("from os.path import *\n__all__ = ['ghost']\n") == []
+
+    def test_module_without_all_skipped(self):
+        assert run("def f():\n    pass\n") == []
+
+
+def test_every_rule_has_fixture_coverage():
+    """Meta: the registry and this file agree on the rule set."""
+    from repro.devtools.lint import RULES_BY_CODE
+
+    assert sorted(RULES_BY_CODE) == [
+        "RAP001", "RAP002", "RAP003", "RAP004", "RAP005",
+    ]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

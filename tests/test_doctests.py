@@ -12,10 +12,14 @@ import repro.errors
 import repro.graphs.digraph
 import repro.core.utility
 import repro.core.flow
+import repro.devtools.lint.anchors
+import repro.devtools.lint.base
 
 MODULES_WITH_EXAMPLES = [
     repro.graphs.digraph,
     repro.errors,
+    repro.devtools.lint.anchors,
+    repro.devtools.lint.base,
 ]
 
 
