@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory harness: archive per-bench medians per commit.
+
+Runs the core benchmark files (``benchmarks/bench_algorithms.py`` and
+``benchmarks/bench_scaling.py``) under pytest-benchmark at the small
+trace scale, extracts the median runtime of every bench, and writes
+``BENCH_core.json`` — one snapshot of {bench name, median seconds,
+backend, git SHA} per invocation — so successive commits accumulate a
+performance trajectory that CI can archive and compare.
+
+The backend-paired benches (``test_greedy_backend_k10``) additionally
+yield python-vs-numpy speedups per greedy variant, printed to stdout and
+summarized as their geometric mean (``greedy_placement_speedup``).
+
+When pytest-benchmark is unavailable the harness falls back to a
+perf_counter timing loop over the same greedy backend pairs, marking the
+snapshot's ``source`` accordingly.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py [--out BENCH_core.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILES = (
+    "benchmarks/bench_algorithms.py",
+    "benchmarks/bench_scaling.py",
+)
+GREEDY_ALGORITHMS = (
+    "greedy-coverage",
+    "composite-greedy",
+    "marginal-greedy",
+    "lazy-greedy",
+)
+
+
+def git_sha() -> str:
+    """Current commit SHA (``unknown`` outside a git checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return out.stdout.strip()
+
+
+def _bench_env(scale: str) -> Dict[str, str]:
+    env = dict(os.environ)
+    env["RAPFLOW_BENCH_SCALE"] = scale
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def have_pytest_benchmark() -> bool:
+    try:
+        import pytest_benchmark  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_pytest_benchmarks(scale: str) -> List[Dict[str, object]]:
+    """Run the bench files under pytest-benchmark; return bench records."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report = pathlib.Path(tmp) / "report.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *BENCH_FILES,
+            "-q",
+            "-o",
+            "addopts=",
+            "--benchmark-min-rounds",
+            "7",
+            "--benchmark-json",
+            str(report),
+        ]
+        completed = subprocess.run(cmd, cwd=REPO_ROOT, env=_bench_env(scale))
+        if completed.returncode != 0:
+            raise SystemExit(
+                f"benchmark run failed with exit code {completed.returncode}"
+            )
+        payload = json.loads(report.read_text())
+    records: List[Dict[str, object]] = []
+    for bench in payload.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        records.append(
+            {
+                "name": bench["name"],
+                "median_seconds": bench["stats"]["median"],
+                "backend": extra.get("backend"),
+                "algorithm": extra.get("algorithm"),
+                "scale": extra.get("scale", scale),
+            }
+        )
+    return records
+
+
+def run_fallback_timers(scale: str) -> List[Dict[str, object]]:
+    """Minimal stand-in when pytest-benchmark is missing.
+
+    Times only the greedy backend pairs (the speedup-bearing benches)
+    with a perf_counter loop on the same Dublin scenario the benchmark
+    module uses.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.algorithms import algorithm_by_name
+    from repro.core import LinearUtility, Scenario
+    from repro.experiments import (
+        LocationClass,
+        TraceProvider,
+        classify_intersections,
+        locations_of_class,
+    )
+
+    provider = TraceProvider(scale=scale)
+    bundle = provider.get("dublin")
+    classes = classify_intersections(bundle.network, bundle.flows)
+    shop = locations_of_class(classes, LocationClass.CITY)[0]
+    scenario = Scenario(
+        bundle.network, bundle.flows, shop, LinearUtility(20_000.0)
+    )
+    scenario.coverage.packed()
+    k = min(10, len(scenario.candidate_sites))
+
+    records: List[Dict[str, object]] = []
+    for name in GREEDY_ALGORITHMS:
+        for backend in ("python", "numpy"):
+            algorithm = algorithm_by_name(name, backend=backend)
+            algorithm.select(scenario, k)  # warm caches
+            samples: List[float] = []
+            for _ in range(75):
+                start = time.perf_counter()
+                algorithm.select(scenario, k)
+                samples.append(time.perf_counter() - start)
+            records.append(
+                {
+                    "name": f"test_greedy_backend_k10[{name}-{backend}]",
+                    "median_seconds": statistics.median(samples),
+                    "backend": backend,
+                    "algorithm": name,
+                    "scale": scale,
+                }
+            )
+    return records
+
+
+def backend_speedups(
+    records: List[Dict[str, object]],
+) -> Dict[str, float]:
+    """Per-algorithm python/numpy median ratios from the paired benches."""
+    medians: Dict[tuple, float] = {}
+    for record in records:
+        if record.get("backend") and record.get("algorithm"):
+            key = (str(record["algorithm"]), str(record["backend"]))
+            medians[key] = float(record["median_seconds"])  # type: ignore[arg-type]
+    speedups: Dict[str, float] = {}
+    for algorithm in GREEDY_ALGORITHMS:
+        python = medians.get((algorithm, "python"))
+        numpy = medians.get((algorithm, "numpy"))
+        if python and numpy:
+            speedups[algorithm] = python / numpy
+    return speedups
+
+
+def geometric_mean(values: List[float]) -> Optional[float]:
+    if not values:
+        return None
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_core.json"),
+        help="output path for the trajectory snapshot",
+    )
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("RAPFLOW_BENCH_SCALE", "small"),
+        choices=("small", "paper"),
+        help="trace scale to benchmark at (default: small)",
+    )
+    args = parser.parse_args(argv)
+
+    if have_pytest_benchmark():
+        source = "pytest-benchmark"
+        records = run_pytest_benchmarks(args.scale)
+    else:
+        source = "fallback-timer"
+        records = run_fallback_timers(args.scale)
+
+    speedups = backend_speedups(records)
+    summary = geometric_mean(list(speedups.values()))
+    snapshot = {
+        "schema": "rapflow-bench-trajectory/1",
+        "git_sha": git_sha(),
+        "scale": args.scale,
+        "source": source,
+        "benches": records,
+        "backend_speedups": speedups,
+        "greedy_placement_speedup": summary,
+    }
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {len(records)} bench medians to {out_path}")
+    for algorithm, speedup in sorted(speedups.items()):
+        print(f"  {algorithm}: numpy is {speedup:.2f}x faster than python")
+    if summary is not None:
+        print(
+            f"greedy placement speedup (geometric mean over "
+            f"{len(speedups)} variants): {summary:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,14 +10,20 @@ Tie-breaking matches :class:`MarginalGainGreedy` (candidate-site order),
 so the two produce identical placements — a property the test suite
 checks — while CELF typically recomputes a small fraction of gains per
 step on realistic instances.
+
+Under ``backend="numpy"`` (default) the lazy scan runs on the array
+kernel: the initial heap is one batched gain reduction and every
+recompute is a masked slice, compounding CELF's savings with
+vectorization.  ``backend="python"`` keeps the loop-based reference.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core import IncrementalEvaluator, Scenario
+from ..core.kernel import ArrayEvaluator, resolve_backend
 from ..graphs import NodeId
 from .base import PlacementAlgorithm, register
 
@@ -28,13 +34,37 @@ class LazyGreedy(PlacementAlgorithm):
 
     name = "lazy-greedy"
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
         #: Gain evaluations performed during the last :meth:`select` call;
         #: exposed for the ablation benchmark.
         self.evaluations = 0
+        self._backend = backend
 
     def select(self, scenario: Scenario, k: int) -> List[NodeId]:
         """CELF: stale-gain max-heap, recompute on pop; same output as plain greedy."""
+        if resolve_backend(self._backend, scenario) == "numpy":
+            return self._select_numpy(scenario, k)
+        return self._select_python(scenario, k)
+
+    def _select_numpy(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Array-kernel CELF: batched initial scan, sliced recomputes."""
+        evaluator = ArrayEvaluator(scenario)
+        sites = scenario.candidate_sites
+        queue = evaluator.celf_queue(sites)
+        chosen: List[NodeId] = []
+        round_number = 0
+        while len(chosen) < k:
+            popped = queue.pop_best(evaluator.gain, round_number)
+            if popped is None:
+                break
+            evaluator.place(popped[0])
+            chosen.append(popped[0])
+            round_number += 1
+        self.evaluations = queue.evaluations
+        return chosen
+
+    def _select_python(self, scenario: Scenario, k: int) -> List[NodeId]:
+        """Reference implementation over the pure-Python evaluator."""
         evaluator = IncrementalEvaluator(scenario)
         self.evaluations = 0
         # Heap entries: (-gain, site_order, site, round_computed).

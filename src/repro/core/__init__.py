@@ -15,6 +15,15 @@ from .evaluation import (
     evaluate_placement,
 )
 from .flow import TrafficFlow, flow_between, total_volume
+from .kernel import (
+    BACKENDS,
+    ArrayEvaluator,
+    CelfQueue,
+    PackedCoverage,
+    evaluate_placement_many,
+    make_evaluator,
+    resolve_backend,
+)
 from .placement import FlowOutcome, Placement
 from .scenario import Scenario
 from .validation import (
@@ -34,6 +43,9 @@ from .utility import (
 )
 
 __all__ = [
+    "ArrayEvaluator",
+    "BACKENDS",
+    "CelfQueue",
     "CoverageEntry",
     "CoverageIndex",
     "CustomUtility",
@@ -43,6 +55,7 @@ __all__ = [
     "IncrementalEvaluator",
     "LinearUtility",
     "PAPER_ALPHA",
+    "PackedCoverage",
     "Placement",
     "Scenario",
     "Severity",
@@ -53,9 +66,12 @@ __all__ = [
     "ValidationIssue",
     "attracted_customers",
     "evaluate_placement",
+    "evaluate_placement_many",
     "flow_between",
     "has_errors",
     "lint_scenario",
+    "make_evaluator",
+    "resolve_backend",
     "total_volume",
     "utility_by_name",
 ]

@@ -7,24 +7,38 @@ distance a RAP at ``v`` would impose on them.  Building the index costs
 one pass over all flow paths (plus the Dijkstra fields of the
 :class:`~repro.core.detour.DetourCalculator`), after which greedy steps
 are pure array work.
+
+For the vectorized backend, :meth:`CoverageIndex.packed` compiles the
+incidence lists once into flat CSR arrays (see
+:mod:`repro.core.kernel`); the compiled form is cached on the index.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..graphs import INFINITY, NodeId
 from .detour import DetourCalculator
 from .flow import TrafficFlow
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .kernel import PackedCoverage
+
 
 @dataclass(frozen=True)
 class CoverageEntry:
-    """One (intersection, flow) incidence."""
+    """One (intersection, flow) incidence.
+
+    ``position`` is the intersection's index along the flow's fixed path
+    (travel order).  It carries the paper's Theorem 1 tie-breaking: among
+    RAPs attaining the minimum detour, the one encountered first — i.e.
+    with the smallest ``position`` — serves the flow.
+    """
 
     flow_index: int
     detour: float
+    position: int = 0
 
 
 class CoverageIndex:
@@ -33,6 +47,10 @@ class CoverageIndex:
     ``index.covering(v)`` lists the flows a RAP at ``v`` would reach (the
     flow passes ``v``) with the corresponding detour distance; entries
     with infinite detour (shop unreachable) are dropped at build time.
+
+    The per-flow best detours and the total incidence count are computed
+    once at build time — both are queried inside per-step loops by
+    analysis code, so the accessors must stay O(1).
     """
 
     def __init__(
@@ -42,16 +60,28 @@ class CoverageIndex:
         self._calculator = calculator
         self._by_node: Dict[NodeId, List[CoverageEntry]] = {}
         self._by_flow: List[List[Tuple[NodeId, float]]] = []
+        self._best_by_flow: List[float] = []
+        self._incidences = 0
+        self._packed: Optional["PackedCoverage"] = None
         for flow_index, flow in enumerate(self._flows):
             per_flow: List[Tuple[NodeId, float]] = []
-            for node, detour in calculator.detours_along(flow):
+            best = INFINITY
+            for position, (node, detour) in enumerate(
+                calculator.detours_along(flow)
+            ):
                 if detour == INFINITY:
                     continue
                 per_flow.append((node, detour))
+                if detour < best:
+                    best = detour
                 self._by_node.setdefault(node, []).append(
-                    CoverageEntry(flow_index=flow_index, detour=detour)
+                    CoverageEntry(
+                        flow_index=flow_index, detour=detour, position=position
+                    )
                 )
+                self._incidences += 1
             self._by_flow.append(per_flow)
+            self._best_by_flow.append(best)
 
     @property
     def flows(self) -> Tuple[TrafficFlow, ...]:
@@ -81,12 +111,23 @@ class CoverageIndex:
         return self._by_flow[flow_index]
 
     def best_possible_detour(self, flow_index: int) -> float:
-        """Smallest detour any single RAP can give this flow."""
-        options = self._by_flow[flow_index]
-        if not options:
-            return INFINITY
-        return min(detour for _, detour in options)
+        """Smallest detour any single RAP can give this flow (cached)."""
+        return self._best_by_flow[flow_index]
 
     def incidence_count(self) -> int:
-        """Total number of (node, flow) incidences — the index's size."""
-        return sum(len(entries) for entries in self._by_node.values())
+        """Total number of (node, flow) incidences — the index's size.
+
+        Computed at build time; this accessor is O(1).
+        """
+        return self._incidences
+
+    def packed(self) -> "PackedCoverage":
+        """The CSR-compiled form of this index (built once, then cached).
+
+        See :class:`repro.core.kernel.PackedCoverage` for the layout.
+        """
+        if self._packed is None:
+            from .kernel import PackedCoverage
+
+            self._packed = PackedCoverage.from_index(self)
+        return self._packed

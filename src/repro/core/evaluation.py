@@ -18,10 +18,15 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+import sys
+
 from ..errors import InvalidScenarioError
 from ..graphs import INFINITY, NodeId
 from .placement import FlowOutcome, Placement
 from .scenario import Scenario
+
+#: Sentinel path position for flows no placed RAP serves yet.
+_NO_POSITION = sys.maxsize
 
 
 def evaluate_placement(
@@ -110,6 +115,11 @@ class IncrementalEvaluator:
         self._best_detour: List[float] = [INFINITY] * len(flows)
         self._contribution: List[float] = [0.0] * len(flows)
         self._touched: List[bool] = [False] * len(flows)
+        # Serving RAP per flow under Theorem 1 tie-breaking (minimum
+        # detour, then earliest path position); lets finish() build the
+        # Placement from cached state without a re-evaluation pass.
+        self._serving: List[Optional[NodeId]] = [None] * len(flows)
+        self._serving_pos: List[int] = [_NO_POSITION] * len(flows)
         self._placed: List[NodeId] = []
         self._placed_set: Set[NodeId] = set()
         self._attracted = 0.0
@@ -214,15 +224,57 @@ class IncrementalEvaluator:
                 delta = self._entry_gain(index, entry.detour)
                 self._best_detour[index] = entry.detour
                 self._contribution[index] += delta
+                self._serving[index] = node
+                self._serving_pos[index] = entry.position
                 realized += delta
+            elif (
+                entry.detour == self._best_detour[index]
+                and entry.position < self._serving_pos[index]
+            ):
+                # Theorem 1 tie-break: equal detour, earlier in travel
+                # order — the serving RAP changes, the value does not.
+                self._serving[index] = node
+                self._serving_pos[index] = entry.position
         self._placed.append(node)
         self._placed_set.add(node)
         self._attracted += realized
         return realized
 
     def finish(self, algorithm: str = "") -> Placement:
-        """Produce the full :class:`Placement` for the committed RAPs."""
-        return evaluate_placement(self._scenario, self._placed, algorithm)
+        """Produce the full :class:`Placement` for the committed RAPs.
+
+        Built from the evaluator's own cached per-flow state (best
+        detour + serving RAP) — identical output to running
+        :func:`evaluate_placement` on ``placed``, without re-walking any
+        flow path.
+        """
+        outcomes: List[FlowOutcome] = []
+        total = 0.0
+        for index, flow in enumerate(self._scenario.flows):
+            serving = self._serving[index]
+            probability = (
+                self._utility.probability(
+                    self._best_detour[index], flow.attractiveness
+                )
+                if serving is not None
+                else 0.0
+            )
+            customers = probability * flow.volume
+            total += customers
+            outcomes.append(
+                FlowOutcome(
+                    detour=self._best_detour[index],
+                    probability=probability,
+                    customers=customers,
+                    serving_rap=serving,
+                )
+            )
+        return Placement(
+            raps=tuple(self._placed),
+            attracted=total,
+            outcomes=tuple(outcomes),
+            algorithm=algorithm,
+        )
 
 
 def attracted_customers(scenario: Scenario, raps: Iterable[NodeId]) -> float:

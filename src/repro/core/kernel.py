@@ -1,0 +1,741 @@
+"""Vectorized placement kernel: CSR coverage arrays + NumPy gain scans.
+
+The pure-Python :class:`~repro.core.evaluation.IncrementalEvaluator`
+walks one :class:`~repro.core.coverage.CoverageEntry` at a time and
+re-evaluates the utility function on every query.  This module is its
+array-backed twin, built around three ideas:
+
+* **CSR packing** — :class:`PackedCoverage` flattens the coverage index
+  into contiguous arrays: per-node slices ``indptr[row] ..
+  indptr[row + 1]`` over ``flow_index`` / ``detour`` / ``position``
+  columns, plus per-flow ``volume`` and ``attractiveness`` vectors.
+  Batched marginal-gain queries become masked segment reductions
+  (``np.bincount`` over ``entry_row``) instead of Python loops.
+* **One-time utility evaluation** — for a fixed scenario the detour of
+  every incidence never changes, so ``f(detour) * volume`` per incidence
+  is a *constant*.  :class:`_KernelStatic` evaluates it once with the
+  vectorized ``probability_array`` kernel and caches it per scenario;
+  every gain query afterwards is pure arithmetic on cached values, with
+  no utility evaluation in the hot path.
+* **CELF lazy scans** — the objective is monotone submodular (the same
+  property the runtime sanitizer spot-checks), so a candidate's stale
+  gain is a valid upper bound on its current gain.  :class:`CelfQueue`
+  keeps candidates in a max-heap of stale bounds; the first fresh pop is
+  provably the true argmax, with ties broken by candidate-site order so
+  lazy and exhaustive scans return *identical* placements.  The
+  empty-state heap depends only on the scenario and is precompiled once
+  (see :meth:`ArrayEvaluator.celf_queue`).
+
+Semantics are pinned to the reference implementation: the serving RAP
+per flow follows the paper's Theorem 1 tie-breaking (smallest detour,
+then earliest in travel order), the gain split mirrors Algorithm 2's
+two candidate factors, and every sum accumulates in coverage-entry
+order so scalar and batched paths agree bit-for-bit.  The pure-Python
+path stays available as the differential-testing reference via
+``backend="python"``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import sys
+import weakref
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..errors import InvalidScenarioError
+from ..graphs import INFINITY, NodeId
+from .placement import FlowOutcome, Placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from .coverage import CoverageIndex
+    from .evaluation import IncrementalEvaluator
+    from .scenario import Scenario
+
+#: Evaluation backends selectable per algorithm (or per scenario).
+BACKENDS = ("python", "numpy")
+
+#: Environment override for the default backend.
+BACKEND_ENV = "RAPFLOW_BACKEND"
+
+#: Backend used when neither the algorithm nor the scenario chooses.
+DEFAULT_BACKEND = "numpy"
+
+#: Sentinel path position for flows no placed RAP serves yet (mirrors
+#: the reference evaluator's sentinel so tie-breaking agrees exactly).
+_NO_POSITION = sys.maxsize
+
+#: Shared placeholder for not-yet-materialized array twins.
+_EMPTY = np.zeros(0)
+
+
+def resolve_backend(
+    backend: Optional[str] = None, scenario: Optional["Scenario"] = None
+) -> str:
+    """Pick the evaluation backend.
+
+    Resolution order: explicit ``backend`` argument, then the scenario's
+    ``default_backend``, then the ``RAPFLOW_BACKEND`` environment
+    variable, then :data:`DEFAULT_BACKEND`.
+    """
+    choice = backend
+    if choice is None and scenario is not None:
+        choice = scenario.default_backend
+    if choice is None:
+        choice = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    choice = choice.strip().lower()
+    if choice not in BACKENDS:
+        raise InvalidScenarioError(
+            f"unknown evaluation backend {choice!r}; expected one of {BACKENDS}"
+        )
+    return choice
+
+
+@dataclass(frozen=True)
+class PackedCoverage:
+    """CSR-compiled coverage index.
+
+    Row ``r`` describes intersection ``nodes[r]``: its incidences occupy
+    ``indptr[r]:indptr[r + 1]`` in the ``flow_index`` / ``detour`` /
+    ``position`` columns (entry order matches the Python index, i.e.
+    ascending flow index).  ``entry_row`` maps each incidence back to its
+    row for one-shot ``np.bincount`` segment reductions; ``volume`` and
+    ``attractiveness`` are per-flow vectors aligned with
+    ``CoverageIndex.flows``.
+    """
+
+    nodes: Tuple[NodeId, ...]
+    row_of: Dict[NodeId, int]
+    indptr: "np.ndarray"
+    flow_index: "np.ndarray"
+    detour: "np.ndarray"
+    position: "np.ndarray"
+    entry_row: "np.ndarray"
+    volume: "np.ndarray"
+    attractiveness: "np.ndarray"
+
+    @classmethod
+    def from_index(cls, index: "CoverageIndex") -> "PackedCoverage":
+        """One-time compilation of a :class:`CoverageIndex` into CSR form."""
+        nodes: List[NodeId] = list(index.nodes())
+        row_of: Dict[NodeId, int] = {node: row for row, node in enumerate(nodes)}
+        counts: List[int] = []
+        flow_index: List[int] = []
+        detour: List[float] = []
+        position: List[int] = []
+        for node in nodes:
+            entries = index.covering(node)
+            counts.append(len(entries))
+            for entry in entries:
+                flow_index.append(entry.flow_index)
+                detour.append(entry.detour)
+                position.append(entry.position)
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=indptr[1:])
+        return cls(
+            nodes=tuple(nodes),
+            row_of=row_of,
+            indptr=indptr,
+            flow_index=np.asarray(flow_index, dtype=np.int64),
+            detour=np.asarray(detour, dtype=float),
+            position=np.asarray(position, dtype=np.int64),
+            entry_row=np.repeat(
+                np.arange(len(nodes), dtype=np.int64),
+                np.asarray(counts, dtype=np.int64),
+            ),
+            volume=np.asarray(
+                [flow.volume for flow in index.flows], dtype=float
+            ),
+            attractiveness=np.asarray(
+                [flow.attractiveness for flow in index.flows], dtype=float
+            ),
+        )
+
+    @property
+    def row_count(self) -> int:
+        """Number of intersections with at least one incidence."""
+        return len(self.nodes)
+
+    @property
+    def incidence_count(self) -> int:
+        """Total (node, flow) incidences — mirrors the Python index."""
+        return int(self.indptr[-1])
+
+    @property
+    def flow_count(self) -> int:
+        """Number of flows the columns are aligned with."""
+        return len(self.volume)
+
+    def row_slice(self, row: int) -> slice:
+        """The CSR slice of one node's incidences."""
+        return slice(int(self.indptr[row]), int(self.indptr[row + 1]))
+
+
+@dataclass
+class _Alignment:
+    """Candidate-tuple lookup arrays, compiled once per candidate tuple.
+
+    ``rows_clipped`` / ``valid`` scatter row-aligned totals into
+    candidate order (invalid rows read row 0 and are zeroed by the float
+    mask — cheaper than boolean fancy indexing on small instances);
+    ``heap`` is the ready-made empty-state CELF heap.
+    """
+
+    nodes: Sequence[NodeId]
+    rows_clipped: "np.ndarray"
+    valid: "np.ndarray"
+    heap: List[Tuple[float, int, NodeId, int]]
+
+
+class _KernelStatic:
+    """Immutable per-scenario kernel state shared by every evaluator.
+
+    Holds the packed CSR index, the precomputed per-incidence
+    contribution ``f(detour, attractiveness) * volume`` (constant for a
+    fixed scenario — detours never change, so the utility is evaluated
+    exactly once, vectorized), plain-list mirrors of the CSR columns for
+    the scalar hot loops (interpreter loops beat NumPy dispatch on the
+    few-entry rows a single-site query touches), and per-candidate-tuple
+    :class:`_Alignment` caches.
+    """
+
+    __slots__ = (
+        "packed",
+        "entry_value",
+        "row_of",
+        "indptr",
+        "flow_index",
+        "detour",
+        "position",
+        "value",
+        "flow_count",
+        "_alignments",
+    )
+
+    def __init__(self, scenario: "Scenario") -> None:
+        packed = scenario.coverage.packed()
+        self.packed = packed
+        flow_index = packed.flow_index
+        self.entry_value = (
+            scenario.utility.probability_array(
+                packed.detour, packed.attractiveness[flow_index]
+            )
+            * packed.volume[flow_index]
+        )
+        self.row_of = packed.row_of
+        self.indptr: List[int] = packed.indptr.tolist()
+        self.flow_index: List[int] = flow_index.tolist()
+        self.detour: List[float] = packed.detour.tolist()
+        self.position: List[int] = packed.position.tolist()
+        self.value: List[float] = self.entry_value.tolist()
+        self.flow_count = packed.flow_count
+        self._alignments: Dict[int, _Alignment] = {}
+
+    def alignment(self, nodes: Sequence[NodeId]) -> _Alignment:
+        """The (cached) alignment for one candidate tuple.
+
+        Keyed by tuple identity with an ``is`` check, so the common case
+        — algorithms always passing ``scenario.candidate_sites`` — hits
+        the cache without hashing the tuple contents.
+        """
+        key = id(nodes)
+        cached = self._alignments.get(key)
+        if cached is not None and cached.nodes is nodes:
+            return cached
+        rows = np.asarray(
+            [self.row_of.get(node, -1) for node in nodes], dtype=np.int64
+        )
+        inside = rows >= 0
+        rows_clipped = np.where(inside, rows, 0)
+        valid = inside.astype(float)
+        if self.packed.row_count:
+            base = np.bincount(
+                self.packed.entry_row,
+                weights=self.entry_value,
+                minlength=self.packed.row_count,
+            )
+            initial: List[float] = (base[rows_clipped] * valid).tolist()
+        else:
+            initial = [0.0] * len(nodes)
+        heap = [
+            (-gain, order, site, 0)
+            for order, (site, gain) in enumerate(zip(nodes, initial))
+            if gain > 0.0
+        ]
+        heapq.heapify(heap)
+        aligned = _Alignment(
+            nodes=nodes, rows_clipped=rows_clipped, valid=valid, heap=heap
+        )
+        self._alignments[key] = aligned
+        return aligned
+
+
+#: One static kernel per live scenario (dropped with the scenario).
+_STATIC_CACHE: "weakref.WeakKeyDictionary[Scenario, _KernelStatic]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _static_for(scenario: "Scenario") -> _KernelStatic:
+    static = _STATIC_CACHE.get(scenario)
+    if static is None:
+        static = _KernelStatic(scenario)
+        _STATIC_CACHE[scenario] = static
+    return static
+
+
+class ArrayEvaluator:
+    """Array-kernel twin of :class:`~repro.core.evaluation.IncrementalEvaluator`.
+
+    Same public surface (``gain``, ``gain_split``, ``place``,
+    ``finish``, ...) plus the batched :meth:`gains` / :meth:`gain_splits`
+    used by vectorized greedy scans.  Single-site queries run as scalar
+    loops over the static kernel's precomputed per-incidence values (no
+    utility evaluation, no array dispatch); batched queries are masked
+    ``np.bincount`` segment reductions over every incidence.  Both
+    accumulate in coverage-entry order, so they agree bit-for-bit with
+    each other and with the reference evaluator's scan order.
+    """
+
+    def __init__(self, scenario: "Scenario") -> None:
+        self._scenario = scenario
+        self._utility = scenario.utility
+        static = _static_for(scenario)
+        self._static = static
+        flow_count = static.flow_count
+        self._best: List[float] = [INFINITY] * flow_count
+        self._contribution: List[float] = [0.0] * flow_count
+        self._touched: List[bool] = [False] * flow_count
+        self._serving: List[Optional[NodeId]] = [None] * flow_count
+        self._serving_pos: List[int] = [_NO_POSITION] * flow_count
+        # Array twins of the per-flow lists, built lazily on the first
+        # batched query (CELF rounds run entirely on the scalar state).
+        self._best_np: "np.ndarray" = _EMPTY
+        self._contribution_np: "np.ndarray" = _EMPTY
+        self._np_dirty = True
+        self._placed: List[NodeId] = []
+        self._placed_set: Set[NodeId] = set()
+        self._attracted = 0.0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def attracted(self) -> float:
+        """Customers attracted by the RAPs placed so far."""
+        return self._attracted
+
+    @property
+    def placed(self) -> Tuple[NodeId, ...]:
+        """RAPs committed so far, in placement order."""
+        return tuple(self._placed)
+
+    def is_placed(self, node: NodeId) -> bool:
+        """Whether a RAP is already committed at ``node``."""
+        return node in self._placed_set
+
+    def is_touched(self, flow_index: int) -> bool:
+        """Whether some placed RAP lies on the flow's path (any detour)."""
+        return self._touched[flow_index]
+
+    def is_covered(self, flow_index: int) -> bool:
+        """Whether some placed RAP attracts a positive fraction (Def. 2)."""
+        return self._contribution[flow_index] > 0.0
+
+    def best_detour(self, flow_index: int) -> float:
+        """Current minimum detour for one flow (inf when untouched)."""
+        return self._best[flow_index]
+
+    def gain(self, node: NodeId) -> float:
+        """Total marginal gain of placing a RAP at ``node`` now."""
+        if node in self._placed_set:
+            return 0.0
+        static = self._static
+        row = static.row_of.get(node)
+        if row is None:
+            return 0.0
+        flow_of = static.flow_index
+        detour = static.detour
+        value = static.value
+        best = self._best
+        contribution = self._contribution
+        total = 0.0
+        for j in range(static.indptr[row], static.indptr[row + 1]):
+            flow_index = flow_of[j]
+            if detour[j] < best[flow_index]:
+                delta = value[j] - contribution[flow_index]
+                if delta > 0.0:
+                    total += delta
+        return total
+
+    def gain_split(self, node: NodeId) -> Tuple[float, float]:
+        """``(uncovered_gain, covered_gain)`` — Algorithm 2's two factors."""
+        if node in self._placed_set:
+            return 0.0, 0.0
+        static = self._static
+        row = static.row_of.get(node)
+        if row is None:
+            return 0.0, 0.0
+        flow_of = static.flow_index
+        detour = static.detour
+        value = static.value
+        best = self._best
+        contribution = self._contribution
+        uncovered = 0.0
+        covered = 0.0
+        for j in range(static.indptr[row], static.indptr[row + 1]):
+            flow_index = flow_of[j]
+            if detour[j] >= best[flow_index]:
+                continue
+            # Lowering the best detour never lowers the contribution (the
+            # utility is non-increasing), so delta >= 0 up to float noise.
+            delta = value[j] - contribution[flow_index]
+            if delta < 0.0:
+                delta = 0.0
+            if contribution[flow_index] > 0.0:
+                covered += delta
+            else:
+                uncovered += delta
+        return uncovered, covered
+
+    def covers_new_flows(self, node: NodeId) -> bool:
+        """Whether ``node`` touches at least one currently untouched flow."""
+        static = self._static
+        row = static.row_of.get(node)
+        if row is None:
+            return False
+        flow_of = static.flow_index
+        touched = self._touched
+        for j in range(static.indptr[row], static.indptr[row + 1]):
+            if not touched[flow_of[j]]:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # batched queries (the vectorized scan path)
+    # ------------------------------------------------------------------
+    def _sync_np(self) -> None:
+        """Refresh the per-flow array twins after scalar mutations."""
+        if self._np_dirty:
+            self._best_np = np.asarray(self._best, dtype=float)
+            self._contribution_np = np.asarray(self._contribution, dtype=float)
+            self._np_dirty = False
+
+    def _aligned(
+        self, totals: "np.ndarray", nodes: Optional[Sequence[NodeId]]
+    ) -> "np.ndarray":
+        if nodes is None:
+            return totals
+        alignment = self._static.alignment(nodes)
+        return totals[alignment.rows_clipped] * alignment.valid
+
+    def gains(self, nodes: Optional[Sequence[NodeId]] = None) -> "np.ndarray":
+        """Marginal gains for many candidates in one segment reduction.
+
+        With ``nodes=None`` the result is aligned with ``packed().nodes``;
+        otherwise with the given sequence (0.0 for intersections covering
+        no flow).  Placed sites report 0.0, matching :meth:`gain`.
+        """
+        packed = self._static.packed
+        if packed.incidence_count == 0:
+            return np.zeros(len(nodes) if nodes is not None else 0)
+        self._sync_np()
+        flow_index = packed.flow_index
+        delta = self._static.entry_value - self._contribution_np[flow_index]
+        improving = packed.detour < self._best_np[flow_index]
+        weights = np.where(improving & (delta > 0.0), delta, 0.0)
+        totals = np.bincount(
+            packed.entry_row, weights=weights, minlength=packed.row_count
+        )
+        return self._aligned(totals, nodes)
+
+    def gain_splits(
+        self, nodes: Optional[Sequence[NodeId]] = None
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Batched :meth:`gain_split`: ``(uncovered, covered)`` arrays."""
+        packed = self._static.packed
+        if packed.incidence_count == 0:
+            empty = np.zeros(len(nodes) if nodes is not None else 0)
+            return empty, empty.copy()
+        self._sync_np()
+        flow_index = packed.flow_index
+        contribution = self._contribution_np[flow_index]
+        delta = self._static.entry_value - contribution
+        improving = packed.detour < self._best_np[flow_index]
+        weights = np.where(improving & (delta > 0.0), delta, 0.0)
+        covered_weights = np.where(contribution > 0.0, weights, 0.0)
+        row_count = packed.row_count
+        covered_totals = np.bincount(
+            packed.entry_row, weights=covered_weights, minlength=row_count
+        )
+        uncovered_totals = np.bincount(
+            packed.entry_row,
+            weights=weights - covered_weights,
+            minlength=row_count,
+        )
+        return (
+            self._aligned(uncovered_totals, nodes),
+            self._aligned(covered_totals, nodes),
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def place(self, node: NodeId) -> float:
+        """Commit a RAP at ``node``; returns the realized gain."""
+        if node in self._placed_set:
+            raise InvalidScenarioError(f"RAP already placed at {node!r}")
+        realized = 0.0
+        static = self._static
+        row = static.row_of.get(node)
+        if row is not None:
+            flow_of = static.flow_index
+            detour = static.detour
+            position = static.position
+            value = static.value
+            best = self._best
+            contribution = self._contribution
+            touched = self._touched
+            serving = self._serving
+            serving_pos = self._serving_pos
+            for j in range(static.indptr[row], static.indptr[row + 1]):
+                flow_index = flow_of[j]
+                touched[flow_index] = True
+                entry_detour = detour[j]
+                if entry_detour < best[flow_index]:
+                    fresh = value[j]
+                    realized += fresh - contribution[flow_index]
+                    best[flow_index] = entry_detour
+                    contribution[flow_index] = fresh
+                    serving[flow_index] = node
+                    serving_pos[flow_index] = position[j]
+                elif (
+                    entry_detour == best[flow_index]
+                    and position[j] < serving_pos[flow_index]
+                ):
+                    # Theorem 1 tie-break: equal detour, earlier in travel
+                    # order — the serving RAP changes, the value does not.
+                    serving[flow_index] = node
+                    serving_pos[flow_index] = position[j]
+            self._np_dirty = True
+        self._placed.append(node)
+        self._placed_set.add(node)
+        self._attracted += realized
+        return realized
+
+    def finish(self, algorithm: str = "") -> Placement:
+        """Full :class:`Placement` from the evaluator's cached state.
+
+        Per-flow outcomes come straight from the cached best-detour /
+        serving-RAP state — no re-evaluation pass.  The result is
+        bit-identical to ``evaluate_placement(scenario, placed)``.
+        """
+        self._sync_np()
+        packed = self._static.packed
+        probabilities = self._utility.probability_array(
+            self._best_np, packed.attractiveness
+        )
+        customers_array = probabilities * packed.volume
+        outcomes: List[FlowOutcome] = []
+        total = 0.0
+        for index, serving in enumerate(self._serving):
+            if serving is not None:
+                probability = float(probabilities[index])
+                customers = float(customers_array[index])
+            else:
+                probability = 0.0
+                customers = 0.0
+            total += customers
+            outcomes.append(
+                FlowOutcome(
+                    detour=self._best[index],
+                    probability=probability,
+                    customers=customers,
+                    serving_rap=serving,
+                )
+            )
+        return Placement(
+            raps=tuple(self._placed),
+            attracted=total,
+            outcomes=tuple(outcomes),
+            algorithm=algorithm,
+        )
+
+    # ------------------------------------------------------------------
+    # CELF support
+    # ------------------------------------------------------------------
+    def celf_queue(self, sites: Sequence[NodeId]) -> "CelfQueue":
+        """A :class:`CelfQueue` seeded with this evaluator's current gains.
+
+        At the empty state (no RAPs placed) the initial gains depend only
+        on the scenario, so the seed heap is precompiled once per
+        (scenario, candidate tuple) and merely copied here; after
+        placements the seed falls back to one batched scan.  The
+        empty-state seed is also valid for Algorithm 1's uncovered-flow
+        gain: with nothing covered yet, every gain is uncovered gain.
+        """
+        if not self._placed:
+            alignment = self._static.alignment(sites)
+            return CelfQueue.seeded(list(alignment.heap), len(sites))
+        return CelfQueue(sites, self.gains(sites).tolist())
+
+
+Evaluator = Union["IncrementalEvaluator", ArrayEvaluator]
+
+
+def make_evaluator(
+    scenario: "Scenario", backend: Optional[str] = None
+) -> Evaluator:
+    """Instantiate the evaluator for the resolved backend."""
+    if resolve_backend(backend, scenario) == "numpy":
+        return ArrayEvaluator(scenario)
+    from .evaluation import IncrementalEvaluator
+
+    return IncrementalEvaluator(scenario)
+
+
+class CelfQueue:
+    """Max-heap of stale marginal-gain upper bounds (CELF lazy scan).
+
+    Valid whenever the gain function is non-increasing as RAPs are placed
+    — true for the total marginal gain (monotone submodular objective)
+    and for Algorithm 1's uncovered-flow gain (placing RAPs only removes
+    flows from the uncovered pool and shrinks best detours).  It is *not*
+    true for Algorithm 2's covered-gain factor alone, which is why the
+    composite greedy's array backend uses batched full scans instead.
+
+    On pop, a stale entry (computed in an earlier round) is recomputed
+    and pushed back; the first entry computed in the current round is the
+    true argmax.  Ties break by candidate-site order, matching the
+    exhaustive scans, so lazy and exhaustive selection are identical.
+    """
+
+    def __init__(
+        self, sites: Sequence[NodeId], initial_gains: Sequence[float]
+    ) -> None:
+        #: Gain evaluations charged so far (initial scan counts once per site).
+        self.evaluations = len(sites)
+        self._heap: List[Tuple[float, int, NodeId, int]] = []
+        for order, (site, gain) in enumerate(zip(sites, initial_gains)):
+            if gain > 0:
+                self._heap.append((-float(gain), order, site, 0))
+        heapq.heapify(self._heap)
+
+    @classmethod
+    def seeded(
+        cls,
+        heap: List[Tuple[float, int, NodeId, int]],
+        evaluations: int,
+    ) -> "CelfQueue":
+        """Adopt an already-heapified entry list (see ``celf_queue``)."""
+        queue = cls.__new__(cls)
+        queue.evaluations = evaluations
+        queue._heap = heap
+        return queue
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def pop_best(
+        self, gain_of: Callable[[NodeId], float], round_number: int
+    ) -> Optional[Tuple[NodeId, float]]:
+        """Pop the true argmax for this round (None when no positive gain)."""
+        while self._heap:
+            neg_gain, order, site, computed_round = heapq.heappop(self._heap)
+            if computed_round != round_number:
+                gain = gain_of(site)
+                self.evaluations += 1
+                if gain > 0:
+                    heapq.heappush(
+                        self._heap, (-gain, order, site, round_number)
+                    )
+                continue
+            if -neg_gain <= 0:
+                return None
+            return site, -neg_gain
+        return None
+
+
+def first_unplaced(
+    sites: Sequence[NodeId], evaluator: Evaluator
+) -> Optional[NodeId]:
+    """First candidate without a RAP — the saturated-fallback site."""
+    for site in sites:
+        if not evaluator.is_placed(site):
+            return site
+    return None
+
+
+def evaluate_placement_many(
+    scenario: "Scenario",
+    placements: Sequence[Sequence[NodeId]],
+    backend: Optional[str] = None,
+) -> List[float]:
+    """Attracted-customer totals for many placements over one packed index.
+
+    The batch consumers (Monte-Carlo failure simulation, the experiment
+    sweep runner) score hundreds of site-sets against the same scenario;
+    this amortizes the packing and reduces each evaluation to one
+    min-reduction plus one utility kernel over the flow vectors, instead
+    of re-walking every flow path per placement.
+    """
+    if resolve_backend(backend, scenario) == "python":
+        from .evaluation import evaluate_placement
+
+        return [
+            evaluate_placement(scenario, list(sites)).attracted
+            for sites in placements
+        ]
+    packed = scenario.coverage.packed()
+    totals: List[float] = []
+    for sites in placements:
+        site_list = list(sites)
+        if len(set(site_list)) != len(site_list):
+            raise InvalidScenarioError(
+                f"duplicate RAP sites in {site_list!r}"
+            )
+        best = np.full(packed.flow_count, INFINITY)
+        for site in site_list:
+            if site not in scenario.network:
+                raise InvalidScenarioError(
+                    f"RAP site {site!r} is not an intersection"
+                )
+            row = packed.row_of.get(site)
+            if row is None:
+                continue
+            window = packed.row_slice(row)
+            flows = packed.flow_index[window]
+            best[flows] = np.minimum(best[flows], packed.detour[window])
+        probabilities = scenario.utility.probability_array(
+            best, packed.attractiveness
+        )
+        totals.append(float((probabilities * packed.volume).sum()))
+    return totals
+
+
+__all__ = [
+    "ArrayEvaluator",
+    "BACKENDS",
+    "BACKEND_ENV",
+    "CelfQueue",
+    "DEFAULT_BACKEND",
+    "Evaluator",
+    "PackedCoverage",
+    "evaluate_placement_many",
+    "first_unplaced",
+    "make_evaluator",
+    "resolve_backend",
+]

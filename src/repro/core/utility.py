@@ -21,9 +21,14 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Union
+
+import numpy as np
 
 from ..errors import InvalidUtilityError
+
+#: Inputs the vectorized utility path accepts for distances/attractiveness.
+ArrayLike = Union[float, "np.ndarray"]
 
 
 class UtilityFunction(ABC):
@@ -68,6 +73,45 @@ class UtilityFunction(ABC):
         # Clamp against float error so probabilities stay probabilities.
         return attractiveness * min(1.0, max(0.0, value))
 
+    def shape_array(self, normalized: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`shape` over ``normalized = d / D`` values.
+
+        The base implementation falls back to per-element :meth:`shape`
+        calls, so any subclass (including :class:`CustomUtility`) works
+        with the array backend; the three paper shapes override it with
+        true NumPy expressions.
+        """
+        return np.array(
+            [self.shape(float(value)) for value in normalized], dtype=float
+        )
+
+    def probability_array(
+        self, distances: ArrayLike, attractiveness: ArrayLike = 1.0
+    ) -> "np.ndarray":
+        """Vectorized :meth:`probability` — the kernel backend's hot path.
+
+        ``distances`` and ``attractiveness`` broadcast against each other;
+        each output element equals the scalar ``probability`` call
+        bit-for-bit (same clamp, same threshold cut, ``inf`` -> 0), which
+        is what lets the array and pure-Python evaluators produce
+        identical placements.
+        """
+        d = np.asarray(distances, dtype=float)
+        alpha = np.asarray(attractiveness, dtype=float)
+        if np.any(alpha < 0) or np.any(alpha > 1):
+            raise InvalidUtilityError(
+                "attractiveness must be in [0, 1] for every element"
+            )
+        if np.any(np.isnan(d)):
+            raise InvalidUtilityError("detour distance is NaN")
+        inside = d <= self._threshold  # excludes inf for free
+        normalized = np.where(
+            inside, np.maximum(d, 0.0) / self._threshold, 0.0
+        )
+        value = np.minimum(1.0, np.maximum(0.0, self.shape_array(normalized)))
+        result: "np.ndarray" = np.where(inside, alpha * value, 0.0)
+        return result
+
     def __call__(self, distance: float, attractiveness: float = 1.0) -> float:
         return self.probability(distance, attractiveness)
 
@@ -86,12 +130,20 @@ class ThresholdUtility(UtilityFunction):
         """Constant 1 inside the threshold (paper Eq. 1)."""
         return 1.0
 
+    def shape_array(self, normalized: "np.ndarray") -> "np.ndarray":
+        """Vectorized Eq. 1: all ones."""
+        return np.ones_like(normalized)
+
 
 class LinearUtility(UtilityFunction):
     """Paper Eq. 2 ("decreasing utility function i") — linear decay."""
 
     def shape(self, normalized: float) -> float:
         """Linear decay ``1 - d/D`` (paper Eq. 2)."""
+        return 1.0 - normalized
+
+    def shape_array(self, normalized: "np.ndarray") -> "np.ndarray":
+        """Vectorized Eq. 2."""
         return 1.0 - normalized
 
 
@@ -105,6 +157,10 @@ class SqrtUtility(UtilityFunction):
     def shape(self, normalized: float) -> float:
         """Square-root decay ``1 - sqrt(d/D)`` (paper Eq. 11)."""
         return 1.0 - math.sqrt(normalized)
+
+    def shape_array(self, normalized: "np.ndarray") -> "np.ndarray":
+        """Vectorized Eq. 11 (``np.sqrt`` matches ``math.sqrt`` exactly)."""
+        return 1.0 - np.sqrt(normalized)
 
 
 class CustomUtility(UtilityFunction):

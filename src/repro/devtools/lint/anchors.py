@@ -13,6 +13,11 @@ numbering ranges of the paper itself (11 display equations, 4
 algorithms, 13 figures, 3 definitions, 5 theorems, 7 sections).
 :func:`extract_anchors` is the same scanner RAP004 uses, so a test can
 assert the registry stays a superset of whatever ``PAPER.md`` cites.
+
+Modules whose citations are load-bearing for correctness arguments —
+notably :mod:`repro.core.kernel`, whose Theorem 1 tie-breaking and
+Algorithm 1/2 gain definitions must match the reference evaluator
+bit-for-bit — rely on this registry to keep those anchors honest.
 """
 
 from __future__ import annotations

@@ -50,12 +50,23 @@ class DisconnectedGraphError(GraphError):
 
 
 class NoPathError(GraphError):
-    """There is no path between the requested endpoints."""
+    """There is no path between the requested endpoints.
 
-    def __init__(self, source: object, target: object) -> None:
-        super().__init__(f"no path from {source!r} to {target!r}")
+    ``detail`` optionally names the specific failure (e.g. the settled
+    node whose tight predecessor could not be recovered during path
+    reconstruction).
+    """
+
+    def __init__(
+        self, source: object, target: object, detail: str = ""
+    ) -> None:
+        message = f"no path from {source!r} to {target!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
         self.source = source
         self.target = target
+        self.detail = detail
 
 
 class ModelError(ReproError):

@@ -25,7 +25,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms import algorithm_by_name
-from ..core import Scenario, TrafficFlow, evaluate_placement, utility_by_name
+from ..core import (
+    Scenario,
+    TrafficFlow,
+    evaluate_placement_many,
+    utility_by_name,
+)
 from ..errors import ExperimentError
 from ..graphs import NodeId, RoadNetwork
 from ..manhattan import (
@@ -154,10 +159,12 @@ def _general_repetition(
     values: Dict[str, Dict[int, float]] = {}
     for name in panel.algorithms:
         sweep = _select_sweep(name, scenario, panel.ks, panel.seed * 1000 + rep)
-        values[name] = {
-            k: evaluate_placement(scenario, sweep[k]).attracted
-            for k in panel.ks
-        }
+        # One batched scoring pass over the packed coverage index for the
+        # whole k sweep instead of re-walking every flow per k.
+        totals = evaluate_placement_many(
+            scenario, [sweep[k] for k in panel.ks]
+        )
+        values[name] = dict(zip(panel.ks, totals))
     return values
 
 

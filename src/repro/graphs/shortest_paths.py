@@ -165,7 +165,20 @@ def shortest_path(
         raise NoPathError(source, target)
     path = [target]
     while path[-1] != source:
-        path.append(parents[path[-1]])
+        parent = parents.get(path[-1])
+        if parent is None:
+            # The tolerance check in _exact_parents found no tight
+            # predecessor for this settled node; surface a taxonomy
+            # error instead of a raw KeyError mid-reconstruction.
+            raise NoPathError(
+                source,
+                target,
+                detail=(
+                    f"no tight predecessor recovered for settled node "
+                    f"{path[-1]!r} during path reconstruction"
+                ),
+            )
+        path.append(parent)
     path.reverse()
     return path
 

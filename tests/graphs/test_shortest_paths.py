@@ -132,6 +132,29 @@ class TestDijkstraBehaviour:
         with pytest.raises(NodeNotFoundError):
             shortest_path(net, ("hub",), "nope")
 
+    def test_reconstruction_gap_raises_no_path_error(self, monkeypatch):
+        """A parent map missing a settled node must surface NoPathError.
+
+        If the tight-edge tolerance in ``_exact_parents`` ever fails to
+        recover a predecessor, reconstruction must not leak a raw
+        KeyError; it raises a taxonomy error naming the stranded node.
+        """
+        from repro.graphs import shortest_paths as module
+
+        real = module._exact_parents
+
+        def lossy_parents(network, distances, source):
+            parents = real(network, distances, source)
+            parents.pop((2, 2), None)
+            return parents
+
+        monkeypatch.setattr(module, "_exact_parents", lossy_parents)
+        net = manhattan_grid(4, 4, 10.0)
+        with pytest.raises(NoPathError) as excinfo:
+            shortest_path(net, (0, 0), (2, 2))
+        assert "(2, 2)" in str(excinfo.value)
+        assert "path reconstruction" in str(excinfo.value)
+
     def test_trivial_path(self):
         net = ring_city()
         assert shortest_path(net, ("hub",), ("hub",)) == [("hub",)]
