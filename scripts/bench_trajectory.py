@@ -16,6 +16,11 @@ When pytest-benchmark is unavailable the harness falls back to a
 perf_counter timing loop over the same greedy backend pairs, marking the
 snapshot's ``source`` accordingly.
 
+Every snapshot also carries ``obs_counters``: per-greedy-variant work
+counters (gain evaluations, CELF heap pops, lazy-skip ratio) captured
+under an :class:`repro.obs.ObsContext`, so algorithmic-work regressions
+are visible in the trajectory even when wall-clock medians are noisy.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--out BENCH_core.json]
@@ -118,15 +123,11 @@ def run_pytest_benchmarks(scale: str) -> List[Dict[str, object]]:
     return records
 
 
-def run_fallback_timers(scale: str) -> List[Dict[str, object]]:
-    """Minimal stand-in when pytest-benchmark is missing.
-
-    Times only the greedy backend pairs (the speedup-bearing benches)
-    with a perf_counter loop on the same Dublin scenario the benchmark
-    module uses.
-    """
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.algorithms import algorithm_by_name
+def _dublin_scenario(scale: str):
+    """The shared Dublin bench scenario (packed index pre-warmed)."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
     from repro.core import LinearUtility, Scenario
     from repro.experiments import (
         LocationClass,
@@ -143,6 +144,19 @@ def run_fallback_timers(scale: str) -> List[Dict[str, object]]:
         bundle.network, bundle.flows, shop, LinearUtility(20_000.0)
     )
     scenario.coverage.packed()
+    return scenario
+
+
+def run_fallback_timers(scale: str) -> List[Dict[str, object]]:
+    """Minimal stand-in when pytest-benchmark is missing.
+
+    Times only the greedy backend pairs (the speedup-bearing benches)
+    with a perf_counter loop on the same Dublin scenario the benchmark
+    module uses.
+    """
+    scenario = _dublin_scenario(scale)
+    from repro.algorithms import algorithm_by_name
+
     k = min(10, len(scenario.candidate_sites))
 
     records: List[Dict[str, object]] = []
@@ -165,6 +179,44 @@ def run_fallback_timers(scale: str) -> List[Dict[str, object]]:
                 }
             )
     return records
+
+
+def obs_counter_snapshot(scale: str) -> Dict[str, Dict[str, float]]:
+    """Per-algorithm observability counters on the shared Dublin scenario.
+
+    Runs each greedy variant (numpy backend, the default) once under an
+    :class:`repro.obs.ObsContext` and records the work counters — gain
+    evaluations, CELF heap pops, lazy refreshes/skips — plus the derived
+    ``lazy_skip_ratio`` (fraction of heap candidates a CELF round did
+    *not* rescan: ``lazy_skips / (lazy_skips + lazy_refreshes)``).
+    """
+    scenario = _dublin_scenario(scale)
+    from repro import obs
+    from repro.algorithms import algorithm_by_name
+
+    k = min(10, len(scenario.candidate_sites))
+    snapshot: Dict[str, Dict[str, float]] = {}
+    for name in GREEDY_ALGORITHMS:
+        algorithm = algorithm_by_name(name, backend="numpy")
+        with obs.ObsContext(label=f"bench {name}") as ctx:
+            algorithm.select(scenario, k)
+        counters = ctx.counters
+        entry: Dict[str, float] = {
+            "iterations": float(counters.get("algorithm.iterations", 0)),
+            "gain_evaluations": float(counters.get("gain.evaluations", 0)),
+        }
+        pops = counters.get("celf.heap_pops", 0)
+        if pops:
+            refreshes = counters.get("celf.lazy_refreshes", 0)
+            skips = counters.get("celf.lazy_skips", 0)
+            entry["celf_heap_pops"] = float(pops)
+            entry["celf_lazy_refreshes"] = float(refreshes)
+            entry["celf_lazy_skips"] = float(skips)
+            scanned = skips + refreshes
+            if scanned:
+                entry["lazy_skip_ratio"] = skips / scanned
+        snapshot[name] = entry
+    return snapshot
 
 
 def backend_speedups(
@@ -215,6 +267,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     speedups = backend_speedups(records)
     summary = geometric_mean(list(speedups.values()))
+    obs_counters = obs_counter_snapshot(args.scale)
     snapshot = {
         "schema": "rapflow-bench-trajectory/1",
         "git_sha": git_sha(),
@@ -223,6 +276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "benches": records,
         "backend_speedups": speedups,
         "greedy_placement_speedup": summary,
+        "obs_counters": obs_counters,
     }
     out_path = pathlib.Path(args.out)
     out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
@@ -234,6 +288,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"greedy placement speedup (geometric mean over "
             f"{len(speedups)} variants): {summary:.2f}x"
+        )
+    for algorithm, entry in sorted(obs_counters.items()):
+        ratio = entry.get("lazy_skip_ratio")
+        detail = f", lazy-skip ratio {ratio:.2f}" if ratio is not None else ""
+        print(
+            f"  {algorithm}: {entry['gain_evaluations']:.0f} gain "
+            f"evaluations{detail}"
         )
     return 0
 

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Check the observability layer's disabled-mode overhead contract.
+
+The instrumented hot paths (``repro.core.kernel``, the greedy
+algorithms) promise to cost < 5% extra when no
+:class:`repro.obs.ObsContext` is active: every hook is one module-global
+read plus a ``None`` check.  This script measures that promise instead
+of trusting it.
+
+Method: time ``select()`` for each greedy variant on the shared Dublin
+bench scenario in two configurations, interleaved sample-by-sample so
+machine drift hits both equally:
+
+* **shipped** — the code as imported, hooks present but no context
+  active (the configuration every ordinary library call runs in);
+* **stubbed** — the module-level hooks in ``repro.obs`` monkeypatched
+  to bare no-ops (no global read, no ``None`` check), approximating the
+  code with the instrumentation compiled out.
+
+The per-variant overhead is ``median(shipped) / median(stubbed)``; the
+check fails when the geometric mean across variants exceeds the
+threshold (default 1.05).  CI runs this non-blocking but loud.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_obs_overhead.py \
+        [--threshold 1.05] [--samples 60] [--scale small] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import statistics
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+GREEDY_ALGORITHMS = (
+    "greedy-coverage",
+    "composite-greedy",
+    "marginal-greedy",
+    "lazy-greedy",
+)
+
+
+def _scenario(scale: str):
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.core import LinearUtility, Scenario
+    from repro.experiments import (
+        LocationClass,
+        TraceProvider,
+        classify_intersections,
+        locations_of_class,
+    )
+
+    provider = TraceProvider(scale=scale)
+    bundle = provider.get("dublin")
+    classes = classify_intersections(bundle.network, bundle.flows)
+    shop = locations_of_class(classes, LocationClass.CITY)[0]
+    scenario = Scenario(
+        bundle.network, bundle.flows, shop, LinearUtility(20_000.0)
+    )
+    scenario.coverage.packed()
+    return scenario
+
+
+@contextmanager
+def stubbed_hooks() -> Iterator[None]:
+    """Replace the ``repro.obs`` module hooks with bare no-ops."""
+    from contextlib import nullcontext
+
+    from repro import obs
+
+    saved = {
+        name: getattr(obs, name)
+        for name in ("active", "span", "count", "count_many", "gauge")
+    }
+    null = nullcontext()
+    try:
+        obs.active = lambda: None
+        obs.span = lambda name, **attrs: null
+        obs.count = lambda name, value=1: None
+        obs.count_many = lambda counters: None
+        obs.gauge = lambda name, value: None
+        yield
+    finally:
+        for name, hook in saved.items():
+            setattr(obs, name, hook)
+
+
+def measure(
+    scale: str, samples: int
+) -> Dict[str, Dict[str, float]]:
+    """Interleaved shipped-vs-stubbed medians per greedy variant."""
+    scenario = _scenario(scale)
+    from repro.algorithms import algorithm_by_name
+
+    k = min(10, len(scenario.candidate_sites))
+    results: Dict[str, Dict[str, float]] = {}
+    for name in GREEDY_ALGORITHMS:
+        algorithm = algorithm_by_name(name, backend="numpy")
+        algorithm.select(scenario, k)  # warm caches
+        shipped: List[float] = []
+        stubbed: List[float] = []
+        for _ in range(samples):
+            start = time.perf_counter()
+            algorithm.select(scenario, k)
+            shipped.append(time.perf_counter() - start)
+            with stubbed_hooks():
+                start = time.perf_counter()
+                algorithm.select(scenario, k)
+                stubbed.append(time.perf_counter() - start)
+        shipped_median = statistics.median(shipped)
+        stubbed_median = statistics.median(stubbed)
+        results[name] = {
+            "shipped_median_seconds": shipped_median,
+            "stubbed_median_seconds": stubbed_median,
+            "overhead_ratio": shipped_median / stubbed_median,
+        }
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold", type=float, default=1.05,
+        help="maximum acceptable shipped/stubbed ratio (default: 1.05)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=60,
+        help="timing samples per configuration per variant (default: 60)",
+    )
+    parser.add_argument(
+        "--scale", choices=("small", "paper"), default="small",
+        help="trace scale to measure at (default: small)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the measurements as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    results = measure(args.scale, args.samples)
+    ratios = [entry["overhead_ratio"] for entry in results.values()]
+    mean_ratio = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    for name, entry in sorted(results.items()):
+        print(
+            f"  {name:<18} shipped {entry['shipped_median_seconds']*1e3:8.3f} ms"
+            f"  stubbed {entry['stubbed_median_seconds']*1e3:8.3f} ms"
+            f"  ratio {entry['overhead_ratio']:.3f}"
+        )
+    print(
+        f"disabled-mode overhead (geometric mean over {len(ratios)} "
+        f"variants): {mean_ratio:.3f} (threshold {args.threshold:.2f})"
+    )
+    if args.json:
+        payload = {
+            "schema": "rapflow-obs-overhead/1",
+            "scale": args.scale,
+            "samples": args.samples,
+            "threshold": args.threshold,
+            "variants": results,
+            "geometric_mean_ratio": mean_ratio,
+        }
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote measurements to {args.json}")
+    if mean_ratio > args.threshold:
+        print(
+            "FAIL: disabled-mode observability overhead exceeds the "
+            "contract", file=sys.stderr,
+        )
+        return 1
+    print("OK: disabled-mode observability overhead within contract")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

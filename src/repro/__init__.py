@@ -90,6 +90,22 @@ from .manhattan import (
 
 __version__ = "1.0.0"
 
+
+def package_version() -> str:
+    """The installed distribution's version, else the source fallback.
+
+    Reads ``importlib.metadata`` so an installed wheel reports its real
+    version; running straight from a source checkout (no dist metadata)
+    falls back to the in-tree ``__version__``.
+    """
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__
+
+
 __all__ = [
     "BoundingBox",
     "BranchAndBoundOptimal",
@@ -134,6 +150,7 @@ __all__ = [
     "evaluate_placement",
     "flow_between",
     "manhattan_grid",
+    "package_version",
     "registered_algorithms",
     "seattle_like_city",
     "shortest_path",

@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core import IncrementalEvaluator, Scenario
 from ..core.kernel import ArrayEvaluator, first_unplaced, resolve_backend
 from ..graphs import NodeId
@@ -58,16 +59,20 @@ class CompositeGreedy(PlacementAlgorithm):
 
     def select(self, scenario: Scenario, k: int) -> List[NodeId]:
         """Paper Algorithm 2: best of candidate-i / candidate-ii per step."""
-        if resolve_backend(self._backend, scenario) == "numpy":
-            return self._select_numpy(scenario, k)
-        return self._select_python(scenario, k)
+        backend = resolve_backend(self._backend, scenario)
+        with obs.span("select", algorithm=self.name, backend=backend, k=k):
+            if backend == "numpy":
+                return self._select_numpy(scenario, k)
+            return self._select_python(scenario, k)
 
     def _select_numpy(self, scenario: Scenario, k: int) -> List[NodeId]:
         """Batched full scan: both Algorithm 2 factors in one reduction."""
         evaluator = ArrayEvaluator(scenario)
         sites = scenario.candidate_sites
         chosen: List[NodeId] = []
+        rounds = 0
         for _ in range(k):
+            rounds += 1
             uncovered, covered = evaluator.gain_splits(sites)
             # np.argmax returns the first maximum, matching the reference
             # scan's strictly-greater-replaces tie-breaking.
@@ -88,22 +93,42 @@ class CompositeGreedy(PlacementAlgorithm):
                     break
             evaluator.place(site)
             chosen.append(site)
+        if obs.active() is not None:
+            obs.count_many(
+                {
+                    "algorithm.iterations": len(chosen),
+                    "gain.evaluations": rounds * len(sites),
+                    "scan.batched_rounds": rounds,
+                }
+            )
         return chosen
 
     def _select_python(self, scenario: Scenario, k: int) -> List[NodeId]:
         """Reference implementation: per-entry scan of both factors."""
         evaluator = IncrementalEvaluator(scenario)
+        sites = scenario.candidate_sites
         chosen: List[NodeId] = []
+        evaluations = 0
         for _ in range(k):
             site = self._best_candidate(scenario, evaluator)
+            # The reference scan prices every unplaced candidate's two
+            # factors each round.
+            evaluations += len(sites) - len(chosen)
             if site is None:
                 if self._stop_when_saturated:
                     break
-                site = first_unplaced(scenario.candidate_sites, evaluator)
+                site = first_unplaced(sites, evaluator)
                 if site is None:
                     break
             evaluator.place(site)
             chosen.append(site)
+        if obs.active() is not None:
+            obs.count_many(
+                {
+                    "algorithm.iterations": len(chosen),
+                    "gain.evaluations": evaluations,
+                }
+            )
         return chosen
 
     @staticmethod

@@ -21,8 +21,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .. import obs
 from ..core import IncrementalEvaluator, Scenario
-from ..core.kernel import ArrayEvaluator, first_unplaced, resolve_backend
+from ..core.kernel import (
+    ArrayEvaluator,
+    first_unplaced,
+    flush_celf_counters,
+    resolve_backend,
+)
 from ..graphs import NodeId
 from .base import PlacementAlgorithm, register
 
@@ -56,9 +62,11 @@ class GreedyCoverage(PlacementAlgorithm):
 
     def select(self, scenario: Scenario, k: int) -> List[NodeId]:
         """Paper Algorithm 1: greedily cover uncovered flows."""
-        if resolve_backend(self._backend, scenario) == "numpy":
-            return self._select_numpy(scenario, k)
-        return self._select_python(scenario, k)
+        backend = resolve_backend(self._backend, scenario)
+        with obs.span("select", algorithm=self.name, backend=backend, k=k):
+            if backend == "numpy":
+                return self._select_numpy(scenario, k)
+            return self._select_python(scenario, k)
 
     def _select_numpy(self, scenario: Scenario, k: int) -> List[NodeId]:
         """CELF lazy scan on the (non-increasing) uncovered-flow gain."""
@@ -85,12 +93,14 @@ class GreedyCoverage(PlacementAlgorithm):
                 site = popped[0]
             evaluator.place(site)
             chosen.append(site)
+        flush_celf_counters(queue, len(chosen))
         return chosen
 
     def _select_python(self, scenario: Scenario, k: int) -> List[NodeId]:
         """Reference implementation: exhaustive scan per step."""
         evaluator = IncrementalEvaluator(scenario)
         chosen: List[NodeId] = []
+        evaluations = 0
         for _ in range(k):
             best_site: Optional[NodeId] = None
             best_gain = 0.0
@@ -98,6 +108,7 @@ class GreedyCoverage(PlacementAlgorithm):
                 if evaluator.is_placed(site):
                     continue
                 uncovered_gain, _ = evaluator.gain_split(site)
+                evaluations += 1
                 if uncovered_gain > best_gain:
                     best_site, best_gain = site, uncovered_gain
             if best_site is None:
@@ -108,4 +119,11 @@ class GreedyCoverage(PlacementAlgorithm):
                     break
             evaluator.place(best_site)
             chosen.append(best_site)
+        if obs.active() is not None:
+            obs.count_many(
+                {
+                    "algorithm.iterations": len(chosen),
+                    "gain.evaluations": evaluations,
+                }
+            )
         return chosen

@@ -22,8 +22,9 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Tuple
 
+from .. import obs
 from ..core import IncrementalEvaluator, Scenario
-from ..core.kernel import ArrayEvaluator, resolve_backend
+from ..core.kernel import ArrayEvaluator, flush_celf_counters, resolve_backend
 from ..graphs import NodeId
 from .base import PlacementAlgorithm, register
 
@@ -42,9 +43,11 @@ class LazyGreedy(PlacementAlgorithm):
 
     def select(self, scenario: Scenario, k: int) -> List[NodeId]:
         """CELF: stale-gain max-heap, recompute on pop; same output as plain greedy."""
-        if resolve_backend(self._backend, scenario) == "numpy":
-            return self._select_numpy(scenario, k)
-        return self._select_python(scenario, k)
+        backend = resolve_backend(self._backend, scenario)
+        with obs.span("select", algorithm=self.name, backend=backend, k=k):
+            if backend == "numpy":
+                return self._select_numpy(scenario, k)
+            return self._select_python(scenario, k)
 
     def _select_numpy(self, scenario: Scenario, k: int) -> List[NodeId]:
         """Array-kernel CELF: batched initial scan, sliced recomputes."""
@@ -61,6 +64,7 @@ class LazyGreedy(PlacementAlgorithm):
             chosen.append(popped[0])
             round_number += 1
         self.evaluations = queue.evaluations
+        flush_celf_counters(queue, len(chosen))
         return chosen
 
     def _select_python(self, scenario: Scenario, k: int) -> List[NodeId]:
@@ -89,4 +93,11 @@ class LazyGreedy(PlacementAlgorithm):
             evaluator.place(site)
             chosen.append(site)
             round_number += 1
+        if obs.active() is not None:
+            obs.count_many(
+                {
+                    "algorithm.iterations": len(chosen),
+                    "gain.evaluations": self.evaluations,
+                }
+            )
         return chosen

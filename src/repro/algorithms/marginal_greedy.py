@@ -23,8 +23,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .. import obs
 from ..core import IncrementalEvaluator, Scenario
-from ..core.kernel import ArrayEvaluator, first_unplaced, resolve_backend
+from ..core.kernel import (
+    ArrayEvaluator,
+    first_unplaced,
+    flush_celf_counters,
+    resolve_backend,
+)
 from ..graphs import NodeId
 from .base import PlacementAlgorithm, register
 
@@ -45,9 +51,11 @@ class MarginalGainGreedy(PlacementAlgorithm):
 
     def select(self, scenario: Scenario, k: int) -> List[NodeId]:
         """Greedy on total marginal gain (newly covered + detour improvements)."""
-        if resolve_backend(self._backend, scenario) == "numpy":
-            return self._select_numpy(scenario, k)
-        return self._select_python(scenario, k)
+        backend = resolve_backend(self._backend, scenario)
+        with obs.span("select", algorithm=self.name, backend=backend, k=k):
+            if backend == "numpy":
+                return self._select_numpy(scenario, k)
+            return self._select_python(scenario, k)
 
     def _select_numpy(self, scenario: Scenario, k: int) -> List[NodeId]:
         """CELF lazy scan over the array kernel — same output, fewer scans."""
@@ -68,12 +76,14 @@ class MarginalGainGreedy(PlacementAlgorithm):
                 site = popped[0]
             evaluator.place(site)
             chosen.append(site)
+        flush_celf_counters(queue, len(chosen))
         return chosen
 
     def _select_python(self, scenario: Scenario, k: int) -> List[NodeId]:
         """Reference implementation: exhaustive scan per step."""
         evaluator = IncrementalEvaluator(scenario)
         chosen: List[NodeId] = []
+        evaluations = 0
         for _ in range(k):
             best_site: Optional[NodeId] = None
             best_gain = 0.0
@@ -81,6 +91,7 @@ class MarginalGainGreedy(PlacementAlgorithm):
                 if evaluator.is_placed(site):
                     continue
                 gain = evaluator.gain(site)
+                evaluations += 1
                 if gain > best_gain:
                     best_site, best_gain = site, gain
             if best_site is None:
@@ -91,4 +102,11 @@ class MarginalGainGreedy(PlacementAlgorithm):
                     break
             evaluator.place(best_site)
             chosen.append(best_site)
+        if obs.active() is not None:
+            obs.count_many(
+                {
+                    "algorithm.iterations": len(chosen),
+                    "gain.evaluations": evaluations,
+                }
+            )
         return chosen

@@ -30,6 +30,16 @@ Subcommands
 ``lint``
     Run the domain-aware static checks (RAP001..RAP005) over source
     trees; exit 7 when findings exist.
+``profile``
+    Run ``place`` / ``run-figure`` / ``sweep`` inside an observability
+    context and print the span tree and counter table afterwards
+    (``rapflow profile place --city dublin ...``).
+``version``
+    Print the installed package version (also ``--version``).
+
+``place``, ``run-figure`` and ``sweep`` additionally accept
+``--obs-jsonl PATH`` to stream span events to a JSONL file without the
+profile report.
 
 Exit codes
 ----------
@@ -47,8 +57,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import __version__
 from . import extensions as _extensions  # noqa: F401 — registers algorithms
+from . import obs, package_version
 from .algorithms import algorithm_by_name, registered_algorithms
 from .core import Scenario, utility_by_name
 from .errors import (
@@ -103,37 +113,15 @@ def exit_code_for(error: ReproError) -> int:
     return EXIT_GENERIC
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="rapflow",
-        description=(
-            "Roadside advertisement dissemination in vehicular CPS "
-            "(reproduction of Zheng & Wu, ICDCS 2015)"
-        ),
-    )
+def _add_obs_jsonl(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--version", action="version", version=f"rapflow {__version__}"
-    )
-    commands = parser.add_subparsers(dest="command", required=True)
-
-    commands.add_parser(
-        "list-algorithms", help="print registered placement algorithms"
+        "--obs-jsonl", default=None, metavar="PATH",
+        help="stream observability span events to this JSONL file",
     )
 
-    trace = commands.add_parser(
-        "generate-trace", help="generate a synthetic bus trace CSV"
-    )
-    trace.add_argument("--city", choices=("dublin", "seattle"), required=True)
-    trace.add_argument("--out", required=True, help="output CSV path")
-    trace.add_argument(
-        "--scale", choices=("paper", "small"), default="paper",
-        help="instance size (default: paper)",
-    )
-    trace.add_argument("--seed", type=int, default=2015)
 
-    figure = commands.add_parser(
-        "run-figure", help="run one of the paper's evaluation figures"
-    )
+def _add_figure_args(figure: argparse.ArgumentParser) -> None:
+    """``run-figure`` arguments (shared with ``profile run-figure``)."""
     figure.add_argument("figure", choices=available_figures())
     figure.add_argument(
         "--repetitions", type=int, default=20,
@@ -162,6 +150,93 @@ def _build_parser() -> argparse.ArgumentParser:
         help="salvage a panel once one repetition exceeds this many "
         "seconds (requires --checkpoint-dir)",
     )
+    _add_obs_jsonl(figure)
+
+
+def _add_place_args(place: argparse.ArgumentParser) -> None:
+    """``place`` arguments (shared with ``profile place``)."""
+    place.add_argument("--city", choices=("dublin", "seattle"),
+                       default="dublin")
+    place.add_argument(
+        "--algorithm", choices=sorted(registered_algorithms()),
+        default="composite-greedy",
+    )
+    place.add_argument("--k", type=int, default=5, help="number of RAPs")
+    place.add_argument(
+        "--utility", default="linear",
+        help="threshold | linear | sqrt (default: linear)",
+    )
+    place.add_argument(
+        "--threshold", type=float, default=None,
+        help="detour threshold D in feet (default: city-appropriate)",
+    )
+    place.add_argument(
+        "--shop", choices=[c.value for c in LocationClass], default="city",
+        help="shop location class (default: city)",
+    )
+    place.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+    )
+    place.add_argument("--seed", type=int, default=42)
+    place.add_argument(
+        "--diagnose", action="store_true",
+        help="print full placement diagnostics and a sweep chart",
+    )
+    _add_obs_jsonl(place)
+
+
+def _add_sweep_args(sweep: argparse.ArgumentParser) -> None:
+    """``sweep`` arguments (shared with ``profile sweep``)."""
+    sweep.add_argument(
+        "parameter", choices=("threshold", "budget", "alpha"),
+    )
+    sweep.add_argument("--city", choices=("dublin", "seattle"),
+                       default="dublin")
+    sweep.add_argument("--utility", default="linear")
+    sweep.add_argument("--k", type=int, default=5)
+    sweep.add_argument(
+        "--values", default=None,
+        help="comma-separated sweep values (defaults per parameter)",
+    )
+    sweep.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+    )
+    sweep.add_argument("--seed", type=int, default=42)
+    _add_obs_jsonl(sweep)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rapflow",
+        description=(
+            "Roadside advertisement dissemination in vehicular CPS "
+            "(reproduction of Zheng & Wu, ICDCS 2015)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"rapflow {package_version()}",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list-algorithms", help="print registered placement algorithms"
+    )
+
+    trace = commands.add_parser(
+        "generate-trace", help="generate a synthetic bus trace CSV"
+    )
+    trace.add_argument("--city", choices=("dublin", "seattle"), required=True)
+    trace.add_argument("--out", required=True, help="output CSV path")
+    trace.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+        help="instance size (default: paper)",
+    )
+    trace.add_argument("--seed", type=int, default=2015)
+
+    _add_figure_args(commands.add_parser(
+        "run-figure", help="run one of the paper's evaluation figures"
+    ))
 
     ingest = commands.add_parser(
         "ingest",
@@ -227,35 +302,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the available rules and exit",
     )
 
-    place = commands.add_parser(
+    _add_place_args(commands.add_parser(
         "place", help="solve one placement instance on a generated trace"
-    )
-    place.add_argument("--city", choices=("dublin", "seattle"), default="dublin")
-    place.add_argument(
-        "--algorithm", choices=sorted(registered_algorithms()),
-        default="composite-greedy",
-    )
-    place.add_argument("--k", type=int, default=5, help="number of RAPs")
-    place.add_argument(
-        "--utility", default="linear",
-        help="threshold | linear | sqrt (default: linear)",
-    )
-    place.add_argument(
-        "--threshold", type=float, default=None,
-        help="detour threshold D in feet (default: city-appropriate)",
-    )
-    place.add_argument(
-        "--shop", choices=[c.value for c in LocationClass], default="city",
-        help="shop location class (default: city)",
-    )
-    place.add_argument(
-        "--scale", choices=("paper", "small"), default="paper",
-    )
-    place.add_argument("--seed", type=int, default=42)
-    place.add_argument(
-        "--diagnose", action="store_true",
-        help="print full placement diagnostics and a sweep chart",
-    )
+    ))
 
     render = commands.add_parser(
         "render", help="render a city (and optionally a placement) as SVG"
@@ -300,24 +349,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     claims.add_argument("--seed", type=int, default=42)
 
-    sweep = commands.add_parser(
+    _add_sweep_args(commands.add_parser(
         "sweep", help="sensitivity sweep (threshold / budget / alpha)"
+    ))
+
+    profile = commands.add_parser(
+        "profile",
+        help="run a subcommand under observability and print the "
+        "span-tree/counter report",
     )
-    sweep.add_argument(
-        "parameter", choices=("threshold", "budget", "alpha"),
-    )
-    sweep.add_argument("--city", choices=("dublin", "seattle"),
-                       default="dublin")
-    sweep.add_argument("--utility", default="linear")
-    sweep.add_argument("--k", type=int, default=5)
-    sweep.add_argument(
-        "--values", default=None,
-        help="comma-separated sweep values (defaults per parameter)",
-    )
-    sweep.add_argument(
-        "--scale", choices=("paper", "small"), default="paper",
-    )
-    sweep.add_argument("--seed", type=int, default=42)
+    profiled = profile.add_subparsers(dest="profile_command", required=True)
+    _add_place_args(profiled.add_parser(
+        "place", help="profile one placement run"
+    ))
+    _add_figure_args(profiled.add_parser(
+        "run-figure", help="profile a figure run"
+    ))
+    _add_sweep_args(profiled.add_parser(
+        "sweep", help="profile a sensitivity sweep"
+    ))
+
+    commands.add_parser("version", help="print the installed version")
     return parser
 
 
@@ -626,6 +678,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_version() -> int:
+    print(f"rapflow {package_version()}")
+    return 0
+
+
+def _run_command(
+    command: str, args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+) -> int:
+    """Dispatch one (already parsed) subcommand."""
+    if command == "list-algorithms":
+        return _cmd_list_algorithms()
+    if command == "generate-trace":
+        return _cmd_generate_trace(args)
+    if command == "run-figure":
+        return _cmd_run_figure(args)
+    if command == "ingest":
+        return _cmd_ingest(args)
+    if command == "inject-faults":
+        return _cmd_inject_faults(args)
+    if command == "lint":
+        return _cmd_lint(args)
+    if command == "place":
+        return _cmd_place(args)
+    if command == "render":
+        return _cmd_render(args)
+    if command == "validate":
+        return _cmd_validate(args)
+    if command == "check-claims":
+        return _cmd_check_claims(args)
+    if command == "sweep":
+        return _cmd_sweep(args)
+    if command == "version":
+        return _cmd_version()
+    parser.error(f"unknown command {command!r}")
+    return 2  # unreachable: parser.error raises SystemExit
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -634,33 +724,29 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sanitize.install_if_enabled()
     try:
-        if args.command == "list-algorithms":
-            return _cmd_list_algorithms()
-        if args.command == "generate-trace":
-            return _cmd_generate_trace(args)
-        if args.command == "run-figure":
-            return _cmd_run_figure(args)
-        if args.command == "ingest":
-            return _cmd_ingest(args)
-        if args.command == "inject-faults":
-            return _cmd_inject_faults(args)
-        if args.command == "lint":
-            return _cmd_lint(args)
-        if args.command == "place":
-            return _cmd_place(args)
-        if args.command == "render":
-            return _cmd_render(args)
-        if args.command == "validate":
-            return _cmd_validate(args)
-        if args.command == "check-claims":
-            return _cmd_check_claims(args)
-        if args.command == "sweep":
-            return _cmd_sweep(args)
-        parser.error(f"unknown command {args.command!r}")
+        if args.command == "profile":
+            inner = args.profile_command
+            with obs.ObsContext(
+                jsonl_path=args.obs_jsonl, label=f"rapflow {inner}"
+            ) as ctx:
+                code = _run_command(inner, args, parser)
+            print()
+            print(obs.render_report(ctx))
+            if args.obs_jsonl:
+                print(f"\nwrote span events to {args.obs_jsonl}")
+            return code
+        if getattr(args, "obs_jsonl", None):
+            with obs.ObsContext(
+                jsonl_path=args.obs_jsonl,
+                label=f"rapflow {args.command}",
+            ):
+                code = _run_command(args.command, args, parser)
+            print(f"wrote span events to {args.obs_jsonl}", file=sys.stderr)
+            return code
+        return _run_command(args.command, args, parser)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return exit_code_for(error)
-    return 0
 
 
 if __name__ == "__main__":

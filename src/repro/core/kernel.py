@@ -56,6 +56,7 @@ from typing import (
 
 import numpy as np
 
+from .. import obs
 from ..errors import InvalidScenarioError
 from ..graphs import INFINITY, NodeId
 from .placement import FlowOutcome, Placement
@@ -101,6 +102,7 @@ def resolve_backend(
         raise InvalidScenarioError(
             f"unknown evaluation backend {choice!r}; expected one of {BACKENDS}"
         )
+    obs.count("backend." + choice)
     return choice
 
 
@@ -145,7 +147,7 @@ class PackedCoverage:
                 position.append(entry.position)
         indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
         np.cumsum(np.asarray(counts, dtype=np.int64), out=indptr[1:])
-        return cls(
+        packed = cls(
             nodes=tuple(nodes),
             row_of=row_of,
             indptr=indptr,
@@ -163,6 +165,17 @@ class PackedCoverage:
                 [flow.attractiveness for flow in index.flows], dtype=float
             ),
         )
+        if obs.active() is not None:
+            obs.count_many(
+                {
+                    "pack.builds": 1,
+                    "pack.rows": packed.row_count,
+                    "pack.incidences": packed.incidence_count,
+                    "pack.flows": packed.flow_count,
+                    "pack.bytes": packed.nbytes,
+                }
+            )
+        return packed
 
     @property
     def row_count(self) -> int:
@@ -178,6 +191,19 @@ class PackedCoverage:
     def flow_count(self) -> int:
         """Number of flows the columns are aligned with."""
         return len(self.volume)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the CSR columns and flow vectors."""
+        return int(
+            self.indptr.nbytes
+            + self.flow_index.nbytes
+            + self.detour.nbytes
+            + self.position.nbytes
+            + self.entry_row.nbytes
+            + self.volume.nbytes
+            + self.attractiveness.nbytes
+        )
 
     def row_slice(self, row: int) -> slice:
         """The CSR slice of one node's incidences."""
@@ -254,7 +280,9 @@ class _KernelStatic:
         key = id(nodes)
         cached = self._alignments.get(key)
         if cached is not None and cached.nodes is nodes:
+            obs.count("kernel.alignment_cache.hits")
             return cached
+        obs.count("kernel.alignment_cache.misses")
         rows = np.asarray(
             [self.row_of.get(node, -1) for node in nodes], dtype=np.int64
         )
@@ -292,8 +320,11 @@ _STATIC_CACHE: "weakref.WeakKeyDictionary[Scenario, _KernelStatic]" = (
 def _static_for(scenario: "Scenario") -> _KernelStatic:
     static = _STATIC_CACHE.get(scenario)
     if static is None:
+        obs.count("kernel.static_cache.misses")
         static = _KernelStatic(scenario)
         _STATIC_CACHE[scenario] = static
+    else:
+        obs.count("kernel.static_cache.hits")
     return static
 
 
@@ -621,6 +652,14 @@ class CelfQueue:
     and pushed back; the first entry computed in the current round is the
     true argmax.  Ties break by candidate-site order, matching the
     exhaustive scans, so lazy and exhaustive selection are identical.
+
+    The queue keeps its own lightweight tallies (plain int attributes, so
+    the hot loop never calls into :mod:`repro.obs`): ``evaluations``
+    (gain recomputes, initial scan included), ``heap_pops``,
+    ``lazy_refreshes`` (stale entries recomputed and pushed back), and
+    ``lazy_skips`` (candidates *not* rescanned in a round — the work an
+    exhaustive scan would have done).  Algorithms flush these into the
+    active observability context once per ``select``.
     """
 
     def __init__(
@@ -628,6 +667,9 @@ class CelfQueue:
     ) -> None:
         #: Gain evaluations charged so far (initial scan counts once per site).
         self.evaluations = len(sites)
+        self.heap_pops = 0
+        self.lazy_refreshes = 0
+        self.lazy_skips = 0
         self._heap: List[Tuple[float, int, NodeId, int]] = []
         for order, (site, gain) in enumerate(zip(sites, initial_gains)):
             if gain > 0:
@@ -643,6 +685,9 @@ class CelfQueue:
         """Adopt an already-heapified entry list (see ``celf_queue``)."""
         queue = cls.__new__(cls)
         queue.evaluations = evaluations
+        queue.heap_pops = 0
+        queue.lazy_refreshes = 0
+        queue.lazy_skips = 0
         queue._heap = heap
         return queue
 
@@ -653,9 +698,13 @@ class CelfQueue:
         self, gain_of: Callable[[NodeId], float], round_number: int
     ) -> Optional[Tuple[NodeId, float]]:
         """Pop the true argmax for this round (None when no positive gain)."""
+        start_size = len(self._heap)
+        refreshed = 0
         while self._heap:
             neg_gain, order, site, computed_round = heapq.heappop(self._heap)
+            self.heap_pops += 1
             if computed_round != round_number:
+                refreshed += 1
                 gain = gain_of(site)
                 self.evaluations += 1
                 if gain > 0:
@@ -663,10 +712,35 @@ class CelfQueue:
                         self._heap, (-gain, order, site, round_number)
                     )
                 continue
+            self.lazy_refreshes += refreshed
+            skipped = start_size - refreshed - 1
+            if skipped > 0:
+                self.lazy_skips += skipped
             if -neg_gain <= 0:
                 return None
             return site, -neg_gain
+        self.lazy_refreshes += refreshed
         return None
+
+
+def flush_celf_counters(queue: "CelfQueue", iterations: int) -> None:
+    """Fold one lazy scan's tallies into the active observability context.
+
+    Called by the greedy variants once per ``select`` — the CELF hot loop
+    itself only bumps plain ints on the queue, so instrumentation costs
+    nothing there and nothing at all when no context is active.
+    """
+    if obs.active() is None:
+        return
+    obs.count_many(
+        {
+            "algorithm.iterations": iterations,
+            "gain.evaluations": queue.evaluations,
+            "celf.heap_pops": queue.heap_pops,
+            "celf.lazy_refreshes": queue.lazy_refreshes,
+            "celf.lazy_skips": queue.lazy_skips,
+        }
+    )
 
 
 def first_unplaced(
@@ -692,6 +766,7 @@ def evaluate_placement_many(
     min-reduction plus one utility kernel over the flow vectors, instead
     of re-walking every flow path per placement.
     """
+    obs.count("kernel.batch_evaluations", len(placements))
     if resolve_backend(backend, scenario) == "python":
         from .evaluation import evaluate_placement
 
@@ -736,6 +811,7 @@ __all__ = [
     "PackedCoverage",
     "evaluate_placement_many",
     "first_unplaced",
+    "flush_celf_counters",
     "make_evaluator",
     "resolve_backend",
 ]

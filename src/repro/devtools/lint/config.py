@@ -8,6 +8,7 @@ the repository's policy, and a ``[tool.rapflow-lint]`` table in
     select = ["RAP001", "RAP002"]          # run only these rules
     exclude = ["devtools/lint/fixtures"]   # path fragments to skip
     wall-clock-banned = ["repro/core"]     # RAP002 scope (path fragments)
+    clock-receivers = ["clock", "_clock"]  # RAP002 blessed .now() receivers
     extra-allowed-raises = ["OSError"]     # RAP003 additions
     extra-anchors = ["Theorem 9"]  # RAP004 additions  # rapflow: noqa[RAP004] doc example
 
@@ -40,11 +41,18 @@ DEFAULT_WALL_CLOCK_BANNED: Tuple[str, ...] = (
 #: CI lints ``src/repro`` only.
 DEFAULT_EXCLUDE: Tuple[str, ...] = ()
 
+#: Receiver names whose ``.now()`` calls RAP002 blesses inside the
+#: deterministic packages: an injected :class:`repro.obs.Clock` is
+#: replayable (the caller controls it), whereas an inline
+#: ``SystemClock().now()`` or any other ad-hoc ``.now()`` is not.
+DEFAULT_CLOCK_RECEIVERS: Tuple[str, ...] = ("clock", "_clock")
+
 _KNOWN_KEYS = frozenset(
     {
         "select",
         "exclude",
         "wall-clock-banned",
+        "clock-receivers",
         "extra-allowed-raises",
         "extra-anchors",
     }
@@ -58,6 +66,7 @@ class LintConfig:
     select: Optional[Tuple[str, ...]] = None
     exclude: Tuple[str, ...] = DEFAULT_EXCLUDE
     wall_clock_banned: Tuple[str, ...] = DEFAULT_WALL_CLOCK_BANNED
+    clock_receivers: Tuple[str, ...] = DEFAULT_CLOCK_RECEIVERS
     extra_allowed_raises: Tuple[str, ...] = ()
     extra_anchors: Tuple[str, ...] = ()
 
@@ -83,6 +92,10 @@ class LintConfig:
         """Whether RAP002 (no wall clock) is in force for ``path``."""
         text = path.as_posix()
         return any(fragment in text for fragment in self.wall_clock_banned)
+
+    def clock_receiver_allowed(self, receiver: str) -> bool:
+        """Whether RAP002 blesses ``<receiver>.now()`` as an injected clock."""
+        return receiver in self.clock_receivers
 
 
 def _string_list(value: object, key: str) -> Tuple[str, ...]:
@@ -139,6 +152,13 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
                 table["wall-clock-banned"], "wall-clock-banned"
             ),
         )
+    if "clock-receivers" in table:
+        config = replace(
+            config,
+            clock_receivers=_string_list(
+                table["clock-receivers"], "clock-receivers"
+            ),
+        )
     if "extra-allowed-raises" in table:
         config = replace(
             config,
@@ -164,6 +184,7 @@ def _find_pyproject() -> Optional[Path]:
 
 
 __all__ = [
+    "DEFAULT_CLOCK_RECEIVERS",
     "DEFAULT_EXCLUDE",
     "DEFAULT_WALL_CLOCK_BANNED",
     "LintConfig",

@@ -12,6 +12,13 @@ Flags calls to ``time.time`` / ``monotonic`` / ``perf_counter`` /
 ``utcnow`` / ``today`` (via the module or an imported class), both as
 ``time.time()`` and as ``from time import time; time()``.
 
+Injected clocks (the :class:`repro.obs.Clock` protocol) are the blessed
+way to time things inside these packages: a caller-supplied clock is
+replayable, so ``clock.now()`` / ``self._clock.now()`` pass, while any
+other ``.now()`` receiver — e.g. an inline ``SystemClock().now()`` —
+is flagged.  The receiver allowlist is the ``clock-receivers`` config
+key (default ``["clock", "_clock"]``).
+
 Modules outside the banned prefixes (reliability's checkpoint timeouts,
 the CLI, the experiment runner's progress reporting) are untouched.
 """
@@ -107,7 +114,8 @@ class WallClockRule(Rule):
                 f"wall-clock call {base.id}.{func.attr}() in a deterministic "
                 "package; pass timestamps in from the caller",
             )
-        elif (
+            return
+        if (
             isinstance(base, ast.Attribute)
             and base.attr in {"datetime", "date"}
             and isinstance(base.value, ast.Name)
@@ -118,6 +126,32 @@ class WallClockRule(Rule):
                 f"wall-clock call datetime.{base.attr}.{func.attr}() in a "
                 "deterministic package; pass timestamps in from the caller",
             )
+            return
+        if func.attr == "now":
+            self._check_clock_receiver(node, base)
+
+    def _check_clock_receiver(self, node: ast.Call, base: ast.expr) -> None:
+        """Allow ``.now()`` only on allowlisted injected-clock receivers.
+
+        ``clock.now()`` and ``self._clock.now()`` resolve their receiver
+        to the terminal name (``clock`` / ``_clock``); anything else —
+        ``SystemClock().now()``, ``timer.now()`` — is an un-replayable
+        clock read smuggled past the module-level checks above.
+        """
+        if isinstance(base, ast.Name):
+            receiver = base.id
+        elif isinstance(base, ast.Attribute):
+            receiver = base.attr
+        else:
+            receiver = "<expression>"
+        if self.config.clock_receiver_allowed(receiver):
+            return
+        allowed = ", ".join(self.config.clock_receivers)
+        self.emit(
+            node,
+            f"clock-like call {receiver}.now() in a deterministic package; "
+            f"inject a repro.obs.Clock named one of: {allowed}",
+        )
 
 
 __all__ = ["WallClockRule"]

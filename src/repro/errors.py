@@ -192,6 +192,17 @@ class SanitizerViolation(DevtoolsError, AssertionError):
         self.check = check
 
 
+class ObsError(ReproError):
+    """Base class for observability-layer errors (spans, sinks).
+
+    Raised for misuse of the tracing API (ending a span twice, closing a
+    context with open spans) and for event-sink I/O failures.
+
+    >>> issubclass(ObsError, ReproError)
+    True
+    """
+
+
 class ExperimentError(ReproError):
     """Base class for experiment-harness errors."""
 

@@ -55,6 +55,10 @@ class PanelResult:
 
     spec: PanelSpec
     series: Dict[str, Series] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    """Observability counter totals accumulated while the panel ran
+    (``gain.evaluations``, ``celf.lazy_skips``, ...).  Populated only
+    when an :class:`repro.obs.ObsContext` was active; empty otherwise."""
 
     def add(self, series: Series) -> None:
         """Attach one algorithm's series (one series per algorithm)."""
@@ -128,6 +132,7 @@ def figure_to_dict(result: FigureResult) -> dict:
         "panels": {
             panel_id: {
                 "description": panel.spec.describe(),
+                "metrics": dict(panel.metrics),
                 "series": {
                     name: {
                         "ks": list(series.ks),

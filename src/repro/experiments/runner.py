@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..algorithms import algorithm_by_name
 from ..core import (
     Scenario,
@@ -116,13 +117,17 @@ class TraceProvider:
         """Build (or return the cached) trace bundle for a city."""
         bundle = self._cache.get(city)
         if bundle is not None:
+            obs.count("trace.cache_hits")
             return bundle
         config = self._config(city)
-        if city == "dublin":
-            trace = generate_dublin_trace(config)
-        else:
-            trace = generate_seattle_trace(config)
-        flows = tuple(trace.extract_flows())
+        with obs.span("trace_build", city=city, scale=self._scale):
+            if city == "dublin":
+                trace = generate_dublin_trace(config)
+            else:
+                trace = generate_seattle_trace(config)
+            flows = tuple(trace.extract_flows())
+        if obs.active() is not None:
+            obs.count_many({"trace.builds": 1, "trace.flows": len(flows)})
         bundle = TraceBundle(
             city=city, network=trace.network, flows=flows, trace=trace
         )
@@ -205,9 +210,11 @@ def panel_repetition(
     :mod:`repro.reliability.checkpoint` persists exactly one of these
     per repetition, and :func:`run_panel` is a loop over them.
     """
-    if panel.semantics == MANHATTAN:
-        return _manhattan_repetition(panel, bundle, shop, rep)
-    return _general_repetition(panel, bundle, shop, rep)
+    with obs.span("repetition", panel=panel.panel_id, rep=rep):
+        obs.count("panel.repetitions")
+        if panel.semantics == MANHATTAN:
+            return _manhattan_repetition(panel, bundle, shop, rep)
+        return _general_repetition(panel, bundle, shop, rep)
 
 
 def panel_shops(panel: PanelSpec, bundle: TraceBundle) -> List[NodeId]:
@@ -247,19 +254,31 @@ def aggregate_panel(
 def run_panel(
     panel: PanelSpec, provider: Optional[TraceProvider] = None
 ) -> PanelResult:
-    """Run one panel end to end."""
+    """Run one panel end to end.
+
+    When an :class:`repro.obs.ObsContext` is active, the panel runs
+    inside a ``panel`` span and the counters it accumulated (gain
+    evaluations, CELF skips, pack stats, ...) land on the returned
+    :attr:`~repro.experiments.results.PanelResult.metrics`.
+    """
     provider = provider or TraceProvider()
-    bundle = provider.get(panel.city)
-    shops = panel_shops(panel, bundle)
-    values: Dict[str, Dict[int, List[float]]] = {
-        name: {k: [] for k in panel.ks} for name in panel.algorithms
-    }
-    for rep, shop in enumerate(shops):
-        rep_values = panel_repetition(panel, bundle, shop, rep)
-        for name in panel.algorithms:
-            for k in panel.ks:
-                values[name][k].append(rep_values[name][k])
-    return aggregate_panel(panel, values)
+    ctx = obs.active()
+    with obs.span("panel", panel=panel.panel_id, city=panel.city):
+        before = ctx.snapshot() if ctx is not None else None
+        bundle = provider.get(panel.city)
+        shops = panel_shops(panel, bundle)
+        values: Dict[str, Dict[int, List[float]]] = {
+            name: {k: [] for k in panel.ks} for name in panel.algorithms
+        }
+        for rep, shop in enumerate(shops):
+            rep_values = panel_repetition(panel, bundle, shop, rep)
+            for name in panel.algorithms:
+                for k in panel.ks:
+                    values[name][k].append(rep_values[name][k])
+        result = aggregate_panel(panel, values)
+        if ctx is not None and before is not None:
+            result.metrics = ctx.counters_since(before)
+        return result
 
 
 def run_figure(
@@ -268,6 +287,7 @@ def run_figure(
     """Run every panel of a figure (sharing the trace provider cache)."""
     provider = provider or TraceProvider()
     result = FigureResult(spec=figure)
-    for panel in figure.panels:
-        result.add(run_panel(panel, provider))
+    with obs.span("figure", figure=figure.figure_id):
+        for panel in figure.panels:
+            result.add(run_panel(panel, provider))
     return result

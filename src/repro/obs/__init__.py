@@ -1,0 +1,55 @@
+"""repro.obs — structured tracing, counters, and profiling hooks.
+
+The observability layer of the reproduction.  One
+:class:`~repro.obs.context.ObsContext` records a run: nested spans
+(timed via an injectable :class:`~repro.obs.clock.Clock`, so the
+deterministic packages stay wall-clock free under lint rule RAP002),
+domain counters (CELF lazy skips, gain evaluations, pack stats,
+reliability quarantines, ...), gauges, and an optional JSONL event
+sink.
+
+Instrumented library code never talks to a context directly — it calls
+the module-level hooks re-exported here (:func:`span`, :func:`count`,
+:func:`count_many`, :func:`gauge`), which are near-free no-ops when no
+context is active::
+
+    from repro import obs
+
+    with obs.ObsContext(jsonl_path="events.jsonl") as ctx:
+        placement = CompositeGreedy().place(scenario, k=5)
+    print(obs.render_report(ctx))
+
+Surfacing lives in the CLI (``rapflow profile``, ``--obs-jsonl``), the
+experiment runner (per-repetition metrics on results objects), and
+``scripts/bench_trajectory.py`` (counter snapshots in BENCH_core.json).
+"""
+
+from .clock import Clock, SystemClock, TickClock
+from .context import (
+    Number,
+    ObsContext,
+    Span,
+    active,
+    count,
+    count_many,
+    gauge,
+    span,
+)
+from .report import render_counter_table, render_report, render_span_tree
+
+__all__ = [
+    "Clock",
+    "Number",
+    "ObsContext",
+    "Span",
+    "SystemClock",
+    "TickClock",
+    "active",
+    "count",
+    "count_many",
+    "gauge",
+    "render_counter_table",
+    "render_report",
+    "render_span_tree",
+    "span",
+]

@@ -1,0 +1,66 @@
+"""Clock abstraction for the observability layer.
+
+Span timing needs a time source, but the deterministic packages
+(``core/``, ``algorithms/``, ``graphs/``, ``manhattan/``) are forbidden
+from reading the wall clock (lint rule RAP002): bit-identical replays
+and checkpoint resume depend on those layers being pure functions of
+their inputs.  The :class:`Clock` protocol squares the circle —
+instrumented code never touches :mod:`time` directly; it either calls
+into :mod:`repro.obs` hooks (which consult the *context's* clock, here,
+outside the banned packages) or receives an injected ``Clock`` whose
+``.now()`` call sites RAP002 explicitly allowlists.
+
+:class:`SystemClock` is the production source (``time.perf_counter``:
+monotonic, high resolution, no epoch semantics to leak into events);
+:class:`TickClock` is a deterministic stand-in for tests and replay —
+every read advances by a fixed step, so event streams compare equal
+across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a monotone ``now() -> float`` (seconds)."""
+
+    def now(self) -> float:
+        """Current time in seconds; must never decrease between calls."""
+        ...
+
+
+class SystemClock:
+    """Monotonic wall-clock source (``time.perf_counter``)."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        """Seconds from an arbitrary, monotonically increasing origin."""
+        return time.perf_counter()
+
+
+class TickClock:
+    """Deterministic clock: each read advances by a fixed ``step``.
+
+    >>> clock = TickClock(step=0.5)
+    >>> clock.now(), clock.now(), clock.now()
+    (0.0, 0.5, 1.0)
+    """
+
+    __slots__ = ("_next", "_step")
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self._next = start
+        self._step = step
+
+    def now(self) -> float:
+        """The next tick (monotone by construction)."""
+        current = self._next
+        self._next += self._step
+        return current
+
+
+__all__ = ["Clock", "SystemClock", "TickClock"]

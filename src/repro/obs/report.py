@@ -1,0 +1,95 @@
+"""Human-readable rendering of a recorded :class:`ObsContext`.
+
+``rapflow profile ...`` prints two views after the instrumented run:
+
+* :func:`render_span_tree` — the nested spans with durations, attrs and
+  each span's own counters (per-algorithm breakdowns fall out of the
+  ``select`` spans);
+* :func:`render_counter_table` — the context-wide counter totals and
+  gauges, aligned for eyeballing and greppable in CI logs.
+
+:func:`render_report` concatenates both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from .context import Number, ObsContext, Span
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "open"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _format_value(value: Number) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _span_label(span: Span) -> str:
+    attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+    label = span.name if not attrs else f"{span.name} [{attrs}]"
+    return f"{label}  ({_format_duration(span.duration)})"
+
+
+def _render_span(
+    span: Span, prefix: str, is_last: bool, lines: List[str]
+) -> None:
+    connector = "`- " if is_last else "|- "
+    lines.append(f"{prefix}{connector}{_span_label(span)}")
+    child_prefix = prefix + ("   " if is_last else "|  ")
+    for name in sorted(span.counters):
+        lines.append(
+            f"{child_prefix}  {name} = {_format_value(span.counters[name])}"
+        )
+    for index, child in enumerate(span.children):
+        _render_span(
+            child, child_prefix, index == len(span.children) - 1, lines
+        )
+
+
+def render_span_tree(context: ObsContext) -> str:
+    """The context's span tree, one line per span plus counter lines."""
+    root = context.root
+    lines = [_span_label(root)]
+    for index, child in enumerate(root.children):
+        _render_span(child, "", index == len(root.children) - 1, lines)
+    return "\n".join(lines)
+
+
+def render_counter_table(
+    counters: Mapping[str, Number], gauges: Optional[Mapping[str, object]] = None
+) -> str:
+    """Aligned ``name = value`` table of counters (and gauges, if any)."""
+    entries: Dict[str, str] = {
+        name: _format_value(value) for name, value in counters.items()
+    }
+    for name, value in (gauges or {}).items():
+        entries[name] = str(value)
+    if not entries:
+        return "(no counters recorded)"
+    width = max(len(name) for name in entries)
+    return "\n".join(
+        f"  {name:<{width}}  {entries[name]}" for name in sorted(entries)
+    )
+
+
+def render_report(context: ObsContext) -> str:
+    """Span tree plus counter/gauge table, ready for the CLI."""
+    return (
+        "span tree\n---------\n"
+        + render_span_tree(context)
+        + "\n\ncounters\n--------\n"
+        + render_counter_table(context.counters, context.gauges)
+    )
+
+
+__all__ = ["render_counter_table", "render_report", "render_span_tree"]

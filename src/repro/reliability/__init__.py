@@ -32,6 +32,7 @@ from .faults import (
 )
 from .health import (
     ROW_FAULT_CLASSES,
+    HEALTH_SCHEMA_VERSION,
     ErrorBudget,
     PipelineHealth,
 )
@@ -46,6 +47,7 @@ from .ingest import (
 __all__ = [
     "CheckpointStore",
     "ErrorBudget",
+    "HEALTH_SCHEMA_VERSION",
     "FaultConfig",
     "FaultInjector",
     "FaultReport",

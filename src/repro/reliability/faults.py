@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Sequence, Tuple
 
+from .. import obs
 from ..errors import ReliabilityError
 from ..traces.records import GpsRecord
 
@@ -144,6 +145,18 @@ class FaultReport:
         )
 
 
+def _flush_fault_counters(report: FaultReport) -> None:
+    """Mirror a fault report into the active obs context (if any)."""
+    if obs.active() is None or not report.counts:
+        return
+    obs.count_many(
+        {
+            f"faults.{fault_class}": count
+            for fault_class, count in report.counts.items()
+        }
+    )
+
+
 class FaultInjector:
     """Applies a :class:`FaultConfig` to record streams and CSV rows."""
 
@@ -223,6 +236,7 @@ class FaultInjector:
             if config.duplicate_rate and rng.random() < config.duplicate_rate:
                 out.append(record)
                 report.bump("duplicated")
+        _flush_fault_counters(report)
         return out, report
 
     # ------------------------------------------------------------------
@@ -254,4 +268,5 @@ class FaultInjector:
                     cells = cells[: max(1, column)]
                 report.bump("malformed-cells")
             out.append(cells)
+        _flush_fault_counters(report)
         return out, report

@@ -23,6 +23,11 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ErrorBudgetExceeded, ReliabilityError
 
+#: Version of the :meth:`PipelineHealth.to_dict` schema.  Bump only on
+#: breaking changes (renamed or re-typed keys); additive keys keep the
+#: version, so downstream consumers can pin on it.
+HEALTH_SCHEMA_VERSION = 1
+
 #: Row-level fault classes recognized by the lenient CSV reader.
 ROW_FAULT_CLASSES = (
     "missing-column",
@@ -171,6 +176,7 @@ class PipelineHealth:
     def to_dict(self) -> dict:
         """JSON-compatible summary (for archiving alongside results)."""
         return {
+            "schema_version": HEALTH_SCHEMA_VERSION,
             "source": self.source,
             "rows_read": self.rows_read,
             "rows_accepted": self.rows_accepted,
@@ -185,7 +191,10 @@ class PipelineHealth:
 
     def render(self) -> str:
         """Human-readable multi-line summary for the CLI."""
-        lines = [f"pipeline health: {self.source or '<in-memory>'}"]
+        lines = [
+            f"pipeline health (schema v{HEALTH_SCHEMA_VERSION}): "
+            f"{self.source or '<in-memory>'}"
+        ]
         lines.append(
             f"  rows      : {self.rows_accepted}/{self.rows_read} accepted "
             f"({self.row_error_rate:.1%} quarantined)"

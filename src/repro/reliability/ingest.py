@@ -19,6 +19,7 @@ import csv
 from dataclasses import dataclass
 from typing import List, Optional
 
+from .. import obs
 from ..core import TrafficFlow
 from ..errors import ReliabilityError
 from ..graphs import RoadNetwork
@@ -98,6 +99,19 @@ def ingest_trace_csv(
         FlowExtractionConfig()
     )
     health.flows_extracted = len(flows)
+    if obs.active() is not None:
+        obs.count_many(
+            {
+                "ingest.runs": 1,
+                "ingest.rows_read": health.rows_read,
+                "ingest.rows_quarantined": health.rows_quarantined,
+                "ingest.journeys_matched": health.journeys_matched,
+                "ingest.journeys_quarantined": (
+                    health.journeys_total - health.journeys_matched
+                ),
+                "ingest.flows_extracted": health.flows_extracted,
+            }
+        )
     return IngestResult(
         records=records, report=report, flows=flows, health=health
     )

@@ -90,6 +90,42 @@ class TestRap002:
     def test_clockless_core_passes(self):
         assert run("import math\nx = math.sqrt(2.0)\n", "core/detour.py") == []
 
+    def test_injected_clock_now_passes(self):
+        clean = (
+            "def f(clock):\n"
+            "    return clock.now()\n"
+            "class T:\n"
+            "    def g(self):\n"
+            "        return self._clock.now()\n"
+        )
+        assert run(clean, "core/kernel.py") == []
+
+    def test_adhoc_now_receiver_flagged(self):
+        diags = run("def f(timer):\n    return timer.now()\n", "core/kernel.py")
+        assert codes(diags) == ["RAP002"]
+        assert "repro.obs.Clock" in diags[0].message
+
+    def test_inline_clock_construction_flagged(self):
+        diags = run(
+            "from repro.obs import SystemClock\n"
+            "t = SystemClock().now()\n",
+            "algorithms/greedy.py",
+        )
+        assert codes(diags) == ["RAP002"]
+
+    def test_clock_receiver_allowlist_configurable(self):
+        from dataclasses import replace
+
+        source = "def f(stopwatch):\n    return stopwatch.now()\n"
+        widened = replace(
+            LintConfig.default(), clock_receivers=("clock", "stopwatch")
+        )
+        assert run(source, "core/kernel.py", widened) == []
+        assert codes(run(source, "core/kernel.py")) == ["RAP002"]
+
+    def test_now_outside_banned_packages_passes(self):
+        assert run("def f(t):\n    return t.now()\n", "cli.py") == []
+
 
 # ----------------------------------------------------------------------
 # RAP003 — error taxonomy discipline

@@ -1,0 +1,90 @@
+"""Observability integration of the experiment runner.
+
+Panels ran under an :class:`ObsContext` must land their counter deltas
+on ``PanelResult.metrics`` (and into the JSON archive), while plain
+runs stay metric-free — and instrumentation must not change any mean.
+"""
+
+from repro import obs
+from repro.experiments import run_figure, run_panel
+from repro.experiments.results import figure_to_dict, load_figure_json
+from repro.experiments.runner import TraceProvider
+from repro.experiments.spec import FigureSpec, PanelSpec
+from repro.obs import ObsContext
+
+
+def small_panel(panel_id="p1", **overrides):
+    defaults = dict(
+        city="dublin",
+        utility="linear",
+        threshold=20_000.0,
+        ks=(1, 3),
+        algorithms=("lazy-greedy", "max-customers"),
+        repetitions=2,
+    )
+    defaults.update(overrides)
+    return PanelSpec(panel_id, **defaults)
+
+
+class TestPanelMetrics:
+    def test_metrics_empty_without_context(self):
+        result = run_panel(small_panel(), TraceProvider(scale="small"))
+        assert result.metrics == {}
+
+    def test_metrics_populated_under_context(self):
+        with ObsContext():
+            result = run_panel(small_panel(), TraceProvider(scale="small"))
+        assert result.metrics["panel.repetitions"] == 2
+        assert result.metrics["gain.evaluations"] > 0
+        assert "algorithm.iterations" in result.metrics
+
+    def test_instrumentation_does_not_change_means(self):
+        plain = run_panel(small_panel(), TraceProvider(scale="small"))
+        with ObsContext():
+            traced = run_panel(small_panel(), TraceProvider(scale="small"))
+        for name in plain.series:
+            assert plain.series[name].means == traced.series[name].means
+
+    def test_per_panel_deltas_not_cumulative(self):
+        figure = FigureSpec(
+            "f1", "two panels",
+            (small_panel("p1"), small_panel("p2")),
+        )
+        with ObsContext():
+            result = run_figure(figure, TraceProvider(scale="small"))
+        first = result.panels["p1"].metrics
+        second = result.panels["p2"].metrics
+        # Each panel reports its own repetitions, not the running total.
+        assert first["panel.repetitions"] == 2
+        assert second["panel.repetitions"] == 2
+        # The trace is built once and cached for the second panel.
+        assert first.get("trace.builds") == 1
+        assert "trace.builds" not in second
+
+    def test_span_tree_has_panel_and_repetition_spans(self):
+        with ObsContext() as ctx:
+            run_panel(small_panel(), TraceProvider(scale="small"))
+        names = [span.name for span in ctx.root.children]
+        assert names == ["panel"]
+        child_names = {
+            span.name for span in ctx.root.children[0].children
+        }
+        assert "repetition" in child_names
+
+
+class TestArchiveRoundTrip:
+    def test_metrics_serialized_and_archive_still_loads(self, tmp_path):
+        figure = FigureSpec("f1", "one panel", (small_panel(),))
+        with ObsContext():
+            result = run_figure(figure, TraceProvider(scale="small"))
+        payload = figure_to_dict(result)
+        metrics = payload["panels"]["p1"]["metrics"]
+        assert metrics["panel.repetitions"] == 2
+
+        path = tmp_path / "figure.json"
+        import json
+
+        path.write_text(json.dumps(payload))
+        archive = load_figure_json(path)
+        series = archive.series("p1", "lazy-greedy")
+        assert series.ks == (1, 3)

@@ -1,0 +1,103 @@
+"""JSONL event-stream schema tests.
+
+Every event must carry ``event``, ``span_id``, ``name`` and ``t_rel``;
+within one span the start's ``t_rel`` never exceeds the end's; each
+span appears exactly once as ``span_start`` and once as ``span_end``;
+and with a deterministic clock the whole stream is byte-reproducible.
+"""
+
+import json
+
+from repro.obs import ObsContext, TickClock
+
+
+def record(path):
+    with ObsContext(clock=TickClock(), jsonl_path=path, label="run") as ctx:
+        with ctx.span("outer", k=2):
+            ctx.count("work", 3)
+            with ctx.span("inner"):
+                ctx.count("work", 1)
+        with ctx.span("sibling"):
+            pass
+        ctx.gauge("scale", "small")
+    return ctx
+
+
+def load_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestSchema:
+    def test_every_event_has_required_keys(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record(path)
+        events = load_events(path)
+        assert events
+        for event in events:
+            assert event["event"] in ("span_start", "span_end")
+            assert isinstance(event["span_id"], int)
+            assert isinstance(event["name"], str)
+            assert isinstance(event["t_rel"], (int, float))
+            assert "parent_id" in event
+
+    def test_each_span_starts_once_and_ends_once(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record(path)
+        events = load_events(path)
+        starts = [e["span_id"] for e in events if e["event"] == "span_start"]
+        ends = [e["span_id"] for e in events if e["event"] == "span_end"]
+        assert sorted(starts) == sorted(set(starts))
+        assert sorted(ends) == sorted(set(ends))
+        assert sorted(starts) == sorted(ends)
+
+    def test_t_rel_monotone_within_each_span(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record(path)
+        events = load_events(path)
+        start_at = {
+            e["span_id"]: e["t_rel"] for e in events if e["event"] == "span_start"
+        }
+        for event in events:
+            if event["event"] == "span_end":
+                assert event["t_rel"] >= start_at[event["span_id"]]
+                assert event["duration"] == (
+                    event["t_rel"] - start_at[event["span_id"]]
+                )
+
+    def test_t_rel_monotone_across_the_stream(self, tmp_path):
+        # Events are written in wall order, so t_rel never goes backwards.
+        path = tmp_path / "events.jsonl"
+        record(path)
+        times = [e["t_rel"] for e in load_events(path)]
+        assert times == sorted(times)
+
+    def test_parent_ids_reference_recorded_spans(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record(path)
+        events = load_events(path)
+        ids = {e["span_id"] for e in events}
+        for event in events:
+            if event["parent_id"] is not None:
+                assert event["parent_id"] in ids
+        roots = [e for e in events if e["parent_id"] is None]
+        assert {e["span_id"] for e in roots} == {0}
+
+    def test_span_end_carries_counters_and_root_gauges(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record(path)
+        events = load_events(path)
+        by_name = {
+            e["name"]: e for e in events if e["event"] == "span_end"
+        }
+        assert by_name["outer"]["counters"] == {"work": 3}
+        assert by_name["inner"]["counters"] == {"work": 1}
+        root_end = by_name["run"]
+        assert root_end["counters"] == {"work": 4}
+        assert root_end["gauges"] == {"scale": "small"}
+
+    def test_deterministic_clock_reproduces_the_stream(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        record(first)
+        record(second)
+        assert first.read_bytes() == second.read_bytes()

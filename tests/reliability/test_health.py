@@ -102,6 +102,19 @@ class TestPipelineHealth:
         assert payload["row_faults"] == {"empty-id": 1}
         assert payload["journeys_matched"] == 2
 
+    def test_to_dict_carries_schema_version(self):
+        from repro.reliability import HEALTH_SCHEMA_VERSION
+
+        payload = PipelineHealth(source="t.csv").to_dict()
+        assert payload["schema_version"] == HEALTH_SCHEMA_VERSION
+        assert isinstance(payload["schema_version"], int)
+
+    def test_render_mentions_schema_version(self):
+        from repro.reliability import HEALTH_SCHEMA_VERSION
+
+        text = PipelineHealth(source="t.csv").render()
+        assert f"schema v{HEALTH_SCHEMA_VERSION}" in text
+
     def test_render_mentions_everything(self):
         health = PipelineHealth(source="t.csv")
         health.record_row()

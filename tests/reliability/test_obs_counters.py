@@ -1,0 +1,88 @@
+"""Reliability-layer observability: quarantine and fault counters."""
+
+import pytest
+
+from repro.obs import ObsContext
+from repro.reliability import (
+    LENIENT,
+    ErrorBudget,
+    FaultConfig,
+    FaultInjector,
+    corrupt_trace_csv,
+    ingest_trace_csv,
+)
+from repro.traces import (
+    DUBLIN_SCHEMA,
+    DublinTraceConfig,
+    generate_dublin_trace,
+    write_trace_csv,
+)
+
+DUBLIN = DublinTraceConfig(seed=7, rows=9, cols=9, pattern_count=12)
+FAULTS = FaultConfig(drop_rate=0.05, duplicate_rate=0.02, malform_rate=0.05)
+UNLIMITED = ErrorBudget(
+    max_row_error_rate=1.0, max_journey_failure_rate=1.0
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_dublin_trace(DUBLIN)
+
+
+@pytest.fixture(scope="module")
+def clean_csv(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs-traces") / "clean.csv"
+    write_trace_csv(trace.records, path, DUBLIN_SCHEMA)
+    return path
+
+
+class TestFaultCounters:
+    def test_injection_counts_mirrored_to_obs(self, trace, clean_csv, tmp_path):
+        injector = FaultInjector(FAULTS, seed=3)
+        with ObsContext() as ctx:
+            report = corrupt_trace_csv(
+                clean_csv, tmp_path / "dirty.csv", DUBLIN_SCHEMA, injector
+            )
+        assert report.total > 0
+        for fault_class, count in report.counts.items():
+            assert ctx.counters[f"faults.{fault_class}"] == count
+
+    def test_no_counters_without_context(self, trace, clean_csv, tmp_path):
+        injector = FaultInjector(FAULTS, seed=3)
+        report = corrupt_trace_csv(
+            clean_csv, tmp_path / "dirty.csv", DUBLIN_SCHEMA, injector
+        )
+        assert report.total > 0  # plain runs still work, nothing recorded
+
+
+class TestIngestCounters:
+    def test_lenient_ingest_flushes_quarantine_totals(
+        self, trace, clean_csv, tmp_path
+    ):
+        dirty = tmp_path / "dirty.csv"
+        corrupt_trace_csv(
+            clean_csv, dirty, DUBLIN_SCHEMA, FaultInjector(FAULTS, seed=3)
+        )
+        with ObsContext() as ctx:
+            result = ingest_trace_csv(
+                dirty, DUBLIN_SCHEMA, trace.network,
+                mode=LENIENT, budget=UNLIMITED,
+            )
+        health = result.health
+        assert ctx.counters["ingest.runs"] == 1
+        assert ctx.counters["ingest.rows_read"] == health.rows_read
+        assert (
+            ctx.counters["ingest.rows_quarantined"] == health.rows_quarantined
+        )
+        assert (
+            ctx.counters["ingest.flows_extracted"] == health.flows_extracted
+        )
+
+    def test_clean_strict_ingest_counts_rows(self, trace, clean_csv):
+        with ObsContext() as ctx:
+            result = ingest_trace_csv(
+                clean_csv, DUBLIN_SCHEMA, trace.network
+            )
+        assert ctx.counters["ingest.rows_read"] == len(result.records)
+        assert ctx.counters.get("ingest.rows_quarantined", 0) == 0

@@ -393,3 +393,94 @@ class TestRunFigureCheckpointed:
         # Checkpointing must not change the rendered result tables.
         strip = lambda text: text.split("\n", 2)[2]
         assert strip(first) == strip(second)
+
+
+class TestVersionCommand:
+    def test_version_subcommand(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("rapflow ")
+        assert out.strip().split()[-1][0].isdigit()
+
+    def test_version_flag_matches_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        flag_out = capsys.readouterr().out
+        main(["version"])
+        assert capsys.readouterr().out == flag_out
+
+    def test_version_reads_package_metadata(self):
+        from repro import __version__, package_version
+
+        # No dist metadata in a source checkout: falls back to __version__.
+        assert package_version() == __version__
+
+
+class TestProfileCommand:
+    def test_profile_place_prints_report(self, capsys):
+        code = main(
+            [
+                "profile", "place",
+                "--city", "dublin", "--scale", "small",
+                "--k", "3", "--algorithm", "lazy-greedy",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placement" in out  # the wrapped command still prints
+        assert "span tree" in out
+        assert "counters" in out
+        assert "select [algorithm=lazy-greedy" in out
+        assert "gain.evaluations" in out
+
+    def test_profile_sweep(self, capsys):
+        code = main(
+            ["profile", "sweep", "budget", "--city", "dublin",
+             "--scale", "small", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "algorithm.iterations" in out
+
+    def test_profile_writes_jsonl(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "profile", "place",
+                "--city", "dublin", "--scale", "small", "--k", "2",
+                "--obs-jsonl", str(events_path),
+            ]
+        )
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        assert events[0]["event"] == "span_start"
+        assert events[0]["name"] == "rapflow place"
+        assert any(event["name"] == "select" for event in events)
+
+    def test_obs_jsonl_without_profile(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "place", "--city", "dublin", "--scale", "small",
+                "--k", "2", "--obs-jsonl", str(events_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span tree" not in out  # no report without `profile`
+        assert events_path.is_file()
+        for line in events_path.read_text().splitlines():
+            event = json.loads(line)
+            assert "span_id" in event and "t_rel" in event
+
+    def test_profile_leaves_no_active_context(self):
+        from repro import obs
+
+        main(["profile", "place", "--city", "dublin", "--scale", "small",
+              "--k", "1"])
+        assert obs.active() is None

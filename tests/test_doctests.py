@@ -14,12 +14,14 @@ import repro.core.utility
 import repro.core.flow
 import repro.devtools.lint.anchors
 import repro.devtools.lint.base
+import repro.obs.clock
 
 MODULES_WITH_EXAMPLES = [
     repro.graphs.digraph,
     repro.errors,
     repro.devtools.lint.anchors,
     repro.devtools.lint.base,
+    repro.obs.clock,
 ]
 
 
