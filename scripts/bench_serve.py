@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Serving benchmark: throughput + tail latency, batching on vs off.
+
+Starts one :class:`repro.serve.server.PlacementServer` over the small
+Dublin scenario and drives it with a thread pool of synchronous
+:class:`repro.serve.client.ServeClient` workers posting hot ``evaluate``
+queries (each request scores one placement drawn from a small pool, the
+workload micro-batching is built for).  Every concurrency level runs
+twice — micro-batching enabled (2 ms window) and disabled
+(``max_batch=1``, every request its own kernel call) — and the snapshot
+records per-level throughput and p50/p95/p99 latency plus the server's
+batching tallies, so the coalescing win is measured, not asserted.
+
+Writes ``BENCH_serve.json``::
+
+    {
+      "schema": "rapflow-bench-serve/1",
+      "git_sha": ..., "scale": "small",
+      "levels": [{"concurrency", "mode", "requests", "throughput_rps",
+                  "p50_ms", "p95_ms", "p99_ms", "errors", "batching"}],
+      "batching_speedup": {"8": 1.7, ...}   # batched/unbatched throughput
+    }
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py [--out BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Sequence
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import Scenario, utility_by_name  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    LocationClass,
+    TraceProvider,
+    classify_intersections,
+    locations_of_class,
+)
+from repro.serve import QueryEngine, ScenarioArtifact, ServerThread  # noqa: E402
+
+
+def git_sha() -> str:
+    """Current commit SHA (``unknown`` outside a git checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def build_scenario(scale: str, seed: int = 42) -> Scenario:
+    provider = TraceProvider(scale=scale)
+    bundle = provider.get("dublin")
+    classes = classify_intersections(bundle.network, bundle.flows)
+    import random
+
+    shop = random.Random(seed).choice(
+        locations_of_class(classes, LocationClass.CITY)
+    )
+    return Scenario(
+        bundle.network, bundle.flows, shop, utility_by_name("linear", 20_000.0)
+    )
+
+
+def hot_placements(
+    engine: QueryEngine, pool_size: int, k: int
+) -> List[List[object]]:
+    """A pool of plausible placements built from the top-gain sites."""
+    response = engine.handle(
+        {"kind": "top_gains", "placement": [], "limit": pool_size + k}
+    )
+    sites = [entry["site"] for entry in response["gains"]]
+    if len(sites) < k:
+        sites = sites + [
+            entry if not isinstance(entry, tuple) else {"t": list(entry)}
+            for entry in engine.scenario.candidate_sites[: k - len(sites)]
+        ]
+    pool = []
+    for start in range(max(1, min(pool_size, len(sites)))):
+        placement = [sites[(start + j) % len(sites)] for j in range(k)]
+        pool.append(placement)
+    return pool
+
+
+def run_level(
+    port: int,
+    concurrency: int,
+    requests: int,
+    pool: Sequence[Sequence[object]],
+    backend: str,
+) -> Dict[str, object]:
+    """Drive one concurrency level; returns throughput + tail latencies."""
+    from repro.serve import ServeClient
+
+    latencies: List[float] = []
+    errors = 0
+
+    def worker(worker_id: int) -> List[float]:
+        client = ServeClient("127.0.0.1", port, timeout=30.0)
+        mine: List[float] = []
+        nonlocal errors
+        for i in range(requests // concurrency):
+            placement = pool[(worker_id + i) % len(pool)]
+            body = {
+                "kind": "evaluate",
+                "placements": [list(placement)],
+                "backend": backend,
+            }
+            t0 = time.perf_counter()
+            try:
+                client.query(body)
+            except Exception:  # bench: count, keep hammering
+                errors += 1
+                continue
+            mine.append(time.perf_counter() - t0)
+        return mine
+
+    t_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as executor:
+        for result in executor.map(worker, range(concurrency)):
+            latencies.extend(result)
+    elapsed = time.perf_counter() - t_start
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        index = min(len(latencies) - 1, int(p * len(latencies)))
+        return latencies[index] * 1000.0
+
+    return {
+        "concurrency": concurrency,
+        "requests": len(latencies),
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "throughput_rps": len(latencies) / elapsed if elapsed else 0.0,
+        "p50_ms": pct(0.50),
+        "p95_ms": pct(0.95),
+        "p99_ms": pct(0.99),
+        "mean_ms": statistics.fmean(latencies) * 1000 if latencies else 0.0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_serve.json"))
+    parser.add_argument(
+        "--requests", type=int, default=400,
+        help="requests per (level, mode) pair (default: 400)",
+    )
+    parser.add_argument(
+        "--levels", default="1,2,4,8,16",
+        help="comma-separated concurrency levels",
+    )
+    parser.add_argument("--pool", type=int, default=4,
+                        help="hot-placement pool size")
+    parser.add_argument("--k", type=int, default=5,
+                        help="sites per evaluated placement")
+    parser.add_argument("--scale", default="paper",
+                        choices=("paper", "small"))
+    parser.add_argument(
+        "--backend", default="python", choices=("python", "numpy"),
+        help="evaluation backend for the workload (default: python — "
+        "evaluation cost is what the batcher's dedup amortizes)",
+    )
+    parser.add_argument("--window", type=float, default=0.001,
+                        help="batching window in seconds for batched mode")
+    args = parser.parse_args()
+    levels = [int(v) for v in args.levels.split(",") if v.strip()]
+
+    scenario = build_scenario(args.scale)
+    artifact = ScenarioArtifact.compile(scenario)
+    pool = hot_placements(QueryEngine(artifact), args.pool, args.k)
+    print(
+        f"artifact {artifact.digest[:12]}: {artifact.stats['incidences']} "
+        f"incidences; pool of {len(pool)} hot placements (k={args.k})"
+    )
+
+    results: List[Dict[str, object]] = []
+    throughput: Dict[str, Dict[int, float]] = {"batched": {}, "unbatched": {}}
+    for mode, batch_kwargs in (
+        ("batched", {"batch_window": args.window, "max_batch": 256}),
+        ("unbatched", {"batch_window": 0.0, "max_batch": 1}),
+    ):
+        for concurrency in levels:
+            # Fresh engine per run: the result LRU must not serve one
+            # mode's numbers to the other (identical requests recur by
+            # design in this workload), and batching tallies start at 0.
+            engine = QueryEngine(artifact, cache_size=0)
+            with ServerThread(
+                engine, max_inflight=max(64, 4 * concurrency), **batch_kwargs
+            ) as handle:
+                # One warm-up round outside the timed window.
+                run_level(
+                    handle.port, concurrency, concurrency * 4, pool,
+                    args.backend,
+                )
+                level = run_level(
+                    handle.port, concurrency, args.requests, pool,
+                    args.backend,
+                )
+                level["mode"] = mode
+                level["batching"] = handle.client().healthz()["batching"]
+                results.append(level)
+                throughput[mode][concurrency] = float(
+                    level["throughput_rps"]
+                )
+                print(
+                    f"{mode:>9} c={concurrency:<3} "
+                    f"{level['throughput_rps']:8.1f} req/s  "
+                    f"p50={level['p50_ms']:6.2f}ms "
+                    f"p95={level['p95_ms']:6.2f}ms "
+                    f"p99={level['p99_ms']:6.2f}ms "
+                    f"(errors={level['errors']})"
+                )
+
+    speedup = {
+        str(c): throughput["batched"][c] / throughput["unbatched"][c]
+        for c in levels
+        if throughput["unbatched"].get(c)
+    }
+    snapshot = {
+        "schema": "rapflow-bench-serve/1",
+        "git_sha": git_sha(),
+        "scale": args.scale,
+        "backend": args.backend,
+        "batch_window_s": args.window,
+        "requests_per_level": args.requests,
+        "pool_size": len(pool),
+        "placement_k": args.k,
+        "levels": results,
+        "batching_speedup": speedup,
+    }
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out_path}")
+    for concurrency, ratio in sorted(
+        ((int(c), r) for c, r in speedup.items())
+    ):
+        print(f"  batching speedup @ c={concurrency:<3}: {ratio:5.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

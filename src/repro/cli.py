@@ -34,6 +34,15 @@ Subcommands
     Run ``place`` / ``run-figure`` / ``sweep`` inside an observability
     context and print the span tree and counter table afterwards
     (``rapflow profile place --city dublin ...``).
+``serve``
+    Compile the scenario into a cached artifact and run the placement
+    query server (``POST /query``, ``GET /healthz``) until SIGTERM or
+    ``--serve-seconds`` expires, then drain gracefully.
+``query``
+    Send one JSON query (or a health probe) to a running server.
+``evaluate``
+    Batch-score placements offline from a JSON document (file or stdin)
+    using the same request schema as the server's ``evaluate`` kind.
 ``version``
     Print the installed package version (also ``--version``).
 
@@ -48,7 +57,8 @@ without parsing stderr: ``1`` generic :class:`~repro.errors.ReproError`,
 ``2`` usage errors (argparse), ``3`` trace/format errors (including
 blown error budgets), ``4`` graph errors, ``5`` experiment errors,
 ``6`` reliability errors (e.g. corrupt checkpoints), ``7`` lint
-findings and devtools errors.
+findings and devtools errors, ``8`` serving errors (unreachable server,
+rejected or malformed queries, artifact-cache corruption).
 """
 
 from __future__ import annotations
@@ -67,6 +77,7 @@ from .errors import (
     GraphError,
     ReliabilityError,
     ReproError,
+    ServeError,
     TraceError,
 )
 from .experiments import (
@@ -92,6 +103,7 @@ EXIT_GRAPH = 4
 EXIT_EXPERIMENT = 5
 EXIT_RELIABILITY = 6
 EXIT_LINT = 7
+EXIT_SERVE = 8
 
 #: Most-specific-first mapping from error family to exit code.  Note
 #: ``ErrorBudgetExceeded`` is both a TraceError and a ReliabilityError;
@@ -102,6 +114,7 @@ _ERROR_EXIT_CODES = (
     (ExperimentError, EXIT_EXPERIMENT),
     (ReliabilityError, EXIT_RELIABILITY),
     (DevtoolsError, EXIT_LINT),
+    (ServeError, EXIT_SERVE),
 )
 
 
@@ -183,6 +196,32 @@ def _add_place_args(place: argparse.ArgumentParser) -> None:
         help="print full placement diagnostics and a sweep chart",
     )
     _add_obs_jsonl(place)
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    """Scenario-building arguments shared by ``serve`` and ``evaluate``."""
+    parser.add_argument("--city", choices=("dublin", "seattle"),
+                        default="dublin")
+    parser.add_argument(
+        "--utility", default="linear",
+        help="threshold | linear | sqrt (default: linear)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="detour threshold D in feet (default: city-appropriate)",
+    )
+    parser.add_argument(
+        "--shop", choices=[c.value for c in LocationClass], default="city",
+        help="shop location class (default: city)",
+    )
+    parser.add_argument(
+        "--scale", choices=("paper", "small"), default="paper",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache directory (restarts skip recompilation)",
+    )
 
 
 def _add_sweep_args(sweep: argparse.ArgumentParser) -> None:
@@ -368,6 +407,97 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_sweep_args(profiled.add_parser(
         "sweep", help="profile a sensitivity sweep"
     ))
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the placement query server over a compiled artifact",
+    )
+    _add_scenario_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 = ephemeral; see --ready-file)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="admission limit; excess requests get HTTP 429",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds (expiry answers 504)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002,
+        help="micro-batch window in seconds for evaluate coalescing",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=256,
+        help="flush a batch early at this many queued placements",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="engine LRU response-cache capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write 'host port' here once the server is accepting",
+    )
+    serve.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="drain and exit after this many seconds (default: run "
+        "until SIGTERM/SIGINT)",
+    )
+    serve.add_argument(
+        "--latency-log", default=None, metavar="PATH",
+        help="append one JSONL latency record per request",
+    )
+    serve.add_argument(
+        "--fault-error-rate", type=float, default=0.0,
+        help="inject request failures at this rate (testing)",
+    )
+    serve.add_argument(
+        "--fault-delay-rate", type=float, default=0.0,
+        help="inject request stalls at this rate (testing)",
+    )
+    serve.add_argument(
+        "--fault-delay", type=float, default=0.05,
+        help="stall duration in seconds for injected delays",
+    )
+    serve.add_argument("--fault-seed", type=int, default=0)
+
+    query = commands.add_parser(
+        "query", help="send one JSON query to a running placement server"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument(
+        "--request", default=None, metavar="JSON",
+        help="inline JSON request body",
+    )
+    query.add_argument(
+        "--request-file", default=None, metavar="PATH",
+        help="read the JSON request from this file ('-' for stdin)",
+    )
+    query.add_argument(
+        "--healthz", action="store_true",
+        help="probe GET /healthz instead of sending a query",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="client socket timeout in seconds",
+    )
+
+    evaluate = commands.add_parser(
+        "evaluate",
+        help="batch-score placements offline from a JSON document "
+        "(same schema as the server's evaluate queries)",
+    )
+    _add_scenario_args(evaluate)
+    evaluate.add_argument(
+        "--in", dest="in_path", required=True, metavar="PATH",
+        help="JSON document with 'placements' (and optional 'utility', "
+        "'backend'); '-' reads stdin",
+    )
 
     commands.add_parser("version", help="print the installed version")
     return parser
@@ -678,6 +808,168 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_scenario(args: argparse.Namespace) -> Scenario:
+    """Build the scenario ``serve`` / ``evaluate`` operate on.
+
+    Mirrors ``place``'s recipe (same provider, same shop draw for the
+    same seed) so a served instance is reproducible from its flags.
+    """
+    import random
+
+    provider = TraceProvider(scale=args.scale)
+    bundle = provider.get(args.city)
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 20_000.0 if args.city == "dublin" else 2_500.0
+    utility = utility_by_name(args.utility, threshold)
+    classes = classify_intersections(bundle.network, bundle.flows)
+    shop = random.Random(args.seed).choice(
+        locations_of_class(classes, LocationClass(args.shop))
+    )
+    return Scenario(bundle.network, bundle.flows, shop, utility)
+
+
+def _serve_artifact(args: argparse.Namespace):
+    from .serve import ArtifactStore
+
+    scenario = _build_serve_scenario(args)
+    store = ArtifactStore(args.cache_dir)
+    artifact = store.get_or_compile(scenario)
+    print(
+        f"artifact {artifact.digest[:12]}: {artifact.stats['rows']} rows, "
+        f"{artifact.stats['incidences']} incidences, "
+        f"{artifact.stats['flows']} flows"
+        + (f" (cache: {args.cache_dir})" if args.cache_dir else ""),
+        file=sys.stderr,
+    )
+    return artifact
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .reliability import FaultConfig, FaultInjector
+    from .serve import PlacementServer, QueryEngine, run_server
+
+    artifact = _serve_artifact(args)
+    injector = None
+    if args.fault_error_rate > 0 or args.fault_delay_rate > 0:
+        injector = FaultInjector(
+            FaultConfig(
+                request_error_rate=args.fault_error_rate,
+                request_delay_rate=args.fault_delay_rate,
+                request_delay_seconds=args.fault_delay,
+            ),
+            seed=args.fault_seed,
+        )
+    engine = QueryEngine(
+        artifact, cache_size=args.cache_size, fault_injector=injector
+    )
+    server = PlacementServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        timeout=args.timeout,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        latency_log=args.latency_log,
+    )
+    print(
+        f"serving on {args.host}:{args.port or '<ephemeral>'} "
+        f"(POST /query, GET /healthz); SIGTERM drains gracefully",
+        file=sys.stderr,
+    )
+    asyncio.run(
+        run_server(
+            server,
+            ready_file=args.ready_file,
+            serve_seconds=args.serve_seconds,
+        )
+    )
+    health = server.health
+    print(
+        f"drained: {health.rows_accepted} served, "
+        f"{health.rows_quarantined} failed, {server.rejected} rejected",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _read_request_document(args: argparse.Namespace) -> dict:
+    import json
+
+    from .errors import ServeRequestError
+
+    if args.request is not None and args.request_file is not None:
+        raise ServeRequestError(
+            "pass --request or --request-file, not both"
+        )
+    if args.request is not None:
+        raw = args.request
+    elif args.request_file is not None:
+        if args.request_file == "-":
+            raw = sys.stdin.read()
+        else:
+            with open(args.request_file) as handle:
+                raw = handle.read()
+    else:
+        raise ServeRequestError(
+            "a query needs --request, --request-file, or --healthz"
+        )
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise ServeRequestError(f"request is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise ServeRequestError("request must be a JSON object")
+    return document
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServeClient
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    if args.healthz:
+        response = client.healthz()
+    else:
+        response = client.query(_read_request_document(args))
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ServeRequestError
+    from .serve import ScenarioArtifact
+    from .serve.engine import QueryEngine
+
+    if args.in_path == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(args.in_path) as handle:
+            raw = handle.read()
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise ServeRequestError(
+            f"evaluate document is not valid JSON: {error}"
+        ) from None
+    if not isinstance(document, dict):
+        raise ServeRequestError("evaluate document must be a JSON object")
+    document["kind"] = "evaluate"
+    if args.cache_dir:
+        artifact = _serve_artifact(args)
+    else:
+        artifact = ScenarioArtifact.compile(_build_serve_scenario(args))
+    response = QueryEngine(artifact, cache_size=0).handle(document)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_version() -> int:
     print(f"rapflow {package_version()}")
     return 0
@@ -710,6 +1002,12 @@ def _run_command(
         return _cmd_check_claims(args)
     if command == "sweep":
         return _cmd_sweep(args)
+    if command == "serve":
+        return _cmd_serve(args)
+    if command == "query":
+        return _cmd_query(args)
+    if command == "evaluate":
+        return _cmd_evaluate(args)
     if command == "version":
         return _cmd_version()
     parser.error(f"unknown command {command!r}")

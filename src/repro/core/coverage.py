@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..errors import InvalidScenarioError
 from ..graphs import INFINITY, NodeId
 from .detour import DetourCalculator
 from .flow import TrafficFlow
@@ -83,6 +84,68 @@ class CoverageIndex:
             self._by_flow.append(per_flow)
             self._best_by_flow.append(best)
 
+    @classmethod
+    def from_packed(
+        cls,
+        flows: Sequence[TrafficFlow],
+        packed: "PackedCoverage",
+        calculator: Optional[DetourCalculator] = None,
+    ) -> "CoverageIndex":
+        """Rebuild an index from its CSR-compiled form — no Dijkstra pass.
+
+        The inverse of :meth:`packed`, used when an artifact cache
+        restores a scenario: the incidence lists, per-flow options, and
+        best-detour cache are reassembled from the CSR columns in the
+        exact order the original build produced them (node rows in
+        first-incidence order, per-node entries by ascending flow index,
+        per-flow options by path position), so evaluators walking the
+        restored index visit entries in the same order and accumulate
+        bit-identical totals.
+
+        ``calculator`` may be omitted: a restored index answers every
+        coverage query without one, and accessing :attr:`calculator`
+        then raises.
+        """
+        index = cls.__new__(cls)
+        index._flows = tuple(flows)
+        index._calculator = calculator
+        index._by_node = {}
+        index._by_flow = [[] for _ in index._flows]
+        index._incidences = int(packed.incidence_count)
+        index._packed = packed
+        flow_count = len(index._flows)
+        positioned: List[List[Tuple[int, NodeId, float]]] = [
+            [] for _ in index._flows
+        ]
+        for row, node in enumerate(packed.nodes):
+            entries: List[CoverageEntry] = []
+            for j in range(int(packed.indptr[row]), int(packed.indptr[row + 1])):
+                flow_index = int(packed.flow_index[j])
+                if not 0 <= flow_index < flow_count:
+                    raise InvalidScenarioError(
+                        f"packed coverage references flow {flow_index} "
+                        f"but only {flow_count} flows were supplied"
+                    )
+                detour = float(packed.detour[j])
+                position = int(packed.position[j])
+                entries.append(
+                    CoverageEntry(
+                        flow_index=flow_index, detour=detour, position=position
+                    )
+                )
+                positioned[flow_index].append((position, node, detour))
+            index._by_node[node] = entries
+        for flow_index, options in enumerate(positioned):
+            options.sort(key=lambda item: item[0])
+            index._by_flow[flow_index] = [
+                (node, detour) for _, node, detour in options
+            ]
+        index._best_by_flow = [
+            min((detour for _, detour in options), default=INFINITY)
+            for options in index._by_flow
+        ]
+        return index
+
     @property
     def flows(self) -> Tuple[TrafficFlow, ...]:
         """The indexed traffic flows, in input order."""
@@ -95,7 +158,16 @@ class CoverageIndex:
 
     @property
     def calculator(self) -> DetourCalculator:
-        """The detour calculator the index was built from."""
+        """The detour calculator the index was built from.
+
+        An index restored via :meth:`from_packed` may not carry one; it
+        raises :class:`~repro.errors.InvalidScenarioError` then.
+        """
+        if self._calculator is None:
+            raise InvalidScenarioError(
+                "this coverage index was restored from packed arrays "
+                "without a detour calculator"
+            )
         return self._calculator
 
     def nodes(self) -> Iterator[NodeId]:

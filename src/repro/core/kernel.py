@@ -177,6 +177,49 @@ class PackedCoverage:
             )
         return packed
 
+    @classmethod
+    def from_arrays(
+        cls,
+        nodes: Sequence[NodeId],
+        indptr: "np.ndarray",
+        flow_index: "np.ndarray",
+        detour: "np.ndarray",
+        position: "np.ndarray",
+        volume: "np.ndarray",
+        attractiveness: "np.ndarray",
+    ) -> "PackedCoverage":
+        """Reassemble a packed index from persisted CSR columns.
+
+        The inverse of serializing :class:`PackedCoverage` column by
+        column (see :mod:`repro.serve.artifacts`): ``row_of`` and
+        ``entry_row`` are derived, everything else is adopted as-is, so a
+        round trip through float64-exact storage reproduces the original
+        arrays bit for bit.
+        """
+        node_tuple = tuple(nodes)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        if len(indptr) != len(node_tuple) + 1:
+            raise InvalidScenarioError(
+                f"packed indptr has {len(indptr)} entries for "
+                f"{len(node_tuple)} nodes (want nodes + 1)"
+            )
+        counts = np.diff(indptr)
+        if len(counts) and counts.min() < 0:
+            raise InvalidScenarioError("packed indptr must be non-decreasing")
+        return cls(
+            nodes=node_tuple,
+            row_of={node: row for row, node in enumerate(node_tuple)},
+            indptr=indptr,
+            flow_index=np.ascontiguousarray(flow_index, dtype=np.int64),
+            detour=np.ascontiguousarray(detour, dtype=float),
+            position=np.ascontiguousarray(position, dtype=np.int64),
+            entry_row=np.repeat(
+                np.arange(len(node_tuple), dtype=np.int64), counts
+            ),
+            volume=np.ascontiguousarray(volume, dtype=float),
+            attractiveness=np.ascontiguousarray(attractiveness, dtype=float),
+        )
+
     @property
     def row_count(self) -> int:
         """Number of intersections with at least one incidence."""
@@ -315,6 +358,32 @@ class _KernelStatic:
 _STATIC_CACHE: "weakref.WeakKeyDictionary[Scenario, _KernelStatic]" = (
     weakref.WeakKeyDictionary()
 )
+
+
+def warm_kernel(scenario: "Scenario") -> Dict[str, int]:
+    """Precompile every per-scenario kernel structure, returning stats.
+
+    Builds (or revisits) the CSR pack, the one-time per-incidence utility
+    values, and the empty-state CELF seed heap for the scenario's
+    candidate tuple — the exact caches every later
+    :class:`ArrayEvaluator` and lazy scan reuses.  Long-lived consumers
+    (the :mod:`repro.serve` query engine, benchmark warm-up) call this
+    once so the first real query pays no compilation cost.
+
+    The returned stats are plain ints suitable for artifact metadata:
+    ``rows`` / ``incidences`` / ``flows`` / ``nbytes`` describe the pack,
+    ``seed_heap_entries`` the precompiled CELF heap.
+    """
+    static = _static_for(scenario)
+    alignment = static.alignment(scenario.candidate_sites)
+    packed = static.packed
+    return {
+        "rows": packed.row_count,
+        "incidences": packed.incidence_count,
+        "flows": packed.flow_count,
+        "nbytes": packed.nbytes,
+        "seed_heap_entries": len(alignment.heap),
+    }
 
 
 def _static_for(scenario: "Scenario") -> _KernelStatic:
@@ -814,4 +883,5 @@ __all__ = [
     "flush_celf_counters",
     "make_evaluator",
     "resolve_backend",
+    "warm_kernel",
 ]

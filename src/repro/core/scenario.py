@@ -122,6 +122,11 @@ class Scenario:
         return self._default_backend
 
     @property
+    def detour_mode(self) -> str:
+        """The detour semantics this scenario was built with."""
+        return self._detour_mode
+
+    @property
     def detour_calculator(self) -> DetourCalculator:
         """Lazily built detour engine (shared by algorithms and evaluators)."""
         if self._calculator is None:
@@ -136,6 +141,20 @@ class Scenario:
         if self._coverage is None:
             self._coverage = CoverageIndex(self._flows, self.detour_calculator)
         return self._coverage
+
+    def attach_coverage(self, coverage: CoverageIndex) -> None:
+        """Install a prebuilt coverage index (artifact-cache restore path).
+
+        A :class:`CoverageIndex` reconstructed from persisted CSR arrays
+        (:meth:`CoverageIndex.from_packed`) is attached here so the
+        scenario never re-runs the Dijkstra/coverage build.  The index
+        must describe exactly this scenario's flows, in order.
+        """
+        if coverage.flows != self._flows:
+            raise InvalidScenarioError(
+                "coverage index flows do not match this scenario's flows"
+            )
+        self._coverage = coverage
 
     # ------------------------------------------------------------------
     # convenience

@@ -203,6 +203,67 @@ class ObsError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for placement-query-service errors (:mod:`repro.serve`).
+
+    >>> issubclass(ServeError, ReproError)
+    True
+    """
+
+
+class ServeArtifactError(ServeError):
+    """A scenario artifact cannot be compiled, persisted, or loaded.
+
+    Raised for unserializable scenarios (e.g. a ``CustomUtility`` whose
+    shape callable cannot round-trip through JSON), corrupt cache
+    entries, and digest mismatches between a cached artifact and the
+    scenario spec stored next to it.
+    """
+
+
+class ServeRequestError(ServeError, ValueError):
+    """A query request is malformed (unknown kind, bad field, bad site).
+
+    The HTTP front end maps this family to status 400.
+    """
+
+
+class ServeOverloadError(ServeError):
+    """The admission queue is full; the request was rejected, not queued.
+
+    The HTTP front end maps this to status 429 so callers can back off;
+    a draining (shutting-down) server answers 503 instead.
+    """
+
+
+class ServeTimeoutError(ServeError):
+    """A request exceeded the server's per-request deadline (HTTP 504)."""
+
+
+class ServeFaultError(ServeError):
+    """An injected request fault fired (see ``FaultConfig.request_error_rate``).
+
+    Only ever raised when a :class:`~repro.reliability.FaultInjector` is
+    plugged into the query engine, so production configurations without
+    fault injection can never see it.
+    """
+
+
+class ServeClientError(ServeError):
+    """The typed client got a non-success response or a transport failure.
+
+    ``status`` carries the HTTP status code when one was received
+    (``None`` for transport-level failures).
+
+    >>> ServeClientError("boom", status=500).status
+    500
+    """
+
+    def __init__(self, message: object = "", status: "int | None" = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class ExperimentError(ReproError):
     """Base class for experiment-harness errors."""
 

@@ -33,6 +33,7 @@ from .context import (
     count,
     count_many,
     gauge,
+    record_span,
     span,
 )
 from .report import render_counter_table, render_report, render_span_tree
@@ -48,6 +49,7 @@ __all__ = [
     "count",
     "count_many",
     "gauge",
+    "record_span",
     "render_counter_table",
     "render_report",
     "render_span_tree",

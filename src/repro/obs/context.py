@@ -184,6 +184,40 @@ class ObsContext:
             self._emit_end(child)
             self._stack.pop()
 
+    def record_span(self, name: str, duration: float, **attrs: object) -> Span:
+        """Append an already-finished span of length ``duration`` seconds.
+
+        The context-manager :meth:`span` requires strictly nested (LIFO)
+        open/close pairs, which concurrent ``asyncio`` tasks cannot
+        guarantee — two interleaved requests would close each other's
+        spans.  Async code therefore times a stage with its own injected
+        clock and records the result retroactively here: the span is
+        closed at the current context time with ``t_start`` back-dated by
+        ``duration``, parented to the innermost open span.  Both JSONL
+        events (``span_start`` / ``span_end``) are emitted immediately,
+        in order.
+        """
+        if duration < 0:
+            raise ObsError(
+                f"record_span({name!r}) needs a non-negative duration, "
+                f"got {duration}"
+            )
+        t_end = self._rel()
+        parent = self._stack[-1]
+        child = Span(
+            span_id=self._next_id,
+            name=name,
+            parent_id=parent.span_id,
+            t_start=t_end - duration,
+            t_end=t_end,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        parent.children.append(child)
+        self._emit_start(child)
+        self._emit_end(child)
+        return child
+
     # ------------------------------------------------------------------
     # counters / gauges
     # ------------------------------------------------------------------
@@ -316,6 +350,18 @@ def gauge(name: str, value: object) -> None:
         ctx.gauges[name] = value
 
 
+def record_span(name: str, duration: float, **attrs: object) -> Optional[Span]:
+    """Retroactively record a finished span (no-op if no context).
+
+    See :meth:`ObsContext.record_span` — the async-safe alternative to
+    the nested :func:`span` context manager.
+    """
+    ctx = _ACTIVE
+    if ctx is None:
+        return None
+    return ctx.record_span(name, duration, **attrs)
+
+
 __all__ = [
     "Number",
     "ObsContext",
@@ -324,5 +370,6 @@ __all__ = [
     "count",
     "count_many",
     "gauge",
+    "record_span",
     "span",
 ]

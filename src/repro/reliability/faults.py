@@ -26,6 +26,7 @@ from ..traces.records import GpsRecord
 #: Per-method RNG stream salts (ints, so seeding is hash-stable).
 _RECORD_SALT = 1
 _CELL_SALT = 2
+_REQUEST_SALT = 3
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,15 @@ class FaultConfig:
 
     * ``malform_rate`` — corrupt one cell of a row (blank it, replace it
       with garbage text or ``NaN``, or truncate the row).
+
+    Request-level faults (consulted by :meth:`FaultInjector.request_fault`
+    when an injector is plugged into the :mod:`repro.serve` query engine):
+
+    * ``request_error_rate`` — fail the request with a
+      :class:`~repro.errors.ServeFaultError`;
+    * ``request_delay_rate`` — ask the server to stall the request by
+      ``request_delay_seconds`` before answering (exercises the
+      per-request timeout path).
     """
 
     drop_rate: float = 0.0
@@ -59,11 +69,15 @@ class FaultConfig:
     truncate_rate: float = 0.0
     truncate_fraction: float = 0.5
     malform_rate: float = 0.0
+    request_error_rate: float = 0.0
+    request_delay_rate: float = 0.0
+    request_delay_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         for name in (
             "drop_rate", "duplicate_rate", "reorder_rate", "noise_rate",
             "truncate_rate", "malform_rate",
+            "request_error_rate", "request_delay_rate",
         ):
             value = getattr(self, name)
             if not (0.0 <= value <= 1.0):
@@ -83,6 +97,11 @@ class FaultConfig:
                 f"truncate_fraction must be in (0, 1], got "
                 f"{self.truncate_fraction}"
             )
+        if self.request_delay_seconds < 0:
+            raise ReliabilityError(
+                f"request_delay_seconds must be >= 0, got "
+                f"{self.request_delay_seconds}"
+            )
 
     def scaled(self, factor: float) -> "FaultConfig":
         """A config with every rate multiplied by ``factor`` (capped at 1)."""
@@ -94,6 +113,8 @@ class FaultConfig:
             noise_rate=min(1.0, self.noise_rate * factor),
             truncate_rate=min(1.0, self.truncate_rate * factor),
             malform_rate=min(1.0, self.malform_rate * factor),
+            request_error_rate=min(1.0, self.request_error_rate * factor),
+            request_delay_rate=min(1.0, self.request_delay_rate * factor),
         )
 
 
@@ -238,6 +259,45 @@ class FaultInjector:
                 report.bump("duplicated")
         _flush_fault_counters(report)
         return out, report
+
+    # ------------------------------------------------------------------
+    # request-level faults (repro.serve hook)
+    # ------------------------------------------------------------------
+    def request_fault(self, index: int) -> Tuple[bool, float]:
+        """Fault decision for the ``index``-th admitted request.
+
+        Returns ``(fail, delay_seconds)``: whether the request should be
+        failed with a :class:`~repro.errors.ServeFaultError`, and how
+        long the server should stall it first (0.0 for no stall).
+
+        Deterministic per request *index*, not per call order: the RNG is
+        derived from ``(seed, _REQUEST_SALT, index)``, so concurrent
+        requests racing through the engine still see a reproducible
+        fault pattern, and replaying request ``i`` replays its fault.
+        """
+        config = self.config
+        if not config.request_error_rate and not config.request_delay_rate:
+            return False, 0.0
+        rng = random.Random(
+            (self.seed * 1_000_003 + _REQUEST_SALT) * 1_000_003 + index
+        )
+        report = FaultReport()
+        fail = bool(
+            config.request_error_rate
+            and rng.random() < config.request_error_rate
+        )
+        delay = 0.0
+        if (
+            config.request_delay_rate
+            and rng.random() < config.request_delay_rate
+        ):
+            delay = config.request_delay_seconds
+        if fail:
+            report.bump("request-errors")
+        if delay:
+            report.bump("request-delays")
+        _flush_fault_counters(report)
+        return fail, delay
 
     # ------------------------------------------------------------------
     # cell-level faults

@@ -1,0 +1,60 @@
+"""repro.serve — embeddable placement-query service.
+
+The serving layer of the reproduction: compile a
+:class:`~repro.core.scenario.Scenario` once into a content-addressed
+:class:`~repro.serve.artifacts.ScenarioArtifact` (CSR coverage arrays,
+per-incidence utility values, CELF seed heaps — persisted to disk so
+restarts skip recompilation), then answer placement queries against it:
+
+* :class:`~repro.serve.engine.QueryEngine` — typed ``place`` /
+  ``evaluate`` / ``what_if`` / ``top_gains`` requests, answered by the
+  exact library calls a direct user would make (bit-identical results,
+  both backends), with a bounded LRU response cache;
+* :class:`~repro.serve.batching.MicroBatcher` — coalesces concurrent
+  evaluate requests into shared
+  :func:`~repro.core.kernel.evaluate_placement_many` calls;
+* :class:`~repro.serve.server.PlacementServer` /
+  :class:`~repro.serve.client.ServeClient` — stdlib-only JSON-over-HTTP
+  front end with admission control (429 on overload), per-request
+  deadlines (504), ``/healthz``, and graceful draining shutdown.
+
+Surfacing lives in the CLI (``rapflow serve`` / ``rapflow query`` /
+``rapflow evaluate``) and ``scripts/bench_serve.py``::
+
+    from repro.serve import ArtifactStore, QueryEngine, ServerThread
+
+    artifact = ArtifactStore("~/.cache/rapflow").get_or_compile(scenario)
+    engine = QueryEngine(artifact)
+    with ServerThread(engine) as handle:
+        totals = handle.client().evaluate([["a", "b"], ["c"]])
+"""
+
+from .artifacts import (
+    ArtifactStore,
+    ScenarioArtifact,
+    scenario_digest,
+    scenario_from_spec,
+    scenario_to_spec,
+    spec_digest,
+)
+from .batching import MicroBatcher
+from .client import ServeClient
+from .engine import REQUEST_KINDS, QueryEngine
+from .server import PlacementServer, run_server
+from .testing import ServerThread
+
+__all__ = [
+    "ArtifactStore",
+    "MicroBatcher",
+    "PlacementServer",
+    "QueryEngine",
+    "REQUEST_KINDS",
+    "ScenarioArtifact",
+    "ServeClient",
+    "ServerThread",
+    "run_server",
+    "scenario_digest",
+    "scenario_from_spec",
+    "scenario_to_spec",
+    "spec_digest",
+]

@@ -1,0 +1,192 @@
+"""Typed synchronous client for the placement-query server.
+
+Stdlib-only (``http.client``); one :class:`ServeClient` wraps one
+``host:port`` and exposes a method per request kind, returning the
+server's decoded JSON payload.  Non-2xx responses raise
+:class:`~repro.errors.ServeClientError` with the HTTP status attached
+(429/503 responses additionally mark themselves retryable), and
+transport failures raise the same error with ``status=None`` — callers
+handle exactly one exception type.
+
+The client is deliberately synchronous: benchmark and CI drivers spread
+instances across threads to generate concurrency, while the server
+stays a single asyncio loop.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ServeClientError
+from ..graphs import NodeId
+from .engine import encode_site
+
+
+class ServeClient:
+    """HTTP client for one :class:`~repro.serve.server.PlacementServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The server address.
+    timeout:
+        Socket timeout in seconds for each request.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Dict[str, object]:
+        connection = HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, HTTPException) as error:
+            raise ServeClientError(
+                f"cannot reach {self._host}:{self._port}: {error}"
+            ) from error
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeClientError(
+                f"server returned invalid JSON (status {status}): {error}",
+                status=status,
+            ) from None
+        if status >= 300:
+            message = (
+                decoded.get("error", raw.decode("utf-8", "replace"))
+                if isinstance(decoded, dict)
+                else raw.decode("utf-8", "replace")
+            )
+            raise ServeClientError(
+                f"HTTP {status}: {message}", status=status
+            )
+        if not isinstance(decoded, dict):
+            raise ServeClientError(
+                f"server returned a non-object payload: {decoded!r}",
+                status=status,
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # typed queries
+    # ------------------------------------------------------------------
+    def query(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Send a raw request dict to ``POST /query``."""
+        return self._request("POST", "/query", request)
+
+    def healthz(self) -> Dict[str, object]:
+        """The server's health document (``GET /healthz``)."""
+        return self._request("GET", "/healthz")
+
+    def place(
+        self,
+        k: int,
+        algorithm: str = "composite-greedy",
+        utility: Optional[dict] = None,
+        backend: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Run a placement algorithm server-side."""
+        request: Dict[str, object] = {
+            "kind": "place",
+            "algorithm": algorithm,
+            "k": k,
+        }
+        if utility is not None:
+            request["utility"] = utility
+        if backend is not None:
+            request["backend"] = backend
+        if seed is not None:
+            request["seed"] = seed
+        return self.query(request)
+
+    def evaluate(
+        self,
+        placements: Sequence[Sequence[NodeId]],
+        utility: Optional[dict] = None,
+        backend: Optional[str] = None,
+    ) -> List[float]:
+        """Score placements; returns attracted-customer totals in order."""
+        request: Dict[str, object] = {
+            "kind": "evaluate",
+            "placements": [
+                [encode_site(site) for site in placement]
+                for placement in placements
+            ],
+        }
+        if utility is not None:
+            request["utility"] = utility
+        if backend is not None:
+            request["backend"] = backend
+        response = self.query(request)
+        totals = response.get("totals")
+        if not isinstance(totals, list):
+            raise ServeClientError(
+                f"evaluate response has no totals: {response!r}"
+            )
+        return [float(total) for total in totals]
+
+    def what_if(
+        self,
+        placement: Sequence[NodeId],
+        add: Optional[NodeId] = None,
+        remove: Optional[NodeId] = None,
+        utility: Optional[dict] = None,
+        backend: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Marginal effect of one add/remove on a placement."""
+        request: Dict[str, object] = {
+            "kind": "what_if",
+            "placement": [encode_site(site) for site in placement],
+        }
+        if add is not None:
+            request["add"] = encode_site(add)
+        if remove is not None:
+            request["remove"] = encode_site(remove)
+        if utility is not None:
+            request["utility"] = utility
+        if backend is not None:
+            request["backend"] = backend
+        return self.query(request)
+
+    def top_gains(
+        self,
+        placement: Sequence[NodeId] = (),
+        limit: int = 10,
+        utility: Optional[dict] = None,
+        backend: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Best next intersections given a committed placement."""
+        request: Dict[str, object] = {
+            "kind": "top_gains",
+            "placement": [encode_site(site) for site in placement],
+            "limit": limit,
+        }
+        if utility is not None:
+            request["utility"] = utility
+        if backend is not None:
+            request["backend"] = backend
+        return self.query(request)
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,449 @@
+"""Embeddable JSON-over-HTTP front end for the query engine.
+
+Stdlib-only (``asyncio`` streams + hand-rolled HTTP/1.1 framing — no
+web framework), single event loop, single worker: the engine's kernel
+calls run on the loop thread, so the whole serving stack inherits the
+library's single-threaded determinism guarantees.
+
+Endpoints:
+
+* ``POST /query`` — one engine request (see
+  :data:`~repro.serve.engine.REQUEST_KINDS`); ``evaluate`` requests are
+  routed through the :class:`~repro.serve.batching.MicroBatcher`.
+* ``GET /healthz`` — liveness + request accounting, backed by
+  :class:`~repro.reliability.PipelineHealth` (each admitted request is a
+  recorded row; each failed one a quarantined row tagged with its error
+  class), plus artifact stats, cache occupancy, and batching tallies.
+
+Operational behavior:
+
+* **admission control** — at most ``max_inflight`` requests in flight;
+  excess requests are rejected *immediately* with HTTP 429
+  (:class:`~repro.errors.ServeOverloadError`), never queued blindly, so
+  an overloaded server degrades by shedding load instead of by hanging.
+* **per-request deadline** — ``timeout`` seconds via
+  ``asyncio.wait_for``; expiry answers 504.
+* **graceful shutdown** — :meth:`PlacementServer.shutdown` stops
+  accepting, answers new requests 503 while draining, flushes the
+  batcher, and waits for in-flight requests to finish.
+* **fault injection** — a :class:`~repro.reliability.FaultInjector` on
+  the engine can fail (HTTP 500) or stall admitted requests.
+
+Per-request timing uses the injected :class:`~repro.obs.Clock` and lands
+as retroactive obs spans (:func:`repro.obs.record_span` — concurrent
+requests cannot nest) and optional JSONL latency records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from .. import obs
+from ..errors import (
+    ReproError,
+    ServeOverloadError,
+    ServeRequestError,
+    ServeTimeoutError,
+)
+from ..obs.clock import Clock, SystemClock
+from ..reliability.health import PipelineHealth
+from .batching import MicroBatcher
+from .engine import QueryEngine
+
+_MAX_BODY = 8 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class PlacementServer:
+    """Asyncio HTTP server around one :class:`QueryEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The (already compiled) query engine to expose.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    max_inflight:
+        Admission limit — concurrent requests beyond it get HTTP 429.
+    timeout:
+        Per-request deadline in seconds.
+    batch_window, max_batch:
+        Micro-batcher knobs (see :class:`MicroBatcher`).
+    latency_log:
+        Optional JSONL path; one ``{"path", "status", "duration"}``
+        record per request.
+    clock:
+        Injected time source for request timing (RAP002: the serve
+        layer never reads the wall clock directly).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 32,
+        timeout: float = 30.0,
+        batch_window: float = 0.002,
+        max_batch: int = 256,
+        latency_log: Optional[Union[str, Path]] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServeRequestError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if timeout <= 0:
+            raise ServeRequestError(f"timeout must be > 0, got {timeout}")
+        self._engine = engine
+        self._host = host
+        self._requested_port = port
+        self._max_inflight = max_inflight
+        self._timeout = timeout
+        self._batcher = MicroBatcher(
+            engine, window=batch_window, max_batch=max_batch
+        )
+        self._latency_log = Path(latency_log) if latency_log else None
+        self._clock: Clock = clock if clock is not None else SystemClock()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight = 0
+        self._draining = False
+        # Created in start(): asyncio primitives bind the running loop
+        # on construction under Python 3.9.
+        self._idle: Optional[asyncio.Event] = None
+        self.health = PipelineHealth(source="serve")
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The configured bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServeRequestError("server is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is refusing new work while shutting down."""
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and not yet answered."""
+        return self._inflight
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._requested_port
+        )
+
+    async def shutdown(self, drain_timeout: float = 10.0) -> None:
+        """Graceful stop: refuse new work, drain in-flight, close.
+
+        New requests arriving during the drain are answered 503; the
+        batcher's open windows are flushed so queued evaluations finish
+        rather than being abandoned.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        await self._batcher.drain()
+        if self._idle is not None:
+            try:
+                await asyncio.wait_for(self._idle.wait(), drain_timeout)
+            except asyncio.TimeoutError:
+                obs.count("serve.drain_timeouts")
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (pair with :meth:`start`)."""
+        if self._server is None:
+            raise ServeRequestError("server is not started")
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, body, keep_alive = parsed
+                status, payload = await self._dispatch(method, path, body)
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes, bool]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            return None
+        method, path, _ = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            # The body is unread, so the connection cannot be reused.
+            return "__TOO_LARGE__", path, b"", False
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "").lower() != "close"
+        return method, path, body, keep_alive
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        t_start = self._clock.now()
+        status, payload = await self._route(method, path, body)
+        duration = self._clock.now() - t_start
+        obs.record_span(
+            "serve.request", duration, path=path, status=status
+        )
+        obs.count(f"serve.http.{status}")
+        self._log_latency(path, status, duration)
+        return status, payload
+
+    def _log_latency(self, path: str, status: int, duration: float) -> None:
+        if self._latency_log is None:
+            return
+        try:
+            with open(self._latency_log, "a") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "path": path,
+                            "status": status,
+                            "duration": duration,
+                        }
+                    )
+                    + "\n"
+                )
+        except OSError:
+            self._latency_log = None  # degrade: stop logging, keep serving
+            obs.count("serve.latency_log_errors")
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        if method == "__TOO_LARGE__":
+            return 413, {"error": f"request body exceeds {_MAX_BODY} bytes"}
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, self._healthz()
+        if path != "/query":
+            return 404, {"error": f"unknown path {path!r}"}
+        if method != "POST":
+            return 405, {"error": "query is POST-only"}
+        if self._draining:
+            self.rejected += 1
+            return 503, {"error": "server is draining", "retryable": True}
+        if self._inflight >= self._max_inflight:
+            self.rejected += 1
+            obs.count("serve.rejected.overload")
+            error = ServeOverloadError(
+                f"admission queue full ({self._max_inflight} in flight)"
+            )
+            return 429, {"error": str(error), "retryable": True}
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            return await asyncio.wait_for(
+                self._answer_query(body), self._timeout
+            )
+        except asyncio.TimeoutError:
+            timeout_error = ServeTimeoutError(
+                f"request exceeded the {self._timeout:g}s deadline"
+            )
+            return 504, {"error": str(timeout_error), "retryable": True}
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    async def _answer_query(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"request body is not valid JSON: {error}"}
+        try:
+            delay = self._engine.check_fault()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if request.get("kind") == "evaluate" and isinstance(
+                request.get("placements"), list
+            ):
+                response = await self._batched_evaluate(request)
+            else:
+                response = self._engine.handle(request)
+        except ServeRequestError as error:
+            self.health.quarantine_row(0, "bad-request", str(error))
+            return 400, {"error": str(error)}
+        except ReproError as error:
+            self.health.quarantine_row(0, type(error).__name__, str(error))
+            return 500, {"error": str(error)}
+        self.health.record_row()
+        return 200, response
+
+    async def _batched_evaluate(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        from .engine import decode_site  # local: avoid import cycle noise
+
+        raw = request.get("placements")
+        if not isinstance(raw, list) or not raw:
+            raise ServeRequestError(
+                "request field 'placements' must be a non-empty list of "
+                "site lists"
+            )
+        placements = []
+        for index, entry in enumerate(raw):
+            if not isinstance(entry, (list, tuple)):
+                raise ServeRequestError(
+                    f"placements[{index}] must be a list of sites"
+                )
+            placements.append([decode_site(site) for site in entry])
+        backend = request.get("backend")
+        if backend is not None and backend not in ("python", "numpy"):
+            raise ServeRequestError(
+                f"unknown backend {backend!r}; expected 'python' or 'numpy'"
+            )
+        totals = await self._batcher.evaluate(
+            placements,
+            utility=request.get("utility"),  # type: ignore[arg-type]
+            backend=backend,  # type: ignore[arg-type]
+        )
+        obs.count("serve.requests.evaluate")
+        return {
+            "kind": "evaluate",
+            "digest": self._engine.artifact.digest,
+            "totals": totals,
+        }
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def _healthz(self) -> Dict[str, object]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._inflight,
+            "max_inflight": self._max_inflight,
+            "rejected": self.rejected,
+            "digest": self._engine.artifact.digest,
+            "artifact": dict(self._engine.artifact.stats),
+            "cache": self._engine.cache_info(),
+            "batching": self._batcher.stats(),
+            "pipeline": self.health.to_dict(),
+        }
+
+
+async def run_server(
+    server: PlacementServer,
+    ready_file: Optional[Union[str, Path]] = None,
+    serve_seconds: Optional[float] = None,
+) -> None:
+    """Start ``server``, optionally announce readiness, run, drain.
+
+    ``ready_file`` (written after binding, containing ``host port``)
+    lets test harnesses and CI smoke jobs wait for the ephemeral port
+    without polling; ``serve_seconds`` bounds the run (graceful drain at
+    expiry) so scripted runs terminate deterministically.  SIGTERM and
+    SIGINT both trigger the same graceful drain.
+    """
+    await server.start()
+    if ready_file is not None:
+        Path(ready_file).write_text(f"{server.host} {server.port}\n")
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without loop signal support
+    try:
+        if serve_seconds is not None:
+            try:
+                await asyncio.wait_for(stop.wait(), serve_seconds)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await stop.wait()
+    finally:
+        await server.shutdown()
+
+
+__all__ = ["PlacementServer", "run_server"]

@@ -1,0 +1,20 @@
+"""Shared fixtures for the serving-layer tests.
+
+Everything runs on the paper's Fig. 4 worked example (see the top-level
+conftest), so expected numbers are hand-checkable: with the threshold
+utility the greedy placement is {V3, V5} attracting 21.0.
+"""
+
+import pytest
+
+from repro.serve import QueryEngine, ScenarioArtifact
+
+
+@pytest.fixture
+def artifact(paper_threshold_scenario) -> ScenarioArtifact:
+    return ScenarioArtifact.compile(paper_threshold_scenario)
+
+
+@pytest.fixture
+def engine(artifact) -> QueryEngine:
+    return QueryEngine(artifact)

@@ -1,0 +1,171 @@
+"""Micro-batcher coalescing, dedup, scatter, and error propagation.
+
+These tests drive :class:`~repro.serve.batching.MicroBatcher` directly
+on a recording fake engine inside ``asyncio.run`` — no HTTP, no threads —
+so call counts and scatter order are exactly observable.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeRequestError
+from repro.serve import MicroBatcher
+
+
+class RecordingEngine:
+    """Scores a placement as the sum of its site numbers (V3 -> 3)."""
+
+    def __init__(self, error=None):
+        self.calls = []
+        self.error = error
+
+    def evaluate_totals(self, placements, utility=None, backend=None):
+        self.calls.append((tuple(placements), utility, backend))
+        if self.error is not None:
+            raise self.error
+        return [
+            float(sum(int(str(site)[1:]) for site in placement))
+            for placement in placements
+        ]
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_one_engine_call(self):
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=0.01)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.evaluate([("V3",)]),
+                batcher.evaluate([("V5",)]),
+                batcher.evaluate([("V3", "V5")]),
+            )
+
+        results = asyncio.run(scenario())
+        assert results == [[3.0], [5.0], [8.0]]
+        assert len(engine.calls) == 1
+        assert batcher.stats()["flushes"] == 1
+        assert batcher.stats()["requests"] == 3
+
+    def test_duplicates_collapse_to_one_kernel_row(self):
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=0.01)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(batcher.evaluate([("V3",)]) for _ in range(6))
+            )
+
+        results = asyncio.run(scenario())
+        assert results == [[3.0]] * 6
+        (placements, _, _), = engine.calls
+        assert placements == ((("V3",),))
+        assert batcher.stats()["deduped"] == 5
+
+    def test_scatter_preserves_request_order(self):
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=0.01)
+
+        async def scenario():
+            return await batcher.evaluate(
+                [("V5",), ("V3",), ("V5",), ("V2",)]
+            )
+
+        # One request, duplicate rows: totals come back in request order
+        # even though the engine saw a deduplicated batch.
+        assert asyncio.run(scenario()) == [5.0, 3.0, 5.0, 2.0]
+        (placements, _, _), = engine.calls
+        assert placements == (("V5",), ("V3",), ("V2",))
+
+
+class TestGrouping:
+    def test_different_utilities_never_share_a_call(self):
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=0.01)
+        linear = {"name": "linear", "threshold": 6.0}
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.evaluate([("V3",)]),
+                batcher.evaluate([("V3",)], utility=linear),
+            )
+
+        asyncio.run(scenario())
+        assert len(engine.calls) == 2
+        assert {call[1] is None for call in engine.calls} == {True, False}
+
+    def test_different_backends_never_share_a_call(self):
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=0.01)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.evaluate([("V3",)], backend="python"),
+                batcher.evaluate([("V3",)], backend="numpy"),
+            )
+
+        asyncio.run(scenario())
+        assert sorted(call[2] for call in engine.calls) == ["numpy", "python"]
+
+
+class TestFlushTriggers:
+    def test_max_batch_flushes_before_the_window(self):
+        engine = RecordingEngine()
+        # A window far longer than the test timeout: only the early
+        # flush at max_batch can complete these awaits.
+        batcher = MicroBatcher(engine, window=60.0, max_batch=2)
+
+        async def scenario():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.evaluate([("V3",)]),
+                    batcher.evaluate([("V5",)]),
+                ),
+                timeout=5.0,
+            )
+
+        assert asyncio.run(scenario()) == [[3.0], [5.0]]
+
+    def test_drain_flushes_pending_batches(self):
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=60.0)
+
+        async def scenario():
+            pending = asyncio.ensure_future(batcher.evaluate([("V3",)]))
+            await asyncio.sleep(0)  # let the request enqueue
+            await batcher.drain()
+            return await asyncio.wait_for(pending, timeout=5.0)
+
+        assert asyncio.run(scenario()) == [3.0]
+
+    def test_empty_request_short_circuits(self):
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=0.01)
+        assert asyncio.run(batcher.evaluate([])) == []
+        assert engine.calls == []
+
+
+class TestErrors:
+    def test_engine_error_reaches_every_awaiting_request(self):
+        engine = RecordingEngine(error=ServeRequestError("boom"))
+        batcher = MicroBatcher(engine, window=0.01)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.evaluate([("V3",)]),
+                batcher.evaluate([("V5",)]),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert len(results) == 2
+        for result in results:
+            assert isinstance(result, ServeRequestError)
+            assert "boom" in str(result)
+
+    def test_invalid_knobs_are_rejected(self):
+        with pytest.raises(ServeRequestError):
+            MicroBatcher(RecordingEngine(), window=-1.0)
+        with pytest.raises(ServeRequestError):
+            MicroBatcher(RecordingEngine(), max_batch=0)

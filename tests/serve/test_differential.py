@@ -1,0 +1,129 @@
+"""Differential tests: served results are bit-identical to library calls.
+
+The serving stack (artifact compilation, digest round trips, the query
+engine, the micro-batcher, HTTP framing) must be a pure transport: every
+number that comes back over the wire equals — with ``==`` on floats, not
+``approx`` — what the corresponding direct library call returns, on both
+evaluation backends, including after a save → load → query round trip.
+"""
+
+import pytest
+
+from repro.algorithms import CompositeGreedy
+from repro.core import LinearUtility, Scenario, ThresholdUtility
+from repro.core.kernel import evaluate_placement_many, make_evaluator
+from repro.serve import QueryEngine, ScenarioArtifact, ServerThread
+
+from ..conftest import build_paper_flows, build_paper_network
+
+BACKENDS = ("python", "numpy")
+
+PLACEMENTS = [
+    ["V3"],
+    ["V3", "V5"],
+    ["V2", "V4"],
+    ["V2", "V3", "V4", "V5"],
+]
+
+
+def fresh_scenario(utility=None) -> Scenario:
+    return Scenario(
+        build_paper_network(),
+        build_paper_flows(),
+        shop="V1",
+        utility=utility or ThresholdUtility(6.0),
+    )
+
+
+@pytest.fixture(params=["compiled", "restored"])
+def served_artifact(request, tmp_path) -> ScenarioArtifact:
+    """The artifact as compiled, and as restored from its disk form."""
+    artifact = ScenarioArtifact.compile(fresh_scenario())
+    if request.param == "compiled":
+        return artifact
+    artifact.save(tmp_path)
+    return ScenarioArtifact.load(tmp_path, artifact.digest)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEngineDifferential:
+    def test_evaluate_is_bit_identical(self, served_artifact, backend):
+        engine = QueryEngine(served_artifact, cache_size=0)
+        response = engine.handle(
+            {"kind": "evaluate", "placements": PLACEMENTS,
+             "backend": backend}
+        )
+        assert response["totals"] == evaluate_placement_many(
+            fresh_scenario(), PLACEMENTS, backend
+        )
+
+    def test_place_is_bit_identical(self, served_artifact, backend):
+        direct = CompositeGreedy(backend=backend).place(fresh_scenario(), 2)
+        response = QueryEngine(served_artifact, cache_size=0).handle(
+            {"kind": "place", "k": 2, "backend": backend}
+        )
+        assert response["raps"] == list(direct.raps)
+        assert response["attracted"] == direct.attracted
+
+    def test_top_gains_are_bit_identical(self, served_artifact, backend):
+        scenario = fresh_scenario()
+        evaluator = make_evaluator(scenario, backend)
+        evaluator.place("V3")
+        response = QueryEngine(served_artifact, cache_size=0).handle(
+            {"kind": "top_gains", "placement": ["V3"], "backend": backend}
+        )
+        for entry in response["gains"]:
+            assert entry["gain"] == evaluator.gain(entry["site"])
+
+    def test_utility_override_is_bit_identical(self, served_artifact,
+                                               backend):
+        linear = fresh_scenario(LinearUtility(6.0))
+        response = QueryEngine(served_artifact, cache_size=0).handle(
+            {
+                "kind": "evaluate",
+                "placements": PLACEMENTS,
+                "backend": backend,
+                "utility": {"name": "linear", "threshold": 6.0},
+            }
+        )
+        assert response["totals"] == evaluate_placement_many(
+            linear, PLACEMENTS, backend
+        )
+
+
+class TestBackendsAgree:
+    def test_served_backends_agree_with_each_other(self, served_artifact):
+        engine = QueryEngine(served_artifact, cache_size=0)
+        totals = {
+            backend: engine.handle(
+                {"kind": "evaluate", "placements": PLACEMENTS,
+                 "backend": backend}
+            )["totals"]
+            for backend in BACKENDS
+        }
+        assert totals["python"] == totals["numpy"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestHTTPDifferential:
+    def test_wire_results_are_bit_identical(self, served_artifact, backend):
+        scenario = fresh_scenario()
+        direct_totals = evaluate_placement_many(
+            scenario, PLACEMENTS, backend
+        )
+        direct_place = CompositeGreedy(backend=backend).place(scenario, 2)
+        with ServerThread(QueryEngine(served_artifact)) as handle:
+            client = handle.client()
+            assert client.evaluate(
+                PLACEMENTS, backend=backend
+            ) == direct_totals
+            served = client.place(2, backend=backend)
+            assert served["raps"] == list(direct_place.raps)
+            assert served["attracted"] == direct_place.attracted
+            delta = client.what_if(["V3"], add="V5", backend=backend)
+            base, variant = evaluate_placement_many(
+                scenario, [["V3"], ["V3", "V5"]], backend
+            )
+            assert delta["base"] == base
+            assert delta["variant"] == variant
+            assert delta["delta"] == variant - base

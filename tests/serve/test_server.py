@@ -1,0 +1,193 @@
+"""HTTP server behavior: admission control, deadlines, drain, health.
+
+The load-shedding tests use the fault injector's request-delay stream
+(rate 1.0) to make every admitted request slow *inside* the server,
+then verify that excess concurrent requests are rejected immediately
+with 429 — never queued, never hung.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeClientError, ServeError
+from repro.reliability import FaultConfig, FaultInjector
+from repro.serve import PlacementServer, QueryEngine, ServerThread
+
+
+def slow_engine(artifact, seconds: float) -> QueryEngine:
+    injector = FaultInjector(
+        FaultConfig(
+            request_delay_rate=1.0,
+            request_delay_seconds=seconds,
+        ),
+        seed=3,
+    )
+    return QueryEngine(artifact, fault_injector=injector)
+
+
+class TestBasics:
+    def test_round_trip_query_and_health(self, engine):
+        with ServerThread(engine) as handle:
+            client = handle.client()
+            assert client.evaluate([["V3", "V5"]]) == [21.0]
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["digest"] == engine.artifact.digest
+            assert health["pipeline"]["rows_read"] >= 1
+            assert health["batching"]["flushes"] >= 1
+
+    def test_unknown_path_is_404(self, engine):
+        with ServerThread(engine) as handle:
+            with pytest.raises(ServeClientError) as info:
+                handle.client()._request("POST", "/nope", {"kind": "x"})
+            assert info.value.status == 404
+
+    def test_invalid_json_is_400(self, engine):
+        import http.client
+
+        with ServerThread(engine) as handle:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=10
+            )
+            connection.request("POST", "/query", body=b"{nope")
+            response = connection.getresponse()
+            assert response.status == 400
+            connection.close()
+
+    def test_bad_request_kind_is_400(self, engine):
+        with ServerThread(engine) as handle:
+            with pytest.raises(ServeClientError) as info:
+                handle.client().query({"kind": "explode"})
+            assert info.value.status == 400
+
+    def test_oversized_body_is_413(self, engine):
+        import http.client
+
+        with ServerThread(engine) as handle:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=10
+            )
+            connection.putrequest("POST", "/query")
+            connection.putheader("Content-Length", str(64 * 1024 * 1024))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            connection.close()
+
+    def test_server_thread_rejects_bad_argument(self):
+        with pytest.raises(ServeError, match="wraps a QueryEngine"):
+            ServerThread("not an engine")
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_429_and_never_hangs(self, artifact):
+        engine = slow_engine(artifact, seconds=0.4)
+        statuses = []
+        lock = threading.Lock()
+
+        with ServerThread(engine, max_inflight=1) as handle:
+
+            def fire():
+                client = handle.client(timeout=10.0)
+                t0 = time.perf_counter()
+                try:
+                    client.evaluate([["V3"]])
+                    outcome = (200, time.perf_counter() - t0)
+                except ServeClientError as error:
+                    outcome = (error.status, time.perf_counter() - t0)
+                with lock:
+                    statuses.append(outcome)
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=15.0)
+                assert not thread.is_alive(), "a request hung"
+
+        codes = sorted(code for code, _ in statuses)
+        assert 200 in codes, statuses
+        assert 429 in codes, statuses
+        # Rejections are immediate: far faster than the injected stall.
+        for code, elapsed in statuses:
+            if code == 429:
+                assert elapsed < 0.35, statuses
+        assert handle.server.rejected == codes.count(429)
+
+    def test_timeout_answers_504(self, artifact):
+        engine = slow_engine(artifact, seconds=0.5)
+        with ServerThread(engine, timeout=0.05) as handle:
+            with pytest.raises(ServeClientError) as info:
+                handle.client(timeout=10.0).evaluate([["V3"]])
+            assert info.value.status == 504
+
+    def test_injected_faults_answer_500(self, artifact):
+        injector = FaultInjector(
+            FaultConfig(request_error_rate=1.0), seed=5
+        )
+        engine = QueryEngine(artifact, fault_injector=injector)
+        with ServerThread(engine) as handle:
+            with pytest.raises(ServeClientError) as info:
+                handle.client().evaluate([["V3"]])
+            assert info.value.status == 500
+            health = handle.client().healthz()
+            assert health["pipeline"]["row_error_rate"] > 0
+            assert "ServeFaultError" in health["pipeline"]["row_faults"]
+
+
+class TestGracefulShutdown:
+    def test_inflight_request_finishes_during_drain(self, artifact):
+        engine = slow_engine(artifact, seconds=0.3)
+        results = []
+
+        handle = ServerThread(engine)
+        handle.__enter__()
+        try:
+            def fire():
+                try:
+                    results.append(handle.client(timeout=10.0).evaluate(
+                        [["V3", "V5"]]
+                    ))
+                except ServeClientError as error:
+                    results.append(error)
+
+            worker = threading.Thread(target=fire)
+            worker.start()
+            time.sleep(0.1)  # request is admitted and stalling server-side
+        finally:
+            handle.stop()  # loop stops, then drains before exiting
+        worker.join(timeout=15.0)
+        assert not worker.is_alive()
+        assert results == [[21.0]]
+
+    def test_stopped_server_refuses_connections(self, engine):
+        with ServerThread(engine) as handle:
+            port = handle.port
+            handle.client().evaluate([["V3"]])
+        from repro.serve import ServeClient
+
+        with pytest.raises(ServeClientError) as info:
+            ServeClient("127.0.0.1", port, timeout=2.0).evaluate([["V3"]])
+        assert info.value.status is None  # transport error, not HTTP
+
+
+class TestLatencyLog:
+    def test_requests_land_in_the_jsonl_log(self, engine, tmp_path):
+        import json
+
+        log = tmp_path / "latency.jsonl"
+        server = PlacementServer(engine, latency_log=log)
+        with ServerThread(server) as handle:
+            handle.client().evaluate([["V3"]])
+            handle.client().healthz()
+        records = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert {record["path"] for record in records} == {
+            "/query", "/healthz"
+        }
+        for record in records:
+            assert record["status"] == 200
+            assert record["duration"] >= 0.0
