@@ -11,14 +11,20 @@ twice — micro-batching enabled (2 ms window) and disabled
 records per-level throughput and p50/p95/p99 latency plus the server's
 batching tallies, so the coalescing win is measured, not asserted.
 
-Writes ``BENCH_serve.json``::
+A third tier benchmarks the supervised fleet: N in-process workers
+behind the routing front, driven at high concurrency with one worker
+killed mid-run, so the recorded throughput includes failure detection,
+retry, and respawn.  Writes ``BENCH_serve.json``::
 
     {
-      "schema": "rapflow-bench-serve/1",
+      "schema": "rapflow-bench-serve/2",
       "git_sha": ..., "scale": "small",
       "levels": [{"concurrency", "mode", "requests", "throughput_rps",
                   "p50_ms", "p95_ms", "p99_ms", "errors", "batching"}],
-      "batching_speedup": {"8": 1.7, ...}   # batched/unbatched throughput
+      "batching_speedup": {"8": 1.7, ...},  # batched/unbatched throughput
+      "fleet": {"workers", "concurrency", "throughput_rps", "p99_ms",
+                "per_worker": [{"id", "state", "respawns", "p99_ms"}],
+                "respawns", "shed_rate", "degraded_rate"}
     }
 
 Usage::
@@ -106,6 +112,7 @@ def run_level(
     requests: int,
     pool: Sequence[Sequence[object]],
     backend: str,
+    keep_latencies: bool = False,
 ) -> Dict[str, object]:
     """Drive one concurrency level; returns throughput + tail latencies."""
     from repro.serve import ServeClient
@@ -146,7 +153,7 @@ def run_level(
         index = min(len(latencies) - 1, int(p * len(latencies)))
         return latencies[index] * 1000.0
 
-    return {
+    level: Dict[str, object] = {
         "concurrency": concurrency,
         "requests": len(latencies),
         "errors": errors,
@@ -156,6 +163,116 @@ def run_level(
         "p95_ms": pct(0.95),
         "p99_ms": pct(0.99),
         "mean_ms": statistics.fmean(latencies) * 1000 if latencies else 0.0,
+    }
+    if keep_latencies:
+        level["_latencies"] = latencies
+    return level
+
+
+def run_fleet_tier(
+    artifact: ScenarioArtifact,
+    pool: Sequence[Sequence[object]],
+    backend: str,
+    workers: int,
+    concurrency: int,
+    requests: int,
+) -> Dict[str, object]:
+    """The fleet tier: N supervised workers, one mid-run worker kill.
+
+    Drives the fleet front at high concurrency in two halves, killing
+    one worker between them, so the recorded numbers include detection,
+    retry, and respawn — not just the happy path.  Records per-worker
+    tail latency plus respawn, shed, and degraded rates.
+    """
+    from repro.serve import (
+        FleetConfig,
+        FleetThread,
+        PlacementFleet,
+        RetryPolicy,
+        local_worker_factory,
+    )
+
+    config = FleetConfig(
+        workers=workers,
+        max_inflight=max(128, 2 * concurrency),
+        timeout=10.0,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=0.3,
+        max_missed=2,
+        respawn_backoff=0.05,
+        respawn_backoff_cap=0.5,
+        retry=RetryPolicy(retries=3, backoff=0.02, backoff_cap=0.2),
+        seed=0,
+    )
+    fleet = PlacementFleet(
+        local_worker_factory(lambda: QueryEngine(artifact, cache_size=0)),
+        digest=artifact.digest,
+        config=config,
+    )
+    with FleetThread(fleet) as handle:
+        run_level(  # warm-up outside the timed window
+            handle.port, concurrency, concurrency * 2, pool, backend
+        )
+        first = run_level(
+            handle.port, concurrency, requests // 2, pool, backend,
+            keep_latencies=True,
+        )
+        fleet.worker_handle(0).kill()
+        second = run_level(
+            handle.port, concurrency, requests - requests // 2, pool,
+            backend, keep_latencies=True,
+        )
+        client = handle.client()
+        deadline = time.perf_counter() + 10.0
+        health = client.healthz()
+        while (
+            health.get("respawns", 0) < 1
+            and time.perf_counter() < deadline
+        ):
+            time.sleep(0.1)
+            health = client.healthz()
+
+    latencies = sorted(first["_latencies"] + second["_latencies"])
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))] * 1000.0
+
+    elapsed = float(first["elapsed_s"]) + float(second["elapsed_s"])
+    requests_doc = health["requests"]
+    tiers = health["admission"]["tiers"]
+    shed_total = sum(int(doc["shed"]) for doc in tiers.values())
+    served = int(requests_doc["served"])
+    attempted = served + int(requests_doc["rejected"])
+    return {
+        "mode": "fleet",
+        "workers": workers,
+        "concurrency": concurrency,
+        "requests": len(latencies),
+        "errors": int(first["errors"]) + int(second["errors"]),
+        "elapsed_s": elapsed,
+        "throughput_rps": len(latencies) / elapsed if elapsed else 0.0,
+        "p50_ms": pct(0.50),
+        "p95_ms": pct(0.95),
+        "p99_ms": pct(0.99),
+        "per_worker": [
+            {
+                "id": doc["id"],
+                "state": doc["state"],
+                "respawns": doc["respawns"],
+                "p95_ms": (doc["p95"] or 0.0) * 1000.0,
+                "p99_ms": (doc["p99"] or 0.0) * 1000.0,
+            }
+            for doc in health["workers"]
+        ],
+        "respawns": int(health["respawns"]),
+        "retries": int(requests_doc["retries"]),
+        "shed_rate": shed_total / attempted if attempted else 0.0,
+        "degraded_rate": (
+            int(requests_doc["degraded"]) / served if served else 0.0
+        ),
+        "corrupt_detected": int(requests_doc["corrupt_detected"]),
     }
 
 
@@ -183,6 +300,12 @@ def main() -> int:
     )
     parser.add_argument("--window", type=float, default=0.001,
                         help="batching window in seconds for batched mode")
+    parser.add_argument("--fleet-workers", type=int, default=4,
+                        help="worker replicas in the fleet tier")
+    parser.add_argument("--fleet-concurrency", type=int, default=64,
+                        help="client threads driving the fleet tier")
+    parser.add_argument("--fleet-requests", type=int, default=1600,
+                        help="total requests in the fleet tier")
     args = parser.parse_args()
     levels = [int(v) for v in args.levels.split(",") if v.strip()]
 
@@ -232,13 +355,31 @@ def main() -> int:
                     f"(errors={level['errors']})"
                 )
 
+    fleet_tier = run_fleet_tier(
+        artifact,
+        pool,
+        args.backend,
+        workers=args.fleet_workers,
+        concurrency=args.fleet_concurrency,
+        requests=args.fleet_requests,
+    )
+    print(
+        f"    fleet c={fleet_tier['concurrency']:<3} "
+        f"{fleet_tier['throughput_rps']:8.1f} req/s  "
+        f"p50={fleet_tier['p50_ms']:6.2f}ms "
+        f"p99={fleet_tier['p99_ms']:6.2f}ms "
+        f"(workers={fleet_tier['workers']}, "
+        f"respawns={fleet_tier['respawns']}, "
+        f"errors={fleet_tier['errors']})"
+    )
+
     speedup = {
         str(c): throughput["batched"][c] / throughput["unbatched"][c]
         for c in levels
         if throughput["unbatched"].get(c)
     }
     snapshot = {
-        "schema": "rapflow-bench-serve/1",
+        "schema": "rapflow-bench-serve/2",
         "git_sha": git_sha(),
         "scale": args.scale,
         "backend": args.backend,
@@ -248,6 +389,7 @@ def main() -> int:
         "placement_k": args.k,
         "levels": results,
         "batching_speedup": speedup,
+        "fleet": fleet_tier,
     }
     out_path = pathlib.Path(args.out)
     out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")

@@ -37,7 +37,16 @@ Subcommands
 ``serve``
     Compile the scenario into a cached artifact and run the placement
     query server (``POST /query``, ``GET /healthz``) until SIGTERM or
-    ``--serve-seconds`` expires, then drain gracefully.
+    ``--serve-seconds`` expires, then drain gracefully.  With
+    ``--workers N`` (N >= 2) a supervised fleet front routes to N
+    worker subprocesses sharing the artifact cache: heartbeat probes,
+    bounded respawn with a circuit breaker, retry/hedging for
+    idempotent queries, and tiered load shedding.
+``chaos``
+    Run the seeded chaos harness against an in-process fleet: kill /
+    stall / slow / corrupt workers under concurrent load, then print
+    the availability, respawn, and bit-identity summary (exit 8 when
+    availability drops below ``--min-availability``).
 ``query``
     Send one JSON query (or a health probe) to a running server.
 ``evaluate``
@@ -104,6 +113,11 @@ EXIT_EXPERIMENT = 5
 EXIT_RELIABILITY = 6
 EXIT_LINT = 7
 EXIT_SERVE = 8
+
+#: Mirror of :data:`repro.serve.chaos.CHAOS_PRESETS` so building the
+#: parser does not import the serve stack; a serve test pins the two
+#: in sync.
+CHAOS_PRESET_CHOICES = ("kill", "stall", "slow", "corrupt", "mixed")
 
 #: Most-specific-first mapping from error family to exit code.  Note
 #: ``ErrorBudgetExceeded`` is both a TraceError and a ReliabilityError;
@@ -419,6 +433,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bind port (0 = ephemeral; see --ready-file)",
     )
     serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker replicas; >= 2 runs a supervised subprocess fleet "
+        "behind a routing front (default: 1, single in-process server)",
+    )
+    serve.add_argument(
         "--max-inflight", type=int, default=32,
         help="admission limit; excess requests get HTTP 429",
     )
@@ -464,6 +483,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stall duration in seconds for injected delays",
     )
     serve.add_argument("--fault-seed", type=int, default=0)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the seeded chaos harness against an in-process fleet",
+    )
+    _add_scenario_args(chaos)
+    chaos.add_argument(
+        "--preset", choices=CHAOS_PRESET_CHOICES, default="kill",
+        help="failure preset (default: kill — two workers die mid-load)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=4,
+        help="worker replicas in the chaos fleet (default: 4)",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=400,
+        help="total requests in the seeded load (default: 400)",
+    )
+    chaos.add_argument(
+        "--concurrency", type=int, default=8,
+        help="concurrent client threads (default: 8)",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the failure schedule and request mix",
+    )
+    chaos.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="append per-request outcomes and events as JSONL",
+    )
+    chaos.add_argument(
+        "--min-availability", type=float, default=0.99,
+        help="exit 8 if evaluate availability falls below this "
+        "(default: 0.99)",
+    )
 
     query = commands.add_parser(
         "query", help="send one JSON query to a running placement server"
@@ -845,12 +899,129 @@ def _serve_artifact(args: argparse.Namespace):
     return artifact
 
 
+def _worker_serve_args(args: argparse.Namespace, cache_dir: str) -> List[str]:
+    """Scenario + serving flags a fleet worker subprocess needs to
+    rebuild the parent's exact artifact from the shared cache."""
+    worker_args = [
+        "--city", args.city,
+        "--utility", args.utility,
+        "--shop", args.shop,
+        "--scale", args.scale,
+        "--seed", str(args.seed),
+        "--cache-dir", cache_dir,
+        "--max-inflight", str(args.max_inflight),
+        "--timeout", str(args.timeout),
+        "--batch-window", str(args.batch_window),
+        "--max-batch", str(args.max_batch),
+        "--cache-size", str(args.cache_size),
+    ]
+    if args.threshold is not None:
+        worker_args += ["--threshold", str(args.threshold)]
+    return worker_args
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+
+    from .serve import (
+        ArtifactStore,
+        FleetConfig,
+        PlacementFleet,
+        process_worker_factory,
+        run_fleet,
+    )
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="rapflow-fleet-")
+    scenario = _build_serve_scenario(args)
+    # Pre-compile into the shared cache so every worker disk-loads the
+    # same digest instead of recompiling N times.
+    artifact = ArtifactStore(cache_dir).get_or_compile(scenario)
+    ready_dir = tempfile.mkdtemp(prefix="rapflow-fleet-ready-")
+    config = FleetConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        timeout=args.timeout,
+    )
+    fleet = PlacementFleet(
+        process_worker_factory(
+            _worker_serve_args(args, cache_dir), ready_dir
+        ),
+        digest=artifact.digest,
+        config=config,
+    )
+    print(
+        f"fleet front on {args.host}:{args.port or '<ephemeral>'} with "
+        f"{args.workers} workers over artifact {artifact.digest[:12]}; "
+        f"SIGTERM drains gracefully",
+        file=sys.stderr,
+    )
+    asyncio.run(
+        run_fleet(
+            fleet,
+            ready_file=args.ready_file,
+            serve_seconds=args.serve_seconds,
+        )
+    )
+    health = fleet.healthz()
+    requests_doc = health["requests"]
+    print(
+        f"fleet drained: {requests_doc['served']} served, "
+        f"{requests_doc['degraded']} degraded, "
+        f"{requests_doc['rejected']} rejected, "
+        f"{health['respawns']} respawns",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ServeError
+    from .serve import ArtifactStore, run_chaos
+
+    scenario = _build_serve_scenario(args)
+    artifact = ArtifactStore(args.cache_dir).get_or_compile(scenario)
+    result = run_chaos(
+        artifact,
+        preset=args.preset,
+        workers=args.workers,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        seed=args.chaos_seed,
+        jsonl_path=args.jsonl,
+    )
+    print(json.dumps(result.to_dict(), indent=2))
+    availability = result.availability("evaluate")
+    if result.mismatches:
+        raise ServeError(
+            f"{result.mismatches} non-degraded evaluate response(s) were "
+            "not bit-identical to direct library calls"
+        )
+    if availability < args.min_availability:
+        raise ServeError(
+            f"evaluate availability {availability:.4f} is below the "
+            f"--min-availability floor {args.min_availability:g}"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .errors import ServeRequestError
     from .reliability import FaultConfig, FaultInjector
     from .serve import PlacementServer, QueryEngine, run_server
 
+    if args.workers < 1:
+        raise ServeRequestError(
+            f"--workers must be >= 1, got {args.workers}"
+        )
+    if args.workers > 1:
+        return _cmd_serve_fleet(args)
     artifact = _serve_artifact(args)
     injector = None
     if args.fault_error_rate > 0 or args.fault_delay_rate > 0:
@@ -1004,6 +1175,8 @@ def _run_command(
         return _cmd_sweep(args)
     if command == "serve":
         return _cmd_serve(args)
+    if command == "chaos":
+        return _cmd_chaos(args)
     if command == "query":
         return _cmd_query(args)
     if command == "evaluate":

@@ -253,15 +253,44 @@ class ServeClientError(ServeError):
     """The typed client got a non-success response or a transport failure.
 
     ``status`` carries the HTTP status code when one was received
-    (``None`` for transport-level failures).
+    (``None`` for transport-level failures); ``retry_after`` carries the
+    server's ``Retry-After`` hint in seconds when one was sent.
 
     >>> ServeClientError("boom", status=500).status
     500
+    >>> ServeClientError("busy", status=429).retryable
+    True
     """
 
-    def __init__(self, message: object = "", status: "int | None" = None) -> None:
+    def __init__(
+        self,
+        message: object = "",
+        status: "int | None" = None,
+        retry_after: "float | None" = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying the same request can reasonably succeed.
+
+        Transport failures (``status is None``), overload rejections
+        (429), and draining servers (503) are retryable; definitive
+        answers (400, 404, 500, ...) are not.
+        """
+        return self.status is None or self.status in (429, 503)
+
+
+class ServeWorkerError(ServeError):
+    """A fleet worker failed to spawn, respond, or stay alive.
+
+    Raised by the :mod:`repro.serve.fleet` supervisor when a worker
+    process/thread cannot be started (bad spawn command, ready-file
+    timeout) or when the fleet is asked to route with no shard to route
+    to.
+    """
 
 
 class ExperimentError(ReproError):

@@ -27,6 +27,7 @@ from ..traces.records import GpsRecord
 _RECORD_SALT = 1
 _CELL_SALT = 2
 _REQUEST_SALT = 3
+_CORRUPT_SALT = 4
 
 
 @dataclass(frozen=True)
@@ -57,7 +58,10 @@ class FaultConfig:
       :class:`~repro.errors.ServeFaultError`;
     * ``request_delay_rate`` — ask the server to stall the request by
       ``request_delay_seconds`` before answering (exercises the
-      per-request timeout path).
+      per-request timeout path);
+    * ``request_corrupt_rate`` — garble the server's reply to the
+      request (exercises a fleet front's reply-integrity check and
+      replica retry).
     """
 
     drop_rate: float = 0.0
@@ -72,12 +76,14 @@ class FaultConfig:
     request_error_rate: float = 0.0
     request_delay_rate: float = 0.0
     request_delay_seconds: float = 0.05
+    request_corrupt_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
             "drop_rate", "duplicate_rate", "reorder_rate", "noise_rate",
             "truncate_rate", "malform_rate",
             "request_error_rate", "request_delay_rate",
+            "request_corrupt_rate",
         ):
             value = getattr(self, name)
             if not (0.0 <= value <= 1.0):
@@ -115,6 +121,7 @@ class FaultConfig:
             malform_rate=min(1.0, self.malform_rate * factor),
             request_error_rate=min(1.0, self.request_error_rate * factor),
             request_delay_rate=min(1.0, self.request_delay_rate * factor),
+            request_corrupt_rate=min(1.0, self.request_corrupt_rate * factor),
         )
 
 
@@ -298,6 +305,25 @@ class FaultInjector:
             report.bump("request-delays")
         _flush_fault_counters(report)
         return fail, delay
+
+    def request_corrupt(self, index: int) -> bool:
+        """Whether the reply to the ``index``-th request gets garbled.
+
+        Same determinism contract as :meth:`request_fault`: the decision
+        is a pure function of ``(seed, index)``, on an independent RNG
+        stream, so corrupt replies replay exactly.
+        """
+        if not self.config.request_corrupt_rate:
+            return False
+        rng = random.Random(
+            (self.seed * 1_000_003 + _CORRUPT_SALT) * 1_000_003 + index
+        )
+        corrupt = rng.random() < self.config.request_corrupt_rate
+        if corrupt:
+            report = FaultReport()
+            report.bump("request-corruptions")
+            _flush_fault_counters(report)
+        return corrupt
 
     # ------------------------------------------------------------------
     # cell-level faults

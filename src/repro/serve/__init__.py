@@ -16,10 +16,18 @@ restarts skip recompilation), then answer placement queries against it:
 * :class:`~repro.serve.server.PlacementServer` /
   :class:`~repro.serve.client.ServeClient` — stdlib-only JSON-over-HTTP
   front end with admission control (429 on overload), per-request
-  deadlines (504), ``/healthz``, and graceful draining shutdown.
+  deadlines (504), ``/healthz``, and graceful draining shutdown;
+* :class:`~repro.serve.fleet.PlacementFleet` — a supervised fleet of N
+  worker replicas behind one routing front: heartbeat probes, bounded
+  respawn with a circuit breaker, retry/backoff/hedging for idempotent
+  queries, tiered load shedding, and degraded cache-replay fallback;
+* :func:`~repro.serve.chaos.run_chaos` — seeded chaos harness that
+  kills/stalls/slows/corrupts workers under concurrent load and checks
+  availability plus bit-identity of every non-degraded answer.
 
-Surfacing lives in the CLI (``rapflow serve`` / ``rapflow query`` /
-``rapflow evaluate``) and ``scripts/bench_serve.py``::
+Surfacing lives in the CLI (``rapflow serve [--workers N]`` /
+``rapflow chaos`` / ``rapflow query`` / ``rapflow evaluate``) and
+``scripts/bench_serve.py``::
 
     from repro.serve import ArtifactStore, QueryEngine, ServerThread
 
@@ -38,20 +46,53 @@ from .artifacts import (
     spec_digest,
 )
 from .batching import MicroBatcher
+from .chaos import (
+    CHAOS_PRESETS,
+    ChaosEvent,
+    ChaosResult,
+    build_schedule,
+    run_chaos,
+)
 from .client import ServeClient
 from .engine import REQUEST_KINDS, QueryEngine
+from .fleet import (
+    FleetConfig,
+    LocalWorker,
+    PlacementFleet,
+    ProcessWorker,
+    RetryPolicy,
+    SHED_TIERS,
+    local_worker_factory,
+    process_worker_factory,
+    run_fleet,
+)
 from .server import PlacementServer, run_server
-from .testing import ServerThread
+from .testing import FleetThread, ServerThread
 
 __all__ = [
     "ArtifactStore",
+    "CHAOS_PRESETS",
+    "ChaosEvent",
+    "ChaosResult",
+    "FleetConfig",
+    "FleetThread",
+    "LocalWorker",
     "MicroBatcher",
+    "PlacementFleet",
     "PlacementServer",
+    "ProcessWorker",
     "QueryEngine",
     "REQUEST_KINDS",
+    "RetryPolicy",
+    "SHED_TIERS",
     "ScenarioArtifact",
     "ServeClient",
     "ServerThread",
+    "build_schedule",
+    "local_worker_factory",
+    "process_worker_factory",
+    "run_chaos",
+    "run_fleet",
     "run_server",
     "scenario_digest",
     "scenario_from_spec",

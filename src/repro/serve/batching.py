@@ -15,6 +15,19 @@ into **one** ``evaluate_placement_many`` call — deduplicating identical
 placements, which under hot-query workloads shrinks the kernel batch
 dramatically — and scatters the totals back to the per-request futures.
 
+A request whose caller vouches it is **alone** (``solo=True`` — the
+HTTP server passes ``inflight == 1``) and that finds no open batch
+bypasses the window entirely and dispatches immediately: holding a lone
+request hostage for ``window`` seconds buys no coalescing and costs
+exactly the window in latency (the low-concurrency regression
+BENCH_serve.json used to show at c=1/c=2).  The hint must come from the
+caller because the batcher alone cannot tell idle from busy: the
+engine's kernel call is synchronous, so by the time the loop hands the
+next queued request to the batcher the previous one has already
+finished and nothing is ever "pending" — only the server's admission
+count sees the concurrency.  Bypassed requests are tallied separately
+(``bypassed`` in :meth:`stats`).
+
 Placements are scored independently by the kernel (each gets its own
 min-reduction and utility pass), so coalescing, reordering, and
 deduplication cannot change any total: batched results are bit-identical
@@ -82,20 +95,39 @@ class MicroBatcher:
         self.batched_requests = 0
         self.batched_placements = 0
         self.deduped_placements = 0
+        self.bypassed = 0
 
     async def evaluate(
         self,
         placements: Sequence[Sequence[NodeId]],
         utility: Optional[dict] = None,
         backend: Optional[str] = None,
+        solo: bool = False,
     ) -> List[float]:
         """Score ``placements``, sharing a kernel call with peers.
 
         Awaits until the enclosing batch flushes; the returned totals
-        are ordered like ``placements``.
+        are ordered like ``placements``.  ``solo=True`` asserts no
+        concurrent request could share the batch (the caller sees the
+        admission state); a solo request with no batch already open
+        dispatches immediately instead of paying the window.
         """
         if not placements:
             return []
+        if solo and not self._pending and not self._flush_tasks:
+            # Nothing to coalesce with: dispatch immediately instead of
+            # paying the batch window for zero sharing.  The engine call
+            # is synchronous, so no other request can enqueue between
+            # this check and the call.
+            self.bypassed += 1
+            self.batched_requests += 1
+            self.batched_placements += len(placements)
+            obs.count("serve.batch.bypassed")
+            return self._engine.evaluate_totals(
+                [tuple(sites) for sites in placements],
+                utility=utility,
+                backend=backend,
+            )
         key: _GroupKey = (
             json.dumps(utility, sort_keys=True) if utility else "",
             backend or "",
@@ -181,6 +213,7 @@ class MicroBatcher:
             "requests": self.batched_requests,
             "placements": self.batched_placements,
             "deduped": self.deduped_placements,
+            "bypassed": self.bypassed,
         }
 
 

@@ -4,9 +4,16 @@ Stdlib-only (``http.client``); one :class:`ServeClient` wraps one
 ``host:port`` and exposes a method per request kind, returning the
 server's decoded JSON payload.  Non-2xx responses raise
 :class:`~repro.errors.ServeClientError` with the HTTP status attached
-(429/503 responses additionally mark themselves retryable), and
-transport failures raise the same error with ``status=None`` — callers
-handle exactly one exception type.
+(429/503 responses additionally mark themselves retryable and carry the
+server's ``Retry-After`` hint), and transport failures raise the same
+error with ``status=None`` — callers handle exactly one exception type.
+
+Retry is **opt-in**: with ``retries > 0`` the client re-sends a request
+after a retryable failure (transport error, 429, 503), sleeping the
+server's ``Retry-After`` hint when one was sent and otherwise an
+exponentially growing, jittered backoff.  The jitter RNG is seeded and
+the sleeper injectable, so tests can assert the exact backoff schedule
+without waiting for it.
 
 The client is deliberately synchronous: benchmark and CI drivers spread
 instances across threads to generate concurrency, while the server
@@ -16,10 +23,13 @@ stays a single asyncio loop.
 from __future__ import annotations
 
 import json
+import random
+import time
 from http.client import HTTPConnection, HTTPException
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..errors import ServeClientError
+from .. import obs
+from ..errors import ServeClientError, ServeRequestError
 from ..graphs import NodeId
 from .engine import encode_site
 
@@ -32,15 +42,54 @@ class ServeClient:
     host, port:
         The server address.
     timeout:
-        Socket timeout in seconds for each request.
+        Socket timeout in seconds for each request attempt.
+    retries:
+        Extra attempts after a retryable failure (0 = fail fast, the
+        default).  Only transport errors and 429/503 responses are
+        retried — statuses that mean the server did *not* process the
+        request — so retrying is safe even for non-idempotent kinds.
+    backoff, backoff_cap:
+        Exponential backoff base and ceiling in seconds: attempt ``i``
+        sleeps ``min(cap, backoff * 2**i)`` (before jitter), unless the
+        server sent a ``Retry-After`` hint, which is honored verbatim.
+    jitter:
+        Fraction of each backoff randomized away (0 = deterministic
+        full backoff, 0.5 = sleep 50-100% of it) to de-synchronize
+        retrying clients.
+    retry_seed:
+        Seed for the jitter RNG (seeded so overload tests replay).
+    sleep:
+        Injected sleeper (defaults to ``time.sleep``); tests pass a
+        recorder to assert the schedule without real waiting.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter: float = 0.5,
+        retry_seed: int = 0,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
+        if retries < 0:
+            raise ServeRequestError(f"retries must be >= 0, got {retries}")
+        if not (0.0 <= jitter <= 1.0):
+            raise ServeRequestError(
+                f"jitter must be in [0, 1], got {jitter}"
+            )
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._retries = retries
+        self._backoff = backoff
+        self._backoff_cap = backoff_cap
+        self._jitter = jitter
+        self._rng = random.Random(retry_seed)
+        self._sleep = sleep if sleep is not None else time.sleep
 
     # ------------------------------------------------------------------
     # transport
@@ -48,9 +97,35 @@ class ServeClient:
     def _request(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> Dict[str, object]:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServeClientError as error:
+                if attempt >= self._retries or not error.retryable:
+                    raise
+                self._sleep(self._retry_delay(attempt, error.retry_after))
+                obs.count("serve.client.retries")
+                attempt += 1
+
+    def _retry_delay(
+        self, attempt: int, retry_after: Optional[float]
+    ) -> float:
+        """Sleep before retry ``attempt``: server hint, else backoff+jitter."""
+        if retry_after is not None and retry_after >= 0:
+            return retry_after
+        delay = min(self._backoff_cap, self._backoff * (2.0 ** attempt))
+        if self._jitter:
+            delay *= (1.0 - self._jitter) + self._jitter * self._rng.random()
+        return delay
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Dict[str, object]:
         connection = HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
+        retry_after: Optional[float] = None
         try:
             payload = json.dumps(body).encode("utf-8") if body else None
             headers = {"Content-Type": "application/json"} if payload else {}
@@ -58,6 +133,12 @@ class ServeClient:
             response = connection.getresponse()
             raw = response.read()
             status = response.status
+            hint = response.getheader("Retry-After")
+            if hint is not None:
+                try:
+                    retry_after = float(hint)
+                except ValueError:
+                    retry_after = None
         except (OSError, HTTPException) as error:
             raise ServeClientError(
                 f"cannot reach {self._host}:{self._port}: {error}"
@@ -78,7 +159,9 @@ class ServeClient:
                 else raw.decode("utf-8", "replace")
             )
             raise ServeClientError(
-                f"HTTP {status}: {message}", status=status
+                f"HTTP {status}: {message}",
+                status=status,
+                retry_after=retry_after,
             )
         if not isinstance(decoded, dict):
             raise ServeClientError(

@@ -103,6 +103,7 @@ class QueryEngine:
         self._cache: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._injector = fault_injector
         self._request_index = 0
+        self._last_fault_index = -1
         self._utilities: Dict[Tuple[str, float], Scenario] = {}
 
     @property
@@ -128,6 +129,7 @@ class QueryEngine:
         """
         index = self._request_index
         self._request_index += 1
+        self._last_fault_index = index
         if self._injector is None:
             return 0.0
         fail, delay = self._injector.request_fault(index)
@@ -136,6 +138,18 @@ class QueryEngine:
                 f"injected fault on request #{index}"
             )
         return delay
+
+    def corrupt_reply(self) -> bool:
+        """Whether the reply to the last :meth:`check_fault` request is garbled.
+
+        Consulted by the HTTP server *after* the handler ran, so the
+        corruption models a reply mangled in flight (the engine's own
+        result stays correct); keyed to the same request index as
+        :meth:`check_fault`, so a replayed request replays its fate.
+        """
+        if self._injector is None or self._last_fault_index < 0:
+            return False
+        return self._injector.request_corrupt(self._last_fault_index)
 
     # ------------------------------------------------------------------
     # dispatch

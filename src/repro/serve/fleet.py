@@ -1,0 +1,1009 @@
+"""Fault-tolerant serving fleet: one front, N supervised workers.
+
+One :class:`PlacementFleet` runs a routing front (same hand-rolled
+asyncio HTTP stack as :mod:`repro.serve.server`) over ``N`` worker
+replicas, each an independent :class:`~repro.serve.server.PlacementServer`
+serving the *same* content-addressed artifact.  Requests are routed by
+the artifact's scenario digest: the fleet is one shard of the GreeDi-style
+partition topology, and every worker reply must carry the shard's digest
+— a mismatched digest is treated as a corrupt reply, never returned to
+the caller.
+
+The fleet stays alive under injected failure through four mechanisms:
+
+* **worker lifecycle** — the supervisor heartbeats every worker's
+  ``/healthz`` on the injectable :class:`~repro.obs.clock.Clock`;
+  ``max_missed`` consecutive missed probes (crash *or* stall — a wedged
+  event loop misses probes exactly like a dead process) mark the worker
+  down and schedule a respawn with exponential backoff and seeded
+  jitter.  A per-worker circuit breaker counts respawns inside a sliding
+  window and **ejects** a flapping worker instead of respawning it
+  forever.
+* **request resilience** — the front forwards its remaining deadline
+  budget via ``X-Rapflow-Deadline`` (a worker never works longer than
+  the front will wait), retries idempotent kinds (``evaluate`` /
+  ``top_gains``) on other replicas with backoff + jitter, and can hedge:
+  after a p95-based delay a second copy of the request races on another
+  replica and the first reply wins.
+* **graceful degradation** — every good idempotent reply feeds a bounded
+  front-side LRU; when no replica can answer, the front replays the
+  cached reply marked ``"degraded": true`` instead of failing, and only
+  answers 503 when it has nothing cached.
+* **tiered load shedding** — admission is budgeted per request kind (see
+  :data:`SHED_TIERS`), so under overload cheap ``evaluate`` queries
+  survive longer than expensive ``place`` runs; shedding state is
+  exported as obs gauges and in the front's ``/healthz``.
+
+Workers come in two interchangeable shapes: :class:`LocalWorker` (an
+in-process :class:`~repro.serve.testing.ServerThread` — deterministic
+and fast, used by tests and the chaos harness, with ``kill`` / stall
+hooks) and :class:`ProcessWorker` (a real ``python -m repro serve``
+subprocess sharing the artifact cache directory, used by
+``rapflow serve --workers N``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import subprocess
+import sys
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .. import obs
+from ..errors import ServeRequestError, ServeWorkerError
+from ..obs.clock import Clock, SystemClock
+from .server import (
+    DEADLINE_HEADER,
+    read_http_request,
+    write_json_response,
+)
+from .testing import ServerThread
+
+#: Request kinds safe to retry/hedge: re-executing them cannot change
+#: state anywhere (evaluate and top_gains are pure reads; place is too,
+#: but an expensive one — re-running it under overload amplifies load).
+IDEMPOTENT_KINDS = frozenset({"evaluate", "top_gains"})
+
+#: Tiered admission budgets, as fractions of the front's
+#: ``max_inflight``: under overload the cheap read path keeps its full
+#: budget while expensive optimization runs are shed first — the same
+#: cost-aware prioritization the companion scheduling formulation's
+#: admission policy (Algorithm 5, *Scheduling Advertisement Delivery in
+#: Vehicular Networks*) applies to delivery slots.
+SHED_TIERS: Dict[str, float] = {
+    "evaluate": 1.0,
+    "what_if": 0.5,
+    "top_gains": 0.5,
+    "place": 0.25,
+}
+
+#: Latency samples retained per worker (p95/p99 estimation).
+_LATENCY_WINDOW = 256
+
+
+@dataclass
+class RetryPolicy:
+    """Front-side retry/hedging knobs for idempotent requests.
+
+    ``retries`` counts *extra* attempts across replicas; ``backoff`` /
+    ``backoff_cap`` shape the exponential sleep between attempts,
+    ``jitter`` the randomized fraction of it (seeded at the fleet
+    level).  ``hedge=True`` races a second replica after
+    ``hedge_delay`` seconds — or, once enough samples exist, after the
+    observed p95 fleet latency — and takes whichever reply lands first.
+    """
+
+    retries: int = 2
+    backoff: float = 0.02
+    backoff_cap: float = 0.5
+    jitter: float = 0.5
+    hedge: bool = False
+    hedge_delay: float = 0.05
+
+    def validate(self) -> None:
+        if self.retries < 0:
+            raise ServeRequestError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ServeRequestError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+
+@dataclass
+class FleetConfig:
+    """Supervision and admission knobs for one :class:`PlacementFleet`."""
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 64
+    timeout: float = 30.0
+    heartbeat_interval: float = 0.1
+    heartbeat_timeout: float = 0.5
+    max_missed: int = 2
+    respawn_backoff: float = 0.05
+    respawn_backoff_cap: float = 2.0
+    breaker_threshold: int = 5
+    breaker_window: float = 30.0
+    degraded_cache_size: int = 256
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise ServeRequestError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.max_inflight < 1:
+            raise ServeRequestError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ServeRequestError("heartbeat knobs must be > 0")
+        if self.max_missed < 1:
+            raise ServeRequestError(
+                f"max_missed must be >= 1, got {self.max_missed}"
+            )
+        if self.breaker_threshold < 1:
+            raise ServeRequestError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        self.retry.validate()
+
+
+# ----------------------------------------------------------------------
+# workers
+# ----------------------------------------------------------------------
+class LocalWorker:
+    """In-process worker: a :class:`ServerThread` behind the interface.
+
+    ``engine_factory`` builds a fresh engine per (re)spawn, so a
+    respawned worker starts from clean state the way a restarted process
+    would.  Chaos hooks (:meth:`kill`, :meth:`inject_stall`) pass
+    through to the thread harness.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        engine_factory: Callable[[], object],
+        **server_kwargs: object,
+    ) -> None:
+        self.worker_id = worker_id
+        self._engine_factory = engine_factory
+        self._server_kwargs = server_kwargs
+        self._handle: Optional[ServerThread] = None
+
+    def start(self) -> None:
+        """Spawn the server thread (blocking until the port is bound)."""
+        engine = self._engine_factory()
+        self._handle = ServerThread(engine, **self._server_kwargs)
+        self._handle.__enter__()
+
+    def stop(self) -> None:
+        """Graceful stop (drain, then join)."""
+        if self._handle is not None:
+            self._handle.stop()
+            self._handle = None
+
+    def kill(self) -> None:
+        """Abrupt stop — the in-process ``SIGKILL`` analogue."""
+        if self._handle is not None:
+            self._handle.kill()
+            self._handle = None
+
+    def inject_stall(self, seconds: float) -> None:
+        """Wedge the worker's event loop for ``seconds`` (chaos hook)."""
+        if self._handle is None:
+            raise ServeWorkerError(
+                f"worker {self.worker_id} is not running"
+            )
+        self._handle.inject_stall(seconds)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` of the running worker."""
+        if self._handle is None:
+            raise ServeWorkerError(
+                f"worker {self.worker_id} is not running"
+            )
+        return self._handle.server.host, self._handle.port
+
+
+class ProcessWorker:
+    """Subprocess worker: ``python -m repro serve`` on an ephemeral port.
+
+    The child announces its bound address through ``--ready-file``; the
+    parent pre-compiles the artifact into the shared ``--cache-dir``
+    before spawning, so every child disk-loads the same digest instead
+    of recompiling.  The waiting loop uses an injectable sleeper and the
+    injected clock (RAP002: the serve layer never calls the wall clock
+    directly).
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        serve_args: Sequence[str],
+        ready_dir: Union[str, Path],
+        start_timeout: float = 60.0,
+        clock: Optional[Clock] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self._serve_args = list(serve_args)
+        self._ready_dir = Path(ready_dir)
+        self._start_timeout = start_timeout
+        self._clock: Clock = clock if clock is not None else SystemClock()
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._process: Optional[subprocess.Popen] = None
+        self._address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> None:
+        """Spawn the subprocess and wait for its ready file."""
+        ready = self._ready_dir / f"{self.worker_id}.ready"
+        if ready.exists():
+            ready.unlink()
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            *self._serve_args,
+            "--port",
+            "0",
+            "--ready-file",
+            str(ready),
+        ]
+        self._process = subprocess.Popen(
+            argv,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = self._clock.now() + self._start_timeout
+        while True:
+            if ready.exists():
+                text = ready.read_text().strip()
+                if text:
+                    host, port = text.split()
+                    self._address = (host, int(port))
+                    return
+            if self._process.poll() is not None:
+                raise ServeWorkerError(
+                    f"worker {self.worker_id} exited with code "
+                    f"{self._process.returncode} before binding"
+                )
+            if self._clock.now() > deadline:
+                self._process.kill()
+                raise ServeWorkerError(
+                    f"worker {self.worker_id} did not become ready within "
+                    f"{self._start_timeout:g}s"
+                )
+            self._sleep(0.02)
+
+    def stop(self) -> None:
+        """Graceful stop: SIGTERM (the server drains), then wait."""
+        if self._process is None:
+            return
+        self._process.terminate()
+        try:
+            self._process.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            self._process.kill()
+            self._process.wait()
+        self._process = None
+
+    def kill(self) -> None:
+        """SIGKILL — no drain."""
+        if self._process is None:
+            return
+        self._process.kill()
+        self._process.wait()
+        self._process = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` announced through the ready file."""
+        if self._address is None:
+            raise ServeWorkerError(
+                f"worker {self.worker_id} is not running"
+            )
+        return self._address
+
+
+class _WorkerSlot:
+    """Supervisor bookkeeping for one worker replica."""
+
+    def __init__(self, index: int, worker: object) -> None:
+        self.index = index
+        self.worker = worker
+        self.state = "starting"  # starting | up | down | respawning | ejected
+        self.missed = 0
+        self.respawns = 0
+        self.respawn_times: Deque[float] = deque()
+        self.backoff_attempt = 0
+        self.latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self.inflight = 0
+
+    @property
+    def worker_id(self) -> str:
+        return getattr(self.worker, "worker_id", f"w{self.index}")
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Latency percentile over the recent window (None = no data)."""
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.worker_id,
+            "state": self.state,
+            "missed": self.missed,
+            "respawns": self.respawns,
+            "inflight": self.inflight,
+            "latency_samples": len(self.latencies),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+# ----------------------------------------------------------------------
+# the fleet
+# ----------------------------------------------------------------------
+class PlacementFleet:
+    """Routing front + supervisor over N worker replicas of one shard.
+
+    Parameters
+    ----------
+    worker_factory:
+        ``worker_factory(index) -> worker`` builds the replica for slot
+        ``index``; it is called again on every respawn, so each respawn
+        is a genuinely fresh worker.
+    digest:
+        The shard's scenario digest.  Every worker reply must echo it;
+        replies that do not are dropped as corrupt and retried.
+    config:
+        Supervision/admission knobs (:class:`FleetConfig`).
+    clock:
+        Injected time source for heartbeat deadlines and latency
+        accounting (RAP002).
+    """
+
+    def __init__(
+        self,
+        worker_factory: Callable[[int], object],
+        digest: str,
+        config: Optional[FleetConfig] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self._factory = worker_factory
+        self._digest = digest
+        self._config = config if config is not None else FleetConfig()
+        self._config.validate()
+        self._clock: Clock = clock if clock is not None else SystemClock()
+        self._rng = random.Random(self._config.seed)
+        self._slots: List[_WorkerSlot] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._supervisor: Optional["asyncio.Task[None]"] = None
+        self._respawn_tasks: List["asyncio.Task[None]"] = []
+        self._draining = False
+        self._inflight = 0
+        self._next_slot = 0
+        self._degraded_cache: "OrderedDict[str, Dict[str, object]]" = (
+            OrderedDict()
+        )
+        self.shed: Dict[str, int] = {kind: 0 for kind in SHED_TIERS}
+        self.served = 0
+        self.retries = 0
+        self.hedges = 0
+        self.degraded = 0
+        self.corrupt_detected = 0
+        self.rejected = 0
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def digest(self) -> str:
+        """The scenario digest this fleet serves."""
+        return self._digest
+
+    @property
+    def config(self) -> FleetConfig:
+        """The fleet's configuration."""
+        return self._config
+
+    @property
+    def port(self) -> int:
+        """The front's bound port (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServeRequestError("fleet front is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def host(self) -> str:
+        """The front's bind host."""
+        return self._config.host
+
+    async def start(self) -> None:
+        """Spawn every worker, bind the front, start the supervisor."""
+        loop = asyncio.get_running_loop()
+        spawns = []
+        for index in range(self._config.workers):
+            slot = _WorkerSlot(index, self._factory(index))
+            self._slots.append(slot)
+            spawns.append(loop.run_in_executor(None, slot.worker.start))
+        results = await asyncio.gather(*spawns, return_exceptions=True)
+        for slot, result in zip(self._slots, results):
+            if isinstance(result, BaseException):
+                slot.state = "down"
+                obs.count("fleet.spawn_failures")
+            else:
+                slot.state = "up"
+        if not any(slot.state == "up" for slot in self._slots):
+            raise ServeWorkerError("no worker came up at fleet start")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._config.host, self._config.port
+        )
+        self._supervisor = loop.create_task(self._supervise())
+
+    async def shutdown(self) -> None:
+        """Stop the supervisor, close the front, stop every worker."""
+        self._draining = True
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                pass
+        for task in self._respawn_tasks:
+            task.cancel()
+        if self._respawn_tasks:
+            await asyncio.gather(*self._respawn_tasks, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        stops = [
+            loop.run_in_executor(None, slot.worker.stop)
+            for slot in self._slots
+            if slot.state in ("up", "starting")
+        ]
+        if stops:
+            await asyncio.gather(*stops, return_exceptions=True)
+
+    def worker_handle(self, index: int) -> object:
+        """The live worker in slot ``index`` (chaos-harness hook).
+
+        Respawns replace the slot's worker object, so callers must not
+        cache the handle across failures.
+        """
+        return self._slots[index].worker
+
+    # -- supervision ----------------------------------------------------
+    async def _supervise(self) -> None:
+        while True:
+            await asyncio.sleep(self._config.heartbeat_interval)
+            probes = [
+                self._probe(slot)
+                for slot in self._slots
+                if slot.state == "up"
+            ]
+            if probes:
+                await asyncio.gather(*probes, return_exceptions=True)
+
+    async def _probe(self, slot: _WorkerSlot) -> None:
+        try:
+            host, port = slot.worker.address
+            status, payload = await asyncio.wait_for(
+                _http_exchange(host, port, "GET", "/healthz", None, {}),
+                self._config.heartbeat_timeout,
+            )
+            healthy = status == 200 and payload.get("digest") == self._digest
+        except (OSError, asyncio.TimeoutError, ServeWorkerError, ValueError):
+            healthy = False
+        if healthy:
+            slot.missed = 0
+            return
+        slot.missed += 1
+        obs.count("fleet.probe_misses")
+        if slot.missed >= self._config.max_missed and slot.state == "up":
+            self._declare_down(slot)
+
+    def _declare_down(self, slot: _WorkerSlot) -> None:
+        slot.state = "down"
+        obs.count("fleet.workers_down")
+        now = self._clock.now()
+        window_start = now - self._config.breaker_window
+        while slot.respawn_times and slot.respawn_times[0] < window_start:
+            slot.respawn_times.popleft()
+        if len(slot.respawn_times) >= self._config.breaker_threshold:
+            # Circuit breaker: this worker keeps dying faster than the
+            # window allows — stop feeding it respawns.
+            slot.state = "ejected"
+            obs.count("fleet.workers_ejected")
+            return
+        slot.state = "respawning"
+        task = asyncio.get_running_loop().create_task(self._respawn(slot))
+        self._respawn_tasks.append(task)
+        self._respawn_tasks = [
+            pending for pending in self._respawn_tasks if not pending.done()
+        ]
+
+    async def _respawn(self, slot: _WorkerSlot) -> None:
+        delay = min(
+            self._config.respawn_backoff_cap,
+            self._config.respawn_backoff * (2.0 ** slot.backoff_attempt),
+        )
+        delay *= 0.5 + 0.5 * self._rng.random()  # seeded de-sync jitter
+        slot.backoff_attempt += 1
+        await asyncio.sleep(delay)
+        loop = asyncio.get_running_loop()
+        # Reap whatever is left of the old worker before starting anew.
+        await loop.run_in_executor(None, slot.worker.kill)
+        slot.worker = self._factory(slot.index)
+        try:
+            await loop.run_in_executor(None, slot.worker.start)
+        except Exception:  # rapflow: noqa[RAP003] any spawn failure re-enters the down path for another backoff round
+            obs.count("fleet.spawn_failures")
+            slot.missed = 0
+            if not self._draining:
+                self._declare_down(slot)
+            return
+        slot.state = "up"
+        slot.missed = 0
+        slot.backoff_attempt = 0
+        slot.respawns += 1
+        slot.respawn_times.append(self._clock.now())
+        obs.count("fleet.respawns")
+
+    # -- front HTTP -----------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                parsed = await read_http_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body, keep_alive = parsed
+                status, payload = await self._dispatch(method, path, body)
+                extra = None
+                if status in (429, 503):
+                    extra = {"Retry-After": "0.05"}
+                await write_json_response(
+                    writer, status, payload, keep_alive, extra
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, self.healthz()
+        if path != "/query":
+            return 404, {"error": f"unknown path {path!r}"}
+        if method != "POST":
+            return 405, {"error": "query is POST-only"}
+        if self._draining:
+            self.rejected += 1
+            return 503, {"error": "fleet is draining", "retryable": True}
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"request body is not valid JSON: {error}"}
+        if not isinstance(request, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        kind = str(request.get("kind", ""))
+        shed = self._admit(kind)
+        if shed is not None:
+            return shed
+        self._inflight += 1
+        try:
+            return await self._answer(kind, request, body)
+        finally:
+            self._inflight -= 1
+
+    def _admit(
+        self, kind: str
+    ) -> Optional[Tuple[int, Dict[str, object]]]:
+        """Tiered admission: expensive kinds are shed first under load."""
+        tier = SHED_TIERS.get(kind, min(SHED_TIERS.values()))
+        budget = max(1, int(self._config.max_inflight * tier))
+        if self._inflight < budget:
+            return None
+        self.shed[kind] = self.shed.get(kind, 0) + 1
+        self.rejected += 1
+        obs.count(f"fleet.shed.{kind or 'unknown'}")
+        obs.gauge("fleet.inflight", self._inflight)
+        return 429, {
+            "error": (
+                f"fleet over the {kind or 'unknown'!s} admission budget "
+                f"({budget} of {self._config.max_inflight} slots)"
+            ),
+            "retryable": True,
+        }
+
+    # -- request resilience ---------------------------------------------
+    async def _answer(
+        self, kind: str, request: Dict[str, object], body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        idempotent = kind in IDEMPOTENT_KINDS
+        attempts = self._config.retry.retries + 1 if idempotent else 1
+        deadline_at = self._clock.now() + self._config.timeout
+        cache_key = json.dumps(request, sort_keys=True) if idempotent else ""
+        tried: List[int] = []
+        for attempt in range(attempts):
+            slot = self._pick_worker(tried)
+            if slot is None:
+                break
+            tried.append(slot.index)
+            budget = deadline_at - self._clock.now()
+            if budget <= 0:
+                break
+            responder = slot
+            try:
+                if self._config.retry.hedge and idempotent:
+                    status, payload, responder = await self._forward_hedged(
+                        slot, tried, body, budget
+                    )
+                else:
+                    status, payload = await self._forward(slot, body, budget)
+            except (OSError, asyncio.TimeoutError, ServeWorkerError):
+                obs.count("fleet.forward_errors")
+                status, payload = 502, {
+                    "error": "worker unreachable",
+                    "retryable": True,
+                }
+            if status == 200:
+                if payload.get("digest") != self._digest:
+                    # Corrupt reply: wrong shard or garbled bytes —
+                    # never surface it; treat as a retryable failure.
+                    self.corrupt_detected += 1
+                    obs.count("fleet.replies.corrupt_detected")
+                else:
+                    self.served += 1
+                    payload["served_by"] = responder.worker_id
+                    if idempotent:
+                        self._remember(cache_key, payload)
+                    return 200, payload
+            elif status not in (429, 502, 503, 504):
+                # Deterministic worker answer (400, 500 with the engine's
+                # error text): retrying cannot change it — pass through.
+                return status, payload
+            if attempt + 1 < attempts:
+                self.retries += 1
+                obs.count("fleet.retries")
+                await asyncio.sleep(self._retry_delay(attempt))
+        return self._degrade(kind, cache_key)
+
+    def _pick_worker(self, tried: Sequence[int]) -> Optional[_WorkerSlot]:
+        """Round-robin over live workers, skipping already-tried ones."""
+        alive = [slot for slot in self._slots if slot.state == "up"]
+        if not alive:
+            return None
+        fresh = [slot for slot in alive if slot.index not in tried]
+        pool = fresh or alive
+        choice = pool[self._next_slot % len(pool)]
+        self._next_slot += 1
+        return choice
+
+    def _retry_delay(self, attempt: int) -> float:
+        policy = self._config.retry
+        delay = min(policy.backoff_cap, policy.backoff * (2.0 ** attempt))
+        if policy.jitter:
+            delay *= (1.0 - policy.jitter) + policy.jitter * self._rng.random()
+        return delay
+
+    def _hedge_delay(self) -> float:
+        """p95 of recent fleet latency, or the configured floor."""
+        samples: List[float] = []
+        for slot in self._slots:
+            samples.extend(slot.latencies)
+        if len(samples) < 8:
+            return self._config.retry.hedge_delay
+        samples.sort()
+        return samples[min(len(samples) - 1, int(0.95 * len(samples)))]
+
+    async def _forward(
+        self, slot: _WorkerSlot, body: bytes, budget: float
+    ) -> Tuple[int, Dict[str, object]]:
+        host, port = slot.worker.address
+        headers = {DEADLINE_HEADER: f"{budget:g}"}
+        slot.inflight += 1
+        t_start = self._clock.now()
+        try:
+            status, payload = await asyncio.wait_for(
+                _http_exchange(host, port, "POST", "/query", body, headers),
+                budget,
+            )
+        finally:
+            slot.inflight -= 1
+        slot.latencies.append(self._clock.now() - t_start)
+        return status, payload
+
+    async def _forward_hedged(
+        self,
+        slot: _WorkerSlot,
+        tried: List[int],
+        body: bytes,
+        budget: float,
+    ) -> Tuple[int, Dict[str, object], "_WorkerSlot"]:
+        """Race a second replica after the hedge delay; first reply wins.
+
+        Returns the winning reply *and the slot that produced it*, so the
+        caller attributes ``served_by`` to the replica that actually
+        answered, not the primary pick.
+        """
+        loop = asyncio.get_running_loop()
+        primary = loop.create_task(self._forward(slot, body, budget))
+        owners = {primary: slot}
+        done, _ = await asyncio.wait({primary}, timeout=self._hedge_delay())
+        if primary in done:
+            status, payload = primary.result()
+            return status, payload, slot
+        backup_slot = self._pick_worker(tried)
+        if backup_slot is None:
+            status, payload = await primary
+            return status, payload, slot
+        tried.append(backup_slot.index)
+        self.hedges += 1
+        obs.count("fleet.hedges")
+        backup = loop.create_task(self._forward(backup_slot, body, budget))
+        owners[backup] = backup_slot
+        pending = {primary, backup}
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.exception() is None:
+                        status, payload = task.result()
+                        return status, payload, owners[task]
+            # Both raised: re-raise one for the caller's handler.
+            status, payload = await primary
+            return status, payload, slot
+        finally:
+            for task in pending:
+                task.cancel()
+
+    def _remember(self, key: str, payload: Dict[str, object]) -> None:
+        if self._config.degraded_cache_size <= 0 or payload.get("degraded"):
+            return
+        cached = {
+            name: value
+            for name, value in payload.items()
+            if name != "served_by"
+        }
+        self._degraded_cache[key] = cached
+        self._degraded_cache.move_to_end(key)
+        while len(self._degraded_cache) > self._config.degraded_cache_size:
+            self._degraded_cache.popitem(last=False)
+
+    def _degrade(
+        self, kind: str, cache_key: str
+    ) -> Tuple[int, Dict[str, object]]:
+        """Last resort: replay a cached reply marked degraded, or 503."""
+        cached = self._degraded_cache.get(cache_key) if cache_key else None
+        if cached is not None:
+            self.degraded += 1
+            obs.count("fleet.degraded")
+            stale = dict(cached)
+            stale["degraded"] = True
+            return 200, stale
+        self.rejected += 1
+        obs.count("fleet.unavailable")
+        return 503, {
+            "error": f"no worker available for {kind or 'unknown'!s} "
+            "and nothing cached",
+            "retryable": True,
+        }
+
+    # -- health ---------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        """The fleet health document (also ``GET /healthz``)."""
+        tiers = {}
+        for kind, tier in SHED_TIERS.items():
+            budget = max(1, int(self._config.max_inflight * tier))
+            tiers[kind] = {"budget": budget, "shed": self.shed.get(kind, 0)}
+            obs.gauge(f"fleet.tier.{kind}.shed", self.shed.get(kind, 0))
+        for slot in self._slots:
+            obs.gauge(f"fleet.worker.{slot.worker_id}.state", slot.state)
+            obs.gauge(
+                f"fleet.worker.{slot.worker_id}.inflight", slot.inflight
+            )
+        return {
+            "status": "draining" if self._draining else "ok",
+            "digest": self._digest,
+            "workers": [slot.to_dict() for slot in self._slots],
+            "admission": {
+                "inflight": self._inflight,
+                "max_inflight": self._config.max_inflight,
+                "tiers": tiers,
+            },
+            "requests": {
+                "served": self.served,
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "degraded": self.degraded,
+                "corrupt_detected": self.corrupt_detected,
+                "rejected": self.rejected,
+            },
+            "respawns": sum(slot.respawns for slot in self._slots),
+        }
+
+
+# ----------------------------------------------------------------------
+# raw async HTTP exchange (front -> worker)
+# ----------------------------------------------------------------------
+async def _http_exchange(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[bytes],
+    headers: Dict[str, str],
+) -> Tuple[int, Dict[str, object]]:
+    """One HTTP request/response against a worker; returns (status, JSON)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}"]
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        payload = body or b""
+        if payload:
+            lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(payload)}")
+        lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServeWorkerError(
+                f"malformed status line from {host}:{port}: {status_line!r}"
+            )
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip() or "0")
+        raw = await reader.readexactly(length) if length else b""
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeWorkerError(
+                f"invalid JSON from {host}:{port}: {error}"
+            ) from None
+        if not isinstance(decoded, dict):
+            raise ServeWorkerError(
+                f"non-object payload from {host}:{port}: {decoded!r}"
+            )
+        return status, decoded
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# convenience constructors + blocking runner
+# ----------------------------------------------------------------------
+def local_worker_factory(
+    engine_factory: Callable[[], object],
+    **server_kwargs: object,
+) -> Callable[[int], LocalWorker]:
+    """A :class:`PlacementFleet` factory producing in-process workers."""
+
+    def factory(index: int) -> LocalWorker:
+        return LocalWorker(f"w{index}", engine_factory, **server_kwargs)
+
+    return factory
+
+
+def process_worker_factory(
+    serve_args: Sequence[str],
+    ready_dir: Union[str, Path],
+    start_timeout: float = 60.0,
+    clock: Optional[Clock] = None,
+) -> Callable[[int], ProcessWorker]:
+    """A factory producing ``python -m repro serve`` subprocess workers."""
+
+    frozen = list(serve_args)
+
+    def factory(index: int) -> ProcessWorker:
+        return ProcessWorker(
+            f"w{index}",
+            frozen,
+            ready_dir,
+            start_timeout=start_timeout,
+            clock=clock,
+        )
+
+    return factory
+
+
+async def run_fleet(
+    fleet: PlacementFleet,
+    ready_file: Optional[Union[str, Path]] = None,
+    serve_seconds: Optional[float] = None,
+) -> None:
+    """Start ``fleet``, announce readiness, run until signalled, drain.
+
+    The fleet analogue of :func:`repro.serve.server.run_server`: SIGTERM
+    and SIGINT both trigger the same graceful shutdown (front stops
+    accepting, workers drain); ``serve_seconds`` bounds scripted runs.
+    """
+    import signal
+
+    await fleet.start()
+    if ready_file is not None:
+        Path(ready_file).write_text(f"{fleet.host} {fleet.port}\n")
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    try:
+        if serve_seconds is not None:
+            try:
+                await asyncio.wait_for(stop.wait(), serve_seconds)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await stop.wait()
+    finally:
+        await fleet.shutdown()
+
+
+__all__ = [
+    "FleetConfig",
+    "IDEMPOTENT_KINDS",
+    "LocalWorker",
+    "PlacementFleet",
+    "ProcessWorker",
+    "RetryPolicy",
+    "SHED_TIERS",
+    "local_worker_factory",
+    "process_worker_factory",
+    "run_fleet",
+]

@@ -19,10 +19,14 @@ Operational behavior:
 
 * **admission control** — at most ``max_inflight`` requests in flight;
   excess requests are rejected *immediately* with HTTP 429
-  (:class:`~repro.errors.ServeOverloadError`), never queued blindly, so
-  an overloaded server degrades by shedding load instead of by hanging.
+  (:class:`~repro.errors.ServeOverloadError`) carrying a ``Retry-After``
+  hint, never queued blindly, so an overloaded server degrades by
+  shedding load instead of by hanging.
 * **per-request deadline** — ``timeout`` seconds via
-  ``asyncio.wait_for``; expiry answers 504.
+  ``asyncio.wait_for``; expiry answers 504.  A fleet front can tighten
+  one request's deadline below the server default with an
+  ``X-Rapflow-Deadline: <seconds>`` header (deadline propagation —
+  a worker never works longer than its caller is willing to wait).
 * **graceful shutdown** — :meth:`PlacementServer.shutdown` stops
   accepting, answers new requests 503 while draining, flushes the
   batcher, and waits for in-flight requests to finish.
@@ -64,9 +68,113 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+#: Header a routing front uses to tighten a worker's per-request
+#: deadline (float seconds of budget remaining at the front).
+DEADLINE_HEADER = "x-rapflow-deadline"
+
+#: Sentinel method marking an unreadably large request body.
+_TOO_LARGE = "__TOO_LARGE__"
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes, bool]]:
+    """Read one HTTP/1.1 request off ``reader``.
+
+    Returns ``(method, path, headers, body, keep_alive)`` with header
+    names lowercased, or ``None`` on EOF/garbage (caller drops the
+    connection).  Oversized bodies come back with method
+    ``"__TOO_LARGE__"`` and the body unread, so the connection cannot be
+    reused.  Shared by :class:`PlacementServer` and the fleet front —
+    one framing implementation, one set of framing bugs.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        return None
+    method, path, _ = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY:
+        # The body is unread, so the connection cannot be reused.
+        return _TOO_LARGE, path, headers, b"", False
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = headers.get("connection", "").lower() != "close"
+    return method, path, headers, body, keep_alive
+
+
+async def write_json_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Dict[str, object],
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Serialize and send one JSON response over ``writer``."""
+    body = json.dumps(payload).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+def effective_deadline(headers: Dict[str, str], default: float) -> float:
+    """The per-request deadline: header-propagated budget, capped at ``default``.
+
+    A malformed or non-positive header value falls back to the server
+    default rather than erroring — deadline propagation is an
+    optimization, not a correctness gate.
+    """
+    raw = headers.get(DEADLINE_HEADER)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    if value <= 0:
+        return default
+    return min(default, value)
+
+
+def _garbled(response: Dict[str, object]) -> Dict[str, object]:
+    """A corrupted copy of ``response`` (injected corrupt-reply fault).
+
+    The digest is mangled — the exact field a fleet front's integrity
+    check verifies against the shard's content address — and numeric
+    result fields are perturbed so an unchecked consumer would read
+    wrong numbers, not subtly-right ones.
+    """
+    corrupted: Dict[str, object] = dict(response)
+    corrupted["digest"] = "corrupt-" + str(response.get("digest", ""))[:8]
+    totals = corrupted.get("totals")
+    if isinstance(totals, list):
+        corrupted["totals"] = [float(total) + 1.0 for total in totals]
+    obs.count("serve.replies.corrupted")
+    return corrupted
 
 
 class PlacementServer:
@@ -91,6 +199,10 @@ class PlacementServer:
     clock:
         Injected time source for request timing (RAP002: the serve
         layer never reads the wall clock directly).
+    retry_after:
+        Seconds advertised in the ``Retry-After`` header of 429/503
+        responses, so well-behaved clients back off by the amount the
+        server actually wants.
     """
 
     def __init__(
@@ -104,6 +216,7 @@ class PlacementServer:
         max_batch: int = 256,
         latency_log: Optional[Union[str, Path]] = None,
         clock: Optional[Clock] = None,
+        retry_after: float = 0.05,
     ) -> None:
         if max_inflight < 1:
             raise ServeRequestError(
@@ -111,6 +224,10 @@ class PlacementServer:
             )
         if timeout <= 0:
             raise ServeRequestError(f"timeout must be > 0, got {timeout}")
+        if retry_after < 0:
+            raise ServeRequestError(
+                f"retry_after must be >= 0, got {retry_after}"
+            )
         self._engine = engine
         self._host = host
         self._requested_port = port
@@ -121,6 +238,7 @@ class PlacementServer:
         )
         self._latency_log = Path(latency_log) if latency_log else None
         self._clock: Clock = clock if clock is not None else SystemClock()
+        self._retry_after = retry_after
         self._server: Optional[asyncio.AbstractServer] = None
         self._inflight = 0
         self._draining = False
@@ -182,6 +300,17 @@ class PlacementServer:
         if self._server is not None:
             await self._server.wait_closed()
 
+    def abort(self) -> None:
+        """Abrupt stop (crash simulation): close the socket, drop work.
+
+        Unlike :meth:`shutdown` this neither flushes the batcher nor
+        waits for in-flight requests — the chaos harness uses it to make
+        a worker die the way a SIGKILL'd process dies.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+
     async def serve_forever(self) -> None:
         """Block until cancelled (pair with :meth:`start`)."""
         if self._server is None:
@@ -196,12 +325,19 @@ class PlacementServer:
     ) -> None:
         try:
             while True:
-                parsed = await self._read_request(reader)
+                parsed = await read_http_request(reader)
                 if parsed is None:
                     break
-                method, path, body, keep_alive = parsed
-                status, payload = await self._dispatch(method, path, body)
-                await self._respond(writer, status, payload, keep_alive)
+                method, path, headers, body, keep_alive = parsed
+                status, payload = await self._dispatch(
+                    method, path, headers, body
+                )
+                extra = None
+                if status in (429, 503):
+                    extra = {"Retry-After": f"{self._retry_after:g}"}
+                await write_json_response(
+                    writer, status, payload, keep_alive, extra
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -213,60 +349,14 @@ class PlacementServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes, bool]]:
-        try:
-            request_line = await reader.readline()
-        except (ConnectionError, OSError):
-            return None
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            return None
-        method, path, _ = parts
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > _MAX_BODY:
-            # The body is unread, so the connection cannot be reused.
-            return "__TOO_LARGE__", path, b"", False
-        body = await reader.readexactly(length) if length else b""
-        keep_alive = headers.get("connection", "").lower() != "close"
-        return method, path, body, keep_alive
-
-    async def _respond(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: Dict[str, object],
-        keep_alive: bool,
-    ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
-
     # ------------------------------------------------------------------
     # request dispatch
     # ------------------------------------------------------------------
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Dict[str, object]]:
         t_start = self._clock.now()
-        status, payload = await self._route(method, path, body)
+        status, payload = await self._route(method, path, headers, body)
         duration = self._clock.now() - t_start
         obs.record_span(
             "serve.request", duration, path=path, status=status
@@ -295,9 +385,9 @@ class PlacementServer:
             obs.count("serve.latency_log_errors")
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Dict[str, object]]:
-        if method == "__TOO_LARGE__":
+        if method == _TOO_LARGE:
             return 413, {"error": f"request body exceeds {_MAX_BODY} bytes"}
         if path == "/healthz":
             if method != "GET":
@@ -317,15 +407,16 @@ class PlacementServer:
                 f"admission queue full ({self._max_inflight} in flight)"
             )
             return 429, {"error": str(error), "retryable": True}
+        deadline = effective_deadline(headers, self._timeout)
         self._inflight += 1
         self._idle.clear()
         try:
             return await asyncio.wait_for(
-                self._answer_query(body), self._timeout
+                self._answer_query(body), deadline
             )
         except asyncio.TimeoutError:
             timeout_error = ServeTimeoutError(
-                f"request exceeded the {self._timeout:g}s deadline"
+                f"request exceeded the {deadline:g}s deadline"
             )
             return 504, {"error": str(timeout_error), "retryable": True}
         finally:
@@ -342,6 +433,7 @@ class PlacementServer:
             return 400, {"error": f"request body is not valid JSON: {error}"}
         try:
             delay = self._engine.check_fault()
+            corrupt = self._engine.corrupt_reply()
             if delay > 0:
                 await asyncio.sleep(delay)
             if request.get("kind") == "evaluate" and isinstance(
@@ -357,6 +449,8 @@ class PlacementServer:
             self.health.quarantine_row(0, type(error).__name__, str(error))
             return 500, {"error": str(error)}
         self.health.record_row()
+        if corrupt:
+            return 200, _garbled(response)
         return 200, response
 
     async def _batched_evaluate(
@@ -386,6 +480,10 @@ class PlacementServer:
             placements,
             utility=request.get("utility"),  # type: ignore[arg-type]
             backend=backend,  # type: ignore[arg-type]
+            # The admission counter is the concurrency signal the batcher
+            # itself cannot see (kernel calls are synchronous): exactly
+            # one request in flight means nobody could share the batch.
+            solo=self._inflight <= 1,
         )
         obs.count("serve.requests.evaluate")
         return {
@@ -446,4 +544,11 @@ async def run_server(
         await server.shutdown()
 
 
-__all__ = ["PlacementServer", "run_server"]
+__all__ = [
+    "DEADLINE_HEADER",
+    "PlacementServer",
+    "effective_deadline",
+    "read_http_request",
+    "run_server",
+    "write_json_response",
+]

@@ -98,6 +98,25 @@ class TestConfig:
         config = load_config(tmp_path / "nope.toml")
         assert config == LintConfig.default()
 
+    def test_repo_policy_covers_the_fleet_layer(self):
+        # The committed policy must keep the new resilience modules
+        # under RAP002 (they sit in serve/, the banned subtree) and
+        # whitelist the shedding tiers' companion-paper anchor.
+        repo_root = Path(__file__).resolve().parents[2]
+        config = load_config(repo_root / "pyproject.toml")
+        for module in ("serve/fleet.py", "serve/chaos.py"):
+            assert config.wall_clock_applies(
+                repo_root / "src" / "repro" / module
+            ), f"{module} escaped the RAP002 wall-clock ban"
+        assert "Algorithm 5" in config.extra_anchors
+        for module in ("serve/fleet.py", "serve/chaos.py"):
+            source = (
+                repo_root / "src" / "repro" / module
+            ).read_text()
+            assert lint_source(
+                source, Path("repro") / module, config
+            ) == []
+
 
 class TestEngine:
     def test_syntax_error_becomes_rap000(self):

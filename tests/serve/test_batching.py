@@ -48,6 +48,54 @@ class TestCoalescing:
         assert batcher.stats()["flushes"] == 1
         assert batcher.stats()["requests"] == 3
 
+    def test_solo_request_bypasses_the_window(self):
+        engine = RecordingEngine()
+        # A window longer than the test timeout: only the bypass path
+        # can complete this await.
+        batcher = MicroBatcher(engine, window=60.0)
+
+        async def scenario():
+            return await batcher.evaluate([("V3", "V5")], solo=True)
+
+        assert asyncio.run(scenario()) == [8.0]
+        assert len(engine.calls) == 1
+        stats = batcher.stats()
+        assert stats["bypassed"] == 1
+        assert stats["flushes"] == 0
+        assert stats["requests"] == 1
+        assert stats["placements"] == 1
+
+    def test_solo_hint_joins_an_open_batch_instead_of_bypassing(self):
+        # A stale solo hint must not reorder past a batch already
+        # holding requests: the bypass only fires when nothing is queued.
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=0.01)
+
+        async def scenario():
+            first = asyncio.ensure_future(batcher.evaluate([("V3",)]))
+            await asyncio.sleep(0)  # let the first request enqueue
+            second = await batcher.evaluate([("V5",)], solo=True)
+            return await first, second
+
+        assert asyncio.run(scenario()) == ([3.0], [5.0])
+        assert len(engine.calls) == 1
+        assert batcher.stats()["bypassed"] == 0
+        assert batcher.stats()["flushes"] == 1
+
+    def test_without_the_solo_hint_requests_still_batch(self):
+        engine = RecordingEngine()
+        batcher = MicroBatcher(engine, window=0.01)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.evaluate([("V3",)]),
+                batcher.evaluate([("V5",)]),
+            )
+
+        assert asyncio.run(scenario()) == [[3.0], [5.0]]
+        assert len(engine.calls) == 1
+        assert batcher.stats()["bypassed"] == 0
+
     def test_duplicates_collapse_to_one_kernel_row(self):
         engine = RecordingEngine()
         batcher = MicroBatcher(engine, window=0.01)

@@ -1,0 +1,164 @@
+"""Client retry behavior: schedules, Retry-After, fail-fast statuses.
+
+Retry is opt-in (``retries=0`` fails fast), the sleeper is injected so
+tests assert the exact backoff schedule without waiting for it, and a
+scripted stdlib HTTP stub plays the server so each test controls the
+status sequence precisely.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import ServeClientError, ServeRequestError
+from repro.serve import ServeClient
+
+
+class _ScriptedServer:
+    """Serve a fixed sequence of (status, headers, payload) responses."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.hits = 0
+        lock = threading.Lock()
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def _respond(self):
+                with lock:
+                    step = min(outer.hits, len(outer.script) - 1)
+                    status, headers, payload = outer.script[step]
+                    outer.hits += 1
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.send_header("Content-Length", str(len(body)))
+                self.send_header("Content-Type", "application/json")
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_POST(self):
+                self.rfile.read(int(self.headers.get("Content-Length", 0)))
+                self._respond()
+
+            do_GET = _respond
+
+            def log_message(self, *args):
+                pass
+
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=10.0)
+
+
+def recording_client(port, sleeps, **kwargs):
+    kwargs.setdefault("retries", 2)
+    kwargs.setdefault("jitter", 0.0)
+    return ServeClient(
+        "127.0.0.1", port, timeout=5.0, sleep=sleeps.append, **kwargs
+    )
+
+
+class TestRetrySchedule:
+    def test_transport_errors_follow_exponential_backoff(self):
+        sleeps = []
+        # Nothing listens on the scripted server's port until entered:
+        # every attempt is a transport error.
+        stub = _ScriptedServer([(200, {}, {})])
+        client = recording_client(
+            stub.port, sleeps, retries=3, backoff=0.1, backoff_cap=10.0
+        )
+        with pytest.raises(ServeClientError) as info:
+            client.healthz()
+        assert info.value.status is None
+        assert sleeps == [0.1, 0.2, 0.4]
+
+    def test_backoff_is_capped(self):
+        sleeps = []
+        stub = _ScriptedServer([(200, {}, {})])
+        client = recording_client(
+            stub.port, sleeps, retries=4, backoff=0.1, backoff_cap=0.25
+        )
+        with pytest.raises(ServeClientError):
+            client.healthz()
+        assert sleeps == [0.1, 0.2, 0.25, 0.25]
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        first = ServeClient(retries=1, jitter=0.5, retry_seed=9)
+        second = ServeClient(retries=1, jitter=0.5, retry_seed=9)
+        assert first._retry_delay(0, None) == second._retry_delay(0, None)
+        full = ServeClient(jitter=0.0)._retry_delay(3, None)
+        jittered = ServeClient(jitter=0.5, retry_seed=9)._retry_delay(3, None)
+        assert 0.5 * full <= jittered <= full
+
+
+class TestRetryAfter:
+    def test_hint_is_honored_verbatim_then_succeeds(self):
+        script = [
+            (503, {"Retry-After": "0.07"}, {"error": "draining",
+                                            "retryable": True}),
+            (429, {"Retry-After": "0.3"}, {"error": "busy",
+                                           "retryable": True}),
+            (200, {}, {"totals": [21.0]}),
+        ]
+        with _ScriptedServer(script) as stub:
+            sleeps = []
+            client = recording_client(stub.port, sleeps, backoff=99.0)
+            assert client.evaluate([["V3", "V5"]]) == [21.0]
+            assert stub.hits == 3
+            # The server's hints, not the client's 99s backoff.
+            assert sleeps == [0.07, 0.3]
+
+    def test_malformed_hint_falls_back_to_backoff(self):
+        script = [
+            (429, {"Retry-After": "soon"}, {"error": "busy"}),
+            (200, {}, {"totals": [21.0]}),
+        ]
+        with _ScriptedServer(script) as stub:
+            sleeps = []
+            client = recording_client(stub.port, sleeps, backoff=0.05)
+            assert client.evaluate([["V3", "V5"]]) == [21.0]
+            assert sleeps == [0.05]
+
+
+class TestFailFast:
+    def test_retries_default_to_zero(self):
+        script = [(503, {}, {"error": "draining"}), (200, {}, {})]
+        with _ScriptedServer(script) as stub:
+            client = ServeClient("127.0.0.1", stub.port, timeout=5.0)
+            with pytest.raises(ServeClientError) as info:
+                client.healthz()
+            assert info.value.status == 503
+            assert stub.hits == 1
+
+    def test_deterministic_statuses_are_not_retried(self):
+        for status in (400, 404, 500, 504):
+            script = [(status, {}, {"error": "nope"}), (200, {}, {})]
+            with _ScriptedServer(script) as stub:
+                sleeps = []
+                client = recording_client(stub.port, sleeps, retries=5)
+                with pytest.raises(ServeClientError) as info:
+                    client.query({"kind": "evaluate", "placements": []})
+                assert info.value.status == status
+                assert sleeps == []
+                assert stub.hits == 1
+
+    def test_bad_retry_knobs_are_rejected(self):
+        with pytest.raises(ServeRequestError):
+            ServeClient(retries=-1)
+        with pytest.raises(ServeRequestError):
+            ServeClient(jitter=1.5)

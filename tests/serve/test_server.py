@@ -36,7 +36,11 @@ class TestBasics:
             assert health["status"] == "ok"
             assert health["digest"] == engine.artifact.digest
             assert health["pipeline"]["rows_read"] >= 1
-            assert health["batching"]["flushes"] >= 1
+            # A lone request bypasses the batch window instead of
+            # paying it; either path counts the request.
+            batching = health["batching"]
+            assert batching["flushes"] + batching["bypassed"] >= 1
+            assert batching["requests"] >= 1
 
     def test_unknown_path_is_404(self, engine):
         with ServerThread(engine) as handle:
@@ -123,6 +127,32 @@ class TestAdmissionControl:
                 handle.client(timeout=10.0).evaluate([["V3"]])
             assert info.value.status == 504
 
+    def test_deadline_header_caps_the_request_budget(self, artifact):
+        import http.client
+        import json
+
+        from repro.serve.server import DEADLINE_HEADER
+
+        # Server timeout is generous; the forwarded deadline is not.
+        engine = slow_engine(artifact, seconds=0.3)
+        with ServerThread(engine, timeout=30.0) as handle:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=10
+            )
+            connection.request(
+                "POST",
+                "/query",
+                body=json.dumps(
+                    {"kind": "evaluate", "placements": [["V3"]]}
+                ),
+                headers={DEADLINE_HEADER: "0.05"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            connection.close()
+            assert response.status == 504
+            assert payload["retryable"] is True
+
     def test_injected_faults_answer_500(self, artifact):
         injector = FaultInjector(
             FaultConfig(request_error_rate=1.0), seed=5
@@ -161,6 +191,83 @@ class TestGracefulShutdown:
         worker.join(timeout=15.0)
         assert not worker.is_alive()
         assert results == [[21.0]]
+
+    def test_drain_flushes_queued_batch_and_rejects_new_work(
+        self, artifact
+    ):
+        import asyncio
+        import http.client
+        import json
+
+        # The injected 0.3s delay holds all three requests in flight
+        # together, so when they reach the batcher none is solo and all
+        # sit in the (deliberately huge) 5s batch window.  The drain
+        # must flush that window instead of waiting it out.
+        engine = slow_engine(artifact, seconds=0.3)
+        server = PlacementServer(engine, batch_window=5.0)
+        results = []
+        lock = threading.Lock()
+
+        handle = ServerThread(server)
+        handle.__enter__()
+        try:
+            # Established keep-alive connection: drain closes the
+            # listening socket, so the 503 probe needs an open one.
+            probe = http.client.HTTPConnection(
+                "127.0.0.1", handle.port, timeout=10
+            )
+            probe.request("GET", "/healthz")
+            probe.getresponse().read()
+
+            barrier = threading.Barrier(3)
+
+            def fire():
+                client = handle.client(timeout=15.0)
+                barrier.wait()
+                outcome = client.evaluate([["V3", "V5"]])
+                with lock:
+                    results.append(outcome)
+
+            threads = [threading.Thread(target=fire) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.6)  # past the delay: all three queued in the window
+
+            t0 = time.monotonic()
+            future = asyncio.run_coroutine_threadsafe(
+                server.shutdown(drain_timeout=10.0), handle._loop
+            )
+            deadline = time.monotonic() + 5.0
+            while not server.draining and time.monotonic() < deadline:
+                time.sleep(0.01)
+
+            probe.request(
+                "POST",
+                "/query",
+                body=json.dumps(
+                    {"kind": "evaluate", "placements": [["V3"]]}
+                ),
+            )
+            response = probe.getresponse()
+            rejected = json.loads(response.read())
+            probe.close()
+            assert response.status == 503
+            assert rejected["retryable"] is True
+
+            future.result(timeout=12.0)
+            elapsed = time.monotonic() - t0
+            # Far below the 5s window: the drain flushed it early.
+            assert elapsed < 2.0, f"drain waited out the window ({elapsed:.2f}s)"
+
+            for thread in threads:
+                thread.join(timeout=15.0)
+                assert not thread.is_alive()
+            assert results == [[21.0], [21.0], [21.0]]
+            stats = server._batcher.stats()
+            assert stats["placements"] == 3
+            assert stats["bypassed"] == 0
+        finally:
+            handle.stop()
 
     def test_stopped_server_refuses_connections(self, engine):
         with ServerThread(engine) as handle:

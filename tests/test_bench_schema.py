@@ -59,9 +59,9 @@ class TestCoreSnapshot:
 class TestServeSnapshot:
     def test_stable_top_level_keys(self):
         snapshot = load(SERVE_SNAPSHOT)
-        for key in ("schema", "levels", "batching_speedup"):
+        for key in ("schema", "levels", "batching_speedup", "fleet"):
             assert key in snapshot, f"BENCH_serve.json lost key {key!r}"
-        assert snapshot["schema"] == "rapflow-bench-serve/1"
+        assert snapshot["schema"] == "rapflow-bench-serve/2"
 
     def test_levels_carry_throughput_and_tail_latency(self):
         snapshot = load(SERVE_SNAPSHOT)
@@ -85,3 +85,33 @@ class TestServeSnapshot:
             "micro-batching should win at concurrency >= 8; "
             f"snapshot says {speedup}"
         )
+
+    def test_batching_does_not_tax_the_solo_caller(self):
+        # The solo-bypass fix: a lone client must no longer pay the
+        # batch window (seed snapshot sat at 0.47x).  0.9 leaves margin
+        # for bench-machine noise around the 0.95 acceptance floor.
+        snapshot = load(SERVE_SNAPSHOT)
+        solo = snapshot["batching_speedup"].get("1")
+        assert solo is not None, "snapshot must include a c=1 level"
+        assert solo >= 0.9, (
+            f"solo requests pay the batch window again ({solo}x)"
+        )
+
+    def test_fleet_tier_covers_the_acceptance_shape(self):
+        snapshot = load(SERVE_SNAPSHOT)
+        fleet = snapshot["fleet"]
+        assert fleet["mode"] == "fleet"
+        assert fleet["workers"] >= 4
+        assert fleet["concurrency"] >= 64
+        assert fleet["errors"] == 0
+        for key in ("throughput_rps", "p50_ms", "p95_ms", "p99_ms",
+                    "retries", "shed_rate", "degraded_rate",
+                    "corrupt_detected"):
+            assert key in fleet, f"fleet record lost key {key!r}"
+        # The bench kills a worker mid-run: recovery must be recorded.
+        assert fleet["respawns"] >= 1
+        per_worker = fleet["per_worker"]
+        assert len(per_worker) == fleet["workers"]
+        for record in per_worker:
+            for key in ("id", "state", "respawns", "p95_ms", "p99_ms"):
+                assert key in record
