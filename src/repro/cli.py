@@ -28,8 +28,10 @@ Subcommands
 ``inject-faults``
     Corrupt a trace CSV with seeded, reproducible faults.
 ``lint``
-    Run the domain-aware static checks (RAP001..RAP005) over source
-    trees; exit 7 when findings exist.
+    Run the domain-aware static checks (RAP001..RAP010) over source
+    trees; exit 7 when findings exist.  ``--select`` accepts ranges
+    (``RAP006-RAP010``) and ``--format json`` emits a machine-readable
+    report for CI artifacts.
 ``profile``
     Run ``place`` / ``run-figure`` / ``sweep`` inside an observability
     context and print the span tree and counter table afterwards
@@ -334,7 +336,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint",
-        help="run the domain-aware static checks (RAP001..RAP005)",
+        help="run the domain-aware static checks (RAP001..RAP010)",
     )
     lint.add_argument(
         "paths", nargs="*", default=None,
@@ -343,7 +345,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--select", default=None,
-        help="comma-separated rule codes to run (default: all)",
+        help="comma-separated rule codes or ranges to run, e.g. "
+        "RAP003,RAP006-RAP010 (default: all)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format: human-readable text (default) or a JSON "
+        "document with per-code tallies",
     )
     lint.add_argument(
         "--pyproject", default=None,
@@ -672,6 +680,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         lint_paths,
         load_config,
         render_diagnostics,
+        render_json,
     )
 
     if args.list_rules:
@@ -689,7 +698,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
         config = config.with_select(codes)
     diagnostics = lint_paths(paths, config=config)
-    print(render_diagnostics(diagnostics))
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_diagnostics(diagnostics))
     return EXIT_LINT if diagnostics else 0
 
 

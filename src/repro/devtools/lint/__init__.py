@@ -1,6 +1,6 @@
 """``rapflow lint`` — domain-aware static checks for this repository.
 
-Five rules guard the invariants that generic linters cannot see:
+Ten rules guard the invariants that generic linters cannot see:
 
 ========  ==============================================================
 RAP001    no unseeded randomness (global ``random.*`` / legacy
@@ -13,19 +13,31 @@ RAP003    raises use the ``repro.errors`` taxonomy (or ``ValueError`` /
 RAP004    docstring paper citations (``Eq. 11``, ``Theorem 1``, ...)
           resolve against the checked-in anchor registry
 RAP005    ``__all__`` agrees with what each module defines/imports
+RAP006    no blocking calls (``time.sleep``, ``socket``, ``open``/file
+          I/O, ``subprocess``, kernel dispatch) inside ``async def``
+RAP007    ``create_task`` results are stored and coroutine calls
+          awaited; no fire-and-forget task references
+RAP008    no unlocked state written from both coroutine and thread
+          contexts
+RAP009    multi-type except handlers around awaits use the bound error;
+          ``gather(return_exceptions=True)`` results are inspected
+RAP010    no unordered ``set`` iteration in ``core``/``serve`` result
+          paths (``sorted()`` restores determinism)
 ========  ==============================================================
 
 Suppress a finding with ``# rapflow: noqa[RAP001] <why>`` on the line,
 configure via ``[tool.rapflow-lint]`` in ``pyproject.toml``, and run via
 ``rapflow lint [paths...]`` — exit code 7 when findings exist.
+``--select`` accepts ranges (``RAP006-RAP010``) and ``--format json``
+emits a machine-readable report for CI artifacts.
 """
 
 from __future__ import annotations
 
 from .anchors import PAPER_ANCHORS, extract_anchors, is_known_anchor
 from .base import FileContext, Rule, parse_pragmas
-from .config import LintConfig, load_config
-from .diagnostics import Diagnostic, render_diagnostics
+from .config import LintConfig, expand_code_ranges, load_config
+from .diagnostics import Diagnostic, render_diagnostics, render_json
 from .engine import discover_files, lint_paths, lint_source
 from .rules import ALL_RULES, RULES_BY_CODE
 
@@ -38,6 +50,7 @@ __all__ = [
     "RULES_BY_CODE",
     "Rule",
     "discover_files",
+    "expand_code_ranges",
     "extract_anchors",
     "is_known_anchor",
     "lint_paths",
@@ -45,4 +58,5 @@ __all__ = [
     "load_config",
     "parse_pragmas",
     "render_diagnostics",
+    "render_json",
 ]

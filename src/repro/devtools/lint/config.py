@@ -11,13 +11,18 @@ the repository's policy, and a ``[tool.rapflow-lint]`` table in
     clock-receivers = ["clock", "_clock"]  # RAP002 blessed .now() receivers
     extra-allowed-raises = ["OSError"]     # RAP003 additions
     extra-anchors = ["Theorem 9"]  # RAP004 additions  # rapflow: noqa[RAP004] doc example
+    async-blocking-allowed = ["read_text"] # RAP006 blessed call names
+    ordered-iteration-paths = ["core/"]    # RAP010 scope (path fragments)
 
-Unknown keys raise :class:`~repro.errors.LintConfigError` so typos do
-not silently disable a rule.
+``select`` entries may be ranges (``"RAP006-RAP010"``); see
+:func:`expand_code_ranges`.  Unknown keys raise
+:class:`~repro.errors.LintConfigError` so typos do not silently disable
+a rule.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Optional, Sequence, Tuple
@@ -47,6 +52,17 @@ DEFAULT_EXCLUDE: Tuple[str, ...] = ()
 #: ``SystemClock().now()`` or any other ad-hoc ``.now()`` is not.
 DEFAULT_CLOCK_RECEIVERS: Tuple[str, ...] = ("clock", "_clock")
 
+#: Default RAP010 scope: packages whose iteration order feeds placement
+#: results or serialized replies.  Iterating a ``set`` there makes the
+#: output depend on hash seeding; ``sorted()`` restores determinism.
+DEFAULT_ORDERED_ITERATION_PATHS: Tuple[str, ...] = ("core/", "serve/")
+
+#: Call names RAP006 blesses inside ``async def`` bodies.  Empty by
+#: default: the repository routes blocking work through
+#: ``run_in_executor``, so there is nothing to allowlist until a wrapper
+#: earns an exemption.
+DEFAULT_ASYNC_BLOCKING_ALLOWED: Tuple[str, ...] = ()
+
 _KNOWN_KEYS = frozenset(
     {
         "select",
@@ -55,8 +71,36 @@ _KNOWN_KEYS = frozenset(
         "clock-receivers",
         "extra-allowed-raises",
         "extra-anchors",
+        "async-blocking-allowed",
+        "ordered-iteration-paths",
     }
 )
+
+_CODE_RANGE = re.compile(r"^(RAP)(\d{3})-(RAP)(\d{3})$", re.IGNORECASE)
+
+
+def expand_code_ranges(codes: Sequence[str]) -> Tuple[str, ...]:
+    """Expand ``RAP006-RAP010``-style range entries into explicit codes.
+
+    Plain codes pass through untouched; a ``RAPxxx-RAPyyy`` entry expands
+    inclusively.  An inverted range raises
+    :class:`~repro.errors.LintConfigError` instead of silently selecting
+    nothing.
+    """
+    expanded = []
+    for code in codes:
+        match = _CODE_RANGE.match(code.strip())
+        if match is None:
+            expanded.append(code)
+            continue
+        low, high = int(match.group(2)), int(match.group(4))
+        if low > high:
+            raise LintConfigError(
+                f"inverted rule-code range {code!r}; write the smaller "
+                "code first"
+            )
+        expanded.extend(f"RAP{number:03d}" for number in range(low, high + 1))
+    return tuple(expanded)
 
 
 @dataclass(frozen=True)
@@ -69,6 +113,8 @@ class LintConfig:
     clock_receivers: Tuple[str, ...] = DEFAULT_CLOCK_RECEIVERS
     extra_allowed_raises: Tuple[str, ...] = ()
     extra_anchors: Tuple[str, ...] = ()
+    async_blocking_allowed: Tuple[str, ...] = DEFAULT_ASYNC_BLOCKING_ALLOWED
+    ordered_iteration_paths: Tuple[str, ...] = DEFAULT_ORDERED_ITERATION_PATHS
 
     @staticmethod
     def default() -> "LintConfig":
@@ -76,8 +122,12 @@ class LintConfig:
         return LintConfig()
 
     def with_select(self, codes: Sequence[str]) -> "LintConfig":
-        """A copy restricted to ``codes`` (e.g. from ``--select``)."""
-        return replace(self, select=tuple(codes))
+        """A copy restricted to ``codes`` (e.g. from ``--select``).
+
+        Range entries (``RAP006-RAP010``) are expanded here so every
+        caller of ``select`` sees explicit codes.
+        """
+        return replace(self, select=expand_code_ranges(codes))
 
     def is_selected(self, code: str) -> bool:
         """Whether a rule code should run under this config."""
@@ -96,6 +146,17 @@ class LintConfig:
     def clock_receiver_allowed(self, receiver: str) -> bool:
         """Whether RAP002 blesses ``<receiver>.now()`` as an injected clock."""
         return receiver in self.clock_receivers
+
+    def async_call_allowed(self, name: str) -> bool:
+        """Whether RAP006 blesses calling ``name`` inside ``async def``."""
+        return name in self.async_blocking_allowed
+
+    def ordered_iteration_applies(self, path: Path) -> bool:
+        """Whether RAP010 (no unordered set iteration) covers ``path``."""
+        text = path.as_posix()
+        return any(
+            fragment in text for fragment in self.ordered_iteration_paths
+        )
 
 
 def _string_list(value: object, key: str) -> Tuple[str, ...]:
@@ -139,7 +200,10 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
         )
     config = LintConfig.default()
     if "select" in table:
-        config = replace(config, select=_string_list(table["select"], "select"))
+        config = replace(
+            config,
+            select=expand_code_ranges(_string_list(table["select"], "select")),
+        )
     if "exclude" in table:
         config = replace(
             config,
@@ -171,6 +235,20 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
             config,
             extra_anchors=_string_list(table["extra-anchors"], "extra-anchors"),
         )
+    if "async-blocking-allowed" in table:
+        config = replace(
+            config,
+            async_blocking_allowed=_string_list(
+                table["async-blocking-allowed"], "async-blocking-allowed"
+            ),
+        )
+    if "ordered-iteration-paths" in table:
+        config = replace(
+            config,
+            ordered_iteration_paths=_string_list(
+                table["ordered-iteration-paths"], "ordered-iteration-paths"
+            ),
+        )
     return config
 
 
@@ -184,9 +262,12 @@ def _find_pyproject() -> Optional[Path]:
 
 
 __all__ = [
+    "DEFAULT_ASYNC_BLOCKING_ALLOWED",
     "DEFAULT_CLOCK_RECEIVERS",
     "DEFAULT_EXCLUDE",
+    "DEFAULT_ORDERED_ITERATION_PATHS",
     "DEFAULT_WALL_CLOCK_BANNED",
     "LintConfig",
+    "expand_code_ranges",
     "load_config",
 ]

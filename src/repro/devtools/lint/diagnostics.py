@@ -7,8 +7,9 @@ editors and CI log scrapers pick the locations up for free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Tuple
 
 
 @dataclass(frozen=True, order=True)
@@ -47,3 +48,22 @@ def render_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
     lines.append(f"found {len(ordered)} issue(s) ({summary})" if ordered
                  else "no issues found")
     return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """All findings as one JSON document (``rapflow lint --format json``).
+
+    The shape is stable for CI artifact consumers: a sorted ``findings``
+    list of ``{path, line, column, code, message}`` objects plus a
+    ``count`` total and per-rule ``by_code`` tallies.
+    """
+    ordered: List[Diagnostic] = sorted(diagnostics)
+    by_code: Dict[str, int] = {}
+    for diagnostic in ordered:
+        by_code[diagnostic.code] = by_code.get(diagnostic.code, 0) + 1
+    document = {
+        "findings": [asdict(diagnostic) for diagnostic in ordered],
+        "count": len(ordered),
+        "by_code": by_code,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -4,6 +4,11 @@ Adding a rule is three steps: write a :class:`~repro.devtools.lint.base.Rule`
 subclass in a ``rapNNN_*.py`` module, import it here, and append it to
 ``ALL_RULES``.  The engine, CLI (``--select``, ``--list-rules``), config
 ``select`` key, and pragma suppression all pick it up from the registry.
+
+RAP001–RAP005 guard determinism and taxonomy invariants; RAP006–RAP010
+are the async-concurrency family covering the serving fleet (blocking
+calls on the loop, dropped tasks, cross-thread shared state, swallowed
+await exceptions, unordered set iteration).
 """
 
 from __future__ import annotations
@@ -16,6 +21,11 @@ from .rap002_wall_clock import WallClockRule
 from .rap003_error_taxonomy import ErrorTaxonomyRule
 from .rap004_paper_anchors import PaperAnchorRule
 from .rap005_dunder_all import DunderAllRule
+from .rap006_blocking_async import BlockingAsyncRule
+from .rap007_dropped_tasks import DroppedTaskRule
+from .rap008_shared_state import SharedStateRule
+from .rap009_swallowed_await import SwallowedAwaitRule
+from .rap010_unordered_iteration import UnorderedIterationRule
 
 ALL_RULES: Tuple[Type[Rule], ...] = (
     SeededRandomnessRule,
@@ -23,6 +33,11 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     ErrorTaxonomyRule,
     PaperAnchorRule,
     DunderAllRule,
+    BlockingAsyncRule,
+    DroppedTaskRule,
+    SharedStateRule,
+    SwallowedAwaitRule,
+    UnorderedIterationRule,
 )
 
 RULES_BY_CODE: Dict[str, Type[Rule]] = {rule.code: rule for rule in ALL_RULES}
@@ -30,9 +45,14 @@ RULES_BY_CODE: Dict[str, Type[Rule]] = {rule.code: rule for rule in ALL_RULES}
 __all__ = [
     "ALL_RULES",
     "RULES_BY_CODE",
+    "BlockingAsyncRule",
+    "DroppedTaskRule",
     "DunderAllRule",
     "ErrorTaxonomyRule",
     "PaperAnchorRule",
     "SeededRandomnessRule",
+    "SharedStateRule",
+    "SwallowedAwaitRule",
+    "UnorderedIterationRule",
     "WallClockRule",
 ]

@@ -1,0 +1,263 @@
+"""RAP008 — no unlocked state shared between coroutine and thread contexts.
+
+The serving stack is single-threaded *by design*: each worker owns one
+event loop, and the only cross-thread traffic is the HTTP socket plus
+``call_soon_threadsafe`` handoffs (see :mod:`repro.serve.testing`).
+State written both from a coroutine and from a thread-pool callable
+breaks that confinement — the GIL serializes bytecodes, not read-modify-
+write sequences, so ``self.counter += 1`` from both sides loses updates.
+
+The rule identifies *thread-entry* callables syntactically: targets of
+``threading.Thread(target=...)``, ``executor.submit(...)`` /
+``executor.map(...)``, and ``loop.run_in_executor(executor, ...)``.
+It then collects writes to instance attributes (per class) and to
+module-level mutable containers (dict/list/set/deque bindings, their
+subscript stores, and their mutating method calls), classifies each
+write as coroutine-side (inside ``async def``) or thread-side (inside a
+thread-entry function), and flags any location written from both.
+
+Escape hatches: a write under a ``with <...lock...>:`` block passes (any
+context-manager whose name contains ``lock``), and a
+``# rapflow: noqa[RAP008] <why>`` pragma documents deliberate
+loop-confinement (e.g. a field the thread writes only before the loop
+starts).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..base import FileContext, Rule
+from ..config import LintConfig
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "appendleft", "add", "update", "pop", "popleft",
+        "popitem", "extend", "extendleft", "insert", "clear", "remove",
+        "discard", "setdefault",
+    }
+)
+
+_CONTAINER_CALLS = frozenset(
+    {"dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+
+def _terminal_name(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def _is_container_literal(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(expr, ast.Call):
+        return _terminal_name(expr.func) in _CONTAINER_CALLS
+    return False
+
+
+class _WriteCollector(ast.NodeVisitor):
+    """Record attribute/global writes within one function body."""
+
+    def __init__(self, shared_globals: Set[str]) -> None:
+        self._shared_globals = shared_globals
+        #: ``("attr", name)`` / ``("global", name)`` -> first write node.
+        self.writes: Dict[Tuple[str, str], ast.AST] = {}
+        self._lock_depth = 0
+
+    def _record(self, kind: str, name: str, node: ast.AST) -> None:
+        if self._lock_depth:
+            return
+        self.writes.setdefault((kind, name), node)
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(
+            "lock" in _terminal_name(item.context_expr).lower()
+            or (
+                isinstance(item.context_expr, ast.Call)
+                and "lock" in _terminal_name(item.context_expr.func).lower()
+            )
+            for item in node.items
+        )
+        if locked:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if locked:
+            self._lock_depth -= 1
+
+    # ``async with lock:`` guards exactly like the synchronous form.
+    visit_AsyncWith = visit_With
+
+    def _inspect_target(self, target: ast.expr, node: ast.AST) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self._record("attr", target.attr, node)
+        elif isinstance(target, ast.Name) and target.id in self._shared_globals:
+            self._record("global", target.id, node)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                self._record("attr", base.attr, node)
+            elif isinstance(base, ast.Name) and base.id in self._shared_globals:
+                self._record("global", base.id, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._inspect_target(element, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._inspect_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._inspect_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._inspect_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+            base = func.value
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                self._record("attr", base.attr, node)
+            elif isinstance(base, ast.Name) and base.id in self._shared_globals:
+                self._record("global", base.id, node)
+        self.generic_visit(node)
+
+    # Writes inside nested defs execute in that callable's own context;
+    # the outer pass classifies those functions separately.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+class SharedStateRule(Rule):
+    """Forbid unlocked writes shared between loop and thread contexts."""
+
+    code = "RAP008"
+    summary = (
+        "state written from both coroutine and thread contexts needs a "
+        "lock (or a loop-confinement pragma)"
+    )
+
+    def check(self) -> List:
+        tree = self.context.tree
+        thread_entries = self._thread_entry_names(tree)
+        shared_globals = {
+            target.id
+            for stmt in tree.body
+            if isinstance(stmt, ast.Assign)
+            and _is_container_literal(stmt.value)
+            for target in stmt.targets
+            if isinstance(target, ast.Name)
+        }
+        if not thread_entries:
+            return self.diagnostics
+        # (class name or "" at module level, key) -> first write node,
+        # kept separately for each execution context.
+        async_writes: Dict[Tuple[str, Tuple[str, str]], ast.AST] = {}
+        thread_writes: Dict[Tuple[str, Tuple[str, str]], ast.AST] = {}
+        for owner, function in self._functions(tree):
+            if isinstance(function, ast.AsyncFunctionDef):
+                sink = async_writes
+            elif function.name in thread_entries:
+                sink = thread_writes
+            else:
+                continue
+            collector = _WriteCollector(shared_globals)
+            for stmt in function.body:
+                collector.visit(stmt)
+            for key, node in collector.writes.items():
+                kind_owner = owner if key[0] == "attr" else ""
+                sink.setdefault((kind_owner, key), node)
+        for (owner, key), node in sorted(
+            thread_writes.items(), key=lambda item: item[1].lineno
+        ):
+            if (owner, key) not in async_writes:
+                continue
+            kind, name = key
+            location = f"{owner}.{name}" if owner else name
+            self.emit(
+                node,
+                f"{'attribute' if kind == 'attr' else 'module-level'} "
+                f"{location!r} is written from both a thread-entry "
+                "callable and a coroutine without a lock; guard it or "
+                "confine it to one context",
+            )
+        return self.diagnostics
+
+    @staticmethod
+    def _thread_entry_names(tree: ast.Module) -> Set[str]:
+        """Terminal names of callables handed to another thread."""
+        entries: Set[str] = set()
+
+        def remember(expr: Optional[ast.expr]) -> None:
+            if expr is None:
+                return
+            name = _terminal_name(expr)
+            if name:
+                entries.add(name)
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _terminal_name(node.func)
+            if callee == "Thread":
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        remember(keyword.value)
+            elif callee in {"submit", "map"} and node.args:
+                receiver = ""
+                if isinstance(node.func, ast.Attribute):
+                    receiver = _terminal_name(node.func.value).lower()
+                if "executor" in receiver or "pool" in receiver:
+                    remember(node.args[0])
+            elif callee == "run_in_executor" and len(node.args) >= 2:
+                remember(node.args[1])
+        return entries
+
+    @staticmethod
+    def _functions(tree: ast.Module):
+        """Yield ``(owning class name or '', function node)`` pairs."""
+        methods: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        methods.add(id(item))
+                        yield node.name, item
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and id(node) not in methods
+            ):
+                yield "", node
+
+
+__all__ = ["SharedStateRule"]

@@ -1,0 +1,153 @@
+"""RAP009 — no silent exception swallowing around awaits.
+
+An ``await`` can surface errors from anywhere in the stack: transport
+resets, deadline expiries, worker crashes.  A handler that catches a
+*grab-bag tuple* of exception types and discards the bound error erases
+the one piece of diagnostic signal (which type fired?) an operator needs
+to tell a network blip from a crashing replica — the heartbeat probe bug
+this rule was written against treated four distinct failure modes as one
+boolean.  The companion footgun is ``asyncio.gather(...,
+return_exceptions=True)``: it converts failures into ordinary return
+values, so *not reading the result list* silently drops every exception
+the gathered tasks raised.
+
+Flagged (only in ``try`` blocks whose body contains an ``await``):
+
+* ``except (A, B, ...):`` handlers over two or more types that discard
+  the exception — nothing raised, and the ``as`` binding (if any) never
+  read.  Catching a *single* type without binding stays idiomatic
+  (``except asyncio.TimeoutError: ...``), and bare/broad handlers are
+  already RAP003's territory — one finding per sin.
+* statement-level ``gather(..., return_exceptions=True)`` calls whose
+  result is discarded (bare expression statements, awaited or not, and
+  ``run_until_complete(gather(...))`` wrappers).
+
+Fix by binding the error and recording its type (an ``obs`` counter is
+enough), narrowing to one type, or re-raising; pragma deliberate drops
+with ``# rapflow: noqa[RAP009] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Rule
+
+
+def _contains_await(statements: Iterable[ast.stmt]) -> bool:
+    """Whether an ``await`` executes in these statements themselves.
+
+    Nested function bodies are skipped — their awaits run when *they*
+    are called, not under this ``try``.
+    """
+    stack = list(statements)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Await):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _reads_name(statements: Iterable[ast.stmt], name: str) -> bool:
+    for stmt in statements:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+    return False
+
+
+def _contains_raise(statements: Iterable[ast.stmt]) -> bool:
+    stack = list(statements)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _is_discarded_gather(call: ast.Call) -> bool:
+    """Whether ``call`` is ``gather(..., return_exceptions=True)``."""
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    if name != "gather":
+        return False
+    return any(
+        keyword.arg == "return_exceptions" for keyword in call.keywords
+    )
+
+
+class SwallowedAwaitRule(Rule):
+    """Forbid discarding exceptions raised across an await boundary."""
+
+    code = "RAP009"
+    summary = (
+        "multi-type except handlers around awaits must use the bound "
+        "error; gather(return_exceptions=True) results must be inspected"
+    )
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if _contains_await(node.body):
+            for handler in node.handlers:
+                self._check_handler(handler)
+        self.generic_visit(node)
+
+    def _check_handler(self, handler: ast.ExceptHandler) -> None:
+        if not isinstance(handler.type, ast.Tuple):
+            return  # single types and bare excepts are RAP003's beat
+        if len(handler.type.elts) < 2:
+            return
+        if _contains_raise(handler.body):
+            return
+        if handler.name is not None and _reads_name(
+            handler.body, handler.name
+        ):
+            return
+        names = ", ".join(
+            _clause_name(clause) for clause in handler.type.elts
+        )
+        self.emit(
+            handler,
+            f"except ({names}) around an await discards which failure "
+            "fired; bind the error and record its type, or narrow to "
+            "one class",
+        )
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # A gather call anywhere in a bare expression statement has its
+        # result (and therefore every collected exception) discarded:
+        # `await gather(...)`, `gather(...)`, `run_until_complete(gather(...))`.
+        for child in ast.walk(node.value):
+            if isinstance(child, ast.Call) and _is_discarded_gather(child):
+                self.emit(
+                    child,
+                    "gather(..., return_exceptions=True) result is "
+                    "discarded — collected exceptions vanish; assign the "
+                    "list and inspect (or count) the failures",
+                )
+        self.generic_visit(node)
+
+
+def _clause_name(clause: ast.expr) -> str:
+    if isinstance(clause, ast.Attribute):
+        return clause.attr
+    if isinstance(clause, ast.Name):
+        return clause.id
+    return "<expr>"
+
+
+__all__ = ["SwallowedAwaitRule"]

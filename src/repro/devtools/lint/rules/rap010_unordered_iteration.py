@@ -1,0 +1,109 @@
+"""RAP010 — no unordered ``set`` iteration in result-producing packages.
+
+Placements, reply payloads, and serialized artifacts must be
+bit-identical across runs — the chaos harness literally diffs fleet
+replies against a reference engine, and checkpoint resume replays byte
+streams.  Iterating a ``set`` breaks that: element order depends on the
+per-process hash seed, so the same inputs produce differently-ordered
+results on different runs.  (Dicts are exempt *by design*: Python
+guarantees insertion order, which is deterministic when the inserts
+are.)
+
+The rule is path-scoped like RAP002 — it covers the packages whose
+iteration order feeds results (``ordered-iteration-paths`` config key,
+default ``core/`` and ``serve/``).  Flagged iteration sites (``for``
+loops and comprehension generators):
+
+* a ``set`` literal, set comprehension, or ``set()`` / ``frozenset()``
+  call iterated directly;
+* a local name that any assignment in the file binds to one of those.
+
+``sorted(...)`` over the same expression passes (the whole point), as
+does membership testing (``in rap_set``) — only iteration order leaks
+nondeterminism.  Pragma order-insensitive loops (e.g. cancelling a set
+of tasks) with ``# rapflow: noqa[RAP010] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..base import FileContext, Rule
+from ..config import LintConfig
+from ..diagnostics import Diagnostic
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+
+
+def _is_set_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in _SET_CALLS
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    """Forbid iterating sets where ordering feeds results."""
+
+    code = "RAP010"
+    summary = (
+        "core/serve result paths must not iterate sets without sorted(); "
+        "hash-seed ordering leaks into placements and replies"
+    )
+
+    def __init__(self, context: FileContext, config: LintConfig) -> None:
+        super().__init__(context, config)
+        self._set_names: Set[str] = {
+            target.id
+            for node in ast.walk(context.tree)
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value)
+            for target in node.targets
+            if isinstance(target, ast.Name)
+        }
+        self._set_names.update(
+            node.target.id
+            for node in ast.walk(context.tree)
+            if isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and _is_set_expr(node.value)
+            and isinstance(node.target, ast.Name)
+        )
+
+    def check(self) -> List[Diagnostic]:
+        if not self.config.ordered_iteration_applies(self.context.path):
+            return []
+        return super().check()
+
+    def _check_iter(self, iterable: ast.expr) -> None:
+        if _is_set_expr(iterable):
+            self.emit(
+                iterable,
+                "iterating a set here leaks hash-seed ordering into the "
+                "result; wrap it in sorted()",
+            )
+        elif (
+            isinstance(iterable, ast.Name)
+            and iterable.id in self._set_names
+        ):
+            self.emit(
+                iterable,
+                f"{iterable.id!r} is a set; iterating it leaks hash-seed "
+                "ordering into the result — wrap it in sorted()",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+__all__ = ["UnorderedIterationRule"]

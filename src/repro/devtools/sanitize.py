@@ -23,13 +23,29 @@ All sampling is driven by a private ``random.Random(seed)``, so a
 sanitized run is as reproducible as a plain one.  Violations raise
 :class:`~repro.errors.SanitizerViolation` (an ``AssertionError``
 subclass, so test runners report it as a failed assertion).
+
+The module also hosts the **asyncio sanitizer** (the runtime
+counterpart of lint rules RAP006/RAP007): :func:`install_async` wraps
+``asyncio.events.Handle._run`` so every event-loop callback is timed
+against a slow-callback budget on an injectable clock, and
+:func:`check_loop_shutdown` — wired into ``PlacementServer.shutdown``
+and ``PlacementFleet.shutdown`` — detects tasks still pending at drain
+time (the leaked-reference footgun RAP007 catches statically).  Async
+findings are *recorded*, not raised: a stalling chaos experiment is
+often exercising the stall on purpose, so violations accumulate as
+:class:`~repro.errors.SanitizerViolation` instances on the
+:class:`AsyncSanitizerReport` and surface through the
+``lint.sanitize.async_violations`` obs counter, ``/healthz``, and the
+pytest session summary.
 """
 
 from __future__ import annotations
 
+import asyncio
 import math
 import os
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -38,6 +54,15 @@ from ..graphs import INFINITY, NodeId
 
 #: Environment switch; any value other than ``"" / 0 / false / no`` enables.
 SANITIZE_ENV = "RAPFLOW_SANITIZE"
+
+#: Environment override for the async slow-callback budget (seconds).
+ASYNC_BUDGET_ENV = "RAPFLOW_SANITIZE_BUDGET"
+
+#: Default slow-callback budget: generous enough that a paper-scale
+#: kernel evaluation on the loop thread (the serving layer's documented
+#: single-threaded design) stays under it, tight enough to catch a
+#: wedged loop.
+DEFAULT_ASYNC_BUDGET = 0.5
 
 #: Slack for float accumulation in objective comparisons.
 TOLERANCE = 1e-7
@@ -302,16 +327,226 @@ def install_if_enabled() -> Optional[SanitizerReport]:
     return None
 
 
+# ----------------------------------------------------------------------
+# asyncio sanitizer: slow callbacks and leaked tasks
+# ----------------------------------------------------------------------
+#: Task name fragments that legitimately outlive a drain: per-connection
+#: handlers are cancelled *by* shutdown (so they are still pending when
+#: the check runs), and the accept loop is the thing being torn down.
+_SHUTDOWN_EXEMPT = ("_serve_connection", "serve_forever")
+
+#: Cap on stored violation objects; counters keep counting past it.
+_MAX_ASYNC_VIOLATIONS = 100
+
+
+@dataclass
+class AsyncSanitizerReport:
+    """Tally of event-loop hygiene checks for one installation.
+
+    Violations are *recorded* rather than raised: chaos experiments
+    stall the loop on purpose, and raising from inside ``Handle._run``
+    would corrupt the loop itself.  Each recorded violation also bumps
+    the ``lint.sanitize.async_violations`` obs counter so ``/healthz``
+    and profile output surface them without importing this module.
+    """
+
+    budget: float = DEFAULT_ASYNC_BUDGET
+    callbacks_timed: int = 0
+    slow_callbacks: int = 0
+    leaked_tasks: int = 0
+    shutdown_checks: int = 0
+    violations: List[SanitizerViolation] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, violation: SanitizerViolation) -> None:
+        """Store a violation (bounded) and bump the obs counter."""
+        from ..obs import count
+
+        with self._lock:
+            if violation.check == "slow-callback":
+                self.slow_callbacks += 1
+            elif violation.check == "leaked-task":
+                self.leaked_tasks += 1
+            if len(self.violations) < _MAX_ASYNC_VIOLATIONS:
+                self.violations.append(violation)
+        count("lint.sanitize.async_violations")
+
+    def total_violations(self) -> int:
+        return self.slow_callbacks + self.leaked_tasks
+
+
+@dataclass
+class _AsyncInstallation:
+    original: Callable
+    clock: Callable[[], float]
+    report: AsyncSanitizerReport
+
+
+_async_active: Optional[_AsyncInstallation] = None
+
+
+def async_budget(environ: Optional[dict] = None) -> float:
+    """The slow-callback budget, honoring ``RAPFLOW_SANITIZE_BUDGET``."""
+    env = os.environ if environ is None else environ
+    raw = env.get(ASYNC_BUDGET_ENV, "").strip()
+    if not raw:
+        return DEFAULT_ASYNC_BUDGET
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_ASYNC_BUDGET
+    return value if value > 0 else DEFAULT_ASYNC_BUDGET
+
+
+def install_async(
+    budget: Optional[float] = None, clock=None
+) -> AsyncSanitizerReport:
+    """Time every event-loop callback against a budget; idempotent.
+
+    Patches ``asyncio.events.Handle._run`` — the single funnel through
+    which every callback, task step, and reader/writer fires — so a
+    coroutine that blocks the loop (RAP006's runtime shadow: a kernel
+    call or file read that never yielded) shows up as a slow-callback
+    violation naming the offending callback.
+
+    ``clock`` is any object with a ``now() -> float`` method (the
+    :class:`repro.obs.clock.Clock` protocol); tests inject a
+    :class:`~repro.obs.clock.TickClock` to make slowness deterministic.
+    Returns the live :class:`AsyncSanitizerReport`.
+    """
+    global _async_active
+    if _async_active is not None:
+        return _async_active.report
+    if clock is not None:
+        read_clock = clock.now
+    else:
+        import time
+
+        read_clock = time.perf_counter
+    limit = async_budget() if budget is None else budget
+    report = AsyncSanitizerReport(budget=limit)
+    original = asyncio.events.Handle._run
+
+    def timed_run(self):
+        start = read_clock()
+        result = original(self)
+        elapsed = read_clock() - start
+        report.callbacks_timed += 1
+        if elapsed > limit:
+            callback = getattr(self, "_callback", None)
+            name = getattr(callback, "__qualname__", None)
+            if name is None:
+                # Task steps arrive as C-level method wrappers whose
+                # __self__ is the task; the coroutine carries the name.
+                owner = getattr(callback, "__self__", None)
+                if isinstance(owner, asyncio.Task):
+                    coro = owner.get_coro()
+                    name = getattr(coro, "__qualname__", None)
+            if name is None:
+                name = repr(callback)
+            report.record(
+                SanitizerViolation(
+                    f"event-loop callback {name} ran {elapsed:.3f}s, over "
+                    f"the {limit:.3f}s budget; the loop could not serve "
+                    "heartbeats or connections meanwhile",
+                    check="slow-callback",
+                )
+            )
+        return result
+
+    asyncio.events.Handle._run = timed_run
+    _async_active = _AsyncInstallation(
+        original=original, clock=read_clock, report=report
+    )
+    return report
+
+
+def uninstall_async() -> Optional[AsyncSanitizerReport]:
+    """Restore ``Handle._run``; returns the accumulated report, if any."""
+    global _async_active
+    if _async_active is None:
+        return None
+    asyncio.events.Handle._run = _async_active.original
+    report = _async_active.report
+    _async_active = None
+    return report
+
+
+def async_report() -> Optional[AsyncSanitizerReport]:
+    """The live async report, or ``None`` when not installed."""
+    return _async_active.report if _async_active is not None else None
+
+
+def install_async_if_enabled() -> Optional[AsyncSanitizerReport]:
+    """Install iff ``RAPFLOW_SANITIZE`` opts in; budget from the env."""
+    if is_enabled():
+        return install_async()
+    return None
+
+
+def check_loop_shutdown(where: str = "shutdown") -> List[str]:
+    """Record tasks still pending at drain time as leaked-task violations.
+
+    Called from inside ``PlacementServer.shutdown`` and
+    ``PlacementFleet.shutdown`` after they believe every task they
+    spawned is awaited.  A task that is neither the caller, a
+    per-connection handler, nor the accept loop (both cancelled *by*
+    the drain) is a reference someone dropped — exactly what RAP007
+    flags statically, caught here for tasks built via indirection the
+    AST cannot see.  Returns the leaked task names (empty when the
+    sanitizer is off).
+    """
+    if _async_active is None:
+        return []
+    report = _async_active.report
+    report.shutdown_checks += 1
+    try:
+        current = asyncio.current_task()
+    except RuntimeError:
+        return []
+    leaked: List[str] = []
+    for task in asyncio.all_tasks():
+        if task is current or task.done():
+            continue
+        name = task.get_name()
+        coro = task.get_coro()
+        qualname = getattr(coro, "__qualname__", "") or ""
+        label = qualname or name
+        if any(marker in label or marker in name for marker in _SHUTDOWN_EXEMPT):
+            continue
+        leaked.append(label)
+        report.record(
+            SanitizerViolation(
+                f"task {label!r} still pending at {where}; its reference "
+                "was dropped or its owner forgot to await it before "
+                "draining",
+                check="leaked-task",
+            )
+        )
+    return leaked
+
+
 __all__ = [
+    "ASYNC_BUDGET_ENV",
+    "DEFAULT_ASYNC_BUDGET",
     "SANITIZE_ENV",
     "TOLERANCE",
+    "AsyncSanitizerReport",
     "SanitizerReport",
+    "async_budget",
+    "async_report",
     "audit_scenario",
     "check_first_rap_semantics",
+    "check_loop_shutdown",
     "check_monotone_submodular",
     "check_nonnegative_weights",
     "install",
+    "install_async",
+    "install_async_if_enabled",
     "install_if_enabled",
     "is_enabled",
     "uninstall",
+    "uninstall_async",
 ]

@@ -138,6 +138,9 @@ class ChaosResult:
     shed: Dict[str, int] = field(default_factory=dict)
     events_applied: List[Dict[str, object]] = field(default_factory=list)
     worker_states: List[str] = field(default_factory=list)
+    #: The fleet's async-sanitizer tallies (None unless RAPFLOW_SANITIZE
+    #: was set for the run) — CI asserts zero violations on it.
+    sanitizer: Optional[Dict[str, object]] = None
 
     def availability(self, kind: str = "evaluate") -> float:
         """Fraction of ``kind`` requests answered 200 (1.0 if none sent)."""
@@ -167,6 +170,7 @@ class ChaosResult:
             "shed": dict(self.shed),
             "events_applied": list(self.events_applied),
             "worker_states": list(self.worker_states),
+            "sanitizer": self.sanitizer,
         }
 
 
@@ -419,6 +423,9 @@ def run_chaos(
                     for doc in workers_doc
                     if isinstance(doc, dict)
                 ]
+            sanitizer_doc = health.get("sanitizer")
+            if isinstance(sanitizer_doc, dict):
+                result.sanitizer = sanitizer_doc
         log({"summary": result.to_dict()})
     finally:
         if log_handle is not None:

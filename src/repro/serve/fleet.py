@@ -69,7 +69,9 @@ from ..errors import ServeRequestError, ServeWorkerError
 from ..obs.clock import Clock, SystemClock
 from .server import (
     DEADLINE_HEADER,
+    close_quietly,
     read_http_request,
+    sanitizer_health,
     write_json_response,
 )
 from .testing import ServerThread
@@ -341,6 +343,7 @@ class _WorkerSlot:
         self.backoff_attempt = 0
         self.latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self.inflight = 0
+        self.last_error: Optional[str] = None
 
     @property
     def worker_id(self) -> str:
@@ -364,6 +367,7 @@ class _WorkerSlot:
             "latency_samples": len(self.latencies),
             "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
+            "last_error": self.last_error,
         }
 
 
@@ -445,6 +449,9 @@ class PlacementFleet:
 
     async def start(self) -> None:
         """Spawn every worker, bind the front, start the supervisor."""
+        from ..devtools import sanitize  # local: opt-in tooling, lazy
+
+        sanitize.install_async_if_enabled()
         loop = asyncio.get_running_loop()
         spawns = []
         for index in range(self._config.workers):
@@ -477,7 +484,15 @@ class PlacementFleet:
         for task in self._respawn_tasks:
             task.cancel()
         if self._respawn_tasks:
-            await asyncio.gather(*self._respawn_tasks, return_exceptions=True)
+            # CancelledError is not an Exception, so the cancellations we
+            # just requested pass the filter; anything else is a respawn
+            # path failure that must not vanish into the drain.
+            outcomes = await asyncio.gather(
+                *self._respawn_tasks, return_exceptions=True
+            )
+            for outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    obs.count("fleet.shutdown_errors")
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -488,7 +503,13 @@ class PlacementFleet:
             if slot.state in ("up", "starting")
         ]
         if stops:
-            await asyncio.gather(*stops, return_exceptions=True)
+            outcomes = await asyncio.gather(*stops, return_exceptions=True)
+            for outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    obs.count("fleet.shutdown_errors")
+        from ..devtools import sanitize  # local: opt-in tooling, lazy
+
+        sanitize.check_loop_shutdown("fleet.shutdown")
 
     def worker_handle(self, index: int) -> object:
         """The live worker in slot ``index`` (chaos-harness hook).
@@ -508,7 +529,15 @@ class PlacementFleet:
                 if slot.state == "up"
             ]
             if probes:
-                await asyncio.gather(*probes, return_exceptions=True)
+                # _probe handles its own failures; an exception landing
+                # here is a supervisor bug, and silently eating it would
+                # leave workers unsupervised with no trace.
+                outcomes = await asyncio.gather(
+                    *probes, return_exceptions=True
+                )
+                for outcome in outcomes:
+                    if isinstance(outcome, Exception):
+                        obs.count("fleet.supervisor_errors")
 
     async def _probe(self, slot: _WorkerSlot) -> None:
         try:
@@ -518,8 +547,15 @@ class PlacementFleet:
                 self._config.heartbeat_timeout,
             )
             healthy = status == 200 and payload.get("digest") == self._digest
-        except (OSError, asyncio.TimeoutError, ServeWorkerError, ValueError):
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            ServeWorkerError,
+            ValueError,
+        ) as error:
             healthy = False
+            slot.last_error = f"{type(error).__name__}: {error}"
+            obs.count(f"fleet.probe_errors.{type(error).__name__}")
         if healthy:
             slot.missed = 0
             return
@@ -594,14 +630,10 @@ class PlacementFleet:
                 )
                 if not keep_alive:
                     break
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
+        except (ConnectionError, asyncio.IncompleteReadError) as error:
+            obs.count(f"fleet.conn_aborts.{type(error).__name__}")
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            await close_quietly(writer, where="fleet")
 
     async def _dispatch(
         self, method: str, path: str, body: bytes
@@ -678,8 +710,9 @@ class PlacementFleet:
                     )
                 else:
                     status, payload = await self._forward(slot, body, budget)
-            except (OSError, asyncio.TimeoutError, ServeWorkerError):
+            except (OSError, asyncio.TimeoutError, ServeWorkerError) as error:
                 obs.count("fleet.forward_errors")
+                obs.count(f"fleet.forward_errors.{type(error).__name__}")
                 status, payload = 502, {
                     "error": "worker unreachable",
                     "retryable": True,
@@ -794,7 +827,7 @@ class PlacementFleet:
             status, payload = await primary
             return status, payload, slot
         finally:
-            for task in pending:
+            for task in pending:  # rapflow: noqa[RAP010] cancellation order is immaterial
                 task.cancel()
 
     def _remember(self, key: str, payload: Dict[str, object]) -> None:
@@ -860,6 +893,7 @@ class PlacementFleet:
                 "rejected": self.rejected,
             },
             "respawns": sum(slot.respawns for slot in self._slots),
+            "sanitizer": sanitizer_health(),
         }
 
 
@@ -916,11 +950,7 @@ async def _http_exchange(
             )
         return status, decoded
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        await close_quietly(writer, where="fleet")
 
 
 # ----------------------------------------------------------------------
@@ -974,9 +1004,11 @@ async def run_fleet(
     import signal
 
     await fleet.start()
-    if ready_file is not None:
-        Path(ready_file).write_text(f"{fleet.host} {fleet.port}\n")
     loop = asyncio.get_running_loop()
+    if ready_file is not None:
+        await loop.run_in_executor(
+            None, Path(ready_file).write_text, f"{fleet.host} {fleet.port}\n"
+        )
     stop = asyncio.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
         try:

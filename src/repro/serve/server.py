@@ -95,7 +95,8 @@ async def read_http_request(
     """
     try:
         request_line = await reader.readline()
-    except (ConnectionError, OSError):
+    except OSError:  # ConnectionError included: peer vanished mid-read
+        obs.count("serve.conn_aborts.read")
         return None
     if not request_line:
         return None
@@ -141,6 +142,24 @@ async def write_json_response(
     await writer.drain()
 
 
+async def close_quietly(
+    writer: asyncio.StreamWriter, where: str = "serve"
+) -> None:
+    """Close ``writer``, tolerating a peer that already vanished.
+
+    ``wait_closed`` raises when the transport died mid-flush; there is
+    nothing left to salvage at that point, so the abort is counted
+    (``<where>.close_aborts``) rather than propagated.  Shared by the
+    server and the fleet front — every connection teardown goes through
+    one audited path.
+    """
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except OSError:  # ConnectionError included: already torn down
+        obs.count(f"{where}.close_aborts")
+
+
 def effective_deadline(headers: Dict[str, str], default: float) -> float:
     """The per-request deadline: header-propagated budget, capped at ``default``.
 
@@ -158,6 +177,27 @@ def effective_deadline(headers: Dict[str, str], default: float) -> float:
     if value <= 0:
         return default
     return min(default, value)
+
+
+def sanitizer_health() -> Optional[Dict[str, object]]:
+    """Async-sanitizer tallies for health payloads (``None`` when off).
+
+    Mirrors the ``lint.sanitize.async_violations`` obs counter so an
+    operator curling ``/healthz`` sees slow-callback and leaked-task
+    counts without a profiling run.
+    """
+    from ..devtools import sanitize  # local: opt-in tooling, lazy
+
+    report = sanitize.async_report()
+    if report is None:
+        return None
+    return {
+        "async_violations": report.total_violations(),
+        "slow_callbacks": report.slow_callbacks,
+        "leaked_tasks": report.leaked_tasks,
+        "callbacks_timed": report.callbacks_timed,
+        "budget": report.budget,
+    }
 
 
 def _garbled(response: Dict[str, object]) -> Dict[str, object]:
@@ -275,6 +315,9 @@ class PlacementServer:
 
     async def start(self) -> None:
         """Bind and start accepting connections."""
+        from ..devtools import sanitize  # local: opt-in tooling, lazy
+
+        sanitize.install_async_if_enabled()
         self._idle = asyncio.Event()
         self._idle.set()
         self._server = await asyncio.start_server(
@@ -299,6 +342,9 @@ class PlacementServer:
                 obs.count("serve.drain_timeouts")
         if self._server is not None:
             await self._server.wait_closed()
+        from ..devtools import sanitize  # local: opt-in tooling, lazy
+
+        sanitize.check_loop_shutdown("server.shutdown")
 
     def abort(self) -> None:
         """Abrupt stop (crash simulation): close the socket, drop work.
@@ -340,14 +386,10 @@ class PlacementServer:
                 )
                 if not keep_alive:
                     break
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
+        except (ConnectionError, asyncio.IncompleteReadError) as error:
+            obs.count(f"serve.conn_aborts.{type(error).__name__}")
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            await close_quietly(writer, where="serve")
 
     # ------------------------------------------------------------------
     # request dispatch
@@ -441,7 +483,9 @@ class PlacementServer:
             ):
                 response = await self._batched_evaluate(request)
             else:
-                response = self._engine.handle(request)
+                # Single-worker design: the kernel deliberately runs on
+                # the loop thread (see the module docstring).
+                response = self._engine.handle(request)  # rapflow: noqa[RAP006] kernel-on-loop by design
         except ServeRequestError as error:
             self.health.quarantine_row(0, "bad-request", str(error))
             return 400, {"error": str(error)}
@@ -506,6 +550,7 @@ class PlacementServer:
             "cache": self._engine.cache_info(),
             "batching": self._batcher.stats(),
             "pipeline": self.health.to_dict(),
+            "sanitizer": sanitizer_health(),
         }
 
 
@@ -523,9 +568,11 @@ async def run_server(
     SIGINT both trigger the same graceful drain.
     """
     await server.start()
-    if ready_file is not None:
-        Path(ready_file).write_text(f"{server.host} {server.port}\n")
     loop = asyncio.get_running_loop()
+    if ready_file is not None:
+        await loop.run_in_executor(
+            None, Path(ready_file).write_text, f"{server.host} {server.port}\n"
+        )
     stop = asyncio.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
         try:
@@ -547,8 +594,10 @@ async def run_server(
 __all__ = [
     "DEADLINE_HEADER",
     "PlacementServer",
+    "close_quietly",
     "effective_deadline",
     "read_http_request",
     "run_server",
+    "sanitizer_health",
     "write_json_response",
 ]

@@ -104,7 +104,7 @@ class ServerThread:
                 task.cancel()
             if pending:
                 loop.run_until_complete(
-                    asyncio.gather(*pending, return_exceptions=True)
+                    asyncio.gather(*pending, return_exceptions=True)  # rapflow: noqa[RAP009] drain of cancelled tasks; results are the CancelledErrors we caused
                 )
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()
@@ -224,7 +224,7 @@ class FleetThread:
                 task.cancel()
             if pending:
                 loop.run_until_complete(
-                    asyncio.gather(*pending, return_exceptions=True)
+                    asyncio.gather(*pending, return_exceptions=True)  # rapflow: noqa[RAP009] drain of cancelled tasks; results are the CancelledErrors we caused
                 )
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()

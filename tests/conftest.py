@@ -41,6 +41,7 @@ def pytest_configure(config):
 
     if config.getoption("--sanitize") or sanitize.is_enabled():
         sanitize.install()
+        sanitize.install_async()
         config._rapflow_sanitize_installed = True
 
 
@@ -53,6 +54,16 @@ def pytest_unconfigure(config):
             print(
                 f"\n[rapflow sanitizer] {report.audits} audit(s), "
                 f"{report.total_checks()} contract check(s), 0 violations"
+            )
+        async_tallies = sanitize.uninstall_async()
+        if async_tallies is not None and async_tallies.callbacks_timed:
+            print(
+                f"[rapflow async sanitizer] "
+                f"{async_tallies.callbacks_timed} callback(s) timed "
+                f"(budget {async_tallies.budget:g}s), "
+                f"{async_tallies.slow_callbacks} slow, "
+                f"{async_tallies.leaked_tasks} leaked task(s) over "
+                f"{async_tallies.shutdown_checks} drain check(s)"
             )
 
 

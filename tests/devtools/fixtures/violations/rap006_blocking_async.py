@@ -1,0 +1,12 @@
+"""Fixture: RAP006 violations — blocking calls inside ``async def``."""
+
+import time
+from pathlib import Path
+
+
+async def stall():
+    time.sleep(0.5)
+
+
+async def snapshot(path):
+    return Path(path).read_text()

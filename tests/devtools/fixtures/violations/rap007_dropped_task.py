@@ -1,0 +1,15 @@
+"""Fixture: RAP007 violations — dropped task refs, un-awaited coroutines."""
+
+import asyncio
+
+
+async def refresh():
+    await asyncio.sleep(0)
+
+
+async def spawn_and_forget():
+    asyncio.create_task(refresh())
+
+
+async def call_without_await():
+    refresh()

@@ -1,0 +1,19 @@
+"""Fixture: RAP008 violation — unlocked state shared across thread and loop."""
+
+import threading
+
+
+class Telemetry:
+    def __init__(self):
+        self.samples = []
+
+    def pump(self):
+        self.samples.append("thread-side")
+
+    async def flush(self):
+        self.samples.append("loop-side")
+
+    def launch(self):
+        worker = threading.Thread(target=self.pump)
+        worker.start()
+        return worker

@@ -1,0 +1,14 @@
+"""Fixture: RAP009 violations — swallowed exceptions around awaits."""
+
+import asyncio
+
+
+async def probe(fetch):
+    try:
+        await fetch()
+    except (OSError, asyncio.TimeoutError):
+        return None
+
+
+async def drain(tasks):
+    await asyncio.gather(*tasks, return_exceptions=True)

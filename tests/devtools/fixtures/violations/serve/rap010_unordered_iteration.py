@@ -1,0 +1,6 @@
+"""Fixture: RAP010 violation — set iteration on a serve result path."""
+
+
+def reply_sites(placed):
+    chosen = set(placed)
+    return [site for site in chosen]

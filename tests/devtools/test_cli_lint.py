@@ -1,5 +1,6 @@
 """`rapflow lint` CLI: exit codes, output shape, rule listing."""
 
+import json
 import re
 from pathlib import Path
 
@@ -7,13 +8,18 @@ from repro.cli import EXIT_LINT, main
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
+ALL_CODES = (
+    "RAP001", "RAP002", "RAP003", "RAP004", "RAP005",
+    "RAP006", "RAP007", "RAP008", "RAP009", "RAP010",
+)
+
 
 def test_lint_violation_tree_exits_7(capsys):
     code = main(["lint", str(FIXTURES / "violations")])
     out = capsys.readouterr().out
     assert code == EXIT_LINT == 7
     # Every rule appears, in canonical path:line: CODE form.
-    for rule in ("RAP001", "RAP002", "RAP003", "RAP004", "RAP005"):
+    for rule in ALL_CODES:
         assert re.search(rf"^\S+\.py:\d+: {rule} ", out, re.MULTILINE), (
             f"{rule} missing from output:\n{out}"
         )
@@ -52,8 +58,47 @@ def test_lint_unknown_select_is_devtools_error(capsys):
     assert "unknown rule code" in capsys.readouterr().err
 
 
+def test_lint_select_range(capsys):
+    code = main(
+        ["lint", str(FIXTURES / "violations"), "--select", "RAP006-RAP010"]
+    )
+    out = capsys.readouterr().out
+    assert code == EXIT_LINT
+    for rule in ("RAP006", "RAP007", "RAP008", "RAP009", "RAP010"):
+        assert rule in out
+    assert "RAP001" not in out
+
+
+def test_lint_inverted_range_is_devtools_error(capsys):
+    code = main(
+        ["lint", str(FIXTURES / "clean"), "--select", "RAP010-RAP006"]
+    )
+    assert code == EXIT_LINT
+    assert "inverted" in capsys.readouterr().err
+
+
+def test_lint_json_format(capsys):
+    code = main(
+        ["lint", str(FIXTURES / "violations"), "--format", "json"]
+    )
+    out = capsys.readouterr().out
+    assert code == EXIT_LINT
+    document = json.loads(out)
+    assert document["count"] == len(document["findings"]) > 0
+    assert set(ALL_CODES) <= set(document["by_code"])
+    finding = document["findings"][0]
+    assert {"path", "line", "code", "message"} <= set(finding)
+
+
+def test_lint_json_format_clean(capsys):
+    code = main(["lint", str(FIXTURES / "clean"), "--format", "json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert json.loads(out) == {"by_code": {}, "count": 0, "findings": []}
+
+
 def test_lint_list_rules(capsys):
     code = main(["lint", "--list-rules"])
     out = capsys.readouterr().out
     assert code == 0
-    assert out.count("RAP00") == 5
+    assert len(re.findall(r"^RAP\d{3}", out, re.MULTILINE)) == 10

@@ -149,7 +149,18 @@ class TestFixtureTrees:
     def test_violation_tree_flags_every_rule(self):
         diags = lint_paths([FIXTURES / "violations"])
         found = {d.code for d in diags}
-        assert found == {"RAP001", "RAP002", "RAP003", "RAP004", "RAP005"}
+        assert found == {
+            "RAP001",
+            "RAP002",
+            "RAP003",
+            "RAP004",
+            "RAP005",
+            "RAP006",
+            "RAP007",
+            "RAP008",
+            "RAP009",
+            "RAP010",
+        }
 
     def test_clean_tree_is_clean(self):
         assert lint_paths([FIXTURES / "clean"]) == []

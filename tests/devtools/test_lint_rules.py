@@ -250,11 +250,16 @@ class TestRap005:
 
 
 def test_every_rule_has_fixture_coverage():
-    """Meta: the registry and this file agree on the rule set."""
+    """Meta: the registry and the per-rule test files agree on the set.
+
+    RAP001–RAP005 live here; the async-concurrency family RAP006–RAP010
+    is exercised in ``test_lint_async_rules.py``.
+    """
     from repro.devtools.lint import RULES_BY_CODE
 
     assert sorted(RULES_BY_CODE) == [
         "RAP001", "RAP002", "RAP003", "RAP004", "RAP005",
+        "RAP006", "RAP007", "RAP008", "RAP009", "RAP010",
     ]
 
 
