@@ -466,6 +466,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="engine LRU response-cache capacity (0 disables)",
     )
     serve.add_argument(
+        "--bypass-threshold", type=int, default=4,
+        help="dispatch immediately (skip the batch window) when the "
+        "in-flight request count is at or below this (default: 4)",
+    )
+    serve.add_argument(
+        "--shm", action="store_true",
+        help="publish the compiled artifact into a shared-memory pool; "
+        "with --workers N every worker attaches the arrays zero-copy "
+        "(one artifact in RAM, not N copies)",
+    )
+    serve.add_argument(
+        "--shm-dir", default=None, metavar="PATH",
+        help="shared-memory pool manifest directory (default: a "
+        "temporary directory owned by this process)",
+    )
+    serve.add_argument(
+        "--shm-attach", default=None, metavar="DIGEST",
+        help="attach an already-published artifact by digest instead "
+        "of compiling or loading (worker mode; requires --shm-dir)",
+    )
+    serve.add_argument(
+        "--front-batch-window", type=float, default=0.0,
+        help="fleet-front micro-batch window in seconds for per-shard "
+        "evaluate dedup before replica routing (0 disables; fleet only)",
+    )
+    serve.add_argument(
         "--ready-file", default=None, metavar="PATH",
         help="write 'host port' here once the server is accepting",
     )
@@ -526,6 +552,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit 8 if evaluate availability falls below this "
         "(default: 0.99)",
     )
+    chaos.add_argument(
+        "--shm", action="store_true",
+        help="serve the chaos fleet over a shared-memory attached "
+        "artifact (also asserts the segment does not leak)",
+    )
 
     query = commands.add_parser(
         "query", help="send one JSON query to a running placement server"
@@ -547,6 +578,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--timeout", type=float, default=30.0,
         help="client socket timeout in seconds",
+    )
+    query.add_argument(
+        "--digest", default=None, metavar="DIGEST",
+        help="address this scenario digest behind a multi-shard fleet "
+        "front (sent as the X-Rapflow-Digest header)",
     )
 
     evaluate = commands.add_parser(
@@ -896,19 +932,55 @@ def _build_serve_scenario(args: argparse.Namespace) -> Scenario:
 
 
 def _serve_artifact(args: argparse.Namespace):
-    from .serve import ArtifactStore
+    """Restore the artifact to serve, recording how (for ``/healthz``).
 
-    scenario = _build_serve_scenario(args)
-    store = ArtifactStore(args.cache_dir)
-    artifact = store.get_or_compile(scenario)
+    Three paths: ``--shm-attach DIGEST`` maps an already-published
+    shared-memory segment zero-copy (worker mode, no compile and no npz
+    read); plain flags compile or disk-load from the artifact cache.
+    Returns ``(artifact, restore_info)`` where ``restore_info`` captures
+    the mode, the restore latency, and a process memory probe — the
+    bench reads it back through worker health to prove the copy-count
+    claim.
+    """
+    import time as _time
+
+    from .errors import ServeRequestError
+    from .serve import ArtifactStore, ScenarioArtifact
+    from .serve.shm import ShmArtifactPool, memory_probe
+
+    shm_attach = getattr(args, "shm_attach", None)
+    before = memory_probe()
+    t0 = _time.perf_counter()
+    if shm_attach is not None:
+        if args.shm_dir is None:
+            raise ServeRequestError("--shm-attach requires --shm-dir")
+        pool = ShmArtifactPool(args.shm_dir)
+        artifact = ScenarioArtifact.attach(pool, shm_attach)
+        mode = "shm-attach"
+    else:
+        scenario = _build_serve_scenario(args)
+        store = ArtifactStore(args.cache_dir)
+        artifact = store.get_or_compile(scenario)
+        mode = "load"
+    seconds = _time.perf_counter() - t0
+    after = memory_probe()
+    restore_info = {
+        "mode": mode,
+        "seconds": seconds,
+        "memory": after,
+        "private_delta_bytes": (
+            after["private_bytes"] - before["private_bytes"]
+        ),
+    }
     print(
-        f"artifact {artifact.digest[:12]}: {artifact.stats['rows']} rows, "
+        f"artifact {artifact.digest[:12]} via {mode} in {seconds:.3f}s: "
+        f"{artifact.stats['rows']} rows, "
         f"{artifact.stats['incidences']} incidences, "
         f"{artifact.stats['flows']} flows"
         + (f" (cache: {args.cache_dir})" if args.cache_dir else ""),
         file=sys.stderr,
     )
-    return artifact
+    return artifact, restore_info
 
 
 def _worker_serve_args(args: argparse.Namespace, cache_dir: str) -> List[str]:
@@ -926,6 +998,7 @@ def _worker_serve_args(args: argparse.Namespace, cache_dir: str) -> List[str]:
         "--batch-window", str(args.batch_window),
         "--max-batch", str(args.max_batch),
         "--cache-size", str(args.cache_size),
+        "--bypass-threshold", str(args.bypass_threshold),
     ]
     if args.threshold is not None:
         worker_args += ["--threshold", str(args.threshold)]
@@ -950,33 +1023,54 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     # same digest instead of recompiling N times.
     artifact = ArtifactStore(cache_dir).get_or_compile(scenario)
     ready_dir = tempfile.mkdtemp(prefix="rapflow-fleet-ready-")
+    worker_args = _worker_serve_args(args, cache_dir)
+    shm_pool = None
+    if args.shm:
+        # One publish, N zero-copy attachers: workers map the segment
+        # instead of disk-loading N private array copies.
+        from .serve.shm import ShmArtifactPool
+
+        shm_root = args.shm_dir or tempfile.mkdtemp(prefix="rapflow-shm-")
+        shm_pool = ShmArtifactPool(shm_root)
+        shm_pool.publish(artifact)
+        worker_args += [
+            "--shm-attach", artifact.digest, "--shm-dir", str(shm_root),
+        ]
     config = FleetConfig(
         workers=args.workers,
         host=args.host,
         port=args.port,
         max_inflight=args.max_inflight,
         timeout=args.timeout,
+        front_batch_window=args.front_batch_window,
+        front_max_batch=args.max_batch,
+        front_bypass=args.bypass_threshold,
     )
     fleet = PlacementFleet(
-        process_worker_factory(
-            _worker_serve_args(args, cache_dir), ready_dir
-        ),
+        process_worker_factory(worker_args, ready_dir),
         digest=artifact.digest,
         config=config,
     )
     print(
         f"fleet front on {args.host}:{args.port or '<ephemeral>'} with "
-        f"{args.workers} workers over artifact {artifact.digest[:12]}; "
-        f"SIGTERM drains gracefully",
+        f"{args.workers} workers over artifact {artifact.digest[:12]}"
+        + (" (shared-memory attach)" if shm_pool is not None else "")
+        + "; SIGTERM drains gracefully",
         file=sys.stderr,
     )
-    asyncio.run(
-        run_fleet(
-            fleet,
-            ready_file=args.ready_file,
-            serve_seconds=args.serve_seconds,
+    try:
+        asyncio.run(
+            run_fleet(
+                fleet,
+                ready_file=args.ready_file,
+                serve_seconds=args.serve_seconds,
+            )
         )
-    )
+    finally:
+        if shm_pool is not None:
+            # The workers are dead or draining; reclaim the segment so
+            # nothing outlives the fleet in /dev/shm.
+            shm_pool.unlink_all()
     health = fleet.healthz()
     requests_doc = health["requests"]
     print(
@@ -1005,9 +1099,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         seed=args.chaos_seed,
         jsonl_path=args.jsonl,
+        via_shm=args.shm,
     )
     print(json.dumps(result.to_dict(), indent=2))
     availability = result.availability("evaluate")
+    if result.shm is not None and result.shm.get("leaked"):
+        raise ServeError(
+            f"shared-memory segment {result.shm['segment']} leaked past "
+            "chaos cleanup"
+        )
     if result.mismatches:
         raise ServeError(
             f"{result.mismatches} non-degraded evaluate response(s) were "
@@ -1034,7 +1134,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.workers > 1:
         return _cmd_serve_fleet(args)
-    artifact = _serve_artifact(args)
+    artifact, restore_info = _serve_artifact(args)
     injector = None
     if args.fault_error_rate > 0 or args.fault_delay_rate > 0:
         injector = FaultInjector(
@@ -1056,7 +1156,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         batch_window=args.batch_window,
         max_batch=args.max_batch,
+        bypass_threshold=args.bypass_threshold,
         latency_log=args.latency_log,
+        restore_info=restore_info,
     )
     print(
         f"serving on {args.host}:{args.port or '<ephemeral>'} "
@@ -1114,7 +1216,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     from .serve import ServeClient
 
-    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    client = ServeClient(
+        args.host, args.port, timeout=args.timeout, digest=args.digest
+    )
     if args.healthz:
         response = client.healthz()
     else:
@@ -1145,7 +1249,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         raise ServeRequestError("evaluate document must be a JSON object")
     document["kind"] = "evaluate"
     if args.cache_dir:
-        artifact = _serve_artifact(args)
+        artifact, _ = _serve_artifact(args)
     else:
         artifact = ScenarioArtifact.compile(_build_serve_scenario(args))
     response = QueryEngine(artifact, cache_size=0).handle(document)

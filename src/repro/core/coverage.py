@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import InvalidScenarioError
 from ..graphs import INFINITY, NodeId
 from .detour import DetourCalculator
@@ -64,6 +65,7 @@ class CoverageIndex:
         self._best_by_flow: List[float] = []
         self._incidences = 0
         self._packed: Optional["PackedCoverage"] = None
+        self._materialized = True
         for flow_index, flow in enumerate(self._flows):
             per_flow: List[Tuple[NodeId, float]] = []
             best = INFINITY
@@ -90,6 +92,7 @@ class CoverageIndex:
         flows: Sequence[TrafficFlow],
         packed: "PackedCoverage",
         calculator: Optional[DetourCalculator] = None,
+        lazy: bool = False,
     ) -> "CoverageIndex":
         """Rebuild an index from its CSR-compiled form — no Dijkstra pass.
 
@@ -105,17 +108,37 @@ class CoverageIndex:
         ``calculator`` may be omitted: a restored index answers every
         coverage query without one, and accessing :attr:`calculator`
         then raises.
+
+        With ``lazy=True`` the Python-object incidence lists are not
+        built up front: the index answers :attr:`flows`,
+        :meth:`incidence_count`, and :meth:`packed` straight from the
+        CSR columns, and materializes the per-node / per-flow lists only
+        when an accessor that needs them is first hit.  A worker that
+        serves purely through the numpy kernel therefore never pays the
+        object-graph memory — the point of the shared-memory attach
+        path, where the CSR columns live in a shared segment.
         """
         index = cls.__new__(cls)
         index._flows = tuple(flows)
         index._calculator = calculator
         index._by_node = {}
-        index._by_flow = [[] for _ in index._flows]
+        index._by_flow = []
+        index._best_by_flow = []
         index._incidences = int(packed.incidence_count)
         index._packed = packed
-        flow_count = len(index._flows)
+        index._materialized = False
+        if not lazy:
+            index._materialize()
+        return index
+
+    def _materialize(self) -> None:
+        """Reassemble the object incidence lists from the CSR columns."""
+        packed = self._packed
+        assert packed is not None  # only unset on the __init__ path
+        flow_count = len(self._flows)
+        by_node: Dict[NodeId, List[CoverageEntry]] = {}
         positioned: List[List[Tuple[int, NodeId, float]]] = [
-            [] for _ in index._flows
+            [] for _ in self._flows
         ]
         for row, node in enumerate(packed.nodes):
             entries: List[CoverageEntry] = []
@@ -134,17 +157,19 @@ class CoverageIndex:
                     )
                 )
                 positioned[flow_index].append((position, node, detour))
-            index._by_node[node] = entries
-        for flow_index, options in enumerate(positioned):
+            by_node[node] = entries
+        by_flow: List[List[Tuple[NodeId, float]]] = []
+        for options in positioned:
             options.sort(key=lambda item: item[0])
-            index._by_flow[flow_index] = [
-                (node, detour) for _, node, detour in options
-            ]
-        index._best_by_flow = [
+            by_flow.append([(node, detour) for _, node, detour in options])
+        self._by_node = by_node
+        self._by_flow = by_flow
+        self._best_by_flow = [
             min((detour for _, detour in options), default=INFINITY)
-            for options in index._by_flow
+            for options in by_flow
         ]
-        return index
+        self._materialized = True
+        obs.count("coverage.materializations")
 
     @property
     def flows(self) -> Tuple[TrafficFlow, ...]:
@@ -172,18 +197,26 @@ class CoverageIndex:
 
     def nodes(self) -> Iterator[NodeId]:
         """Intersections that cover at least one flow."""
+        if not self._materialized:
+            self._materialize()
         return iter(self._by_node)
 
     def covering(self, node: NodeId) -> Sequence[CoverageEntry]:
         """Flows reachable from a RAP at ``node`` (may be empty)."""
+        if not self._materialized:
+            self._materialize()
         return self._by_node.get(node, ())
 
     def options_for(self, flow_index: int) -> Sequence[Tuple[NodeId, float]]:
         """``(node, detour)`` pairs along one flow's path (finite only)."""
+        if not self._materialized:
+            self._materialize()
         return self._by_flow[flow_index]
 
     def best_possible_detour(self, flow_index: int) -> float:
         """Smallest detour any single RAP can give this flow (cached)."""
+        if not self._materialized:
+            self._materialize()
         return self._best_by_flow[flow_index]
 
     def incidence_count(self) -> int:

@@ -187,14 +187,22 @@ class PackedCoverage:
         position: "np.ndarray",
         volume: "np.ndarray",
         attractiveness: "np.ndarray",
+        entry_row: Optional["np.ndarray"] = None,
     ) -> "PackedCoverage":
         """Reassemble a packed index from persisted CSR columns.
 
         The inverse of serializing :class:`PackedCoverage` column by
-        column (see :mod:`repro.serve.artifacts`): ``row_of`` and
-        ``entry_row`` are derived, everything else is adopted as-is, so a
-        round trip through float64-exact storage reproduces the original
-        arrays bit for bit.
+        column (see :mod:`repro.serve.artifacts`): ``row_of`` is derived,
+        everything else is adopted as-is, so a round trip through
+        float64-exact storage reproduces the original arrays bit for bit.
+
+        ``entry_row`` may be supplied when the caller already holds the
+        derived row map (the shared-memory attach path publishes it as a
+        column so attaching never allocates an incidence-sized array);
+        when given it is adopted as-is, and ``np.ascontiguousarray`` on
+        already-contiguous ``int64``/``float64`` inputs returns the same
+        buffer, so a fully shm-backed column set restores with **zero**
+        per-process copies of the incidence data.
         """
         node_tuple = tuple(nodes)
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -206,6 +214,17 @@ class PackedCoverage:
         counts = np.diff(indptr)
         if len(counts) and counts.min() < 0:
             raise InvalidScenarioError("packed indptr must be non-decreasing")
+        if entry_row is None:
+            entry_row = np.repeat(
+                np.arange(len(node_tuple), dtype=np.int64), counts
+            )
+        else:
+            entry_row = np.ascontiguousarray(entry_row, dtype=np.int64)
+            if len(entry_row) != int(indptr[-1]):
+                raise InvalidScenarioError(
+                    f"packed entry_row has {len(entry_row)} entries for "
+                    f"{int(indptr[-1])} incidences"
+                )
         return cls(
             nodes=node_tuple,
             row_of={node: row for row, node in enumerate(node_tuple)},
@@ -213,9 +232,7 @@ class PackedCoverage:
             flow_index=np.ascontiguousarray(flow_index, dtype=np.int64),
             detour=np.ascontiguousarray(detour, dtype=float),
             position=np.ascontiguousarray(position, dtype=np.int64),
-            entry_row=np.repeat(
-                np.arange(len(node_tuple), dtype=np.int64), counts
-            ),
+            entry_row=entry_row,
             volume=np.ascontiguousarray(volume, dtype=float),
             attractiveness=np.ascontiguousarray(attractiveness, dtype=float),
         )
@@ -269,28 +286,45 @@ class _Alignment:
     heap: List[Tuple[float, int, NodeId, int]]
 
 
+class _ScalarMirrors:
+    """Plain-list mirrors of the CSR columns for the scalar hot loops.
+
+    Interpreter loops beat NumPy dispatch on the few-entry rows a
+    single-site query touches, but the lists are *private* per-process
+    copies of the whole pack (a boxed float costs ~4x its array slot).
+    They are therefore built lazily on the first scalar query: a
+    shared-memory worker answering only batched ``evaluate`` traffic
+    never pays for them — which is what keeps its private RSS at
+    ~zero copies of the artifact (see :mod:`repro.serve.shm`).
+    """
+
+    __slots__ = ("indptr", "flow_index", "detour", "position", "value")
+
+    def __init__(self, packed: PackedCoverage, entry_value: "np.ndarray") -> None:
+        self.indptr: List[int] = packed.indptr.tolist()
+        self.flow_index: List[int] = packed.flow_index.tolist()
+        self.detour: List[float] = packed.detour.tolist()
+        self.position: List[int] = packed.position.tolist()
+        self.value: List[float] = entry_value.tolist()
+
+
 class _KernelStatic:
     """Immutable per-scenario kernel state shared by every evaluator.
 
     Holds the packed CSR index, the precomputed per-incidence
     contribution ``f(detour, attractiveness) * volume`` (constant for a
     fixed scenario — detours never change, so the utility is evaluated
-    exactly once, vectorized), plain-list mirrors of the CSR columns for
-    the scalar hot loops (interpreter loops beat NumPy dispatch on the
-    few-entry rows a single-site query touches), and per-candidate-tuple
-    :class:`_Alignment` caches.
+    exactly once, vectorized), lazily-built plain-list mirrors of the
+    CSR columns for the scalar hot loops (:class:`_ScalarMirrors`), and
+    per-candidate-tuple :class:`_Alignment` caches.
     """
 
     __slots__ = (
         "packed",
         "entry_value",
         "row_of",
-        "indptr",
-        "flow_index",
-        "detour",
-        "position",
-        "value",
         "flow_count",
+        "_scalars",
         "_alignments",
     )
 
@@ -305,13 +339,18 @@ class _KernelStatic:
             * packed.volume[flow_index]
         )
         self.row_of = packed.row_of
-        self.indptr: List[int] = packed.indptr.tolist()
-        self.flow_index: List[int] = flow_index.tolist()
-        self.detour: List[float] = packed.detour.tolist()
-        self.position: List[int] = packed.position.tolist()
-        self.value: List[float] = self.entry_value.tolist()
         self.flow_count = packed.flow_count
+        self._scalars: Optional[_ScalarMirrors] = None
         self._alignments: Dict[int, _Alignment] = {}
+
+    def scalars(self) -> _ScalarMirrors:
+        """The (lazily built, then cached) scalar-loop column mirrors."""
+        mirrors = self._scalars
+        if mirrors is None:
+            mirrors = _ScalarMirrors(self.packed, self.entry_value)
+            self._scalars = mirrors
+            obs.count("kernel.scalar_mirror_builds")
+        return mirrors
 
     def alignment(self, nodes: Sequence[NodeId]) -> _Alignment:
         """The (cached) alignment for one candidate tuple.
@@ -467,13 +506,14 @@ class ArrayEvaluator:
         row = static.row_of.get(node)
         if row is None:
             return 0.0
-        flow_of = static.flow_index
-        detour = static.detour
-        value = static.value
+        scalars = static.scalars()
+        flow_of = scalars.flow_index
+        detour = scalars.detour
+        value = scalars.value
         best = self._best
         contribution = self._contribution
         total = 0.0
-        for j in range(static.indptr[row], static.indptr[row + 1]):
+        for j in range(scalars.indptr[row], scalars.indptr[row + 1]):
             flow_index = flow_of[j]
             if detour[j] < best[flow_index]:
                 delta = value[j] - contribution[flow_index]
@@ -489,14 +529,15 @@ class ArrayEvaluator:
         row = static.row_of.get(node)
         if row is None:
             return 0.0, 0.0
-        flow_of = static.flow_index
-        detour = static.detour
-        value = static.value
+        scalars = static.scalars()
+        flow_of = scalars.flow_index
+        detour = scalars.detour
+        value = scalars.value
         best = self._best
         contribution = self._contribution
         uncovered = 0.0
         covered = 0.0
-        for j in range(static.indptr[row], static.indptr[row + 1]):
+        for j in range(scalars.indptr[row], scalars.indptr[row + 1]):
             flow_index = flow_of[j]
             if detour[j] >= best[flow_index]:
                 continue
@@ -517,9 +558,10 @@ class ArrayEvaluator:
         row = static.row_of.get(node)
         if row is None:
             return False
-        flow_of = static.flow_index
+        scalars = static.scalars()
+        flow_of = scalars.flow_index
         touched = self._touched
-        for j in range(static.indptr[row], static.indptr[row + 1]):
+        for j in range(scalars.indptr[row], scalars.indptr[row + 1]):
             if not touched[flow_of[j]]:
                 return True
         return False
@@ -602,16 +644,17 @@ class ArrayEvaluator:
         static = self._static
         row = static.row_of.get(node)
         if row is not None:
-            flow_of = static.flow_index
-            detour = static.detour
-            position = static.position
-            value = static.value
+            scalars = static.scalars()
+            flow_of = scalars.flow_index
+            detour = scalars.detour
+            position = scalars.position
+            value = scalars.value
             best = self._best
             contribution = self._contribution
             touched = self._touched
             serving = self._serving
             serving_pos = self._serving_pos
-            for j in range(static.indptr[row], static.indptr[row + 1]):
+            for j in range(scalars.indptr[row], scalars.indptr[row + 1]):
                 flow_index = flow_of[j]
                 touched[flow_index] = True
                 entry_detour = detour[j]

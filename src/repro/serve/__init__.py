@@ -23,7 +23,12 @@ restarts skip recompilation), then answer placement queries against it:
   queries, tiered load shedding, and degraded cache-replay fallback;
 * :func:`~repro.serve.chaos.run_chaos` — seeded chaos harness that
   kills/stalls/slows/corrupts workers under concurrent load and checks
-  availability plus bit-identity of every non-degraded answer.
+  availability plus bit-identity of every non-degraded answer;
+* :class:`~repro.serve.shm.ShmArtifactPool` — shared-memory artifact
+  plane: one published segment per digest, zero-copy
+  :meth:`~repro.serve.artifacts.ScenarioArtifact.attach` restores in
+  every worker, refcounted attach/detach, and guaranteed unlink on
+  drain or crash (manifest-driven ``sweep``).
 
 Surfacing lives in the CLI (``rapflow serve [--workers N]`` /
 ``rapflow chaos`` / ``rapflow query`` / ``rapflow evaluate``) and
@@ -67,6 +72,14 @@ from .fleet import (
     run_fleet,
 )
 from .server import PlacementServer, run_server
+from .shm import (
+    ShmArtifactPool,
+    ShmAttachment,
+    ShmManifest,
+    memory_probe,
+    segment_exists,
+    segment_name_for,
+)
 from .testing import FleetThread, ServerThread
 
 __all__ = [
@@ -88,8 +101,12 @@ __all__ = [
     "ScenarioArtifact",
     "ServeClient",
     "ServerThread",
+    "ShmArtifactPool",
+    "ShmAttachment",
+    "ShmManifest",
     "build_schedule",
     "local_worker_factory",
+    "memory_probe",
     "process_worker_factory",
     "run_chaos",
     "run_fleet",
@@ -97,5 +114,7 @@ __all__ = [
     "scenario_digest",
     "scenario_from_spec",
     "scenario_to_spec",
+    "segment_exists",
+    "segment_name_for",
     "spec_digest",
 ]

@@ -31,7 +31,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -49,6 +49,9 @@ from ..core.utility import (
 from ..errors import ReproError, ServeArtifactError
 from ..graphs import network_from_dict, network_to_dict
 from ..graphs.io import _decode_id, _encode_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .shm import ShmArtifactPool, ShmAttachment
 
 PathLike = Union[str, Path]
 
@@ -205,6 +208,10 @@ class ScenarioArtifact:
     spec: Dict[str, object]
     scenario: Scenario
     stats: Dict[str, int]
+    #: Set on the shared-memory restore path only: keeps the segment
+    #: mapping alive for as long as the artifact is (the CSR columns
+    #: are views over it).
+    shm: Optional["ShmAttachment"] = None
 
     @classmethod
     def compile(cls, scenario: Scenario) -> "ScenarioArtifact":
@@ -235,6 +242,7 @@ class ScenarioArtifact:
                 flow_index=packed.flow_index,
                 detour=packed.detour,
                 position=packed.position,
+                entry_row=packed.entry_row,
                 volume=packed.volume,
                 attractiveness=packed.attractiveness,
             )
@@ -299,6 +307,9 @@ class ScenarioArtifact:
                 position=columns["position"],
                 volume=columns["volume"],
                 attractiveness=columns["attractiveness"],
+                # Artifacts saved before the shm plane carry no
+                # entry_row column; from_arrays rederives it then.
+                entry_row=columns.get("entry_row"),
             )
         except (KeyError, ReproError) as error:
             raise ServeArtifactError(
@@ -311,6 +322,74 @@ class ScenarioArtifact:
             stats = warm_kernel(scenario)
         obs.count("serve.artifact.loads")
         return cls(digest=digest, spec=spec, scenario=scenario, stats=stats)
+
+    @classmethod
+    def attach(
+        cls, pool: "ShmArtifactPool", digest: str
+    ) -> "ScenarioArtifact":
+        """Zero-copy restore from a shared-memory segment — no npz read.
+
+        The inverse of :meth:`repro.serve.shm.ShmArtifactPool.publish`:
+        the CSR columns become read-only views straight over the shared
+        buffer (``PackedCoverage.from_arrays`` adopts them, including
+        the published ``entry_row``, without copying) and the coverage
+        index is rebuilt lazily, so a worker serving through the numpy
+        kernel holds private memory only for the per-incidence utility
+        values — the arrays themselves stay one physical copy per host.
+
+        The returned artifact keeps the attachment alive via
+        :attr:`shm`; drop it with ``pool.detach(digest)`` when done.
+        """
+        attachment = pool.attach(digest)
+        try:
+            meta = attachment.manifest.meta
+            spec = meta.get("spec")
+            if not isinstance(spec, dict):
+                raise ServeArtifactError(
+                    f"shm manifest for {digest[:12]} has no scenario spec"
+                )
+            actual = spec_digest(spec)
+            if actual != digest:
+                raise ServeArtifactError(
+                    f"shm manifest digest mismatch: pool says {digest[:12]}, "
+                    f"spec hashes to {actual[:12]}"
+                )
+            scenario = scenario_from_spec(spec)
+            arrays = attachment.arrays
+            try:
+                packed = PackedCoverage.from_arrays(
+                    nodes=[
+                        _decode_id(raw)
+                        for raw in meta["packed_nodes"]  # type: ignore[union-attr]
+                    ],
+                    indptr=arrays["indptr"],
+                    flow_index=arrays["flow_index"],
+                    detour=arrays["detour"],
+                    position=arrays["position"],
+                    volume=arrays["volume"],
+                    attractiveness=arrays["attractiveness"],
+                    entry_row=arrays["entry_row"],
+                )
+            except (KeyError, ReproError) as error:
+                raise ServeArtifactError(
+                    f"shm arrays for {digest[:12]} are inconsistent: {error}"
+                ) from None
+            scenario.attach_coverage(
+                CoverageIndex.from_packed(scenario.flows, packed, lazy=True)
+            )
+            with obs.span("serve.artifact.attach"):
+                stats = warm_kernel(scenario)
+        except BaseException:  # rapflow: noqa[RAP003] detach-and-reraise cleanup
+            pool.detach(digest)
+            raise
+        obs.count("serve.artifact.attaches")
+        return cls(
+            digest=digest,
+            spec=spec,
+            scenario=scenario,
+            stats=stats,
+            shm=attachment,
+        )
 
 
 class ArtifactStore:

@@ -15,18 +15,29 @@ into **one** ``evaluate_placement_many`` call — deduplicating identical
 placements, which under hot-query workloads shrinks the kernel batch
 dramatically — and scatters the totals back to the per-request futures.
 
-A request whose caller vouches it is **alone** (``solo=True`` — the
-HTTP server passes ``inflight == 1``) and that finds no open batch
-bypasses the window entirely and dispatches immediately: holding a lone
-request hostage for ``window`` seconds buys no coalescing and costs
-exactly the window in latency (the low-concurrency regression
-BENCH_serve.json used to show at c=1/c=2).  The hint must come from the
-caller because the batcher alone cannot tell idle from busy: the
-engine's kernel call is synchronous, so by the time the loop hands the
-next queued request to the batcher the previous one has already
-finished and nothing is ever "pending" — only the server's admission
-count sees the concurrency.  Bypassed requests are tallied separately
-(``bypassed`` in :meth:`stats`).
+Batching only pays once enough requests are in flight to share a
+kernel call.  The caller therefore passes its admission count
+(``inflight=...`` — the HTTP server's concurrent-request gauge) and the
+batcher **bypasses the window adaptively**: a request that arrives with
+``inflight <= bypass_threshold`` and finds no batch already open
+dispatches immediately.  Holding such a request hostage for ``window``
+seconds buys little coalescing and costs up to the window in latency —
+the low-concurrency regression BENCH_serve.json showed at c=2 (0.57x)
+and c=4 (0.71x) before the threshold existed (PR 6's ``solo`` hint only
+covered c=1).  The hint must come from the caller because the batcher
+alone cannot tell idle from busy: the engine's kernel call is
+synchronous, so by the time the loop hands the next queued request to
+the batcher the previous one has already finished and nothing is ever
+"pending" — only the server's admission count sees the concurrency.
+Bypassed requests are tallied separately (``bypassed`` in
+:meth:`stats`).
+
+The batcher also serves as the **fleet front's per-shard dedup stage**:
+constructed with an async ``dispatch`` callable instead of an engine,
+flushes are forwarded (one coalesced placement list per window) to
+whatever answers — in the fleet, the retry/hedging worker path — so
+identical queries landing on *different replicas* still collapse to one
+backend call per window.
 
 Placements are scored independently by the kernel (each gets its own
 min-reduction and utility pass), so coalescing, reordering, and
@@ -44,7 +55,16 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .. import obs
 from ..errors import ServeRequestError
@@ -57,6 +77,13 @@ _Pending = Tuple[List[Tuple[NodeId, ...]], "asyncio.Future[List[float]]"]
 #: Batch group: canonical utility spec JSON (or "") and backend name.
 _GroupKey = Tuple[str, str]
 
+#: Async evaluate sink for engine-less batchers (the fleet front):
+#: ``(placements, utility, backend) -> totals`` in placement order.
+DispatchFn = Callable[
+    [List[Tuple[NodeId, ...]], Optional[dict], Optional[str]],
+    Awaitable[List[float]],
+]
+
 
 class MicroBatcher:
     """Coalesces concurrent evaluate requests into shared kernel calls.
@@ -65,19 +92,30 @@ class MicroBatcher:
     ----------
     engine:
         The query engine whose ``evaluate_totals`` scores each flushed
-        batch.
+        batch.  Mutually exclusive with ``dispatch``.
     window:
         Seconds to hold a batch open for stragglers (0 still batches
         whatever lands in the same loop iteration).
     max_batch:
         Flush early once this many placements are queued in one group.
+    bypass_threshold:
+        Dispatch immediately (no window) when the caller-reported
+        in-flight count is at or below this and no batch is open.  The
+        PR 6 behavior — bypass only genuinely solo requests — is
+        ``bypass_threshold=1``.
+    dispatch:
+        Async evaluate sink used instead of an engine (the fleet
+        front): each flush forwards the coalesced placements and awaits
+        the totals.  Mutually exclusive with ``engine``.
     """
 
     def __init__(
         self,
-        engine: QueryEngine,
+        engine: Optional[QueryEngine] = None,
         window: float = 0.002,
         max_batch: int = 256,
+        bypass_threshold: int = 1,
+        dispatch: Optional[DispatchFn] = None,
     ) -> None:
         if window < 0:
             raise ServeRequestError(f"window must be >= 0, got {window}")
@@ -85,12 +123,23 @@ class MicroBatcher:
             raise ServeRequestError(
                 f"max_batch must be >= 1, got {max_batch}"
             )
+        if bypass_threshold < 0:
+            raise ServeRequestError(
+                f"bypass_threshold must be >= 0, got {bypass_threshold}"
+            )
+        if (engine is None) == (dispatch is None):
+            raise ServeRequestError(
+                "exactly one of engine= and dispatch= must be given"
+            )
         self._engine = engine
+        self._dispatch = dispatch
         self._window = window
         self._max_batch = max_batch
+        self._bypass_threshold = bypass_threshold
         self._pending: Dict[_GroupKey, List[_Pending]] = {}
         self._specs: Dict[_GroupKey, Tuple[Optional[dict], Optional[str]]] = {}
         self._flush_tasks: Dict[_GroupKey, "asyncio.Task[None]"] = {}
+        self._dispatch_tasks: Set["asyncio.Task[None]"] = set()
         self.flushes = 0
         self.batched_requests = 0
         self.batched_placements = 0
@@ -103,30 +152,39 @@ class MicroBatcher:
         utility: Optional[dict] = None,
         backend: Optional[str] = None,
         solo: bool = False,
+        inflight: Optional[int] = None,
     ) -> List[float]:
         """Score ``placements``, sharing a kernel call with peers.
 
         Awaits until the enclosing batch flushes; the returned totals
-        are ordered like ``placements``.  ``solo=True`` asserts no
-        concurrent request could share the batch (the caller sees the
-        admission state); a solo request with no batch already open
-        dispatches immediately instead of paying the window.
+        are ordered like ``placements``.  ``inflight`` is the caller's
+        concurrent-request count (the server's admission gauge): at or
+        below ``bypass_threshold``, with no batch already open, the
+        request dispatches immediately instead of paying the window.
+        ``solo=True`` is the legacy spelling of ``inflight=1``.
         """
         if not placements:
             return []
-        if solo and not self._pending and not self._flush_tasks:
-            # Nothing to coalesce with: dispatch immediately instead of
-            # paying the batch window for zero sharing.  The engine call
-            # is synchronous, so no other request can enqueue between
-            # this check and the call.
+        quiet = solo or (
+            inflight is not None and inflight <= self._bypass_threshold
+        )
+        if quiet and not self._pending and not self._flush_tasks:
+            # Too little concurrency to coalesce with: dispatch
+            # immediately instead of paying the batch window for zero
+            # (or near-zero) sharing.  With a synchronous engine no
+            # other request can enqueue between this check and the
+            # call; with an async dispatch a concurrent arrival simply
+            # opens its own batch.
             self.bypassed += 1
             self.batched_requests += 1
             self.batched_placements += len(placements)
             obs.count("serve.batch.bypassed")
+            normalized = [tuple(sites) for sites in placements]
+            if self._dispatch is not None:
+                return await self._dispatch(normalized, utility, backend)
+            assert self._engine is not None
             return self._engine.evaluate_totals(
-                [tuple(sites) for sites in placements],
-                utility=utility,
-                backend=backend,
+                normalized, utility=utility, backend=backend
             )
         key: _GroupKey = (
             json.dumps(utility, sort_keys=True) if utility else "",
@@ -184,10 +242,40 @@ class MicroBatcher:
                 "serve.batch.deduped": requested - len(unique),
             }
         )
+        if self._dispatch is not None:
+            task = asyncio.get_running_loop().create_task(
+                self._scatter_dispatch(group, unique, utility, backend)
+            )
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_tasks.discard)
+            return
+        assert self._engine is not None
         try:
             totals = self._engine.evaluate_totals(
                 list(unique), utility=utility, backend=backend
             )
+        except Exception as error:  # rapflow: noqa[RAP003] scattered to every awaiting request, which re-raises with full type
+            for _, future in group:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for placements, future in group:
+            if not future.done():
+                future.set_result(
+                    [totals[unique[placement]] for placement in placements]
+                )
+
+    async def _scatter_dispatch(
+        self,
+        group: List[_Pending],
+        unique: Dict[Tuple[NodeId, ...], int],
+        utility: Optional[dict],
+        backend: Optional[str],
+    ) -> None:
+        """Await the async sink for one flush and scatter its totals."""
+        assert self._dispatch is not None
+        try:
+            totals = await self._dispatch(list(unique), utility, backend)
         except Exception as error:  # rapflow: noqa[RAP003] scattered to every awaiting request, which re-raises with full type
             for _, future in group:
                 if not future.done():
@@ -205,6 +293,15 @@ class MicroBatcher:
             self._cancel_timer(key)
         for key in list(self._pending):
             self._flush(key)
+        while self._dispatch_tasks:
+            outcomes = await asyncio.gather(
+                *list(self._dispatch_tasks), return_exceptions=True
+            )
+            for outcome in outcomes:
+                # _scatter_dispatch delivers failures to the awaiting
+                # futures; anything surfacing here is a harness bug.
+                if isinstance(outcome, Exception):
+                    raise outcome
 
     def stats(self) -> Dict[str, int]:
         """Lifetime batching tallies (for ``/healthz`` and the bench)."""
@@ -217,4 +314,4 @@ class MicroBatcher:
         }
 
 
-__all__ = ["MicroBatcher"]
+__all__ = ["DispatchFn", "MicroBatcher"]

@@ -141,6 +141,10 @@ class ChaosResult:
     #: The fleet's async-sanitizer tallies (None unless RAPFLOW_SANITIZE
     #: was set for the run) — CI asserts zero violations on it.
     sanitizer: Optional[Dict[str, object]] = None
+    #: Shared-memory plane summary when the run attached workers over
+    #: shm (``via_shm=True``): segment name, attach count, and whether
+    #: the segment leaked past cleanup — CI asserts ``leaked`` false.
+    shm: Optional[Dict[str, object]] = None
 
     def availability(self, kind: str = "evaluate") -> float:
         """Fraction of ``kind`` requests answered 200 (1.0 if none sent)."""
@@ -171,6 +175,7 @@ class ChaosResult:
             "events_applied": list(self.events_applied),
             "worker_states": list(self.worker_states),
             "sanitizer": self.sanitizer,
+            "shm": self.shm,
         }
 
 
@@ -250,6 +255,7 @@ def run_chaos(
     jsonl_path: Optional[Union[str, Path]] = None,
     fleet_config: Optional[FleetConfig] = None,
     events: Optional[Sequence[ChaosEvent]] = None,
+    via_shm: bool = False,
 ) -> ChaosResult:
     """Drive a fleet through ``preset`` failures and measure the damage.
 
@@ -259,6 +265,13 @@ def run_chaos(
     at their scheduled points in the stream, and returns a
     :class:`ChaosResult`.  Pass ``jsonl_path`` to append one JSON line
     per request outcome and applied event.
+
+    With ``via_shm=True`` the artifact is published once into a
+    temporary shared-memory pool and every worker replica **attaches**
+    zero-copy instead of holding its own array copies — the chaos run
+    then doubles as a lifecycle test for the shm plane: the summary's
+    ``shm.leaked`` flag reports whether the segment survived cleanup
+    (it must not, even with workers killed mid-load).
     """
     schedule = sorted(
         events if events is not None else build_schedule(preset, workers, seed),
@@ -283,10 +296,24 @@ def run_chaos(
 
     worker_seed = seed * 11 + 5
 
+    shm_pool = None
+    if via_shm:
+        import tempfile
+
+        from .shm import ShmArtifactPool
+
+        shm_pool = ShmArtifactPool(tempfile.mkdtemp(prefix="rapflow-chaos-shm-"))
+        shm_pool.publish(artifact)
+
     def engine_factory() -> QueryEngine:
         injector = None
         if fault_config is not None:
             injector = FaultInjector(fault_config, seed=worker_seed)
+        if shm_pool is not None:
+            # Each replica restores zero-copy from the shared segment:
+            # no npz read, no private array copies.
+            attached = ScenarioArtifact.attach(shm_pool, artifact.digest)
+            return QueryEngine(attached, fault_injector=injector)
         return QueryEngine(artifact, fault_injector=injector)
 
     config = fleet_config or FleetConfig(
@@ -426,8 +453,26 @@ def run_chaos(
             sanitizer_doc = health.get("sanitizer")
             if isinstance(sanitizer_doc, dict):
                 result.sanitizer = sanitizer_doc
+        if shm_pool is not None:
+            # The fleet is stopped: detach the replicas' handles and
+            # unlink the segment, then probe that nothing leaked —
+            # killed workers must not pin the segment past cleanup.
+            from .shm import segment_exists, segment_name_for
+
+            segment = segment_name_for(artifact.digest)
+            shm_pool.detach_all()
+            shm_pool.unlink_all()
+            result.shm = {
+                "digest": artifact.digest,
+                "segment": segment,
+                "leaked": segment_exists(segment),
+            }
         log({"summary": result.to_dict()})
     finally:
+        if shm_pool is not None and result.shm is None:
+            # The run died before clean teardown: still unlink.
+            shm_pool.detach_all()
+            shm_pool.unlink_all()
         if log_handle is not None:
             log_handle.close()
     return result

@@ -18,12 +18,25 @@ without waiting for it.
 The client is deliberately synchronous: benchmark and CI drivers spread
 instances across threads to generate concurrency, while the server
 stays a single asyncio loop.
+
+Connections are **reused** (HTTP keep-alive): one client holds one TCP
+connection open across requests and only reconnects when the server
+closes it or a transport error surfaces.  At high concurrency this is
+the difference between measuring the serving plane and measuring TCP
+handshakes.  A request that fails on a *reused* connection is silently
+retried once on a fresh connection — the failure mode is almost always
+a keep-alive connection the server closed while idle, and every request
+kind the server exposes is a pure read.  Connections are **per thread**
+(thread-local), so one client instance can be shared across a thread
+pool — each thread keeps its own connection and reply framing never
+interleaves.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 from http.client import HTTPConnection, HTTPException
 from typing import Callable, Dict, List, Optional, Sequence
@@ -32,6 +45,7 @@ from .. import obs
 from ..errors import ServeClientError, ServeRequestError
 from ..graphs import NodeId
 from .engine import encode_site
+from .server import DIGEST_HEADER
 
 
 class ServeClient:
@@ -61,6 +75,12 @@ class ServeClient:
     sleep:
         Injected sleeper (defaults to ``time.sleep``); tests pass a
         recorder to assert the schedule without real waiting.
+    digest:
+        Scenario digest to address when the server is a multi-shard
+        fleet front: every request carries it in the
+        ``X-Rapflow-Digest`` header and the front routes to that
+        shard's worker group.  ``None`` (the default) hits the front's
+        default shard; single-artifact servers ignore the header.
     """
 
     def __init__(
@@ -74,6 +94,7 @@ class ServeClient:
         jitter: float = 0.5,
         retry_seed: int = 0,
         sleep: Optional[Callable[[float], None]] = None,
+        digest: Optional[str] = None,
     ) -> None:
         if retries < 0:
             raise ServeRequestError(f"retries must be >= 0, got {retries}")
@@ -90,6 +111,35 @@ class ServeClient:
         self._jitter = jitter
         self._rng = random.Random(retry_seed)
         self._sleep = sleep if sleep is not None else time.sleep
+        self._digest = digest
+        self._local = threading.local()
+        self._connections: List[HTTPConnection] = []
+        self._connections_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Drop every kept-alive connection (idempotent, all threads)."""
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close()
+        self._local.connection = None
+
+    def _drop_connection(self) -> None:
+        """Drop the calling thread's kept-alive connection."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            return
+        self._local.connection = None
+        connection.close()
+        with self._connections_lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # transport
@@ -122,15 +172,25 @@ class ServeClient:
     def _request_once(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> Dict[str, object]:
-        connection = HTTPConnection(
-            self._host, self._port, timeout=self._timeout
-        )
+        payload = json.dumps(body).encode("utf-8") if body else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        if self._digest is not None:
+            headers[DIGEST_HEADER] = self._digest
+        reused = getattr(self._local, "connection", None) is not None
         retry_after: Optional[float] = None
         try:
-            payload = json.dumps(body).encode("utf-8") if body else None
-            headers = {"Content-Type": "application/json"} if payload else {}
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
+            try:
+                response = self._exchange(method, path, payload, headers)
+            except (OSError, HTTPException):
+                if not reused:
+                    raise
+                # A reused keep-alive connection the server has since
+                # closed: reconnect and re-send once.  Every request
+                # kind is a pure read, so the re-send cannot double any
+                # effect.
+                self._drop_connection()
+                obs.count("serve.client.reconnects")
+                response = self._exchange(method, path, payload, headers)
             raw = response.read()
             status = response.status
             hint = response.getheader("Retry-After")
@@ -139,15 +199,17 @@ class ServeClient:
                     retry_after = float(hint)
                 except ValueError:
                     retry_after = None
+            if response.will_close:
+                self._drop_connection()
         except (OSError, HTTPException) as error:
+            self._drop_connection()
             raise ServeClientError(
                 f"cannot reach {self._host}:{self._port}: {error}"
             ) from error
-        finally:
-            connection.close()
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._drop_connection()
             raise ServeClientError(
                 f"server returned invalid JSON (status {status}): {error}",
                 status=status,
@@ -169,6 +231,26 @@ class ServeClient:
                 status=status,
             )
         return decoded
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        headers: Dict[str, str],
+    ):
+        """Send one request on this thread's kept-alive connection;
+        returns the (unread) response."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._local.connection = connection
+            with self._connections_lock:
+                self._connections.append(connection)
+        connection.request(method, path, body=payload, headers=headers)
+        return connection.getresponse()
 
     # ------------------------------------------------------------------
     # typed queries

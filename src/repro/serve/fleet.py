@@ -1,13 +1,22 @@
 """Fault-tolerant serving fleet: one front, N supervised workers.
 
 One :class:`PlacementFleet` runs a routing front (same hand-rolled
-asyncio HTTP stack as :mod:`repro.serve.server`) over ``N`` worker
-replicas, each an independent :class:`~repro.serve.server.PlacementServer`
-serving the *same* content-addressed artifact.  Requests are routed by
-the artifact's scenario digest: the fleet is one shard of the GreeDi-style
-partition topology, and every worker reply must carry the shard's digest
-— a mismatched digest is treated as a corrupt reply, never returned to
-the caller.
+asyncio HTTP stack as :mod:`repro.serve.server`) over worker replicas,
+each an independent :class:`~repro.serve.server.PlacementServer`
+serving a content-addressed artifact.  Requests are routed by scenario
+digest: the fleet carries one or more **shards** (digest → worker
+group, the GreeDi-style partition topology from the billboard-placement
+companion paper), a client addresses a non-default shard with the
+``X-Rapflow-Digest`` header, and every worker reply must carry its
+shard's digest — a mismatched digest is treated as a corrupt reply,
+never returned to the caller.
+
+With ``front_batch_window > 0`` the front also runs one
+:class:`~repro.serve.batching.MicroBatcher` per shard in *dispatch*
+mode: concurrent ``evaluate`` requests are deduplicated and coalesced
+**before** replica routing, so identical hot queries that would have
+landed on different replicas collapse to one backend call per window —
+per-shard dedup, not per-worker.
 
 The fleet stays alive under injected failure through four mechanisms:
 
@@ -66,15 +75,24 @@ from typing import (
 
 from .. import obs
 from ..errors import ServeRequestError, ServeWorkerError
+from ..graphs import NodeId
 from ..obs.clock import Clock, SystemClock
+from .batching import MicroBatcher
+from .engine import decode_site, encode_site
 from .server import (
     DEADLINE_HEADER,
+    DIGEST_HEADER,
     close_quietly,
     read_http_request,
     sanitizer_health,
     write_json_response,
 )
 from .testing import ServerThread
+
+# DIGEST_HEADER (re-exported from .server): a client addresses a
+# specific shard (scenario digest) behind a multi-shard front with it.
+# Absent, the front's default shard answers; an unknown digest is a 404
+# (the front serves no such shard).
 
 #: Request kinds safe to retry/hedge: re-executing them cannot change
 #: state anywhere (evaluate and top_gains are pure reads; place is too,
@@ -96,6 +114,11 @@ SHED_TIERS: Dict[str, float] = {
 
 #: Latency samples retained per worker (p95/p99 estimation).
 _LATENCY_WINDOW = 256
+
+#: Validated evaluate bodies memoized on the front (LRU).  Hot
+#: workloads re-send byte-identical bodies; a hit skips JSON parsing
+#: and placement validation on the front's single event loop.
+PARSE_CACHE_ENTRIES = 512
 
 
 @dataclass
@@ -130,7 +153,15 @@ class RetryPolicy:
 
 @dataclass
 class FleetConfig:
-    """Supervision and admission knobs for one :class:`PlacementFleet`."""
+    """Supervision and admission knobs for one :class:`PlacementFleet`.
+
+    ``workers`` counts replicas **per shard**.  The ``front_*`` knobs
+    control the front-side per-shard micro-batcher:
+    ``front_batch_window=0`` (the default) disables it — per-worker
+    batching inside each :class:`~repro.serve.server.PlacementServer`
+    still applies — while a positive window coalesces and deduplicates
+    concurrent ``evaluate`` requests across replicas before routing.
+    """
 
     workers: int = 2
     host: str = "127.0.0.1"
@@ -147,11 +178,27 @@ class FleetConfig:
     degraded_cache_size: int = 256
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 0
+    front_batch_window: float = 0.0
+    front_max_batch: int = 256
+    front_bypass: int = 4
 
     def validate(self) -> None:
         if self.workers < 1:
             raise ServeRequestError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.front_batch_window < 0:
+            raise ServeRequestError(
+                "front_batch_window must be >= 0, got "
+                f"{self.front_batch_window}"
+            )
+        if self.front_max_batch < 1:
+            raise ServeRequestError(
+                f"front_max_batch must be >= 1, got {self.front_max_batch}"
+            )
+        if self.front_bypass < 0:
+            raise ServeRequestError(
+                f"front_bypass must be >= 0, got {self.front_bypass}"
             )
         if self.max_inflight < 1:
             raise ServeRequestError(
@@ -331,11 +378,27 @@ class ProcessWorker:
 
 
 class _WorkerSlot:
-    """Supervisor bookkeeping for one worker replica."""
+    """Supervisor bookkeeping for one worker replica.
 
-    def __init__(self, index: int, worker: object) -> None:
+    ``index`` is fleet-global (stable across shards), ``replica`` is the
+    shard-local position handed to the factory, ``digest`` names the
+    shard the replica serves, and ``factory`` is kept so respawns build
+    a replica of the *same* shard.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        worker: object,
+        digest: str,
+        replica: int,
+        factory: Callable[[int], object],
+    ) -> None:
         self.index = index
         self.worker = worker
+        self.digest = digest
+        self.replica = replica
+        self.factory = factory
         self.state = "starting"  # starting | up | down | respawning | ejected
         self.missed = 0
         self.respawns = 0
@@ -344,6 +407,10 @@ class _WorkerSlot:
         self.latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self.inflight = 0
         self.last_error: Optional[str] = None
+        #: Selected fields of the worker's last healthy ``/healthz``
+        #: reply (restore provenance, batching tallies) — the front's
+        #: window into per-worker memory/attach accounting.
+        self.last_health: Optional[Dict[str, object]] = None
 
     @property
     def worker_id(self) -> str:
@@ -360,6 +427,7 @@ class _WorkerSlot:
     def to_dict(self) -> Dict[str, object]:
         return {
             "id": self.worker_id,
+            "digest": self.digest,
             "state": self.state,
             "missed": self.missed,
             "respawns": self.respawns,
@@ -368,39 +436,75 @@ class _WorkerSlot:
             "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
             "last_error": self.last_error,
+            "health": self.last_health,
         }
+
+
+class _ShardAnswer(ServeWorkerError):
+    """A non-200 shard answer tunnelled through the front batcher.
+
+    The batcher's dispatch callable can only return totals or raise;
+    this carries the exact ``(status, payload)`` the retry path
+    produced, so every coalesced request in the flush answers with it.
+    """
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        super().__init__(str(payload.get("error", f"status {status}")))
+        self.status = status
+        self.payload = payload
 
 
 # ----------------------------------------------------------------------
 # the fleet
 # ----------------------------------------------------------------------
 class PlacementFleet:
-    """Routing front + supervisor over N worker replicas of one shard.
+    """Routing front + supervisor over replicated, digest-keyed shards.
 
     Parameters
     ----------
     worker_factory:
-        ``worker_factory(index) -> worker`` builds the replica for slot
-        ``index``; it is called again on every respawn, so each respawn
-        is a genuinely fresh worker.
+        ``worker_factory(index) -> worker`` builds a replica of the
+        default shard; it is called again on every respawn, so each
+        respawn is a genuinely fresh worker.  Ignored when ``shards``
+        is given.
     digest:
-        The shard's scenario digest.  Every worker reply must echo it;
-        replies that do not are dropped as corrupt and retried.
+        The default shard's scenario digest — the shard that answers
+        requests carrying no ``X-Rapflow-Digest`` header.  Every worker
+        reply must echo its shard's digest; replies that do not are
+        dropped as corrupt and retried.
     config:
-        Supervision/admission knobs (:class:`FleetConfig`).
+        Supervision/admission knobs (:class:`FleetConfig`);
+        ``config.workers`` replicas spawn per shard.
     clock:
         Injected time source for heartbeat deadlines and latency
         accounting (RAP002).
+    shards:
+        Optional full shard map ``{digest: worker_factory}`` for a
+        multi-shard front; must contain ``digest``.  Omitted, the fleet
+        serves the single shard ``{digest: worker_factory}``.
     """
 
     def __init__(
         self,
-        worker_factory: Callable[[int], object],
+        worker_factory: Optional[Callable[[int], object]],
         digest: str,
         config: Optional[FleetConfig] = None,
         clock: Optional[Clock] = None,
+        shards: Optional[Dict[str, Callable[[int], object]]] = None,
     ) -> None:
-        self._factory = worker_factory
+        if shards:
+            self._shards: Dict[str, Callable[[int], object]] = dict(shards)
+            if digest not in self._shards:
+                raise ServeRequestError(
+                    f"default digest {digest[:12]} is not one of the "
+                    f"{len(self._shards)} configured shards"
+                )
+        else:
+            if worker_factory is None:
+                raise ServeRequestError(
+                    "either worker_factory or shards must be given"
+                )
+            self._shards = {digest: worker_factory}
         self._digest = digest
         self._config = config if config is not None else FleetConfig()
         self._config.validate()
@@ -410,6 +514,17 @@ class PlacementFleet:
         self._server: Optional[asyncio.AbstractServer] = None
         self._supervisor: Optional["asyncio.Task[None]"] = None
         self._respawn_tasks: List["asyncio.Task[None]"] = []
+        self._front_batchers: Dict[str, MicroBatcher] = {}
+        #: Hot-body parse memo: ``(digest, raw body)`` of an already
+        #: validated evaluate request → its decoded ``(placements,
+        #: utility, backend)``.  Hot workloads re-send identical bodies;
+        #: a hit skips JSON parsing, validation, and site decoding on
+        #: the front's single loop (a large share of per-request cost at
+        #: high concurrency).  Purely a parse cache — answers still flow
+        #: through the batcher and workers every time.
+        self._parse_cache: "OrderedDict[Tuple[str, bytes], Tuple[List[List[NodeId]], Optional[dict], Optional[str]]]" = (
+            OrderedDict()
+        )
         self._draining = False
         self._inflight = 0
         self._next_slot = 0
@@ -423,12 +538,24 @@ class PlacementFleet:
         self.degraded = 0
         self.corrupt_detected = 0
         self.rejected = 0
+        self.shard_served: Dict[str, int] = {
+            shard: 0 for shard in self._shards
+        }
 
     # -- lifecycle ------------------------------------------------------
     @property
     def digest(self) -> str:
-        """The scenario digest this fleet serves."""
+        """The default shard's scenario digest."""
         return self._digest
+
+    @property
+    def shard_digests(self) -> List[str]:
+        """Every digest this front routes (default shard first)."""
+        ordered = [self._digest]
+        ordered.extend(
+            shard for shard in self._shards if shard != self._digest
+        )
+        return ordered
 
     @property
     def config(self) -> FleetConfig:
@@ -454,10 +581,16 @@ class PlacementFleet:
         sanitize.install_async_if_enabled()
         loop = asyncio.get_running_loop()
         spawns = []
-        for index in range(self._config.workers):
-            slot = _WorkerSlot(index, self._factory(index))
-            self._slots.append(slot)
-            spawns.append(loop.run_in_executor(None, slot.worker.start))
+        index = 0
+        for shard in self.shard_digests:
+            factory = self._shards[shard]
+            for replica in range(self._config.workers):
+                slot = _WorkerSlot(
+                    index, factory(replica), shard, replica, factory
+                )
+                index += 1
+                self._slots.append(slot)
+                spawns.append(loop.run_in_executor(None, slot.worker.start))
         results = await asyncio.gather(*spawns, return_exceptions=True)
         for slot, result in zip(self._slots, results):
             if isinstance(result, BaseException):
@@ -465,8 +598,25 @@ class PlacementFleet:
                 obs.count("fleet.spawn_failures")
             else:
                 slot.state = "up"
-        if not any(slot.state == "up" for slot in self._slots):
-            raise ServeWorkerError("no worker came up at fleet start")
+        for shard in self.shard_digests:
+            if not any(
+                slot.state == "up"
+                for slot in self._slots
+                if slot.digest == shard
+            ):
+                raise ServeWorkerError(
+                    f"no worker came up for shard {shard[:12]} at fleet start"
+                )
+        if self._config.front_batch_window > 0:
+            self._front_batchers = {
+                shard: MicroBatcher(
+                    dispatch=self._shard_dispatch(shard),
+                    window=self._config.front_batch_window,
+                    max_batch=self._config.front_max_batch,
+                    bypass_threshold=self._config.front_bypass,
+                )
+                for shard in self.shard_digests
+            }
         self._server = await asyncio.start_server(
             self._serve_connection, self._config.host, self._config.port
         )
@@ -496,6 +646,8 @@ class PlacementFleet:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        for batcher in self._front_batchers.values():
+            await batcher.drain()
         loop = asyncio.get_running_loop()
         stops = [
             loop.run_in_executor(None, slot.worker.stop)
@@ -546,7 +698,12 @@ class PlacementFleet:
                 _http_exchange(host, port, "GET", "/healthz", None, {}),
                 self._config.heartbeat_timeout,
             )
-            healthy = status == 200 and payload.get("digest") == self._digest
+            healthy = status == 200 and payload.get("digest") == slot.digest
+            if healthy:
+                slot.last_health = {
+                    "restore": payload.get("restore"),
+                    "batching": payload.get("batching"),
+                }
         except (
             OSError,
             asyncio.TimeoutError,
@@ -595,7 +752,7 @@ class PlacementFleet:
         loop = asyncio.get_running_loop()
         # Reap whatever is left of the old worker before starting anew.
         await loop.run_in_executor(None, slot.worker.kill)
-        slot.worker = self._factory(slot.index)
+        slot.worker = slot.factory(slot.replica)
         try:
             await loop.run_in_executor(None, slot.worker.start)
         except Exception:  # rapflow: noqa[RAP003] any spawn failure re-enters the down path for another backoff round
@@ -621,7 +778,9 @@ class PlacementFleet:
                 if parsed is None:
                     break
                 method, path, headers, body, keep_alive = parsed
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(
+                    method, path, headers, body
+                )
                 extra = None
                 if status in (429, 503):
                     extra = {"Retry-After": "0.05"}
@@ -636,7 +795,7 @@ class PlacementFleet:
             await close_quietly(writer, where="fleet")
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Dict[str, object]]:
         if path == "/healthz":
             if method != "GET":
@@ -649,6 +808,30 @@ class PlacementFleet:
         if self._draining:
             self.rejected += 1
             return 503, {"error": "fleet is draining", "retryable": True}
+        digest = headers.get(DIGEST_HEADER, self._digest)
+        if digest not in self._shards:
+            obs.count("fleet.unknown_shard")
+            return 404, {
+                "error": f"this front serves no shard {digest[:16]}"
+            }
+        parsed = self._parse_cache.get((digest, body))
+        if parsed is not None:
+            # A previously validated evaluate body, byte-identical:
+            # straight to the batcher, no JSON or decode work.
+            self._parse_cache.move_to_end((digest, body))
+            batcher = self._front_batchers.get(digest)
+            if batcher is not None:
+                obs.count("fleet.parse_cache.hits")
+                shed = self._admit("evaluate")
+                if shed is not None:
+                    return shed
+                self._inflight += 1
+                try:
+                    return await self._front_evaluate_parsed(
+                        batcher, parsed, digest
+                    )
+                finally:
+                    self._inflight -= 1
         try:
             request = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -661,7 +844,12 @@ class PlacementFleet:
             return shed
         self._inflight += 1
         try:
-            return await self._answer(kind, request, body)
+            batcher = self._front_batchers.get(digest)
+            if batcher is not None and kind == "evaluate":
+                return await self._front_evaluate(
+                    batcher, request, digest, body
+                )
+            return await self._answer(kind, request, body, digest)
         finally:
             self._inflight -= 1
 
@@ -687,15 +875,23 @@ class PlacementFleet:
 
     # -- request resilience ---------------------------------------------
     async def _answer(
-        self, kind: str, request: Dict[str, object], body: bytes
+        self,
+        kind: str,
+        request: Dict[str, object],
+        body: bytes,
+        digest: str,
     ) -> Tuple[int, Dict[str, object]]:
         idempotent = kind in IDEMPOTENT_KINDS
         attempts = self._config.retry.retries + 1 if idempotent else 1
         deadline_at = self._clock.now() + self._config.timeout
-        cache_key = json.dumps(request, sort_keys=True) if idempotent else ""
+        cache_key = (
+            digest + "|" + json.dumps(request, sort_keys=True)
+            if idempotent
+            else ""
+        )
         tried: List[int] = []
         for attempt in range(attempts):
-            slot = self._pick_worker(tried)
+            slot = self._pick_worker(tried, digest)
             if slot is None:
                 break
             tried.append(slot.index)
@@ -718,13 +914,16 @@ class PlacementFleet:
                     "retryable": True,
                 }
             if status == 200:
-                if payload.get("digest") != self._digest:
+                if payload.get("digest") != digest:
                     # Corrupt reply: wrong shard or garbled bytes —
                     # never surface it; treat as a retryable failure.
                     self.corrupt_detected += 1
                     obs.count("fleet.replies.corrupt_detected")
                 else:
                     self.served += 1
+                    self.shard_served[digest] = (
+                        self.shard_served.get(digest, 0) + 1
+                    )
                     payload["served_by"] = responder.worker_id
                     if idempotent:
                         self._remember(cache_key, payload)
@@ -739,9 +938,15 @@ class PlacementFleet:
                 await asyncio.sleep(self._retry_delay(attempt))
         return self._degrade(kind, cache_key)
 
-    def _pick_worker(self, tried: Sequence[int]) -> Optional[_WorkerSlot]:
-        """Round-robin over live workers, skipping already-tried ones."""
-        alive = [slot for slot in self._slots if slot.state == "up"]
+    def _pick_worker(
+        self, tried: Sequence[int], digest: str
+    ) -> Optional[_WorkerSlot]:
+        """Round-robin over the shard's live workers, skipping tried ones."""
+        alive = [
+            slot
+            for slot in self._slots
+            if slot.state == "up" and slot.digest == digest
+        ]
         if not alive:
             return None
         fresh = [slot for slot in alive if slot.index not in tried]
@@ -804,7 +1009,7 @@ class PlacementFleet:
         if primary in done:
             status, payload = primary.result()
             return status, payload, slot
-        backup_slot = self._pick_worker(tried)
+        backup_slot = self._pick_worker(tried, slot.digest)
         if backup_slot is None:
             status, payload = await primary
             return status, payload, slot
@@ -862,6 +1067,122 @@ class PlacementFleet:
             "retryable": True,
         }
 
+    # -- front-side per-shard batching ----------------------------------
+    def _shard_dispatch(
+        self, digest: str
+    ) -> Callable[..., "asyncio.Future"]:
+        """The async evaluate sink one shard's front batcher flushes to.
+
+        Re-encodes the coalesced placements into a single worker
+        request and routes it through the normal retry/hedging path, so
+        a front-batched flush keeps every resilience property a direct
+        forward has.
+        """
+        async def dispatch(
+            placements: List[Tuple[NodeId, ...]],
+            utility: Optional[dict],
+            backend: Optional[str],
+        ) -> List[float]:
+            request: Dict[str, object] = {
+                "kind": "evaluate",
+                "placements": [
+                    [encode_site(site) for site in placement]
+                    for placement in placements
+                ],
+            }
+            if utility is not None:
+                request["utility"] = utility
+            if backend is not None:
+                request["backend"] = backend
+            body = json.dumps(request).encode("utf-8")
+            status, payload = await self._answer(
+                "evaluate", request, body, digest
+            )
+            if status != 200:
+                raise _ShardAnswer(status, payload)
+            totals = payload.get("totals")
+            if not isinstance(totals, list) or len(totals) != len(placements):
+                raise ServeWorkerError(
+                    f"shard {digest[:12]} answered {len(placements)} "
+                    "placements with a malformed totals list"
+                )
+            obs.count("fleet.front_batch.flushes")
+            return [float(total) for total in totals]
+
+        return dispatch
+
+    async def _front_evaluate(
+        self,
+        batcher: MicroBatcher,
+        request: Dict[str, object],
+        digest: str,
+        body: bytes,
+    ) -> Tuple[int, Dict[str, object]]:
+        """Route one evaluate request through the shard's front batcher."""
+        raw = request.get("placements")
+        if not isinstance(raw, list) or not raw:
+            return 400, {
+                "error": "request field 'placements' must be a non-empty "
+                "list of site lists"
+            }
+        try:
+            placements = [
+                [decode_site(site) for site in entry]
+                for entry in raw
+                if isinstance(entry, (list, tuple))
+            ]
+            if len(placements) != len(raw):
+                return 400, {"error": "placements must be lists of sites"}
+        except ServeRequestError as error:
+            return 400, {"error": str(error)}
+        backend = request.get("backend")
+        if backend is not None and backend not in ("python", "numpy"):
+            return 400, {
+                "error": f"unknown backend {backend!r}; expected 'python' "
+                "or 'numpy'"
+            }
+        utility = request.get("utility")
+        if utility is None or isinstance(utility, dict):
+            self._parse_cache[(digest, body)] = (
+                placements,
+                utility,
+                backend,
+            )
+            if len(self._parse_cache) > PARSE_CACHE_ENTRIES:
+                self._parse_cache.popitem(last=False)
+        return await self._front_evaluate_parsed(
+            batcher, (placements, utility, backend), digest
+        )
+
+    async def _front_evaluate_parsed(
+        self,
+        batcher: MicroBatcher,
+        parsed: Tuple[
+            List[List[NodeId]], Optional[dict], Optional[str]
+        ],
+        digest: str,
+    ) -> Tuple[int, Dict[str, object]]:
+        """Batch an already-validated evaluate request (parse-memo hit)."""
+        placements, utility, backend = parsed
+        try:
+            totals = await batcher.evaluate(
+                placements,
+                utility=utility,  # type: ignore[arg-type]
+                backend=backend,  # type: ignore[arg-type]
+                inflight=self._inflight,
+            )
+        except _ShardAnswer as answer:
+            return answer.status, answer.payload
+        except ServeWorkerError as error:
+            return 502, {"error": str(error), "retryable": True}
+        obs.count("fleet.front_batch.requests")
+        return 200, {
+            "kind": "evaluate",
+            "digest": digest,
+            "totals": totals,
+            "front_batched": True,
+        }
+
     # -- health ---------------------------------------------------------
     def healthz(self) -> Dict[str, object]:
         """The fleet health document (also ``GET /healthz``)."""
@@ -875,10 +1196,26 @@ class PlacementFleet:
             obs.gauge(
                 f"fleet.worker.{slot.worker_id}.inflight", slot.inflight
             )
+        shards: Dict[str, object] = {}
+        for shard in self.shard_digests:
+            batcher = self._front_batchers.get(shard)
+            shards[shard] = {
+                "default": shard == self._digest,
+                "served": self.shard_served.get(shard, 0),
+                "workers": [
+                    slot.to_dict()
+                    for slot in self._slots
+                    if slot.digest == shard
+                ],
+                "front_batching": (
+                    batcher.stats() if batcher is not None else None
+                ),
+            }
         return {
             "status": "draining" if self._draining else "ok",
             "digest": self._digest,
             "workers": [slot.to_dict() for slot in self._slots],
+            "shards": shards,
             "admission": {
                 "inflight": self._inflight,
                 "max_inflight": self._config.max_inflight,
@@ -1028,6 +1365,7 @@ async def run_fleet(
 
 
 __all__ = [
+    "DIGEST_HEADER",
     "FleetConfig",
     "IDEMPOTENT_KINDS",
     "LocalWorker",

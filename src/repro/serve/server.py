@@ -77,6 +77,12 @@ _STATUS_TEXT = {
 #: deadline (float seconds of budget remaining at the front).
 DEADLINE_HEADER = "x-rapflow-deadline"
 
+#: Header a client uses to address a specific shard (scenario digest)
+#: behind a multi-shard fleet front.  Defined here (not in
+#: :mod:`repro.serve.fleet`) so the client can import it without a
+#: client → fleet → testing → client cycle.
+DIGEST_HEADER = "x-rapflow-digest"
+
 #: Sentinel method marking an unreadably large request body.
 _TOO_LARGE = "__TOO_LARGE__"
 
@@ -92,24 +98,35 @@ async def read_http_request(
     ``"__TOO_LARGE__"`` and the body unread, so the connection cannot be
     reused.  Shared by :class:`PlacementServer` and the fleet front —
     one framing implementation, one set of framing bugs.
+
+    The whole head (request line + headers) is read with a single
+    ``readuntil`` and split in memory: at high request rates the
+    line-by-line version spent more loop iterations parsing headers
+    than answering queries.  CRLF framing only — every HTTP client
+    emits it, and a bare-LF peer just looks like garbage.
     """
     try:
-        request_line = await reader.readline()
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if error.partial:  # mid-request EOF; clean close arrives empty
+            obs.count("serve.conn_aborts.read")
+        return None
+    except asyncio.LimitOverrunError:  # head larger than the stream limit
+        obs.count("serve.conn_aborts.read")
+        return None
     except OSError:  # ConnectionError included: peer vanished mid-read
         obs.count("serve.conn_aborts.read")
         return None
-    if not request_line:
-        return None
-    parts = request_line.decode("latin-1").split()
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
     if len(parts) != 3:
         return None
     method, path, _ = parts
     headers: Dict[str, str] = {}
-    while True:
-        line = await reader.readline()
-        if line in (b"\r\n", b"\n", b""):
-            break
-        name, _, value = line.decode("latin-1").partition(":")
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
     length = int(headers.get("content-length", "0") or "0")
     if length > _MAX_BODY:
@@ -231,8 +248,17 @@ class PlacementServer:
         Admission limit — concurrent requests beyond it get HTTP 429.
     timeout:
         Per-request deadline in seconds.
-    batch_window, max_batch:
-        Micro-batcher knobs (see :class:`MicroBatcher`).
+    batch_window, max_batch, bypass_threshold:
+        Micro-batcher knobs (see :class:`MicroBatcher`); the default
+        threshold of 4 covers the concurrency levels where
+        BENCH_serve.json showed the window costing more than the
+        coalescing earned (c=2: 0.57x, c=4: 0.71x before).
+    restore_info:
+        Optional restore provenance surfaced verbatim under
+        ``restore`` in ``/healthz`` — the shm attach path records how
+        the artifact was restored (``attach`` vs ``load``), the restore
+        latency, and the private-memory delta, which the fleet front
+        and the bench aggregate into the copy-count proof.
     latency_log:
         Optional JSONL path; one ``{"path", "status", "duration"}``
         record per request.
@@ -254,6 +280,8 @@ class PlacementServer:
         timeout: float = 30.0,
         batch_window: float = 0.002,
         max_batch: int = 256,
+        bypass_threshold: int = 4,
+        restore_info: Optional[Dict[str, object]] = None,
         latency_log: Optional[Union[str, Path]] = None,
         clock: Optional[Clock] = None,
         retry_after: float = 0.05,
@@ -274,8 +302,12 @@ class PlacementServer:
         self._max_inflight = max_inflight
         self._timeout = timeout
         self._batcher = MicroBatcher(
-            engine, window=batch_window, max_batch=max_batch
+            engine,
+            window=batch_window,
+            max_batch=max_batch,
+            bypass_threshold=bypass_threshold,
         )
+        self._restore_info = restore_info
         self._latency_log = Path(latency_log) if latency_log else None
         self._clock: Clock = clock if clock is not None else SystemClock()
         self._retry_after = retry_after
@@ -525,9 +557,10 @@ class PlacementServer:
             utility=request.get("utility"),  # type: ignore[arg-type]
             backend=backend,  # type: ignore[arg-type]
             # The admission counter is the concurrency signal the batcher
-            # itself cannot see (kernel calls are synchronous): exactly
-            # one request in flight means nobody could share the batch.
-            solo=self._inflight <= 1,
+            # itself cannot see (kernel calls are synchronous): below the
+            # bypass threshold the window would cost more latency than
+            # the coalescing earns.
+            inflight=self._inflight,
         )
         obs.count("serve.requests.evaluate")
         return {
@@ -549,6 +582,7 @@ class PlacementServer:
             "artifact": dict(self._engine.artifact.stats),
             "cache": self._engine.cache_info(),
             "batching": self._batcher.stats(),
+            "restore": self._restore_info,
             "pipeline": self.health.to_dict(),
             "sanitizer": sanitizer_health(),
         }
@@ -593,6 +627,7 @@ async def run_server(
 
 __all__ = [
     "DEADLINE_HEADER",
+    "DIGEST_HEADER",
     "PlacementServer",
     "close_quietly",
     "effective_deadline",

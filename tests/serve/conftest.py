@@ -16,5 +16,11 @@ def artifact(paper_threshold_scenario) -> ScenarioArtifact:
 
 
 @pytest.fixture
+def linear_artifact(paper_linear_scenario) -> ScenarioArtifact:
+    """A second, distinct digest — the multi-shard tests' other shard."""
+    return ScenarioArtifact.compile(paper_linear_scenario)
+
+
+@pytest.fixture
 def engine(artifact) -> QueryEngine:
     return QueryEngine(artifact)

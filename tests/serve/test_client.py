@@ -1,13 +1,16 @@
-"""Client retry behavior: schedules, Retry-After, fail-fast statuses.
+"""Client retry behavior, keep-alive reuse, and thread safety.
 
 Retry is opt-in (``retries=0`` fails fast), the sleeper is injected so
 tests assert the exact backoff schedule without waiting for it, and a
 scripted stdlib HTTP stub plays the server so each test controls the
-status sequence precisely.
+status sequence precisely.  Keep-alive tests run against an HTTP/1.1
+stub that counts connections server-side — connection reuse is observed
+from the server's accept log, not inferred from client internals.
 """
 
 import json
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
@@ -71,6 +74,124 @@ def recording_client(port, sleeps, **kwargs):
     return ServeClient(
         "127.0.0.1", port, timeout=5.0, sleep=sleeps.append, **kwargs
     )
+
+
+class _KeepAliveServer:
+    """HTTP/1.1 stub that counts connections and requests.
+
+    ``drop_after`` closes each connection after that many responses
+    *without* advertising ``Connection: close`` — the silent idle-close
+    a real server performs, which the client must absorb by
+    reconnecting and re-sending.
+    """
+
+    def __init__(self, drop_after=None):
+        self.connections = 0
+        self.requests = 0
+        lock = threading.Lock()
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            timeout = 10.0
+
+            def setup(self):
+                super().setup()
+                with lock:
+                    outer.connections += 1
+
+            def _respond(self):
+                length = int(self.headers.get("Content-Length", 0))
+                if length:
+                    self.rfile.read(length)
+                with lock:
+                    outer.requests += 1
+                    served_here = getattr(self, "_served", 0) + 1
+                    self._served = served_here
+                body = json.dumps({"totals": [21.0]}).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                if drop_after is not None and served_here >= drop_after:
+                    self.close_connection = True
+
+            do_POST = _respond
+            do_GET = _respond
+
+            def log_message(self, *args):
+                pass
+
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=10.0)
+
+
+class TestKeepAlive:
+    def test_sequential_requests_share_one_connection(self):
+        with _KeepAliveServer() as stub:
+            with ServeClient("127.0.0.1", stub.port, timeout=5.0) as client:
+                for _ in range(5):
+                    assert client.evaluate([["V3", "V5"]]) == [21.0]
+            assert stub.requests == 5
+            assert stub.connections == 1
+
+    def test_silent_server_close_is_absorbed(self):
+        # Every connection dies after one response with no warning
+        # header: each follow-up request hits a dead kept-alive socket
+        # and must transparently reconnect and re-send.
+        with _KeepAliveServer(drop_after=1) as stub:
+            with ServeClient("127.0.0.1", stub.port, timeout=5.0) as client:
+                for _ in range(4):
+                    assert client.evaluate([["V3", "V5"]]) == [21.0]
+            assert stub.requests == 4
+            assert stub.connections == 4
+
+    def test_shared_client_gives_each_thread_its_own_connection(self):
+        # One client across a thread pool: reply framing must never
+        # interleave, which thread-local connections guarantee.
+        threads, rounds = 4, 8
+        with _KeepAliveServer() as stub:
+            client = ServeClient("127.0.0.1", stub.port, timeout=10.0)
+
+            def hammer(_):
+                return [
+                    client.evaluate([["V3", "V5"]]) for _ in range(rounds)
+                ]
+
+            with ThreadPoolExecutor(max_workers=threads) as executor:
+                outcomes = list(executor.map(hammer, range(threads)))
+            for outcome in outcomes:
+                assert outcome == [[21.0]] * rounds
+            assert stub.requests == threads * rounds
+            # One connection per pool thread, never one per request.
+            assert 1 <= stub.connections <= threads
+            assert len(client._connections) == stub.connections
+            client.close()
+            assert client._connections == []
+
+    def test_close_is_idempotent(self):
+        with _KeepAliveServer() as stub:
+            client = ServeClient("127.0.0.1", stub.port, timeout=5.0)
+            assert client.healthz() == {"totals": [21.0]}
+            client.close()
+            client.close()
+            # A closed client reconnects on next use rather than dying.
+            assert client.healthz() == {"totals": [21.0]}
+            client.close()
+            assert stub.connections == 2
 
 
 class TestRetrySchedule:

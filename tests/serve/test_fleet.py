@@ -113,6 +113,175 @@ class TestRouting:
             assert info.value.status == 400
 
 
+class TestMultiShard:
+    """One front, several digest-keyed shards, header-routed."""
+
+    def two_shard_fleet(self, artifact, linear_artifact, **config_overrides):
+        shards = {
+            artifact.digest: local_worker_factory(
+                lambda: QueryEngine(artifact)
+            ),
+            linear_artifact.digest: local_worker_factory(
+                lambda: QueryEngine(linear_artifact)
+            ),
+        }
+        return PlacementFleet(
+            None,
+            digest=artifact.digest,
+            shards=shards,
+            config=fast_config(**config_overrides),
+        )
+
+    def test_digest_header_routes_to_the_named_shard(
+        self, artifact, linear_artifact
+    ):
+        threshold_expected = QueryEngine(artifact).evaluate_totals(
+            [("V3", "V5")]
+        )
+        linear_expected = QueryEngine(linear_artifact).evaluate_totals(
+            [("V3", "V5")]
+        )
+        # Same placement, different utility semantics: the two shards
+        # must answer differently, which proves routing actually
+        # switched worker groups.
+        assert threshold_expected != linear_expected
+        fleet = self.two_shard_fleet(artifact, linear_artifact)
+        with FleetThread(fleet) as handle:
+            for digest, expected in (
+                (artifact.digest, threshold_expected),
+                (linear_artifact.digest, linear_expected),
+            ):
+                client = handle.client(digest=digest)
+                response = client.query(
+                    {"kind": "evaluate", "placements": [["V3", "V5"]]}
+                )
+                assert response["totals"] == expected
+                assert response["digest"] == digest
+
+    def test_no_header_hits_the_default_shard(self, artifact,
+                                              linear_artifact):
+        fleet = self.two_shard_fleet(artifact, linear_artifact)
+        with FleetThread(fleet) as handle:
+            response = handle.client().query(
+                {"kind": "evaluate", "placements": [["V3", "V5"]]}
+            )
+            assert response["digest"] == artifact.digest
+            assert response["totals"] == [21.0]
+
+    def test_unknown_digest_is_a_404(self, artifact, linear_artifact):
+        fleet = self.two_shard_fleet(artifact, linear_artifact)
+        with FleetThread(fleet) as handle:
+            client = handle.client(digest="f" * 64)
+            with pytest.raises(ServeClientError) as info:
+                client.evaluate([["V3"]])
+            assert info.value.status == 404
+            assert "no shard" in str(info.value)
+
+    def test_healthz_reports_every_shard(self, artifact, linear_artifact):
+        fleet = self.two_shard_fleet(artifact, linear_artifact)
+        with FleetThread(fleet) as handle:
+            health = handle.client().healthz()
+        shards = health["shards"]
+        assert set(shards) == {artifact.digest, linear_artifact.digest}
+        assert shards[artifact.digest]["default"] is True
+        assert shards[linear_artifact.digest]["default"] is False
+        for doc in shards.values():
+            assert [w["state"] for w in doc["workers"]] == ["up", "up"]
+
+    def test_default_digest_must_be_a_configured_shard(self, artifact):
+        with pytest.raises(ServeRequestError):
+            PlacementFleet(
+                None,
+                digest="e" * 64,
+                shards={
+                    artifact.digest: local_worker_factory(
+                        lambda: QueryEngine(artifact)
+                    )
+                },
+                config=fast_config(),
+            )
+
+
+class TestFrontBatching:
+    """Per-shard dedup on the front (``front_batch_window > 0``)."""
+
+    def test_identical_concurrent_requests_dedup_at_the_front(
+        self, artifact
+    ):
+        from concurrent.futures import ThreadPoolExecutor
+
+        fleet = make_fleet(
+            artifact,
+            config=fast_config(
+                workers=2, front_batch_window=0.02, front_bypass=0
+            ),
+        )
+        with FleetThread(fleet) as handle:
+            client = handle.client()
+
+            def one(_):
+                return client.query(
+                    {"kind": "evaluate", "placements": [["V3", "V5"]]}
+                )
+
+            with ThreadPoolExecutor(max_workers=8) as executor:
+                responses = list(executor.map(one, range(16)))
+            stats = handle.client().healthz()["shards"][artifact.digest][
+                "front_batching"
+            ]
+        for response in responses:
+            assert response["totals"] == [21.0]
+            assert response["front_batched"] is True
+        assert stats["requests"] == 16
+        # Identical placements inside one window collapse to one
+        # worker-bound row; serial stragglers open fresh windows, so
+        # dedup is >0 rather than exactly 15.
+        assert stats["deduped"] > 0
+        assert stats["flushes"] + stats["bypassed"] < 16
+
+    def test_front_batched_answers_match_direct_answers(self, artifact):
+        expected = QueryEngine(artifact).evaluate_totals(
+            [("V3", "V5"), ("V2",)]
+        )
+        fleet = make_fleet(
+            artifact, config=fast_config(front_batch_window=0.005)
+        )
+        with FleetThread(fleet) as handle:
+            client = handle.client()
+            assert client.evaluate([["V3", "V5"], ["V2"]]) == expected
+
+    def test_parse_cache_serves_repeat_bodies(self, artifact):
+        fleet = make_fleet(
+            artifact, config=fast_config(front_batch_window=0.005)
+        )
+        with FleetThread(fleet) as handle:
+            client = handle.client()
+            first = client.query(
+                {"kind": "evaluate", "placements": [["V3", "V5"]]}
+            )
+            assert len(fleet._parse_cache) == 1
+            second = client.query(
+                {"kind": "evaluate", "placements": [["V3", "V5"]]}
+            )
+        assert first["totals"] == second["totals"] == [21.0]
+        # The memo only skips parsing — both answers still carry the
+        # full evaluate envelope.
+        assert second["front_batched"] is True
+        assert second["digest"] == artifact.digest
+
+    def test_zero_window_disables_front_batching(self, artifact):
+        fleet = make_fleet(artifact, config=fast_config())
+        with FleetThread(fleet) as handle:
+            response = handle.client().query(
+                {"kind": "evaluate", "placements": [["V3", "V5"]]}
+            )
+            health = handle.client().healthz()
+        assert "front_batched" not in response
+        assert (
+            health["shards"][artifact.digest]["front_batching"] is None
+        )
+
+
 class TestSupervision:
     def test_killed_worker_is_respawned(self, artifact):
         fleet = make_fleet(artifact)

@@ -201,10 +201,12 @@ class TestGracefulShutdown:
 
         # The injected 0.3s delay holds all three requests in flight
         # together, so when they reach the batcher none is solo and all
-        # sit in the (deliberately huge) 5s batch window.  The drain
-        # must flush that window instead of waiting it out.
+        # sit in the (deliberately huge) 5s batch window (threshold 1:
+        # the adaptive bypass would otherwise dispatch them directly at
+        # c=3).  The drain must flush that window instead of waiting it
+        # out.
         engine = slow_engine(artifact, seconds=0.3)
-        server = PlacementServer(engine, batch_window=5.0)
+        server = PlacementServer(engine, batch_window=5.0, bypass_threshold=1)
         results = []
         lock = threading.Lock()
 

@@ -59,9 +59,18 @@ class TestCoreSnapshot:
 class TestServeSnapshot:
     def test_stable_top_level_keys(self):
         snapshot = load(SERVE_SNAPSHOT)
-        for key in ("schema", "levels", "batching_speedup", "fleet"):
+        for key in ("schema", "levels", "batching_speedup", "fleet",
+                    "shm_fleet", "git_sha", "git_dirty"):
             assert key in snapshot, f"BENCH_serve.json lost key {key!r}"
-        assert snapshot["schema"] == "rapflow-bench-serve/2"
+        assert snapshot["schema"] == "rapflow-bench-serve/3"
+
+    def test_snapshot_names_a_clean_commit(self):
+        # A snapshot is only reproducible if it records the exact tree
+        # it measured: a real HEAD sha and no uncommitted edits.
+        snapshot = load(SERVE_SNAPSHOT)
+        assert len(snapshot["git_sha"]) >= 7
+        assert snapshot["git_sha"] != "unknown"
+        assert snapshot["git_dirty"] is False
 
     def test_levels_carry_throughput_and_tail_latency(self):
         snapshot = load(SERVE_SNAPSHOT)
@@ -115,3 +124,50 @@ class TestServeSnapshot:
         for record in per_worker:
             for key in ("id", "state", "respawns", "p95_ms", "p99_ms"):
                 assert key in record
+
+    def test_shm_fleet_tier_covers_the_scale_out_shape(self):
+        snapshot = load(SERVE_SNAPSHOT)
+        tier = snapshot["shm_fleet"]
+        assert tier["mode"] == "shm_fleet"
+        assert tier["workers"] >= 4
+        assert tier["concurrency"] >= 256
+        assert tier["errors"] == 0
+        for key in ("throughput_rps", "p50_ms", "p95_ms", "p99_ms",
+                    "artifact_nbytes", "attach_seconds", "load_seconds",
+                    "total_restore_private_delta_bytes", "front_batching"):
+            assert key in tier, f"shm_fleet record lost key {key!r}"
+        per_worker = tier["per_worker"]
+        assert len(per_worker) == tier["workers"]
+        for record in per_worker:
+            restore = record["restore"]
+            assert restore["mode"] == "shm-attach"
+            assert restore["seconds"] >= 0.0
+
+    def test_shm_fleet_outscales_the_fleet_tier(self):
+        # The PR's acceptance bar: subprocess workers over one shared
+        # segment at c=256 must beat the in-process fleet tier's
+        # recorded throughput by >= 5x.
+        snapshot = load(SERVE_SNAPSHOT)
+        fleet_rps = snapshot["fleet"]["throughput_rps"]
+        shm_rps = snapshot["shm_fleet"]["throughput_rps"]
+        assert shm_rps >= 5.0 * fleet_rps, (
+            f"shm_fleet tier at {shm_rps:.0f} rps is under 5x the fleet "
+            f"tier's {fleet_rps:.0f} rps"
+        )
+
+    def test_shm_workers_share_one_artifact_copy(self):
+        # Copy-count proof: private-memory growth while attaching stays
+        # bounded by per-process noise (page tables, utility values),
+        # never by per-worker copies of the artifact's arrays.  The
+        # floor keeps the bound meaningful for tiny bench artifacts
+        # whose nbytes sit below interpreter noise.
+        snapshot = load(SERVE_SNAPSHOT)
+        tier = snapshot["shm_fleet"]
+        per_worker_budget = max(
+            tier["artifact_nbytes"], 16 * 1024 * 1024
+        )
+        total = tier["total_restore_private_delta_bytes"]
+        assert total < tier["workers"] * per_worker_budget, (
+            f"{total} private bytes across {tier['workers']} workers "
+            "looks like per-worker artifact copies, not shared mappings"
+        )
