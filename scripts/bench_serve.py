@@ -26,7 +26,7 @@ copy-count evidence: total private-memory growth across N workers
 versus the artifact's segment size.  Writes ``BENCH_serve.json``::
 
     {
-      "schema": "rapflow-bench-serve/3",
+      "schema": "rapflow-bench-serve/4",
       "git_sha": ..., "git_dirty": false, "scale": "small",
       "levels": [{"concurrency", "mode", "requests", "throughput_rps",
                   "p50_ms", "p95_ms", "p99_ms", "errors", "batching"}],
@@ -38,8 +38,17 @@ versus the artifact's segment size.  Writes ``BENCH_serve.json``::
                     "p95_ms", "p99_ms", "artifact_nbytes",
                     "attach_seconds", "load_seconds",
                     "per_worker": [{"restore", ...}],
-                    "total_restore_private_delta_bytes", "front_batching"}
+                    "total_restore_private_delta_bytes", "front_batching",
+                    "fleet_metrics": {  # server-side GET /metrics view
+                        "latency": {"buckets_ms", "counts", "p95_ms", ...},
+                        "workers_latency", "workers_reporting", "counters"}}
     }
+
+Schema /4 adds ``shm_fleet.fleet_metrics``: the front's fixed-bucket
+latency histogram and fleet-aggregated counters read from ``GET
+/metrics`` after the timed window, so the snapshot carries server-side
+percentiles alongside the bench's client-side ones (they must agree
+within one histogram bucket — the schema test enforces it).
 
 Usage::
 
@@ -518,6 +527,11 @@ def run_shm_fleet_tier(
                 if all(doc.get("health") for doc in docs):
                     break
                 time.sleep(0.1)
+            # Server-side histograms from GET /metrics: the front's own
+            # latency buckets plus the bucket-merged worker view — the
+            # percentiles the operator would see, measured inside the
+            # serving path rather than at the bench's client threads.
+            metrics_doc = client.metrics()
         shard = health["shards"][artifact.digest]
         per_worker = []
         restore_deltas = []
@@ -556,6 +570,13 @@ def run_shm_fleet_tier(
         "total_restore_private_delta_bytes": sum(restore_deltas),
         "front_batching": shard.get("front_batching"),
         "respawns": int(health["respawns"]),
+        "fleet_metrics": {
+            "schema": metrics_doc["schema"],
+            "latency": metrics_doc["latency"],
+            "workers_latency": metrics_doc["workers_latency"],
+            "workers_reporting": metrics_doc["workers_reporting"],
+            "counters": metrics_doc["counters"],
+        },
     }
 
 
@@ -688,7 +709,7 @@ def main() -> int:
         if throughput["unbatched"].get(c)
     }
     snapshot = {
-        "schema": "rapflow-bench-serve/3",
+        "schema": "rapflow-bench-serve/4",
         "git_sha": git_sha(),
         "git_dirty": git_dirty(),
         "scale": args.scale,

@@ -21,10 +21,20 @@ The per-variant overhead is ``median(shipped) / median(stubbed)``; the
 check fails when the geometric mean across variants exceeds the
 threshold (default 1.05).  CI runs this non-blocking but loud.
 
+The serving hot path is measured the same way: a one-worker fleet
+(client -> front -> worker -> engine round trip) timed **disabled**
+(tracing machinery present, no ``trace_dir``) against **stubbed**
+hooks, interleaved sample-by-sample, with the same <5% gate on the
+ratio.  A third, tracing-**enabled** configuration (``trace_dir`` set,
+spans written every hop) is measured and reported but not gated —
+turning tracing on is allowed to cost something; shipping it off must
+be near-free.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_obs_overhead.py \
-        [--threshold 1.05] [--samples 60] [--scale small] [--json PATH]
+        [--threshold 1.05] [--samples 60] [--serve-samples 150] \
+        [--scale small] [--json PATH]
 """
 
 from __future__ import annotations
@@ -127,6 +137,82 @@ def measure(
     return results
 
 
+def measure_serve(
+    scale: str, samples: int
+) -> Dict[str, float]:
+    """Front->worker round-trip medians: disabled vs stubbed vs traced.
+
+    ``disabled`` is the shipped configuration (trace hooks present, no
+    ``trace_dir``); ``stubbed`` monkeypatches the obs hooks to no-ops,
+    approximating instrumentation compiled out; ``traced`` turns the
+    span plane fully on.  Only disabled/stubbed is gated.
+    """
+    import tempfile
+
+    from repro.serve import (
+        FleetConfig,
+        FleetThread,
+        PlacementFleet,
+        QueryEngine,
+        ScenarioArtifact,
+        local_worker_factory,
+    )
+    from repro.serve.engine import encode_site
+
+    scenario = _scenario(scale)
+    artifact = ScenarioArtifact.compile(scenario)
+    placement = [
+        [encode_site(site) for site in scenario.candidate_sites[:2]]
+    ]
+
+    def build_fleet(trace_dir: Optional[str]) -> PlacementFleet:
+        config = FleetConfig(workers=1, trace_dir=trace_dir)
+        return PlacementFleet(
+            local_worker_factory(
+                lambda: QueryEngine(artifact),
+                **({"trace_dir": trace_dir} if trace_dir else {}),
+            ),
+            digest=artifact.digest,
+            config=config,
+        )
+
+    def sample_round_trip(client) -> float:
+        start = time.perf_counter()
+        client.evaluate(placement)
+        return time.perf_counter() - start
+
+    disabled: List[float] = []
+    stubbed: List[float] = []
+    with FleetThread(build_fleet(None)) as handle:
+        client = handle.client()
+        for _ in range(8):
+            client.evaluate(placement)  # warm connections and caches
+        for _ in range(samples):
+            disabled.append(sample_round_trip(client))
+            with stubbed_hooks():
+                stubbed.append(sample_round_trip(client))
+
+    traced: List[float] = []
+    trace_dir = tempfile.mkdtemp(prefix="rapflow-obs-overhead-")
+    with FleetThread(build_fleet(trace_dir)) as handle:
+        client = handle.client()
+        for _ in range(8):
+            client.evaluate(placement)
+        for _ in range(samples):
+            traced.append(sample_round_trip(client))
+
+    disabled_median = statistics.median(disabled)
+    stubbed_median = statistics.median(stubbed)
+    traced_median = statistics.median(traced)
+    return {
+        "disabled_median_seconds": disabled_median,
+        "stubbed_median_seconds": stubbed_median,
+        "traced_median_seconds": traced_median,
+        "overhead_ratio": disabled_median / stubbed_median,
+        "traced_ratio": traced_median / stubbed_median,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -136,6 +222,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--samples", type=int, default=60,
         help="timing samples per configuration per variant (default: 60)",
+    )
+    parser.add_argument(
+        "--serve-samples", type=int, default=150,
+        help="round-trip samples per serving configuration "
+        "(default: 150; 0 skips the serve-path check)",
     )
     parser.add_argument(
         "--scale", choices=("small", "paper"), default="small",
@@ -161,6 +252,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"disabled-mode overhead (geometric mean over {len(ratios)} "
         f"variants): {mean_ratio:.3f} (threshold {args.threshold:.2f})"
     )
+
+    serve_path = None
+    if args.serve_samples > 0:
+        serve_path = measure_serve(args.scale, args.serve_samples)
+        print(
+            f"  serve round trip    "
+            f"disabled {serve_path['disabled_median_seconds']*1e3:8.3f} ms"
+            f"  stubbed {serve_path['stubbed_median_seconds']*1e3:8.3f} ms"
+            f"  ratio {serve_path['overhead_ratio']:.3f}"
+        )
+        print(
+            f"  tracing enabled     "
+            f"traced   {serve_path['traced_median_seconds']*1e3:8.3f} ms"
+            f"  ratio {serve_path['traced_ratio']:.3f} (informational)"
+        )
+
     if args.json:
         payload = {
             "schema": "rapflow-obs-overhead/1",
@@ -169,16 +276,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             "threshold": args.threshold,
             "variants": results,
             "geometric_mean_ratio": mean_ratio,
+            "serve_path": serve_path,
         }
         pathlib.Path(args.json).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote measurements to {args.json}")
+    failed = False
     if mean_ratio > args.threshold:
         print(
             "FAIL: disabled-mode observability overhead exceeds the "
             "contract", file=sys.stderr,
         )
+        failed = True
+    if serve_path is not None and serve_path["overhead_ratio"] > args.threshold:
+        print(
+            "FAIL: serve-path disabled-mode tracing overhead exceeds "
+            "the contract", file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     print("OK: disabled-mode observability overhead within contract")
     return 0

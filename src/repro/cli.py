@@ -75,7 +75,9 @@ rejected or malformed queries, artifact-cache corruption).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import extensions as _extensions  # noqa: F401 — registers algorithms
@@ -505,6 +507,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append one JSONL latency record per request",
     )
     serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write distributed-trace JSONL segments here (front and "
+        "workers each own one file; inspect with 'rapflow trace')",
+    )
+    serve.add_argument(
+        "--worker-label", default=None, metavar="LABEL",
+        help="segment label for this process's trace file (set by the "
+        "fleet for its subprocess workers; default: solo)",
+    )
+    serve.add_argument(
         "--fault-error-rate", type=float, default=0.0,
         help="inject request failures at this rate (testing)",
     )
@@ -556,6 +568,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shm", action="store_true",
         help="serve the chaos fleet over a shared-memory attached "
         "artifact (also asserts the segment does not leak)",
+    )
+    chaos.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace the run: front and workers write JSONL segments "
+        "here, and the summary lists every degraded reply's trace id",
+    )
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="render one cross-process trace tree from JSONL segments",
+    )
+    trace_cmd.add_argument(
+        "trace_id", help="trace id (see reply payloads / chaos summary)"
+    )
+    trace_cmd.add_argument(
+        "--trace-dir", required=True, metavar="DIR",
+        help="directory of per-process trace segments (--trace-dir of "
+        "the serve/chaos run)",
+    )
+
+    traces_cmd = commands.add_parser(
+        "traces",
+        help="list collected traces (slowest first or degraded only)",
+    )
+    traces_cmd.add_argument(
+        "--trace-dir", required=True, metavar="DIR",
+        help="directory of per-process trace segments",
+    )
+    traces_cmd.add_argument(
+        "--slowest", type=int, default=None, metavar="K",
+        help="render the K slowest traces as full trees",
+    )
+    traces_cmd.add_argument(
+        "--degraded", action="store_true",
+        help="only traces that served a degraded (cache-replay) answer",
     )
 
     query = commands.add_parser(
@@ -1002,6 +1049,10 @@ def _worker_serve_args(args: argparse.Namespace, cache_dir: str) -> List[str]:
     ]
     if args.threshold is not None:
         worker_args += ["--threshold", str(args.threshold)]
+    if getattr(args, "trace_dir", None):
+        # Workers join the front's trace plane: one JSONL segment per
+        # process in the shared directory (labels come from the fleet).
+        worker_args += ["--trace-dir", str(args.trace_dir)]
     return worker_args
 
 
@@ -1036,6 +1087,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         worker_args += [
             "--shm-attach", artifact.digest, "--shm-dir", str(shm_root),
         ]
+    if args.trace_dir:
+        Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
     config = FleetConfig(
         workers=args.workers,
         host=args.host,
@@ -1045,6 +1098,7 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         front_batch_window=args.front_batch_window,
         front_max_batch=args.max_batch,
         front_bypass=args.bypass_threshold,
+        trace_dir=args.trace_dir,
     )
     fleet = PlacementFleet(
         process_worker_factory(worker_args, ready_dir),
@@ -1083,6 +1137,36 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _slo_summary_lines(result) -> List[str]:
+    """Human-readable burn-rate lines from a chaos result's SLO block.
+
+    One line per window, e.g. ``slo: burn rate 14.0x over 60s window
+    (budget exceeded; availability 0.8600)``.
+    """
+    if not isinstance(result.slo, dict):
+        return []
+    windows = result.slo.get("windows")
+    if not isinstance(windows, dict):
+        return []
+    lines = []
+    for window, doc in sorted(windows.items()):
+        if not isinstance(doc, dict):
+            continue
+        burn = float(doc.get("burn_rate", 0.0))
+        latency_burn = float(doc.get("latency_burn_rate", 0.0))
+        availability = float(doc.get("availability", 1.0))
+        verdict = (
+            "budget exceeded" if burn > 1.0 or latency_burn > 1.0
+            else "within budget"
+        )
+        lines.append(
+            f"slo: burn rate {burn:.1f}x (latency {latency_burn:.1f}x) "
+            f"over {window} window ({verdict}; availability "
+            f"{availability:.4f})"
+        )
+    return lines
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -1100,8 +1184,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.chaos_seed,
         jsonl_path=args.jsonl,
         via_shm=args.shm,
+        trace_dir=args.trace_dir,
     )
     print(json.dumps(result.to_dict(), indent=2))
+    for line in _slo_summary_lines(result):
+        print(line, file=sys.stderr)
+    if args.trace_dir and result.degraded_trace_ids:
+        sample = result.degraded_trace_ids[0]
+        print(
+            f"{len(result.degraded_trace_ids)} degraded replies traced; "
+            f"inspect one with: rapflow trace {sample} "
+            f"--trace-dir {args.trace_dir}",
+            file=sys.stderr,
+        )
     availability = result.availability("evaluate")
     if result.shm is not None and result.shm.get("leaked"):
         raise ServeError(
@@ -1148,6 +1243,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = QueryEngine(
         artifact, cache_size=args.cache_size, fault_injector=injector
     )
+    if args.trace_dir:
+        Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
     server = PlacementServer(
         engine,
         host=args.host,
@@ -1159,6 +1256,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         bypass_threshold=args.bypass_threshold,
         latency_log=args.latency_log,
         restore_info=restore_info,
+        trace_dir=args.trace_dir,
+        worker_label=args.worker_label,
     )
     print(
         f"serving on {args.host}:{args.port or '<ephemeral>'} "
@@ -1178,6 +1277,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{health.rows_quarantined} failed, {server.rejected} rejected",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import find_trace, render_trace
+
+    trace = find_trace(args.trace_dir, args.trace_id)
+    print(render_trace(trace))
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from .obs import load_traces, render_trace
+    from .obs.collect import degraded as degraded_traces
+    from .obs.collect import slowest
+
+    traces = load_traces(args.trace_dir)
+    if args.degraded:
+        selected = degraded_traces(traces)
+        label = "degraded"
+    else:
+        k = args.slowest if args.slowest is not None else len(traces)
+        selected = slowest(traces, k) if traces and k >= 1 else []
+        label = f"slowest {len(selected)}"
+    print(
+        f"{len(traces)} traces in {args.trace_dir}; showing {label}",
+        file=sys.stderr,
+    )
+    for index, trace in enumerate(selected):
+        if index:
+            print()
+        print(render_trace(trace))
     return 0
 
 
@@ -1293,6 +1424,10 @@ def _run_command(
         return _cmd_serve(args)
     if command == "chaos":
         return _cmd_chaos(args)
+    if command == "trace":
+        return _cmd_trace(args)
+    if command == "traces":
+        return _cmd_traces(args)
     if command == "query":
         return _cmd_query(args)
     if command == "evaluate":
@@ -1334,6 +1469,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return exit_code_for(error)
+    except BrokenPipeError:
+        # A downstream pager closed the pipe mid-print (``rapflow traces
+        # | head``) — not an error.  Point stdout at devnull so the
+        # interpreter's exit flush cannot raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

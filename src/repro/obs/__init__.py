@@ -22,9 +22,25 @@ context is active::
 Surfacing lives in the CLI (``rapflow profile``, ``--obs-jsonl``), the
 experiment runner (per-repetition metrics on results objects), and
 ``scripts/bench_trajectory.py`` (counter snapshots in BENCH_core.json).
+
+The serving fleet adds the **distributed** half: cross-process trace
+propagation over ``X-Rapflow-Trace`` headers with per-process JSONL
+segments (:mod:`repro.obs.trace`), an offline collector that merges
+segments into trace trees (:mod:`repro.obs.collect`, surfaced as
+``rapflow trace``), fixed-bucket latency histograms for the
+``/metrics`` endpoints (:mod:`repro.obs.metrics`), and SLO burn-rate
+accounting on the injectable clock (:mod:`repro.obs.slo`).
 """
 
 from .clock import Clock, SystemClock, TickClock
+from .collect import (
+    Trace,
+    TraceSpan,
+    build_traces,
+    find_trace,
+    load_traces,
+    render_trace,
+)
 from .context import (
     Number,
     ObsContext,
@@ -36,22 +52,49 @@ from .context import (
     record_span,
     span,
 )
+from .metrics import LATENCY_BUCKETS_MS, LatencyHistogram, bucket_index
 from .report import render_counter_table, render_report, render_span_tree
+from .slo import SLOConfig, SLOTracker
+from .trace import (
+    TRACE_HEADER,
+    TraceContext,
+    TraceRecorder,
+    format_trace_header,
+    make_trace_id,
+    parse_trace_header,
+)
 
 __all__ = [
     "Clock",
+    "LATENCY_BUCKETS_MS",
+    "LatencyHistogram",
     "Number",
     "ObsContext",
+    "SLOConfig",
+    "SLOTracker",
     "Span",
     "SystemClock",
+    "TRACE_HEADER",
     "TickClock",
+    "Trace",
+    "TraceContext",
+    "TraceRecorder",
+    "TraceSpan",
     "active",
+    "bucket_index",
+    "build_traces",
     "count",
     "count_many",
+    "find_trace",
+    "format_trace_header",
     "gauge",
+    "load_traces",
+    "make_trace_id",
+    "parse_trace_header",
     "record_span",
     "render_counter_table",
     "render_report",
     "render_span_tree",
+    "render_trace",
     "span",
 ]

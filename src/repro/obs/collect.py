@@ -1,0 +1,254 @@
+"""Merge per-process trace segments into cross-process trace trees.
+
+Each traced process appends completed spans to its own JSONL segment
+(see :class:`~repro.obs.trace.TraceRecorder`); nothing at runtime ever
+joins them — that is this module's job, offline:
+
+* :func:`load_segments` reads every ``*.jsonl`` file in a trace
+  directory (unparseable or foreign lines are skipped, segments are
+  best-effort by design);
+* :func:`build_traces` stitches the spans into one :class:`Trace` per
+  trace id, linking children to parents by span id — a span whose
+  parent lives in a *lost* segment (worker killed mid-write) becomes
+  an extra root rather than disappearing;
+* :func:`render_trace` draws the familiar ASCII tree (same connectors
+  as ``rapflow profile``), flagging the hop that breached its deadline
+  budget;
+* :func:`slowest` and :func:`degraded` answer the two questions chaos
+  triage always starts with.
+
+``rapflow trace <id>`` and ``rapflow traces`` are thin CLI wrappers
+over these functions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..errors import ObsError
+
+
+@dataclass
+class TraceSpan:
+    """One completed span, as read back from a segment."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    role: str
+    worker: Optional[str]
+    t_start: float
+    duration: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["TraceSpan"] = field(default_factory=list)
+
+    @property
+    def breached_deadline(self) -> bool:
+        """Did this hop blow its budget (or time out outright)?"""
+        status = self.attrs.get("status")
+        if status == 504 or status == "timeout":
+            return True
+        budget = self.attrs.get("budget")
+        if isinstance(budget, (int, float)) and budget > 0:
+            return self.duration >= float(budget)
+        return False
+
+
+@dataclass
+class Trace:
+    """All spans of one trace id, stitched into a forest.
+
+    Normally a single tree rooted at the front's request span; spans
+    whose parents were lost (killed worker, torn segment) surface as
+    additional roots so the evidence is never silently dropped.
+    """
+
+    trace_id: str
+    spans: Dict[str, TraceSpan]
+    roots: List[TraceSpan]
+
+    @property
+    def duration(self) -> float:
+        """The longest root span — the end-to-end view of the trace."""
+        return max((root.duration for root in self.roots), default=0.0)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any hop served (or recorded) a degraded outcome."""
+        return any(span.attrs.get("degraded") for span in self.spans.values())
+
+    def named(self, name: str) -> List[TraceSpan]:
+        """Every span called ``name``, in segment order."""
+        return [s for s in self.spans.values() if s.name == name]
+
+
+def load_segments(
+    trace_dir: Union[str, Path]
+) -> List[Dict[str, object]]:
+    """Read every span event from every ``*.jsonl`` segment in a dir."""
+    directory = Path(trace_dir)
+    if not directory.is_dir():
+        raise ObsError(f"trace directory not found: {directory}")
+    events: List[Dict[str, object]] = []
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ObsError(
+                f"cannot read trace segment {path}: {error}"
+            ) from error
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of a killed worker's segment
+            if isinstance(event, dict) and event.get("event") == "span":
+                events.append(event)
+    return events
+
+
+def _span_from_event(event: Dict[str, object]) -> Optional[TraceSpan]:
+    trace_id = event.get("trace_id")
+    span_id = event.get("span_id")
+    if not isinstance(trace_id, str) or not isinstance(span_id, str):
+        return None
+    parent = event.get("parent_id")
+    attrs = event.get("attrs")
+    return TraceSpan(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent if isinstance(parent, str) else None,
+        name=str(event.get("name", "?")),
+        role=str(event.get("role", "?")),
+        worker=event.get("worker") if isinstance(event.get("worker"), str) else None,
+        t_start=float(event.get("t_start", 0.0) or 0.0),
+        duration=float(event.get("duration", 0.0) or 0.0),
+        attrs=dict(attrs) if isinstance(attrs, dict) else {},
+    )
+
+
+def build_traces(
+    events: Iterable[Dict[str, object]]
+) -> Dict[str, Trace]:
+    """Group span events by trace id and link children to parents."""
+    by_trace: Dict[str, Dict[str, TraceSpan]] = {}
+    for event in events:
+        span = _span_from_event(event)
+        if span is None:
+            continue
+        by_trace.setdefault(span.trace_id, {})[span.span_id] = span
+    traces: Dict[str, Trace] = {}
+    for trace_id, spans in by_trace.items():
+        roots: List[TraceSpan] = []
+        for span in spans.values():
+            parent = spans.get(span.parent_id) if span.parent_id else None
+            if parent is None:
+                roots.append(span)
+            else:
+                parent.children.append(span)
+        for span in spans.values():
+            span.children.sort(key=lambda child: child.t_start)
+        roots.sort(key=lambda root: root.t_start)
+        traces[trace_id] = Trace(trace_id=trace_id, spans=spans, roots=roots)
+    return traces
+
+
+def load_traces(trace_dir: Union[str, Path]) -> Dict[str, Trace]:
+    """Segments → traces in one call (the CLI entry point)."""
+    return build_traces(load_segments(trace_dir))
+
+
+def find_trace(trace_dir: Union[str, Path], trace_id: str) -> Trace:
+    """Load one trace by id, or raise :class:`~repro.errors.ObsError`."""
+    traces = load_traces(trace_dir)
+    trace = traces.get(trace_id)
+    if trace is None:
+        raise ObsError(
+            f"trace {trace_id!r} not found in {trace_dir} "
+            f"({len(traces)} traces present)"
+        )
+    return trace
+
+
+def slowest(traces: Dict[str, Trace], k: int) -> List[Trace]:
+    """The ``k`` traces with the longest end-to-end duration."""
+    if k < 1:
+        raise ObsError(f"slowest wants k >= 1, got {k}")
+    ranked = sorted(
+        traces.values(), key=lambda trace: trace.duration, reverse=True
+    )
+    return ranked[:k]
+
+
+def degraded(traces: Dict[str, Trace]) -> List[Trace]:
+    """Every trace that served (or recorded) a degraded outcome."""
+    return [
+        trace
+        for trace in sorted(traces.values(), key=lambda t: t.trace_id)
+        if trace.degraded
+    ]
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _span_label(span: TraceSpan) -> str:
+    origin = span.worker if span.worker is not None else span.role
+    parts = [f"{span.name}@{origin}"]
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+    if attrs:
+        parts.append(f"[{attrs}]")
+    parts.append(f"({_format_duration(span.duration)})")
+    if span.breached_deadline:
+        parts.append("<< deadline breached")
+    return "  ".join(parts)
+
+
+def _render_span(
+    span: TraceSpan, prefix: str, is_last: bool, lines: List[str]
+) -> None:
+    connector = "`- " if is_last else "|- "
+    lines.append(f"{prefix}{connector}{_span_label(span)}")
+    child_prefix = prefix + ("   " if is_last else "|  ")
+    for index, child in enumerate(span.children):
+        _render_span(
+            child, child_prefix, index == len(span.children) - 1, lines
+        )
+
+
+def render_trace(trace: Trace) -> str:
+    """ASCII tree of one merged trace, one line per span."""
+    flags = "  [degraded]" if trace.degraded else ""
+    lines = [
+        f"trace {trace.trace_id}  "
+        f"({_format_duration(trace.duration)}, {len(trace.spans)} spans)"
+        f"{flags}"
+    ]
+    for index, root in enumerate(trace.roots):
+        _render_span(root, "", index == len(trace.roots) - 1, lines)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Trace",
+    "TraceSpan",
+    "build_traces",
+    "degraded",
+    "find_trace",
+    "load_segments",
+    "load_traces",
+    "render_trace",
+    "slowest",
+]

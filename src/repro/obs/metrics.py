@@ -1,0 +1,139 @@
+"""Fixed-bucket latency histograms for the ``/metrics`` endpoints.
+
+The front and every worker serve ``GET /metrics`` with a latency
+histogram over the **same fixed bucket bounds**
+(:data:`LATENCY_BUCKETS_MS`), so fleet-wide aggregation is a bucket-wise
+sum (:meth:`LatencyHistogram.merge`) and two independently measured
+histograms can be compared bucket-by-bucket — the bench asserts its
+client-side p95 lands within one bucket of the front's server-side p95.
+
+Percentiles are derived from the buckets (the reported value is the
+upper bound of the bucket the percentile falls in), which is exactly as
+coarse as it sounds: the buckets themselves ship in the payload so
+consumers can make their own calls.  Recording is two integer
+increments and a ``bisect`` — cheap enough to stay on even when tracing
+is off.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ObsError
+
+#: Shared bucket upper bounds, in milliseconds.  Roughly 1-2.5-5 per
+#: decade from 0.5ms to 5s; everything slower lands in the overflow
+#: bucket.  Changing these is a metrics schema change — bench snapshots
+#: and the chaos gate assert on them.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+def bucket_index(ms: float) -> int:
+    """The bucket a latency (ms) falls in; ``len(bounds)`` = overflow."""
+    return bisect_left(LATENCY_BUCKETS_MS, ms)
+
+
+class LatencyHistogram:
+    """Counts of request latencies in the fixed shared buckets.
+
+    >>> hist = LatencyHistogram()
+    >>> hist.observe(0.003)   # seconds
+    >>> hist.percentile(0.95)
+    5.0
+    """
+
+    __slots__ = ("_counts", "_count", "_sum_ms")
+
+    bounds: Tuple[float, ...] = LATENCY_BUCKETS_MS
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum_ms = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def counts(self) -> List[int]:
+        """Per-bucket counts (last entry is the overflow bucket)."""
+        return list(self._counts)
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency, given in seconds."""
+        ms = seconds * 1e3
+        self._counts[bisect_left(self.bounds, ms)] += 1
+        self._count += 1
+        self._sum_ms += ms
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Add ``other``'s counts into this histogram (same bounds)."""
+        for index, value in enumerate(other._counts):
+            self._counts[index] += value
+        self._count += other._count
+        self._sum_ms += other._sum_ms
+
+    def percentile(self, p: float) -> float:
+        """Upper bound (ms) of the bucket percentile ``p`` falls in.
+
+        Overflow observations report the last finite bound — the
+        histogram cannot distinguish 6s from 60s, by design.  Returns
+        0.0 for an empty histogram.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ObsError(f"percentile wants p in (0, 1], got {p}")
+        if self._count == 0:
+            return 0.0
+        target = p * self._count
+        cumulative = 0
+        for index, value in enumerate(self._counts):
+            cumulative += value
+            if cumulative >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.bounds[-1]
+        return self.bounds[-1]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON payload: bounds + counts + derived p50/p95/p99."""
+        return {
+            "buckets_ms": list(self.bounds),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum_ms": round(self._sum_ms, 3),
+            "p50_ms": self.percentile(0.50),
+            "p95_ms": self.percentile(0.95),
+            "p99_ms": self.percentile(0.99),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from a ``/metrics`` payload."""
+        bounds = payload.get("buckets_ms")
+        counts = payload.get("counts")
+        if not isinstance(bounds, Sequence) or tuple(bounds) != cls.bounds:
+            raise ObsError(
+                f"histogram payload has foreign buckets: {bounds!r}"
+            )
+        if (
+            not isinstance(counts, Sequence)
+            or len(counts) != len(cls.bounds) + 1
+        ):
+            raise ObsError(
+                f"histogram payload has malformed counts: {counts!r}"
+            )
+        hist = cls()
+        hist._counts = [int(value) for value in counts]
+        hist._count = sum(hist._counts)
+        sum_ms = payload.get("sum_ms", 0.0)
+        hist._sum_ms = float(sum_ms) if isinstance(sum_ms, (int, float)) else 0.0
+        return hist
+
+
+__all__ = ["LATENCY_BUCKETS_MS", "LatencyHistogram", "bucket_index"]

@@ -1,0 +1,171 @@
+"""SLO targets and multi-window error-budget burn rates.
+
+A chaos run that reports "availability 99.2%" says nothing about
+*when* the errors happened — a respawn storm that burns a day of error
+budget in a minute looks identical to background noise.  Burn rate is
+the standard fix: the observed error rate divided by the rate the SLO
+*allows*, over several window lengths at once (a short window catches
+storms fast, a long one catches slow leaks).  Burn rate 1.0 means the
+budget is being spent exactly as fast as the target permits; 14x over
+the 1m window means a storm.
+
+:class:`SLOConfig` carries the targets (an availability floor, a
+latency threshold with its own attainment floor, and the window
+lengths) and rides on ``FleetConfig``.  :class:`SLOTracker` does the
+accounting on an **injectable** :class:`~repro.obs.clock.Clock`
+(RAP002: the serve layer never reads the wall clock), bucketing
+outcomes into coarse time slots so memory stays bounded by the longest
+window rather than the request rate.  The fleet front records every
+``/query`` outcome and surfaces :meth:`SLOTracker.snapshot` in
+``/healthz``; ``rapflow chaos`` gates on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ObsError
+from .clock import Clock
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Availability + latency service-level objectives for the fleet.
+
+    Parameters
+    ----------
+    availability_target:
+        Fraction of ``/query`` requests that must succeed (2xx,
+        degraded fallbacks included — a served stale answer is still
+        served).  The error budget is ``1 - availability_target``.
+    latency_target_ms:
+        Requests slower than this are "slow" for the latency SLO.
+    latency_availability_target:
+        Fraction of requests that must come in under
+        ``latency_target_ms``.
+    windows:
+        Burn-rate window lengths in seconds, ascending.
+    """
+
+    availability_target: float = 0.99
+    latency_target_ms: float = 250.0
+    latency_availability_target: float = 0.95
+    windows: Tuple[float, ...] = (60.0, 300.0)
+
+    def validate(self) -> "SLOConfig":
+        """Raise :class:`~repro.errors.ObsError` on nonsense targets."""
+        for name, value in (
+            ("availability_target", self.availability_target),
+            ("latency_availability_target", self.latency_availability_target),
+        ):
+            if not 0.0 < value < 1.0:
+                raise ObsError(
+                    f"{name} must be in (0, 1), got {value}"
+                )
+        if self.latency_target_ms <= 0:
+            raise ObsError(
+                f"latency_target_ms must be > 0, "
+                f"got {self.latency_target_ms}"
+            )
+        if not self.windows:
+            raise ObsError("windows must not be empty")
+        previous = 0.0
+        for window in self.windows:
+            if window <= previous:
+                raise ObsError(
+                    f"windows must be ascending and positive, "
+                    f"got {self.windows}"
+                )
+            previous = window
+        return self
+
+
+class SLOTracker:
+    """Windowed outcome accounting against an :class:`SLOConfig`.
+
+    Outcomes land in coarse time slots (1/60th of the shortest window),
+    so a snapshot is a sum over at most a few hundred slots and memory
+    never grows with request rate.  All timestamps come from the
+    injected clock.
+    """
+
+    def __init__(self, config: SLOConfig, clock: Clock) -> None:
+        self._config = config.validate()
+        self._clock = clock
+        self._slot_width = min(config.windows) / 60.0
+        # Slots needed to cover the longest window, plus slack so the
+        # prune scan runs rarely instead of on every record.
+        self._max_slots = (
+            int(max(config.windows) / self._slot_width) + 62
+        )
+        # slot index -> [requests, errors, slow]
+        self._slots: Dict[int, list] = {}
+
+    @property
+    def config(self) -> SLOConfig:
+        """The targets this tracker accounts against."""
+        return self._config
+
+    def record(self, ok: bool, duration: float) -> None:
+        """Record one request outcome (duration in seconds)."""
+        now = self._clock.now()
+        slot = self._slots.setdefault(int(now / self._slot_width), [0, 0, 0])
+        slot[0] += 1
+        if not ok:
+            slot[1] += 1
+        if duration * 1e3 > self._config.latency_target_ms:
+            slot[2] += 1
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        if len(self._slots) <= self._max_slots:
+            return
+        horizon = int((now - max(self._config.windows)) / self._slot_width) - 1
+        for key in [k for k in self._slots if k < horizon]:
+            del self._slots[key]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Targets plus per-window counts and burn rates.
+
+        ``healthy`` is true while every window's burn rates are at or
+        under 1.0 — the budget is being spent no faster than allowed.
+        """
+        now = self._clock.now()
+        error_budget = 1.0 - self._config.availability_target
+        latency_budget = 1.0 - self._config.latency_availability_target
+        windows: Dict[str, object] = {}
+        healthy = True
+        for window in self._config.windows:
+            first_slot = int((now - window) / self._slot_width)
+            requests = errors = slow = 0
+            for key, (total, bad, late) in self._slots.items():
+                if key >= first_slot:
+                    requests += total
+                    errors += bad
+                    slow += late
+            error_rate = errors / requests if requests else 0.0
+            slow_rate = slow / requests if requests else 0.0
+            burn = error_rate / error_budget
+            latency_burn = slow_rate / latency_budget
+            healthy = healthy and burn <= 1.0 and latency_burn <= 1.0
+            windows[f"{window:g}s"] = {
+                "requests": requests,
+                "errors": errors,
+                "slow": slow,
+                "availability": round(1.0 - error_rate, 6),
+                "burn_rate": round(burn, 3),
+                "latency_burn_rate": round(latency_burn, 3),
+            }
+        return {
+            "availability_target": self._config.availability_target,
+            "latency_target_ms": self._config.latency_target_ms,
+            "latency_availability_target": (
+                self._config.latency_availability_target
+            ),
+            "windows": windows,
+            "healthy": healthy,
+        }
+
+
+__all__ = ["SLOConfig", "SLOTracker"]

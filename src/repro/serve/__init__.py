@@ -30,6 +30,12 @@ restarts skip recompilation), then answer placement queries against it:
   every worker, refcounted attach/detach, and guaranteed unlink on
   drain or crash (manifest-driven ``sweep``).
 
+The fleet and workers share an observability plane (:mod:`repro.obs`):
+cross-process trace propagation over ``X-Rapflow-Trace`` headers into
+per-process JSONL segments (opt-in via ``FleetConfig.trace_dir`` /
+``PlacementServer(trace_dir=...)``), fixed-bucket latency histograms on
+``GET /metrics``, and SLO error-budget burn rates in ``/healthz``.
+
 Surfacing lives in the CLI (``rapflow serve [--workers N]`` /
 ``rapflow chaos`` / ``rapflow query`` / ``rapflow evaluate``) and
 ``scripts/bench_serve.py``::

@@ -69,6 +69,7 @@ from typing import (
 from .. import obs
 from ..errors import ServeRequestError
 from ..graphs import NodeId
+from ..obs import trace as obs_trace
 from .engine import QueryEngine
 
 #: One queued request: its placements and the future awaiting totals.
@@ -183,8 +184,8 @@ class MicroBatcher:
             if self._dispatch is not None:
                 return await self._dispatch(normalized, utility, backend)
             assert self._engine is not None
-            return self._engine.evaluate_totals(
-                normalized, utility=utility, backend=backend
+            return self._engine_eval(
+                normalized, utility, backend, requests=1, deduped=0
             )
         key: _GroupKey = (
             json.dumps(utility, sort_keys=True) if utility else "",
@@ -251,8 +252,12 @@ class MicroBatcher:
             return
         assert self._engine is not None
         try:
-            totals = self._engine.evaluate_totals(
-                list(unique), utility=utility, backend=backend
+            totals = self._engine_eval(
+                list(unique),
+                utility,
+                backend,
+                requests=len(group),
+                deduped=requested - len(unique),
             )
         except Exception as error:  # rapflow: noqa[RAP003] scattered to every awaiting request, which re-raises with full type
             for _, future in group:
@@ -264,6 +269,52 @@ class MicroBatcher:
                 future.set_result(
                     [totals[unique[placement]] for placement in placements]
                 )
+
+    def _engine_eval(
+        self,
+        placements: List[Tuple[NodeId, ...]],
+        utility: Optional[dict],
+        backend: Optional[str],
+        requests: int,
+        deduped: int,
+    ) -> List[float]:
+        """One engine kernel call, recorded as an ``engine.evaluate``
+        span when a distributed trace is active.
+
+        A flush can serve several coalesced requests; the span parents
+        to whichever request's context scheduled the flush (the others
+        share the kernel call but not the span), with the coalescing
+        tallies in the attrs so the sharing is visible in the tree.
+        """
+        assert self._engine is not None
+        ctx = obs_trace.current()
+        if ctx is None:
+            return self._engine.evaluate_totals(
+                placements, utility=utility, backend=backend
+            )
+        clock = ctx.recorder.clock
+        t_start = clock.now()
+        status = "ok"
+        try:
+            return self._engine.evaluate_totals(
+                placements, utility=utility, backend=backend
+            )
+        except Exception as error:  # rapflow: noqa[RAP003] re-raised verbatim; only the span status is derived
+            status = type(error).__name__
+            raise
+        finally:
+            obs_trace.record(
+                "engine.evaluate",
+                t_start,
+                clock.now(),
+                {
+                    "placements": len(placements),
+                    "requests": requests,
+                    "deduped": deduped,
+                    "status": status,
+                },
+                context=ctx,
+            )
 
     async def _scatter_dispatch(
         self,

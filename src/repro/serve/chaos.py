@@ -32,7 +32,7 @@ import json
 import random
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -145,6 +145,14 @@ class ChaosResult:
     #: shm (``via_shm=True``): segment name, attach count, and whether
     #: the segment leaked past cleanup — CI asserts ``leaked`` false.
     shm: Optional[Dict[str, object]] = None
+    #: The front's SLO snapshot (error-budget burn rates per window),
+    #: read back from ``/healthz`` after the load completes.
+    slo: Optional[Dict[str, object]] = None
+    #: Trace ids of every degraded (cache-replayed) reply, in arrival
+    #: order — present only when the run traced (``trace_dir`` set).
+    #: Each id resolves to a full cross-process tree via
+    #: ``rapflow trace <id> --trace-dir <dir>``.
+    degraded_trace_ids: List[str] = field(default_factory=list)
 
     def availability(self, kind: str = "evaluate") -> float:
         """Fraction of ``kind`` requests answered 200 (1.0 if none sent)."""
@@ -176,6 +184,8 @@ class ChaosResult:
             "worker_states": list(self.worker_states),
             "sanitizer": self.sanitizer,
             "shm": self.shm,
+            "slo": self.slo,
+            "degraded_trace_ids": list(self.degraded_trace_ids),
         }
 
 
@@ -256,6 +266,7 @@ def run_chaos(
     fleet_config: Optional[FleetConfig] = None,
     events: Optional[Sequence[ChaosEvent]] = None,
     via_shm: bool = False,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> ChaosResult:
     """Drive a fleet through ``preset`` failures and measure the damage.
 
@@ -272,6 +283,13 @@ def run_chaos(
     then doubles as a lifecycle test for the shm plane: the summary's
     ``shm.leaked`` flag reports whether the segment survived cleanup
     (it must not, even with workers killed mid-load).
+
+    With ``trace_dir`` set, the front and every worker write JSONL
+    trace segments there, every reply carries a ``trace_id``, and the
+    result records the trace ids of all degraded replies — so each
+    fallback can be replayed as a full cross-process tree
+    (``rapflow trace <id>``) showing the failed attempt, the retry, and
+    the cache-replay hop.
     """
     schedule = sorted(
         events if events is not None else build_schedule(preset, workers, seed),
@@ -328,6 +346,9 @@ def run_chaos(
         retry=RetryPolicy(retries=3, backoff=0.02, backoff_cap=0.2),
         seed=seed,
     )
+    if trace_dir is not None:
+        config = replace(config, trace_dir=trace_dir)
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
     result = ChaosResult(
         preset=preset,
         seed=seed,
@@ -346,8 +367,11 @@ def run_chaos(
             log_handle.write(json.dumps(record) + "\n")
 
     try:
+        worker_kwargs: Dict[str, object] = {}
+        if trace_dir is not None:
+            worker_kwargs["trace_dir"] = trace_dir
         fleet = PlacementFleet(
-            local_worker_factory(engine_factory),
+            local_worker_factory(engine_factory, **worker_kwargs),
             digest=artifact.digest,
             config=config,
         )
@@ -405,6 +429,9 @@ def run_chaos(
                 degraded = bool(payload.get("degraded"))
                 record["degraded"] = degraded
                 record["served_by"] = payload.get("served_by")
+                trace_id = payload.get("trace_id")
+                if trace_id is not None:
+                    record["trace_id"] = trace_id
                 mismatch = False
                 if kind == "evaluate" and not degraded:
                     key = (
@@ -417,6 +444,8 @@ def run_chaos(
                     result.ok[kind] = result.ok.get(kind, 0) + 1
                     if degraded:
                         result.degraded += 1
+                        if isinstance(trace_id, str):
+                            result.degraded_trace_ids.append(trace_id)
                     if mismatch:
                         result.mismatches += 1
                         record["mismatch"] = True
@@ -453,6 +482,9 @@ def run_chaos(
             sanitizer_doc = health.get("sanitizer")
             if isinstance(sanitizer_doc, dict):
                 result.sanitizer = sanitizer_doc
+            slo_doc = health.get("slo")
+            if isinstance(slo_doc, dict):
+                result.slo = slo_doc
         if shm_pool is not None:
             # The fleet is stopped: detach the replicas' handles and
             # unlink the segment, then probe that nothing leaked —

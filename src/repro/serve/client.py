@@ -263,6 +263,10 @@ class ServeClient:
         """The server's health document (``GET /healthz``)."""
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> Dict[str, object]:
+        """The metrics document (``GET /metrics``): histograms + counters."""
+        return self._request("GET", "/metrics")
+
     def place(
         self,
         k: int,

@@ -74,9 +74,12 @@ from typing import (
 )
 
 from .. import obs
-from ..errors import ServeRequestError, ServeWorkerError
+from ..errors import ObsError, ServeRequestError, ServeWorkerError
 from ..graphs import NodeId
+from ..obs import trace as obs_trace
 from ..obs.clock import Clock, SystemClock
+from ..obs.metrics import LatencyHistogram
+from ..obs.slo import SLOConfig, SLOTracker
 from .batching import MicroBatcher
 from .engine import decode_site, encode_site
 from .server import (
@@ -161,6 +164,12 @@ class FleetConfig:
     batching inside each :class:`~repro.serve.server.PlacementServer`
     still applies — while a positive window coalesces and deduplicates
     concurrent ``evaluate`` requests across replicas before routing.
+
+    ``slo`` carries the availability/latency targets the front's
+    burn-rate accounting (``/healthz`` → ``slo``) runs against;
+    ``trace_dir`` opts the front into distributed tracing (its
+    ``front.jsonl`` segment lands there — workers need their own
+    ``trace_dir`` to contribute worker spans).
     """
 
     workers: int = 2
@@ -181,6 +190,8 @@ class FleetConfig:
     front_batch_window: float = 0.0
     front_max_batch: int = 256
     front_bypass: int = 4
+    slo: SLOConfig = field(default_factory=SLOConfig)
+    trace_dir: Optional[Union[str, Path]] = None
 
     def validate(self) -> None:
         if self.workers < 1:
@@ -215,6 +226,10 @@ class FleetConfig:
                 f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
             )
         self.retry.validate()
+        try:
+            self.slo.validate()
+        except ObsError as error:
+            raise ServeRequestError(f"invalid SLO config: {error}") from None
 
 
 # ----------------------------------------------------------------------
@@ -243,7 +258,9 @@ class LocalWorker:
     def start(self) -> None:
         """Spawn the server thread (blocking until the port is bound)."""
         engine = self._engine_factory()
-        self._handle = ServerThread(engine, **self._server_kwargs)
+        kwargs = dict(self._server_kwargs)
+        kwargs.setdefault("worker_label", self.worker_id)
+        self._handle = ServerThread(engine, **kwargs)
         self._handle.__enter__()
 
     def stop(self) -> None:
@@ -320,6 +337,8 @@ class ProcessWorker:
             "0",
             "--ready-file",
             str(ready),
+            "--worker-label",
+            self.worker_id,
         ]
         self._process = subprocess.Popen(
             argv,
@@ -541,6 +560,18 @@ class PlacementFleet:
         self.shard_served: Dict[str, int] = {
             shard: 0 for shard in self._shards
         }
+        self._tracer: Optional[obs_trace.TraceRecorder] = None
+        if self._config.trace_dir is not None:
+            self._tracer = obs_trace.TraceRecorder(
+                Path(self._config.trace_dir) / "front.jsonl",
+                role="front",
+                clock=self._clock,
+            )
+        #: Monotone per-front request counter feeding the seeded trace
+        #: ids (seed + index — deterministic, wall-clock free).
+        self._trace_index = 0
+        self._metrics = LatencyHistogram()
+        self._slo = SLOTracker(self._config.slo, self._clock)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -801,10 +832,56 @@ class PlacementFleet:
             if method != "GET":
                 return 405, {"error": "healthz is GET-only"}
             return 200, self.healthz()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}
+            return 200, await self.metrics_doc()
         if path != "/query":
             return 404, {"error": f"unknown path {path!r}"}
         if method != "POST":
             return 405, {"error": "query is POST-only"}
+        t_start = self._clock.now()
+        if self._tracer is None:
+            status, payload = await self._dispatch_query(headers, body)
+            duration = self._clock.now() - t_start
+        else:
+            # Root span: a seeded-deterministic trace id (fleet seed +
+            # request counter), activated on the context variable so
+            # every forward attempt below parents to it — including
+            # the parse-cache fast path and front-batched flushes.
+            trace_id = obs_trace.make_trace_id(
+                self._config.seed, self._trace_index
+            )
+            self._trace_index += 1
+            span_id = self._tracer.next_span_id()
+            token = obs_trace.activate(
+                obs_trace.TraceContext(trace_id, span_id, self._tracer)
+            )
+            try:
+                status, payload = await self._dispatch_query(headers, body)
+            finally:
+                obs_trace.deactivate(token)
+            t_end = self._clock.now()
+            duration = t_end - t_start
+            attrs: Dict[str, object] = {"status": status}
+            if payload.get("degraded"):
+                attrs["degraded"] = True
+            self._tracer.span(
+                trace_id, span_id, None, "front.request", t_start, t_end,
+                attrs,
+            )
+            # Clients (and the chaos harness) can map every reply to
+            # its merged trace tree.
+            payload["trace_id"] = trace_id
+        self._metrics.observe(duration)
+        # Availability counts servable outcomes: shedding (429) is
+        # policy, not failure — only 5xx burns the error budget.
+        self._slo.record(ok=status < 500, duration=duration)
+        return status, payload
+
+    async def _dispatch_query(
+        self, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
         if self._draining:
             self.rejected += 1
             return 503, {"error": "fleet is draining", "retryable": True}
@@ -902,10 +979,12 @@ class PlacementFleet:
             try:
                 if self._config.retry.hedge and idempotent:
                     status, payload, responder = await self._forward_hedged(
-                        slot, tried, body, budget
+                        slot, tried, body, budget, attempt
                     )
                 else:
-                    status, payload = await self._forward(slot, body, budget)
+                    status, payload = await self._forward(
+                        slot, body, budget, attempt=attempt
+                    )
             except (OSError, asyncio.TimeoutError, ServeWorkerError) as error:
                 obs.count("fleet.forward_errors")
                 obs.count(f"fleet.forward_errors.{type(error).__name__}")
@@ -973,19 +1052,65 @@ class PlacementFleet:
         return samples[min(len(samples) - 1, int(0.95 * len(samples)))]
 
     async def _forward(
-        self, slot: _WorkerSlot, body: bytes, budget: float
+        self,
+        slot: _WorkerSlot,
+        body: bytes,
+        budget: float,
+        attempt: int = 0,
+        hedged: bool = False,
     ) -> Tuple[int, Dict[str, object]]:
-        host, port = slot.worker.address
         headers = {DEADLINE_HEADER: f"{budget:g}"}
+        # Per-attempt span: the worker parents its own span to this
+        # one via the propagated header, so a retried request shows
+        # one front.attempt per replica it touched (failed, hedged,
+        # and cancelled attempts included).  The bracket opens before
+        # address resolution: a killed in-process worker fails right
+        # there, and that attempt must still leave its hop in the tree.
+        ctx = obs_trace.current()
+        span_id: Optional[str] = None
+        if ctx is not None:
+            span_id = ctx.recorder.next_span_id()
+            headers[obs_trace.TRACE_HEADER] = obs_trace.format_trace_header(
+                ctx.trace_id, span_id
+            )
         slot.inflight += 1
         t_start = self._clock.now()
+        outcome: object = "error"
         try:
+            host, port = slot.worker.address
             status, payload = await asyncio.wait_for(
                 _http_exchange(host, port, "POST", "/query", body, headers),
                 budget,
             )
+            outcome = status
+        except asyncio.CancelledError:
+            outcome = "cancelled"  # hedge loser — the race was won elsewhere
+            raise
+        except asyncio.TimeoutError:
+            outcome = "timeout"
+            raise
+        except (OSError, ServeWorkerError) as error:
+            outcome = type(error).__name__
+            raise
         finally:
             slot.inflight -= 1
+            if ctx is not None:
+                ctx.recorder.span(
+                    ctx.trace_id,
+                    span_id,
+                    ctx.span_id,
+                    "front.attempt",
+                    t_start,
+                    self._clock.now(),
+                    {
+                        "worker": slot.worker_id,
+                        "shard": slot.digest[:12],
+                        "attempt": attempt,
+                        "hedge": hedged,
+                        "status": outcome,
+                        "budget": round(budget, 6),
+                    },
+                )
         slot.latencies.append(self._clock.now() - t_start)
         return status, payload
 
@@ -995,6 +1120,7 @@ class PlacementFleet:
         tried: List[int],
         body: bytes,
         budget: float,
+        attempt: int = 0,
     ) -> Tuple[int, Dict[str, object], "_WorkerSlot"]:
         """Race a second replica after the hedge delay; first reply wins.
 
@@ -1003,7 +1129,9 @@ class PlacementFleet:
         answered, not the primary pick.
         """
         loop = asyncio.get_running_loop()
-        primary = loop.create_task(self._forward(slot, body, budget))
+        primary = loop.create_task(
+            self._forward(slot, body, budget, attempt=attempt)
+        )
         owners = {primary: slot}
         done, _ = await asyncio.wait({primary}, timeout=self._hedge_delay())
         if primary in done:
@@ -1016,7 +1144,9 @@ class PlacementFleet:
         tried.append(backup_slot.index)
         self.hedges += 1
         obs.count("fleet.hedges")
-        backup = loop.create_task(self._forward(backup_slot, body, budget))
+        backup = loop.create_task(
+            self._forward(backup_slot, body, budget, attempt=attempt, hedged=True)
+        )
         owners[backup] = backup_slot
         pending = {primary, backup}
         try:
@@ -1056,16 +1186,31 @@ class PlacementFleet:
         if cached is not None:
             self.degraded += 1
             obs.count("fleet.degraded")
+            self._trace_degrade(kind, "cache-replay", degraded=True)
             stale = dict(cached)
             stale["degraded"] = True
             return 200, stale
         self.rejected += 1
         obs.count("fleet.unavailable")
+        self._trace_degrade(kind, "unavailable", degraded=False)
         return 503, {
             "error": f"no worker available for {kind or 'unknown'!s} "
             "and nothing cached",
             "retryable": True,
         }
+
+    def _trace_degrade(
+        self, kind: str, outcome: str, degraded: bool
+    ) -> None:
+        """Record the fallback hop so a degraded trace tree shows *why*."""
+        ctx = obs_trace.current()
+        if ctx is None:
+            return
+        now = self._clock.now()
+        attrs: Dict[str, object] = {"kind": kind or "unknown", "outcome": outcome}
+        if degraded:
+            attrs["degraded"] = True
+        obs_trace.record("front.degrade", now, now, attrs, context=ctx)
 
     # -- front-side per-shard batching ----------------------------------
     def _shard_dispatch(
@@ -1230,8 +1375,93 @@ class PlacementFleet:
                 "rejected": self.rejected,
             },
             "respawns": sum(slot.respawns for slot in self._slots),
+            "slo": self._slo.snapshot(),
+            "trace": {
+                "enabled": self._tracer is not None,
+                "degraded": (
+                    self._tracer.degraded
+                    if self._tracer is not None
+                    else False
+                ),
+            },
             "sanitizer": sanitizer_health(),
         }
+
+    # -- metrics --------------------------------------------------------
+    async def metrics_doc(self) -> Dict[str, object]:
+        """The front's ``GET /metrics`` payload with fleet aggregation.
+
+        The front's own ``/query`` histogram rides next to a bucket-wise
+        sum of every live worker's histogram (identical fixed bounds, so
+        merging is addition) plus the fleet-wide counters chaos triage
+        asks for first: retries, hedges, shed, degraded, respawns, and
+        how many workers shm-attached their artifact.
+        Unreachable workers are reported as ``null`` rather than
+        failing the endpoint.
+        """
+        live = [slot for slot in self._slots if slot.state == "up"]
+        probes = [self._worker_metrics(slot) for slot in live]
+        results = await asyncio.gather(*probes, return_exceptions=True)
+        workers: Dict[str, object] = {}
+        merged = LatencyHistogram()
+        workers_reporting = 0
+        shm_attached = 0
+        for slot, result in zip(live, results):
+            if isinstance(result, BaseException) or result is None:
+                workers[slot.worker_id] = None
+                continue
+            workers[slot.worker_id] = result
+            workers_reporting += 1
+            latency = result.get("latency")
+            if isinstance(latency, dict):
+                try:
+                    merged.merge(LatencyHistogram.from_dict(latency))
+                except ObsError:
+                    obs.count("fleet.metrics.foreign_buckets")
+            counters = result.get("counters")
+            if isinstance(counters, dict):
+                shm_attached += int(counters.get("shm_attached", 0) or 0)
+        return {
+            "schema": "rapflow-metrics/1",
+            "role": "front",
+            "digest": self._digest,
+            "latency": self._metrics.to_dict(),
+            "workers_latency": merged.to_dict(),
+            "workers_reporting": workers_reporting,
+            "counters": {
+                "served": self.served,
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "degraded": self.degraded,
+                "corrupt_detected": self.corrupt_detected,
+                "rejected": self.rejected,
+                "shed": dict(self.shed),
+                "respawns": sum(slot.respawns for slot in self._slots),
+                "shm_attached": shm_attached,
+            },
+            "slo": self._slo.snapshot(),
+            "workers": workers,
+        }
+
+    async def _worker_metrics(
+        self, slot: _WorkerSlot
+    ) -> Optional[Dict[str, object]]:
+        """One worker's ``/metrics`` doc, or ``None`` when unreachable."""
+        try:
+            host, port = slot.worker.address
+            status, payload = await asyncio.wait_for(
+                _http_exchange(host, port, "GET", "/metrics", None, {}),
+                self._config.heartbeat_timeout,
+            )
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            ServeWorkerError,
+            ValueError,
+        ) as error:
+            obs.count(f"fleet.metrics_probe_errors.{type(error).__name__}")
+            return None
+        return payload if status == 200 else None
 
 
 # ----------------------------------------------------------------------

@@ -14,6 +14,17 @@ Endpoints:
   :class:`~repro.reliability.PipelineHealth` (each admitted request is a
   recorded row; each failed one a quarantined row tagged with its error
   class), plus artifact stats, cache occupancy, and batching tallies.
+* ``GET /metrics`` — fixed-bucket ``/query`` latency histogram
+  (:class:`~repro.obs.metrics.LatencyHistogram`, bounds in the payload)
+  plus per-status counters; a fleet front sums worker histograms
+  bucket-wise into the fleet view.
+
+Distributed tracing is **opt-in** via ``trace_dir``: a front that sends
+``X-Rapflow-Trace: <trace_id>:<parent_span_id>`` gets a
+``worker.request`` span appended to this process's JSONL segment, and
+the engine/batcher emit child spans through the context variable in
+:mod:`repro.obs.trace`.  Without a ``trace_dir`` the header is never
+even parsed.
 
 Operational behavior:
 
@@ -53,7 +64,9 @@ from ..errors import (
     ServeRequestError,
     ServeTimeoutError,
 )
+from ..obs import trace as obs_trace
 from ..obs.clock import Clock, SystemClock
+from ..obs.metrics import LatencyHistogram
 from ..reliability.health import PipelineHealth
 from .batching import MicroBatcher
 from .engine import QueryEngine
@@ -269,6 +282,16 @@ class PlacementServer:
         Seconds advertised in the ``Retry-After`` header of 429/503
         responses, so well-behaved clients back off by the amount the
         server actually wants.
+    trace_dir:
+        Optional directory for this worker's JSONL trace segment
+        (``worker-<label>.jsonl``).  Enables distributed tracing:
+        requests carrying ``X-Rapflow-Trace`` get ``worker.request``
+        spans with engine/batcher children.  ``None`` (the default)
+        disables tracing entirely — the header is not even parsed.
+    worker_label:
+        Fleet-assigned worker id (``w0``, ...) used in trace segments
+        and the ``/metrics`` payload; defaults to ``"solo"`` for a
+        standalone server.
     """
 
     def __init__(
@@ -285,6 +308,8 @@ class PlacementServer:
         latency_log: Optional[Union[str, Path]] = None,
         clock: Optional[Clock] = None,
         retry_after: float = 0.05,
+        trace_dir: Optional[Union[str, Path]] = None,
+        worker_label: Optional[str] = None,
     ) -> None:
         if max_inflight < 1:
             raise ServeRequestError(
@@ -309,8 +334,20 @@ class PlacementServer:
         )
         self._restore_info = restore_info
         self._latency_log = Path(latency_log) if latency_log else None
+        self._latency_log_degraded = False
         self._clock: Clock = clock if clock is not None else SystemClock()
         self._retry_after = retry_after
+        self._worker_label = worker_label if worker_label else "solo"
+        self._tracer: Optional[obs_trace.TraceRecorder] = None
+        if trace_dir is not None:
+            self._tracer = obs_trace.TraceRecorder(
+                Path(trace_dir) / f"worker-{self._worker_label}.jsonl",
+                role="worker",
+                worker_id=self._worker_label,
+                clock=self._clock,
+            )
+        self._metrics = LatencyHistogram()
+        self._query_statuses: Dict[int, int] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._inflight = 0
         self._draining = False
@@ -374,6 +411,8 @@ class PlacementServer:
                 obs.count("serve.drain_timeouts")
         if self._server is not None:
             await self._server.wait_closed()
+        if self._tracer is not None:
+            self._tracer.close()
         from ..devtools import sanitize  # local: opt-in tooling, lazy
 
         sanitize.check_loop_shutdown("server.shutdown")
@@ -429,13 +468,53 @@ class PlacementServer:
     async def _dispatch(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Dict[str, object]]:
+        # Parse the trace header only when this worker records traces —
+        # the disabled hot path adds a single attribute check.
+        parsed_trace = None
+        if self._tracer is not None:
+            raw_trace = headers.get(obs_trace.TRACE_HEADER)
+            if raw_trace is not None:
+                parsed_trace = obs_trace.parse_trace_header(raw_trace)
         t_start = self._clock.now()
-        status, payload = await self._route(method, path, headers, body)
-        duration = self._clock.now() - t_start
+        if parsed_trace is None:
+            status, payload = await self._route(method, path, headers, body)
+            t_end = self._clock.now()
+        else:
+            trace_id, parent_id = parsed_trace
+            span_id = self._tracer.next_span_id()
+            token = obs_trace.activate(
+                obs_trace.TraceContext(trace_id, span_id, self._tracer)
+            )
+            try:
+                status, payload = await self._route(
+                    method, path, headers, body
+                )
+            finally:
+                obs_trace.deactivate(token)
+            t_end = self._clock.now()
+            self._tracer.span(
+                trace_id,
+                span_id,
+                parent_id,
+                "worker.request",
+                t_start,
+                t_end,
+                {
+                    "path": path,
+                    "status": status,
+                    "digest": self._engine.artifact.digest[:12],
+                },
+            )
+        duration = t_end - t_start
         obs.record_span(
             "serve.request", duration, path=path, status=status
         )
         obs.count(f"serve.http.{status}")
+        if path == "/query":
+            self._metrics.observe(duration)
+            self._query_statuses[status] = (
+                self._query_statuses.get(status, 0) + 1
+            )
         self._log_latency(path, status, duration)
         return status, payload
 
@@ -456,6 +535,7 @@ class PlacementServer:
                 )
         except OSError:
             self._latency_log = None  # degrade: stop logging, keep serving
+            self._latency_log_degraded = True  # ... but say so in /healthz
             obs.count("serve.latency_log_errors")
 
     async def _route(
@@ -467,6 +547,10 @@ class PlacementServer:
             if method != "GET":
                 return 405, {"error": "healthz is GET-only"}
             return 200, self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}
+            return 200, self.metrics_doc()
         if path != "/query":
             return 404, {"error": f"unknown path {path!r}"}
         if method != "POST":
@@ -570,8 +654,14 @@ class PlacementServer:
         }
 
     # ------------------------------------------------------------------
-    # health
+    # health + metrics
     # ------------------------------------------------------------------
+    def _latency_log_status(self) -> str:
+        """``ok`` / ``disabled`` / ``degraded`` (write failed, log dead)."""
+        if self._latency_log_degraded:
+            return "degraded"
+        return "ok" if self._latency_log is not None else "disabled"
+
     def _healthz(self) -> Dict[str, object]:
         return {
             "status": "draining" if self._draining else "ok",
@@ -583,8 +673,50 @@ class PlacementServer:
             "cache": self._engine.cache_info(),
             "batching": self._batcher.stats(),
             "restore": self._restore_info,
+            "latency_log": self._latency_log_status(),
+            "trace": {
+                "enabled": self._tracer is not None,
+                "degraded": (
+                    self._tracer.degraded
+                    if self._tracer is not None
+                    else False
+                ),
+            },
             "pipeline": self.health.to_dict(),
             "sanitizer": sanitizer_health(),
+        }
+
+    def metrics_doc(self) -> Dict[str, object]:
+        """The ``GET /metrics`` payload: histogram + counters.
+
+        The histogram covers ``/query`` requests only (health probes
+        would otherwise drown the percentiles in sub-millisecond
+        samples) and carries its bucket bounds, so the fleet front can
+        sum worker histograms bucket-wise without negotiation.
+        """
+        shm_attached = (
+            1
+            if (self._restore_info or {}).get("mode") == "shm-attach"
+            else 0
+        )
+        return {
+            "schema": "rapflow-metrics/1",
+            "role": "worker",
+            "worker": self._worker_label,
+            "digest": self._engine.artifact.digest,
+            "latency": self._metrics.to_dict(),
+            "counters": {
+                "served": self._query_statuses.get(200, 0),
+                "rejected": self.rejected,
+                "shm_attached": shm_attached,
+                "statuses": {
+                    str(status): count
+                    for status, count in sorted(
+                        self._query_statuses.items()
+                    )
+                },
+            },
+            "latency_log": self._latency_log_status(),
         }
 
 

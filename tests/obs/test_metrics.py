@@ -1,0 +1,156 @@
+"""Latency histograms and SLO burn-rate accounting.
+
+Both run on plain numbers (histograms) or a
+:class:`~repro.obs.clock.TickClock` (SLO windows), so every assertion
+is exact and wall-clock free.
+"""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    LATENCY_BUCKETS_MS,
+    LatencyHistogram,
+    SLOConfig,
+    SLOTracker,
+    TickClock,
+    bucket_index,
+)
+
+
+class TestBucketIndex:
+    def test_values_land_in_their_bucket(self):
+        assert bucket_index(0.4) == 0
+        assert bucket_index(0.5) == 0  # upper bounds are inclusive
+        assert bucket_index(0.6) == 1
+        assert bucket_index(5000.0) == len(LATENCY_BUCKETS_MS) - 1
+
+    def test_overflow_lands_past_the_last_bound(self):
+        assert bucket_index(1e9) == len(LATENCY_BUCKETS_MS)
+
+
+class TestLatencyHistogram:
+    def test_percentiles_return_bucket_upper_bounds(self):
+        hist = LatencyHistogram()
+        for _ in range(90):
+            hist.observe(0.004)  # 4ms -> the 5ms bucket
+        for _ in range(10):
+            hist.observe(0.090)  # 90ms -> the 100ms bucket
+        assert hist.percentile(0.50) == 5.0
+        assert hist.percentile(0.95) == 100.0
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(0.99) == 0.0
+
+    def test_percentile_rejects_out_of_range(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ObsError):
+            hist.percentile(0.0)
+        with pytest.raises(ObsError):
+            hist.percentile(1.5)
+
+    def test_overflow_observations_report_the_last_bound(self):
+        hist = LatencyHistogram()
+        hist.observe(60.0)  # 60s >> the largest bucket
+        assert hist.percentile(0.99) == LATENCY_BUCKETS_MS[-1]
+
+    def test_merge_is_bucketwise_addition(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.observe(0.001)
+        right.observe(0.001)
+        right.observe(0.200)
+        left.merge(right)
+        doc = left.to_dict()
+        assert doc["count"] == 3
+        assert sum(doc["counts"]) == 3
+
+    def test_dict_round_trip(self):
+        hist = LatencyHistogram()
+        hist.observe(0.003)
+        hist.observe(0.030)
+        doc = hist.to_dict()
+        assert doc["buckets_ms"] == list(LATENCY_BUCKETS_MS)
+        assert doc["p95_ms"] == hist.percentile(0.95)
+        restored = LatencyHistogram.from_dict(doc)
+        assert restored.to_dict() == doc
+
+    def test_from_dict_rejects_foreign_buckets(self):
+        doc = LatencyHistogram().to_dict()
+        doc["buckets_ms"] = [1.0, 2.0]
+        doc["counts"] = [0, 0, 0]
+        with pytest.raises(ObsError):
+            LatencyHistogram.from_dict(doc)
+
+
+class TestSLOTracker:
+    def make(self, clock, **overrides):
+        defaults = dict(
+            availability_target=0.99,
+            latency_target_ms=100.0,
+            latency_availability_target=0.95,
+            windows=(60.0, 300.0),
+        )
+        defaults.update(overrides)
+        return SLOTracker(SLOConfig(**defaults), clock)
+
+    def test_clean_traffic_burns_nothing(self):
+        clock = TickClock(start=0.0, step=0.1)
+        tracker = self.make(clock)
+        for _ in range(100):
+            tracker.record(ok=True, duration=0.005)
+        snapshot = tracker.snapshot()
+        window = snapshot["windows"]["60s"]
+        assert window["requests"] == 100
+        assert window["errors"] == 0
+        assert window["burn_rate"] == 0.0
+        assert snapshot["healthy"] is True
+
+    def test_error_rate_divided_by_budget_is_the_burn_rate(self):
+        # 10% errors against a 1% budget -> burn rate 10x.
+        clock = TickClock(start=0.0, step=0.01)
+        tracker = self.make(clock)
+        for index in range(100):
+            tracker.record(ok=index % 10 != 0, duration=0.001)
+        snapshot = tracker.snapshot()
+        assert snapshot["windows"]["60s"]["burn_rate"] == pytest.approx(10.0)
+        assert snapshot["healthy"] is False
+
+    def test_slow_requests_burn_the_latency_budget(self):
+        # 10% of requests over 100ms against a 5% budget -> 2x.
+        clock = TickClock(start=0.0, step=0.01)
+        tracker = self.make(clock)
+        for index in range(100):
+            slow = index % 10 == 0
+            tracker.record(ok=True, duration=0.250 if slow else 0.001)
+        window = tracker.snapshot()["windows"]["60s"]
+        assert window["burn_rate"] == 0.0
+        assert window["latency_burn_rate"] == pytest.approx(2.0)
+
+    def test_old_errors_age_out_of_the_short_window(self):
+        clock = TickClock(start=0.0, step=0.0)
+        tracker = self.make(clock, windows=(60.0, 300.0))
+        tracker.record(ok=False, duration=0.001)
+        # Jump 120s: past the 60s window, inside the 300s one.
+        clock._next = 120.0  # TickClock state; deterministic jump
+        tracker.record(ok=True, duration=0.001)
+        snapshot = tracker.snapshot()
+        assert snapshot["windows"]["60s"]["errors"] == 0
+        assert snapshot["windows"]["300s"]["errors"] == 1
+
+    def test_empty_windows_are_healthy(self):
+        tracker = self.make(TickClock(start=0.0, step=1.0))
+        snapshot = tracker.snapshot()
+        for window in snapshot["windows"].values():
+            assert window["requests"] == 0
+            assert window["availability"] == 1.0
+            assert window["burn_rate"] == 0.0
+        assert snapshot["healthy"] is True
+
+    def test_config_validation(self):
+        with pytest.raises(ObsError):
+            SLOConfig(availability_target=1.5).validate()
+        with pytest.raises(ObsError):
+            SLOConfig(windows=()).validate()
+        with pytest.raises(ObsError):
+            SLOConfig(latency_target_ms=-1.0).validate()
+        assert SLOConfig().validate() is not None

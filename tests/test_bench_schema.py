@@ -62,7 +62,7 @@ class TestServeSnapshot:
         for key in ("schema", "levels", "batching_speedup", "fleet",
                     "shm_fleet", "git_sha", "git_dirty"):
             assert key in snapshot, f"BENCH_serve.json lost key {key!r}"
-        assert snapshot["schema"] == "rapflow-bench-serve/3"
+        assert snapshot["schema"] == "rapflow-bench-serve/4"
 
     def test_snapshot_names_a_clean_commit(self):
         # A snapshot is only reproducible if it records the exact tree
@@ -142,6 +142,44 @@ class TestServeSnapshot:
             restore = record["restore"]
             assert restore["mode"] == "shm-attach"
             assert restore["seconds"] >= 0.0
+
+    def test_shm_fleet_carries_server_side_metrics(self):
+        # Schema /4: the snapshot records the front's GET /metrics view
+        # (fixed-bucket histograms + fleet-aggregated counters), not
+        # just client-side timings.
+        snapshot = load(SERVE_SNAPSHOT)
+        metrics = snapshot["shm_fleet"]["fleet_metrics"]
+        assert metrics["schema"] == "rapflow-metrics/1"
+        for block in ("latency", "workers_latency"):
+            histogram = metrics[block]
+            for key in ("buckets_ms", "counts", "count", "p50_ms",
+                        "p95_ms", "p99_ms"):
+                assert key in histogram, f"{block} lost key {key!r}"
+            assert len(histogram["counts"]) == len(histogram["buckets_ms"]) + 1
+        assert metrics["latency"]["count"] > 0
+        counters = metrics["counters"]
+        for key in ("served", "retries", "hedges", "degraded",
+                    "respawns", "shm_attached", "shed"):
+            assert key in counters, f"fleet counters lost key {key!r}"
+        assert counters["shm_attached"] == snapshot["shm_fleet"]["workers"]
+
+    def test_front_metrics_p95_agrees_with_the_bench_p95(self):
+        # The acceptance bar: the server-side histogram percentile and
+        # the bench's client-side p95 must land within one fixed bucket
+        # of each other — the histogram is coarse by design, but it must
+        # not tell a different story than the measured tail.
+        from repro.obs import LATENCY_BUCKETS_MS, bucket_index
+
+        snapshot = load(SERVE_SNAPSHOT)
+        tier = snapshot["shm_fleet"]
+        front_hist = tier["fleet_metrics"]["latency"]
+        assert front_hist["buckets_ms"] == list(LATENCY_BUCKETS_MS)
+        front_bucket = bucket_index(front_hist["p95_ms"])
+        bench_bucket = bucket_index(tier["p95_ms"])
+        assert abs(front_bucket - bench_bucket) <= 1, (
+            f"front /metrics p95 {front_hist['p95_ms']}ms and bench p95 "
+            f"{tier['p95_ms']}ms are more than one bucket apart"
+        )
 
     def test_shm_fleet_outscales_the_fleet_tier(self):
         # The PR's acceptance bar: subprocess workers over one shared
