@@ -23,10 +23,18 @@ per-shard micro-batching, driven at c=256.  It records throughput and
 tails, each worker's restore mode/latency/memory read back through
 worker health, a direct attach-vs-load latency comparison, and the
 copy-count evidence: total private-memory growth across N workers
-versus the artifact's segment size.  Writes ``BENCH_serve.json``::
+versus the artifact's segment size.
+
+A fifth tier (``stream``) measures the streaming pipeline end to end:
+the windowed estimator's fold rate over a synthetic closed-journey
+feed, the incremental artifact patch against a full recompile of the
+same deltas (bit-identical digests, median seconds each), and the
+swap-induced p99 blip — a live fleet driven in a baseline window and
+again while a background thread hot-swaps the default shard
+continuously.  Writes ``BENCH_serve.json``::
 
     {
-      "schema": "rapflow-bench-serve/4",
+      "schema": "rapflow-bench-serve/5",
       "git_sha": ..., "git_dirty": false, "scale": "small",
       "levels": [{"concurrency", "mode", "requests", "throughput_rps",
                   "p50_ms", "p95_ms", "p99_ms", "errors", "batching"}],
@@ -41,7 +49,12 @@ versus the artifact's segment size.  Writes ``BENCH_serve.json``::
                     "total_restore_private_delta_bytes", "front_batching",
                     "fleet_metrics": {  # server-side GET /metrics view
                         "latency": {"buckets_ms", "counts", "p95_ms", ...},
-                        "workers_latency", "workers_reporting", "counters"}}
+                        "workers_latency", "workers_reporting", "counters"}},
+      "stream": {"fold": {"journeys_per_s", "deltas_emitted", ...},
+                 "refresh": {"patch_seconds", "recompile_seconds",
+                             "patch_speedup", "digests_agree"},
+                 "swap": {"swaps", "availability", "baseline_p99_ms",
+                          "under_swap_p99_ms", "p99_blip_ratio", ...}}
     }
 
 Schema /4 adds ``shm_fleet.fleet_metrics``: the front's fixed-bucket
@@ -49,6 +62,10 @@ latency histogram and fleet-aggregated counters read from ``GET
 /metrics`` after the timed window, so the snapshot carries server-side
 percentiles alongside the bench's client-side ones (they must agree
 within one histogram bucket — the schema test enforces it).
+
+Schema /5 adds the ``stream`` tier: the estimator fold rate, the
+incremental-patch vs full-recompile refresh timing, and the hot-swap
+p99 blip measured against a no-swap baseline window.
 
 Usage::
 
@@ -580,6 +597,237 @@ def run_shm_fleet_tier(
     }
 
 
+def synthetic_journeys(
+    routes: Sequence[str], journeys: int, window: float
+) -> List[object]:
+    """A deterministic feed of closed journeys with varying window counts.
+
+    The number of journeys per window cycles, so consecutive windows
+    carry different per-route counts and the estimator emits real
+    (non-zero) deltas — a constant feed would fold to silence and the
+    measured rate would skip the emission path entirely.
+    """
+    from repro.stream import ClosedJourney
+
+    base_slots = max(4, 4 * len(routes))
+    events: List[object] = []
+    window_index = 0
+    while len(events) < journeys:
+        slots = base_slots + (window_index % (len(routes) + 1))
+        for slot in range(slots):
+            if len(events) >= journeys:
+                break
+            route = routes[slot % len(routes)]
+            end = window_index * window + (slot + 1) * window / (slots + 1)
+            events.append(
+                ClosedJourney(
+                    bus_id=f"bus-{slot:03d}",
+                    route=route,
+                    segment_id=f"{route}#{window_index:03d}",
+                    start_time=max(0.0, end - 600.0),
+                    end_time=end,
+                    samples=20,
+                )
+            )
+        window_index += 1
+    return events
+
+
+def run_stream_tier(
+    artifact: ScenarioArtifact,
+    pool: Sequence[Sequence[object]],
+    backend: str,
+    workers: int,
+    concurrency: int,
+    requests: int,
+    journeys: int,
+    refresh_reps: int,
+) -> Dict[str, object]:
+    """The streaming tier: fold rate, patch-vs-recompile, swap blip.
+
+    Three measurements back the streaming pipeline's claims:
+
+    1. **Fold rate** — a synthetic feed of closed journeys over the
+       artifact's route labels folds through a
+       :class:`~repro.stream.WindowedEstimator`; records journeys/s
+       and the deltas emitted.
+    2. **Patch vs recompile** — the same traffic deltas applied via
+       :class:`~repro.stream.StreamRefresher` in both modes.  The
+       digests must agree (bit-identity); the snapshot records the
+       median seconds of each and the incremental speedup.
+    3. **Swap blip** — a live fleet under load, measured in a baseline
+       window and again while a background thread hot-swaps the
+       default shard continuously; the p99 of both windows and their
+       ratio quantify the swap-induced tail-latency blip.
+    """
+    import threading
+
+    from repro.serve import (
+        FleetConfig,
+        FleetThread,
+        PlacementFleet,
+        RetryPolicy,
+        local_worker_factory,
+    )
+    from repro.stream import StreamRefresher, TrafficDelta, WindowedEstimator
+
+    routes = [
+        flow.label for flow in artifact.scenario.flows if flow.label
+    ][:8]
+    if not routes:
+        raise RuntimeError("stream tier needs labeled flows to map routes")
+    passengers = 25.0
+
+    # --- 1. fold rate -------------------------------------------------
+    window = 3600.0
+    events = synthetic_journeys(routes, journeys, window)
+    estimator = WindowedEstimator(window)
+    deltas_emitted = 0
+    t0 = time.perf_counter()
+    for event in events:
+        deltas_emitted += len(estimator.observe(event))
+    deltas_emitted += len(estimator.drain())
+    fold_seconds = time.perf_counter() - t0
+    fold = {
+        "journeys": len(events),
+        "routes": len(routes),
+        "seconds": fold_seconds,
+        "journeys_per_s": (
+            len(events) / fold_seconds if fold_seconds else 0.0
+        ),
+        "deltas_emitted": deltas_emitted,
+    }
+
+    # --- 2. patch vs recompile ----------------------------------------
+    refresh_deltas = [
+        TrafficDelta(
+            route=route, count=index + 2,
+            window_start=0.0, window_end=window,
+        )
+        for index, route in enumerate(routes[:3])
+    ]
+    patch_times: List[float] = []
+    recompile_times: List[float] = []
+    digests: Dict[str, str] = {}
+    for mode, times in (
+        ("patch", patch_times), ("recompile", recompile_times)
+    ):
+        for _ in range(refresh_reps):
+            refresher = StreamRefresher(
+                artifact, passengers_per_bus=passengers
+            )
+            result = refresher.refresh(refresh_deltas, mode=mode)
+            if not result.changed:
+                raise RuntimeError("stream tier refresh produced no change")
+            times.append(result.seconds)
+            digests[mode] = result.new_digest
+    flows_changed = len(refresh_deltas)
+    patch_seconds = statistics.median(patch_times)
+    recompile_seconds = statistics.median(recompile_times)
+    refresh = {
+        "reps": refresh_reps,
+        "flows_changed": flows_changed,
+        "patch_seconds": patch_seconds,
+        "recompile_seconds": recompile_seconds,
+        "patch_speedup": (
+            recompile_seconds / patch_seconds if patch_seconds else 0.0
+        ),
+        "digests_agree": digests["patch"] == digests["recompile"],
+    }
+
+    # --- 3. swap-induced p99 blip -------------------------------------
+    def factory_for(version: ScenarioArtifact):
+        return local_worker_factory(
+            lambda: QueryEngine(version, cache_size=0)
+        )
+
+    config = FleetConfig(
+        workers=workers,
+        max_inflight=max(128, 2 * concurrency),
+        timeout=10.0,
+        retry=RetryPolicy(retries=3, backoff=0.02, backoff_cap=0.2),
+        seed=0,
+    )
+    fleet = PlacementFleet(
+        factory_for(artifact), digest=artifact.digest, config=config
+    )
+    stop = threading.Event()
+    swap_seconds: List[float] = []
+
+    with FleetThread(fleet) as handle:
+        run_level(  # warm-up outside the timed window
+            handle.port, concurrency, concurrency * 2, pool, backend
+        )
+        baseline = run_level(
+            handle.port, concurrency, requests // 2, pool, backend,
+            keep_latencies=True,
+        )
+
+        refresher = StreamRefresher(
+            artifact,
+            fleet=fleet,
+            worker_factory_for=factory_for,
+            passengers_per_bus=passengers,
+        )
+
+        def flipper() -> None:
+            flip = 0
+            while not stop.is_set():
+                result = refresher.refresh(
+                    [
+                        TrafficDelta(
+                            route=routes[0],
+                            count=1 if flip % 2 == 0 else -1,
+                            window_start=window * flip,
+                            window_end=window * (flip + 1),
+                        )
+                    ]
+                )
+                if result.swap is not None:
+                    swap_seconds.append(float(result.swap["seconds"]))
+                flip += 1
+                stop.wait(0.02)
+
+        swapper = threading.Thread(target=flipper, name="bench-swapper")
+        swapper.start()
+        try:
+            under_swap = run_level(
+                handle.port, concurrency, requests - requests // 2, pool,
+                backend, keep_latencies=True,
+            )
+        finally:
+            stop.set()
+            swapper.join(timeout=60.0)
+
+    attempted = int(baseline["requests"]) + int(baseline["errors"]) + int(
+        under_swap["requests"]
+    ) + int(under_swap["errors"])
+    errors = int(baseline["errors"]) + int(under_swap["errors"])
+    baseline_p99 = float(baseline["p99_ms"])
+    swap = {
+        "workers": workers,
+        "concurrency": concurrency,
+        "requests": int(baseline["requests"]) + int(under_swap["requests"]),
+        "errors": errors,
+        "availability": (
+            1.0 - errors / attempted if attempted else 0.0
+        ),
+        "swaps": len(swap_seconds),
+        "swap_seconds_p50": (
+            statistics.median(swap_seconds) if swap_seconds else 0.0
+        ),
+        "baseline_throughput_rps": baseline["throughput_rps"],
+        "under_swap_throughput_rps": under_swap["throughput_rps"],
+        "baseline_p99_ms": baseline_p99,
+        "under_swap_p99_ms": under_swap["p99_ms"],
+        "p99_blip_ratio": (
+            float(under_swap["p99_ms"]) / baseline_p99
+            if baseline_p99 else 0.0
+        ),
+    }
+    return {"mode": "stream", "fold": fold, "refresh": refresh, "swap": swap}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_serve.json"))
@@ -616,6 +864,22 @@ def main() -> int:
                         help="client threads driving the shm_fleet tier")
     parser.add_argument("--shm-requests", type=int, default=8192,
                         help="total requests in the shm_fleet tier")
+    parser.add_argument("--stream-workers", type=int, default=2,
+                        help="worker replicas in the stream tier's fleet")
+    parser.add_argument("--stream-concurrency", type=int, default=16,
+                        help="client threads driving the stream tier")
+    parser.add_argument(
+        "--stream-requests", type=int, default=800,
+        help="total requests across the stream tier's two windows",
+    )
+    parser.add_argument(
+        "--stream-journeys", type=int, default=20000,
+        help="synthetic closed journeys folded through the estimator",
+    )
+    parser.add_argument(
+        "--stream-refresh-reps", type=int, default=5,
+        help="repetitions of the patch/recompile refresh timing",
+    )
     args = parser.parse_args()
     levels = [int(v) for v in args.levels.split(",") if v.strip()]
 
@@ -703,13 +967,36 @@ def main() -> int:
         f"over a {shm_tier['artifact_nbytes']}B segment)"
     )
 
+    stream_tier = run_stream_tier(
+        artifact,
+        pool,
+        args.backend,
+        workers=args.stream_workers,
+        concurrency=args.stream_concurrency,
+        requests=args.stream_requests,
+        journeys=args.stream_journeys,
+        refresh_reps=args.stream_refresh_reps,
+    )
+    print(
+        f"   stream fold {stream_tier['fold']['journeys_per_s']:10.0f} "
+        f"journeys/s ({stream_tier['fold']['deltas_emitted']} deltas); "
+        f"patch={stream_tier['refresh']['patch_seconds'] * 1000:.1f}ms vs "
+        f"recompile={stream_tier['refresh']['recompile_seconds'] * 1000:.1f}ms "
+        f"({stream_tier['refresh']['patch_speedup']:.1f}x); "
+        f"swaps={stream_tier['swap']['swaps']} "
+        f"p99 {stream_tier['swap']['baseline_p99_ms']:.2f}ms -> "
+        f"{stream_tier['swap']['under_swap_p99_ms']:.2f}ms "
+        f"(blip {stream_tier['swap']['p99_blip_ratio']:.2f}x, "
+        f"errors={stream_tier['swap']['errors']})"
+    )
+
     speedup = {
         str(c): throughput["batched"][c] / throughput["unbatched"][c]
         for c in levels
         if throughput["unbatched"].get(c)
     }
     snapshot = {
-        "schema": "rapflow-bench-serve/4",
+        "schema": "rapflow-bench-serve/5",
         "git_sha": git_sha(),
         "git_dirty": git_dirty(),
         "scale": args.scale,
@@ -722,6 +1009,7 @@ def main() -> int:
         "batching_speedup": speedup,
         "fleet": fleet_tier,
         "shm_fleet": shm_tier,
+        "stream": stream_tier,
     }
     out_path = pathlib.Path(args.out)
     out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")

@@ -12,7 +12,7 @@ SUBPACKAGES = [
     "repro", "repro.graphs", "repro.core", "repro.algorithms",
     "repro.manhattan", "repro.traces", "repro.experiments",
     "repro.analysis", "repro.sim", "repro.viz", "repro.extensions",
-    "repro.obs", "repro.serve",
+    "repro.obs", "repro.serve", "repro.stream",
 ]
 
 

@@ -21,6 +21,7 @@ from .lazy_greedy import LazyGreedy
 from .local_search import SwapLocalSearch
 from .marginal_greedy import MarginalGainGreedy
 from .partial_enumeration import PartialEnumerationGreedy
+from .sieve_stream import SieveStreamState, SieveStreaming
 
 __all__ = [
     "BranchAndBoundOptimal",
@@ -36,6 +37,8 @@ __all__ = [
     "MaxVehicles",
     "PlacementAlgorithm",
     "RandomPlacement",
+    "SieveStreamState",
+    "SieveStreaming",
     "algorithm_by_name",
     "register",
     "registered_algorithms",

@@ -49,6 +49,12 @@ Subcommands
     stall / slow / corrupt workers under concurrent load, then print
     the availability, respawn, and bit-identity summary (exit 8 when
     availability drops below ``--min-availability``).
+``stream``
+    The streaming pipeline: ``stream ingest`` segments a live trace CSV
+    into an append-only journey journal, ``stream watch`` folds the
+    journal into windowed traffic deltas, and ``stream refresh`` applies
+    the deltas to a compiled artifact (incremental patch or full
+    recompile — bit-identical results) and prints the digest roll.
 ``query``
     Send one JSON query (or a health probe) to a running server.
 ``evaluate``
@@ -69,7 +75,9 @@ without parsing stderr: ``1`` generic :class:`~repro.errors.ReproError`,
 blown error budgets), ``4`` graph errors, ``5`` experiment errors,
 ``6`` reliability errors (e.g. corrupt checkpoints), ``7`` lint
 findings and devtools errors, ``8`` serving errors (unreachable server,
-rejected or malformed queries, artifact-cache corruption).
+rejected or malformed queries, artifact-cache corruption), ``9``
+streaming errors (journal corruption, bad windows, inapplicable
+deltas).
 """
 
 from __future__ import annotations
@@ -91,6 +99,7 @@ from .errors import (
     ReliabilityError,
     ReproError,
     ServeError,
+    StreamError,
     TraceError,
 )
 from .experiments import (
@@ -117,6 +126,7 @@ EXIT_EXPERIMENT = 5
 EXIT_RELIABILITY = 6
 EXIT_LINT = 7
 EXIT_SERVE = 8
+EXIT_STREAM = 9
 
 #: Mirror of :data:`repro.serve.chaos.CHAOS_PRESETS` so building the
 #: parser does not import the serve stack; a serve test pins the two
@@ -133,6 +143,7 @@ _ERROR_EXIT_CODES = (
     (ReliabilityError, EXIT_RELIABILITY),
     (DevtoolsError, EXIT_LINT),
     (ServeError, EXIT_SERVE),
+    (StreamError, EXIT_STREAM),
 )
 
 
@@ -573,6 +584,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, metavar="DIR",
         help="trace the run: front and workers write JSONL segments "
         "here, and the summary lists every degraded reply's trace id",
+    )
+
+    stream = commands.add_parser(
+        "stream",
+        help="streaming pipeline: ingest a live trace, watch deltas, "
+        "refresh a served artifact",
+    )
+    streamed = stream.add_subparsers(dest="stream_command", required=True)
+
+    s_ingest = streamed.add_parser(
+        "ingest",
+        help="segment a trace CSV into an append-only journey journal",
+    )
+    s_ingest.add_argument("--csv", required=True, help="trace CSV path")
+    s_ingest.add_argument(
+        "--city", choices=("dublin", "seattle"), required=True
+    )
+    s_ingest.add_argument(
+        "--journal", required=True, metavar="DIR",
+        help="journal directory (created if missing; appends accumulate)",
+    )
+    s_ingest.add_argument(
+        "--segment-records", type=int, default=4096,
+        help="records per sealed journal segment (default: 4096)",
+    )
+    s_ingest.add_argument(
+        "--max-skew", type=float, default=0.0,
+        help="reorder-buffer span in seconds for out-of-order samples "
+        "(default: 0 — strict arrival order)",
+    )
+
+    s_watch = streamed.add_parser(
+        "watch",
+        help="fold the journal into windowed per-route traffic deltas",
+    )
+    s_watch.add_argument(
+        "--journal", required=True, metavar="DIR", help="journal directory"
+    )
+    s_watch.add_argument(
+        "--window", type=float, default=3600.0,
+        help="window length in seconds (default: 3600)",
+    )
+    s_watch.add_argument(
+        "--slide", type=float, default=None,
+        help="window hop in seconds (default: tumbling windows)",
+    )
+
+    s_refresh = streamed.add_parser(
+        "refresh",
+        help="apply the journal's deltas to a compiled artifact "
+        "(patch or recompile) and print the digest roll",
+    )
+    _add_scenario_args(s_refresh)
+    s_refresh.add_argument(
+        "--journal", required=True, metavar="DIR", help="journal directory"
+    )
+    s_refresh.add_argument(
+        "--window", type=float, default=3600.0,
+        help="estimation window in seconds (default: 3600)",
+    )
+    s_refresh.add_argument(
+        "--mode", choices=("patch", "recompile"), default="patch",
+        help="incremental patch (default) or full recompile — the two "
+        "produce bit-identical artifacts",
+    )
+    s_refresh.add_argument(
+        "--passengers-per-bus", type=float, default=None,
+        help="volume per journey-count unit (default: 100 Dublin, "
+        "200 Seattle — the paper's assumptions)",
     )
 
     trace_cmd = commands.add_parser(
@@ -1312,6 +1392,149 @@ def _cmd_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def _closed_journeys_from_journal(journal) -> list:
+    """Reconstruct closed-journey events from a replayed journal.
+
+    The journal stores the segmenter's re-tagged records
+    (``route#NNN`` journey ids); grouping by the segmented id and
+    ordering by end time reproduces the closure sequence the estimator
+    expects, without re-running segmentation.
+    """
+    from .stream import ClosedJourney
+
+    spans: dict = {}
+    for record in journal.replay():
+        key = (record.bus_id, record.journey_id)
+        entry = spans.get(key)
+        if entry is None:
+            spans[key] = [record.timestamp, record.timestamp, 1]
+        else:
+            entry[0] = min(entry[0], record.timestamp)
+            entry[1] = max(entry[1], record.timestamp)
+            entry[2] += 1
+    closed = [
+        ClosedJourney(
+            bus_id=bus_id,
+            route=segment_id.rsplit("#", 1)[0],
+            segment_id=segment_id,
+            start_time=start,
+            end_time=end,
+            samples=samples,
+        )
+        for (bus_id, segment_id), (start, end, samples) in spans.items()
+    ]
+    closed.sort(key=lambda c: (c.end_time, c.bus_id, c.segment_id))
+    return closed
+
+
+def _cmd_stream_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from .stream import JourneyJournal, JourneySegmenter, SegmenterConfig
+    from .traces import read_trace_csv
+
+    schema = DUBLIN_SCHEMA if args.city == "dublin" else SEATTLE_SCHEMA
+    records = read_trace_csv(args.csv, schema)
+    segmenter = JourneySegmenter(SegmenterConfig(max_skew=args.max_skew))
+    journal = JourneyJournal(
+        args.journal, segment_records=args.segment_records
+    )
+    appended = 0
+    for record in records:
+        for released in segmenter.observe(record):
+            journal.append(released)
+            appended += 1
+    for released in segmenter.flush():
+        journal.append(released)
+        appended += 1
+    journal.seal()
+    closed = segmenter.poll_closed()
+    print(json.dumps({
+        "csv_records": len(records),
+        "appended": appended,
+        "journeys_closed": len(closed),
+        "reorders": segmenter.reorders,
+        "reorder_drops": segmenter.reorder_drops,
+        "resumes": segmenter.resumes,
+        "journal": journal.status(),
+    }, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_stream_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from .stream import JourneyJournal, WindowedEstimator
+
+    journal = JourneyJournal(args.journal)
+    closed = _closed_journeys_from_journal(journal)
+    estimator = WindowedEstimator(args.window, slide=args.slide)
+    deltas = []
+    for journey in closed:
+        deltas.extend(estimator.observe(journey))
+    deltas.extend(estimator.drain())
+    for delta in deltas:
+        print(json.dumps({
+            "route": delta.route,
+            "count": delta.count,
+            "window_start": delta.window_start,
+            "window_end": delta.window_end,
+        }, sort_keys=True))
+    print(
+        f"{len(closed)} closed journeys -> {len(deltas)} deltas "
+        f"(window {args.window:g}s"
+        + (f", slide {args.slide:g}s" if args.slide else ", tumbling")
+        + ")",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stream_refresh(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ArtifactStore
+    from .stream import JourneyJournal, StreamRefresher, WindowedEstimator
+
+    scenario = _build_serve_scenario(args)
+    store = ArtifactStore(args.cache_dir)
+    artifact = store.get_or_compile(scenario)
+    journal = JourneyJournal(args.journal)
+    closed = _closed_journeys_from_journal(journal)
+    estimator = WindowedEstimator(args.window)
+    deltas = []
+    for journey in closed:
+        deltas.extend(estimator.observe(journey))
+    deltas.extend(estimator.drain())
+    passengers = args.passengers_per_bus
+    if passengers is None:
+        passengers = 100.0 if args.city == "dublin" else 200.0
+    refresher = StreamRefresher(
+        artifact, store=store, passengers_per_bus=passengers
+    )
+    result = refresher.refresh(deltas, mode=args.mode)
+    print(json.dumps({
+        "old_digest": result.old_digest,
+        "new_digest": result.new_digest,
+        "changed": result.changed,
+        "mode": result.mode,
+        "seconds": result.seconds,
+        "flows_changed": result.flows_changed,
+        "unmatched_routes": result.unmatched_routes,
+        "deltas": len(deltas),
+        "journeys": len(closed),
+    }, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    if args.stream_command == "ingest":
+        return _cmd_stream_ingest(args)
+    if args.stream_command == "watch":
+        return _cmd_stream_watch(args)
+    return _cmd_stream_refresh(args)
+
+
 def _read_request_document(args: argparse.Namespace) -> dict:
     import json
 
@@ -1424,6 +1647,8 @@ def _run_command(
         return _cmd_serve(args)
     if command == "chaos":
         return _cmd_chaos(args)
+    if command == "stream":
+        return _cmd_stream(args)
     if command == "trace":
         return _cmd_trace(args)
     if command == "traces":

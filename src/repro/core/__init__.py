@@ -20,8 +20,10 @@ from .kernel import (
     ArrayEvaluator,
     CelfQueue,
     PackedCoverage,
+    affected_placements,
     evaluate_placement_many,
     make_evaluator,
+    reevaluate_affected,
     resolve_backend,
 )
 from .placement import FlowOutcome, Placement
@@ -64,6 +66,7 @@ __all__ = [
     "TrafficFlow",
     "UtilityFunction",
     "ValidationIssue",
+    "affected_placements",
     "attracted_customers",
     "evaluate_placement",
     "evaluate_placement_many",
@@ -71,6 +74,7 @@ __all__ = [
     "has_errors",
     "lint_scenario",
     "make_evaluator",
+    "reevaluate_affected",
     "resolve_backend",
     "total_volume",
     "utility_by_name",

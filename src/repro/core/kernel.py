@@ -269,6 +269,54 @@ class PackedCoverage:
         """The CSR slice of one node's incidences."""
         return slice(int(self.indptr[row]), int(self.indptr[row + 1]))
 
+    def apply_delta(self, deltas: Dict[int, float]) -> "PackedCoverage":
+        """A pack with per-flow volume deltas applied — structure shared.
+
+        Volume is the only column a traffic-matrix update touches: the
+        incidence structure (``indptr`` / ``flow_index`` / ``detour`` /
+        ``position`` / ``entry_row``) and the per-flow attractiveness
+        depend on paths and the network alone, so they are adopted by
+        reference — including read-only shared-memory views, which is
+        why the patch is copy-on-write on the (small) volume vector
+        rather than literally in place.  Each delta is *added* to the
+        flow's current volume with one float64 addition, the exact
+        expression a full recompile evaluates, so the patched pack is
+        bit-identical to one rebuilt from the updated flows.
+        """
+        if not deltas:
+            return self
+        volume = np.array(self.volume, dtype=float)
+        for raw_index, raw_delta in deltas.items():
+            index = int(raw_index)
+            if not 0 <= index < len(volume):
+                raise InvalidScenarioError(
+                    f"volume delta targets flow {index} but the pack has "
+                    f"{len(volume)} flows"
+                )
+            updated = volume[index] + float(raw_delta)
+            if not updated > 0:
+                raise InvalidScenarioError(
+                    f"volume delta {raw_delta!r} would drive flow {index} "
+                    f"to non-positive volume {updated!r}"
+                )
+            volume[index] = updated
+        patched = PackedCoverage(
+            nodes=self.nodes,
+            row_of=self.row_of,
+            indptr=self.indptr,
+            flow_index=self.flow_index,
+            detour=self.detour,
+            position=self.position,
+            entry_row=self.entry_row,
+            volume=volume,
+            attractiveness=self.attractiveness,
+        )
+        if obs.active() is not None:
+            obs.count_many(
+                {"pack.delta_patches": 1, "pack.delta_flows": len(deltas)}
+            )
+        return patched
+
 
 @dataclass
 class _Alignment:
@@ -913,6 +961,80 @@ def evaluate_placement_many(
     return totals
 
 
+def affected_placements(
+    packed: PackedCoverage,
+    placements: Sequence[Sequence[NodeId]],
+    changed_flows: Sequence[int],
+) -> List[bool]:
+    """Which placements cover at least one of the changed flows.
+
+    A placement's attracted total depends on a flow's volume only when
+    some placed site covers that flow with finite detour (an uncovered
+    flow contributes exactly ``0.0`` customers at any volume), so a
+    placement touching none of ``changed_flows`` scores bit-identically
+    before and after the volume patch.
+    """
+    changed = np.asarray(sorted({int(f) for f in changed_flows}), dtype=np.int64)
+    flags: List[bool] = []
+    for sites in placements:
+        hit = False
+        if len(changed):
+            for site in sites:
+                row = packed.row_of.get(site)
+                if row is None:
+                    continue
+                window = packed.row_slice(row)
+                if np.isin(packed.flow_index[window], changed).any():
+                    hit = True
+                    break
+        flags.append(hit)
+    return flags
+
+
+def reevaluate_affected(
+    scenario: "Scenario",
+    placements: Sequence[Sequence[NodeId]],
+    prior_totals: Sequence[float],
+    changed_flows: Sequence[int],
+    backend: Optional[str] = None,
+) -> List[float]:
+    """Placement totals after a volume patch, recomputing only the affected.
+
+    ``scenario`` is the *patched* scenario; ``prior_totals`` are the
+    totals scored against the pre-patch scenario (same placements, same
+    order).  Placements covering none of ``changed_flows`` keep their
+    prior total verbatim — provably bit-identical to recomputation —
+    and the rest go through one :func:`evaluate_placement_many` batch on
+    the requested backend.
+    """
+    if len(prior_totals) != len(placements):
+        raise InvalidScenarioError(
+            f"got {len(prior_totals)} prior totals for "
+            f"{len(placements)} placements"
+        )
+    packed = scenario.coverage.packed()
+    flags = affected_placements(packed, placements, changed_flows)
+    affected = [list(sites) for sites, hit in zip(placements, flags) if hit]
+    recomputed = (
+        evaluate_placement_many(scenario, affected, backend)
+        if affected
+        else []
+    )
+    fresh = iter(recomputed)
+    totals = [
+        next(fresh) if hit else float(prior)
+        for prior, hit in zip(prior_totals, flags)
+    ]
+    if obs.active() is not None:
+        obs.count_many(
+            {
+                "kernel.delta_reevaluations": len(affected),
+                "kernel.delta_reeval_skips": len(placements) - len(affected),
+            }
+        )
+    return totals
+
+
 __all__ = [
     "ArrayEvaluator",
     "BACKENDS",
@@ -921,10 +1043,12 @@ __all__ = [
     "DEFAULT_BACKEND",
     "Evaluator",
     "PackedCoverage",
+    "affected_placements",
     "evaluate_placement_many",
     "first_unplaced",
     "flush_celf_counters",
     "make_evaluator",
+    "reevaluate_affected",
     "resolve_backend",
     "warm_kernel",
 ]

@@ -193,6 +193,31 @@ class Scenario:
         clone._coverage = self._coverage
         return clone
 
+    def with_flows(self, flows: Sequence[TrafficFlow]) -> "Scenario":
+        """A scenario sharing this one's structures but new traffic flows.
+
+        The detour calculator depends only on the network and shop, so it
+        is reused; the coverage index depends on the flow *paths* and is
+        dropped — callers patching volumes over unchanged paths (the
+        streaming pipeline) re-attach a patched index via
+        :meth:`attach_coverage` instead of paying a rebuild.
+        """
+        if not flows:
+            raise InvalidScenarioError("scenario needs at least one traffic flow")
+        for flow in flows:
+            flow.validate_on(self._network)
+        clone = Scenario.__new__(Scenario)
+        clone._network = self._network
+        clone._flows = tuple(flows)
+        clone._shop = self._shop
+        clone._utility = self._utility
+        clone._candidates = self._candidates
+        clone._detour_mode = self._detour_mode
+        clone._default_backend = self._default_backend
+        clone._calculator = self._calculator
+        clone._coverage = None
+        return clone
+
     def __repr__(self) -> str:
         return (
             f"Scenario(shop={self._shop!r}, flows={len(self._flows)}, "

@@ -303,3 +303,26 @@ class UnknownFigureError(ExperimentError, KeyError):
     def __init__(self, figure_id: str) -> None:
         super().__init__(f"unknown figure id {figure_id!r}")
         self.figure_id = figure_id
+
+
+class StreamError(ReproError):
+    """Base class for streaming-pipeline errors (:mod:`repro.stream`).
+
+    >>> issubclass(StreamError, ReproError)
+    True
+    """
+
+
+class JournalError(StreamError):
+    """The append-only journey journal cannot be written, rotated, or
+    replayed (bad directory, torn segment beyond recovery, IO failure)."""
+
+
+class StreamConfigError(StreamError, ValueError):
+    """A streaming component was configured with invalid parameters
+    (non-positive window, negative skew, unknown refresh mode, ...)."""
+
+
+class StreamDeltaError(StreamError, ValueError):
+    """A traffic delta cannot be applied to the serving artifact
+    (unknown flow, volume driven non-positive, mismatched scenario)."""

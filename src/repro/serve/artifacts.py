@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -225,6 +225,52 @@ class ScenarioArtifact:
             spec=spec,
             scenario=scenario,
             stats=stats,
+        )
+
+    def patched(self, volume_deltas: Mapping[int, float]) -> "ScenarioArtifact":
+        """An incrementally re-addressed artifact with volume deltas applied.
+
+        The streaming fast path: traffic-matrix deltas change per-flow
+        volumes only, so the expensive structures — the network, the
+        Dijkstra detour fields, and every CSR incidence column — are
+        shared with this artifact, and only the per-flow volume vector is
+        rewritten (:meth:`~repro.core.kernel.PackedCoverage.apply_delta`).
+        The patched scenario is re-warmed through the normal kernel
+        caches, and the new spec/digest are derived from the updated flow
+        volumes, so the result is indistinguishable (bit-for-bit, digest
+        included) from compiling the updated scenario from scratch —
+        without a single Dijkstra run or utility re-evaluation on the
+        unchanged incidences.
+        """
+        if not volume_deltas:
+            return self
+        scenario = self.scenario
+        packed = scenario.coverage.packed().apply_delta(dict(volume_deltas))
+        flows: List[TrafficFlow] = list(scenario.flows)
+        spec_flows = [dict(entry) for entry in self.spec["flows"]]  # type: ignore[union-attr]
+        for raw_index, raw_delta in volume_deltas.items():
+            index = int(raw_index)
+            flow = flows[index]
+            updated = flow.volume + float(raw_delta)
+            flows[index] = replace(flow, volume=updated)
+            spec_flows[index]["volume"] = float(updated)
+        new_spec: Dict[str, object] = dict(self.spec)
+        new_spec["flows"] = spec_flows
+        patched_scenario = scenario.with_flows(flows)
+        patched_scenario.attach_coverage(
+            CoverageIndex.from_packed(patched_scenario.flows, packed, lazy=True)
+        )
+        with obs.span("serve.artifact.patch", flows_changed=len(volume_deltas)):
+            stats = warm_kernel(patched_scenario)
+        obs.count("serve.artifact.patches")
+        return ScenarioArtifact(
+            digest=spec_digest(new_spec),
+            spec=new_spec,
+            scenario=patched_scenario,
+            stats=stats,
+            # Shared columns may be views over this artifact's segment;
+            # carrying the attachment keeps the mapping alive with us.
+            shm=self.shm,
         )
 
     # ------------------------------------------------------------------
@@ -453,6 +499,17 @@ class ArtifactStore:
         artifact = ScenarioArtifact.load(self._root, digest)
         self._loaded[digest] = artifact
         return artifact
+
+    def put(self, artifact: ScenarioArtifact) -> None:
+        """Register an already-compiled artifact (and persist if disk-backed).
+
+        The streaming refresher compiles patched artifacts outside the
+        store (:meth:`ScenarioArtifact.patched`); ``put`` makes them
+        addressable by digest like any compiled-here artifact.
+        """
+        self._loaded[artifact.digest] = artifact
+        if self._root is not None:
+            artifact.save(self._root)
 
 
 __all__ = [

@@ -54,6 +54,7 @@ subprocess sharing the artifact cache directory, used by
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import json
 import random
 import subprocess
@@ -547,6 +548,9 @@ class PlacementFleet:
         self._draining = False
         self._inflight = 0
         self._next_slot = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._swaps = 0
+        self._last_swap: Optional[Dict[str, object]] = None
         self._degraded_cache: "OrderedDict[str, Dict[str, object]]" = (
             OrderedDict()
         )
@@ -611,6 +615,7 @@ class PlacementFleet:
 
         sanitize.install_async_if_enabled()
         loop = asyncio.get_running_loop()
+        self._loop = loop
         spawns = []
         index = 0
         for shard in self.shard_digests:
@@ -701,6 +706,183 @@ class PlacementFleet:
         cache the handle across failures.
         """
         return self._slots[index].worker
+
+    # -- hot swap -------------------------------------------------------
+    async def swap_default_shard(
+        self,
+        digest: str,
+        worker_factory: Optional[Callable[[int], object]] = None,
+        *,
+        retire_old: bool = True,
+        drain_timeout: float = 30.0,
+    ) -> Dict[str, object]:
+        """Atomically make ``digest`` the default shard, draining the old.
+
+        The sequence is: spawn the new shard's replicas (unless the
+        digest already has a shard), wait until at least one is up, flip
+        ``self._digest`` — a single assignment on the event loop, so
+        every request that has not yet read the default routes to the
+        new shard while requests already in flight finish against the
+        old one — then, with ``retire_old``, wait for the old shard's
+        in-flight requests and batcher to drain and stop its workers.
+        No request is ever dropped: each one serves against whichever
+        shard it was routed to when it arrived.
+
+        Must run on the fleet's event loop; from another thread use
+        :meth:`request_swap`.
+        """
+        if self._draining:
+            raise ServeRequestError("cannot swap shards while draining")
+        old = self._digest
+        if digest == old:
+            return {"from": old, "to": digest, "seconds": 0.0, "spawned": 0}
+        started = self._clock.now()
+        loop = asyncio.get_running_loop()
+        spawned = 0
+        with obs.span("fleet.swap", old=old[:12], new=digest[:12]):
+            if digest not in self._shards:
+                if worker_factory is None:
+                    raise ServeRequestError(
+                        f"shard {digest[:12]} is unknown and no "
+                        "worker_factory was given"
+                    )
+                new_slots: List[_WorkerSlot] = []
+                spawns = []
+                base = max(
+                    (slot.index for slot in self._slots), default=-1
+                ) + 1
+                for replica in range(self._config.workers):
+                    slot = _WorkerSlot(
+                        base + replica,
+                        worker_factory(replica),
+                        digest,
+                        replica,
+                        worker_factory,
+                    )
+                    new_slots.append(slot)
+                    spawns.append(
+                        loop.run_in_executor(None, slot.worker.start)
+                    )
+                results = await asyncio.gather(
+                    *spawns, return_exceptions=True
+                )
+                for slot, result in zip(new_slots, results):
+                    if isinstance(result, BaseException):
+                        slot.state = "down"
+                        obs.count("fleet.spawn_failures")
+                    else:
+                        slot.state = "up"
+                        spawned += 1
+                if not any(slot.state == "up" for slot in new_slots):
+                    # Failed swap leaves the fleet exactly as it was.
+                    stops = [
+                        loop.run_in_executor(None, slot.worker.stop)
+                        for slot in new_slots
+                        if slot.state == "up"
+                    ]
+                    if stops:
+                        outcomes = await asyncio.gather(
+                            *stops, return_exceptions=True
+                        )
+                        for outcome in outcomes:
+                            if isinstance(outcome, Exception):
+                                obs.count("fleet.swap_stop_errors")
+                    raise ServeWorkerError(
+                        f"no worker came up for incoming shard {digest[:12]}"
+                    )
+                self._slots.extend(new_slots)
+                self._shards[digest] = worker_factory
+                self.shard_served.setdefault(digest, 0)
+                if self._config.front_batch_window > 0:
+                    self._front_batchers[digest] = MicroBatcher(
+                        dispatch=self._shard_dispatch(digest),
+                        window=self._config.front_batch_window,
+                        max_batch=self._config.front_max_batch,
+                        bypass_threshold=self._config.front_bypass,
+                    )
+            # The flip: a single assignment on the event loop.  Requests
+            # that resolved their digest before this instant finish on
+            # the old shard; everything after routes to the new one.
+            self._digest = digest
+            obs.count("fleet.swaps")
+            if retire_old:
+                await self._retire_shard(old, drain_timeout)
+        seconds = self._clock.now() - started
+        self._swaps += 1
+        self._last_swap = {
+            "from": old,
+            "to": digest,
+            "seconds": seconds,
+            "spawned": spawned,
+            "retired": retire_old,
+        }
+        return dict(self._last_swap)
+
+    async def _retire_shard(self, digest: str, drain_timeout: float) -> None:
+        """Drain and stop one non-default shard's workers.
+
+        Waits for in-flight requests against the shard to finish (the
+        flip already diverted new traffic), flushes its front batcher,
+        stops its workers, and drops its routing entry — requests still
+        addressing the digest explicitly get a clean 404 afterwards.
+        """
+        if digest == self._digest or digest not in self._shards:
+            return
+        deadline = self._clock.now() + drain_timeout
+        old_slots = [slot for slot in self._slots if slot.digest == digest]
+        while any(slot.inflight > 0 for slot in old_slots):
+            if self._clock.now() >= deadline:
+                obs.count("fleet.swap_drain_timeouts")
+                break
+            await asyncio.sleep(0.005)
+        batcher = self._front_batchers.pop(digest, None)
+        if batcher is not None:
+            await batcher.drain()
+        loop = asyncio.get_running_loop()
+        stops = [
+            loop.run_in_executor(None, slot.worker.stop)
+            for slot in old_slots
+            if slot.state in ("up", "starting")
+        ]
+        if stops:
+            outcomes = await asyncio.gather(*stops, return_exceptions=True)
+            for outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    obs.count("fleet.swap_stop_errors")
+        self._slots = [
+            slot for slot in self._slots if slot.digest != digest
+        ]
+        del self._shards[digest]
+        for key in [
+            key for key in self._parse_cache if key[0] == digest
+        ]:
+            del self._parse_cache[key]
+        obs.count("fleet.shards_retired")
+
+    def request_swap(
+        self,
+        digest: str,
+        worker_factory: Optional[Callable[[int], object]] = None,
+        *,
+        retire_old: bool = True,
+        drain_timeout: float = 30.0,
+    ) -> "concurrent.futures.Future[Dict[str, object]]":
+        """Thread-safe :meth:`swap_default_shard` (refresher entry point).
+
+        Schedules the swap on the fleet's event loop and returns a
+        ``concurrent.futures.Future`` resolving to the swap record.
+        """
+        if self._loop is None:
+            raise ServeRequestError("fleet front is not started")
+        return asyncio.run_coroutine_threadsafe(
+            self.swap_default_shard(
+                digest,
+                worker_factory,
+                retire_old=retire_old,
+                drain_timeout=drain_timeout,
+            ),
+            self._loop,
+        )
 
     # -- supervision ----------------------------------------------------
     async def _supervise(self) -> None:
@@ -1375,6 +1557,7 @@ class PlacementFleet:
                 "rejected": self.rejected,
             },
             "respawns": sum(slot.respawns for slot in self._slots),
+            "swap": {"count": self._swaps, "last": self._last_swap},
             "slo": self._slo.snapshot(),
             "trace": {
                 "enabled": self._tracer is not None,

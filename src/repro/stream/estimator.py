@@ -1,0 +1,176 @@
+"""Windowed traffic estimation: fold closed journeys into flow deltas.
+
+The offline pipeline counts whole-trace route matches and scales by
+passengers-per-bus (:func:`repro.traces.flows.flows_from_matches`).  The
+streaming pipeline cannot wait for the whole trace: it folds the
+segmenter's :class:`~repro.stream.segmenter.ClosedJourney` events into
+per-route counts over event-time windows and emits
+:class:`TrafficDelta` objects — the *signed change* in each route's
+journey count versus the previous window.  Downstream,
+:class:`~repro.stream.refresh.StreamRefresher` converts deltas into
+flow-volume patches.
+
+Windows are tumbling by default (``slide`` omitted) or sliding
+(``slide`` < ``window``).  Everything is event-time driven off journey
+end timestamps — windows complete when a later journey's end time
+proves the window can receive no more members, never when a wall clock
+says so (RAP002).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .. import obs
+from ..errors import StreamConfigError
+from .segmenter import ClosedJourney
+
+
+@dataclass(frozen=True)
+class TrafficDelta:
+    """Signed change in one route's journey count over one window."""
+
+    route: str
+    """The feed route id (maps to a flow label downstream)."""
+    count: int
+    """Journeys this window minus journeys the previous window."""
+    window_start: float
+    window_end: float
+
+    def __post_init__(self) -> None:
+        if self.window_end <= self.window_start:
+            raise StreamConfigError(
+                f"delta window [{self.window_start}, {self.window_end}) "
+                "is empty"
+            )
+
+
+class WindowedEstimator:
+    """Fold closed journeys into per-window, per-route count deltas.
+
+    Parameters
+    ----------
+    window:
+        Window length in seconds.
+    slide:
+        Hop between window starts; omitted or equal to ``window`` gives
+        tumbling windows, smaller gives overlapping sliding windows.
+    origin:
+        Event time at which window 0 starts (default 0).
+    """
+
+    def __init__(
+        self,
+        window: float,
+        *,
+        slide: Optional[float] = None,
+        origin: float = 0.0,
+    ) -> None:
+        if window <= 0:
+            raise StreamConfigError(f"window must be positive, got {window}")
+        if slide is None:
+            slide = window
+        if slide <= 0 or slide > window:
+            raise StreamConfigError(
+                f"slide must be in (0, window], got {slide} (window {window})"
+            )
+        self._window = float(window)
+        self._slide = float(slide)
+        self._origin = float(origin)
+        # Per window-start-index: route -> journeys counted.
+        self._counts: Dict[int, Dict[str, int]] = {}
+        # Counts of the last *emitted* window, the delta baseline.
+        self._previous: Dict[str, int] = {}
+        self._emitted_through = -1
+        self._max_seen = -1
+        self.journeys = 0
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    @property
+    def slide(self) -> float:
+        return self._slide
+
+    def _window_indices(self, end_time: float) -> Iterable[int]:
+        """Start indices of every window containing ``end_time``."""
+        offset = end_time - self._origin
+        if offset < 0:
+            raise StreamConfigError(
+                f"journey end time {end_time} precedes window origin "
+                f"{self._origin}"
+            )
+        last = int(math.floor(offset / self._slide))
+        # Walk back while the window starting at index i still spans t.
+        first = last
+        while first > 0 and (
+            offset - (first - 1) * self._slide < self._window
+        ):
+            first -= 1
+        return range(first, last + 1)
+
+    def _bounds(self, index: int) -> Tuple[float, float]:
+        start = self._origin + index * self._slide
+        return start, start + self._window
+
+    def observe(self, closed: ClosedJourney) -> List[TrafficDelta]:
+        """Fold one closed journey; returns deltas for completed windows.
+
+        A window completes when a journey ends at or beyond the window's
+        end — event time has provably moved past it.
+        """
+        self.journeys += 1
+        obs.count("stream.estimate.journeys")
+        for index in self._window_indices(closed.end_time):
+            bucket = self._counts.setdefault(index, {})
+            bucket[closed.route] = bucket.get(closed.route, 0) + 1
+            if index > self._max_seen:
+                self._max_seen = index
+        # Windows whose end precedes the newest end time are complete.
+        ripe: List[TrafficDelta] = []
+        index = self._emitted_through + 1
+        while self._bounds(index)[1] <= closed.end_time:
+            ripe.extend(self._emit(index))
+            index += 1
+        return ripe
+
+    def drain(self) -> List[TrafficDelta]:
+        """Emit every window still open (end of stream)."""
+        ripe: List[TrafficDelta] = []
+        for index in range(self._emitted_through + 1, self._max_seen + 1):
+            ripe.extend(self._emit(index))
+        return ripe
+
+    def _emit(self, index: int) -> List[TrafficDelta]:
+        counts = self._counts.pop(index, {})
+        start, end = self._bounds(index)
+        deltas: List[TrafficDelta] = []
+        for route in sorted(set(counts) | set(self._previous)):
+            change = counts.get(route, 0) - self._previous.get(route, 0)
+            if change != 0:
+                deltas.append(
+                    TrafficDelta(
+                        route=route,
+                        count=change,
+                        window_start=start,
+                        window_end=end,
+                    )
+                )
+        self._previous = counts
+        self._emitted_through = index
+        if deltas:
+            obs.count_many(
+                {
+                    "stream.estimate.windows": 1,
+                    "stream.estimate.deltas": len(deltas),
+                }
+            )
+        else:
+            obs.count("stream.estimate.windows")
+        return deltas
+
+
+__all__ = ["TrafficDelta", "WindowedEstimator"]

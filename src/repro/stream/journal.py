@@ -1,0 +1,280 @@
+"""Append-only journey journal: JSONL segments with WAL-style rotation.
+
+The ingestion side of the streaming pipeline persists GPS samples the
+way sqlite persists pages: every append goes to a live write-ahead
+segment (``wal.jsonl``), and once the segment reaches its record budget
+it is *checkpointed* — atomically renamed to the next sealed
+``segment-NNNNNN.jsonl`` — so readers always see either a fully sealed
+segment or the single live tail.  Replay walks sealed segments in
+sequence order and then the live tail, reproducing the exact append
+order.
+
+Recovery follows WAL semantics too: a process killed mid-append leaves
+at most one torn trailing line, which :class:`JourneyJournal` truncates
+away on open (the record was never acknowledged, so dropping it is
+correct) and counts in observability.
+
+Everything here is driven by *event time* carried in the records — the
+journal itself never reads a wall clock (lint rule RAP002 covers
+``stream/``).  An injectable :class:`~repro.obs.clock.Clock` may be
+supplied purely to stamp seal bookkeeping for humans; replay and
+rotation never consult it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from .. import obs
+from ..errors import JournalError, StreamConfigError, TraceFormatError
+from ..obs.clock import Clock
+from ..traces.records import GpsRecord
+
+PathLike = Union[str, Path]
+
+#: Live write-ahead segment name (renamed into place when sealed).
+WAL_NAME = "wal.jsonl"
+
+#: Sealed segment name pattern.
+SEGMENT_PATTERN = "segment-{index:06d}.jsonl"
+
+
+def record_to_line(record: GpsRecord) -> str:
+    """Canonical one-line JSON encoding of one GPS sample."""
+    return json.dumps(
+        {
+            "bus": record.bus_id,
+            "journey": record.journey_id,
+            "t": float(record.timestamp),
+            "x": float(record.x),
+            "y": float(record.y),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def record_from_line(line: str) -> GpsRecord:
+    """Inverse of :func:`record_to_line` (raises on malformed lines)."""
+    try:
+        document = json.loads(line)
+        return GpsRecord(
+            bus_id=str(document["bus"]),
+            journey_id=str(document["journey"]),
+            timestamp=float(document["t"]),
+            x=float(document["x"]),
+            y=float(document["y"]),
+        )
+    except TraceFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise JournalError(f"malformed journal line {line!r}: {error}") from None
+
+
+class JourneyJournal:
+    """Append-only GPS journal over JSONL segments.
+
+    Parameters
+    ----------
+    directory:
+        Journal root; created if missing.  Sealed segments and the live
+        WAL live directly inside it.
+    segment_records:
+        Records per sealed segment — the rotation (checkpoint) budget.
+    clock:
+        Optional :class:`~repro.obs.clock.Clock` used only to stamp the
+        human-facing ``sealed`` bookkeeping in :meth:`status`; rotation
+        and replay are pure functions of the appended records.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        segment_records: int = 4096,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if segment_records < 1:
+            raise StreamConfigError(
+                f"segment_records must be >= 1, got {segment_records}"
+            )
+        self._directory = Path(directory)
+        self._segment_records = segment_records
+        self._clock = clock
+        self._last_seal_at: Optional[float] = None
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise JournalError(
+                f"cannot create journal directory {self._directory}: {error}"
+            ) from error
+        self._sealed = self._scan_sealed()
+        self._wal_records = self._recover_wal()
+        self._appends = 0
+
+    # ------------------------------------------------------------------
+    # open / recovery
+    # ------------------------------------------------------------------
+    def _scan_sealed(self) -> List[Path]:
+        sealed = sorted(
+            entry
+            for entry in self._directory.iterdir()
+            if entry.name.startswith("segment-")
+            and entry.name.endswith(".jsonl")
+        )
+        return sealed
+
+    def _recover_wal(self) -> int:
+        """Count WAL records, truncating a torn trailing line if present."""
+        wal = self._directory / WAL_NAME
+        if not wal.is_file():
+            return 0
+        try:
+            raw = wal.read_bytes()
+        except OSError as error:
+            raise JournalError(f"cannot read {wal}: {error}") from error
+        if not raw:
+            return 0
+        keep = len(raw)
+        torn = 0
+        if not raw.endswith(b"\n"):
+            # Torn append: drop the unterminated tail (never acknowledged).
+            keep = raw.rfind(b"\n") + 1
+            torn = 1
+        else:
+            # A terminated but unparsable last line is equally torn
+            # (e.g. the process died inside a buffered flush).
+            lines = raw[:keep].splitlines()
+            if lines:
+                try:
+                    record_from_line(lines[-1].decode("utf-8"))
+                except (JournalError, UnicodeDecodeError):
+                    keep = raw.rfind(b"\n", 0, keep - 1) + 1
+                    torn = 1
+        if torn:
+            try:
+                with open(wal, "r+b") as handle:
+                    handle.truncate(keep)
+            except OSError as error:
+                raise JournalError(
+                    f"cannot truncate torn tail of {wal}: {error}"
+                ) from error
+            obs.count("stream.journal.torn_lines")
+        return raw[:keep].count(b"\n")
+
+    # ------------------------------------------------------------------
+    # append / rotate
+    # ------------------------------------------------------------------
+    def append(self, record: GpsRecord) -> None:
+        """Durably append one sample, rotating the WAL when full."""
+        line = record_to_line(record)
+        wal = self._directory / WAL_NAME
+        try:
+            with open(wal, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError as error:
+            raise JournalError(f"cannot append to {wal}: {error}") from error
+        self._wal_records += 1
+        self._appends += 1
+        obs.count("stream.journal.appends")
+        if self._wal_records >= self._segment_records:
+            self._seal()
+
+    def extend(self, records: "Iterator[GpsRecord] | List[GpsRecord]") -> int:
+        """Append many samples; returns the number appended."""
+        count = 0
+        for record in records:
+            self.append(record)
+            count += 1
+        return count
+
+    def _seal(self) -> None:
+        """Checkpoint the live WAL into the next sealed segment."""
+        wal = self._directory / WAL_NAME
+        target = self._directory / SEGMENT_PATTERN.format(
+            index=len(self._sealed)
+        )
+        try:
+            os.replace(wal, target)
+        except OSError as error:
+            raise JournalError(
+                f"cannot seal {wal} as {target}: {error}"
+            ) from error
+        self._sealed.append(target)
+        self._wal_records = 0
+        if self._clock is not None:
+            self._last_seal_at = self._clock.now()
+        obs.count("stream.journal.seals")
+
+    def seal(self) -> Optional[Path]:
+        """Force a checkpoint of a non-empty WAL (e.g. on shutdown)."""
+        if self._wal_records == 0:
+            return None
+        self._seal()
+        return self._sealed[-1]
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def segments(self) -> List[Path]:
+        """Sealed segments, in append order."""
+        return list(self._sealed)
+
+    @property
+    def record_count(self) -> int:
+        """Records currently replayable (sealed + live WAL)."""
+        return self._count_sealed() + self._wal_records
+
+    def _count_sealed(self) -> int:
+        total = 0
+        for segment in self._sealed:
+            try:
+                with open(segment, "rb") as handle:
+                    total += handle.read().count(b"\n")
+            except OSError as error:
+                raise JournalError(
+                    f"cannot read sealed segment {segment}: {error}"
+                ) from error
+        return total
+
+    def replay(self) -> Iterator[GpsRecord]:
+        """Every record in exact append order (sealed, then live WAL)."""
+        paths = list(self._sealed)
+        wal = self._directory / WAL_NAME
+        if wal.is_file():
+            paths.append(wal)
+        for path in paths:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if line:
+                            yield record_from_line(line)
+            except OSError as error:
+                raise JournalError(
+                    f"cannot replay journal file {path}: {error}"
+                ) from error
+
+    def status(self) -> Dict[str, object]:
+        """Bookkeeping snapshot (segment counts, live tail, seal stamp)."""
+        return {
+            "directory": str(self._directory),
+            "sealed_segments": len(self._sealed),
+            "wal_records": self._wal_records,
+            "segment_records": self._segment_records,
+            "appends_this_session": self._appends,
+            "last_seal_at": self._last_seal_at,
+        }
+
+
+__all__ = [
+    "JourneyJournal",
+    "SEGMENT_PATTERN",
+    "WAL_NAME",
+    "record_from_line",
+    "record_to_line",
+]

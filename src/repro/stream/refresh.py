@@ -1,0 +1,284 @@
+"""Hot-swap refresh: fold traffic deltas into a live serving fleet.
+
+:class:`StreamRefresher` closes the streaming loop.  It owns the fleet's
+current :class:`~repro.serve.artifacts.ScenarioArtifact` and, on each
+batch of :class:`~repro.stream.estimator.TrafficDelta` objects:
+
+1. maps routes onto flow indices (by flow label) and scales journey
+   counts by passengers-per-bus into volume deltas;
+2. produces the updated artifact — either the incremental *patch* path
+   (:meth:`ScenarioArtifact.patched`, no Dijkstra, no utility re-eval)
+   or a full *recompile* (the differential baseline; both produce
+   bit-identical artifacts and digests);
+3. registers the artifact with the :class:`~repro.serve.artifacts.ArtifactStore`
+   and publishes its columns to the
+   :class:`~repro.serve.shm.ShmArtifactPool`;
+4. asks the :class:`~repro.serve.fleet.PlacementFleet` to hot-swap its
+   default shard to the new digest (old shard drains, new serves — zero
+   dropped requests), then optionally unlinks the old digest's shared
+   memory.
+
+Every step is traced and counted; timings come from the injectable
+clock (RAP002 — ``stream/`` never reads the wall clock directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .. import obs
+from ..errors import StreamConfigError, StreamDeltaError
+from ..obs.clock import Clock, SystemClock
+from ..serve.artifacts import (
+    ArtifactStore,
+    ScenarioArtifact,
+    scenario_from_spec,
+    spec_digest,
+)
+from .estimator import TrafficDelta
+
+REFRESH_MODES = ("patch", "recompile")
+
+
+@dataclass(frozen=True)
+class RefreshResult:
+    """Outcome of one :meth:`StreamRefresher.refresh` call."""
+
+    old_digest: str
+    new_digest: str
+    mode: str
+    seconds: float
+    flows_changed: int
+    unmatched_routes: int
+    swap: Optional[Dict[str, object]]
+    """The fleet's swap record, or ``None`` without a fleet / no-op."""
+
+    @property
+    def changed(self) -> bool:
+        return self.new_digest != self.old_digest
+
+
+def patched_spec(
+    spec: Dict[str, object], volume_deltas: Dict[int, float]
+) -> Dict[str, object]:
+    """A scenario spec with flow-volume deltas applied (pure function)."""
+    flows = [dict(entry) for entry in spec["flows"]]  # type: ignore[union-attr]
+    for raw_index, raw_delta in volume_deltas.items():
+        index = int(raw_index)
+        if not 0 <= index < len(flows):
+            raise StreamDeltaError(
+                f"volume delta targets flow {index}, but the spec has "
+                f"{len(flows)} flows"
+            )
+        updated = float(flows[index]["volume"]) + float(raw_delta)
+        if not updated > 0:
+            raise StreamDeltaError(
+                f"volume delta {raw_delta} drives flow {index} to "
+                f"non-positive volume {updated}"
+            )
+        flows[index]["volume"] = updated
+    new_spec = dict(spec)
+    new_spec["flows"] = flows
+    return new_spec
+
+
+class StreamRefresher:
+    """Fold traffic deltas into artifacts and hot-swap a serving fleet.
+
+    Parameters
+    ----------
+    artifact:
+        The currently-served artifact; each successful refresh replaces
+        it, so refreshes chain.
+    store:
+        Optional artifact store; refreshed artifacts are registered
+        (and persisted, when the store has a disk root).
+    pool:
+        Optional shared-memory pool; refreshed artifacts are published
+        before the fleet swap so incoming workers can attach.
+    fleet:
+        Optional live fleet whose default shard follows the digest.
+    worker_factory_for:
+        ``worker_factory_for(artifact) -> (replica -> worker)`` builds
+        the incoming shard's replica factory; required when ``fleet``
+        is given.
+    passengers_per_bus:
+        Volume carried by one journey-count unit (paper: 100 Dublin,
+        200 Seattle).
+    clock:
+        Injectable time source for refresh timings (RAP002).
+    """
+
+    def __init__(
+        self,
+        artifact: ScenarioArtifact,
+        *,
+        store: Optional[ArtifactStore] = None,
+        pool: Optional[object] = None,
+        fleet: Optional[object] = None,
+        worker_factory_for: Optional[
+            Callable[[ScenarioArtifact], Callable[[int], object]]
+        ] = None,
+        passengers_per_bus: float = 100.0,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if passengers_per_bus <= 0:
+            raise StreamConfigError(
+                f"passengers_per_bus must be positive, got "
+                f"{passengers_per_bus}"
+            )
+        if fleet is not None and worker_factory_for is None:
+            raise StreamConfigError(
+                "a fleet-connected refresher needs worker_factory_for"
+            )
+        self._artifact = artifact
+        self._store = store
+        self._pool = pool
+        self._fleet = fleet
+        self._worker_factory_for = worker_factory_for
+        self._passengers = float(passengers_per_bus)
+        self._clock: Clock = clock if clock is not None else SystemClock()
+        self.refreshes = 0
+        self.unmatched_routes = 0
+
+    @property
+    def artifact(self) -> ScenarioArtifact:
+        """The artifact currently considered live."""
+        return self._artifact
+
+    @property
+    def digest(self) -> str:
+        return self._artifact.digest
+
+    # ------------------------------------------------------------------
+    # delta mapping
+    # ------------------------------------------------------------------
+    def volume_deltas(
+        self, deltas: Sequence[TrafficDelta]
+    ) -> Tuple[Dict[int, float], int]:
+        """Map route deltas to ``{flow index: volume delta}``.
+
+        Routes resolve against flow labels (the trace pipeline labels
+        each flow with its route/pattern id).  Routes with no matching
+        flow are counted and skipped — a live feed sees routes the
+        offline snapshot never mapped.  Opposite-signed deltas for one
+        route cancel; a net delta that would drive a flow's volume to
+        zero or below raises :class:`~repro.errors.StreamDeltaError`.
+        """
+        by_label: Dict[str, int] = {}
+        for index, flow in enumerate(self._artifact.scenario.flows):
+            if flow.label is not None and flow.label not in by_label:
+                by_label[flow.label] = index
+        merged: Dict[int, float] = {}
+        unmatched = 0
+        for delta in deltas:
+            index = by_label.get(delta.route)
+            if index is None:
+                unmatched += 1
+                continue
+            merged[index] = (
+                merged.get(index, 0.0) + delta.count * self._passengers
+            )
+        merged = {
+            index: change for index, change in merged.items() if change != 0.0
+        }
+        for index, change in merged.items():
+            updated = self._artifact.scenario.flows[index].volume + change
+            if not updated > 0:
+                raise StreamDeltaError(
+                    f"net delta {change} drives flow {index} "
+                    f"({self._artifact.scenario.flows[index].label!r}) to "
+                    f"non-positive volume {updated}"
+                )
+        if unmatched:
+            obs.count("stream.refresh.unmatched_routes", unmatched)
+        return merged, unmatched
+
+    # ------------------------------------------------------------------
+    # refresh
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        deltas: Sequence[TrafficDelta],
+        *,
+        mode: str = "patch",
+        unlink_old: bool = True,
+    ) -> RefreshResult:
+        """Apply ``deltas`` and roll the serving plane onto the result.
+
+        ``mode="patch"`` takes the incremental path; ``"recompile"``
+        rebuilds the artifact from the patched spec — the slow path the
+        differential tests (and the bench's patch-vs-recompile tier)
+        compare against.  Both yield bit-identical artifacts.
+        """
+        if mode not in REFRESH_MODES:
+            raise StreamConfigError(
+                f"unknown refresh mode {mode!r}; expected one of "
+                f"{REFRESH_MODES}"
+            )
+        started = self._clock.now()
+        changes, unmatched = self.volume_deltas(deltas)
+        self.unmatched_routes += unmatched
+        old_digest = self._artifact.digest
+        if not changes:
+            return RefreshResult(
+                old_digest=old_digest,
+                new_digest=old_digest,
+                mode=mode,
+                seconds=self._clock.now() - started,
+                flows_changed=0,
+                unmatched_routes=unmatched,
+                swap=None,
+            )
+        with obs.span(
+            "stream.refresh", mode=mode, flows_changed=len(changes)
+        ):
+            if mode == "patch":
+                artifact = self._artifact.patched(changes)
+            else:
+                new_spec = patched_spec(self._artifact.spec, changes)
+                artifact = ScenarioArtifact.compile(
+                    scenario_from_spec(new_spec)
+                )
+                if artifact.digest != spec_digest(new_spec):
+                    raise StreamDeltaError(
+                        "recompiled artifact digest diverged from the "
+                        "patched spec digest"
+                    )
+            if self._store is not None:
+                self._store.put(artifact)
+            if self._pool is not None:
+                self._pool.publish(artifact)
+            swap: Optional[Dict[str, object]] = None
+            if self._fleet is not None:
+                assert self._worker_factory_for is not None
+                factory = self._worker_factory_for(artifact)
+                swap = self._fleet.request_swap(
+                    artifact.digest, factory
+                ).result()
+            if (
+                unlink_old
+                and self._pool is not None
+                and old_digest != artifact.digest
+            ):
+                self._pool.unlink(old_digest)
+        self._artifact = artifact
+        self.refreshes += 1
+        obs.count(f"stream.refresh.{mode}")
+        return RefreshResult(
+            old_digest=old_digest,
+            new_digest=artifact.digest,
+            mode=mode,
+            seconds=self._clock.now() - started,
+            flows_changed=len(changes),
+            unmatched_routes=unmatched,
+            swap=swap,
+        )
+
+__all__ = [
+    "REFRESH_MODES",
+    "RefreshResult",
+    "StreamRefresher",
+    "patched_spec",
+]

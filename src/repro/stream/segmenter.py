@@ -1,0 +1,261 @@
+"""Live journey segmentation: idle/resume detection on a GPS stream.
+
+A live feed has no journey boundaries — a bus reports samples all day
+under one route id.  :class:`JourneySegmenter` splits each bus's sample
+stream into *journey segments* the way fleet trackers do (the exemplar
+is the WAL-backed fleet tracker in SNIPPETS.md): a bus that stops
+moving is *idle* after :data:`IDLE_THRESHOLD` seconds; if it then moves
+at least :data:`RESUME_DISTANCE_FEET` before
+:data:`JOURNEY_END_THRESHOLD` elapses, the same journey *resumes*; if
+the idle period reaches the end threshold, the journey is closed and
+the next movement opens a new segment.
+
+Real feeds also deliver samples out of order (multi-path uplinks,
+store-and-forward gaps).  The segmenter holds a small per-bus reorder
+buffer bounded by ``max_skew`` seconds: samples are released in event
+time once the buffer spans the skew window, arrival inversions inside
+the window are repaired (and counted in observability), and samples
+older than the already-released watermark are dropped rather than
+corrupting a closed segment.
+
+Everything is event-time driven and deterministic — no wall clock, no
+randomness (lint rules RAP001/RAP002 cover ``stream/``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..errors import StreamConfigError
+from ..graphs import Point
+from ..traces.records import GpsRecord
+
+#: Seconds without movement before a bus counts as stopped (exemplar: 2 min).
+STOP_THRESHOLD = 120.0
+
+#: Idle seconds after which the journey is closed (exemplar: 1 hour).
+JOURNEY_END_THRESHOLD = 3600.0
+
+#: Seconds idle before the bus enters the idle state (exemplar: 2 min).
+IDLE_THRESHOLD = 120.0
+
+#: Feet a bus must move to count as resuming (exemplar: 0.3 km ~ 984 ft).
+RESUME_DISTANCE_FEET = 984.0
+
+
+@dataclass(frozen=True)
+class SegmenterConfig:
+    """Segmentation thresholds (seconds and feet; see module docstring)."""
+
+    idle_threshold: float = IDLE_THRESHOLD
+    journey_end_threshold: float = JOURNEY_END_THRESHOLD
+    resume_distance: float = RESUME_DISTANCE_FEET
+    max_skew: float = 0.0
+    """Reorder-buffer span in seconds (0 = strict in-order release)."""
+
+    def __post_init__(self) -> None:
+        if self.idle_threshold <= 0:
+            raise StreamConfigError(
+                f"idle_threshold must be positive, got {self.idle_threshold}"
+            )
+        if self.journey_end_threshold < self.idle_threshold:
+            raise StreamConfigError(
+                "journey_end_threshold must be >= idle_threshold "
+                f"({self.journey_end_threshold} < {self.idle_threshold})"
+            )
+        if self.resume_distance <= 0:
+            raise StreamConfigError(
+                f"resume_distance must be positive, got {self.resume_distance}"
+            )
+        if self.max_skew < 0:
+            raise StreamConfigError(
+                f"max_skew must be >= 0, got {self.max_skew}"
+            )
+
+
+@dataclass(frozen=True)
+class ClosedJourney:
+    """One completed journey segment (the estimator's input unit)."""
+
+    bus_id: str
+    route: str
+    """The feed's journey/route id, before segmentation."""
+    segment_id: str
+    """The segmented journey id (``<route>#<n>``)."""
+    start_time: float
+    end_time: float
+    samples: int
+
+
+@dataclass
+class _BusState:
+    segment: int = 0
+    opened: bool = False
+    start_time: float = 0.0
+    last: Optional[GpsRecord] = None
+    idle_since: Optional[float] = None
+    anchor: Optional[Tuple[float, float]] = None
+    samples: int = 0
+    watermark: float = float("-inf")
+    buffer: List[Tuple[float, int, GpsRecord]] = field(default_factory=list)
+    arrivals: int = 0
+
+
+class JourneySegmenter:
+    """Split per-bus GPS streams into idle/resume-delimited journeys.
+
+    ``observe`` accepts samples in arrival order and returns the samples
+    *released* by the reorder buffer, re-tagged with their segmented
+    journey id; completed segments accumulate until :meth:`poll_closed`.
+    Call :meth:`flush` at end of stream to drain buffers and close every
+    open segment.
+    """
+
+    def __init__(self, config: SegmenterConfig = SegmenterConfig()) -> None:
+        self._config = config
+        self._buses: Dict[Tuple[str, str], _BusState] = {}
+        self._closed: List[ClosedJourney] = []
+        self.reorders = 0
+        self.reorder_drops = 0
+        self.resumes = 0
+
+    # ------------------------------------------------------------------
+    # arrival side (reorder buffer)
+    # ------------------------------------------------------------------
+    def observe(self, record: GpsRecord) -> List[GpsRecord]:
+        """Feed one arriving sample; returns released, re-tagged samples."""
+        key = (record.bus_id, record.journey_id)
+        state = self._buses.get(key)
+        if state is None:
+            state = _BusState()
+            self._buses[key] = state
+        if record.timestamp < state.watermark:
+            # Arrived later than the skew window allows: the segment it
+            # belongs to may already be closed, so drop it loudly.
+            self.reorder_drops += 1
+            obs.count("stream.segment.reorder_drops")
+            return []
+        if state.buffer and record.timestamp < state.buffer[-1][2].timestamp:
+            # Out of arrival order but inside the window: the heap
+            # repairs the order; count the inversion.
+            self.reorders += 1
+            obs.count("stream.segment.reorders")
+        state.arrivals += 1
+        heapq.heappush(
+            state.buffer, (record.timestamp, state.arrivals, record)
+        )
+        released: List[GpsRecord] = []
+        newest = max(item[2].timestamp for item in state.buffer)
+        while state.buffer and (
+            newest - state.buffer[0][0] >= self._config.max_skew
+        ):
+            _, _, ready = heapq.heappop(state.buffer)
+            state.watermark = ready.timestamp
+            released.append(self._advance(key, state, ready))
+        return released
+
+    def flush(self) -> List[GpsRecord]:
+        """Drain every reorder buffer and close every open segment."""
+        released: List[GpsRecord] = []
+        for key in sorted(self._buses):
+            state = self._buses[key]
+            while state.buffer:
+                _, _, ready = heapq.heappop(state.buffer)
+                state.watermark = ready.timestamp
+                released.append(self._advance(key, state, ready))
+            if state.opened:
+                self._close(key, state)
+        return released
+
+    def poll_closed(self) -> List[ClosedJourney]:
+        """Completed segments since the last poll (append order)."""
+        closed = self._closed
+        self._closed = []
+        return closed
+
+    # ------------------------------------------------------------------
+    # event-time side (segmentation proper)
+    # ------------------------------------------------------------------
+    def _segment_id(self, key: Tuple[str, str], state: _BusState) -> str:
+        return f"{key[1]}#{state.segment:03d}"
+
+    def _close(self, key: Tuple[str, str], state: _BusState) -> None:
+        assert state.last is not None
+        self._closed.append(
+            ClosedJourney(
+                bus_id=key[0],
+                route=key[1],
+                segment_id=self._segment_id(key, state),
+                start_time=state.start_time,
+                end_time=state.last.timestamp,
+                samples=state.samples,
+            )
+        )
+        obs.count("stream.segment.closed")
+        state.opened = False
+        state.segment += 1
+        state.samples = 0
+        state.idle_since = None
+        state.anchor = None
+
+    def _advance(
+        self, key: Tuple[str, str], state: _BusState, record: GpsRecord
+    ) -> GpsRecord:
+        config = self._config
+        last = state.last
+        if last is not None and state.opened:
+            gap = record.timestamp - last.timestamp
+            if gap >= config.journey_end_threshold:
+                # Silent for a journey-ending while: close at the last
+                # sample and open a fresh segment at this one.
+                self._close(key, state)
+            else:
+                anchor = state.anchor or (last.x, last.y)
+                moved = record.position.distance_to(Point(anchor[0], anchor[1]))
+                if moved < config.resume_distance:
+                    # Still within the idle radius of the anchor.
+                    if state.idle_since is None:
+                        state.idle_since = last.timestamp
+                        state.anchor = anchor
+                    idle_for = record.timestamp - state.idle_since
+                    if idle_for >= config.journey_end_threshold:
+                        self._close(key, state)
+                else:
+                    if state.idle_since is not None:
+                        idle_for = record.timestamp - state.idle_since
+                        if idle_for >= config.idle_threshold:
+                            # Moved >= the resume distance after a real
+                            # stop: same journey, resumed.
+                            self.resumes += 1
+                            obs.count("stream.segment.resumes")
+                    state.idle_since = None
+                    state.anchor = None
+        if not state.opened:
+            state.opened = True
+            state.start_time = record.timestamp
+            state.samples = 0
+            state.idle_since = None
+            state.anchor = None
+        state.last = record
+        state.samples += 1
+        return GpsRecord(
+            bus_id=record.bus_id,
+            journey_id=self._segment_id(key, state),
+            timestamp=record.timestamp,
+            x=record.x,
+            y=record.y,
+        )
+
+
+__all__ = [
+    "ClosedJourney",
+    "IDLE_THRESHOLD",
+    "JOURNEY_END_THRESHOLD",
+    "JourneySegmenter",
+    "RESUME_DISTANCE_FEET",
+    "STOP_THRESHOLD",
+    "SegmenterConfig",
+]

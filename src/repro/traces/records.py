@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from .. import obs
 from ..errors import TraceFormatError
 from ..graphs import Point
 
@@ -121,20 +122,50 @@ class Journey:
         return [record.position for record in self.records]
 
 
-def group_into_journeys(records: Iterable[GpsRecord]) -> List[Journey]:
+def group_into_journeys(
+    records: Iterable[GpsRecord], *, max_skew: Optional[float] = None
+) -> List[Journey]:
     """Group records by ``(bus_id, journey_id)``, time-sorted.
 
     Journeys are returned in first-appearance order, making downstream
     processing deterministic for a deterministic record stream.
+
+    Real feeds deliver samples out of arrival order (multi-path uplinks,
+    store-and-forward gaps).  Inversions are repaired by the final sort
+    and counted (``trace.reorders``); with ``max_skew`` set, a sample
+    arriving more than that many seconds behind its journey's newest
+    timestamp is judged too stale to trust — it is dropped and counted
+    (``trace.reorder_drops``) instead of silently rewriting history.
     """
+    if max_skew is not None and max_skew < 0:
+        raise TraceFormatError(f"max_skew must be >= 0, got {max_skew}")
     journeys: Dict[Tuple[str, str], Journey] = {}
+    newest: Dict[Tuple[str, str], float] = {}
+    reorders = 0
+    drops = 0
     for record in records:
         key = (record.bus_id, record.journey_id)
         journey = journeys.get(key)
         if journey is None:
             journey = Journey(bus_id=record.bus_id, journey_id=record.journey_id)
             journeys[key] = journey
+            newest[key] = record.timestamp
+        else:
+            if record.timestamp < newest[key]:
+                if (
+                    max_skew is not None
+                    and newest[key] - record.timestamp > max_skew
+                ):
+                    drops += 1
+                    continue
+                reorders += 1
+            else:
+                newest[key] = record.timestamp
         journey.append(record)
+    if (reorders or drops) and obs.active() is not None:
+        obs.count_many(
+            {"trace.reorders": reorders, "trace.reorder_drops": drops}
+        )
     result = list(journeys.values())
     for journey in result:
         journey.sort()

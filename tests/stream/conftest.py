@@ -1,0 +1,45 @@
+"""Shared fixtures for the streaming-pipeline tests.
+
+A small grid scenario with labelled flows whose labels double as the
+route ids of the synthetic GPS feed — the same wiring the trace
+pipeline produces (flows labelled with journey-pattern ids), so the
+refresher's route → flow-index mapping is exercised for real.
+"""
+
+import pytest
+
+from repro.core import LinearUtility, Scenario, flow_between
+from repro.graphs import manhattan_grid
+from repro.serve import ScenarioArtifact
+from repro.traces import GpsRecord
+
+ROUTES = ("route-a", "route-b", "route-c")
+
+
+def build_stream_scenario() -> Scenario:
+    network = manhattan_grid(7, 7, block=500.0)
+    flows = [
+        flow_between(network, (0, 3), (6, 3), volume=1200,
+                     attractiveness=1.0, label=ROUTES[0]),
+        flow_between(network, (3, 0), (3, 6), volume=800,
+                     attractiveness=1.0, label=ROUTES[1]),
+        flow_between(network, (0, 0), (6, 6), volume=500,
+                     attractiveness=1.0, label=ROUTES[2]),
+    ]
+    return Scenario(network, flows, shop=(2, 2),
+                    utility=LinearUtility(3_000.0))
+
+
+@pytest.fixture
+def stream_scenario() -> Scenario:
+    return build_stream_scenario()
+
+
+@pytest.fixture
+def stream_artifact(stream_scenario) -> ScenarioArtifact:
+    return ScenarioArtifact.compile(stream_scenario)
+
+
+def gps(bus, route, t, x=0.0, y=0.0) -> GpsRecord:
+    return GpsRecord(bus_id=bus, journey_id=route, timestamp=float(t),
+                     x=float(x), y=float(y))

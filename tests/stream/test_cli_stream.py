@@ -1,0 +1,118 @@
+"""CLI: ``rapflow stream ingest | watch | refresh`` and exit code 9."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_STREAM, exit_code_for, main
+from repro.errors import (
+    JournalError,
+    StreamConfigError,
+    StreamDeltaError,
+    StreamError,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "dublin.csv"
+    assert main([
+        "generate-trace", "--city", "dublin", "--scale", "small",
+        "--seed", "7", "--out", str(path),
+    ]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def journal_dir(tmp_path_factory, trace_csv):
+    directory = tmp_path_factory.mktemp("journal")
+    assert main([
+        "stream", "ingest", "--csv", str(trace_csv), "--city", "dublin",
+        "--journal", str(directory), "--segment-records", "512",
+        "--max-skew", "30",
+    ]) == 0
+    return directory
+
+
+class TestExitCodes:
+    def test_stream_errors_map_to_exit_9(self):
+        assert EXIT_STREAM == 9
+        for error in (
+            StreamError("x"), JournalError("x"),
+            StreamConfigError("x"), StreamDeltaError("x"),
+        ):
+            assert exit_code_for(error) == EXIT_STREAM
+
+
+class TestIngest:
+    def test_ingest_summarizes_the_journal(self, trace_csv, tmp_path, capsys):
+        assert main([
+            "stream", "ingest", "--csv", str(trace_csv), "--city", "dublin",
+            "--journal", str(tmp_path / "j"),
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["csv_records"] > 0
+        assert summary["appended"] == summary["csv_records"]
+        assert summary["journeys_closed"] > 0
+        assert summary["journal"]["sealed_segments"] >= 1
+
+    def test_ingest_is_idempotent_per_run_but_appends(
+        self, trace_csv, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "j")
+        for expected_segments in (1, 2):
+            assert main([
+                "stream", "ingest", "--csv", str(trace_csv),
+                "--city", "dublin", "--journal", journal,
+            ]) == 0
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["journal"]["sealed_segments"] == expected_segments
+
+    def test_invalid_skew_exits_9(self, trace_csv, tmp_path, capsys):
+        assert main([
+            "stream", "ingest", "--csv", str(trace_csv), "--city", "dublin",
+            "--journal", str(tmp_path / "j"), "--max-skew", "-1",
+        ]) == EXIT_STREAM
+
+
+class TestWatch:
+    def test_watch_emits_delta_lines(self, journal_dir, capsys):
+        assert main([
+            "stream", "watch", "--journal", str(journal_dir),
+            "--window", "3600",
+        ]) == 0
+        out = capsys.readouterr().out
+        deltas = [json.loads(line) for line in out.splitlines() if line]
+        assert deltas
+        for delta in deltas:
+            assert set(delta) == {
+                "route", "count", "window_start", "window_end",
+            }
+            assert delta["count"] != 0
+
+    def test_invalid_window_exits_9(self, journal_dir, capsys):
+        assert main([
+            "stream", "watch", "--journal", str(journal_dir),
+            "--window", "0",
+        ]) == EXIT_STREAM
+
+
+class TestRefresh:
+    def test_refresh_rolls_the_digest(self, journal_dir, tmp_path, capsys):
+        args = [
+            "stream", "refresh", "--journal", str(journal_dir),
+            "--city", "dublin", "--scale", "small", "--seed", "7",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args + ["--mode", "patch"]) == 0
+        patched = json.loads(capsys.readouterr().out)
+        assert patched["changed"] is True
+        assert patched["new_digest"] != patched["old_digest"]
+        assert patched["flows_changed"] > 0
+
+        assert main(args + ["--mode", "recompile"]) == 0
+        recompiled = json.loads(capsys.readouterr().out)
+        # Same journal, same base artifact: both modes derive the same
+        # successor digest.
+        assert recompiled["new_digest"] == patched["new_digest"]
+        assert recompiled["old_digest"] == patched["old_digest"]

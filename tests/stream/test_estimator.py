@@ -1,0 +1,128 @@
+"""Windowed estimator: event-time windows and signed route deltas."""
+
+import pytest
+
+from repro.errors import StreamConfigError
+from repro.stream import ClosedJourney, TrafficDelta, WindowedEstimator
+
+
+def journey(route, end, start=None, bus="b1", seg=0):
+    start = end - 50.0 if start is None else start
+    return ClosedJourney(
+        bus_id=bus, route=route, segment_id=f"{route}#{seg:03d}",
+        start_time=start, end_time=end, samples=2,
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0.0},
+            {"window": -10.0},
+            {"window": 100.0, "slide": 0.0},
+            {"window": 100.0, "slide": 150.0},
+        ],
+    )
+    def test_invalid_windows_rejected(self, kwargs):
+        with pytest.raises(StreamConfigError):
+            WindowedEstimator(**kwargs)
+
+    def test_delta_window_must_be_nonempty(self):
+        with pytest.raises(StreamConfigError):
+            TrafficDelta(route="r", count=1, window_start=5.0, window_end=5.0)
+
+    def test_end_time_before_origin_rejected(self):
+        estimator = WindowedEstimator(window=100.0, origin=1000.0)
+        with pytest.raises(StreamConfigError):
+            estimator.observe(journey("r", end=50.0))
+
+
+class TestTumbling:
+    def test_window_completes_only_on_event_time(self):
+        estimator = WindowedEstimator(window=100.0)
+        assert estimator.observe(journey("rA", end=10.0)) == []
+        assert estimator.observe(journey("rA", end=60.0)) == []
+        # A journey ending at 150 proves window [0, 100) is complete.
+        deltas = estimator.observe(journey("rB", end=150.0))
+        assert deltas == [
+            TrafficDelta(route="rA", count=2,
+                         window_start=0.0, window_end=100.0)
+        ]
+
+    def test_deltas_are_signed_changes_vs_previous_window(self):
+        estimator = WindowedEstimator(window=100.0)
+        for end in (10.0, 20.0, 30.0):
+            estimator.observe(journey("rA", end=end))
+        estimator.observe(journey("rA", end=110.0))
+        estimator.observe(journey("rB", end=120.0))
+        drained = estimator.drain()
+        # Window 0 emitted [rA +3] when 110 arrived; drain emits window 1
+        # as changes vs window 0: rA 1-3 = -2, rB 1-0 = +1.
+        assert drained == [
+            TrafficDelta(route="rA", count=-2,
+                         window_start=100.0, window_end=200.0),
+            TrafficDelta(route="rB", count=1,
+                         window_start=100.0, window_end=200.0),
+        ]
+
+    def test_zero_changes_are_skipped(self):
+        estimator = WindowedEstimator(window=100.0)
+        estimator.observe(journey("rA", end=10.0))
+        estimator.observe(journey("rA", end=110.0))
+        assert estimator.drain() == []  # window 1 count equals window 0
+
+    def test_empty_intermediate_windows_reset_the_baseline(self):
+        estimator = WindowedEstimator(window=100.0)
+        estimator.observe(journey("rA", end=10.0))
+        # Jumping to 950 completes windows 0..8; window 1 (empty) emits
+        # rA -1, so window 9's +1 is relative to an empty baseline.
+        deltas = estimator.observe(journey("rA", end=950.0))
+        assert deltas[0] == TrafficDelta(
+            route="rA", count=1, window_start=0.0, window_end=100.0
+        )
+        assert deltas[1] == TrafficDelta(
+            route="rA", count=-1, window_start=100.0, window_end=200.0
+        )
+        assert estimator.drain() == [
+            TrafficDelta(route="rA", count=1,
+                         window_start=900.0, window_end=1000.0)
+        ]
+
+    def test_origin_shifts_window_boundaries(self):
+        estimator = WindowedEstimator(window=100.0, origin=1000.0)
+        estimator.observe(journey("rA", end=1050.0))
+        assert estimator.drain() == [
+            TrafficDelta(route="rA", count=1,
+                         window_start=1000.0, window_end=1100.0)
+        ]
+
+
+class TestSliding:
+    def test_overlapping_windows_each_count_the_journey(self):
+        estimator = WindowedEstimator(window=100.0, slide=50.0)
+        # end=75 falls in windows [0,100) and [50,150): window 1 holds
+        # the same count, so its delta is zero and only window 0 emits.
+        estimator.observe(journey("rA", end=75.0))
+        assert estimator.drain() == [
+            TrafficDelta(route="rA", count=1,
+                         window_start=0.0, window_end=100.0)
+        ]
+
+    def test_sliding_emission_order_and_counts(self):
+        estimator = WindowedEstimator(window=100.0, slide=50.0)
+        estimator.observe(journey("rA", end=20.0))   # windows 0 only
+        estimator.observe(journey("rA", end=75.0))   # windows 0 and 1
+        ripe = estimator.observe(journey("rB", end=160.0))  # completes 0, 1
+        assert ripe == [
+            TrafficDelta(route="rA", count=2,
+                         window_start=0.0, window_end=100.0),
+            TrafficDelta(route="rA", count=-1,
+                         window_start=50.0, window_end=150.0),
+        ]
+
+    def test_journeys_counter(self):
+        estimator = WindowedEstimator(window=100.0)
+        for end in (10.0, 20.0):
+            estimator.observe(journey("rA", end=end))
+        assert estimator.journeys == 2

@@ -1,0 +1,98 @@
+"""Journey journal: WAL rotation, torn-tail recovery, exact replay."""
+
+import pytest
+
+from repro.errors import JournalError, StreamConfigError
+from repro.stream import (
+    JourneyJournal,
+    SEGMENT_PATTERN,
+    WAL_NAME,
+    record_from_line,
+    record_to_line,
+)
+
+from .conftest import gps
+
+
+def feed(n, route="route-a"):
+    return [gps(f"b{i % 3}", route, 10.0 * i, x=i, y=-i) for i in range(n)]
+
+
+class TestLineCodec:
+    def test_round_trip_is_exact(self):
+        record = gps("bus-1", "route-a", 12.5, x=3.25, y=-7.75)
+        assert record_from_line(record_to_line(record)) == record
+
+    def test_malformed_line_raises_journal_error(self):
+        for line in ('{"bus": "b"}', "not json", '{"bus":1,"t":"x"}'):
+            with pytest.raises(JournalError):
+                record_from_line(line)
+
+
+class TestRotation:
+    def test_wal_seals_at_record_budget(self, tmp_path):
+        journal = JourneyJournal(tmp_path, segment_records=3)
+        journal.extend(feed(8))
+        assert len(journal.segments()) == 2
+        status = journal.status()
+        assert status["wal_records"] == 2
+        assert status["appends_this_session"] == 8
+        names = [path.name for path in journal.segments()]
+        assert names == [
+            SEGMENT_PATTERN.format(index=0),
+            SEGMENT_PATTERN.format(index=1),
+        ]
+
+    def test_explicit_seal_checkpoints_the_tail(self, tmp_path):
+        journal = JourneyJournal(tmp_path, segment_records=100)
+        journal.extend(feed(4))
+        sealed = journal.seal()
+        assert sealed is not None and sealed.is_file()
+        assert journal.status()["wal_records"] == 0
+        assert journal.seal() is None  # empty WAL: nothing to checkpoint
+
+    def test_replay_reproduces_append_order(self, tmp_path):
+        records = feed(10)
+        journal = JourneyJournal(tmp_path, segment_records=4)
+        journal.extend(records)
+        assert list(journal.replay()) == records
+        assert journal.record_count == 10
+
+    def test_reopen_resumes_segment_numbering(self, tmp_path):
+        first = JourneyJournal(tmp_path, segment_records=2)
+        first.extend(feed(5))
+        reopened = JourneyJournal(tmp_path, segment_records=2)
+        reopened.extend(feed(3))
+        assert len(reopened.segments()) == 4
+        assert reopened.record_count == 8
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(StreamConfigError):
+            JourneyJournal(tmp_path, segment_records=0)
+
+
+class TestTornTailRecovery:
+    def test_unterminated_tail_is_truncated(self, tmp_path):
+        journal = JourneyJournal(tmp_path, segment_records=100)
+        journal.extend(feed(5))
+        wal = tmp_path / WAL_NAME
+        wal.write_bytes(wal.read_bytes() + b'{"bus":"b9","jou')
+        recovered = JourneyJournal(tmp_path, segment_records=100)
+        assert recovered.record_count == 5
+        assert list(recovered.replay()) == feed(5)
+
+    def test_terminated_but_unparsable_tail_is_truncated(self, tmp_path):
+        journal = JourneyJournal(tmp_path, segment_records=100)
+        journal.extend(feed(5))
+        wal = tmp_path / WAL_NAME
+        wal.write_bytes(wal.read_bytes() + b'{"bus":"b9"}\n')
+        recovered = JourneyJournal(tmp_path, segment_records=100)
+        assert recovered.record_count == 5
+
+    def test_recovered_journal_accepts_new_appends(self, tmp_path):
+        JourneyJournal(tmp_path, segment_records=100).extend(feed(3))
+        (tmp_path / WAL_NAME).open("ab").write(b"torn")
+        recovered = JourneyJournal(tmp_path, segment_records=100)
+        extra = gps("b9", "route-b", 999.0)
+        recovered.append(extra)
+        assert list(recovered.replay()) == feed(3) + [extra]

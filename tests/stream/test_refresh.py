@@ -1,0 +1,144 @@
+"""StreamRefresher: delta mapping, patch-vs-recompile, store and pool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamConfigError, StreamDeltaError
+from repro.serve import ArtifactStore, ScenarioArtifact, ShmArtifactPool
+from repro.serve.shm import segment_exists, segment_name_for
+from repro.stream import StreamRefresher, TrafficDelta, patched_spec
+
+from .conftest import ROUTES
+
+PACKED_COLUMNS = (
+    "indptr", "flow_index", "detour", "position", "entry_row",
+    "volume", "attractiveness",
+)
+
+
+def delta(route, count, start=0.0, end=3600.0):
+    return TrafficDelta(route=route, count=count,
+                        window_start=start, window_end=end)
+
+
+def packed_equal(a, b):
+    pa, pb = a.scenario.coverage.packed(), b.scenario.coverage.packed()
+    return all(
+        np.array_equal(getattr(pa, column), getattr(pb, column))
+        for column in PACKED_COLUMNS
+    ) and pa.nodes == pb.nodes
+
+
+class TestConstruction:
+    def test_passengers_must_be_positive(self, stream_artifact):
+        with pytest.raises(StreamConfigError):
+            StreamRefresher(stream_artifact, passengers_per_bus=0.0)
+
+    def test_fleet_requires_worker_factory(self, stream_artifact):
+        with pytest.raises(StreamConfigError):
+            StreamRefresher(stream_artifact, fleet=object())
+
+
+class TestVolumeDeltas:
+    def test_routes_map_to_flow_indices_by_label(self, stream_artifact):
+        refresher = StreamRefresher(stream_artifact, passengers_per_bus=100.0)
+        changes, unmatched = refresher.volume_deltas(
+            [delta(ROUTES[0], 2), delta(ROUTES[2], -1)]
+        )
+        assert changes == {0: 200.0, 2: -100.0}
+        assert unmatched == 0
+
+    def test_unmatched_routes_are_counted_and_skipped(self, stream_artifact):
+        refresher = StreamRefresher(stream_artifact)
+        changes, unmatched = refresher.volume_deltas(
+            [delta("route-unknown", 5), delta(ROUTES[1], 1)]
+        )
+        assert changes == {1: 100.0}
+        assert unmatched == 1
+
+    def test_opposite_deltas_cancel_to_nothing(self, stream_artifact):
+        refresher = StreamRefresher(stream_artifact)
+        changes, _ = refresher.volume_deltas(
+            [delta(ROUTES[0], 3), delta(ROUTES[0], -3, 3600.0, 7200.0)]
+        )
+        assert changes == {}
+
+    def test_delta_to_nonpositive_volume_raises(self, stream_artifact):
+        refresher = StreamRefresher(stream_artifact, passengers_per_bus=100.0)
+        # route-c's flow carries volume 500; -5 journeys zeroes it out.
+        with pytest.raises(StreamDeltaError):
+            refresher.volume_deltas([delta(ROUTES[2], -5)])
+
+
+class TestPatchedSpec:
+    def test_out_of_range_flow_index_raises(self, stream_artifact):
+        with pytest.raises(StreamDeltaError):
+            patched_spec(stream_artifact.spec, {99: 100.0})
+
+    def test_spec_volume_updated(self, stream_artifact):
+        spec = patched_spec(stream_artifact.spec, {0: 250.0})
+        assert spec["flows"][0]["volume"] == 1450.0
+        # The source spec is untouched (pure function).
+        assert stream_artifact.spec["flows"][0]["volume"] == 1200.0
+
+
+class TestRefresh:
+    def test_patch_and_recompile_are_bit_identical(self, stream_artifact):
+        deltas = [delta(ROUTES[0], -2), delta(ROUTES[2], 3)]
+        patcher = StreamRefresher(stream_artifact)
+        recompiler = StreamRefresher(stream_artifact)
+        patched = patcher.refresh(deltas, mode="patch")
+        recompiled = recompiler.refresh(deltas, mode="recompile")
+        assert patched.new_digest == recompiled.new_digest
+        assert patched.changed and recompiled.changed
+        assert packed_equal(patcher.artifact, recompiler.artifact)
+
+    def test_noop_refresh_keeps_digest(self, stream_artifact):
+        refresher = StreamRefresher(stream_artifact)
+        result = refresher.refresh([delta("route-unknown", 1)])
+        assert not result.changed
+        assert result.flows_changed == 0
+        assert result.unmatched_routes == 1
+        assert refresher.digest == stream_artifact.digest
+        assert refresher.refreshes == 0
+
+    def test_unknown_mode_rejected(self, stream_artifact):
+        refresher = StreamRefresher(stream_artifact)
+        with pytest.raises(StreamConfigError):
+            refresher.refresh([delta(ROUTES[0], 1)], mode="magic")
+
+    def test_refreshes_chain_onto_the_new_artifact(self, stream_artifact):
+        refresher = StreamRefresher(stream_artifact, passengers_per_bus=50.0)
+        first = refresher.refresh([delta(ROUTES[0], 2)])
+        second = refresher.refresh([delta(ROUTES[0], -2)])
+        assert first.old_digest == stream_artifact.digest
+        assert second.old_digest == first.new_digest
+        # -2 journeys undoes +2: back to the original volumes and digest.
+        assert second.new_digest == stream_artifact.digest
+        assert refresher.refreshes == 2
+
+    def test_store_receives_the_refreshed_artifact(
+        self, stream_artifact, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        refresher = StreamRefresher(stream_artifact, store=store)
+        result = refresher.refresh([delta(ROUTES[1], 4)])
+        restored = ScenarioArtifact.load(tmp_path, result.new_digest)
+        assert restored.digest == refresher.digest
+
+    def test_pool_publishes_new_and_unlinks_old(
+        self, stream_artifact, tmp_path
+    ):
+        pool = ShmArtifactPool(tmp_path)
+        try:
+            pool.publish(stream_artifact)
+            refresher = StreamRefresher(stream_artifact, pool=pool)
+            result = refresher.refresh([delta(ROUTES[1], 4)])
+            attachment = pool.attach(result.new_digest)
+            assert attachment.manifest.digest == result.new_digest
+            pool.detach(result.new_digest)
+            assert not segment_exists(
+                segment_name_for(stream_artifact.digest)
+            )
+        finally:
+            pool.unlink_all()

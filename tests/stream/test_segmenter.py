@@ -1,0 +1,153 @@
+"""Journey segmentation: idle/resume boundaries and the reorder buffer."""
+
+import pytest
+
+from repro.errors import StreamConfigError
+from repro.stream import (
+    IDLE_THRESHOLD,
+    JOURNEY_END_THRESHOLD,
+    JourneySegmenter,
+    RESUME_DISTANCE_FEET,
+    SegmenterConfig,
+)
+
+from .conftest import gps
+
+
+def run(segmenter, records):
+    released = []
+    for record in records:
+        released.extend(segmenter.observe(record))
+    released.extend(segmenter.flush())
+    return released
+
+
+class TestConfig:
+    def test_defaults_match_exemplar_thresholds(self):
+        config = SegmenterConfig()
+        assert config.idle_threshold == IDLE_THRESHOLD == 120.0
+        assert config.journey_end_threshold == JOURNEY_END_THRESHOLD == 3600.0
+        assert config.resume_distance == RESUME_DISTANCE_FEET == 984.0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"idle_threshold": 0.0},
+            {"journey_end_threshold": 60.0, "idle_threshold": 120.0},
+            {"resume_distance": -1.0},
+            {"max_skew": -0.5},
+        ],
+    )
+    def test_invalid_thresholds_rejected(self, overrides):
+        with pytest.raises(StreamConfigError):
+            SegmenterConfig(**overrides)
+
+
+class TestSegmentation:
+    def test_single_journey_closes_on_flush(self):
+        segmenter = JourneySegmenter()
+        released = run(
+            segmenter,
+            [gps("b1", "r1", 30.0 * i, x=2000.0 * i) for i in range(4)],
+        )
+        assert [r.journey_id for r in released] == ["r1#000"] * 4
+        closed = segmenter.poll_closed()
+        assert len(closed) == 1
+        journey = closed[0]
+        assert (journey.bus_id, journey.route) == ("b1", "r1")
+        assert journey.segment_id == "r1#000"
+        assert (journey.start_time, journey.end_time) == (0.0, 90.0)
+        assert journey.samples == 4
+        assert segmenter.poll_closed() == []  # poll drains
+
+    def test_long_gap_opens_a_new_segment(self):
+        segmenter = JourneySegmenter()
+        released = run(
+            segmenter,
+            [
+                gps("b1", "r1", 0.0, x=0.0),
+                gps("b1", "r1", 60.0, x=2000.0),
+                gps("b1", "r1", 60.0 + 3600.0, x=4000.0),
+            ],
+        )
+        assert [r.journey_id for r in released] == [
+            "r1#000", "r1#000", "r1#001",
+        ]
+        closed = segmenter.poll_closed()
+        assert [c.segment_id for c in closed] == ["r1#000", "r1#001"]
+        assert closed[0].end_time == 60.0
+        assert closed[1].start_time == 3660.0
+
+    def test_idle_past_end_threshold_closes_segment(self):
+        # Samples keep arriving but the bus sits still for an hour.
+        records = [gps("b1", "r1", 0.0, x=0.0), gps("b1", "r1", 60.0, x=5000.0)]
+        records += [
+            gps("b1", "r1", 60.0 + 600.0 * i, x=5000.0) for i in range(1, 8)
+        ]
+        records.append(gps("b1", "r1", 5000.0, x=20000.0))
+        segmenter = JourneySegmenter()
+        run(segmenter, records)
+        closed = segmenter.poll_closed()
+        assert [c.segment_id for c in closed] == ["r1#000", "r1#001"]
+
+    def test_short_stop_resumes_same_journey(self):
+        # Idle 3 minutes (>= idle_threshold, < end threshold), then move.
+        records = [
+            gps("b1", "r1", 0.0, x=0.0),
+            gps("b1", "r1", 60.0, x=5000.0),
+            gps("b1", "r1", 120.0, x=5000.0),
+            gps("b1", "r1", 240.0, x=5010.0),  # still inside resume radius
+            gps("b1", "r1", 300.0, x=9000.0),  # resumed
+        ]
+        segmenter = JourneySegmenter()
+        released = run(segmenter, records)
+        assert {r.journey_id for r in released} == {"r1#000"}
+        assert segmenter.resumes == 1
+        assert len(segmenter.poll_closed()) == 1
+
+    def test_buses_and_routes_segment_independently(self):
+        segmenter = JourneySegmenter()
+        run(
+            segmenter,
+            [
+                gps("b1", "r1", 0.0, x=0.0),
+                gps("b2", "r1", 5.0, x=0.0),
+                gps("b1", "r2", 10.0, x=0.0),
+            ],
+        )
+        closed = segmenter.poll_closed()
+        assert {(c.bus_id, c.route) for c in closed} == {
+            ("b1", "r1"), ("b2", "r1"), ("b1", "r2"),
+        }
+
+
+class TestReorderBuffer:
+    def test_inversions_inside_window_are_repaired(self):
+        segmenter = JourneySegmenter(SegmenterConfig(max_skew=30.0))
+        order = [0.0, 20.0, 10.0, 60.0, 100.0]
+        released = run(
+            segmenter,
+            [gps("b1", "r1", t, x=100.0 * t) for t in order],
+        )
+        assert [r.timestamp for r in released] == sorted(order)
+        assert segmenter.reorders == 1
+        assert segmenter.reorder_drops == 0
+
+    def test_sample_older_than_watermark_is_dropped(self):
+        segmenter = JourneySegmenter(SegmenterConfig(max_skew=10.0))
+        released = run(
+            segmenter,
+            [
+                gps("b1", "r1", 0.0),
+                gps("b1", "r1", 50.0),   # releases t=0, watermark 0... then 50
+                gps("b1", "r1", 90.0),   # releases t=50
+                gps("b1", "r1", 5.0),    # below watermark: dropped
+            ],
+        )
+        assert segmenter.reorder_drops == 1
+        assert [r.timestamp for r in released] == [0.0, 50.0, 90.0]
+
+    def test_zero_skew_releases_immediately(self):
+        segmenter = JourneySegmenter()
+        released = segmenter.observe(gps("b1", "r1", 0.0))
+        assert [r.timestamp for r in released] == [0.0]

@@ -60,9 +60,9 @@ class TestServeSnapshot:
     def test_stable_top_level_keys(self):
         snapshot = load(SERVE_SNAPSHOT)
         for key in ("schema", "levels", "batching_speedup", "fleet",
-                    "shm_fleet", "git_sha", "git_dirty"):
+                    "shm_fleet", "stream", "git_sha", "git_dirty"):
             assert key in snapshot, f"BENCH_serve.json lost key {key!r}"
-        assert snapshot["schema"] == "rapflow-bench-serve/4"
+        assert snapshot["schema"] == "rapflow-bench-serve/5"
 
     def test_snapshot_names_a_clean_commit(self):
         # A snapshot is only reproducible if it records the exact tree
@@ -180,6 +180,40 @@ class TestServeSnapshot:
             f"front /metrics p95 {front_hist['p95_ms']}ms and bench p95 "
             f"{tier['p95_ms']}ms are more than one bucket apart"
         )
+
+    def test_stream_tier_covers_the_streaming_claims(self):
+        # Schema /5: the stream tier backs the streaming pipeline's
+        # three claims — the estimator folds journeys fast, the
+        # incremental patch beats a full recompile to a bit-identical
+        # digest, and a hot swap under load does not drop requests.
+        snapshot = load(SERVE_SNAPSHOT)
+        tier = snapshot["stream"]
+        assert tier["mode"] == "stream"
+
+        fold = tier["fold"]
+        assert fold["journeys"] > 0
+        assert fold["journeys_per_s"] > 0
+        assert fold["deltas_emitted"] > 0
+
+        refresh = tier["refresh"]
+        assert refresh["digests_agree"] is True
+        assert refresh["patch_seconds"] > 0
+        assert refresh["recompile_seconds"] > refresh["patch_seconds"], (
+            "the incremental patch must beat a full recompile; snapshot "
+            f"says patch={refresh['patch_seconds']}s vs "
+            f"recompile={refresh['recompile_seconds']}s"
+        )
+        assert refresh["patch_speedup"] > 1.0
+
+        swap = tier["swap"]
+        assert swap["swaps"] >= 1
+        assert swap["availability"] >= 0.999, (
+            f"hot swaps under load cost availability: {swap}"
+        )
+        for key in ("baseline_p99_ms", "under_swap_p99_ms",
+                    "p99_blip_ratio", "swap_seconds_p50"):
+            assert key in swap, f"stream swap record lost key {key!r}"
+        assert swap["p99_blip_ratio"] > 0
 
     def test_shm_fleet_outscales_the_fleet_tier(self):
         # The PR's acceptance bar: subprocess workers over one shared
